@@ -1,0 +1,62 @@
+// Experiment E4 — reproduces **Figure 7** (accuracy of the containment
+// test): for each Table 2 query, accuracy = |E| / |C| where E is the result
+// of the equality (strict) test and C the result of the containment
+// (non-strict) test.
+//
+// Paper shape: 100% for absolute queries without //; accuracy drops with
+// every // in the query. Strict results are also cross-checked against the
+// plaintext ground truth here.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ssdb::bench {
+namespace {
+
+const char* kQueries[] = {
+    "/site//europe/item",
+    "/site//europe//item",
+    "/site/*/person//city",
+    "/*/*/open_auction/bidder/date",
+    "//bidder/date",
+};
+
+void Run() {
+  double scale = BenchScale();
+  auto db = BuildXmarkDb(static_cast<uint64_t>(scale * (1 << 20)));
+
+  PrintHeader("Figure 7: accuracy of the containment test (E/C)");
+  std::printf("%-3s %-34s %-8s %-8s %-12s %-12s\n", "#", "query", "|E|",
+              "|C|", "accuracy(%)", "truth-check");
+
+  for (size_t i = 0; i < std::size(kQueries); ++i) {
+    RunResult strict = RunQuery(db.get(), kQueries[i],
+                                core::EngineKind::kSimple,
+                                query::MatchMode::kEquality);
+    RunResult loose = RunQuery(db.get(), kQueries[i],
+                               core::EngineKind::kSimple,
+                               query::MatchMode::kContainment);
+    size_t truth = GroundTruthSize(db.get(), kQueries[i]);
+    double accuracy =
+        loose.result.nodes.empty()
+            ? 100.0
+            : 100.0 * static_cast<double>(strict.result.nodes.size()) /
+                  static_cast<double>(loose.result.nodes.size());
+    std::printf("%-3zu %-34s %-8zu %-8zu %-12.1f %-12s\n", i + 1,
+                kQueries[i], strict.result.nodes.size(),
+                loose.result.nodes.size(), accuracy,
+                strict.result.nodes.size() == truth ? "exact" : "MISMATCH");
+  }
+  std::printf(
+      "\nPaper shape: accuracy 100%% without '//', dropping for each '//'\n"
+      "in the query (fig. 7). E must equal the plaintext ground truth.\n");
+}
+
+}  // namespace
+}  // namespace ssdb::bench
+
+int main() {
+  ssdb::bench::Run();
+  return 0;
+}

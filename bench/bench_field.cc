@@ -1,0 +1,155 @@
+// Ablation A1 (google-benchmark): finite-field and ring micro-costs that
+// explain the macro numbers — field ops across p, Horner evaluation,
+// coefficient-domain convolution vs evaluation-domain pointwise
+// multiplication, and the two encoder paths end to end.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "encode/encoder.h"
+#include "gf/dft.h"
+#include "gf/ring.h"
+#include "mapping/tag_map.h"
+#include "prg/prg.h"
+#include "storage/memory_backend.h"
+#include "util/random.h"
+#include "xmark/generator.h"
+#include "xml/dom.h"
+
+namespace ssdb {
+namespace {
+
+gf::RingElem RandomElem(const gf::Ring& ring, Random* rng) {
+  gf::RingElem f(ring.n());
+  for (auto& c : f) {
+    c = static_cast<gf::Elem>(rng->Uniform(ring.field().q()));
+  }
+  return f;
+}
+
+void BM_FieldMul(benchmark::State& state) {
+  auto field = *gf::Field::Make(static_cast<uint32_t>(state.range(0)));
+  Random rng(1);
+  gf::Elem a = 1 + static_cast<gf::Elem>(rng.Uniform(field.n()));
+  gf::Elem b = 1 + static_cast<gf::Elem>(rng.Uniform(field.n()));
+  for (auto _ : state) {
+    a = field.Mul(a, b);
+    benchmark::DoNotOptimize(a);
+    if (a == 0) a = 1;
+  }
+}
+BENCHMARK(BM_FieldMul)->Arg(5)->Arg(29)->Arg(83)->Arg(257);
+
+void BM_FieldInv(benchmark::State& state) {
+  auto field = *gf::Field::Make(static_cast<uint32_t>(state.range(0)));
+  gf::Elem a = 2;
+  for (auto _ : state) {
+    a = field.Inv(a);
+    benchmark::DoNotOptimize(a);
+    a = a == 0 ? 2 : a;
+  }
+}
+BENCHMARK(BM_FieldInv)->Arg(83);
+
+void BM_RingEvalHorner(benchmark::State& state) {
+  // One containment-test evaluation: Horner over q-1 coefficients.
+  auto field = *gf::Field::Make(static_cast<uint32_t>(state.range(0)));
+  gf::Ring ring(field);
+  Random rng(2);
+  gf::RingElem f = RandomElem(ring, &rng);
+  gf::Elem t = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Eval(f, t));
+  }
+}
+BENCHMARK(BM_RingEvalHorner)->Arg(29)->Arg(83)->Arg(257);
+
+void BM_RingMulConvolution(benchmark::State& state) {
+  // Coefficient-domain product: O(n^2).
+  auto field = *gf::Field::Make(83);
+  gf::Ring ring(field);
+  Random rng(3);
+  gf::RingElem a = RandomElem(ring, &rng);
+  gf::RingElem b = RandomElem(ring, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Mul(a, b));
+  }
+}
+BENCHMARK(BM_RingMulConvolution);
+
+void BM_RingMulPointwise(benchmark::State& state) {
+  // Evaluation-domain product: O(n) once transformed.
+  auto field = *gf::Field::Make(83);
+  gf::Ring ring(field);
+  gf::Evaluator evaluator(ring);
+  Random rng(4);
+  gf::EvalVector a = evaluator.Forward(RandomElem(ring, &rng));
+  gf::EvalVector b = evaluator.Forward(RandomElem(ring, &rng));
+  for (auto _ : state) {
+    gf::EvalVector c = a;
+    evaluator.PointwiseMulInto(&c, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RingMulPointwise);
+
+void BM_DftInverse(benchmark::State& state) {
+  // The per-node cost the evaluation-domain encoder pays before storage.
+  auto field = *gf::Field::Make(83);
+  gf::Ring ring(field);
+  gf::Evaluator evaluator(ring);
+  Random rng(5);
+  gf::EvalVector evals = evaluator.Forward(RandomElem(ring, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Inverse(evals));
+  }
+}
+BENCHMARK(BM_DftInverse);
+
+void BM_PrgClientShare(benchmark::State& state) {
+  auto field = *gf::Field::Make(83);
+  gf::Ring ring(field);
+  prg::Prg prg(prg::Seed::FromUint64(6));
+  uint64_t pre = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prg.ClientShare(ring, ++pre));
+  }
+}
+BENCHMARK(BM_PrgClientShare);
+
+void BM_EncodeDocument(benchmark::State& state) {
+  // End-to-end encoder: eval-domain (arg 1) vs coefficient-domain (arg 0).
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = 64 << 10;
+  std::string xml = xmark::GenerateAuctionDocument(gen).xml;
+  auto field = *gf::Field::Make(83);
+  gf::Ring ring(field);
+  auto doc = *xml::ParseDocument(xml);
+  std::vector<std::string> names;
+  {
+    std::set<std::string> seen;
+    xml::ForEachElement(doc.root(), [&](const xml::Node& node) {
+      if (seen.insert(node.name).second) names.push_back(node.name);
+    });
+  }
+  auto map = *mapping::TagMap::FromNames(names, field);
+  encode::EncodeOptions options;
+  options.use_eval_domain = state.range(0) == 1;
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    storage::MemoryNodeStore store;
+    encode::Encoder encoder(ring, map, prg::Prg(prg::Seed::FromUint64(7)),
+                            &store, options);
+    auto result = encoder.EncodeString(xml);
+    benchmark::DoNotOptimize(result);
+    nodes = result->node_count;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_EncodeDocument)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment E7 (the paper's §7 future work, implemented): query cost over
+// *data content* with the trie representation. The paper predicts "a major
+// improvement especially in the advanced algorithm. Queries over the data
+// are more precise ... the query engine can find the path to the answer
+// almost immediately."
+//
+// We measure contains(text(), word) queries over trie-encoded person
+// directories of growing size: the advanced engine descends only branches
+// whose polynomials still contain the next character, while the simple
+// engine enumerates whole candidate subtrees.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "trie/trie_xml.h"
+#include "util/random.h"
+#include "xmark/words.h"
+
+namespace ssdb::bench {
+namespace {
+
+std::string MakePeopleXml(size_t persons, uint64_t seed) {
+  Random rng(seed);
+  std::string xml = "<people>";
+  for (size_t i = 0; i < persons; ++i) {
+    xml += "<person><name>";
+    xml += rng.Pick(xmark::FirstNames()) + " " + rng.Pick(xmark::LastNames());
+    xml += "</name></person>";
+  }
+  xml += "</people>";
+  return xml;
+}
+
+void Run() {
+  PrintHeader(
+      "Section 7 future work: data queries via the trie (p=127)");
+  std::printf("%-10s %-10s %-14s %-14s %-12s %-10s\n", "persons", "nodes",
+              "evals(simp)", "evals(adv)", "simp/adv", "matches");
+
+  double scale = BenchScale();
+  auto field = *gf::Field::Make(127);
+  std::vector<std::string> names = {"people", "person", "name"};
+  for (const auto& label : trie::TrieAlphabet()) names.push_back(label);
+  auto map = *mapping::TagMap::FromNames(names, field);
+
+  const std::string query_text =
+      "/people/person/name[contains(text(), \"Joan\")]";
+
+  for (size_t persons : {50u, 200u, 800u}) {
+    size_t scaled = static_cast<size_t>(
+        std::max(1.0, static_cast<double>(persons) * scale));
+    std::string xml = MakePeopleXml(scaled, 7);
+
+    core::DatabaseOptions options;
+    options.p = 127;
+    options.encode.trie = true;
+    auto db = core::EncryptedXmlDatabase::Encode(
+        xml, map, prg::Seed::FromUint64(9), options);
+    SSDB_CHECK(db.ok()) << db.status().ToString();
+
+    auto parsed = *query::ParseQuery(query_text);
+    auto simple = (*db)->QueryParsed(parsed, core::EngineKind::kSimple,
+                                     query::MatchMode::kEquality);
+    auto advanced = (*db)->QueryParsed(parsed, core::EngineKind::kAdvanced,
+                                       query::MatchMode::kEquality);
+    SSDB_CHECK(simple.ok() && advanced.ok());
+    SSDB_CHECK(simple->nodes.size() == advanced->nodes.size());
+    double ratio =
+        advanced->stats.eval.evaluations == 0
+            ? 0
+            : static_cast<double>(simple->stats.eval.evaluations) /
+                  static_cast<double>(advanced->stats.eval.evaluations);
+    std::printf("%-10zu %-10llu %-14llu %-14llu %-12.2f %-10zu\n", scaled,
+                (unsigned long long)(*db)->encode_result().node_count,
+                (unsigned long long)simple->stats.eval.evaluations,
+                (unsigned long long)advanced->stats.eval.evaluations, ratio,
+                simple->nodes.size());
+  }
+  std::printf(
+      "\nPaper prediction (§7): with knowledge of the data at high-level\n"
+      "nodes, the engine finds the path to the answer almost immediately —\n"
+      "the advanced/simple gap should widen with document size.\n");
+}
+
+}  // namespace
+}  // namespace ssdb::bench
+
+int main() {
+  ssdb::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared machinery for the experiment harnesses: build an encrypted XMark
+// database at a given scale, run queries under each engine/mode, print
+// paper-style tables.
+
+#ifndef SSDB_BENCH_BENCH_UTIL_H_
+#define SSDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "query/ground_truth.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "xmark/generator.h"
+
+namespace ssdb::bench {
+
+struct BenchDb {
+  std::string xml;
+  xml::Document doc;  // annotated plaintext, for ground truth
+  mapping::TagMap map;
+  std::unique_ptr<core::EncryptedXmlDatabase> db;
+
+  explicit BenchDb(mapping::TagMap m) : map(std::move(m)) {}
+};
+
+// Builds a memory-backend encrypted database over a fresh XMark document of
+// roughly `target_bytes` of XML.
+inline std::unique_ptr<BenchDb> BuildXmarkDb(uint64_t target_bytes,
+                                             uint64_t seed = 42) {
+  auto field = *gf::Field::Make(83);
+  auto map = core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
+                                                      field, false);
+  SSDB_CHECK(map.ok());
+  auto bench_db = std::make_unique<BenchDb>(std::move(*map));
+
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = target_bytes;
+  gen.seed = seed;
+  bench_db->xml = xmark::GenerateAuctionDocument(gen).xml;
+
+  auto doc = xml::ParseDocument(bench_db->xml);
+  SSDB_CHECK(doc.ok());
+  bench_db->doc = std::move(*doc);
+  xml::AnnotatePrePost(&bench_db->doc);
+
+  auto db = core::EncryptedXmlDatabase::Encode(
+      bench_db->xml, bench_db->map, prg::Seed::FromUint64(seed),
+      core::DatabaseOptions{});
+  SSDB_CHECK(db.ok()) << db.status().ToString();
+  bench_db->db = std::move(*db);
+  return bench_db;
+}
+
+struct RunResult {
+  core::QueryResult result;
+  double seconds = 0;
+};
+
+inline RunResult RunQuery(BenchDb* db, const std::string& text,
+                          core::EngineKind engine, query::MatchMode mode) {
+  auto parsed = query::ParseQuery(text);
+  SSDB_CHECK(parsed.ok()) << text;
+  Stopwatch watch;
+  auto result = db->db->QueryParsed(*parsed, engine, mode);
+  SSDB_CHECK(result.ok()) << text << ": " << result.status().ToString();
+  RunResult run;
+  run.result = std::move(*result);
+  run.seconds = watch.ElapsedSeconds();
+  return run;
+}
+
+inline size_t GroundTruthSize(BenchDb* db, const std::string& text) {
+  auto parsed = query::ParseQuery(text);
+  SSDB_CHECK(parsed.ok());
+  auto truth = query::EvaluateGroundTruth(*parsed, db->doc);
+  SSDB_CHECK(truth.ok());
+  return truth->size();
+}
+
+// Reads an env-var override for bench scale, e.g. SSDB_BENCH_SCALE=0.1 to
+// shrink all workloads 10x for smoke runs.
+inline double BenchScale() {
+  const char* env = std::getenv("SSDB_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace ssdb::bench
+
+#endif  // SSDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// Auction search: the paper's evaluation scenario end to end — generate an
+// XMark-style auction document, encrypt it, and compare the two search
+// strategies on the paper's own Table 2 queries.
+//
+//   $ ./auction_search [target_kb]      (default 256 KB of XML)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+#include "util/stopwatch.h"
+#include "xmark/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ssdb;
+
+  uint64_t target_kb = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 256;
+
+  // Generate the plaintext auction database.
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = target_kb << 10;
+  auto generated = xmark::GenerateAuctionDocument(gen);
+  std::printf("generated %zu bytes of XML (%llu persons, %llu items, %llu "
+              "open auctions)\n",
+              generated.xml.size(),
+              (unsigned long long)generated.person_count,
+              (unsigned long long)generated.item_count,
+              (unsigned long long)generated.open_auction_count);
+
+  // Key material: map from the paper's appendix DTD + a fresh seed.
+  auto field = *gf::Field::Make(83);
+  auto map = core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
+                                                      field, false);
+  if (!map.ok()) {
+    std::fprintf(stderr, "%s\n", map.status().ToString().c_str());
+    return 1;
+  }
+  prg::Seed seed = prg::Seed::Generate();
+
+  Stopwatch encode_watch;
+  auto db = core::EncryptedXmlDatabase::Encode(generated.xml, *map, seed,
+                                               core::DatabaseOptions{});
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("encoded %llu nodes in %.2fs\n\n",
+              (unsigned long long)(*db)->encode_result().node_count,
+              encode_watch.ElapsedSeconds());
+
+  const char* queries[] = {
+      "/site//europe/item",
+      "/site//europe//item",
+      "/site/*/person//city",
+      "/*/*/open_auction/bidder/date",
+      "//bidder/date",
+  };
+  std::printf("%-34s %-10s %-10s %-12s %-10s\n", "query (strict matching)",
+              "engine", "results", "evaluations", "time(ms)");
+  for (const char* q : queries) {
+    for (auto engine :
+         {core::EngineKind::kSimple, core::EngineKind::kAdvanced}) {
+      auto result = (*db)->Query(q, engine, query::MatchMode::kEquality);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-34s %-10s %-10zu %-12llu %-10.1f\n", q,
+                  engine == core::EngineKind::kSimple ? "simple"
+                                                      : "advanced",
+                  result->nodes.size(),
+                  (unsigned long long)result->stats.eval.evaluations,
+                  result->stats.seconds * 1e3);
+    }
+  }
+  std::printf("\nThe advanced engine's look-ahead prunes dead branches —\n"
+              "compare the evaluation counts (the paper's fig. 6 claim).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/database.h"
+
+#include "encode/encoder.h"
+#include "prg/prg.h"
+#include "rpc/client.h"
+#include "storage/memory_backend.h"
+#include "storage/table.h"
+#include "trie/trie_xml.h"
+#include "xml/dtd.h"
+
+namespace ssdb::core {
+
+StatusOr<mapping::TagMap> EncryptedXmlDatabase::TagMapForDtd(
+    const std::string& dtd_text, const gf::Field& field,
+    bool include_trie_alphabet) {
+  SSDB_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::ParseDtd(dtd_text));
+  std::vector<std::string> names = dtd.ElementNames();
+  if (include_trie_alphabet) {
+    for (const std::string& label : trie::TrieAlphabet()) {
+      names.push_back(label);
+    }
+  }
+  return mapping::TagMap::FromNames(names, field);
+}
+
+StatusOr<std::unique_ptr<EncryptedXmlDatabase>> EncryptedXmlDatabase::Encode(
+    std::string_view xml, const mapping::TagMap& map, const prg::Seed& seed,
+    const DatabaseOptions& options) {
+  SSDB_ASSIGN_OR_RETURN(gf::Field field,
+                        gf::Field::Make(options.p, options.e));
+  gf::Ring ring(field);
+
+  auto db = std::unique_ptr<EncryptedXmlDatabase>(
+      new EncryptedXmlDatabase(ring, map));
+
+  if (options.backend == Backend::kDisk) {
+    if (options.disk_path.empty()) {
+      return Status::InvalidArgument("disk backend requires disk_path");
+    }
+    storage::DiskStoreOptions disk_options;
+    disk_options.buffer_pool_pages = options.buffer_pool_pages;
+    SSDB_ASSIGN_OR_RETURN(
+        db->store_,
+        storage::DiskNodeStore::Create(options.disk_path, disk_options));
+  } else {
+    db->store_ = std::make_unique<storage::MemoryNodeStore>();
+  }
+
+  encode::Encoder encoder(ring, db->map_, prg::Prg(seed), db->store_.get(),
+                          options.encode);
+  SSDB_ASSIGN_OR_RETURN(db->encode_result_, encoder.EncodeString(xml));
+
+  db->server_ =
+      std::make_unique<filter::LocalServerFilter>(ring, db->store_.get());
+  db->BuildEngines(seed);
+  return db;
+}
+
+StatusOr<std::unique_ptr<EncryptedXmlDatabase>>
+EncryptedXmlDatabase::ConnectRemote(std::unique_ptr<rpc::Channel> channel,
+                                    const mapping::TagMap& map,
+                                    const prg::Seed& seed, uint32_t p,
+                                    uint32_t e) {
+  SSDB_ASSIGN_OR_RETURN(gf::Field field, gf::Field::Make(p, e));
+  gf::Ring ring(field);
+  auto db = std::unique_ptr<EncryptedXmlDatabase>(
+      new EncryptedXmlDatabase(ring, map));
+  db->server_ = std::make_unique<rpc::RemoteServerFilter>(
+      ring, std::move(channel));
+  db->BuildEngines(seed);
+  return db;
+}
+
+void EncryptedXmlDatabase::BuildEngines(const prg::Seed& seed) {
+  client_ = std::make_unique<filter::ClientFilter>(ring_, prg::Prg(seed),
+                                                   server_.get());
+  simple_ = std::make_unique<query::SimpleEngine>(client_.get(), &map_);
+  advanced_ = std::make_unique<query::AdvancedEngine>(client_.get(), &map_);
+}
+
+StatusOr<QueryResult> EncryptedXmlDatabase::Query(std::string_view xpath,
+                                                  EngineKind engine,
+                                                  query::MatchMode mode) {
+  SSDB_ASSIGN_OR_RETURN(query::Query parsed, query::ParseQuery(xpath));
+  return QueryParsed(parsed, engine, mode);
+}
+
+StatusOr<QueryResult> EncryptedXmlDatabase::QueryParsed(
+    const query::Query& query, EngineKind engine, query::MatchMode mode) {
+  query::QueryEngine* chosen =
+      engine == EngineKind::kSimple
+          ? static_cast<query::QueryEngine*>(simple_.get())
+          : static_cast<query::QueryEngine*>(advanced_.get());
+  QueryResult result;
+  SSDB_ASSIGN_OR_RETURN(result.nodes,
+                        chosen->Execute(query, mode, &result.stats));
+  return result;
+}
+
+Status EncryptedXmlDatabase::Serve(rpc::Channel* channel) {
+  if (server_ == nullptr) {
+    return Status::FailedPrecondition("no server filter attached");
+  }
+  rpc::RpcServer server(ring_, server_.get());
+  return server.Serve(channel);
+}
+
+}  // namespace ssdb::core

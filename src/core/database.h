@@ -1,0 +1,105 @@
+// EncryptedXmlDatabase — the library's public facade tying the full pipeline
+// together (fig. 3): encode a plaintext XML document into secret-shared
+// polynomials on a storage backend, then answer XPath-subset queries with
+// either search strategy and either matching rule, locally or across a
+// client/server channel.
+//
+// Quickstart:
+//   auto field = gf::Field::Make(83).value();
+//   auto map = core::EncryptedXmlDatabase::TagMapForDtd(dtd, field).value();
+//   auto db = core::EncryptedXmlDatabase::Encode(xml, map, seed, {}).value();
+//   auto result = db->Query("/site//person", core::EngineKind::kAdvanced,
+//                           query::MatchMode::kEquality).value();
+
+#ifndef SSDB_CORE_DATABASE_H_
+#define SSDB_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/options.h"
+#include "filter/client_filter.h"
+#include "filter/server_filter.h"
+#include "gf/field.h"
+#include "gf/ring.h"
+#include "mapping/tag_map.h"
+#include "prg/seed.h"
+#include "query/advanced_engine.h"
+#include "query/engine.h"
+#include "query/simple_engine.h"
+#include "query/xpath.h"
+#include "rpc/channel.h"
+#include "rpc/server.h"
+#include "storage/node_store.h"
+#include "util/statusor.h"
+
+namespace ssdb::core {
+
+struct QueryResult {
+  std::vector<filter::NodeMeta> nodes;
+  query::QueryStats stats;
+};
+
+class EncryptedXmlDatabase {
+ public:
+  // Builds a tag map covering a DTD's elements (plus the trie alphabet when
+  // the database will be encoded with options.encode.trie).
+  static StatusOr<mapping::TagMap> TagMapForDtd(const std::string& dtd_text,
+                                                const gf::Field& field,
+                                                bool include_trie_alphabet);
+
+  // Encodes a plaintext document into a fresh encrypted database. The seed
+  // is the only secret needed later (plus the map for query translation).
+  static StatusOr<std::unique_ptr<EncryptedXmlDatabase>> Encode(
+      std::string_view xml, const mapping::TagMap& map,
+      const prg::Seed& seed, const DatabaseOptions& options);
+
+  // Client side of a remote deployment: queries are answered through the
+  // channel; this process holds only the seed and the map.
+  static StatusOr<std::unique_ptr<EncryptedXmlDatabase>> ConnectRemote(
+      std::unique_ptr<rpc::Channel> channel, const mapping::TagMap& map,
+      const prg::Seed& seed, uint32_t p, uint32_t e);
+
+  // Parses and runs a query.
+  StatusOr<QueryResult> Query(std::string_view xpath, EngineKind engine,
+                              query::MatchMode mode);
+  StatusOr<QueryResult> QueryParsed(const query::Query& query,
+                                    EngineKind engine,
+                                    query::MatchMode mode);
+
+  const gf::Ring& ring() const { return ring_; }
+  const mapping::TagMap& tag_map() const { return map_; }
+  const encode::EncodeResult& encode_result() const {
+    return encode_result_;
+  }
+
+  // Local-mode accessors (null in remote mode).
+  storage::NodeStore* store() { return store_.get(); }
+  filter::ClientFilter* client_filter() { return client_.get(); }
+  filter::ServerFilter* server_filter() { return server_.get(); }
+
+  // Serves this database's server side over a channel (blocking). The peer
+  // is typically another process using ConnectRemote.
+  Status Serve(rpc::Channel* channel);
+
+ private:
+  explicit EncryptedXmlDatabase(gf::Ring ring, mapping::TagMap map)
+      : ring_(std::move(ring)), map_(std::move(map)) {}
+
+  void BuildEngines(const prg::Seed& seed);
+
+  gf::Ring ring_;
+  mapping::TagMap map_;
+  encode::EncodeResult encode_result_;
+  std::unique_ptr<storage::NodeStore> store_;
+  std::unique_ptr<filter::ServerFilter> server_;
+  std::unique_ptr<filter::ClientFilter> client_;
+  std::unique_ptr<query::SimpleEngine> simple_;
+  std::unique_ptr<query::AdvancedEngine> advanced_;
+};
+
+}  // namespace ssdb::core
+
+#endif  // SSDB_CORE_DATABASE_H_

@@ -1,0 +1,38 @@
+// Top-level configuration for the encrypted XML database.
+
+#ifndef SSDB_CORE_OPTIONS_H_
+#define SSDB_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "encode/encoder.h"
+
+namespace ssdb::core {
+
+enum class Backend {
+  kMemory,  // in-RAM store (tests, algorithm benchmarks)
+  kDisk,    // paged B+tree engine (the paper's MySQL role)
+};
+
+enum class EngineKind {
+  kSimple,    // §5.3 SimpleQuery
+  kAdvanced,  // §5.3 AdvancedQuery (look-ahead)
+};
+
+struct DatabaseOptions {
+  // Field parameters; the paper uses p=83, e=1 for tag search and p=29 for
+  // the trie cost analysis.
+  uint32_t p = 83;
+  uint32_t e = 1;
+
+  Backend backend = Backend::kMemory;
+  std::string disk_path;          // required for Backend::kDisk
+  size_t buffer_pool_pages = 1024;
+
+  encode::EncodeOptions encode;
+};
+
+}  // namespace ssdb::core
+
+#endif  // SSDB_CORE_OPTIONS_H_

@@ -1,0 +1,200 @@
+#include "encode/encoder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gf/share.h"
+#include "trie/trie.h"
+#include "util/file_util.h"
+#include "xml/sax.h"
+
+namespace ssdb::encode {
+namespace {
+
+// SAX handler that carries the whole encoding pipeline. One stack frame per
+// open element holds the running product of completed child polynomials —
+// in evaluation or coefficient form depending on the configured path.
+class EncodingHandler : public xml::SaxHandler {
+ public:
+  EncodingHandler(const gf::Ring& ring, const gf::Evaluator& evaluator,
+                  const mapping::TagMap& map, const prg::Prg& prg,
+                  storage::NodeStore* store, const EncodeOptions& options)
+      : ring_(ring),
+        evaluator_(evaluator),
+        map_(map),
+        prg_(prg),
+        store_(store),
+        options_(options) {}
+
+  Status StartElement(std::string_view name,
+                      const xml::AttributeList&) override {
+    return Open(name);
+  }
+
+  Status EndElement(std::string_view) override { return Close(); }
+
+  Status Characters(std::string_view text) override {
+    if (options_.seal_content && !stack_.empty()) {
+      stack_.back().direct_text += std::string(text);
+    }
+    if (!options_.trie) return Status::OK();  // §3 scheme: tags only
+    // §4 scheme: expand the text into a trie of single-character elements.
+    trie::Trie built =
+        trie::BuildTrieFromText(text, options_.trie_compressed);
+    return EmitTrie(*built.root());
+  }
+
+  EncodeResult TakeResult() {
+    result_.node_count = node_count_;
+    result_.max_depth = max_depth_;
+    result_.share_bytes = share_bytes_;
+    return result_;
+  }
+
+ private:
+  struct Frame {
+    uint32_t pre = 0;
+    uint32_t parent = 0;
+    gf::Elem tag_value = 0;
+    std::string tag_name;     // kept only when sealing
+    std::string direct_text;  // kept only when sealing
+    // Product of completed child polynomials; exactly one representation is
+    // active, per options_.use_eval_domain.
+    gf::EvalVector child_evals;   // starts all-ones
+    gf::RingElem child_coeffs;    // starts at the ring's 1
+    bool has_children = false;
+  };
+
+  Status Open(std::string_view name) {
+    StatusOr<gf::Elem> value = map_.Lookup(name);
+    if (!value.ok()) {
+      return Status::InvalidArgument("tag not covered by the map file: " +
+                                     std::string(name));
+    }
+    Frame frame;
+    frame.pre = ++pre_counter_;
+    frame.parent = stack_.empty() ? 0 : stack_.back().pre;
+    frame.tag_value = *value;
+    if (options_.seal_content) frame.tag_name = std::string(name);
+    if (options_.use_eval_domain) {
+      frame.child_evals.assign(ring_.n(), 1);
+    } else {
+      frame.child_coeffs = ring_.One();
+    }
+    stack_.push_back(std::move(frame));
+    max_depth_ = std::max(max_depth_, stack_.size());
+    return Status::OK();
+  }
+
+  Status Close() {
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    uint32_t post = ++post_counter_;
+
+    // f(node) = (x - map(node)) * prod(children)   (§3 step 2, reduced).
+    gf::RingElem node_poly;
+    if (options_.use_eval_domain) {
+      gf::EvalVector evals = std::move(frame.child_evals);
+      const gf::Field& field = ring_.field();
+      for (uint32_t i = 0; i < ring_.n(); ++i) {
+        evals[i] = field.Mul(
+            field.Sub(evaluator_.point(i), frame.tag_value), evals[i]);
+      }
+      node_poly = evaluator_.Inverse(evals);
+      if (!stack_.empty()) {
+        // Fold this node's evaluations into the parent's running product.
+        gf::EvalVector& parent = stack_.back().child_evals;
+        for (uint32_t i = 0; i < ring_.n(); ++i) {
+          parent[i] = field.Mul(parent[i], evals[i]);
+        }
+        stack_.back().has_children = true;
+      }
+    } else {
+      node_poly = frame.has_children
+                      ? ring_.MulXMinus(frame.child_coeffs, frame.tag_value)
+                      : ring_.XMinus(frame.tag_value);
+      if (!stack_.empty()) {
+        stack_.back().child_coeffs =
+            ring_.Mul(stack_.back().child_coeffs, node_poly);
+        stack_.back().has_children = true;
+      }
+    }
+
+    // Split: client share is the PRG stream at this node's pre position; the
+    // server share is the difference. Only the server share is stored.
+    gf::RingElem randomness = prg_.ClientShare(ring_, frame.pre);
+    gf::SharePair shares =
+        gf::SplitWithRandomness(ring_, node_poly, std::move(randomness));
+
+    storage::NodeRow row;
+    row.pre = frame.pre;
+    row.post = post;
+    row.parent = frame.parent;
+    row.share = ring_.Serialize(shares.server);
+    if (options_.seal_content) {
+      row.sealed = prg_.SealPayload(
+          frame.pre, frame.tag_name + "\n" + frame.direct_text);
+    }
+    share_bytes_ += row.share.size();
+    ++node_count_;
+    return store_->Insert(row);
+  }
+
+  // Emits a trie as nested virtual elements (depth-first).
+  Status EmitTrie(const trie::TrieNode& node) {
+    for (const auto& [key, child] : node.children) {
+      (void)key;
+      SSDB_RETURN_IF_ERROR(Open(child->label));
+      SSDB_RETURN_IF_ERROR(EmitTrie(*child));
+      SSDB_RETURN_IF_ERROR(Close());
+    }
+    return Status::OK();
+  }
+
+  const gf::Ring& ring_;
+  const gf::Evaluator& evaluator_;
+  const mapping::TagMap& map_;
+  const prg::Prg& prg_;
+  storage::NodeStore* store_;
+  EncodeOptions options_;
+
+  std::vector<Frame> stack_;
+  uint32_t pre_counter_ = 0;
+  uint32_t post_counter_ = 0;
+  uint64_t node_count_ = 0;
+  uint64_t share_bytes_ = 0;
+  uint64_t max_depth_ = 0;
+  EncodeResult result_;
+};
+
+}  // namespace
+
+Encoder::Encoder(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
+                 storage::NodeStore* store, const EncodeOptions& options)
+    : ring_(ring),
+      evaluator_(ring),
+      map_(map),
+      prg_(std::move(prg)),
+      store_(store),
+      options_(options) {}
+
+StatusOr<EncodeResult> Encoder::EncodeString(std::string_view xml) {
+  SSDB_ASSIGN_OR_RETURN(uint64_t existing, store_->NodeCount());
+  if (existing != 0) {
+    return Status::FailedPrecondition("target store is not empty");
+  }
+  EncodingHandler handler(ring_, evaluator_, map_, prg_, store_, options_);
+  xml::SaxParser parser;
+  SSDB_RETURN_IF_ERROR(parser.Parse(xml, &handler));
+  SSDB_RETURN_IF_ERROR(store_->Flush());
+  EncodeResult result = handler.TakeResult();
+  result.input_bytes = xml.size();
+  return result;
+}
+
+StatusOr<EncodeResult> Encoder::EncodeFile(const std::string& path) {
+  SSDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return EncodeString(contents);
+}
+
+}  // namespace ssdb::encode

@@ -1,0 +1,71 @@
+// Streaming encoder — the paper's MySQLEncode (§5.1). Parses XML with the
+// SAX parser (memory proportional to tree depth), assigns pre/post/parent
+// numbers, builds each node's polynomial bottom-up, splits it into a
+// pseudorandom client share (discarded — regenerable from the seed) and a
+// server share, and inserts rows (pre, post, parent, share) into a
+// NodeStore.
+//
+// Two encoding paths (ablation A1 in DESIGN.md):
+//  * evaluation domain (default): a node's evaluation vector is
+//    (g^i - map(tag)) * prod(children), O(q) per node, with one inverse DFT
+//    per node for coefficient storage;
+//  * coefficient domain: ring convolution per child, O(q^2) — the naive
+//    reading of the paper.
+
+#ifndef SSDB_ENCODE_ENCODER_H_
+#define SSDB_ENCODE_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gf/dft.h"
+#include "gf/ring.h"
+#include "mapping/tag_map.h"
+#include "prg/prg.h"
+#include "storage/node_store.h"
+#include "util/statusor.h"
+
+namespace ssdb::encode {
+
+struct EncodeOptions {
+  // Apply the §4 trie transformation to text content first (data becomes
+  // searchable). Off: text nodes are ignored, as in the paper's §3 scheme.
+  bool trie = false;
+  bool trie_compressed = true;
+  // false selects the coefficient-domain path (ablation).
+  bool use_eval_domain = true;
+  // §4 extension: store "tag-name \n direct-text", stream-encrypted under
+  // the seed, alongside each node's share so matched nodes can be revealed
+  // client-side. The server sees only ciphertext.
+  bool seal_content = false;
+};
+
+struct EncodeResult {
+  uint64_t node_count = 0;
+  uint64_t max_depth = 0;
+  uint64_t input_bytes = 0;
+  uint64_t share_bytes = 0;  // serialized polynomial payload written
+};
+
+class Encoder {
+ public:
+  // `store` must be empty; the map must cover every tag in the document
+  // (plus the trie alphabet when options.trie is set).
+  Encoder(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
+          storage::NodeStore* store, const EncodeOptions& options = {});
+
+  StatusOr<EncodeResult> EncodeString(std::string_view xml);
+  StatusOr<EncodeResult> EncodeFile(const std::string& path);
+
+ private:
+  gf::Ring ring_;
+  gf::Evaluator evaluator_;
+  const mapping::TagMap& map_;
+  prg::Prg prg_;
+  storage::NodeStore* store_;
+  EncodeOptions options_;
+};
+
+}  // namespace ssdb::encode
+
+#endif  // SSDB_ENCODE_ENCODER_H_

@@ -1,0 +1,208 @@
+#include "filter/client_filter.h"
+
+#include "gf/share.h"
+
+namespace ssdb::filter {
+namespace {
+
+// Cursor pull size: the client holds one batch at a time (thin client), the
+// server buffers the rest (§5.2).
+constexpr size_t kCursorBatch = 64;
+
+}  // namespace
+
+ClientFilter::ClientFilter(gf::Ring ring, prg::Prg prg, ServerFilter* server)
+    : ring_(ring),
+      evaluator_(ring),
+      prg_(std::move(prg)),
+      server_(server) {}
+
+StatusOr<NodeMeta> ClientFilter::Root() {
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(NodeMeta root, server_->Root());
+  ++stats_.nodes_visited;
+  return root;
+}
+
+StatusOr<NodeMeta> ClientFilter::GetNode(uint32_t pre) {
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(NodeMeta node, server_->GetNode(pre));
+  ++stats_.nodes_visited;
+  return node;
+}
+
+StatusOr<NodeMeta> ClientFilter::Parent(const NodeMeta& node) {
+  if (node.parent == 0) {
+    return Status::NotFound("root has no parent");
+  }
+  return GetNode(node.parent);
+}
+
+StatusOr<std::vector<NodeMeta>> ClientFilter::Children(const NodeMeta& node) {
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
+                        server_->Children(node.pre));
+  stats_.nodes_visited += children.size();
+  return children;
+}
+
+StatusOr<std::vector<NodeMeta>> ClientFilter::Descendants(
+    const NodeMeta& node) {
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(uint64_t cursor,
+                        server_->OpenDescendantCursor(node.pre, node.post));
+  std::vector<NodeMeta> all;
+  for (;;) {
+    ++stats_.server_calls;
+    SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> batch,
+                          server_->NextNodes(cursor, kCursorBatch));
+    if (batch.empty()) break;
+    stats_.nodes_visited += batch.size();
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  return all;
+}
+
+gf::Elem ClientFilter::EvalClientShare(uint32_t pre, gf::Elem t) {
+  gf::RingElem share = prg_.ClientShare(ring_, pre);
+  return ring_.Eval(share, t);
+}
+
+StatusOr<bool> ClientFilter::ContainsValue(const NodeMeta& node, gf::Elem t) {
+  ++stats_.containment_tests;
+  ++stats_.evaluations;
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(gf::Elem server_value, server_->EvalAt(node.pre, t));
+  gf::Elem client_value = EvalClientShare(node.pre, t);
+  return ring_.field().Add(server_value, client_value) == 0;
+}
+
+StatusOr<bool> ClientFilter::ContainsAllValues(
+    const NodeMeta& node, const std::vector<gf::Elem>& values) {
+  if (values.empty()) return true;
+  if (values.size() == 1) return ContainsValue(node, values[0]);
+  // One share regeneration + one (batched) server exchange for all points.
+  stats_.containment_tests += values.size();
+  stats_.evaluations += values.size();
+  ++stats_.server_calls;
+  gf::RingElem client_share = prg_.ClientShare(ring_, node.pre);
+  SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> server_values,
+                        server_->EvalPointsBatch(node.pre, values));
+  if (server_values.size() != values.size()) {
+    return Status::Internal("EvalPointsBatch size mismatch");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    gf::Elem sum = ring_.field().Add(server_values[i],
+                                     ring_.Eval(client_share, values[i]));
+    if (sum != 0) return false;
+  }
+  return true;
+}
+
+StatusOr<gf::RingElem> ClientFilter::ReconstructPoly(uint32_t pre) {
+  ++stats_.server_calls;
+  ++stats_.shares_fetched;
+  SSDB_ASSIGN_OR_RETURN(gf::RingElem server_share, server_->FetchShare(pre));
+  gf::RingElem client_share = prg_.ClientShare(ring_, pre);
+  return gf::Combine(ring_, client_share, server_share);
+}
+
+StatusOr<gf::Elem> ClientFilter::RecoverOwnValue(const NodeMeta& node) {
+  // Reconstruct the node polynomial and every direct child polynomial; the
+  // node's own factor is node(x) / prod(children). The quotient ring has
+  // zero divisors, so the division happens in the evaluation domain (a ring
+  // isomorphism; see DESIGN.md §3): find a point v where the child product
+  // is non-zero, then t = v - node(v)/prod(v).
+  //
+  // Cost: O(n * children) field operations — Horner at a handful of points
+  // rather than a full transform. The division is verified at
+  // kVerifyPoints further points (every point in full-verification mode);
+  // any mismatch means the stored shares are inconsistent.
+  constexpr uint32_t kVerifyPoints = 4;
+  const gf::Field& field = ring_.field();
+  ++stats_.equality_tests;
+
+  SSDB_ASSIGN_OR_RETURN(gf::RingElem node_poly, ReconstructPoly(node.pre));
+  ++stats_.evaluations;  // one polynomial-processing unit for the node
+
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
+                        server_->Children(node.pre));
+  std::vector<gf::RingElem> child_polys;
+  child_polys.reserve(children.size());
+  for (const NodeMeta& child : children) {
+    SSDB_ASSIGN_OR_RETURN(gf::RingElem child_poly,
+                          ReconstructPoly(child.pre));
+    ++stats_.evaluations;  // one unit per child polynomial
+    child_polys.push_back(std::move(child_poly));
+  }
+
+  auto product_at = [&](gf::Elem v) {
+    gf::Elem prod = 1;
+    for (const gf::RingElem& child : child_polys) {
+      prod = field.Mul(prod, ring_.Eval(child, v));
+      if (prod == 0) break;
+    }
+    return prod;
+  };
+
+  // Find a point where the child product is non-zero. One always exists
+  // when the tag map leaves a spare non-zero value (mapping::TagMap
+  // enforces this).
+  gf::Elem t = 0;
+  uint32_t good = ring_.n();
+  for (uint32_t i = 0; i < ring_.n(); ++i) {
+    gf::Elem v = evaluator_.point(i);
+    gf::Elem prod = product_at(v);
+    if (prod == 0) continue;
+    good = i;
+    t = field.Sub(v, field.Div(ring_.Eval(node_poly, v), prod));
+    break;
+  }
+  if (good == ring_.n()) {
+    return Status::FailedPrecondition(
+        "equality test: child product vanishes at every point (tag map has "
+        "no spare value?)");
+  }
+
+  // Verify node(x) == (x - t) * prod(children) at further points.
+  uint32_t checks = full_verification_ ? ring_.n() : kVerifyPoints;
+  for (uint32_t j = 1; j <= checks && j < ring_.n(); ++j) {
+    gf::Elem w = evaluator_.point((good + j) % ring_.n());
+    gf::Elem lhs = ring_.Eval(node_poly, w);
+    gf::Elem rhs = field.Mul(field.Sub(w, t), product_at(w));
+    if (lhs != rhs) {
+      return Status::Corruption(
+          "equality test: node polynomial is not (x - t) * children "
+          "product; shares are inconsistent");
+    }
+  }
+  return t;
+}
+
+StatusOr<ClientFilter::RevealedNode> ClientFilter::Reveal(
+    const NodeMeta& node) {
+  ++stats_.server_calls;
+  SSDB_ASSIGN_OR_RETURN(std::string sealed, server_->FetchSealed(node.pre));
+  if (sealed.empty()) {
+    return Status::FailedPrecondition(
+        "node has no sealed payload (database encoded without "
+        "seal_content)");
+  }
+  std::string plaintext = prg_.UnsealPayload(node.pre, sealed);
+  size_t split = plaintext.find('\n');
+  if (split == std::string::npos) {
+    return Status::Corruption("sealed payload malformed after decryption");
+  }
+  RevealedNode revealed;
+  revealed.name = plaintext.substr(0, split);
+  revealed.text = plaintext.substr(split + 1);
+  return revealed;
+}
+
+StatusOr<bool> ClientFilter::EqualsValue(const NodeMeta& node, gf::Elem t) {
+  SSDB_ASSIGN_OR_RETURN(gf::Elem own, RecoverOwnValue(node));
+  return own == t;
+}
+
+}  // namespace ssdb::filter

@@ -1,0 +1,103 @@
+// ClientFilter (§5.2): the trusted side. Holds the secret seed (via the PRG)
+// and regenerates client shares per node position; combines them with server
+// evaluations so that only the *sum* — which equals the true polynomial's
+// evaluation — is ever learned, and only by the client.
+//
+// Two matching rules (§5.2/§6.3):
+//  * containment test — one joint evaluation at map(tag); zero sum means the
+//    tag occurs somewhere in the node's subtree. Constant cost.
+//  * equality test    — reconstructs the node polynomial and all child
+//    polynomials, divides out the child product and checks the remaining
+//    monomial is (x - map(tag)). Cost grows with the number of children.
+
+#ifndef SSDB_FILTER_CLIENT_FILTER_H_
+#define SSDB_FILTER_CLIENT_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/server_filter.h"
+#include "gf/dft.h"
+#include "gf/ring.h"
+#include "prg/prg.h"
+#include "util/statusor.h"
+
+namespace ssdb::filter {
+
+// Cost counters; `evaluations` is the unit plotted in the paper's fig. 5
+// (one per containment test; 1 + #children per equality test, i.e. one per
+// polynomial that must be processed).
+struct EvalStats {
+  uint64_t evaluations = 0;
+  uint64_t containment_tests = 0;
+  uint64_t equality_tests = 0;
+  uint64_t shares_fetched = 0;     // full polynomials pulled for equality
+  uint64_t nodes_visited = 0;      // navigation volume
+  uint64_t server_calls = 0;
+
+  void Reset() { *this = EvalStats{}; }
+};
+
+class ClientFilter {
+ public:
+  // `server` must outlive the filter. The PRG embeds the secret seed.
+  ClientFilter(gf::Ring ring, prg::Prg prg, ServerFilter* server);
+
+  // --- Navigation (structure is public; calls are counted) ---
+  StatusOr<NodeMeta> Root();
+  StatusOr<NodeMeta> GetNode(uint32_t pre);
+  // NotFound for the root (which has no parent).
+  StatusOr<NodeMeta> Parent(const NodeMeta& node);
+  StatusOr<std::vector<NodeMeta>> Children(const NodeMeta& node);
+  // All proper descendants, pulled through the server-side cursor pipeline.
+  StatusOr<std::vector<NodeMeta>> Descendants(const NodeMeta& node);
+
+  // --- Matching rules ---
+  // Does the subtree rooted at `node` contain the mapped value t?
+  StatusOr<bool> ContainsValue(const NodeMeta& node, gf::Elem t);
+  // Does it contain *all* of `values`? Evaluates the whole set against one
+  // regenerated client share and asks the server per point; used by the
+  // advanced engine's look-ahead so a k-name check is one logical batch.
+  StatusOr<bool> ContainsAllValues(const NodeMeta& node,
+                                   const std::vector<gf::Elem>& values);
+  // Is the node's own tag exactly t? (strict checking)
+  StatusOr<bool> EqualsValue(const NodeMeta& node, gf::Elem t);
+  // Recovers the node's own mapped tag value (the equality test's core);
+  // exposed for diagnostics and tests.
+  StatusOr<gf::Elem> RecoverOwnValue(const NodeMeta& node);
+
+  // §4 extension: fetches and decrypts the node's sealed payload.
+  // Returns {tag name, direct text}; FailedPrecondition when the database
+  // was encoded without sealing.
+  struct RevealedNode {
+    std::string name;
+    std::string text;
+  };
+  StatusOr<RevealedNode> Reveal(const NodeMeta& node);
+
+  EvalStats& stats() { return stats_; }
+  const gf::Ring& ring() const { return ring_; }
+
+  // Integrity mode: verify the equality-test division at every point of the
+  // evaluation domain (O(n^2) per test) instead of at a handful of sampled
+  // points. Sampled verification already catches inconsistent shares with
+  // probability 1 - (1/q)^k; full verification is for tamper-evidence tests.
+  void set_full_verification(bool on) { full_verification_ = on; }
+
+ private:
+  // eval(client_share(pre), t) — regenerated from the PRG, never stored.
+  gf::Elem EvalClientShare(uint32_t pre, gf::Elem t);
+  // Reconstructs the full polynomial of a node (client + server share).
+  StatusOr<gf::RingElem> ReconstructPoly(uint32_t pre);
+
+  gf::Ring ring_;
+  gf::Evaluator evaluator_;
+  prg::Prg prg_;
+  ServerFilter* server_;
+  EvalStats stats_;
+  bool full_verification_ = false;
+};
+
+}  // namespace ssdb::filter
+
+#endif  // SSDB_FILTER_CLIENT_FILTER_H_

@@ -1,0 +1,102 @@
+#include "filter/server_filter.h"
+
+namespace ssdb::filter {
+
+StatusOr<NodeMeta> LocalServerFilter::Root() {
+  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetRoot());
+  return MetaOf(row);
+}
+
+StatusOr<NodeMeta> LocalServerFilter::GetNode(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+  return MetaOf(row);
+}
+
+StatusOr<std::vector<NodeMeta>> LocalServerFilter::Children(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(std::vector<storage::NodeRow> rows,
+                        store_->GetChildren(pre));
+  std::vector<NodeMeta> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(MetaOf(row));
+  return out;
+}
+
+StatusOr<uint64_t> LocalServerFilter::OpenDescendantCursor(uint32_t pre,
+                                                           uint32_t post) {
+  Cursor cursor;
+  SSDB_RETURN_IF_ERROR(store_->ScanDescendants(
+      pre, post, [&](const storage::NodeRow& row) {
+        cursor.buffered.push_back(MetaOf(row));
+        return true;
+      }));
+  uint64_t id = next_cursor_++;
+  cursors_.emplace(id, std::move(cursor));
+  return id;
+}
+
+StatusOr<std::vector<NodeMeta>> LocalServerFilter::NextNodes(
+    uint64_t cursor_id, size_t max_batch) {
+  auto it = cursors_.find(cursor_id);
+  if (it == cursors_.end()) {
+    return Status::NotFound("no such cursor");
+  }
+  Cursor& cursor = it->second;
+  std::vector<NodeMeta> batch;
+  while (cursor.offset < cursor.buffered.size() && batch.size() < max_batch) {
+    batch.push_back(cursor.buffered[cursor.offset++]);
+  }
+  if (batch.empty()) {
+    cursors_.erase(it);  // exhausted cursors self-close
+  }
+  return batch;
+}
+
+Status LocalServerFilter::CloseCursor(uint64_t cursor_id) {
+  cursors_.erase(cursor_id);
+  return Status::OK();
+}
+
+StatusOr<gf::Elem> LocalServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
+  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+  SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
+  return ring_.Eval(share, t);
+}
+
+StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
+    const std::vector<uint32_t>& pres, gf::Elem t) {
+  std::vector<gf::Elem> out;
+  out.reserve(pres.size());
+  for (uint32_t pre : pres) {
+    SSDB_ASSIGN_OR_RETURN(gf::Elem value, EvalAt(pre, t));
+    out.push_back(value);
+  }
+  return out;
+}
+
+StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
+    uint32_t pre, const std::vector<gf::Elem>& points) {
+  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+  SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
+  std::vector<gf::Elem> out;
+  out.reserve(points.size());
+  for (gf::Elem t : points) {
+    out.push_back(ring_.Eval(share, t));
+  }
+  return out;
+}
+
+StatusOr<gf::RingElem> LocalServerFilter::FetchShare(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+  return ring_.Deserialize(row.share);
+}
+
+StatusOr<std::string> LocalServerFilter::FetchSealed(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+  return row.sealed;
+}
+
+StatusOr<uint64_t> LocalServerFilter::NodeCount() {
+  return store_->NodeCount();
+}
+
+}  // namespace ssdb::filter

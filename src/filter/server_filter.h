@@ -1,0 +1,115 @@
+// ServerFilter (§5.2): the operations the untrusted server exposes. It sees
+// only pre/post/parent (stored in the clear, as in the paper's MySQL schema)
+// and the *server shares* of the node polynomials — never tag names, the
+// map, the seed, or reconstructed polynomials.
+//
+// LocalServerFilter runs against a NodeStore in-process; RemoteServerFilter
+// (src/rpc/client.h) speaks the same interface over a channel, replacing the
+// paper's Java RMI.
+
+#ifndef SSDB_FILTER_SERVER_FILTER_H_
+#define SSDB_FILTER_SERVER_FILTER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gf/ring.h"
+#include "storage/node_store.h"
+#include "util/statusor.h"
+
+namespace ssdb::filter {
+
+// Structure-only view of a node (no polynomial data).
+struct NodeMeta {
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  uint32_t parent = 0;
+
+  bool operator==(const NodeMeta& other) const {
+    return pre == other.pre && post == other.post && parent == other.parent;
+  }
+  bool operator<(const NodeMeta& other) const { return pre < other.pre; }
+};
+
+inline NodeMeta MetaOf(const storage::NodeRow& row) {
+  return NodeMeta{row.pre, row.post, row.parent};
+}
+
+class ServerFilter {
+ public:
+  virtual ~ServerFilter() = default;
+
+  // The unique node with parent == 0.
+  virtual StatusOr<NodeMeta> Root() = 0;
+  virtual StatusOr<NodeMeta> GetNode(uint32_t pre) = 0;
+  virtual StatusOr<std::vector<NodeMeta>> Children(uint32_t pre) = 0;
+
+  // The paper's nextNode() pipeline: the server buffers the intermediate
+  // result (descendants of a subtree) and the thin client pulls batches.
+  virtual StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
+                                                  uint32_t post) = 0;
+  // Empty batch means the cursor is exhausted (and auto-closed).
+  virtual StatusOr<std::vector<NodeMeta>> NextNodes(uint64_t cursor,
+                                                    size_t max_batch) = 0;
+  virtual Status CloseCursor(uint64_t cursor) = 0;
+
+  // Evaluates the stored server share of node `pre` at point t.
+  virtual StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) = 0;
+  // Batched variants (one round trip remotely): many nodes at one point,
+  // and one node at many points (the advanced engine's look-ahead).
+  virtual StatusOr<std::vector<gf::Elem>> EvalAtBatch(
+      const std::vector<uint32_t>& pres, gf::Elem t) = 0;
+  virtual StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
+      uint32_t pre, const std::vector<gf::Elem>& points) = 0;
+
+  // Full server share, needed by the client-side equality test.
+  virtual StatusOr<gf::RingElem> FetchShare(uint32_t pre) = 0;
+
+  // Sealed payload bytes (ciphertext; §4 extension). Empty when the
+  // database was encoded without sealing.
+  virtual StatusOr<std::string> FetchSealed(uint32_t pre) = 0;
+
+  virtual StatusOr<uint64_t> NodeCount() = 0;
+};
+
+class LocalServerFilter : public ServerFilter {
+ public:
+  // `store` must outlive the filter.
+  LocalServerFilter(gf::Ring ring, storage::NodeStore* store)
+      : ring_(std::move(ring)), store_(store) {}
+
+  StatusOr<NodeMeta> Root() override;
+  StatusOr<NodeMeta> GetNode(uint32_t pre) override;
+  StatusOr<std::vector<NodeMeta>> Children(uint32_t pre) override;
+  StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
+                                          uint32_t post) override;
+  StatusOr<std::vector<NodeMeta>> NextNodes(uint64_t cursor,
+                                            size_t max_batch) override;
+  Status CloseCursor(uint64_t cursor) override;
+  StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override;
+  StatusOr<std::vector<gf::Elem>> EvalAtBatch(
+      const std::vector<uint32_t>& pres, gf::Elem t) override;
+  StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
+      uint32_t pre, const std::vector<gf::Elem>& points) override;
+  StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
+  StatusOr<std::string> FetchSealed(uint32_t pre) override;
+  StatusOr<uint64_t> NodeCount() override;
+
+  const gf::Ring& ring() const { return ring_; }
+
+ private:
+  struct Cursor {
+    std::vector<NodeMeta> buffered;  // server-side buffering (§5.2)
+    size_t offset = 0;
+  };
+
+  gf::Ring ring_;
+  storage::NodeStore* store_;
+  std::map<uint64_t, Cursor> cursors_;
+  uint64_t next_cursor_ = 1;
+};
+
+}  // namespace ssdb::filter
+
+#endif  // SSDB_FILTER_SERVER_FILTER_H_

@@ -1,0 +1,78 @@
+#include "gf/dft.h"
+
+#include "util/logging.h"
+
+namespace ssdb::gf {
+
+Evaluator::Evaluator(Ring ring) : ring_(std::move(ring)) {
+  const Field& f = ring_.field();
+  const uint32_t n = ring_.n();
+  points_.resize(n);
+  inv_points_.resize(n);
+  Elem g = f.generator();
+  Elem g_inv = f.Inv(g);
+  Elem acc = 1, inv_acc = 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    points_[i] = acc;
+    inv_points_[i] = inv_acc;
+    acc = f.Mul(acc, g);
+    inv_acc = f.Mul(inv_acc, g_inv);
+  }
+  // n = q-1 == -1 (mod p), never divisible by p, so invertible in F_q.
+  n_inverse_ = f.Inv(f.FromInt(n));
+}
+
+EvalVector Evaluator::Forward(const RingElem& coeffs) const {
+  const Field& f = ring_.field();
+  const uint32_t n = ring_.n();
+  SSDB_DCHECK(coeffs.size() == n);
+  EvalVector evals(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    // Horner at point g^i.
+    Elem x = points_[i];
+    Elem acc = 0;
+    for (uint32_t j = n; j > 0; --j) {
+      acc = f.Add(f.Mul(acc, x), coeffs[j - 1]);
+    }
+    evals[i] = acc;
+  }
+  return evals;
+}
+
+RingElem Evaluator::Inverse(const EvalVector& evals) const {
+  const Field& f = ring_.field();
+  const uint32_t n = ring_.n();
+  SSDB_DCHECK(evals.size() == n);
+  // c_j = n^-1 * sum_i evals[i] * g^(-ij): a DFT at the inverse points.
+  RingElem coeffs(n, 0);
+  for (uint32_t j = 0; j < n; ++j) {
+    Elem x = inv_points_[j];  // g^-j
+    // Horner over the evals sequence: sum_i evals[i] * (g^-j)^i.
+    Elem acc = 0;
+    for (uint32_t i = n; i > 0; --i) {
+      acc = f.Add(f.Mul(acc, x), evals[i - 1]);
+    }
+    coeffs[j] = f.Mul(acc, n_inverse_);
+  }
+  return coeffs;
+}
+
+EvalVector Evaluator::XMinusEvals(Elem t) const {
+  const Field& f = ring_.field();
+  const uint32_t n = ring_.n();
+  EvalVector evals(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    evals[i] = f.Sub(points_[i], t);
+  }
+  return evals;
+}
+
+void Evaluator::PointwiseMulInto(EvalVector* a, const EvalVector& b) const {
+  const Field& f = ring_.field();
+  SSDB_DCHECK(a->size() == b.size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    (*a)[i] = f.Mul((*a)[i], b[i]);
+  }
+}
+
+}  // namespace ssdb::gf

@@ -1,0 +1,195 @@
+#include "gf/field.h"
+
+#include "gf/irreducible.h"
+#include "gf/modular.h"
+#include "gf/prime.h"
+#include "util/bitpack.h"
+#include "util/logging.h"
+
+namespace ssdb::gf {
+namespace {
+
+// Raw (table-free) multiplication used only while building the tables.
+// Elements are digit vectors (length e) over F_p; modulus is monic degree e.
+std::vector<uint32_t> RawMul(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b,
+                             const std::vector<uint32_t>& modulus, uint32_t p,
+                             uint32_t e) {
+  std::vector<uint32_t> prod(2 * e - 1, 0);
+  for (uint32_t i = 0; i < e; ++i) {
+    if (a[i] == 0) continue;
+    for (uint32_t j = 0; j < e; ++j) {
+      prod[i + j] = static_cast<uint32_t>(
+          AddMod(prod[i + j], MulMod(a[i], b[j], p), p));
+    }
+  }
+  // Reduce modulo the monic irreducible: x^e = -(modulus[0..e-1]).
+  for (int k = static_cast<int>(2 * e - 2); k >= static_cast<int>(e); --k) {
+    uint32_t c = prod[k];
+    if (c == 0) continue;
+    prod[k] = 0;
+    for (uint32_t i = 0; i < e; ++i) {
+      uint64_t sub = MulMod(c, modulus[i], p);
+      prod[k - e + i] = static_cast<uint32_t>(
+          SubMod(prod[k - e + i], sub, p));
+    }
+  }
+  prod.resize(e);
+  return prod;
+}
+
+uint32_t DigitsToCode(const std::vector<uint32_t>& digits, uint32_t p) {
+  uint32_t code = 0;
+  for (size_t i = digits.size(); i > 0; --i) {
+    code = code * p + digits[i - 1];
+  }
+  return code;
+}
+
+std::vector<uint32_t> CodeToDigits(uint32_t code, uint32_t p, uint32_t e) {
+  std::vector<uint32_t> digits(e, 0);
+  for (uint32_t i = 0; i < e; ++i) {
+    digits[i] = code % p;
+    code /= p;
+  }
+  return digits;
+}
+
+}  // namespace
+
+StatusOr<Field> Field::Make(uint32_t p, uint32_t e) {
+  if (!IsPrime(p)) {
+    return Status::InvalidArgument("field characteristic must be prime, got " +
+                                   std::to_string(p));
+  }
+  if (e < 1) return Status::InvalidArgument("field extension degree e < 1");
+  uint64_t q64 = 1;
+  for (uint32_t i = 0; i < e; ++i) {
+    q64 *= p;
+    if (q64 > (1ULL << 16)) {
+      return Status::InvalidArgument("p^e exceeds 2^16; tables too large");
+    }
+  }
+  uint32_t q = static_cast<uint32_t>(q64);
+  if (q < 3) {
+    return Status::InvalidArgument(
+        "field too small: need q >= 3 so that F_q* is non-trivial");
+  }
+
+  Field field;
+  field.p_ = p;
+  field.e_ = e;
+  field.q_ = q;
+  field.bit_width_ = BitWidth(q);
+  SSDB_ASSIGN_OR_RETURN(field.modulus_, FindIrreducible(p, e));
+
+  // A multiplication oracle on codes, valid before tables exist.
+  auto raw_mul = [&](uint32_t a, uint32_t b) -> uint32_t {
+    if (e == 1) return static_cast<uint32_t>(MulMod(a, b, p));
+    auto da = CodeToDigits(a, p, e);
+    auto db = CodeToDigits(b, p, e);
+    return DigitsToCode(RawMul(da, db, field.modulus_, p, e), p);
+  };
+  auto raw_pow = [&](uint32_t a, uint64_t k) -> uint32_t {
+    uint32_t result = 1;
+    uint32_t base = a;
+    while (k > 0) {
+      if (k & 1) result = raw_mul(result, base);
+      base = raw_mul(base, base);
+      k >>= 1;
+    }
+    return result;
+  };
+
+  // Find a generator of F_q*: g such that g^((q-1)/f) != 1 for every prime
+  // factor f of q-1.
+  const uint32_t n = q - 1;
+  std::vector<uint64_t> factors = DistinctPrimeFactors(n);
+  uint32_t g = 0;
+  for (uint32_t candidate = 2; candidate < q; ++candidate) {
+    bool ok = true;
+    for (uint64_t f : factors) {
+      if (raw_pow(candidate, n / f) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      g = candidate;
+      break;
+    }
+  }
+  if (g == 0) return Status::Internal("no generator found (impossible)");
+  field.g_ = g;
+
+  auto log_table = std::make_shared<std::vector<uint16_t>>(q, 0);
+  auto exp_table = std::make_shared<std::vector<uint16_t>>(2 * n, 0);
+  uint32_t acc = 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    (*exp_table)[i] = static_cast<uint16_t>(acc);
+    (*exp_table)[i + n] = static_cast<uint16_t>(acc);
+    (*log_table)[acc] = static_cast<uint16_t>(i);
+    acc = raw_mul(acc, g);
+  }
+  if (acc != 1) return Status::Internal("generator order mismatch");
+  field.log_ = std::move(log_table);
+  field.exp_ = std::move(exp_table);
+  return field;
+}
+
+Elem Field::Inv(Elem a) const {
+  SSDB_DCHECK(a != 0) << "inverse of zero";
+  uint32_t n_ = n();
+  uint32_t l = (*log_)[a];
+  return (*exp_)[(n_ - l) % n_];
+}
+
+Elem Field::Pow(Elem a, uint64_t k) const {
+  if (a == 0) return k == 0 ? 1 : 0;
+  uint64_t l = (*log_)[a];
+  return (*exp_)[(l * (k % n())) % n()];
+}
+
+uint32_t Field::Log(Elem a) const {
+  SSDB_DCHECK(a != 0) << "discrete log of zero";
+  return (*log_)[a];
+}
+
+Elem Field::AddExt(Elem a, Elem b) const {
+  uint32_t result = 0;
+  uint32_t mult = 1;
+  for (uint32_t i = 0; i < e_; ++i) {
+    uint32_t da = a % p_;
+    uint32_t db = b % p_;
+    a /= p_;
+    b /= p_;
+    uint32_t s = da + db;
+    if (s >= p_) s -= p_;
+    result += s * mult;
+    mult *= p_;
+  }
+  return result;
+}
+
+Elem Field::NegExt(Elem a) const {
+  uint32_t result = 0;
+  uint32_t mult = 1;
+  for (uint32_t i = 0; i < e_; ++i) {
+    uint32_t da = a % p_;
+    a /= p_;
+    result += (da == 0 ? 0 : p_ - da) * mult;
+    mult *= p_;
+  }
+  return result;
+}
+
+std::vector<uint32_t> Field::Digits(Elem a) const {
+  return CodeToDigits(a, p_, e_);
+}
+
+Elem Field::FromDigits(const std::vector<uint32_t>& digits) const {
+  SSDB_DCHECK(digits.size() == e_);
+  return DigitsToCode(digits, p_);
+}
+
+}  // namespace ssdb::gf

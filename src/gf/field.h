@@ -1,0 +1,116 @@
+// GF(p^e) — the finite field F_q from §3 of the paper. The mapping function
+// sends tag names into F_q \ {0}; node polynomials live in F_q[x]/(x^(q-1)-1).
+//
+// Elements are represented by integer codes in [0, q): for e == 1 the code is
+// the residue itself; for e > 1 the code's base-p digits are the coefficients
+// of the element as a polynomial in the primitive root of the chosen
+// irreducible polynomial. Multiplication/inversion use log/antilog tables
+// built from a generator of the multiplicative group, so all field operations
+// are O(1) (plus an O(e) digit loop for addition in extension fields).
+//
+// Field objects are cheap to copy: the tables live behind shared_ptr.
+
+#ifndef SSDB_GF_FIELD_H_
+#define SSDB_GF_FIELD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::gf {
+
+// An element code in [0, q). 0 is the additive identity, 1 the multiplicative
+// identity (for any e, since digit vector (1,0,...) has code 1).
+using Elem = uint32_t;
+
+class Field {
+ public:
+  // Constructs GF(p^e). Requires p prime, e >= 1, and p^e <= 2^16 (table
+  // size bound; the paper uses p=83, e=1 and p=29, e=1).
+  static StatusOr<Field> Make(uint32_t p, uint32_t e = 1);
+
+  uint32_t p() const { return p_; }
+  uint32_t e() const { return e_; }
+  uint32_t q() const { return q_; }
+  // Number of non-zero elements == ring dimension q-1.
+  uint32_t n() const { return q_ - 1; }
+  // A fixed generator of the multiplicative group F_q*.
+  Elem generator() const { return g_; }
+  // Bits per element when serialized.
+  int bit_width() const { return bit_width_; }
+
+  bool IsValid(Elem a) const { return a < q_; }
+  bool IsZero(Elem a) const { return a == 0; }
+
+  Elem Add(Elem a, Elem b) const {
+    if (e_ == 1) {
+      uint32_t s = a + b;
+      return s >= q_ ? s - q_ : s;
+    }
+    return AddExt(a, b);
+  }
+
+  Elem Neg(Elem a) const {
+    if (e_ == 1) return a == 0 ? 0 : q_ - a;
+    return NegExt(a);
+  }
+
+  Elem Sub(Elem a, Elem b) const { return Add(a, Neg(b)); }
+
+  Elem Mul(Elem a, Elem b) const {
+    if (a == 0 || b == 0) return 0;
+    return (*exp_)[(*log_)[a] + (*log_)[b]];
+  }
+
+  // Multiplicative inverse; a must be non-zero.
+  Elem Inv(Elem a) const;
+
+  // a / b; b must be non-zero.
+  Elem Div(Elem a, Elem b) const { return Mul(a, Inv(b)); }
+
+  Elem Pow(Elem a, uint64_t k) const;
+
+  // Discrete log base generator(); a must be non-zero. In [0, q-1).
+  uint32_t Log(Elem a) const;
+
+  // generator()^k for any k (reduced mod q-1).
+  Elem GeneratorPow(uint64_t k) const { return (*exp_)[k % n()]; }
+
+  // Reduces an arbitrary integer into the prime subfield (value mod p).
+  Elem FromInt(uint64_t v) const { return static_cast<Elem>(v % p_); }
+
+  // Base-p digit decomposition of an element code (length e).
+  std::vector<uint32_t> Digits(Elem a) const;
+  Elem FromDigits(const std::vector<uint32_t>& digits) const;
+
+  // The irreducible modulus used for e > 1 (length e+1, low-to-high); for
+  // e == 1 this is {0, 1} (the polynomial x).
+  const std::vector<uint32_t>& modulus() const { return modulus_; }
+
+  bool operator==(const Field& other) const {
+    return p_ == other.p_ && e_ == other.e_;
+  }
+
+ private:
+  Field() = default;
+
+  Elem AddExt(Elem a, Elem b) const;
+  Elem NegExt(Elem a) const;
+
+  uint32_t p_ = 0;
+  uint32_t e_ = 0;
+  uint32_t q_ = 0;
+  Elem g_ = 0;
+  int bit_width_ = 0;
+  std::vector<uint32_t> modulus_;
+  // log_[a] for a in [1, q): discrete log of a. exp_ has 2(q-1) entries so
+  // that log sums never need an explicit reduction.
+  std::shared_ptr<const std::vector<uint16_t>> log_;
+  std::shared_ptr<const std::vector<uint16_t>> exp_;
+};
+
+}  // namespace ssdb::gf
+
+#endif  // SSDB_GF_FIELD_H_

@@ -1,0 +1,136 @@
+#include "gf/irreducible.h"
+
+#include "gf/modular.h"
+#include "gf/prime.h"
+#include "util/logging.h"
+
+namespace ssdb::gf {
+namespace {
+
+using PolyFp = std::vector<uint32_t>;  // coefficients low-to-high, mod p
+
+void Normalize(PolyFp* f) {
+  while (!f->empty() && f->back() == 0) f->pop_back();
+}
+
+int Degree(const PolyFp& f) { return static_cast<int>(f.size()) - 1; }
+
+// r = a mod m (polynomial remainder); m monic-izable (leading coeff != 0).
+PolyFp PolyMod(PolyFp a, const PolyFp& m, uint32_t p) {
+  Normalize(&a);
+  int dm = Degree(m);
+  SSDB_DCHECK(dm >= 0);
+  uint64_t lead_inv = InvMod(m.back(), p);
+  while (Degree(a) >= dm) {
+    int shift = Degree(a) - dm;
+    uint64_t factor = MulMod(a.back(), lead_inv, p);
+    for (int i = 0; i <= dm; ++i) {
+      uint64_t sub = MulMod(factor, m[i], p);
+      a[i + shift] = static_cast<uint32_t>(SubMod(a[i + shift], sub, p));
+    }
+    Normalize(&a);
+  }
+  return a;
+}
+
+PolyFp PolyMulMod(const PolyFp& a, const PolyFp& b, const PolyFp& m,
+                  uint32_t p) {
+  if (a.empty() || b.empty()) return {};
+  PolyFp prod(a.size() + b.size() - 1, 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (size_t j = 0; j < b.size(); ++j) {
+      prod[i + j] = static_cast<uint32_t>(
+          AddMod(prod[i + j], MulMod(a[i], b[j], p), p));
+    }
+  }
+  return PolyMod(std::move(prod), m, p);
+}
+
+// x^k mod m over F_p.
+PolyFp PolyXPowMod(uint64_t k, const PolyFp& m, uint32_t p) {
+  PolyFp result = {1};
+  PolyFp base = PolyMod({0, 1}, m, p);
+  while (k > 0) {
+    if (k & 1) result = PolyMulMod(result, base, m, p);
+    base = PolyMulMod(base, base, m, p);
+    k >>= 1;
+  }
+  return result;
+}
+
+PolyFp PolySub(PolyFp a, const PolyFp& b, uint32_t p) {
+  if (a.size() < b.size()) a.resize(b.size(), 0);
+  for (size_t i = 0; i < b.size(); ++i) {
+    a[i] = static_cast<uint32_t>(SubMod(a[i], b[i], p));
+  }
+  Normalize(&a);
+  return a;
+}
+
+PolyFp PolyGcd(PolyFp a, PolyFp b, uint32_t p) {
+  Normalize(&a);
+  Normalize(&b);
+  while (!b.empty()) {
+    PolyFp r = PolyMod(a, b, p);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+// p^e with overflow guard (inputs are small).
+uint64_t IPow(uint64_t p, uint32_t e) {
+  uint64_t r = 1;
+  for (uint32_t i = 0; i < e; ++i) r *= p;
+  return r;
+}
+
+}  // namespace
+
+bool IsIrreducible(const std::vector<uint32_t>& poly, uint32_t p) {
+  PolyFp f = poly;
+  Normalize(&f);
+  int e = Degree(f);
+  if (e <= 0) return false;
+  if (e == 1) return true;
+  // Rabin's test: x^(p^e) == x (mod f), and for every prime r | e,
+  // gcd(x^(p^(e/r)) - x, f) == constant.
+  const PolyFp x = {0, 1};
+  PolyFp xq = PolyXPowMod(IPow(p, static_cast<uint32_t>(e)), f, p);
+  PolyFp diff = PolySub(xq, PolyMod(x, f, p), p);
+  if (!diff.empty()) return false;
+  for (uint64_t r : DistinctPrimeFactors(static_cast<uint64_t>(e))) {
+    uint32_t sub_e = static_cast<uint32_t>(e / static_cast<int>(r));
+    PolyFp xs = PolyXPowMod(IPow(p, sub_e), f, p);
+    PolyFp g = PolyGcd(f, PolySub(xs, PolyMod(x, f, p), p), p);
+    if (Degree(g) > 0) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<uint32_t>> FindIrreducible(uint32_t p, uint32_t e) {
+  if (p < 2 || !IsPrime(p)) {
+    return Status::InvalidArgument("p must be prime");
+  }
+  if (e == 0) return Status::InvalidArgument("e must be >= 1");
+  if (e == 1) return std::vector<uint32_t>{0, 1};
+
+  // Enumerate the non-leading coefficients in lexicographic order. The count
+  // of irreducible monic polynomials of degree e is ~p^e/e, so this ends fast.
+  uint64_t limit = IPow(p, e);
+  for (uint64_t code = 0; code < limit; ++code) {
+    std::vector<uint32_t> f(e + 1, 0);
+    uint64_t c = code;
+    for (uint32_t i = 0; i < e; ++i) {
+      f[i] = static_cast<uint32_t>(c % p);
+      c /= p;
+    }
+    f[e] = 1;
+    if (f[0] == 0) continue;  // divisible by x
+    if (IsIrreducible(f, p)) return f;
+  }
+  return Status::Internal("no irreducible polynomial found (impossible)");
+}
+
+}  // namespace ssdb::gf

@@ -1,0 +1,25 @@
+// Deterministic search for a monic irreducible polynomial of degree e over
+// F_p, used to construct the extension field GF(p^e).
+
+#ifndef SSDB_GF_IRREDUCIBLE_H_
+#define SSDB_GF_IRREDUCIBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::gf {
+
+// Returns the coefficients (low to high, length e+1, leading coefficient 1)
+// of the lexicographically-first monic irreducible polynomial of degree e
+// over F_p. e >= 1; for e == 1 returns x (i.e. {0, 1}).
+StatusOr<std::vector<uint32_t>> FindIrreducible(uint32_t p, uint32_t e);
+
+// Rabin irreducibility test for a monic polynomial over F_p given by
+// coefficients low-to-high.
+bool IsIrreducible(const std::vector<uint32_t>& poly, uint32_t p);
+
+}  // namespace ssdb::gf
+
+#endif  // SSDB_GF_IRREDUCIBLE_H_

@@ -1,0 +1,59 @@
+#include "gf/modular.h"
+
+namespace ssdb::gf {
+
+uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m) {
+  uint64_t s = a + b;
+  if (s >= m || s < a) s -= m;
+  return s;
+}
+
+uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m) {
+  return a >= b ? a - b : m - (b - a);
+}
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+uint64_t PowMod(uint64_t a, uint64_t k, uint64_t m) {
+  if (m == 1) return 0;
+  uint64_t result = 1;
+  a %= m;
+  while (k > 0) {
+    if (k & 1) result = MulMod(result, a, m);
+    a = MulMod(a, a, m);
+    k >>= 1;
+  }
+  return result;
+}
+
+uint64_t InvMod(uint64_t a, uint64_t m) {
+  // Extended Euclid over signed 128-bit to avoid overflow.
+  __int128 t = 0, new_t = 1;
+  __int128 r = m, new_r = a % m;
+  while (new_r != 0) {
+    __int128 quotient = r / new_r;
+    __int128 tmp_t = t - quotient * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    __int128 tmp_r = r - quotient * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) return 0;  // not invertible
+  if (t < 0) t += m;
+  return static_cast<uint64_t>(t);
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace ssdb::gf

@@ -1,0 +1,32 @@
+// Modular arithmetic on 64-bit integers; foundation for the prime-field fast
+// path and for primality testing.
+
+#ifndef SSDB_GF_MODULAR_H_
+#define SSDB_GF_MODULAR_H_
+
+#include <cstdint>
+
+namespace ssdb::gf {
+
+// (a + b) mod m, safe for a, b < m < 2^63.
+uint64_t AddMod(uint64_t a, uint64_t b, uint64_t m);
+
+// (a - b) mod m.
+uint64_t SubMod(uint64_t a, uint64_t b, uint64_t m);
+
+// (a * b) mod m using 128-bit intermediate.
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m);
+
+// a^k mod m by square-and-multiply.
+uint64_t PowMod(uint64_t a, uint64_t k, uint64_t m);
+
+// Multiplicative inverse mod m (m need not be prime but gcd(a, m) must be 1).
+// Returns 0 when no inverse exists.
+uint64_t InvMod(uint64_t a, uint64_t m);
+
+// Greatest common divisor.
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+}  // namespace ssdb::gf
+
+#endif  // SSDB_GF_MODULAR_H_

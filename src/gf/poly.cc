@@ -1,0 +1,133 @@
+#include "gf/poly.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ssdb::gf {
+
+void PolyNormalize(Poly* f) {
+  while (!f->coeffs.empty() && f->coeffs.back() == 0) {
+    f->coeffs.pop_back();
+  }
+}
+
+Poly PolyXMinus(const Field& field, Elem t) {
+  return Poly{{field.Neg(t), 1}};
+}
+
+Poly PolyAdd(const Field& field, const Poly& a, const Poly& b) {
+  Poly out;
+  out.coeffs.resize(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+  for (size_t i = 0; i < out.coeffs.size(); ++i) {
+    Elem av = i < a.coeffs.size() ? a.coeffs[i] : 0;
+    Elem bv = i < b.coeffs.size() ? b.coeffs[i] : 0;
+    out.coeffs[i] = field.Add(av, bv);
+  }
+  PolyNormalize(&out);
+  return out;
+}
+
+Poly PolySub(const Field& field, const Poly& a, const Poly& b) {
+  Poly out;
+  out.coeffs.resize(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+  for (size_t i = 0; i < out.coeffs.size(); ++i) {
+    Elem av = i < a.coeffs.size() ? a.coeffs[i] : 0;
+    Elem bv = i < b.coeffs.size() ? b.coeffs[i] : 0;
+    out.coeffs[i] = field.Sub(av, bv);
+  }
+  PolyNormalize(&out);
+  return out;
+}
+
+Poly PolyMul(const Field& field, const Poly& a, const Poly& b) {
+  if (a.IsZero() || b.IsZero()) return Poly{};
+  Poly out;
+  out.coeffs.assign(a.coeffs.size() + b.coeffs.size() - 1, 0);
+  for (size_t i = 0; i < a.coeffs.size(); ++i) {
+    if (a.coeffs[i] == 0) continue;
+    for (size_t j = 0; j < b.coeffs.size(); ++j) {
+      out.coeffs[i + j] = field.Add(out.coeffs[i + j],
+                                    field.Mul(a.coeffs[i], b.coeffs[j]));
+    }
+  }
+  PolyNormalize(&out);
+  return out;
+}
+
+Poly PolyScale(const Field& field, const Poly& a, Elem s) {
+  if (s == 0) return Poly{};
+  Poly out = a;
+  for (Elem& c : out.coeffs) c = field.Mul(c, s);
+  return out;
+}
+
+Elem PolyEval(const Field& field, const Poly& f, Elem x) {
+  Elem acc = 0;
+  for (size_t i = f.coeffs.size(); i > 0; --i) {
+    acc = field.Add(field.Mul(acc, x), f.coeffs[i - 1]);
+  }
+  return acc;
+}
+
+StatusOr<PolyDivision> PolyDivMod(const Field& field, const Poly& a,
+                                  const Poly& b) {
+  if (b.IsZero()) {
+    return Status::InvalidArgument("polynomial division by zero");
+  }
+  PolyDivision result;
+  result.remainder = a;
+  PolyNormalize(&result.remainder);
+  int db = b.Degree();
+  Elem lead_inv = field.Inv(b.coeffs.back());
+  if (result.remainder.Degree() >= db) {
+    result.quotient.coeffs.assign(
+        result.remainder.Degree() - db + 1, 0);
+  }
+  while (result.remainder.Degree() >= db) {
+    int shift = result.remainder.Degree() - db;
+    Elem factor = field.Mul(result.remainder.coeffs.back(), lead_inv);
+    result.quotient.coeffs[shift] = factor;
+    for (int i = 0; i <= db; ++i) {
+      Elem sub = field.Mul(factor, b.coeffs[i]);
+      result.remainder.coeffs[i + shift] =
+          field.Sub(result.remainder.coeffs[i + shift], sub);
+    }
+    PolyNormalize(&result.remainder);
+  }
+  PolyNormalize(&result.quotient);
+  return result;
+}
+
+Poly PolyGcd(const Field& field, Poly a, Poly b) {
+  PolyNormalize(&a);
+  PolyNormalize(&b);
+  while (!b.IsZero()) {
+    auto division = PolyDivMod(field, a, b);
+    SSDB_CHECK(division.ok());
+    a = std::move(b);
+    b = std::move(division->remainder);
+  }
+  if (!a.IsZero() && a.coeffs.back() != 1) {
+    a = PolyScale(field, a, field.Inv(a.coeffs.back()));
+  }
+  return a;
+}
+
+std::string PolyToString(const Field& field, const Poly& f) {
+  (void)field;
+  if (f.IsZero()) return "0";
+  std::string out;
+  for (size_t i = f.coeffs.size(); i > 0; --i) {
+    size_t power = i - 1;
+    Elem c = f.coeffs[power];
+    if (c == 0) continue;
+    if (!out.empty()) out += " + ";
+    if (c != 1 || power == 0) out += std::to_string(c);
+    if (power >= 1) out += "x";
+    if (power >= 2) out += "^" + std::to_string(power);
+  }
+  return out;
+}
+
+}  // namespace ssdb::gf

@@ -1,0 +1,55 @@
+// Dense polynomials over GF(q) — the *unreduced* encodings of fig. 1(c).
+// Coefficients are stored low-to-high with no trailing zeros; the zero
+// polynomial is the empty vector.
+
+#ifndef SSDB_GF_POLY_H_
+#define SSDB_GF_POLY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf/field.h"
+#include "util/statusor.h"
+
+namespace ssdb::gf {
+
+struct Poly {
+  std::vector<Elem> coeffs;  // coeffs[i] multiplies x^i
+
+  bool IsZero() const { return coeffs.empty(); }
+  // Degree of the zero polynomial is -1 by convention.
+  int Degree() const { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+// Drops trailing zero coefficients in place.
+void PolyNormalize(Poly* f);
+
+// The monomial (x - t).
+Poly PolyXMinus(const Field& field, Elem t);
+
+Poly PolyAdd(const Field& field, const Poly& a, const Poly& b);
+Poly PolySub(const Field& field, const Poly& a, const Poly& b);
+Poly PolyMul(const Field& field, const Poly& a, const Poly& b);
+Poly PolyScale(const Field& field, const Poly& a, Elem s);
+
+// Horner evaluation.
+Elem PolyEval(const Field& field, const Poly& f, Elem x);
+
+// Quotient and remainder; divisor must be non-zero.
+struct PolyDivision {
+  Poly quotient;
+  Poly remainder;
+};
+StatusOr<PolyDivision> PolyDivMod(const Field& field, const Poly& a,
+                                  const Poly& b);
+
+// Greatest common divisor, made monic.
+Poly PolyGcd(const Field& field, Poly a, Poly b);
+
+// Pretty-printer: "2x^3 + 3x^2 + 2x + 3".
+std::string PolyToString(const Field& field, const Poly& f);
+
+}  // namespace ssdb::gf
+
+#endif  // SSDB_GF_POLY_H_

@@ -1,0 +1,62 @@
+#include "gf/prime.h"
+
+#include "gf/modular.h"
+
+namespace ssdb::gf {
+namespace {
+
+// Single Miller-Rabin round with witness a; n odd, n > 2.
+bool MillerRabinRound(uint64_t n, uint64_t a, uint64_t d, int r) {
+  uint64_t x = PowMod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is deterministic for all n < 2^64.
+  for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!MillerRabinRound(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!IsPrime(n)) n += 2;
+  return n;
+}
+
+std::vector<uint64_t> DistinctPrimeFactors(uint64_t n) {
+  std::vector<uint64_t> factors;
+  for (uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    if (n % p == 0) {
+      factors.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+}  // namespace ssdb::gf

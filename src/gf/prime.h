@@ -1,0 +1,23 @@
+// Primality testing and small-number factorization (used to pick field sizes
+// and to find generators of the multiplicative group).
+
+#ifndef SSDB_GF_PRIME_H_
+#define SSDB_GF_PRIME_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ssdb::gf {
+
+// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+bool IsPrime(uint64_t n);
+
+// Smallest prime >= n (n >= 2).
+uint64_t NextPrime(uint64_t n);
+
+// Distinct prime factors of n (n <= 2^32, trial division).
+std::vector<uint64_t> DistinctPrimeFactors(uint64_t n);
+
+}  // namespace ssdb::gf
+
+#endif  // SSDB_GF_PRIME_H_

@@ -1,0 +1,120 @@
+#include "gf/ring.h"
+
+#include "util/bitpack.h"
+#include "util/logging.h"
+
+namespace ssdb::gf {
+
+RingElem Ring::One() const {
+  RingElem one(n(), 0);
+  one[0] = 1;
+  return one;
+}
+
+RingElem Ring::Reduce(const Poly& f) const {
+  RingElem out(n(), 0);
+  for (size_t i = 0; i < f.coeffs.size(); ++i) {
+    size_t slot = i % n();
+    out[slot] = field_.Add(out[slot], f.coeffs[i]);
+  }
+  return out;
+}
+
+RingElem Ring::XMinus(Elem t) const {
+  SSDB_DCHECK(n() >= 2);
+  RingElem out(n(), 0);
+  out[0] = field_.Neg(t);
+  out[1] = 1;
+  return out;
+}
+
+RingElem Ring::Add(const RingElem& a, const RingElem& b) const {
+  SSDB_DCHECK(a.size() == n() && b.size() == n());
+  RingElem out(n());
+  for (uint32_t i = 0; i < n(); ++i) out[i] = field_.Add(a[i], b[i]);
+  return out;
+}
+
+RingElem Ring::Sub(const RingElem& a, const RingElem& b) const {
+  SSDB_DCHECK(a.size() == n() && b.size() == n());
+  RingElem out(n());
+  for (uint32_t i = 0; i < n(); ++i) out[i] = field_.Sub(a[i], b[i]);
+  return out;
+}
+
+RingElem Ring::Neg(const RingElem& a) const {
+  RingElem out(n());
+  for (uint32_t i = 0; i < n(); ++i) out[i] = field_.Neg(a[i]);
+  return out;
+}
+
+void Ring::AddInto(RingElem* a, const RingElem& b) const {
+  SSDB_DCHECK(a->size() == n() && b.size() == n());
+  for (uint32_t i = 0; i < n(); ++i) (*a)[i] = field_.Add((*a)[i], b[i]);
+}
+
+RingElem Ring::Mul(const RingElem& a, const RingElem& b) const {
+  SSDB_DCHECK(a.size() == n() && b.size() == n());
+  RingElem out(n(), 0);
+  for (uint32_t i = 0; i < n(); ++i) {
+    if (a[i] == 0) continue;
+    for (uint32_t j = 0; j < n(); ++j) {
+      if (b[j] == 0) continue;
+      uint32_t k = i + j;
+      if (k >= n()) k -= n();
+      out[k] = field_.Add(out[k], field_.Mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+RingElem Ring::MulXMinus(const RingElem& f, Elem t) const {
+  SSDB_DCHECK(f.size() == n());
+  // x*f is a cyclic right-shift of the coefficients (x * x^(n-1) = 1).
+  RingElem out(n());
+  Elem neg_t = field_.Neg(t);
+  for (uint32_t i = 0; i < n(); ++i) {
+    uint32_t prev = (i == 0) ? n() - 1 : i - 1;
+    out[i] = field_.Add(f[prev], field_.Mul(neg_t, f[i]));
+  }
+  return out;
+}
+
+Elem Ring::Eval(const RingElem& f, Elem t) const {
+  Elem acc = 0;
+  for (size_t i = f.size(); i > 0; --i) {
+    acc = field_.Add(field_.Mul(acc, t), f[i - 1]);
+  }
+  return acc;
+}
+
+bool Ring::IsZero(const RingElem& f) const {
+  for (Elem c : f) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+std::string Ring::Serialize(const RingElem& f) const {
+  SSDB_DCHECK(f.size() == n());
+  return PackVector(f, field_.bit_width());
+}
+
+StatusOr<RingElem> Ring::Deserialize(std::string_view data) const {
+  SSDB_ASSIGN_OR_RETURN(RingElem out,
+                        UnpackVector(data, field_.bit_width(), n()));
+  for (Elem c : out) {
+    if (!field_.IsValid(c)) {
+      return Status::Corruption("ring element coefficient out of range");
+    }
+  }
+  return out;
+}
+
+std::string Ring::ToString(const RingElem& f) const {
+  Poly p{std::vector<Elem>(f.begin(), f.end())};
+  PolyNormalize(&p);
+  return PolyToString(field_, p);
+}
+
+}  // namespace ssdb::gf

@@ -1,0 +1,26 @@
+#include "gf/share.h"
+
+#include "util/logging.h"
+
+namespace ssdb::gf {
+
+SharePair SplitWithRandomness(const Ring& ring, const RingElem& secret,
+                              RingElem randomness) {
+  SSDB_DCHECK(randomness.size() == ring.n());
+  SharePair pair;
+  pair.server = ring.Sub(secret, randomness);
+  pair.client = std::move(randomness);
+  return pair;
+}
+
+RingElem Combine(const Ring& ring, const RingElem& client,
+                 const RingElem& server) {
+  return ring.Add(client, server);
+}
+
+Elem EvalShares(const Ring& ring, const RingElem& client,
+                const RingElem& server, Elem t) {
+  return ring.field().Add(ring.Eval(client, t), ring.Eval(server, t));
+}
+
+}  // namespace ssdb::gf

@@ -1,0 +1,34 @@
+// Additive 2-out-of-2 secret sharing of ring elements (§3 steps 3-4).
+// The client share is pseudorandom (regenerable from the seed + node
+// position); the server share is secret - client, so each share alone is
+// uniformly random and reveals nothing, while evaluation is linear:
+//   eval(client, t) + eval(server, t) = eval(secret, t).
+
+#ifndef SSDB_GF_SHARE_H_
+#define SSDB_GF_SHARE_H_
+
+#include "gf/ring.h"
+
+namespace ssdb::gf {
+
+struct SharePair {
+  RingElem client;
+  RingElem server;
+};
+
+// Splits `secret` using the supplied pseudorandom coefficients as the client
+// share. `randomness` must have exactly ring.n() valid field elements.
+SharePair SplitWithRandomness(const Ring& ring, const RingElem& secret,
+                              RingElem randomness);
+
+// Reconstructs the secret from both shares.
+RingElem Combine(const Ring& ring, const RingElem& client,
+                 const RingElem& server);
+
+// Joint evaluation without reconstructing: eval(client,t) + eval(server,t).
+Elem EvalShares(const Ring& ring, const RingElem& client,
+                const RingElem& server, Elem t);
+
+}  // namespace ssdb::gf
+
+#endif  // SSDB_GF_SHARE_H_

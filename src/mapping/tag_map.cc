@@ -1,0 +1,126 @@
+#include "mapping/tag_map.h"
+
+#include <cstdlib>
+
+#include "util/file_util.h"
+#include "util/string_util.h"
+
+namespace ssdb::mapping {
+
+StatusOr<TagMap> TagMap::Validate(std::map<std::string, gf::Elem> entries,
+                                  const gf::Field& field) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("tag map is empty");
+  }
+  if (entries.size() >= field.n()) {
+    return Status::InvalidArgument(
+        "tag map needs " + std::to_string(entries.size()) +
+        " distinct non-zero values plus one spare, but F_" +
+        std::to_string(field.q()) + " has only " + std::to_string(field.n()) +
+        " non-zero elements");
+  }
+  std::vector<bool> used(field.q(), false);
+  for (const auto& [name, value] : entries) {
+    if (value == 0) {
+      return Status::InvalidArgument("tag '" + name + "' mapped to zero");
+    }
+    if (!field.IsValid(value)) {
+      return Status::InvalidArgument("tag '" + name +
+                                     "' mapped outside the field");
+    }
+    if (used[value]) {
+      return Status::InvalidArgument("duplicate map value " +
+                                     std::to_string(value));
+    }
+    used[value] = true;
+  }
+  TagMap map;
+  map.entries_ = std::move(entries);
+  for (gf::Elem v = 1; v < field.q(); ++v) {
+    if (!used[v]) {
+      map.spare_value_ = v;
+      break;
+    }
+  }
+  return map;
+}
+
+StatusOr<TagMap> TagMap::FromNames(const std::vector<std::string>& names,
+                                   const gf::Field& field) {
+  std::map<std::string, gf::Elem> entries;
+  gf::Elem next = 1;
+  for (const auto& name : names) {
+    if (entries.count(name) > 0) {
+      return Status::InvalidArgument("duplicate tag name: " + name);
+    }
+    entries[name] = next++;
+  }
+  return Validate(std::move(entries), field);
+}
+
+StatusOr<TagMap> TagMap::FromDtd(const xml::Dtd& dtd,
+                                 const gf::Field& field) {
+  return FromNames(dtd.ElementNames(), field);
+}
+
+StatusOr<TagMap> TagMap::FromFile(const std::string& path,
+                                  const gf::Field& field) {
+  SSDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return FromString(contents, field);
+}
+
+StatusOr<TagMap> TagMap::FromString(std::string_view contents,
+                                    const gf::Field& field) {
+  std::map<std::string, gf::Elem> entries;
+  for (const auto& raw_line : SplitString(contents, '\n')) {
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Corruption("map file line missing '=': " +
+                                std::string(line));
+    }
+    std::string name(TrimWhitespace(line.substr(0, eq)));
+    std::string value_text(TrimWhitespace(line.substr(eq + 1)));
+    if (name.empty() || value_text.empty()) {
+      return Status::Corruption("map file line malformed: " +
+                                std::string(line));
+    }
+    char* end = nullptr;
+    unsigned long value = std::strtoul(value_text.c_str(), &end, 10);
+    if (end == value_text.c_str() || *end != '\0') {
+      return Status::Corruption("map value not a number: " + value_text);
+    }
+    if (entries.count(name) > 0) {
+      return Status::Corruption("duplicate tag in map file: " + name);
+    }
+    entries[name] = static_cast<gf::Elem>(value);
+  }
+  return Validate(std::move(entries), field);
+}
+
+Status TagMap::SaveToFile(const std::string& path) const {
+  return WriteStringToFile(path, ToString());
+}
+
+std::string TagMap::ToString() const {
+  std::string out = "# ssdb tag map: name = value in F_q\n";
+  for (const auto& [name, value] : entries_) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+StatusOr<gf::Elem> TagMap::Lookup(std::string_view name) const {
+  auto it = entries_.find(std::string(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("tag not in map: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool TagMap::Contains(std::string_view name) const {
+  return entries_.count(std::string(name)) > 0;
+}
+
+}  // namespace ssdb::mapping

@@ -1,0 +1,66 @@
+// The secret mapping function map : tag-name -> F_q \ {0} (§3 step 1 and
+// fig. 1(b)), persisted as a "name = value" property file exactly like the
+// paper's map file (§5.1).
+//
+// Invariants enforced (see DESIGN.md §2):
+//  * values are non-zero (evaluation at 0 says nothing in the quotient ring),
+//  * values are distinct (equality test must identify tags uniquely),
+//  * at least one non-zero field value stays unused, so the equality test can
+//    always find an evaluation point where the child product is non-zero.
+
+#ifndef SSDB_MAPPING_TAG_MAP_H_
+#define SSDB_MAPPING_TAG_MAP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gf/field.h"
+#include "util/statusor.h"
+#include "xml/dtd.h"
+
+namespace ssdb::mapping {
+
+class TagMap {
+ public:
+  // Assigns values 1, 2, 3, ... to the names in order. Fails if the field is
+  // too small (needs q - 1 > names.size(), strictly, to keep a spare value).
+  static StatusOr<TagMap> FromNames(const std::vector<std::string>& names,
+                                    const gf::Field& field);
+
+  // Uses the DTD's element declarations as the name universe.
+  static StatusOr<TagMap> FromDtd(const xml::Dtd& dtd,
+                                  const gf::Field& field);
+
+  // Loads a "name = value" property file ('#' starts a comment line).
+  static StatusOr<TagMap> FromFile(const std::string& path,
+                                   const gf::Field& field);
+  static StatusOr<TagMap> FromString(std::string_view contents,
+                                     const gf::Field& field);
+
+  Status SaveToFile(const std::string& path) const;
+  std::string ToString() const;
+
+  // NotFound when the tag was never mapped.
+  StatusOr<gf::Elem> Lookup(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  size_t size() const { return entries_.size(); }
+  const std::map<std::string, gf::Elem>& entries() const { return entries_; }
+
+  // Smallest non-zero field value not used by any tag — the guaranteed-free
+  // evaluation point for the equality test.
+  gf::Elem SpareValue() const { return spare_value_; }
+
+ private:
+  static StatusOr<TagMap> Validate(std::map<std::string, gf::Elem> entries,
+                                   const gf::Field& field);
+
+  std::map<std::string, gf::Elem> entries_;
+  gf::Elem spare_value_ = 0;
+};
+
+}  // namespace ssdb::mapping
+
+#endif  // SSDB_MAPPING_TAG_MAP_H_

@@ -1,0 +1,80 @@
+#include "prg/chacha.h"
+
+namespace ssdb::prg {
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+inline void QuarterRound(uint32_t* a, uint32_t* b, uint32_t* c, uint32_t* d) {
+  *a += *b;
+  *d ^= *a;
+  *d = Rotl32(*d, 16);
+  *c += *d;
+  *b ^= *c;
+  *b = Rotl32(*b, 12);
+  *a += *b;
+  *d ^= *a;
+  *d = Rotl32(*d, 8);
+  *c += *d;
+  *b ^= *c;
+  *b = Rotl32(*b, 7);
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void ChaCha20Block(const std::array<uint8_t, kChaChaKeyBytes>& key,
+                   uint64_t counter, uint64_t nonce,
+                   std::array<uint8_t, kChaChaBlockBytes>* out) {
+  // "expand 32-byte k"
+  static constexpr uint32_t kSigma[4] = {0x61707865, 0x3320646e, 0x79622d32,
+                                         0x6b206574};
+  uint32_t state[16];
+  state[0] = kSigma[0];
+  state[1] = kSigma[1];
+  state[2] = kSigma[2];
+  state[3] = kSigma[3];
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = Load32(key.data() + 4 * i);
+  }
+  state[12] = static_cast<uint32_t>(counter);
+  state[13] = static_cast<uint32_t>(counter >> 32);
+  state[14] = static_cast<uint32_t>(nonce);
+  state[15] = static_cast<uint32_t>(nonce >> 32);
+
+  uint32_t working[16];
+  for (int i = 0; i < 16; ++i) working[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    QuarterRound(&working[0], &working[4], &working[8], &working[12]);
+    QuarterRound(&working[1], &working[5], &working[9], &working[13]);
+    QuarterRound(&working[2], &working[6], &working[10], &working[14]);
+    QuarterRound(&working[3], &working[7], &working[11], &working[15]);
+    // Diagonal rounds.
+    QuarterRound(&working[0], &working[5], &working[10], &working[15]);
+    QuarterRound(&working[1], &working[6], &working[11], &working[12]);
+    QuarterRound(&working[2], &working[7], &working[8], &working[13]);
+    QuarterRound(&working[3], &working[4], &working[9], &working[14]);
+  }
+
+  for (int i = 0; i < 16; ++i) {
+    Store32(out->data() + 4 * i, working[i] + state[i]);
+  }
+}
+
+}  // namespace ssdb::prg

@@ -1,0 +1,27 @@
+// ChaCha20 block function (D.J. Bernstein), implemented from scratch.
+// This is the pseudorandom generator behind the client shares: the paper
+// requires a PRG whose output can be regenerated per node from (seed, pre),
+// which maps naturally onto ChaCha's (key, nonce, counter) addressing.
+
+#ifndef SSDB_PRG_CHACHA_H_
+#define SSDB_PRG_CHACHA_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ssdb::prg {
+
+inline constexpr size_t kChaChaKeyBytes = 32;
+inline constexpr size_t kChaChaBlockBytes = 64;
+
+// Produces the 64-byte keystream block for (key, nonce, counter) using 20
+// rounds. Layout follows the original djb variant: 64-bit counter + 64-bit
+// nonce.
+void ChaCha20Block(const std::array<uint8_t, kChaChaKeyBytes>& key,
+                   uint64_t counter, uint64_t nonce,
+                   std::array<uint8_t, kChaChaBlockBytes>* out);
+
+}  // namespace ssdb::prg
+
+#endif  // SSDB_PRG_CHACHA_H_

@@ -1,0 +1,90 @@
+#include "prg/prg.h"
+
+#include "util/logging.h"
+
+namespace ssdb::prg {
+
+Prg::Prg(const Seed& seed) {
+  const auto& bytes = seed.bytes();
+  for (size_t i = 0; i < kChaChaKeyBytes; ++i) {
+    key_[i] = bytes[i];
+  }
+}
+
+Prg::Stream::Stream(const std::array<uint8_t, kChaChaKeyBytes>& key,
+                    uint64_t nonce)
+    : key_(key), nonce_(nonce) {}
+
+void Prg::Stream::Refill() {
+  ChaCha20Block(key_, counter_, nonce_, &block_);
+  ++counter_;
+  offset_ = 0;
+}
+
+uint8_t Prg::Stream::NextByte() {
+  if (offset_ >= kChaChaBlockBytes) Refill();
+  return block_[offset_++];
+}
+
+uint32_t Prg::Stream::NextUint32() {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(NextByte()) << (8 * i);
+  }
+  return v;
+}
+
+gf::Elem Prg::Stream::NextElem(const gf::Field& field) {
+  const uint32_t q = field.q();
+  // Rejection sampling on bit_width-sized draws: acceptance >= 1/2.
+  const int bits = field.bit_width();
+  const uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
+  // Draw whole bytes and carve out `bits`-bit chunks; simple and fast for
+  // bits <= 16 (our q <= 2^16 bound).
+  for (;;) {
+    uint32_t draw;
+    if (bits <= 8) {
+      draw = NextByte() & mask;
+    } else {
+      draw = (static_cast<uint32_t>(NextByte()) |
+              (static_cast<uint32_t>(NextByte()) << 8)) &
+             mask;
+    }
+    if (draw < q) return draw;
+  }
+}
+
+gf::RingElem Prg::Stream::NextRingElem(const gf::Ring& ring) {
+  gf::RingElem out(ring.n());
+  for (uint32_t i = 0; i < ring.n(); ++i) {
+    out[i] = NextElem(ring.field());
+  }
+  return out;
+}
+
+Prg::Stream Prg::StreamForNode(uint64_t pre) const {
+  return Stream(key_, pre);
+}
+
+gf::RingElem Prg::ClientShare(const gf::Ring& ring, uint64_t pre) const {
+  return StreamForNode(pre).NextRingElem(ring);
+}
+
+std::string Prg::PayloadKeystream(uint64_t pre, size_t length) const {
+  Stream stream(key_, pre | (1ULL << 63));
+  std::string out(length, '\0');
+  for (size_t i = 0; i < length; ++i) {
+    out[i] = static_cast<char>(stream.NextByte());
+  }
+  return out;
+}
+
+std::string Prg::SealPayload(uint64_t pre, std::string_view plaintext) const {
+  std::string out = PayloadKeystream(pre, plaintext.size());
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    out[i] = static_cast<char>(out[i] ^ plaintext[i]);
+  }
+  return out;
+}
+
+}  // namespace ssdb::prg

@@ -1,0 +1,72 @@
+// Position-addressable pseudorandom generator for client shares (§5.2):
+// "ClientFilter first regenerates the client polynomial by using the
+// pseudorandom generator with the secret seed and the pre location".
+//
+// Each node position `pre` selects an independent ChaCha20 keystream
+// (nonce = pre), so any node's client share can be regenerated in isolation,
+// in any order — exactly the property the thin-client pipeline needs.
+
+#ifndef SSDB_PRG_PRG_H_
+#define SSDB_PRG_PRG_H_
+
+#include <array>
+#include <cstdint>
+
+#include "gf/field.h"
+#include "gf/ring.h"
+#include "prg/chacha.h"
+#include "prg/seed.h"
+
+namespace ssdb::prg {
+
+class Prg {
+ public:
+  explicit Prg(const Seed& seed);
+
+  // An independent deterministic byte/element stream for one node.
+  class Stream {
+   public:
+    Stream(const std::array<uint8_t, kChaChaKeyBytes>& key, uint64_t nonce);
+
+    uint8_t NextByte();
+    uint32_t NextUint32();
+
+    // Uniform field element via rejection sampling (no modulo bias).
+    gf::Elem NextElem(const gf::Field& field);
+
+    // n = ring.n() uniform coefficients — a client share.
+    gf::RingElem NextRingElem(const gf::Ring& ring);
+
+   private:
+    void Refill();
+
+    std::array<uint8_t, kChaChaKeyBytes> key_;
+    uint64_t nonce_;
+    uint64_t counter_ = 0;
+    std::array<uint8_t, kChaChaBlockBytes> block_;
+    size_t offset_ = kChaChaBlockBytes;  // forces refill on first use
+  };
+
+  Stream StreamForNode(uint64_t pre) const;
+
+  // Convenience: the client share for the node at position `pre`.
+  gf::RingElem ClientShare(const gf::Ring& ring, uint64_t pre) const;
+
+  // Keystream for the node's sealed payload (§4 extension). Domain-separated
+  // from the share stream by the nonce's high bit, so payload bytes never
+  // overlap share randomness.
+  std::string PayloadKeystream(uint64_t pre, size_t length) const;
+
+  // XOR seal/unseal with the payload keystream (involution).
+  std::string SealPayload(uint64_t pre, std::string_view plaintext) const;
+  std::string UnsealPayload(uint64_t pre, std::string_view sealed) const {
+    return SealPayload(pre, sealed);
+  }
+
+ private:
+  std::array<uint8_t, kChaChaKeyBytes> key_;
+};
+
+}  // namespace ssdb::prg
+
+#endif  // SSDB_PRG_PRG_H_

@@ -1,0 +1,65 @@
+#include "prg/seed.h"
+
+#include <random>
+
+#include "util/file_util.h"
+#include "util/hex.h"
+#include "util/string_util.h"
+
+namespace ssdb::prg {
+
+Seed Seed::FromUint64(uint64_t value) {
+  std::array<uint8_t, kSeedBytes> bytes{};
+  // SplitMix64 expansion so nearby integers give unrelated seeds.
+  uint64_t state = value;
+  for (size_t i = 0; i < kSeedBytes; i += 8) {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    for (size_t j = 0; j < 8; ++j) {
+      bytes[i + j] = static_cast<uint8_t>(z >> (8 * j));
+    }
+  }
+  return Seed(bytes);
+}
+
+Seed Seed::Generate() {
+  std::random_device rd;
+  std::array<uint8_t, kSeedBytes> bytes{};
+  for (size_t i = 0; i < kSeedBytes; i += 4) {
+    uint32_t word = rd();
+    for (size_t j = 0; j < 4; ++j) {
+      bytes[i + j] = static_cast<uint8_t>(word >> (8 * j));
+    }
+  }
+  return Seed(bytes);
+}
+
+StatusOr<Seed> Seed::LoadFromFile(const std::string& path) {
+  SSDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return FromHex(std::string(TrimWhitespace(contents)));
+}
+
+Status Seed::SaveToFile(const std::string& path) const {
+  return WriteStringToFile(path, ToHex() + "\n");
+}
+
+StatusOr<Seed> Seed::FromHex(const std::string& hex) {
+  SSDB_ASSIGN_OR_RETURN(std::string raw, HexDecode(hex));
+  if (raw.size() != kSeedBytes) {
+    return Status::InvalidArgument("seed must be exactly 32 bytes");
+  }
+  std::array<uint8_t, kSeedBytes> bytes{};
+  for (size_t i = 0; i < kSeedBytes; ++i) {
+    bytes[i] = static_cast<uint8_t>(raw[i]);
+  }
+  return Seed(bytes);
+}
+
+std::string Seed::ToHex() const {
+  return HexEncode(std::string_view(
+      reinterpret_cast<const char*>(bytes_.data()), bytes_.size()));
+}
+
+}  // namespace ssdb::prg

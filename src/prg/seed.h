@@ -1,0 +1,46 @@
+// The client's secret seed — the only piece of key material in the scheme
+// (§5.1: "The seed file acts as the encryption key"). Stored as a hex-encoded
+// 32-byte file compatible with the paper's seed-file concept.
+
+#ifndef SSDB_PRG_SEED_H_
+#define SSDB_PRG_SEED_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace ssdb::prg {
+
+inline constexpr size_t kSeedBytes = 32;
+
+class Seed {
+ public:
+  Seed() : bytes_{} {}
+  explicit Seed(std::array<uint8_t, kSeedBytes> bytes) : bytes_(bytes) {}
+
+  // Deterministic expansion of a 64-bit value into a full seed — convenient
+  // for tests and benchmarks. NOT for production key material.
+  static Seed FromUint64(uint64_t value);
+
+  // Fresh random seed from the OS entropy source.
+  static Seed Generate();
+
+  static StatusOr<Seed> LoadFromFile(const std::string& path);
+  Status SaveToFile(const std::string& path) const;
+
+  static StatusOr<Seed> FromHex(const std::string& hex);
+  std::string ToHex() const;
+
+  const std::array<uint8_t, kSeedBytes>& bytes() const { return bytes_; }
+
+  bool operator==(const Seed& other) const { return bytes_ == other.bytes_; }
+
+ private:
+  std::array<uint8_t, kSeedBytes> bytes_;
+};
+
+}  // namespace ssdb::prg
+
+#endif  // SSDB_PRG_SEED_H_

@@ -1,0 +1,230 @@
+#include "query/advanced_engine.h"
+
+#include "util/stopwatch.h"
+
+namespace ssdb::query {
+
+using filter::NodeMeta;
+
+StatusOr<std::vector<NodeMeta>> AdvancedEngine::Execute(const Query& query,
+                                                        MatchMode mode,
+                                                        QueryStats* stats) {
+  Stopwatch watch;
+  filter::EvalStats before = filter_->stats();
+
+  SSDB_ASSIGN_OR_RETURN(NodeMeta root, filter_->Root());
+  SSDB_ASSIGN_OR_RETURN(
+      std::vector<NodeMeta> result,
+      RunSteps(query.steps, {root}, /*from_document_root=*/true, mode,
+               stats));
+
+  if (stats != nullptr) {
+    stats->seconds = watch.ElapsedSeconds();
+    stats->result_size = result.size();
+    filter::EvalStats after = filter_->stats();
+    stats->eval.evaluations = after.evaluations - before.evaluations;
+    stats->eval.containment_tests =
+        after.containment_tests - before.containment_tests;
+    stats->eval.equality_tests = after.equality_tests - before.equality_tests;
+    stats->eval.shares_fetched = after.shares_fetched - before.shares_fetched;
+    stats->eval.nodes_visited = after.nodes_visited - before.nodes_visited;
+    stats->eval.server_calls = after.server_calls - before.server_calls;
+  }
+  return result;
+}
+
+std::vector<gf::Elem> AdvancedEngine::LookaheadValues(
+    const std::vector<Step>& steps, size_t from, bool* absent_name) const {
+  std::vector<gf::Elem> values;
+  *absent_name = false;
+  for (size_t i = from; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    if (step.kind == Step::Kind::kParent) break;  // pruning unsound past '..'
+    if (step.kind != Step::Kind::kName) continue;
+    StatusOr<gf::Elem> value = map_->Lookup(step.name);
+    if (!value.ok()) {
+      *absent_name = true;
+      return values;
+    }
+    values.push_back(*value);
+  }
+  return values;
+}
+
+StatusOr<bool> AdvancedEngine::ContainsAll(
+    const NodeMeta& node, const std::vector<gf::Elem>& values) {
+  // One batched exchange for the whole look-ahead set (k evaluations, one
+  // server call) — the chatty alternative is measured in bench_rpc.
+  return filter_->ContainsAllValues(node, values);
+}
+
+StatusOr<std::vector<NodeMeta>> AdvancedEngine::RunSteps(
+    const std::vector<Step>& steps, std::vector<NodeMeta> candidates,
+    bool from_document_root, MatchMode mode, QueryStats* stats) {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    bool first = (i == 0);
+
+    // The look-ahead: values of the current step's name (if any) and every
+    // later named step. `lookahead_rest` excludes the current step.
+    bool absent = false;
+    std::vector<gf::Elem> lookahead_rest = LookaheadValues(steps, i + 1,
+                                                           &absent);
+    if (absent) return std::vector<NodeMeta>{};
+
+    if (step.kind == Step::Kind::kParent) {
+      std::vector<NodeMeta> parents;
+      for (const NodeMeta& node : candidates) {
+        StatusOr<NodeMeta> parent = filter_->Parent(node);
+        if (parent.ok()) parents.push_back(*parent);
+      }
+      internal::Canonicalize(&parents);
+      candidates = std::move(parents);
+      continue;
+    }
+
+    gf::Elem value = 0;
+    if (step.kind == Step::Kind::kName) {
+      StatusOr<gf::Elem> mapped = map_->Lookup(step.name);
+      if (!mapped.ok()) return std::vector<NodeMeta>{};
+      value = *mapped;
+    }
+
+    std::vector<NodeMeta> next;
+    if (first && from_document_root && step.axis == Step::Axis::kChild) {
+      // The root is the document node's only child: test it in place.
+      for (const NodeMeta& node : candidates) {
+        if (stats != nullptr) ++stats->candidates_examined;
+        if (step.kind == Step::Kind::kName) {
+          SSDB_ASSIGN_OR_RETURN(bool pass,
+                                internal::TestNode(filter_, node, value,
+                                                   mode));
+          if (!pass) continue;
+          SSDB_ASSIGN_OR_RETURN(bool future, ContainsAll(node,
+                                                         lookahead_rest));
+          if (!future) continue;
+        } else {
+          SSDB_ASSIGN_OR_RETURN(bool future, ContainsAll(node,
+                                                         lookahead_rest));
+          if (!future) continue;
+        }
+        next.push_back(node);
+      }
+    } else if (step.axis == Step::Axis::kChild) {
+      for (const NodeMeta& node : candidates) {
+        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
+                              filter_->Children(node));
+        for (const NodeMeta& child : children) {
+          if (stats != nullptr) ++stats->candidates_examined;
+          if (step.kind == Step::Kind::kName) {
+            SSDB_ASSIGN_OR_RETURN(
+                bool pass, internal::TestNode(filter_, child, value, mode));
+            if (!pass) continue;
+          }
+          SSDB_ASSIGN_OR_RETURN(bool future,
+                                ContainsAll(child, lookahead_rest));
+          if (!future) continue;
+          next.push_back(child);
+        }
+      }
+    } else {
+      // Descendant step: pruned DFS. kWildcard with '//' degenerates to
+      // "all descendants that can still complete the query".
+      for (const NodeMeta& node : candidates) {
+        if (first && from_document_root &&
+            step.kind == Step::Kind::kName) {
+          // '//x' from the document node may match the root itself.
+          if (stats != nullptr) ++stats->candidates_examined;
+          SSDB_ASSIGN_OR_RETURN(bool self_contains,
+                                filter_->ContainsValue(node, value));
+          if (self_contains) {
+            SSDB_ASSIGN_OR_RETURN(bool future,
+                                  ContainsAll(node, lookahead_rest));
+            if (future) {
+              if (mode == MatchMode::kContainment) {
+                next.push_back(node);
+              } else {
+                SSDB_ASSIGN_OR_RETURN(bool self_is,
+                                      filter_->EqualsValue(node, value));
+                if (self_is) next.push_back(node);
+              }
+            }
+            SSDB_RETURN_IF_ERROR(DescendantSearch(
+                node, value, lookahead_rest, mode, stats, &next));
+          }
+          continue;
+        }
+        if (step.kind == Step::Kind::kWildcard) {
+          // No tag to prune on: expand all descendants (plus the node
+          // itself when stepping from the virtual document node, whose
+          // descendants include the root), filter by look-ahead.
+          if (first && from_document_root) {
+            if (stats != nullptr) ++stats->candidates_examined;
+            SSDB_ASSIGN_OR_RETURN(bool self_future,
+                                  ContainsAll(node, lookahead_rest));
+            if (self_future) next.push_back(node);
+          }
+          SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> descendants,
+                                filter_->Descendants(node));
+          for (const NodeMeta& d : descendants) {
+            if (stats != nullptr) ++stats->candidates_examined;
+            SSDB_ASSIGN_OR_RETURN(bool future,
+                                  ContainsAll(d, lookahead_rest));
+            if (future) next.push_back(d);
+          }
+          continue;
+        }
+        SSDB_RETURN_IF_ERROR(DescendantSearch(node, value, lookahead_rest,
+                                              mode, stats, &next));
+      }
+    }
+    internal::Canonicalize(&next);
+
+    // Predicate filtering (relative sub-path existence).
+    if (!step.predicate.empty()) {
+      std::vector<NodeMeta> kept;
+      for (const NodeMeta& node : next) {
+        SSDB_ASSIGN_OR_RETURN(
+            std::vector<NodeMeta> sub,
+            RunSteps(step.predicate, {node}, /*from_document_root=*/false,
+                     mode, stats));
+        if (!sub.empty()) kept.push_back(node);
+      }
+      next = std::move(kept);
+    }
+
+    candidates = std::move(next);
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+Status AdvancedEngine::DescendantSearch(
+    const NodeMeta& node, gf::Elem value,
+    const std::vector<gf::Elem>& lookahead, MatchMode mode,
+    QueryStats* stats, std::vector<NodeMeta>* out) {
+  // Walk downwards while the subtree still contains `value` (§5.3 "//city").
+  SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
+                        filter_->Children(node));
+  for (const NodeMeta& child : children) {
+    if (stats != nullptr) ++stats->candidates_examined;
+    SSDB_ASSIGN_OR_RETURN(bool contains,
+                          filter_->ContainsValue(child, value));
+    if (!contains) continue;  // dead branch
+    SSDB_ASSIGN_OR_RETURN(bool future, ContainsAll(child, lookahead));
+    if (future) {
+      if (mode == MatchMode::kContainment) {
+        out->push_back(child);
+      } else {
+        SSDB_ASSIGN_OR_RETURN(bool is_match,
+                              filter_->EqualsValue(child, value));
+        if (is_match) out->push_back(child);
+      }
+    }
+    SSDB_RETURN_IF_ERROR(
+        DescendantSearch(child, value, lookahead, mode, stats, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace ssdb::query

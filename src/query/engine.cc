@@ -1,0 +1,36 @@
+#include "query/engine.h"
+
+#include <algorithm>
+
+namespace ssdb::query {
+
+std::string_view MatchModeName(MatchMode mode) {
+  return mode == MatchMode::kContainment ? "non-strict" : "strict";
+}
+
+namespace internal {
+
+void Canonicalize(std::vector<filter::NodeMeta>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const filter::NodeMeta& a, const filter::NodeMeta& b) {
+              return a.pre < b.pre;
+            });
+  nodes->erase(std::unique(nodes->begin(), nodes->end(),
+                           [](const filter::NodeMeta& a,
+                              const filter::NodeMeta& b) {
+                             return a.pre == b.pre;
+                           }),
+               nodes->end());
+}
+
+StatusOr<bool> TestNode(filter::ClientFilter* filter,
+                        const filter::NodeMeta& node, gf::Elem value,
+                        MatchMode mode) {
+  if (mode == MatchMode::kContainment) {
+    return filter->ContainsValue(node, value);
+  }
+  return filter->EqualsValue(node, value);
+}
+
+}  // namespace internal
+}  // namespace ssdb::query

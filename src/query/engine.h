@@ -1,0 +1,61 @@
+// Common query-engine interface and shared machinery for the two search
+// strategies of §5.3 (SimpleQuery and AdvancedQuery).
+//
+// MatchMode selects the §6.3 strictness:
+//   kContainment (non-strict) — cheap subtree test; result is a superset.
+//   kEquality    (strict)     — exact tag test via polynomial division.
+
+#ifndef SSDB_QUERY_ENGINE_H_
+#define SSDB_QUERY_ENGINE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "filter/client_filter.h"
+#include "mapping/tag_map.h"
+#include "query/xpath.h"
+#include "util/statusor.h"
+
+namespace ssdb::query {
+
+enum class MatchMode {
+  kContainment,  // non-strict
+  kEquality,     // strict
+};
+
+std::string_view MatchModeName(MatchMode mode);
+
+struct QueryStats {
+  filter::EvalStats eval;          // delta over the query's execution
+  uint64_t result_size = 0;
+  uint64_t candidates_examined = 0;
+  double seconds = 0.0;
+};
+
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Runs an absolute query; the result is the candidate set after the final
+  // step, sorted by pre. `stats` may be null.
+  virtual StatusOr<std::vector<filter::NodeMeta>> Execute(
+      const Query& query, MatchMode mode, QueryStats* stats) = 0;
+};
+
+namespace internal {
+
+// Sorts by pre and removes duplicates.
+void Canonicalize(std::vector<filter::NodeMeta>* nodes);
+
+// Tests one node against a mapped tag value under the given mode.
+StatusOr<bool> TestNode(filter::ClientFilter* filter,
+                        const filter::NodeMeta& node, gf::Elem value,
+                        MatchMode mode);
+
+}  // namespace internal
+
+}  // namespace ssdb::query
+
+#endif  // SSDB_QUERY_ENGINE_H_

@@ -1,0 +1,110 @@
+#include "query/ground_truth.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ssdb::query {
+namespace {
+
+using xml::Node;
+
+void CollectDescendants(const Node* node, std::vector<const Node*>* out) {
+  for (const auto& child : node->children) {
+    if (!child->IsElement()) continue;
+    out->push_back(child.get());
+    CollectDescendants(child.get(), out);
+  }
+}
+
+void Dedupe(std::vector<const Node*>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const Node* a, const Node* b) { return a->pre < b->pre; });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+// Mirrors the engines' step semantics with exact name matching.
+std::vector<const Node*> RunSteps(const std::vector<Step>& steps,
+                                  std::vector<const Node*> candidates,
+                                  bool from_document_root) {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    bool first = (i == 0);
+
+    if (step.kind == Step::Kind::kParent) {
+      std::vector<const Node*> parents;
+      for (const Node* node : candidates) {
+        if (node->parent != nullptr) parents.push_back(node->parent);
+      }
+      Dedupe(&parents);
+      candidates = std::move(parents);
+      continue;
+    }
+
+    std::vector<const Node*> expanded;
+    if (first && from_document_root) {
+      if (step.axis == Step::Axis::kChild) {
+        expanded = candidates;  // the root is the document node's only child
+      } else {
+        expanded = candidates;
+        for (const Node* node : candidates) {
+          CollectDescendants(node, &expanded);
+        }
+      }
+    } else if (step.axis == Step::Axis::kChild) {
+      for (const Node* node : candidates) {
+        for (const auto& child : node->children) {
+          if (child->IsElement()) expanded.push_back(child.get());
+        }
+      }
+    } else {
+      for (const Node* node : candidates) {
+        CollectDescendants(node, &expanded);
+      }
+    }
+    Dedupe(&expanded);
+
+    std::vector<const Node*> filtered;
+    if (step.kind == Step::Kind::kWildcard) {
+      filtered = std::move(expanded);
+    } else {
+      for (const Node* node : expanded) {
+        if (node->name == step.name) filtered.push_back(node);
+      }
+    }
+
+    if (!step.predicate.empty()) {
+      std::vector<const Node*> kept;
+      for (const Node* node : filtered) {
+        std::vector<const Node*> sub =
+            RunSteps(step.predicate, {node}, /*from_document_root=*/false);
+        if (!sub.empty()) kept.push_back(node);
+      }
+      filtered = std::move(kept);
+    }
+
+    candidates = std::move(filtered);
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<std::vector<uint32_t>> EvaluateGroundTruth(
+    const Query& query, const xml::Document& doc) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("empty document");
+  }
+  if (doc.root()->pre == 0) {
+    return Status::FailedPrecondition(
+        "document must be AnnotatePrePost'ed first");
+  }
+  std::vector<const Node*> result =
+      RunSteps(query.steps, {doc.root()}, /*from_document_root=*/true);
+  std::vector<uint32_t> pres;
+  pres.reserve(result.size());
+  for (const Node* node : result) pres.push_back(node->pre);
+  return pres;
+}
+
+}  // namespace ssdb::query

@@ -1,0 +1,24 @@
+// Plaintext reference evaluator: runs the same XPath subset over a DOM with
+// exact name matching. This is the baseline E for the fig. 7 accuracy
+// experiment (E/C) and the oracle against which the strict engines are
+// verified (they must agree exactly).
+
+#ifndef SSDB_QUERY_GROUND_TRUTH_H_
+#define SSDB_QUERY_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "query/xpath.h"
+#include "util/statusor.h"
+#include "xml/dom.h"
+
+namespace ssdb::query {
+
+// Evaluates `query` on `doc` (must be AnnotatePrePost'ed) and returns the
+// matching nodes' pre numbers in document order.
+StatusOr<std::vector<uint32_t>> EvaluateGroundTruth(const Query& query,
+                                                    const xml::Document& doc);
+
+}  // namespace ssdb::query
+
+#endif  // SSDB_QUERY_GROUND_TRUTH_H_

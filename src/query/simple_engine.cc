@@ -1,0 +1,125 @@
+#include "query/simple_engine.h"
+
+#include "util/stopwatch.h"
+
+namespace ssdb::query {
+
+using filter::NodeMeta;
+
+StatusOr<std::vector<NodeMeta>> SimpleEngine::Execute(const Query& query,
+                                                      MatchMode mode,
+                                                      QueryStats* stats) {
+  Stopwatch watch;
+  filter::EvalStats before = filter_->stats();
+
+  SSDB_ASSIGN_OR_RETURN(NodeMeta root, filter_->Root());
+  // Steps run from the virtual document node, whose only child is the root.
+  SSDB_ASSIGN_OR_RETURN(
+      std::vector<NodeMeta> result,
+      RunSteps(query.steps, {root}, /*from_document_root=*/true, mode,
+               stats));
+
+  if (stats != nullptr) {
+    stats->seconds = watch.ElapsedSeconds();
+    stats->result_size = result.size();
+    // Delta of the filter's counters over this query.
+    filter::EvalStats after = filter_->stats();
+    stats->eval.evaluations = after.evaluations - before.evaluations;
+    stats->eval.containment_tests =
+        after.containment_tests - before.containment_tests;
+    stats->eval.equality_tests = after.equality_tests - before.equality_tests;
+    stats->eval.shares_fetched = after.shares_fetched - before.shares_fetched;
+    stats->eval.nodes_visited = after.nodes_visited - before.nodes_visited;
+    stats->eval.server_calls = after.server_calls - before.server_calls;
+  }
+  return result;
+}
+
+StatusOr<std::vector<NodeMeta>> SimpleEngine::RunSteps(
+    const std::vector<Step>& steps, std::vector<NodeMeta> candidates,
+    bool from_document_root, MatchMode mode, QueryStats* stats) {
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    bool first = (i == 0);
+
+    // 1. Structural expansion.
+    std::vector<NodeMeta> expanded;
+    if (step.kind == Step::Kind::kParent) {
+      for (const NodeMeta& node : candidates) {
+        StatusOr<NodeMeta> parent = filter_->Parent(node);
+        if (parent.ok()) expanded.push_back(*parent);
+        // Root has no parent: it simply drops out.
+      }
+      internal::Canonicalize(&expanded);
+      candidates = std::move(expanded);
+      continue;  // no name filtering on '..'
+    }
+    if (first && from_document_root) {
+      // From the virtual document node: '/x' sees only the root as a child;
+      // '//x' sees the root and everything below it.
+      if (step.axis == Step::Axis::kChild) {
+        expanded = candidates;
+      } else {
+        expanded = candidates;  // the root itself ...
+        for (const NodeMeta& node : candidates) {
+          SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> descendants,
+                                filter_->Descendants(node));
+          expanded.insert(expanded.end(), descendants.begin(),
+                          descendants.end());
+        }
+      }
+    } else if (step.axis == Step::Axis::kChild) {
+      for (const NodeMeta& node : candidates) {
+        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
+                              filter_->Children(node));
+        expanded.insert(expanded.end(), children.begin(), children.end());
+      }
+    } else {
+      for (const NodeMeta& node : candidates) {
+        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> descendants,
+                              filter_->Descendants(node));
+        expanded.insert(expanded.end(), descendants.begin(),
+                        descendants.end());
+      }
+    }
+    internal::Canonicalize(&expanded);
+    if (stats != nullptr) stats->candidates_examined += expanded.size();
+
+    // 2. Name filtering: exactly one test per candidate (§5.3 SimpleQuery).
+    std::vector<NodeMeta> filtered;
+    if (step.kind == Step::Kind::kWildcard) {
+      filtered = std::move(expanded);
+    } else {
+      StatusOr<gf::Elem> value = map_->Lookup(step.name);
+      if (!value.ok()) {
+        // A name outside the map can never match (the map covers the DTD).
+        candidates.clear();
+        return candidates;
+      }
+      for (const NodeMeta& node : expanded) {
+        SSDB_ASSIGN_OR_RETURN(bool pass,
+                              internal::TestNode(filter_, node, *value, mode));
+        if (pass) filtered.push_back(node);
+      }
+    }
+
+    // 3. Predicate filtering (existence of the relative sub-path).
+    if (!step.predicate.empty()) {
+      std::vector<NodeMeta> kept;
+      for (const NodeMeta& node : filtered) {
+        SSDB_ASSIGN_OR_RETURN(
+            std::vector<NodeMeta> sub,
+            RunSteps(step.predicate, {node}, /*from_document_root=*/false,
+                     mode, stats));
+        if (!sub.empty()) kept.push_back(node);
+      }
+      filtered = std::move(kept);
+    }
+
+    candidates = std::move(filtered);
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+}  // namespace ssdb::query

@@ -1,0 +1,37 @@
+// SimpleQuery (§5.3): parses the query left to right; each step expands the
+// candidate set structurally (children / descendants) and filters with a
+// single test per candidate at the current step's mapped tag value. No
+// look-ahead.
+
+#ifndef SSDB_QUERY_SIMPLE_ENGINE_H_
+#define SSDB_QUERY_SIMPLE_ENGINE_H_
+
+#include "query/engine.h"
+
+namespace ssdb::query {
+
+class SimpleEngine : public QueryEngine {
+ public:
+  // Both must outlive the engine.
+  SimpleEngine(filter::ClientFilter* filter, const mapping::TagMap* map)
+      : filter_(filter), map_(map) {}
+
+  std::string_view name() const override { return "simple"; }
+
+  StatusOr<std::vector<filter::NodeMeta>> Execute(const Query& query,
+                                                  MatchMode mode,
+                                                  QueryStats* stats) override;
+
+ private:
+  StatusOr<std::vector<filter::NodeMeta>> RunSteps(
+      const std::vector<Step>& steps,
+      std::vector<filter::NodeMeta> candidates, bool from_document_root,
+      MatchMode mode, QueryStats* stats);
+
+  filter::ClientFilter* filter_;
+  const mapping::TagMap* map_;
+};
+
+}  // namespace ssdb::query
+
+#endif  // SSDB_QUERY_SIMPLE_ENGINE_H_

@@ -1,0 +1,174 @@
+#include "query/xpath.h"
+
+#include <cctype>
+
+#include "trie/trie_xml.h"
+
+namespace ssdb::query {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  StatusOr<std::vector<Step>> ParseSteps(bool top_level) {
+    std::vector<Step> steps;
+    // A relative predicate path may start without a slash: implicit child.
+    while (!AtEnd() && Peek() != ']') {
+      Step step;
+      if (Peek() == '/') {
+        Advance();
+        if (!AtEnd() && Peek() == '/') {
+          Advance();
+          step.axis = Step::Axis::kDescendant;
+        }
+      } else if (!steps.empty() || top_level) {
+        return Error("expected '/' between steps");
+      }
+      SSDB_RETURN_IF_ERROR(ParseNodeTest(&step));
+      if (!AtEnd() && Peek() == '[') {
+        SSDB_RETURN_IF_ERROR(ParsePredicate(&step));
+      }
+      steps.push_back(std::move(step));
+    }
+    if (steps.empty()) {
+      return Error("empty path");
+    }
+    return steps;
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+ private:
+  char Peek() const { return input_[pos_]; }
+  char Advance() { return input_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("XPath error at offset " +
+                                   std::to_string(pos_) + ": " + message +
+                                   " in \"" + std::string(input_) + "\"");
+  }
+
+  Status ParseNodeTest(Step* step) {
+    if (AtEnd()) return Error("expected node test");
+    char c = Peek();
+    if (c == '*') {
+      Advance();
+      step->kind = Step::Kind::kWildcard;
+      return Status::OK();
+    }
+    if (c == '.') {
+      Advance();
+      if (AtEnd() || Advance() != '.') {
+        return Error("'.' is only supported as '..'");
+      }
+      step->kind = Step::Kind::kParent;
+      return Status::OK();
+    }
+    if (!IsNameChar(c)) {
+      return Error(std::string("unexpected character '") + c + "'");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    step->kind = Step::Kind::kName;
+    step->name = std::string(input_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status ParsePredicate(Step* step) {
+    Advance();  // '['
+    // contains(text(), "word") rewrites to the trie character chain (§4).
+    constexpr std::string_view kContains = "contains(text(),";
+    if (input_.substr(pos_).substr(0, kContains.size()) == kContains) {
+      pos_ += kContains.size();
+      while (!AtEnd() && Peek() == ' ') Advance();
+      if (AtEnd() || Advance() != '"') return Error("expected '\"'");
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '"') Advance();
+      if (AtEnd()) return Error("unterminated string literal");
+      std::string word(input_.substr(start, pos_ - start));
+      Advance();  // '"'
+      if (AtEnd() || Advance() != ')') return Error("expected ')'");
+      if (AtEnd() || Advance() != ']') return Error("expected ']'");
+      if (word.empty()) return Error("empty contains() word");
+      // /name[contains(text(),"Joan")] -> /name[//j/o/a/n]
+      bool first = true;
+      for (const std::string& label : trie::WordToSteps(word)) {
+        Step char_step;
+        char_step.axis =
+            first ? Step::Axis::kDescendant : Step::Axis::kChild;
+        char_step.kind = Step::Kind::kName;
+        char_step.name = label;
+        step->predicate.push_back(std::move(char_step));
+        first = false;
+      }
+      if (step->predicate.empty()) {
+        return Error("contains() word has no searchable characters");
+      }
+      return Status::OK();
+    }
+    // Otherwise: a relative path predicate.
+    SSDB_ASSIGN_OR_RETURN(step->predicate, ParseSteps(/*top_level=*/false));
+    if (AtEnd() || Advance() != ']') return Error("expected ']'");
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+void AppendStep(const Step& step, std::string* out) {
+  *out += step.axis == Step::Axis::kDescendant ? "//" : "/";
+  switch (step.kind) {
+    case Step::Kind::kWildcard:
+      *out += "*";
+      break;
+    case Step::Kind::kParent:
+      *out += "..";
+      break;
+    case Step::Kind::kName:
+      *out += step.name;
+      break;
+  }
+  if (!step.predicate.empty()) {
+    *out += "[";
+    std::string inner = StepsToString(step.predicate);
+    *out += inner;
+    *out += "]";
+  }
+}
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view input) {
+  Parser parser(input);
+  Query query;
+  query.text = std::string(input);
+  if (input.empty() || input[0] != '/') {
+    return Status::InvalidArgument(
+        "only absolute queries (starting with '/' or '//') are supported");
+  }
+  SSDB_ASSIGN_OR_RETURN(query.steps, parser.ParseSteps(/*top_level=*/true));
+  if (!parser.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after query: " +
+                                   std::string(input));
+  }
+  return query;
+}
+
+std::string StepsToString(const std::vector<Step>& steps) {
+  std::string out;
+  for (const Step& step : steps) AppendStep(step, &out);
+  return out;
+}
+
+std::string QueryToString(const Query& query) {
+  return StepsToString(query.steps);
+}
+
+}  // namespace ssdb::query

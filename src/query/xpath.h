@@ -1,0 +1,47 @@
+// XPath-subset parser (§5.3): absolute queries made of child (/) and
+// descendant (//) steps over tag names, with the two special tests the paper
+// supports — `*` (every child) and `..` (parent) — plus one predicate form
+// per step:
+//   [relative/path]                  existence of a sub-path
+//   [contains(text(), "word")]      §4 trie search, rewritten to the
+//                                    character chain //w/o/r/d at parse time.
+
+#ifndef SSDB_QUERY_XPATH_H_
+#define SSDB_QUERY_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::query {
+
+struct Step {
+  enum class Axis { kChild, kDescendant };
+  enum class Kind { kName, kWildcard, kParent };
+
+  Axis axis = Axis::kChild;
+  Kind kind = Kind::kName;
+  std::string name;           // for kind == kName
+  std::vector<Step> predicate;  // empty = no predicate; exists-semantics
+
+  bool operator==(const Step& other) const {
+    return axis == other.axis && kind == other.kind && name == other.name &&
+           predicate == other.predicate;
+  }
+};
+
+struct Query {
+  std::vector<Step> steps;
+  std::string text;  // original source, for reporting
+};
+
+StatusOr<Query> ParseQuery(std::string_view input);
+
+// Canonical rendering (predicates included).
+std::string QueryToString(const Query& query);
+std::string StepsToString(const std::vector<Step>& steps);
+
+}  // namespace ssdb::query
+
+#endif  // SSDB_QUERY_XPATH_H_

@@ -1,0 +1,80 @@
+#include "rpc/channel.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace ssdb::rpc {
+namespace {
+
+// Shared state of an in-process pair: two directed queues.
+struct PairCore {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> to_server;
+  std::deque<std::string> to_client;
+  bool closed = false;
+};
+
+class InProcessChannel : public Channel {
+ public:
+  InProcessChannel(std::shared_ptr<PairCore> core, bool is_client)
+      : core_(std::move(core)), is_client_(is_client) {}
+
+  ~InProcessChannel() override { Close(); }
+
+  Status Send(std::string_view message) override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (core_->closed) {
+      return Status::OutOfRange("connection closed");
+    }
+    auto& queue = is_client_ ? core_->to_server : core_->to_client;
+    queue.emplace_back(message);
+    bytes_sent_ += message.size();
+    ++messages_sent_;
+    core_->cv.notify_all();
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Receive() override {
+    std::unique_lock<std::mutex> lock(core_->mu);
+    auto& queue = is_client_ ? core_->to_client : core_->to_server;
+    core_->cv.wait(lock, [&] { return !queue.empty() || core_->closed; });
+    if (queue.empty()) {
+      return Status::OutOfRange("connection closed");
+    }
+    std::string message = std::move(queue.front());
+    queue.pop_front();
+    bytes_received_ += message.size();
+    return message;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->closed = true;
+    core_->cv.notify_all();
+  }
+
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_received() const override { return bytes_received_; }
+  uint64_t messages_sent() const override { return messages_sent_; }
+
+ private:
+  std::shared_ptr<PairCore> core_;
+  bool is_client_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace
+
+ChannelPair CreateInProcessChannelPair() {
+  auto core = std::make_shared<PairCore>();
+  ChannelPair pair;
+  pair.client = std::make_unique<InProcessChannel>(core, /*is_client=*/true);
+  pair.server = std::make_unique<InProcessChannel>(core, /*is_client=*/false);
+  return pair;
+}
+
+}  // namespace ssdb::rpc

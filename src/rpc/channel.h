@@ -1,0 +1,43 @@
+// Bidirectional blocking message channel — the transport under the RPC
+// stack. Two implementations: an in-process pair (deterministic, zero-copy,
+// used by default) and unix-domain sockets (src/rpc/socket_channel.h) for a
+// real client/server split like the paper's RMI setup.
+//
+// Byte and message counters feed the communication-cost experiments.
+
+#ifndef SSDB_RPC_CHANNEL_H_
+#define SSDB_RPC_CHANNEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual Status Send(std::string_view message) = 0;
+  // Blocks until a message arrives; OutOfRange("connection closed") on EOF.
+  virtual StatusOr<std::string> Receive() = 0;
+  virtual void Close() = 0;
+
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t bytes_received() const = 0;
+  virtual uint64_t messages_sent() const = 0;
+};
+
+struct ChannelPair {
+  std::unique_ptr<Channel> client;
+  std::unique_ptr<Channel> server;
+};
+
+// Connected in-process endpoints (thread-safe; usable across threads).
+ChannelPair CreateInProcessChannelPair();
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_CHANNEL_H_

@@ -1,0 +1,151 @@
+#include "rpc/client.h"
+
+#include "rpc/wire.h"
+#include "util/varint.h"
+
+namespace ssdb::rpc {
+
+StatusOr<std::string> RemoteServerFilter::Call(const Request& request) {
+  SSDB_RETURN_IF_ERROR(channel_->Send(EncodeRequest(request)));
+  ++round_trips_;
+  SSDB_ASSIGN_OR_RETURN(std::string response, channel_->Receive());
+  return DecodeResponse(response);
+}
+
+StatusOr<filter::NodeMeta> RemoteServerFilter::Root() {
+  Request request;
+  request.op = Op::kRoot;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  filter::NodeMeta meta;
+  SSDB_RETURN_IF_ERROR(ConsumeNodeMeta(&view, &meta));
+  return meta;
+}
+
+StatusOr<filter::NodeMeta> RemoteServerFilter::GetNode(uint32_t pre) {
+  Request request;
+  request.op = Op::kGetNode;
+  request.pre = pre;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  filter::NodeMeta meta;
+  SSDB_RETURN_IF_ERROR(ConsumeNodeMeta(&view, &meta));
+  return meta;
+}
+
+StatusOr<std::vector<filter::NodeMeta>> RemoteServerFilter::Children(
+    uint32_t pre) {
+  Request request;
+  request.op = Op::kChildren;
+  request.pre = pre;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  return ConsumeNodeMetas(&view);
+}
+
+StatusOr<uint64_t> RemoteServerFilter::OpenDescendantCursor(uint32_t pre,
+                                                            uint32_t post) {
+  Request request;
+  request.op = Op::kOpenCursor;
+  request.pre = pre;
+  request.post = post;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  uint64_t cursor = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&view, &cursor));
+  return cursor;
+}
+
+StatusOr<std::vector<filter::NodeMeta>> RemoteServerFilter::NextNodes(
+    uint64_t cursor, size_t max_batch) {
+  Request request;
+  request.op = Op::kNextNodes;
+  request.cursor = cursor;
+  request.batch = max_batch;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  return ConsumeNodeMetas(&view);
+}
+
+Status RemoteServerFilter::CloseCursor(uint64_t cursor) {
+  Request request;
+  request.op = Op::kCloseCursor;
+  request.cursor = cursor;
+  return Call(request).status();
+}
+
+StatusOr<gf::Elem> RemoteServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
+  Request request;
+  request.op = Op::kEvalAt;
+  request.pre = pre;
+  request.point = t;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  uint64_t value = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&view, &value));
+  return static_cast<gf::Elem>(value);
+}
+
+StatusOr<std::vector<gf::Elem>> RemoteServerFilter::EvalAtBatch(
+    const std::vector<uint32_t>& pres, gf::Elem t) {
+  Request request;
+  request.op = Op::kEvalAtBatch;
+  request.pres = pres;
+  request.point = t;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  return ConsumeElems(&view);
+}
+
+StatusOr<std::vector<gf::Elem>> RemoteServerFilter::EvalPointsBatch(
+    uint32_t pre, const std::vector<gf::Elem>& points) {
+  Request request;
+  request.op = Op::kEvalPointsBatch;
+  request.pre = pre;
+  request.points = points;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  return ConsumeElems(&view);
+}
+
+StatusOr<gf::RingElem> RemoteServerFilter::FetchShare(uint32_t pre) {
+  Request request;
+  request.op = Op::kFetchShare;
+  request.pre = pre;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  std::string_view share_bytes;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&view, &share_bytes));
+  return ring_.Deserialize(share_bytes);
+}
+
+StatusOr<std::string> RemoteServerFilter::FetchSealed(uint32_t pre) {
+  Request request;
+  request.op = Op::kFetchSealed;
+  request.pre = pre;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  std::string_view sealed;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&view, &sealed));
+  return std::string(sealed);
+}
+
+StatusOr<uint64_t> RemoteServerFilter::NodeCount() {
+  Request request;
+  request.op = Op::kNodeCount;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&view, &count));
+  return count;
+}
+
+Status RemoteServerFilter::Shutdown() {
+  Request request;
+  request.op = Op::kShutdown;
+  Status s = Call(request).status();
+  channel_->Close();
+  return s;
+}
+
+}  // namespace ssdb::rpc

@@ -1,0 +1,55 @@
+// RemoteServerFilter: client-side stub implementing ServerFilter over a
+// Channel — the drop-in replacement for the paper's RMI remote object.
+
+#ifndef SSDB_RPC_CLIENT_H_
+#define SSDB_RPC_CLIENT_H_
+
+#include <memory>
+
+#include "filter/server_filter.h"
+#include "gf/ring.h"
+#include "rpc/channel.h"
+#include "rpc/protocol.h"
+
+namespace ssdb::rpc {
+
+class RemoteServerFilter : public filter::ServerFilter {
+ public:
+  RemoteServerFilter(gf::Ring ring, std::unique_ptr<Channel> channel)
+      : ring_(std::move(ring)), channel_(std::move(channel)) {}
+
+  StatusOr<filter::NodeMeta> Root() override;
+  StatusOr<filter::NodeMeta> GetNode(uint32_t pre) override;
+  StatusOr<std::vector<filter::NodeMeta>> Children(uint32_t pre) override;
+  StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
+                                          uint32_t post) override;
+  StatusOr<std::vector<filter::NodeMeta>> NextNodes(uint64_t cursor,
+                                                    size_t max_batch) override;
+  Status CloseCursor(uint64_t cursor) override;
+  StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override;
+  StatusOr<std::vector<gf::Elem>> EvalAtBatch(
+      const std::vector<uint32_t>& pres, gf::Elem t) override;
+  StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
+      uint32_t pre, const std::vector<gf::Elem>& points) override;
+  StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
+  StatusOr<std::string> FetchSealed(uint32_t pre) override;
+  StatusOr<uint64_t> NodeCount() override;
+
+  // Asks the server to stop serving, then closes the channel.
+  Status Shutdown();
+
+  uint64_t round_trips() const { return round_trips_; }
+  const Channel& channel() const { return *channel_; }
+
+ private:
+  // Sends one request and returns the response payload.
+  StatusOr<std::string> Call(const Request& request);
+
+  gf::Ring ring_;
+  std::unique_ptr<Channel> channel_;
+  uint64_t round_trips_ = 0;
+};
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_CLIENT_H_

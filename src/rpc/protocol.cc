@@ -1,0 +1,152 @@
+#include "rpc/protocol.h"
+
+#include "util/varint.h"
+
+namespace ssdb::rpc {
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  out.push_back(static_cast<char>(request.op));
+  switch (request.op) {
+    case Op::kRoot:
+    case Op::kNodeCount:
+    case Op::kShutdown:
+      break;
+    case Op::kGetNode:
+    case Op::kChildren:
+    case Op::kFetchShare:
+    case Op::kFetchSealed:
+      PutVarint64(&out, request.pre);
+      break;
+    case Op::kOpenCursor:
+      PutVarint64(&out, request.pre);
+      PutVarint64(&out, request.post);
+      break;
+    case Op::kNextNodes:
+      PutVarint64(&out, request.cursor);
+      PutVarint64(&out, request.batch);
+      break;
+    case Op::kCloseCursor:
+      PutVarint64(&out, request.cursor);
+      break;
+    case Op::kEvalAt:
+      PutVarint64(&out, request.pre);
+      PutVarint64(&out, request.point);
+      break;
+    case Op::kEvalAtBatch: {
+      PutVarint64(&out, request.point);
+      PutVarint64(&out, request.pres.size());
+      for (uint32_t pre : request.pres) PutVarint64(&out, pre);
+      break;
+    }
+    case Op::kEvalPointsBatch: {
+      PutVarint64(&out, request.pre);
+      PutVarint64(&out, request.points.size());
+      for (gf::Elem point : request.points) PutVarint64(&out, point);
+      break;
+    }
+  }
+  return out;
+}
+
+StatusOr<Request> DecodeRequest(std::string_view data) {
+  if (data.empty()) return Status::Corruption("empty request");
+  Request request;
+  request.op = static_cast<Op>(data[0]);
+  data.remove_prefix(1);
+  uint64_t v = 0;
+  switch (request.op) {
+    case Op::kRoot:
+    case Op::kNodeCount:
+    case Op::kShutdown:
+      break;
+    case Op::kGetNode:
+    case Op::kChildren:
+    case Op::kFetchShare:
+    case Op::kFetchSealed:
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.pre = static_cast<uint32_t>(v);
+      break;
+    case Op::kOpenCursor:
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.pre = static_cast<uint32_t>(v);
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.post = static_cast<uint32_t>(v);
+      break;
+    case Op::kNextNodes:
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &request.cursor));
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &request.batch));
+      break;
+    case Op::kCloseCursor:
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &request.cursor));
+      break;
+    case Op::kEvalAt:
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.pre = static_cast<uint32_t>(v);
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.point = static_cast<gf::Elem>(v);
+      break;
+    case Op::kEvalAtBatch: {
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.point = static_cast<gf::Elem>(v);
+      uint64_t count = 0;
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &count));
+      request.pres.resize(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+        request.pres[i] = static_cast<uint32_t>(v);
+      }
+      break;
+    }
+    case Op::kEvalPointsBatch: {
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+      request.pre = static_cast<uint32_t>(v);
+      uint64_t count = 0;
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &count));
+      request.points.resize(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+        request.points[i] = static_cast<gf::Elem>(v);
+      }
+      break;
+    }
+    default:
+      return Status::Corruption("unknown op " +
+                                std::to_string(static_cast<int>(request.op)));
+  }
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes in request");
+  }
+  return request;
+}
+
+std::string EncodeOkResponse(std::string_view payload) {
+  std::string out;
+  out.push_back(1);
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeErrorResponse(const Status& status) {
+  std::string out;
+  out.push_back(0);
+  PutVarint64(&out, static_cast<uint64_t>(status.code()));
+  PutLengthPrefixed(&out, status.message());
+  return out;
+}
+
+StatusOr<std::string> DecodeResponse(std::string_view data) {
+  if (data.empty()) return Status::Corruption("empty response");
+  bool ok = data[0] != 0;
+  data.remove_prefix(1);
+  if (ok) {
+    return std::string(data);
+  }
+  uint64_t code = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &code));
+  std::string_view message;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &message));
+  return Status(static_cast<StatusCode>(code), std::string(message));
+}
+
+}  // namespace ssdb::rpc

@@ -1,0 +1,60 @@
+// Request/response message formats mapping the ServerFilter interface onto a
+// Channel. One request frame yields exactly one response frame.
+//
+// Request : u8 op, then op-specific fields (varints).
+// Response: u8 ok; if !ok { varint code, length-prefixed message }
+//           else op-specific payload.
+
+#ifndef SSDB_RPC_PROTOCOL_H_
+#define SSDB_RPC_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "filter/server_filter.h"
+#include "gf/field.h"
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+enum class Op : uint8_t {
+  kRoot = 1,
+  kGetNode = 2,
+  kChildren = 3,
+  kOpenCursor = 4,
+  kNextNodes = 5,
+  kCloseCursor = 6,
+  kEvalAt = 7,
+  kEvalAtBatch = 8,
+  kFetchShare = 9,
+  kNodeCount = 10,
+  kShutdown = 11,  // graceful server stop
+  kEvalPointsBatch = 12,
+  kFetchSealed = 13,
+};
+
+struct Request {
+  Op op = Op::kRoot;
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  uint64_t cursor = 0;
+  uint64_t batch = 0;
+  gf::Elem point = 0;
+  std::vector<uint32_t> pres;
+  std::vector<gf::Elem> points;
+};
+
+std::string EncodeRequest(const Request& request);
+StatusOr<Request> DecodeRequest(std::string_view data);
+
+// Success envelope wrapping an op-specific payload.
+std::string EncodeOkResponse(std::string_view payload);
+std::string EncodeErrorResponse(const Status& status);
+
+// Unwraps a response: returns the payload, or the transported error.
+StatusOr<std::string> DecodeResponse(std::string_view data);
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_PROTOCOL_H_

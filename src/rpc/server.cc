@@ -1,0 +1,145 @@
+#include "rpc/server.h"
+
+#include "rpc/protocol.h"
+#include "rpc/wire.h"
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace ssdb::rpc {
+namespace {
+
+// Builds the op-specific success payload; any error becomes an error frame.
+StatusOr<std::string> Dispatch(const gf::Ring& ring,
+                               filter::ServerFilter* filter,
+                               const Request& request) {
+  std::string payload;
+  switch (request.op) {
+    case Op::kRoot: {
+      SSDB_ASSIGN_OR_RETURN(filter::NodeMeta meta, filter->Root());
+      AppendNodeMeta(&payload, meta);
+      return payload;
+    }
+    case Op::kGetNode: {
+      SSDB_ASSIGN_OR_RETURN(filter::NodeMeta meta,
+                            filter->GetNode(request.pre));
+      AppendNodeMeta(&payload, meta);
+      return payload;
+    }
+    case Op::kChildren: {
+      SSDB_ASSIGN_OR_RETURN(std::vector<filter::NodeMeta> metas,
+                            filter->Children(request.pre));
+      AppendNodeMetas(&payload, metas);
+      return payload;
+    }
+    case Op::kOpenCursor: {
+      SSDB_ASSIGN_OR_RETURN(
+          uint64_t cursor,
+          filter->OpenDescendantCursor(request.pre, request.post));
+      PutVarint64(&payload, cursor);
+      return payload;
+    }
+    case Op::kNextNodes: {
+      SSDB_ASSIGN_OR_RETURN(
+          std::vector<filter::NodeMeta> metas,
+          filter->NextNodes(request.cursor,
+                            static_cast<size_t>(request.batch)));
+      AppendNodeMetas(&payload, metas);
+      return payload;
+    }
+    case Op::kCloseCursor: {
+      SSDB_RETURN_IF_ERROR(filter->CloseCursor(request.cursor));
+      return payload;
+    }
+    case Op::kEvalAt: {
+      SSDB_ASSIGN_OR_RETURN(gf::Elem value,
+                            filter->EvalAt(request.pre, request.point));
+      PutVarint64(&payload, value);
+      return payload;
+    }
+    case Op::kEvalAtBatch: {
+      SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> values,
+                            filter->EvalAtBatch(request.pres, request.point));
+      AppendElems(&payload, values);
+      return payload;
+    }
+    case Op::kEvalPointsBatch: {
+      SSDB_ASSIGN_OR_RETURN(
+          std::vector<gf::Elem> values,
+          filter->EvalPointsBatch(request.pre, request.points));
+      AppendElems(&payload, values);
+      return payload;
+    }
+    case Op::kFetchShare: {
+      SSDB_ASSIGN_OR_RETURN(gf::RingElem share,
+                            filter->FetchShare(request.pre));
+      PutLengthPrefixed(&payload, ring.Serialize(share));
+      return payload;
+    }
+    case Op::kFetchSealed: {
+      SSDB_ASSIGN_OR_RETURN(std::string sealed,
+                            filter->FetchSealed(request.pre));
+      PutLengthPrefixed(&payload, sealed);
+      return payload;
+    }
+    case Op::kNodeCount: {
+      SSDB_ASSIGN_OR_RETURN(uint64_t count, filter->NodeCount());
+      PutVarint64(&payload, count);
+      return payload;
+    }
+    case Op::kShutdown:
+      return payload;
+  }
+  return Status::Corruption("unhandled op");
+}
+
+}  // namespace
+
+std::string RpcServer::HandleRequest(std::string_view request_bytes) {
+  StatusOr<Request> request = DecodeRequest(request_bytes);
+  if (!request.ok()) {
+    return EncodeErrorResponse(request.status());
+  }
+  StatusOr<std::string> payload = Dispatch(ring_, filter_, *request);
+  if (!payload.ok()) {
+    return EncodeErrorResponse(payload.status());
+  }
+  return EncodeOkResponse(*payload);
+}
+
+Status RpcServer::Serve(Channel* channel) {
+  for (;;) {
+    StatusOr<std::string> request_bytes = channel->Receive();
+    if (!request_bytes.ok()) {
+      // Peer hung up: clean end of session.
+      if (request_bytes.status().code() == StatusCode::kOutOfRange) {
+        return Status::OK();
+      }
+      return request_bytes.status();
+    }
+    std::string response = HandleRequest(*request_bytes);
+    SSDB_RETURN_IF_ERROR(channel->Send(response));
+    // kShutdown closes after acknowledging.
+    if (!request_bytes->empty() &&
+        static_cast<Op>((*request_bytes)[0]) == Op::kShutdown) {
+      return Status::OK();
+    }
+  }
+}
+
+ServerThread::ServerThread(gf::Ring ring, filter::ServerFilter* filter,
+                           std::unique_ptr<Channel> channel)
+    : channel_(std::move(channel)), server_(std::move(ring), filter) {
+  thread_ = std::thread([this] {
+    Status s = server_.Serve(channel_.get());
+    if (!s.ok()) {
+      SSDB_LOG(ERROR) << "rpc server exited with error: " << s.ToString();
+    }
+  });
+}
+
+ServerThread::~ServerThread() {
+  channel_->Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ssdb::rpc

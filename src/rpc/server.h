@@ -1,0 +1,56 @@
+// RpcServer: serves a ServerFilter over a Channel, one request/response at a
+// time (the prototype's single-connection model). ServerThread is a
+// convenience for tests/examples that runs Serve() on a background thread.
+
+#ifndef SSDB_RPC_SERVER_H_
+#define SSDB_RPC_SERVER_H_
+
+#include <memory>
+#include <thread>
+
+#include "filter/server_filter.h"
+#include "gf/ring.h"
+#include "rpc/channel.h"
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+class RpcServer {
+ public:
+  // `filter` must outlive the server. The ring is needed to serialize
+  // polynomial shares onto the wire.
+  RpcServer(gf::Ring ring, filter::ServerFilter* filter)
+      : ring_(std::move(ring)), filter_(filter) {}
+
+  // Serves until the peer disconnects or sends kShutdown. Returns OK on a
+  // clean shutdown.
+  Status Serve(Channel* channel);
+
+  // Handles a single encoded request (exposed for tests).
+  std::string HandleRequest(std::string_view request_bytes);
+
+ private:
+  gf::Ring ring_;
+  filter::ServerFilter* filter_;
+};
+
+// Runs an RpcServer over the given channel on a background thread; joins on
+// destruction.
+class ServerThread {
+ public:
+  ServerThread(gf::Ring ring, filter::ServerFilter* filter,
+               std::unique_ptr<Channel> channel);
+  ~ServerThread();
+
+  ServerThread(const ServerThread&) = delete;
+  ServerThread& operator=(const ServerThread&) = delete;
+
+ private:
+  std::unique_ptr<Channel> channel_;
+  RpcServer server_;
+  std::thread thread_;
+};
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_SERVER_H_

@@ -1,0 +1,122 @@
+#include "rpc/socket_channel.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "rpc/wire.h"
+
+namespace ssdb::rpc {
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status FillSockAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() + 1 > sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+class SocketChannel : public Channel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { Close(); }
+
+  Status Send(std::string_view message) override {
+    SSDB_RETURN_IF_ERROR(WriteFrame(fd_, message));
+    bytes_sent_ += message.size() + 4;
+    ++messages_sent_;
+    return Status::OK();
+  }
+
+  StatusOr<std::string> Receive() override {
+    SSDB_ASSIGN_OR_RETURN(std::string message, ReadFrame(fd_));
+    bytes_received_ += message.size() + 4;
+    return message;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  uint64_t bytes_sent() const override { return bytes_sent_; }
+  uint64_t bytes_received() const override { return bytes_received_; }
+  uint64_t messages_sent() const override { return messages_sent_; }
+
+ private:
+  int fd_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Channel>> ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  sockaddr_un addr;
+  Status s = FillSockAddr(path, &addr);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return ErrnoError("connect " + path);
+  }
+  return std::unique_ptr<Channel>(std::make_unique<SocketChannel>(fd));
+}
+
+StatusOr<std::unique_ptr<UnixServerSocket>> UnixServerSocket::Listen(
+    const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  ::unlink(path.c_str());
+  sockaddr_un addr;
+  Status s = FillSockAddr(path, &addr);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return ErrnoError("bind " + path);
+  }
+  if (::listen(fd, 4) != 0) {
+    ::close(fd);
+    return ErrnoError("listen " + path);
+  }
+  return std::unique_ptr<UnixServerSocket>(new UnixServerSocket(fd, path));
+}
+
+UnixServerSocket::~UnixServerSocket() { Close(); }
+
+StatusOr<std::unique_ptr<Channel>> UnixServerSocket::Accept() {
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return ErrnoError("accept");
+  return std::unique_ptr<Channel>(std::make_unique<SocketChannel>(client));
+}
+
+void UnixServerSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+    fd_ = -1;
+  }
+}
+
+}  // namespace ssdb::rpc

@@ -1,0 +1,44 @@
+// Unix-domain socket transport: a real process boundary for the
+// client/server architecture of fig. 3 (the paper used Java RMI).
+
+#ifndef SSDB_RPC_SOCKET_CHANNEL_H_
+#define SSDB_RPC_SOCKET_CHANNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "rpc/channel.h"
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+// Connects to a listening unix socket.
+StatusOr<std::unique_ptr<Channel>> ConnectUnix(const std::string& path);
+
+class UnixServerSocket {
+ public:
+  // Binds and listens; removes a stale socket file first.
+  static StatusOr<std::unique_ptr<UnixServerSocket>> Listen(
+      const std::string& path);
+
+  ~UnixServerSocket();
+  UnixServerSocket(const UnixServerSocket&) = delete;
+  UnixServerSocket& operator=(const UnixServerSocket&) = delete;
+
+  // Blocks for one connection.
+  StatusOr<std::unique_ptr<Channel>> Accept();
+
+  void Close();
+  const std::string& path() const { return path_; }
+
+ private:
+  UnixServerSocket(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_SOCKET_CHANNEL_H_

@@ -1,0 +1,137 @@
+#include "rpc/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/varint.h"
+
+namespace ssdb::rpc {
+
+Status WriteFull(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadFull(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    ssize_t n = ::read(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::OutOfRange("connection closed");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds maximum size");
+  }
+  uint8_t header[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
+  SSDB_RETURN_IF_ERROR(WriteFull(fd, header, 4));
+  return WriteFull(fd, payload.data(), payload.size());
+}
+
+StatusOr<std::string> ReadFrame(int fd) {
+  uint8_t header[4];
+  SSDB_RETURN_IF_ERROR(ReadFull(fd, header, 4));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  if (len > kMaxFrameBytes) {
+    return Status::Corruption("oversized frame");
+  }
+  std::string payload(len, '\0');
+  SSDB_RETURN_IF_ERROR(ReadFull(fd, payload.data(), len));
+  return payload;
+}
+
+void AppendNodeMeta(std::string* out, const filter::NodeMeta& meta) {
+  PutVarint64(out, meta.pre);
+  PutVarint64(out, meta.post);
+  PutVarint64(out, meta.parent);
+}
+
+Status ConsumeNodeMeta(std::string_view* in, filter::NodeMeta* meta) {
+  uint64_t v = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &v));
+  meta->pre = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &v));
+  meta->post = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &v));
+  meta->parent = static_cast<uint32_t>(v);
+  return Status::OK();
+}
+
+void AppendNodeMetas(std::string* out,
+                     const std::vector<filter::NodeMeta>& metas) {
+  PutVarint64(out, metas.size());
+  for (const auto& meta : metas) AppendNodeMeta(out, meta);
+}
+
+StatusOr<std::vector<filter::NodeMeta>> ConsumeNodeMetas(
+    std::string_view* in) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  std::vector<filter::NodeMeta> metas(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SSDB_RETURN_IF_ERROR(ConsumeNodeMeta(in, &metas[i]));
+  }
+  return metas;
+}
+
+void AppendElems(std::string* out, const std::vector<gf::Elem>& elems) {
+  PutVarint64(out, elems.size());
+  for (gf::Elem e : elems) PutVarint64(out, e);
+}
+
+StatusOr<std::vector<gf::Elem>> ConsumeElems(std::string_view* in) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  std::vector<gf::Elem> elems(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    SSDB_RETURN_IF_ERROR(GetVarint64(in, &v));
+    elems[i] = static_cast<gf::Elem>(v);
+  }
+  return elems;
+}
+
+void AppendU32s(std::string* out, const std::vector<uint32_t>& values) {
+  PutVarint64(out, values.size());
+  for (uint32_t v : values) PutVarint64(out, v);
+}
+
+StatusOr<std::vector<uint32_t>> ConsumeU32s(std::string_view* in) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  std::vector<uint32_t> values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    SSDB_RETURN_IF_ERROR(GetVarint64(in, &v));
+    values[i] = static_cast<uint32_t>(v);
+  }
+  return values;
+}
+
+}  // namespace ssdb::rpc

@@ -1,0 +1,45 @@
+// Low-level wire helpers: length-prefixed frames over file descriptors and
+// the shared encode/decode routines for protocol payloads.
+
+#ifndef SSDB_RPC_WIRE_H_
+#define SSDB_RPC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "filter/server_filter.h"
+#include "gf/field.h"
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+// Frame format: u32 little-endian length, then payload. Max 64 MiB.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// Blocking full-buffer read/write on a fd; EOF surfaces as OutOfRange.
+Status WriteFull(int fd, const void* data, size_t len);
+Status ReadFull(int fd, void* data, size_t len);
+
+Status WriteFrame(int fd, std::string_view payload);
+StatusOr<std::string> ReadFrame(int fd);
+
+// --- payload codecs shared by protocol.cc and client.cc ---
+void AppendNodeMeta(std::string* out, const filter::NodeMeta& meta);
+Status ConsumeNodeMeta(std::string_view* in, filter::NodeMeta* meta);
+
+void AppendNodeMetas(std::string* out,
+                     const std::vector<filter::NodeMeta>& metas);
+StatusOr<std::vector<filter::NodeMeta>> ConsumeNodeMetas(
+    std::string_view* in);
+
+void AppendElems(std::string* out, const std::vector<gf::Elem>& elems);
+StatusOr<std::vector<gf::Elem>> ConsumeElems(std::string_view* in);
+
+void AppendU32s(std::string* out, const std::vector<uint32_t>& values);
+StatusOr<std::vector<uint32_t>> ConsumeU32s(std::string_view* in);
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_WIRE_H_

@@ -1,0 +1,357 @@
+#include "storage/btree.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ssdb::storage {
+namespace {
+
+constexpr size_t kCountOff = 8;
+constexpr size_t kNextLeafOff = 12;   // leaves
+constexpr size_t kChild0Off = 12;     // internals
+constexpr size_t kEntriesOff = 16;
+
+constexpr size_t kLeafEntrySize = 16;      // u64 key + u64 value
+constexpr size_t kInternalEntrySize = 12;  // u64 key + u32 child
+
+constexpr uint16_t kLeafCapacity =
+    static_cast<uint16_t>((kPageSize - kEntriesOff) / kLeafEntrySize);
+constexpr uint16_t kInternalCapacity =
+    static_cast<uint16_t>((kPageSize - kEntriesOff) / kInternalEntrySize);
+
+uint16_t EntryCount(const uint8_t* page) { return LoadU16(page + kCountOff); }
+void SetEntryCount(uint8_t* page, uint16_t count) {
+  StoreU16(page + kCountOff, count);
+}
+
+bool IsLeaf(const uint8_t* page) {
+  return GetPageType(page) == PageType::kBTreeLeaf;
+}
+
+// --- Leaf entry accessors ---
+uint64_t LeafKey(const uint8_t* page, uint16_t i) {
+  return LoadU64(page + kEntriesOff + kLeafEntrySize * i);
+}
+uint64_t LeafValue(const uint8_t* page, uint16_t i) {
+  return LoadU64(page + kEntriesOff + kLeafEntrySize * i + 8);
+}
+void SetLeafEntry(uint8_t* page, uint16_t i, uint64_t key, uint64_t value) {
+  StoreU64(page + kEntriesOff + kLeafEntrySize * i, key);
+  StoreU64(page + kEntriesOff + kLeafEntrySize * i + 8, value);
+}
+PageId NextLeaf(const uint8_t* page) { return LoadU32(page + kNextLeafOff); }
+
+// First index with key >= target (lower bound).
+uint16_t LeafLowerBound(const uint8_t* page, uint64_t key) {
+  uint16_t lo = 0, hi = EntryCount(page);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (LeafKey(page, mid) < key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// --- Internal entry accessors ---
+uint64_t InternalKey(const uint8_t* page, uint16_t i) {
+  return LoadU64(page + kEntriesOff + kInternalEntrySize * i);
+}
+PageId InternalChildAt(const uint8_t* page, uint16_t i) {
+  // child[0] lives in the header slot; child[i>0] sits in entry i-1.
+  if (i == 0) return LoadU32(page + kChild0Off);
+  return LoadU32(page + kEntriesOff + kInternalEntrySize * (i - 1) + 8);
+}
+void SetInternalEntry(uint8_t* page, uint16_t i, uint64_t key, PageId child) {
+  StoreU64(page + kEntriesOff + kInternalEntrySize * i, key);
+  StoreU32(page + kEntriesOff + kInternalEntrySize * i + 8, child);
+}
+
+// Index of the child to descend into for `key`: number of separator keys
+// that are <= key.
+uint16_t InternalChildIndex(const uint8_t* page, uint64_t key) {
+  uint16_t lo = 0, hi = EntryCount(page);
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (InternalKey(page, mid) <= key) {
+      lo = static_cast<uint16_t>(mid + 1);
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void InitLeaf(uint8_t* page) {
+  SetPageType(page, PageType::kBTreeLeaf);
+  SetEntryCount(page, 0);
+  StoreU32(page + kNextLeafOff, kInvalidPageId);
+}
+
+void InitInternal(uint8_t* page) {
+  SetPageType(page, PageType::kBTreeInternal);
+  SetEntryCount(page, 0);
+  StoreU32(page + kChild0Off, kInvalidPageId);
+}
+
+}  // namespace
+
+StatusOr<BTree> BTree::Create(BufferPool* pool) {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool->NewPage());
+  InitLeaf(page.data());
+  page.MarkDirty();
+  return BTree(pool, page.id());
+}
+
+BTree BTree::Open(BufferPool* pool, PageId root) { return BTree(pool, root); }
+
+Status BTree::Insert(uint64_t key, uint64_t value) {
+  SSDB_ASSIGN_OR_RETURN(SplitResult split,
+                        InsertRec(root_, key, value, /*upsert=*/false));
+  if (split.did_split) {
+    SSDB_ASSIGN_OR_RETURN(PageHandle new_root, pool_->NewPage());
+    InitInternal(new_root.data());
+    StoreU32(new_root.data() + kChild0Off, root_);
+    SetInternalEntry(new_root.data(), 0, split.promoted_key, split.right);
+    SetEntryCount(new_root.data(), 1);
+    new_root.MarkDirty();
+    root_ = new_root.id();
+  }
+  return Status::OK();
+}
+
+Status BTree::Upsert(uint64_t key, uint64_t value) {
+  SSDB_ASSIGN_OR_RETURN(SplitResult split,
+                        InsertRec(root_, key, value, /*upsert=*/true));
+  if (split.did_split) {
+    SSDB_ASSIGN_OR_RETURN(PageHandle new_root, pool_->NewPage());
+    InitInternal(new_root.data());
+    StoreU32(new_root.data() + kChild0Off, root_);
+    SetInternalEntry(new_root.data(), 0, split.promoted_key, split.right);
+    SetEntryCount(new_root.data(), 1);
+    new_root.MarkDirty();
+    root_ = new_root.id();
+  }
+  return Status::OK();
+}
+
+StatusOr<BTree::SplitResult> BTree::InsertRec(PageId page_id, uint64_t key,
+                                              uint64_t value, bool upsert) {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(page_id));
+  uint8_t* data = page.data();
+
+  if (IsLeaf(data)) {
+    uint16_t count = EntryCount(data);
+    uint16_t pos = LeafLowerBound(data, key);
+    if (pos < count && LeafKey(data, pos) == key) {
+      if (!upsert) {
+        return Status::AlreadyExists("duplicate B+tree key");
+      }
+      SetLeafEntry(data, pos, key, value);
+      page.MarkDirty();
+      return SplitResult{};
+    }
+    if (count < kLeafCapacity) {
+      std::memmove(data + kEntriesOff + kLeafEntrySize * (pos + 1),
+                   data + kEntriesOff + kLeafEntrySize * pos,
+                   kLeafEntrySize * static_cast<size_t>(count - pos));
+      SetLeafEntry(data, pos, key, value);
+      SetEntryCount(data, static_cast<uint16_t>(count + 1));
+      page.MarkDirty();
+      return SplitResult{};
+    }
+    // Split the leaf: right half moves to a new page.
+    SSDB_ASSIGN_OR_RETURN(PageHandle right, pool_->NewPage());
+    InitLeaf(right.data());
+    uint16_t mid = static_cast<uint16_t>(count / 2);
+    uint16_t right_count = static_cast<uint16_t>(count - mid);
+    std::memcpy(right.data() + kEntriesOff,
+                data + kEntriesOff + kLeafEntrySize * mid,
+                kLeafEntrySize * static_cast<size_t>(right_count));
+    SetEntryCount(right.data(), right_count);
+    StoreU32(right.data() + kNextLeafOff, NextLeaf(data));
+    SetEntryCount(data, mid);
+    StoreU32(data + kNextLeafOff, right.id());
+    // Insert into the proper half.
+    uint8_t* target = key < LeafKey(right.data(), 0) ? data : right.data();
+    uint16_t tcount = EntryCount(target);
+    uint16_t tpos = LeafLowerBound(target, key);
+    std::memmove(target + kEntriesOff + kLeafEntrySize * (tpos + 1),
+                 target + kEntriesOff + kLeafEntrySize * tpos,
+                 kLeafEntrySize * static_cast<size_t>(tcount - tpos));
+    SetLeafEntry(target, tpos, key, value);
+    SetEntryCount(target, static_cast<uint16_t>(tcount + 1));
+    page.MarkDirty();
+    right.MarkDirty();
+    SplitResult result;
+    result.did_split = true;
+    result.promoted_key = LeafKey(right.data(), 0);
+    result.right = right.id();
+    return result;
+  }
+
+  // Internal node.
+  uint16_t child_index = InternalChildIndex(data, key);
+  PageId child = InternalChildAt(data, child_index);
+  // Release our pin before recursing so deep trees can't exhaust the pool.
+  page = PageHandle();
+  SSDB_ASSIGN_OR_RETURN(SplitResult child_split,
+                        InsertRec(child, key, value, upsert));
+  if (!child_split.did_split) return SplitResult{};
+
+  SSDB_ASSIGN_OR_RETURN(page, pool_->Fetch(page_id));
+  data = page.data();
+  uint16_t count = EntryCount(data);
+  if (count < kInternalCapacity) {
+    std::memmove(data + kEntriesOff + kInternalEntrySize * (child_index + 1),
+                 data + kEntriesOff + kInternalEntrySize * child_index,
+                 kInternalEntrySize * static_cast<size_t>(count - child_index));
+    SetInternalEntry(data, child_index, child_split.promoted_key,
+                     child_split.right);
+    SetEntryCount(data, static_cast<uint16_t>(count + 1));
+    page.MarkDirty();
+    return SplitResult{};
+  }
+
+  // Split the internal node. Gather entries + the pending one, then split
+  // around the median, which moves up (B+tree internal split).
+  struct Entry {
+    uint64_t key;
+    PageId child;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(count + 1u);
+  for (uint16_t i = 0; i < count; ++i) {
+    entries.push_back({InternalKey(data, i), InternalChildAt(data, i + 1)});
+  }
+  entries.insert(entries.begin() + child_index,
+                 {child_split.promoted_key, child_split.right});
+  PageId child0 = InternalChildAt(data, 0);
+
+  size_t mid = entries.size() / 2;
+  uint64_t median_key = entries[mid].key;
+
+  SSDB_ASSIGN_OR_RETURN(PageHandle right, pool_->NewPage());
+  InitInternal(right.data());
+  StoreU32(right.data() + kChild0Off, entries[mid].child);
+  uint16_t right_count = 0;
+  for (size_t i = mid + 1; i < entries.size(); ++i) {
+    SetInternalEntry(right.data(), right_count, entries[i].key,
+                     entries[i].child);
+    ++right_count;
+  }
+  SetEntryCount(right.data(), right_count);
+
+  // Rewrite the left node with the first `mid` entries.
+  StoreU32(data + kChild0Off, child0);
+  for (size_t i = 0; i < mid; ++i) {
+    SetInternalEntry(data, static_cast<uint16_t>(i), entries[i].key,
+                     entries[i].child);
+  }
+  SetEntryCount(data, static_cast<uint16_t>(mid));
+  page.MarkDirty();
+  right.MarkDirty();
+
+  SplitResult result;
+  result.did_split = true;
+  result.promoted_key = median_key;
+  result.right = right.id();
+  return result;
+}
+
+StatusOr<PageId> BTree::FindLeaf(uint64_t key) const {
+  PageId current = root_;
+  for (;;) {
+    SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    const uint8_t* data = page.data();
+    if (IsLeaf(data)) return current;
+    current = InternalChildAt(data, InternalChildIndex(data, key));
+  }
+}
+
+StatusOr<uint64_t> BTree::Get(uint64_t key) const {
+  SSDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(leaf_id));
+  const uint8_t* data = page.data();
+  uint16_t pos = LeafLowerBound(data, key);
+  if (pos < EntryCount(data) && LeafKey(data, pos) == key) {
+    return LeafValue(data, pos);
+  }
+  return Status::NotFound("key not in B+tree");
+}
+
+bool BTree::Contains(uint64_t key) const { return Get(key).ok(); }
+
+Status BTree::Delete(uint64_t key) {
+  SSDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(leaf_id));
+  uint8_t* data = page.data();
+  uint16_t count = EntryCount(data);
+  uint16_t pos = LeafLowerBound(data, key);
+  if (pos >= count || LeafKey(data, pos) != key) {
+    return Status::NotFound("key not in B+tree");
+  }
+  std::memmove(data + kEntriesOff + kLeafEntrySize * pos,
+               data + kEntriesOff + kLeafEntrySize * (pos + 1),
+               kLeafEntrySize * static_cast<size_t>(count - pos - 1));
+  SetEntryCount(data, static_cast<uint16_t>(count - 1));
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Scan(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  if (lo >= hi) return Status::OK();
+  SSDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(lo));
+  PageId current = leaf_id;
+  while (current != kInvalidPageId) {
+    SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    const uint8_t* data = page.data();
+    uint16_t count = EntryCount(data);
+    for (uint16_t i = LeafLowerBound(data, lo); i < count; ++i) {
+      uint64_t key = LeafKey(data, i);
+      if (key >= hi) return Status::OK();
+      if (!fn(key, LeafValue(data, i))) return Status::OK();
+    }
+    current = NextLeaf(data);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BTree::Count() const {
+  uint64_t total = 0;
+  SSDB_RETURN_IF_ERROR(Scan(0, UINT64_MAX, [&](uint64_t, uint64_t) {
+    ++total;
+    return true;
+  }));
+  // UINT64_MAX itself is excluded by the half-open range; count it if present.
+  if (Contains(UINT64_MAX)) ++total;
+  return total;
+}
+
+StatusOr<uint64_t> BTree::PageCount() const {
+  // DFS from the root.
+  std::vector<PageId> stack = {root_};
+  uint64_t pages = 0;
+  while (!stack.empty()) {
+    PageId id = stack.back();
+    stack.pop_back();
+    ++pages;
+    SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id));
+    const uint8_t* data = page.data();
+    if (!IsLeaf(data)) {
+      uint16_t count = EntryCount(data);
+      for (uint16_t i = 0; i <= count; ++i) {
+        stack.push_back(InternalChildAt(data, i));
+      }
+    }
+  }
+  return pages;
+}
+
+}  // namespace ssdb::storage

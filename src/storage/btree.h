@@ -1,0 +1,88 @@
+// Disk-backed B+tree with u64 keys and u64 values — the index structure the
+// paper puts on the pre, post and parent columns ("the pre, post and parent
+// fields are indexed by a B-tree", §5.1).
+//
+// Duplicate logical keys (many nodes share a parent) are handled by the
+// caller packing composite keys: (column_value << 32) | pre, then range
+// scanning [v << 32, (v+1) << 32).
+//
+// Leaf page layout after the common 8-byte header:
+//   [8..10)  count
+//   [12..16) next_leaf
+//   [16..)   entries: {u64 key, u64 value} * count       (16 bytes each)
+// Internal page layout:
+//   [8..10)  count
+//   [12..16) child[0]
+//   [16..)   entries: {u64 key, u32 child} * count       (12 bytes each)
+// Keys in internal entry i separate child[i] (< key) from child[i+1] (>= key).
+//
+// Deletion removes leaf entries without rebalancing (the encode-once,
+// query-many workload never shrinks); lookups and scans stay correct on
+// sparse leaves.
+
+#ifndef SSDB_STORAGE_BTREE_H_
+#define SSDB_STORAGE_BTREE_H_
+
+#include <functional>
+
+#include "storage/buffer_pool.h"
+#include "util/statusor.h"
+
+namespace ssdb::storage {
+
+class BTree {
+ public:
+  // Creates an empty tree (a single empty leaf) and returns it.
+  static StatusOr<BTree> Create(BufferPool* pool);
+
+  // Attaches to an existing tree root.
+  static BTree Open(BufferPool* pool, PageId root);
+
+  // Current root; persists in the catalog — it changes when the root splits.
+  PageId root() const { return root_; }
+
+  // Inserts a new key. AlreadyExists if the key is present.
+  Status Insert(uint64_t key, uint64_t value);
+
+  // Inserts or overwrites.
+  Status Upsert(uint64_t key, uint64_t value);
+
+  StatusOr<uint64_t> Get(uint64_t key) const;
+  bool Contains(uint64_t key) const;
+
+  // Removes a key; NotFound if absent.
+  Status Delete(uint64_t key);
+
+  // Visits entries with lo <= key < hi in key order; callback returns false
+  // to stop early.
+  Status Scan(uint64_t lo, uint64_t hi,
+              const std::function<bool(uint64_t key, uint64_t value)>& fn)
+      const;
+
+  // Number of entries (full leaf walk).
+  StatusOr<uint64_t> Count() const;
+
+  // Pages reachable from the root (for index-size accounting, fig. 4).
+  StatusOr<uint64_t> PageCount() const;
+
+ private:
+  BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct SplitResult {
+    bool did_split = false;
+    uint64_t promoted_key = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  StatusOr<SplitResult> InsertRec(PageId page_id, uint64_t key,
+                                  uint64_t value, bool upsert);
+  // Descends to the leaf that would contain `key`.
+  StatusOr<PageId> FindLeaf(uint64_t key) const;
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_BTREE_H_

@@ -1,0 +1,74 @@
+#include "storage/catalog.h"
+
+#include "util/varint.h"
+
+namespace ssdb::storage {
+
+StatusOr<Catalog> Catalog::Create(BufferPool* pool) {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool->NewPage());
+  SetPageType(page.data(), PageType::kCatalog);
+  page.MarkDirty();
+  Catalog catalog(pool, page.id());
+  return catalog;
+}
+
+StatusOr<Catalog> Catalog::Load(BufferPool* pool, PageId page_id) {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(page_id));
+  const uint8_t* data = page.data();
+  if (GetPageType(data) != PageType::kCatalog) {
+    return Status::Corruption("catalog page has wrong type");
+  }
+  Catalog catalog(pool, page_id);
+  // Payload: varint entry count, then {length-prefixed key, varint value}.
+  std::string_view payload(
+      reinterpret_cast<const char*>(data + kPageHeaderSize),
+      kPageSize - kPageHeaderSize);
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&payload, &count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view key;
+    uint64_t value = 0;
+    SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&payload, &key));
+    SSDB_RETURN_IF_ERROR(GetVarint64(&payload, &value));
+    catalog.values_[std::string(key)] = value;
+  }
+  return catalog;
+}
+
+StatusOr<uint64_t> Catalog::Get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::NotFound("catalog key missing: " + key);
+  }
+  return it->second;
+}
+
+uint64_t Catalog::GetOr(const std::string& key, uint64_t fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+void Catalog::Set(const std::string& key, uint64_t value) {
+  values_[key] = value;
+}
+
+Status Catalog::Save() {
+  std::string payload;
+  PutVarint64(&payload, values_.size());
+  for (const auto& [key, value] : values_) {
+    PutLengthPrefixed(&payload, key);
+    PutVarint64(&payload, value);
+  }
+  if (payload.size() > kPageSize - kPageHeaderSize) {
+    return Status::InvalidArgument("catalog exceeds one page");
+  }
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(page_));
+  uint8_t* data = page.data();
+  SetPageType(data, PageType::kCatalog);
+  std::memset(data + kPageHeaderSize, 0, kPageSize - kPageHeaderSize);
+  std::memcpy(data + kPageHeaderSize, payload.data(), payload.size());
+  page.MarkDirty();
+  return Status::OK();
+}
+
+}  // namespace ssdb::storage

@@ -1,0 +1,44 @@
+// Tiny persistent catalog: named u64 values (index roots, heap page ids, row
+// counts, field parameters) serialized into a dedicated page. The catalog's
+// own page id lives in pager meta slot 0.
+
+#ifndef SSDB_STORAGE_CATALOG_H_
+#define SSDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "util/statusor.h"
+
+namespace ssdb::storage {
+
+class Catalog {
+ public:
+  // Creates an empty catalog on a fresh page.
+  static StatusOr<Catalog> Create(BufferPool* pool);
+  // Loads an existing catalog page.
+  static StatusOr<Catalog> Load(BufferPool* pool, PageId page);
+
+  PageId page() const { return page_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  StatusOr<uint64_t> Get(const std::string& key) const;
+  uint64_t GetOr(const std::string& key, uint64_t fallback) const;
+  void Set(const std::string& key, uint64_t value);
+
+  // Writes the catalog back to its page. Fails if the encoded size exceeds
+  // one page (the schema here needs ~10 entries).
+  Status Save();
+
+ private:
+  Catalog(BufferPool* pool, PageId page) : pool_(pool), page_(page) {}
+
+  BufferPool* pool_;
+  PageId page_;
+  std::map<std::string, uint64_t> values_;
+};
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_CATALOG_H_

@@ -1,0 +1,148 @@
+#include "storage/heap_file.h"
+
+#include "util/logging.h"
+
+namespace ssdb::storage {
+namespace {
+
+constexpr size_t kSlotCountOff = 8;
+constexpr size_t kFreeEndOff = 10;
+constexpr size_t kNextPageOff = 12;
+constexpr size_t kSlotArrayOff = 16;
+constexpr uint16_t kDeletedOffset = 0xffff;
+
+uint16_t SlotCount(const uint8_t* page) { return LoadU16(page + kSlotCountOff); }
+uint16_t FreeEnd(const uint8_t* page) { return LoadU16(page + kFreeEndOff); }
+PageId NextPage(const uint8_t* page) { return LoadU32(page + kNextPageOff); }
+
+void InitHeapPage(uint8_t* page) {
+  SetPageType(page, PageType::kHeap);
+  StoreU16(page + kSlotCountOff, 0);
+  StoreU16(page + kFreeEndOff, static_cast<uint16_t>(kPageSize));
+  StoreU32(page + kNextPageOff, kInvalidPageId);
+}
+
+size_t FreeSpace(const uint8_t* page) {
+  size_t slots_end = kSlotArrayOff + 4 * static_cast<size_t>(SlotCount(page));
+  size_t free_end = FreeEnd(page);
+  return free_end > slots_end ? free_end - slots_end : 0;
+}
+
+}  // namespace
+
+StatusOr<HeapFile> HeapFile::Create(BufferPool* pool) {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool->NewPage());
+  InitHeapPage(page.data());
+  page.MarkDirty();
+  return HeapFile(pool, page.id(), page.id());
+}
+
+StatusOr<HeapFile> HeapFile::Open(BufferPool* pool, PageId first_page,
+                                  PageId last_page) {
+  return HeapFile(pool, first_page, last_page);
+}
+
+StatusOr<RecordId> HeapFile::Append(std::string_view record) {
+  // 4 slot bytes + payload must fit alongside the page header.
+  if (record.size() + 4 > kPageSize - kSlotArrayOff) {
+    return Status::InvalidArgument(
+        "record too large for heap page: " + std::to_string(record.size()) +
+        " bytes (polynomial fields larger than ~2^15 need overflow pages, "
+        "which this engine does not implement)");
+  }
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(last_page_));
+  if (FreeSpace(page.data()) < record.size() + 4) {
+    // Chain a fresh page.
+    SSDB_ASSIGN_OR_RETURN(PageHandle fresh, pool_->NewPage());
+    InitHeapPage(fresh.data());
+    fresh.MarkDirty();
+    StoreU32(page.data() + kNextPageOff, fresh.id());
+    page.MarkDirty();
+    last_page_ = fresh.id();
+    page = std::move(fresh);
+  }
+
+  uint8_t* data = page.data();
+  uint16_t slot = SlotCount(data);
+  uint16_t free_end = FreeEnd(data);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(data + offset, record.data(), record.size());
+  StoreU16(data + kSlotArrayOff + 4 * slot, offset);
+  StoreU16(data + kSlotArrayOff + 4 * slot + 2,
+           static_cast<uint16_t>(record.size()));
+  StoreU16(data + kSlotCountOff, static_cast<uint16_t>(slot + 1));
+  StoreU16(data + kFreeEndOff, offset);
+  page.MarkDirty();
+  return MakeRecordId(page.id(), slot);
+}
+
+StatusOr<std::string> HeapFile::Get(RecordId rid) const {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(RecordPage(rid)));
+  const uint8_t* data = page.data();
+  if (GetPageType(data) != PageType::kHeap) {
+    return Status::Corruption("record id points at a non-heap page");
+  }
+  uint16_t slot = RecordSlot(rid);
+  if (slot >= SlotCount(data)) {
+    return Status::NotFound("no such slot in heap page");
+  }
+  uint16_t offset = LoadU16(data + kSlotArrayOff + 4 * slot);
+  uint16_t length = LoadU16(data + kSlotArrayOff + 4 * slot + 2);
+  if (offset == kDeletedOffset) {
+    return Status::NotFound("record was deleted");
+  }
+  if (offset + static_cast<size_t>(length) > kPageSize) {
+    return Status::Corruption("slot extends past page end");
+  }
+  return std::string(reinterpret_cast<const char*>(data + offset), length);
+}
+
+Status HeapFile::Delete(RecordId rid) {
+  SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(RecordPage(rid)));
+  uint8_t* data = page.data();
+  uint16_t slot = RecordSlot(rid);
+  if (slot >= SlotCount(data)) {
+    return Status::NotFound("no such slot in heap page");
+  }
+  if (LoadU16(data + kSlotArrayOff + 4 * slot) == kDeletedOffset) {
+    return Status::NotFound("record already deleted");
+  }
+  // Tombstone the slot; space is reclaimed only by offline compaction,
+  // which the encode-once workload never needs.
+  StoreU16(data + kSlotArrayOff + 4 * slot, kDeletedOffset);
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(RecordId, std::string_view)>& fn) const {
+  PageId current = first_page_;
+  while (current != kInvalidPageId) {
+    SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    const uint8_t* data = page.data();
+    uint16_t count = SlotCount(data);
+    for (uint16_t slot = 0; slot < count; ++slot) {
+      uint16_t offset = LoadU16(data + kSlotArrayOff + 4 * slot);
+      uint16_t length = LoadU16(data + kSlotArrayOff + 4 * slot + 2);
+      if (offset == kDeletedOffset) continue;
+      std::string_view record(reinterpret_cast<const char*>(data + offset),
+                              length);
+      if (!fn(MakeRecordId(current, slot), record)) return Status::OK();
+    }
+    current = NextPage(data);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> HeapFile::PageCount() const {
+  uint64_t count = 0;
+  PageId current = first_page_;
+  while (current != kInvalidPageId) {
+    ++count;
+    SSDB_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    current = NextPage(page.data());
+  }
+  return count;
+}
+
+}  // namespace ssdb::storage

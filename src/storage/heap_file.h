@@ -1,0 +1,72 @@
+// Slotted-page heap file for variable-length records (the serialized
+// polynomial rows). Records are addressed by RecordId = (page << 16) | slot.
+//
+// Page layout after the common 8-byte header:
+//   [8..10)  slot_count
+//   [10..12) free_end   (offset where the cell area begins; cells grow down)
+//   [12..16) next_page  (singly-linked list for full scans)
+//   [16..)   slot array: per slot {u16 offset, u16 length}; offset 0xffff
+//            marks a deleted slot.
+
+#ifndef SSDB_STORAGE_HEAP_FILE_H_
+#define SSDB_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/buffer_pool.h"
+#include "util/statusor.h"
+
+namespace ssdb::storage {
+
+using RecordId = uint64_t;
+inline constexpr RecordId kInvalidRecordId = ~0ULL;
+
+inline RecordId MakeRecordId(PageId page, uint16_t slot) {
+  return (static_cast<uint64_t>(page) << 16) | slot;
+}
+inline PageId RecordPage(RecordId rid) {
+  return static_cast<PageId>(rid >> 16);
+}
+inline uint16_t RecordSlot(RecordId rid) {
+  return static_cast<uint16_t>(rid & 0xffff);
+}
+
+class HeapFile {
+ public:
+  // Creates a fresh heap with one empty page; returns its first page id,
+  // which the caller persists (catalog) and passes back on reopen.
+  static StatusOr<HeapFile> Create(BufferPool* pool);
+  static StatusOr<HeapFile> Open(BufferPool* pool, PageId first_page,
+                                 PageId last_page);
+
+  // Appends a record (size limit ~ kPageSize - 24 bytes).
+  StatusOr<RecordId> Append(std::string_view record);
+
+  StatusOr<std::string> Get(RecordId rid) const;
+  Status Delete(RecordId rid);
+
+  // Visits every live record in file order; return false to stop early.
+  Status Scan(
+      const std::function<bool(RecordId, std::string_view)>& fn) const;
+
+  PageId first_page() const { return first_page_; }
+  // Append target; persists alongside first_page.
+  PageId last_page() const { return last_page_; }
+
+  // Pages owned by this heap (walks the chain).
+  StatusOr<uint64_t> PageCount() const;
+
+ private:
+  HeapFile(BufferPool* pool, PageId first, PageId last)
+      : pool_(pool), first_page_(first), last_page_(last) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+};
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,75 @@
+#include "storage/memory_backend.h"
+
+namespace ssdb::storage {
+
+Status MemoryNodeStore::Insert(const NodeRow& row) {
+  if (row.pre == 0) {
+    return Status::InvalidArgument("pre numbering starts at 1");
+  }
+  if (rows_.count(row.pre) > 0) {
+    return Status::AlreadyExists("duplicate pre value " +
+                                 std::to_string(row.pre));
+  }
+  std::string encoded = EncodeNodeRow(row);
+  payload_bytes_ += encoded.size();
+  structure_bytes_ += encoded.size() - row.share.size();
+  if (row.parent == 0) {
+    if (root_pre_ != 0) {
+      return Status::AlreadyExists("second root row inserted");
+    }
+    root_pre_ = row.pre;
+  }
+  children_[row.parent].push_back(row.pre);
+  rows_.emplace(row.pre, row);
+  return Status::OK();
+}
+
+StatusOr<NodeRow> MemoryNodeStore::GetByPre(uint32_t pre) {
+  auto it = rows_.find(pre);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with pre " + std::to_string(pre));
+  }
+  return it->second;
+}
+
+StatusOr<NodeRow> MemoryNodeStore::GetRoot() {
+  if (root_pre_ == 0) return Status::NotFound("no root row");
+  return GetByPre(root_pre_);
+}
+
+StatusOr<std::vector<NodeRow>> MemoryNodeStore::GetChildren(
+    uint32_t parent_pre) {
+  std::vector<NodeRow> out;
+  auto it = children_.find(parent_pre);
+  if (it == children_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint32_t pre : it->second) {
+    out.push_back(rows_.at(pre));
+  }
+  return out;
+}
+
+Status MemoryNodeStore::ScanDescendants(
+    uint32_t pre, uint32_t post,
+    const std::function<bool(const NodeRow&)>& fn) {
+  for (auto it = rows_.upper_bound(pre); it != rows_.end(); ++it) {
+    if (it->second.post > post) break;  // left the subtree
+    if (!fn(it->second)) break;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> MemoryNodeStore::NodeCount() { return rows_.size(); }
+
+StatusOr<StorageStats> MemoryNodeStore::Stats() {
+  StorageStats stats;
+  stats.node_count = rows_.size();
+  stats.payload_bytes = payload_bytes_;
+  stats.structure_bytes = structure_bytes_;
+  stats.data_bytes = payload_bytes_;
+  stats.index_bytes = 0;
+  stats.file_bytes = 0;
+  return stats;
+}
+
+}  // namespace ssdb::storage

@@ -1,0 +1,41 @@
+// MemoryNodeStore: in-RAM implementation of the NodeStore interface, used by
+// tests (as a model for the disk engine) and by benchmarks that want to
+// isolate algorithmic costs from IO (ablation A2 in DESIGN.md).
+
+#ifndef SSDB_STORAGE_MEMORY_BACKEND_H_
+#define SSDB_STORAGE_MEMORY_BACKEND_H_
+
+#include <map>
+#include <vector>
+
+#include "storage/node_store.h"
+
+namespace ssdb::storage {
+
+class MemoryNodeStore : public NodeStore {
+ public:
+  MemoryNodeStore() = default;
+
+  Status Insert(const NodeRow& row) override;
+  StatusOr<NodeRow> GetByPre(uint32_t pre) override;
+  StatusOr<NodeRow> GetRoot() override;
+  StatusOr<std::vector<NodeRow>> GetChildren(uint32_t parent_pre) override;
+  Status ScanDescendants(
+      uint32_t pre, uint32_t post,
+      const std::function<bool(const NodeRow&)>& fn) override;
+  StatusOr<uint64_t> NodeCount() override;
+  StatusOr<StorageStats> Stats() override;
+  Status Flush() override { return Status::OK(); }
+
+ private:
+  // Keyed by pre: ordered map gives document-order scans for free.
+  std::map<uint32_t, NodeRow> rows_;
+  std::map<uint32_t, std::vector<uint32_t>> children_;  // parent -> pres
+  uint32_t root_pre_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint64_t structure_bytes_ = 0;
+};
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_MEMORY_BACKEND_H_

@@ -1,0 +1,38 @@
+#include "storage/node_store.h"
+
+#include "util/varint.h"
+
+namespace ssdb::storage {
+
+std::string EncodeNodeRow(const NodeRow& row) {
+  std::string out;
+  PutVarint64(&out, row.pre);
+  PutVarint64(&out, row.post);
+  PutVarint64(&out, row.parent);
+  PutLengthPrefixed(&out, row.share);
+  PutLengthPrefixed(&out, row.sealed);
+  return out;
+}
+
+StatusOr<NodeRow> DecodeNodeRow(std::string_view data) {
+  NodeRow row;
+  uint64_t v = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  row.pre = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  row.post = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  row.parent = static_cast<uint32_t>(v);
+  std::string_view share;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &share));
+  row.share = std::string(share);
+  std::string_view sealed;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &sealed));
+  row.sealed = std::string(sealed);
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes after node row");
+  }
+  return row;
+}
+
+}  // namespace ssdb::storage

@@ -1,0 +1,85 @@
+// Storage-engine interface for the polynomial table — the paper's relational
+// schema (pre, post, parent, share) with B-tree access paths (§5.1). Two
+// implementations: DiskNodeStore (src/storage/table.h, paged B+tree engine)
+// and MemoryNodeStore (src/storage/memory_backend.h).
+//
+// Pre/post/parent numbering (fig. 3 & §5.1): pre counts open tags, post
+// counts close tags, parent is the parent's pre; the root has parent 0.
+// Descendant test: d is a descendant of n iff pre(d) > pre(n) and
+// post(d) < post(n); in document order descendants are the contiguous pre
+// range right after n, which GetDescendants exploits.
+
+#ifndef SSDB_STORAGE_NODE_STORE_H_
+#define SSDB_STORAGE_NODE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::storage {
+
+struct NodeRow {
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  uint32_t parent = 0;    // 0 for the root
+  std::string share;      // bit-packed server-share polynomial
+  // Optional sealed payload (§4: "an encryption of the data string may be
+  // added to the node"): tag name + direct text, stream-encrypted under the
+  // client seed. Empty when sealing is off. Opaque to the server.
+  std::string sealed;
+
+  bool operator==(const NodeRow& other) const {
+    return pre == other.pre && post == other.post &&
+           parent == other.parent && share == other.share &&
+           sealed == other.sealed;
+  }
+};
+
+// Row wire/disk format: varint pre, post, parent + length-prefixed share
+// + length-prefixed sealed payload.
+std::string EncodeNodeRow(const NodeRow& row);
+StatusOr<NodeRow> DecodeNodeRow(std::string_view data);
+
+struct StorageStats {
+  uint64_t node_count = 0;
+  uint64_t data_bytes = 0;       // heap pages (or in-memory row footprint)
+  uint64_t index_bytes = 0;      // B+tree pages (0 for the memory backend)
+  uint64_t file_bytes = 0;       // total on-disk footprint
+  uint64_t payload_bytes = 0;    // serialized rows only
+  uint64_t structure_bytes = 0;  // the pre/post/parent share of the payload
+};
+
+class NodeStore {
+ public:
+  virtual ~NodeStore() = default;
+
+  // Rows must be inserted with unique pre values.
+  virtual Status Insert(const NodeRow& row) = 0;
+
+  virtual StatusOr<NodeRow> GetByPre(uint32_t pre) = 0;
+
+  // The row with parent == 0.
+  virtual StatusOr<NodeRow> GetRoot() = 0;
+
+  // Children of the given node in pre (document) order.
+  virtual StatusOr<std::vector<NodeRow>> GetChildren(uint32_t parent_pre) = 0;
+
+  // All proper descendants of the node (pre, post), in document order.
+  // Callback-based so engines can stream; return false to stop.
+  virtual Status ScanDescendants(
+      uint32_t pre, uint32_t post,
+      const std::function<bool(const NodeRow&)>& fn) = 0;
+
+  virtual StatusOr<uint64_t> NodeCount() = 0;
+  virtual StatusOr<StorageStats> Stats() = 0;
+
+  // Durability point (no-op for the memory backend).
+  virtual Status Flush() = 0;
+};
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_NODE_STORE_H_

@@ -1,0 +1,30 @@
+#include "storage/page.h"
+
+namespace ssdb::storage {
+
+uint32_t PageChecksum(const uint8_t* page) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 4; i < kPageSize; ++i) {
+    hash ^= page[i];
+    hash *= 0x100000001b3ULL;
+  }
+  // Fold to 32 bits; avoid 0 so that "no checksum yet" is distinguishable.
+  uint32_t folded = static_cast<uint32_t>(hash ^ (hash >> 32));
+  return folded == 0 ? 1 : folded;
+}
+
+void SealPage(uint8_t* page) { StoreU32(page, PageChecksum(page)); }
+
+bool VerifyPage(const uint8_t* page) {
+  uint32_t stored = LoadU32(page);
+  if (stored == 0) {
+    // Never sealed: accept only if the whole page is zero (freshly allocated).
+    for (size_t i = 4; i < kPageSize; ++i) {
+      if (page[i] != 0) return false;
+    }
+    return true;
+  }
+  return stored == PageChecksum(page);
+}
+
+}  // namespace ssdb::storage

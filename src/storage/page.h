@@ -1,0 +1,77 @@
+// Fixed-size page primitives shared by the pager, buffer pool, heap file and
+// B+tree. Every on-disk structure reserves a common 8-byte header:
+//   [0..4)  checksum over bytes [4..kPageSize)  (maintained by BufferPool)
+//   [4..6)  page type (PageType)
+//   [6..8)  reserved
+// All multi-byte integers are little-endian.
+
+#ifndef SSDB_STORAGE_PAGE_H_
+#define SSDB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace ssdb::storage {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageHeaderSize = 8;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+using PageBuf = std::array<uint8_t, kPageSize>;
+
+enum class PageType : uint16_t {
+  kFree = 0,
+  kMeta = 1,
+  kHeap = 2,
+  kBTreeLeaf = 3,
+  kBTreeInternal = 4,
+  kCatalog = 5,
+};
+
+inline void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void SetPageType(uint8_t* page, PageType type) {
+  StoreU16(page + 4, static_cast<uint16_t>(type));
+}
+inline PageType GetPageType(const uint8_t* page) {
+  return static_cast<PageType>(LoadU16(page + 4));
+}
+
+// FNV-1a over the page body (bytes 4..end); cheap and adequate for
+// detecting torn writes / corruption in tests.
+uint32_t PageChecksum(const uint8_t* page);
+
+// Computes and stores the checksum into bytes [0..4).
+void SealPage(uint8_t* page);
+
+// True if the stored checksum matches (all-zero pages are accepted as fresh).
+bool VerifyPage(const uint8_t* page);
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_PAGE_H_

@@ -1,0 +1,219 @@
+#include "storage/table.h"
+
+#include "util/logging.h"
+#include "util/varint.h"
+
+namespace ssdb::storage {
+namespace {
+
+// Catalog keys.
+constexpr char kHeapFirst[] = "heap_first";
+constexpr char kHeapLast[] = "heap_last";
+constexpr char kPreRoot[] = "pre_root";
+constexpr char kParentRoot[] = "parent_root";
+constexpr char kPostRoot[] = "post_root";
+constexpr char kNodeCount[] = "node_count";
+constexpr char kPayloadBytes[] = "payload_bytes";
+constexpr char kStructureBytes[] = "structure_bytes";
+
+uint64_t CompositeKey(uint32_t column_value, uint32_t pre) {
+  return (static_cast<uint64_t>(column_value) << 32) | pre;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DiskNodeStore>> DiskNodeStore::Create(
+    const std::string& path, const DiskStoreOptions& options) {
+  auto store = std::unique_ptr<DiskNodeStore>(new DiskNodeStore());
+  SSDB_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path, true));
+  if (store->pager_->GetMetaSlot(0) != 0) {
+    return Status::AlreadyExists(path + " already contains a database");
+  }
+  store->pool_ = std::make_unique<BufferPool>(store->pager_.get(),
+                                              options.buffer_pool_pages);
+  SSDB_ASSIGN_OR_RETURN(Catalog catalog, Catalog::Create(store->pool_.get()));
+  store->catalog_ = std::move(catalog);
+  SSDB_RETURN_IF_ERROR(
+      store->pager_->SetMetaSlot(0, store->catalog_->page()));
+
+  SSDB_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(store->pool_.get()));
+  store->heap_ = std::move(heap);
+  SSDB_ASSIGN_OR_RETURN(BTree pre, BTree::Create(store->pool_.get()));
+  store->pre_index_ = std::move(pre);
+  SSDB_ASSIGN_OR_RETURN(BTree parent, BTree::Create(store->pool_.get()));
+  store->parent_index_ = std::move(parent);
+  SSDB_ASSIGN_OR_RETURN(BTree post, BTree::Create(store->pool_.get()));
+  store->post_index_ = std::move(post);
+
+  SSDB_RETURN_IF_ERROR(store->SaveRoots());
+  return store;
+}
+
+StatusOr<std::unique_ptr<DiskNodeStore>> DiskNodeStore::Open(
+    const std::string& path, const DiskStoreOptions& options) {
+  auto store = std::unique_ptr<DiskNodeStore>(new DiskNodeStore());
+  SSDB_ASSIGN_OR_RETURN(store->pager_, Pager::Open(path, false));
+  PageId catalog_page = static_cast<PageId>(store->pager_->GetMetaSlot(0));
+  if (catalog_page == 0) {
+    return Status::Corruption(path + " has no catalog");
+  }
+  store->pool_ = std::make_unique<BufferPool>(store->pager_.get(),
+                                              options.buffer_pool_pages);
+  SSDB_ASSIGN_OR_RETURN(Catalog catalog,
+                        Catalog::Load(store->pool_.get(), catalog_page));
+  store->catalog_ = std::move(catalog);
+
+  SSDB_ASSIGN_OR_RETURN(uint64_t heap_first, store->catalog_->Get(kHeapFirst));
+  SSDB_ASSIGN_OR_RETURN(uint64_t heap_last, store->catalog_->Get(kHeapLast));
+  SSDB_ASSIGN_OR_RETURN(
+      HeapFile heap,
+      HeapFile::Open(store->pool_.get(), static_cast<PageId>(heap_first),
+                     static_cast<PageId>(heap_last)));
+  store->heap_ = std::move(heap);
+
+  SSDB_ASSIGN_OR_RETURN(uint64_t pre_root, store->catalog_->Get(kPreRoot));
+  store->pre_index_ =
+      BTree::Open(store->pool_.get(), static_cast<PageId>(pre_root));
+  SSDB_ASSIGN_OR_RETURN(uint64_t parent_root,
+                        store->catalog_->Get(kParentRoot));
+  store->parent_index_ =
+      BTree::Open(store->pool_.get(), static_cast<PageId>(parent_root));
+  SSDB_ASSIGN_OR_RETURN(uint64_t post_root, store->catalog_->Get(kPostRoot));
+  store->post_index_ =
+      BTree::Open(store->pool_.get(), static_cast<PageId>(post_root));
+
+  store->node_count_ = store->catalog_->GetOr(kNodeCount, 0);
+  store->payload_bytes_ = store->catalog_->GetOr(kPayloadBytes, 0);
+  store->structure_bytes_ = store->catalog_->GetOr(kStructureBytes, 0);
+  return store;
+}
+
+DiskNodeStore::~DiskNodeStore() {
+  Status s = Flush();
+  if (!s.ok()) {
+    SSDB_LOG(ERROR) << "DiskNodeStore flush on close failed: " << s.ToString();
+  }
+}
+
+Status DiskNodeStore::SaveRoots() {
+  catalog_->Set(kHeapFirst, heap_->first_page());
+  catalog_->Set(kHeapLast, heap_->last_page());
+  catalog_->Set(kPreRoot, pre_index_->root());
+  catalog_->Set(kParentRoot, parent_index_->root());
+  catalog_->Set(kPostRoot, post_index_->root());
+  catalog_->Set(kNodeCount, node_count_);
+  catalog_->Set(kPayloadBytes, payload_bytes_);
+  catalog_->Set(kStructureBytes, structure_bytes_);
+  return catalog_->Save();
+}
+
+Status DiskNodeStore::Insert(const NodeRow& row) {
+  if (row.pre == 0) {
+    return Status::InvalidArgument("pre numbering starts at 1");
+  }
+  std::string encoded = EncodeNodeRow(row);
+  SSDB_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encoded));
+  // AlreadyExists here means a duplicate pre value.
+  SSDB_RETURN_IF_ERROR(pre_index_->Insert(row.pre, rid));
+  SSDB_RETURN_IF_ERROR(
+      parent_index_->Insert(CompositeKey(row.parent, row.pre), rid));
+  SSDB_RETURN_IF_ERROR(
+      post_index_->Insert(CompositeKey(row.post, row.pre), rid));
+  ++node_count_;
+  payload_bytes_ += encoded.size();
+  structure_bytes_ += encoded.size() - row.share.size();
+  return Status::OK();
+}
+
+StatusOr<NodeRow> DiskNodeStore::FetchRow(RecordId rid) {
+  SSDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(rid));
+  return DecodeNodeRow(record);
+}
+
+StatusOr<NodeRow> DiskNodeStore::GetByPre(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(uint64_t rid, pre_index_->Get(pre));
+  return FetchRow(rid);
+}
+
+StatusOr<NodeRow> DiskNodeStore::GetRoot() {
+  // Root is the unique row with parent == 0: composite keys [0, 1<<32).
+  RecordId rid = kInvalidRecordId;
+  SSDB_RETURN_IF_ERROR(parent_index_->Scan(
+      0, uint64_t{1} << 32, [&](uint64_t, uint64_t value) {
+        rid = value;
+        return false;  // first match is the root
+      }));
+  if (rid == kInvalidRecordId) return Status::NotFound("no root row");
+  return FetchRow(rid);
+}
+
+StatusOr<std::vector<NodeRow>> DiskNodeStore::GetChildren(
+    uint32_t parent_pre) {
+  std::vector<RecordId> rids;
+  SSDB_RETURN_IF_ERROR(parent_index_->Scan(
+      CompositeKey(parent_pre, 0), CompositeKey(parent_pre + 1, 0),
+      [&](uint64_t, uint64_t value) {
+        rids.push_back(value);
+        return true;
+      }));
+  std::vector<NodeRow> rows;
+  rows.reserve(rids.size());
+  for (RecordId rid : rids) {
+    SSDB_ASSIGN_OR_RETURN(NodeRow row, FetchRow(rid));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status DiskNodeStore::ScanDescendants(
+    uint32_t pre, uint32_t post,
+    const std::function<bool(const NodeRow&)>& fn) {
+  // Descendants are the contiguous pre range right after `pre`; the first
+  // row with post > post is the first node outside the subtree, so the scan
+  // stops without touching the rest of the index.
+  Status inner = Status::OK();
+  SSDB_RETURN_IF_ERROR(pre_index_->Scan(
+      static_cast<uint64_t>(pre) + 1, UINT64_MAX,
+      [&](uint64_t, uint64_t rid) {
+        StatusOr<NodeRow> row = FetchRow(rid);
+        if (!row.ok()) {
+          inner = row.status();
+          return false;
+        }
+        if (row->post > post) return false;  // left the subtree
+        return fn(*row);
+      }));
+  return inner;
+}
+
+StatusOr<uint64_t> DiskNodeStore::NodeCount() { return node_count_; }
+
+StatusOr<StorageStats> DiskNodeStore::Stats() {
+  StorageStats stats;
+  stats.node_count = node_count_;
+  SSDB_ASSIGN_OR_RETURN(uint64_t heap_pages, heap_->PageCount());
+  stats.data_bytes = heap_pages * kPageSize;
+  SSDB_ASSIGN_OR_RETURN(uint64_t pre_pages, pre_index_->PageCount());
+  SSDB_ASSIGN_OR_RETURN(uint64_t parent_pages, parent_index_->PageCount());
+  SSDB_ASSIGN_OR_RETURN(uint64_t post_pages, post_index_->PageCount());
+  stats.index_bytes = (pre_pages + parent_pages + post_pages) * kPageSize;
+  stats.file_bytes = pager_->file_bytes();
+  stats.payload_bytes = payload_bytes_;
+  stats.structure_bytes = structure_bytes_;
+  return stats;
+}
+
+Status DiskNodeStore::Flush() {
+  if (catalog_.has_value()) {
+    SSDB_RETURN_IF_ERROR(SaveRoots());
+  }
+  if (pool_ != nullptr) {
+    SSDB_RETURN_IF_ERROR(pool_->FlushAll());
+  }
+  if (pager_ != nullptr) {
+    SSDB_RETURN_IF_ERROR(pager_->Sync());
+  }
+  return Status::OK();
+}
+
+}  // namespace ssdb::storage

@@ -1,0 +1,74 @@
+// DiskNodeStore: the paged, persistent implementation of the polynomial
+// table — heap file for rows plus three B+tree indexes (pre, parent, post),
+// mirroring the paper's MySQL schema and indexes (§5.1).
+//
+// Index encodings:
+//   pre index    : key = pre,                         value = record id
+//   parent index : key = (parent << 32) | pre,        value = record id
+//   post index   : key = (post << 32) | pre,          value = record id
+
+#ifndef SSDB_STORAGE_TABLE_H_
+#define SSDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/heap_file.h"
+#include "storage/node_store.h"
+#include "storage/pager.h"
+
+namespace ssdb::storage {
+
+struct DiskStoreOptions {
+  size_t buffer_pool_pages = 1024;  // 4 MiB of cache
+};
+
+class DiskNodeStore : public NodeStore {
+ public:
+  // Creates a new database file (fails if it already contains data) or opens
+  // an existing one.
+  static StatusOr<std::unique_ptr<DiskNodeStore>> Create(
+      const std::string& path, const DiskStoreOptions& options = {});
+  static StatusOr<std::unique_ptr<DiskNodeStore>> Open(
+      const std::string& path, const DiskStoreOptions& options = {});
+
+  ~DiskNodeStore() override;
+
+  Status Insert(const NodeRow& row) override;
+  StatusOr<NodeRow> GetByPre(uint32_t pre) override;
+  StatusOr<NodeRow> GetRoot() override;
+  StatusOr<std::vector<NodeRow>> GetChildren(uint32_t parent_pre) override;
+  Status ScanDescendants(
+      uint32_t pre, uint32_t post,
+      const std::function<bool(const NodeRow&)>& fn) override;
+  StatusOr<uint64_t> NodeCount() override;
+  StatusOr<StorageStats> Stats() override;
+  Status Flush() override;
+
+  const BufferPoolStats& buffer_stats() const { return pool_->stats(); }
+
+ private:
+  DiskNodeStore() = default;
+
+  Status SaveRoots();
+  StatusOr<NodeRow> FetchRow(RecordId rid);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::optional<Catalog> catalog_;
+  std::optional<HeapFile> heap_;
+  std::optional<BTree> pre_index_;
+  std::optional<BTree> parent_index_;
+  std::optional<BTree> post_index_;
+  uint64_t node_count_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint64_t structure_bytes_ = 0;
+};
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_TABLE_H_

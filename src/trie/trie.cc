@@ -1,0 +1,145 @@
+#include "trie/trie.h"
+
+#include <cctype>
+#include <set>
+
+namespace ssdb::trie {
+namespace {
+
+size_t CountNodes(const TrieNode& node) {
+  size_t count = node.children.size();
+  for (const auto& [label, child] : node.children) {
+    count += CountNodes(*child);
+  }
+  return count;
+}
+
+void CollectWords(const TrieNode& node, std::string* prefix,
+                  std::vector<std::string>* out) {
+  for (const auto& [label, child] : node.children) {
+    if (child->IsTerminal()) {
+      out->push_back(*prefix);
+      continue;
+    }
+    prefix->append(label);
+    CollectWords(*child, prefix, out);
+    prefix->resize(prefix->size() - label.size());
+  }
+}
+
+}  // namespace
+
+void Trie::Insert(std::string_view word, bool compressed) {
+  if (word.empty()) return;
+  TrieNode* node = root_.get();
+  for (size_t i = 0; i < word.size(); ++i) {
+    std::string label(1, word[i]);
+    if (compressed) {
+      auto it = node->children.find(label);
+      if (it != node->children.end()) {
+        node = it->second.get();
+        continue;
+      }
+    }
+    // Uncompressed mode must not share, but std::map keys collide; we make
+    // per-occurrence keys unique by suffixing a counter while keeping the
+    // node's logical label a single character.
+    std::string key = label;
+    if (!compressed) {
+      int suffix = 0;
+      while (node->children.count(key) > 0) {
+        key = label + "#" + std::to_string(suffix++);
+      }
+    }
+    auto child = std::make_unique<TrieNode>();
+    child->label = label;
+    TrieNode* raw = child.get();
+    node->children.emplace(std::move(key), std::move(child));
+    node = raw;
+  }
+  // Terminal marker (shared in compressed mode).
+  if (node->children.count(kTerminalLabel) == 0) {
+    auto terminal = std::make_unique<TrieNode>();
+    terminal->label = kTerminalLabel;
+    node->children.emplace(kTerminalLabel, std::move(terminal));
+  } else if (!compressed) {
+    std::string key = std::string(kTerminalLabel) + "#";
+    int suffix = 0;
+    while (node->children.count(key) > 0) {
+      key = std::string(kTerminalLabel) + "#" + std::to_string(suffix++);
+    }
+    auto terminal = std::make_unique<TrieNode>();
+    terminal->label = kTerminalLabel;
+    node->children.emplace(std::move(key), std::move(terminal));
+  }
+}
+
+bool Trie::ContainsWord(std::string_view word) const {
+  const TrieNode* node = root_.get();
+  for (char c : word) {
+    auto it = node->children.find(std::string(1, c));
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  return node->children.count(kTerminalLabel) > 0;
+}
+
+bool Trie::ContainsPrefix(std::string_view prefix) const {
+  const TrieNode* node = root_.get();
+  for (char c : prefix) {
+    auto it = node->children.find(std::string(1, c));
+    if (it == node->children.end()) return false;
+    node = it->second.get();
+  }
+  return true;
+}
+
+size_t Trie::NodeCount() const { return CountNodes(*root_); }
+
+std::vector<std::string> Trie::Words() const {
+  std::vector<std::string> out;
+  std::string prefix;
+  CollectWords(*root_, &prefix, &out);
+  return out;
+}
+
+std::vector<std::string> SplitIntoWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+Trie BuildTrieFromText(std::string_view text, bool compressed) {
+  Trie trie;
+  for (const auto& word : SplitIntoWords(text)) {
+    trie.Insert(word, compressed);
+  }
+  return trie;
+}
+
+TrieStats AnalyzeText(std::string_view text, bool compressed) {
+  TrieStats stats;
+  std::set<std::string> distinct;
+  Trie trie;
+  for (const auto& word : SplitIntoWords(text)) {
+    ++stats.word_count;
+    stats.total_chars += word.size();
+    distinct.insert(word);
+    trie.Insert(word, compressed);
+  }
+  stats.distinct_word_count = distinct.size();
+  stats.node_count = trie.NodeCount();
+  return stats;
+}
+
+}  // namespace ssdb::trie

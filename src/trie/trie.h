@@ -1,0 +1,80 @@
+// Trie representation of text data (§4, fig. 2). A data string is split into
+// words; each word becomes a path of single-character nodes terminated by a
+// ⊥ marker node. A *compressed* trie shares common prefixes across words
+// (losing word order and multiplicity); an *uncompressed* trie keeps one
+// path per word occurrence.
+//
+// The terminal marker is spelled "_end_" in tag names so that it remains a
+// valid XML element name (the paper draws it as ⊥).
+
+#ifndef SSDB_TRIE_TRIE_H_
+#define SSDB_TRIE_TRIE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssdb::trie {
+
+inline constexpr char kTerminalLabel[] = "_end_";
+
+struct TrieNode {
+  std::string label;  // single character, or kTerminalLabel
+  std::map<std::string, std::unique_ptr<TrieNode>> children;
+
+  bool IsTerminal() const { return label == kTerminalLabel; }
+};
+
+// Statistics used by the §4 storage-cost analysis (bench_trie).
+struct TrieStats {
+  size_t word_count = 0;          // words fed in (with duplicates)
+  size_t distinct_word_count = 0;
+  size_t total_chars = 0;         // characters fed in (with duplicates)
+  size_t node_count = 0;          // trie nodes incl. terminal markers
+};
+
+class Trie {
+ public:
+  Trie() : root_(std::make_unique<TrieNode>()) {}
+  Trie(Trie&&) = default;
+  Trie& operator=(Trie&&) = default;
+
+  // Inserts a word as a path of single-character nodes + terminal marker.
+  // In compressed mode repeated insertions share prefixes; `compressed`
+  // false gives one fresh path per insertion (fig. 2(c)).
+  void Insert(std::string_view word, bool compressed);
+
+  // True if the word was inserted (exact, i.e. terminal-marked).
+  bool ContainsWord(std::string_view word) const;
+
+  // True if some inserted word starts with this prefix.
+  bool ContainsPrefix(std::string_view prefix) const;
+
+  const TrieNode* root() const { return root_.get(); }
+
+  // Number of nodes excluding the synthetic root.
+  size_t NodeCount() const;
+
+  // All inserted words in lexicographic order (deduplicated in compressed
+  // mode by construction).
+  std::vector<std::string> Words() const;
+
+ private:
+  std::unique_ptr<TrieNode> root_;
+};
+
+// Splits text into lowercase alphanumeric words (the normalization applied
+// before trie construction; punctuation separates words).
+std::vector<std::string> SplitIntoWords(std::string_view text);
+
+// Builds a trie over the words of `text`.
+Trie BuildTrieFromText(std::string_view text, bool compressed);
+
+// Stats for the §4 size analysis over a whole corpus.
+TrieStats AnalyzeText(std::string_view text, bool compressed);
+
+}  // namespace ssdb::trie
+
+#endif  // SSDB_TRIE_TRIE_H_

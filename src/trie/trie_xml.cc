@@ -1,0 +1,82 @@
+#include "trie/trie_xml.h"
+
+#include <cctype>
+
+#include "trie/trie.h"
+
+namespace ssdb::trie {
+namespace {
+
+// Converts a trie subtree into DOM element nodes under `parent`.
+void AttachTrie(const TrieNode& trie_node, xml::Node* parent) {
+  for (const auto& [key, child] : trie_node.children) {
+    (void)key;
+    auto element = std::make_unique<xml::Node>();
+    element->type = xml::Node::Type::kElement;
+    element->name = child->label;
+    element->parent = parent;
+    AttachTrie(*child, element.get());
+    parent->children.push_back(std::move(element));
+  }
+}
+
+size_t TransformNode(xml::Node* node, const TrieTransformOptions& options) {
+  size_t transformed = 0;
+  for (auto& child : node->children) {
+    if (child->IsElement()) {
+      transformed += TransformNode(child.get(), options);
+    }
+  }
+  // Splice: keep element children, expand each text node into trie paths.
+  std::vector<std::unique_ptr<xml::Node>> new_children;
+  new_children.reserve(node->children.size());
+  for (auto& child : node->children) {
+    if (!child->IsText()) {
+      new_children.push_back(std::move(child));
+      continue;
+    }
+    ++transformed;
+    Trie trie = BuildTrieFromText(child->text, options.compressed);
+    // Attach the trie's top-level children directly under this element,
+    // exactly like fig. 2 hangs "J-o-a-n" under <name>.
+    auto holder = std::make_unique<xml::Node>();
+    holder->type = xml::Node::Type::kElement;
+    AttachTrie(*trie.root(), holder.get());
+    for (auto& trie_child : holder->children) {
+      trie_child->parent = node;
+      new_children.push_back(std::move(trie_child));
+    }
+  }
+  node->children = std::move(new_children);
+  return transformed;
+}
+
+}  // namespace
+
+size_t TransformDocument(xml::Document* doc,
+                         const TrieTransformOptions& options) {
+  if (doc->root() == nullptr) return 0;
+  return TransformNode(doc->root(), options);
+}
+
+std::vector<std::string> TrieAlphabet() {
+  std::vector<std::string> names;
+  for (char c = 'a'; c <= 'z'; ++c) names.emplace_back(1, c);
+  for (char c = '0'; c <= '9'; ++c) names.emplace_back(1, c);
+  names.emplace_back(kTerminalLabel);
+  return names;
+}
+
+std::vector<std::string> WordToSteps(std::string_view word) {
+  std::vector<std::string> steps;
+  steps.reserve(word.size());
+  for (char c : word) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      steps.emplace_back(
+          1, static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return steps;
+}
+
+}  // namespace ssdb::trie

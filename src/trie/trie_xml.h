@@ -1,0 +1,42 @@
+// The §4 trie enhancement applied to XML documents: every text node is
+// replaced by a trie of single-character element nodes, making data content
+// searchable by the same polynomial machinery that handles tags.
+//
+// Queries are rewritten accordingly:
+//   /name[contains(text(), "Joan")]  ->  /name[//J/o/a/n]  (paper §4),
+// i.e. a word becomes a chain of child steps over its characters.
+
+#ifndef SSDB_TRIE_TRIE_XML_H_
+#define SSDB_TRIE_TRIE_XML_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+#include "xml/dom.h"
+
+namespace ssdb::trie {
+
+struct TrieTransformOptions {
+  bool compressed = true;  // share word prefixes (fig. 2(b)) or not (2(c))
+};
+
+// Rewrites `doc` in place: each text node becomes a subtree of single-char
+// elements (labels "a".."z", "0".."9") with "_end_" terminal markers.
+// Returns the number of text nodes transformed.
+size_t TransformDocument(xml::Document* doc,
+                         const TrieTransformOptions& options = {});
+
+// The element names a trie-transformed document can contain in addition to
+// the original tags: one per character plus the terminal marker. These must
+// be added to the tag map.
+std::vector<std::string> TrieAlphabet();
+
+// Translates a word to the chain of trie steps (lower-cased characters).
+// E.g. "Joan" -> {"j", "o", "a", "n"}; append kTerminalLabel for whole-word
+// matching.
+std::vector<std::string> WordToSteps(std::string_view word);
+
+}  // namespace ssdb::trie
+
+#endif  // SSDB_TRIE_TRIE_XML_H_

@@ -1,0 +1,68 @@
+// Bit-level packing of small unsigned integers into a byte buffer.
+//
+// Polynomials over GF(q) are stored as q-1 coefficients of ceil(log2 q) bits
+// each — the paper's "(p^e - 1) * log2(p^e) bits" storage cost. BitWriter /
+// BitReader implement the little-endian bit stream used for that encoding.
+
+#ifndef SSDB_UTIL_BITPACK_H_
+#define SSDB_UTIL_BITPACK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ssdb {
+
+// Number of bits needed to represent values in [0, n-1]; BitWidth(1) == 1.
+int BitWidth(uint64_t n);
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Appends the low `bits` bits of `value` (1 <= bits <= 57).
+  void Write(uint64_t value, int bits);
+
+  // Flushes pending bits and returns the packed buffer.
+  std::string Finish();
+
+  // Total bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::string bytes_;
+  uint64_t pending_ = 0;  // bits not yet flushed, little-endian
+  int pending_bits_ = 0;
+  size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  // Reads `bits` bits (1 <= bits <= 57) into *value. Fails with OutOfRange
+  // when the buffer is exhausted.
+  Status Read(int bits, uint64_t* value);
+
+  // Bits remaining in the buffer.
+  size_t remaining_bits() const { return data_.size() * 8 - bit_pos_; }
+
+ private:
+  std::string_view data_;
+  size_t bit_pos_ = 0;
+};
+
+// Convenience: packs `values`, each `bits` wide. Inverse of UnpackVector.
+std::string PackVector(const std::vector<uint32_t>& values, int bits);
+
+// Unpacks `count` values of `bits` bits each from `data`.
+StatusOr<std::vector<uint32_t>> UnpackVector(std::string_view data, int bits,
+                                             size_t count);
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_BITPACK_H_

@@ -1,0 +1,88 @@
+#include "util/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ssdb {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed: " + path);
+  }
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("file_size failed: " + path + ": " + ec.message());
+  }
+  return size;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::IOError("remove failed: " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  static Random rng(0x5eedf00dULL ^
+                    static_cast<uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch()
+                            .count()));
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::string candidate = "/tmp/" + prefix + "_" +
+                            std::to_string(rng.Next() & 0xffffffffULL);
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = candidate;
+      return;
+    }
+  }
+  SSDB_LOG(FATAL) << "could not create temp dir with prefix " << prefix;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+}
+
+}  // namespace ssdb

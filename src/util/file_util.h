@@ -1,0 +1,50 @@
+// Whole-file IO helpers and a temporary-directory guard for tests.
+
+#ifndef SSDB_UTIL_FILE_UTIL_H_
+#define SSDB_UTIL_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ssdb {
+
+// Reads an entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes (creating or truncating) a whole file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+// True if the path exists.
+bool FileExists(const std::string& path);
+
+// Size in bytes, or error.
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+// Removes a file if present (missing file is not an error).
+Status RemoveFileIfExists(const std::string& path);
+
+// Creates a unique temporary directory under /tmp and removes it (recursively)
+// on destruction. Used by storage/integration tests.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix = "ssdb");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string FilePath(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_FILE_UTIL_H_

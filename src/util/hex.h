@@ -1,0 +1,22 @@
+// Hex encoding/decoding, used for seed files and debugging dumps.
+
+#ifndef SSDB_UTIL_HEX_H_
+#define SSDB_UTIL_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace ssdb {
+
+// Lower-case hex encoding of arbitrary bytes.
+std::string HexEncode(std::string_view bytes);
+
+// Inverse of HexEncode; accepts upper or lower case, fails on odd length or
+// non-hex characters.
+StatusOr<std::string> HexDecode(std::string_view hex);
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_HEX_H_

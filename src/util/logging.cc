@@ -1,0 +1,51 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace ssdb {
+namespace logging_internal {
+namespace {
+
+std::atomic<Severity> g_min_severity{Severity::kWarning};
+
+const char* SeverityTag(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(Severity severity) { g_min_severity = severity; }
+Severity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  // Strip directories from __FILE__ for terse output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << SeverityTag(severity) << " " << base << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == Severity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace logging_internal
+}  // namespace ssdb

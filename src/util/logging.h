@@ -1,0 +1,107 @@
+// Minimal logging and assertion macros (glog-flavoured).
+//
+//   SSDB_LOG(INFO) << "encoded " << n << " nodes";
+//   SSDB_CHECK(x > 0) << "x must be positive, got " << x;
+//   SSDB_CHECK_EQ(a, b);
+//
+// CHECK failures print the message and abort. DCHECK compiles out in
+// release builds (NDEBUG).
+
+#ifndef SSDB_UTIL_LOGGING_H_
+#define SSDB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ssdb {
+namespace logging_internal {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed messages; keeps DCHECK expressions compiling in release.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Converts a streamed LogMessage to void so it can sit in a ternary.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+// Global switch used by tests/benches to silence INFO logs.
+void SetMinLogSeverity(Severity severity);
+Severity MinLogSeverity();
+
+}  // namespace logging_internal
+
+#define SSDB_LOG_INFO \
+  ::ssdb::logging_internal::LogMessage( \
+      ::ssdb::logging_internal::Severity::kInfo, __FILE__, __LINE__) \
+      .stream()
+#define SSDB_LOG_WARNING \
+  ::ssdb::logging_internal::LogMessage( \
+      ::ssdb::logging_internal::Severity::kWarning, __FILE__, __LINE__) \
+      .stream()
+#define SSDB_LOG_ERROR \
+  ::ssdb::logging_internal::LogMessage( \
+      ::ssdb::logging_internal::Severity::kError, __FILE__, __LINE__) \
+      .stream()
+#define SSDB_LOG_FATAL \
+  ::ssdb::logging_internal::LogMessage( \
+      ::ssdb::logging_internal::Severity::kFatal, __FILE__, __LINE__) \
+      .stream()
+
+#define SSDB_LOG(severity) SSDB_LOG_##severity
+
+#define SSDB_CHECK(cond)                                          \
+  (cond) ? (void)0                                                \
+         : ::ssdb::logging_internal::Voidify() &                  \
+               ::ssdb::logging_internal::LogMessage(              \
+                   ::ssdb::logging_internal::Severity::kFatal,    \
+                   __FILE__, __LINE__)                            \
+                   .stream()                                      \
+               << "Check failed: " #cond " "
+
+#define SSDB_CHECK_EQ(a, b) SSDB_CHECK((a) == (b))
+#define SSDB_CHECK_NE(a, b) SSDB_CHECK((a) != (b))
+#define SSDB_CHECK_LT(a, b) SSDB_CHECK((a) < (b))
+#define SSDB_CHECK_LE(a, b) SSDB_CHECK((a) <= (b))
+#define SSDB_CHECK_GT(a, b) SSDB_CHECK((a) > (b))
+#define SSDB_CHECK_GE(a, b) SSDB_CHECK((a) >= (b))
+#define SSDB_CHECK_OK(expr)                                      \
+  do {                                                           \
+    const auto& _ssdb_s = (expr);                                \
+    SSDB_CHECK(_ssdb_s.ok()) << _ssdb_s.ToString();              \
+  } while (0)
+
+#ifdef NDEBUG
+#define SSDB_DCHECK(cond) \
+  while (false) ::ssdb::logging_internal::NullStream()
+#else
+#define SSDB_DCHECK(cond) SSDB_CHECK(cond)
+#endif
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_LOGGING_H_

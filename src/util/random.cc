@@ -1,0 +1,79 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ssdb {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Seed expansion via SplitMix64 per the xoshiro authors' recommendation.
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  SSDB_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  SSDB_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  SSDB_DCHECK(n > 0);
+  // Inverse-CDF on a truncated harmonic series; O(n) setup avoided by a
+  // simple power-law approximation adequate for text synthesis.
+  double u = NextDouble();
+  double x = std::pow(static_cast<double>(n), 1.0 - u);
+  uint64_t idx = static_cast<uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+  if (s != 1.0) {
+    // Sharpen or flatten by re-biasing toward 0 for s > 1.
+    double frac = static_cast<double>(idx) / static_cast<double>(n);
+    frac = std::pow(frac, s);
+    idx = static_cast<uint64_t>(frac * static_cast<double>(n));
+  }
+  return idx < n ? idx : n - 1;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generator for workload generation and
+// tests (xoshiro256**). NOT used for the cryptographic client shares — those
+// come from the ChaCha20-based PRG in src/prg/ so that the secret-sharing
+// security argument stays intact.
+
+#ifndef SSDB_UTIL_RANDOM_H_
+#define SSDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssdb {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, n) without modulo bias; n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Skewed pick in [0, n): Zipf-like with exponent `s`, favouring small
+  // indices; used by the XMark generator for realistic word frequencies.
+  uint64_t Zipf(uint64_t n, double s = 1.0);
+
+  // Picks a random element from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Uniform(items.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_RANDOM_H_

@@ -1,0 +1,64 @@
+// StatusOr<T>: value-or-error return type, in the style of absl::StatusOr.
+
+#ifndef SSDB_UTIL_STATUSOR_H_
+#define SSDB_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace ssdb {
+
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse (`return 42;` / `return Status::NotFound(...)`), matching the
+  // absl::StatusOr convention.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    SSDB_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SSDB_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SSDB_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SSDB_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_STATUSOR_H_

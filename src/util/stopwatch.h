@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the experiment harnesses.
+
+#ifndef SSDB_UTIL_STOPWATCH_H_
+#define SSDB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ssdb {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_STOPWATCH_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+
+#ifndef SSDB_UTIL_STRING_UTIL_H_
+#define SSDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssdb {
+
+// Splits on a single character; empty tokens are kept.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+// Splits on any whitespace run; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view s);
+
+// Human-readable byte count, e.g. "12.3 MB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_STRING_UTIL_H_

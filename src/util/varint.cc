@@ -1,0 +1,94 @@
+#include "util/varint.h"
+
+namespace ssdb {
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarintSigned64(std::string* dst, int64_t value) {
+  // Zigzag: maps small-magnitude signed values to small unsigned ones.
+  uint64_t encoded =
+      (static_cast<uint64_t>(value) << 1) ^
+      static_cast<uint64_t>(value >> 63);
+  PutVarint64(dst, encoded);
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+Status GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    input->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("malformed varint64");
+}
+
+Status GetVarintSigned64(std::string_view* input, int64_t* value) {
+  uint64_t encoded = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(input, &encoded));
+  *value = static_cast<int64_t>((encoded >> 1) ^ (~(encoded & 1) + 1));
+  return Status::OK();
+}
+
+Status GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(static_cast<uint8_t>((*input)[i]))
+              << (8 * i);
+  }
+  input->remove_prefix(4);
+  *value = result;
+  return Status::OK();
+}
+
+Status GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<uint8_t>((*input)[i]))
+              << (8 * i);
+  }
+  input->remove_prefix(8);
+  *value = result;
+  return Status::OK();
+}
+
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(input, &len));
+  if (input->size() < len) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return Status::OK();
+}
+
+}  // namespace ssdb

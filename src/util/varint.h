@@ -1,0 +1,39 @@
+// LEB128-style variable-length integer coding, used by the storage engine's
+// record format and the RPC wire format.
+
+#ifndef SSDB_UTIL_VARINT_H_
+#define SSDB_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ssdb {
+
+// Appends an unsigned varint to *dst (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+
+// Appends a zigzag-coded signed varint.
+void PutVarintSigned64(std::string* dst, int64_t value);
+
+// Appends a 32-bit little-endian fixed integer.
+void PutFixed32(std::string* dst, uint32_t value);
+
+// Appends a 64-bit little-endian fixed integer.
+void PutFixed64(std::string* dst, uint64_t value);
+
+// Appends a length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+// Each Get* consumes from the front of *input on success.
+Status GetVarint64(std::string_view* input, uint64_t* value);
+Status GetVarintSigned64(std::string_view* input, int64_t* value);
+Status GetFixed32(std::string_view* input, uint32_t* value);
+Status GetFixed64(std::string_view* input, uint64_t* value);
+Status GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_VARINT_H_

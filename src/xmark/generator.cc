@@ -1,0 +1,401 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "xmark/words.h"
+
+namespace ssdb::xmark {
+namespace {
+
+// Empirical bytes-per-entity for count calibration (measured on generated
+// output; see xmark tests).
+constexpr double kBytesPerPerson = 620.0;
+constexpr double kBytesPerItem = 1070.0;
+constexpr double kBytesPerOpenAuction = 940.0;
+constexpr double kBytesPerClosedAuction = 620.0;
+constexpr double kBytesPerCategory = 490.0;
+
+class Builder {
+ public:
+  explicit Builder(uint64_t seed) : rng_(seed) {}
+
+  std::string* out() { return &xml_; }
+  Random* rng() { return &rng_; }
+
+  void Open(const char* tag) {
+    xml_ += '<';
+    xml_ += tag;
+    xml_ += '>';
+  }
+  void Close(const char* tag) {
+    xml_ += "</";
+    xml_ += tag;
+    xml_ += '>';
+  }
+  void Empty(const char* tag) {
+    xml_ += '<';
+    xml_ += tag;
+    xml_ += "/>";
+  }
+  void Leaf(const char* tag, const std::string& content) {
+    Open(tag);
+    xml_ += content;
+    Close(tag);
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.UniformRange(1, 28)) + "/" +
+           std::to_string(rng_.UniformRange(1, 12)) + "/" +
+           std::to_string(rng_.UniformRange(1998, 2004));
+  }
+  std::string Time() {
+    return std::to_string(rng_.UniformRange(0, 23)) + ":" +
+           std::to_string(rng_.UniformRange(10, 59));
+  }
+  std::string Money() {
+    return std::to_string(rng_.UniformRange(1, 400)) + "." +
+           std::to_string(rng_.UniformRange(10, 99));
+  }
+
+ private:
+  std::string xml_;
+  Random rng_;
+};
+
+// description := (text | parlist); parlist nests one level of listitems.
+void EmitDescription(Builder* b, int depth = 0) {
+  Random* rng = b->rng();
+  b->Open("description");
+  if (depth == 0 && rng->Bernoulli(0.25)) {
+    b->Open("parlist");
+    int items = static_cast<int>(rng->UniformRange(1, 3));
+    for (int i = 0; i < items; ++i) {
+      b->Open("listitem");
+      b->Open("text");
+      *b->out() += MakeSentence(rng, 100);
+      if (rng->Bernoulli(0.5)) {
+        b->Leaf("keyword", MakeSentence(rng, 3));
+        *b->out() += MakeSentence(rng, 45);
+      }
+      b->Close("text");
+      b->Close("listitem");
+    }
+    b->Close("parlist");
+  } else {
+    b->Open("text");
+    *b->out() += MakeSentence(rng, 130);
+    if (rng->Bernoulli(0.4)) {
+      b->Leaf("bold", MakeSentence(rng, 3));
+      *b->out() += MakeSentence(rng, 40);
+    }
+    if (rng->Bernoulli(0.4)) {
+      b->Leaf("emph", MakeSentence(rng, 3));
+      *b->out() += MakeSentence(rng, 40);
+    }
+    if (rng->Bernoulli(0.3)) {
+      b->Leaf("keyword", MakeSentence(rng, 2));
+    }
+    b->Close("text");
+  }
+  b->Close("description");
+}
+
+void EmitItem(Builder* b) {
+  Random* rng = b->rng();
+  b->Open("item");
+  b->Leaf("location", rng->Pick(Countries()));
+  b->Leaf("quantity", std::to_string(rng->UniformRange(1, 10)));
+  b->Leaf("name", MakeSentence(rng, 3));
+  b->Leaf("payment", rng->Bernoulli(0.5) ? "Creditcard" : "Cash");
+  EmitDescription(b);
+  b->Leaf("shipping", rng->Bernoulli(0.5) ? "Will ship internationally"
+                                          : "Buyer pays fixed shipping");
+  int categories = static_cast<int>(rng->UniformRange(1, 3));
+  for (int i = 0; i < categories; ++i) b->Empty("incategory");
+  b->Open("mailbox");
+  int mails = static_cast<int>(rng->UniformRange(0, 2));
+  for (int i = 0; i < mails; ++i) {
+    b->Open("mail");
+    b->Leaf("from", rng->Pick(FirstNames()) + " " + rng->Pick(LastNames()));
+    b->Leaf("to", rng->Pick(FirstNames()) + " " + rng->Pick(LastNames()));
+    b->Leaf("date", b->Date());
+    b->Open("text");
+    *b->out() += MakeSentence(rng, 110);
+    b->Close("text");
+    b->Close("mail");
+  }
+  b->Close("mailbox");
+  b->Close("item");
+}
+
+void EmitPerson(Builder* b) {
+  Random* rng = b->rng();
+  std::string first = rng->Pick(FirstNames());
+  std::string last = rng->Pick(LastNames());
+  b->Open("person");
+  b->Leaf("name", first + " " + last);
+  b->Leaf("emailaddress",
+          "mailto:" + first + "." + last + "@example.com");
+  if (rng->Bernoulli(0.6)) {
+    b->Leaf("phone", "+31 " + std::to_string(rng->UniformRange(10, 99)) +
+                         " " + std::to_string(rng->UniformRange(1000000,
+                                                                9999999)));
+  }
+  if (rng->Bernoulli(0.7)) {
+    b->Open("address");
+    b->Leaf("street", std::to_string(rng->UniformRange(1, 200)) + " " +
+                          rng->Pick(Streets()));
+    b->Leaf("city", rng->Pick(Cities()));
+    b->Leaf("country", rng->Pick(Countries()));
+    if (rng->Bernoulli(0.3)) b->Leaf("province", rng->Pick(Countries()));
+    b->Leaf("zipcode", std::to_string(rng->UniformRange(10000, 99999)));
+    b->Close("address");
+  }
+  if (rng->Bernoulli(0.3)) {
+    b->Leaf("homepage", "http://www.example.com/~" + last);
+  }
+  if (rng->Bernoulli(0.4)) {
+    b->Leaf("creditcard",
+            std::to_string(rng->UniformRange(1000, 9999)) + " " +
+                std::to_string(rng->UniformRange(1000, 9999)));
+  }
+  if (rng->Bernoulli(0.6)) {
+    b->Open("profile");
+    int interests = static_cast<int>(rng->UniformRange(0, 3));
+    for (int i = 0; i < interests; ++i) b->Empty("interest");
+    if (rng->Bernoulli(0.5)) b->Leaf("education", "Graduate School");
+    if (rng->Bernoulli(0.5))
+      b->Leaf("gender", rng->Bernoulli(0.5) ? "male" : "female");
+    b->Leaf("business", rng->Bernoulli(0.5) ? "Yes" : "No");
+    if (rng->Bernoulli(0.5))
+      b->Leaf("age", std::to_string(rng->UniformRange(18, 80)));
+    b->Close("profile");
+  }
+  if (rng->Bernoulli(0.5)) {
+    b->Open("watches");
+    int watches = static_cast<int>(rng->UniformRange(0, 4));
+    for (int i = 0; i < watches; ++i) b->Empty("watch");
+    b->Close("watches");
+  }
+  b->Close("person");
+}
+
+void EmitOpenAuction(Builder* b) {
+  Random* rng = b->rng();
+  b->Open("open_auction");
+  b->Leaf("initial", b->Money());
+  if (rng->Bernoulli(0.4)) b->Leaf("reserve", b->Money());
+  int bidders = static_cast<int>(rng->UniformRange(0, 5));
+  for (int i = 0; i < bidders; ++i) {
+    b->Open("bidder");
+    b->Leaf("date", b->Date());
+    b->Leaf("time", b->Time());
+    b->Empty("personref");
+    b->Leaf("increase", b->Money());
+    b->Close("bidder");
+  }
+  b->Leaf("current", b->Money());
+  if (rng->Bernoulli(0.3)) b->Leaf("privacy", "Yes");
+  b->Empty("itemref");
+  b->Empty("seller");
+  b->Open("annotation");
+  b->Empty("author");
+  if (rng->Bernoulli(0.5)) EmitDescription(b);
+  b->Leaf("happiness", std::to_string(rng->UniformRange(1, 10)));
+  b->Close("annotation");
+  b->Leaf("quantity", std::to_string(rng->UniformRange(1, 5)));
+  b->Leaf("type", rng->Bernoulli(0.5) ? "Regular" : "Featured");
+  b->Open("interval");
+  b->Leaf("start", b->Date());
+  b->Leaf("end", b->Date());
+  b->Close("interval");
+  b->Close("open_auction");
+}
+
+void EmitClosedAuction(Builder* b) {
+  Random* rng = b->rng();
+  b->Open("closed_auction");
+  b->Empty("seller");
+  b->Empty("buyer");
+  b->Empty("itemref");
+  b->Leaf("price", b->Money());
+  b->Leaf("date", b->Date());
+  b->Leaf("quantity", std::to_string(rng->UniformRange(1, 5)));
+  b->Leaf("type", rng->Bernoulli(0.5) ? "Regular" : "Featured");
+  if (rng->Bernoulli(0.5)) {
+    b->Open("annotation");
+    b->Empty("author");
+    if (rng->Bernoulli(0.4)) EmitDescription(b);
+    b->Leaf("happiness", std::to_string(rng->UniformRange(1, 10)));
+    b->Close("annotation");
+  }
+  b->Close("closed_auction");
+}
+
+void EmitCategory(Builder* b) {
+  Random* rng = b->rng();
+  b->Open("category");
+  b->Leaf("name", MakeSentence(rng, 2));
+  EmitDescription(b);
+  b->Close("category");
+}
+
+}  // namespace
+
+const std::string& AuctionDtd() {
+  static const auto* kDtd = new std::string(R"DTD(
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)*>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ELEMENT personref EMPTY>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ELEMENT interest EMPTY>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT income (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT seller EMPTY>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ELEMENT happiness (#PCDATA)>
+)DTD");
+  return *kDtd;
+}
+
+GeneratedDocument GenerateAuctionDocument(const GeneratorOptions& options) {
+  // Apportion the byte budget across entity kinds with XMark-like ratios.
+  double budget = static_cast<double>(options.target_bytes);
+  uint64_t people = static_cast<uint64_t>(budget * 0.30 / kBytesPerPerson);
+  uint64_t items = static_cast<uint64_t>(budget * 0.30 / kBytesPerItem);
+  uint64_t open = static_cast<uint64_t>(budget * 0.20 / kBytesPerOpenAuction);
+  uint64_t closed =
+      static_cast<uint64_t>(budget * 0.12 / kBytesPerClosedAuction);
+  uint64_t categories =
+      static_cast<uint64_t>(budget * 0.08 / kBytesPerCategory);
+  people = std::max<uint64_t>(people, 3);
+  items = std::max<uint64_t>(items, 6);
+  open = std::max<uint64_t>(open, 2);
+  closed = std::max<uint64_t>(closed, 2);
+  categories = std::max<uint64_t>(categories, 1);
+
+  Builder b(options.seed);
+  Random* rng = b.rng();
+
+  b.Open("site");
+
+  b.Open("regions");
+  const char* region_names[] = {"africa",   "asia",     "australia",
+                                "europe",   "namerica", "samerica"};
+  // Europe gets the lion's share, like real XMark distributions.
+  double region_weights[] = {0.08, 0.18, 0.06, 0.40, 0.20, 0.08};
+  uint64_t emitted_items = 0;
+  for (int r = 0; r < 6; ++r) {
+    b.Open(region_names[r]);
+    uint64_t count = static_cast<uint64_t>(
+        static_cast<double>(items) * region_weights[r]);
+    if (r == 5) count = items > emitted_items ? items - emitted_items : 0;
+    for (uint64_t i = 0; i < count; ++i) EmitItem(&b);
+    emitted_items += count;
+    b.Close(region_names[r]);
+  }
+  b.Close("regions");
+
+  b.Open("categories");
+  for (uint64_t i = 0; i < categories; ++i) EmitCategory(&b);
+  b.Close("categories");
+
+  b.Open("catgraph");
+  uint64_t edges = categories * 2;
+  for (uint64_t i = 0; i < edges; ++i) b.Empty("edge");
+  b.Close("catgraph");
+
+  b.Open("people");
+  for (uint64_t i = 0; i < people; ++i) EmitPerson(&b);
+  b.Close("people");
+
+  b.Open("open_auctions");
+  for (uint64_t i = 0; i < open; ++i) EmitOpenAuction(&b);
+  b.Close("open_auctions");
+
+  b.Open("closed_auctions");
+  for (uint64_t i = 0; i < closed; ++i) EmitClosedAuction(&b);
+  b.Close("closed_auctions");
+
+  b.Close("site");
+  (void)rng;
+
+  GeneratedDocument doc;
+  doc.xml = std::move(*b.out());
+  doc.person_count = people;
+  doc.item_count = emitted_items;
+  doc.open_auction_count = open;
+  doc.closed_auction_count = closed;
+  doc.category_count = categories;
+  return doc;
+}
+
+}  // namespace ssdb::xmark

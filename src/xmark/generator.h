@@ -1,0 +1,39 @@
+// Synthetic XMark-style auction documents (§6: "All experiments act on an
+// auction database synthesized by the XMark benchmark"). The original XMark
+// generator is not available offline, so this module produces documents
+// conforming to the paper's appendix DTD — same 77 elements, same structure,
+// size-scalable — which exercises exactly the same code paths (DESIGN.md S14).
+
+#ifndef SSDB_XMARK_GENERATOR_H_
+#define SSDB_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace ssdb::xmark {
+
+struct GeneratorOptions {
+  // Approximate output size in bytes (calibrated within ~15%).
+  uint64_t target_bytes = 1 << 20;
+  uint64_t seed = 42;
+};
+
+struct GeneratedDocument {
+  std::string xml;
+  uint64_t person_count = 0;
+  uint64_t item_count = 0;
+  uint64_t open_auction_count = 0;
+  uint64_t closed_auction_count = 0;
+  uint64_t category_count = 0;
+};
+
+// The paper's appendix DTD, verbatim (77 ELEMENT declarations).
+const std::string& AuctionDtd();
+
+GeneratedDocument GenerateAuctionDocument(const GeneratorOptions& options);
+
+}  // namespace ssdb::xmark
+
+#endif  // SSDB_XMARK_GENERATOR_H_

@@ -1,0 +1,102 @@
+#include "xmark/words.h"
+
+namespace ssdb::xmark {
+
+const std::vector<std::string>& Vocabulary() {
+  static const auto* kWords = new std::vector<std::string>{
+      "the",      "of",       "and",      "to",       "in",       "that",
+      "was",      "his",      "he",       "it",       "with",     "is",
+      "for",      "as",       "had",      "you",      "not",      "be",
+      "her",      "on",       "at",       "by",       "which",    "have",
+      "or",       "from",     "this",     "him",      "but",      "all",
+      "she",      "they",     "were",     "my",       "are",      "me",
+      "one",      "their",    "so",       "an",       "said",     "them",
+      "we",       "who",      "would",    "been",     "will",     "no",
+      "when",     "there",    "if",       "more",     "out",      "up",
+      "into",     "do",       "any",      "your",     "what",     "has",
+      "man",      "could",    "other",    "than",     "our",      "some",
+      "very",     "time",     "upon",     "about",    "may",      "its",
+      "only",     "now",      "like",     "little",   "then",     "can",
+      "made",     "should",   "did",      "us",       "such",     "a",
+      "great",    "before",   "must",     "two",      "these",    "see",
+      "know",     "over",     "much",     "down",     "after",    "first",
+      "mr",       "good",     "men",      "own",      "never",    "most",
+      "old",      "shall",    "day",      "where",    "those",    "came",
+      "come",     "himself",  "way",      "work",     "life",     "without",
+      "go",       "make",     "well",     "through",  "being",    "long",
+      "say",      "might",    "how",      "am",       "too",      "even",
+      "def",      "again",    "many",     "back",     "here",     "think",
+      "every",    "people",   "went",     "same",     "last",     "thought",
+      "house",    "us",       "against",  "right",    "take",     "himself",
+      "hand",     "eyes",     "still",    "place",    "while",    "year",
+      "found",    "world",    "thing",    "head",     "under",    "look",
+      "another",  "few",      "door",     "told",     "young",    "side",
+      "got",      "face",     "between",  "best",     "really",   "nothing",
+      "auction",  "bid",      "price",    "seller",   "vintage",  "rare",
+      "antique",  "mint",     "original", "shipping", "payment",  "credit",
+      "money",    "order",    "cash",     "check",    "item",     "quality",
+  };
+  return *kWords;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Joan",   "John",    "Mary",   "James",  "Linda",  "Robert",
+      "Susan",  "Michael", "Karen",  "David",  "Nancy",  "Richard",
+      "Betty",  "Thomas",  "Helen",  "Charles", "Ruth",  "Daniel",
+      "Laura",  "Matthew", "Sarah",  "Anthony", "Emma",  "Mark",
+      "Alice",  "Paul",    "Grace",  "Steven",  "Rose",  "Kenneth",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "Johnson",  "Smith",    "Williams", "Brown",   "Jones",   "Garcia",
+      "Miller",   "Davis",    "Martinez", "Lopez",   "Wilson",  "Anderson",
+      "Taylor",   "Thomas",   "Moore",    "Jackson", "Martin",  "Lee",
+      "Thompson", "White",    "Harris",   "Clark",   "Lewis",   "Young",
+      "Walker",   "Hall",     "Allen",    "King",    "Wright",  "Scott",
+  };
+  return *kNames;
+}
+
+const std::vector<std::string>& Cities() {
+  static const auto* kCities = new std::vector<std::string>{
+      "Amsterdam", "Berlin", "Paris",   "London", "Madrid",  "Rome",
+      "Vienna",    "Prague", "Lisbon",  "Dublin", "Athens",  "Oslo",
+      "Helsinki",  "Warsaw", "Budapest", "Zurich", "Brussels", "Copenhagen",
+  };
+  return *kCities;
+}
+
+const std::vector<std::string>& Countries() {
+  static const auto* kCountries = new std::vector<std::string>{
+      "Netherlands", "Germany", "France",  "England", "Spain",   "Italy",
+      "Austria",     "Czechia", "Portugal", "Ireland", "Greece",  "Norway",
+      "Finland",     "Poland",  "Hungary", "Switzerland", "Belgium",
+      "Denmark",
+  };
+  return *kCountries;
+}
+
+const std::vector<std::string>& Streets() {
+  static const auto* kStreets = new std::vector<std::string>{
+      "Main St",   "Oak Ave",   "Park Rd",   "Elm St",   "Lake Dr",
+      "Hill Rd",   "River Ln",  "Mill St",   "High St",  "Church Rd",
+      "North Ave", "South St",  "West Blvd", "East Way", "Bridge St",
+  };
+  return *kStreets;
+}
+
+std::string MakeSentence(Random* rng, size_t count) {
+  const auto& vocab = Vocabulary();
+  std::string out;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += vocab[rng->Zipf(vocab.size())];
+  }
+  return out;
+}
+
+}  // namespace ssdb::xmark

@@ -1,0 +1,30 @@
+// Word material for the synthetic auction documents (the original XMark
+// generator draws from Shakespeare; offline we embed a fixed vocabulary).
+
+#ifndef SSDB_XMARK_WORDS_H_
+#define SSDB_XMARK_WORDS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ssdb::xmark {
+
+// ~180 common English words, Zipf-sampled for body text.
+const std::vector<std::string>& Vocabulary();
+
+// First/last name pools for <person> entries.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& Countries();
+const std::vector<std::string>& Streets();
+
+// `count` Zipf-distributed vocabulary words joined by spaces.
+std::string MakeSentence(Random* rng, size_t count);
+
+}  // namespace ssdb::xmark
+
+#endif  // SSDB_XMARK_WORDS_H_

@@ -1,0 +1,145 @@
+#include "xml/dom.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace ssdb::xml {
+namespace {
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class DomBuilder : public SaxHandler {
+ public:
+  explicit DomBuilder(Document* doc) : doc_(doc) {}
+
+  Status StartElement(std::string_view name,
+                      const AttributeList& attributes) override {
+    auto node = std::make_unique<Node>();
+    node->type = Node::Type::kElement;
+    node->name = std::string(name);
+    node->attributes = attributes;
+    Node* raw = node.get();
+    if (stack_.empty()) {
+      node->parent = nullptr;
+      doc_->set_root(std::move(node));
+    } else {
+      node->parent = stack_.back();
+      stack_.back()->children.push_back(std::move(node));
+    }
+    stack_.push_back(raw);
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view name) override {
+    (void)name;  // the SAX parser already validated matching
+    stack_.pop_back();
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text) override {
+    if (stack_.empty()) return Status::OK();
+    if (IsAllWhitespace(text)) return Status::OK();
+    Node* parent = stack_.back();
+    // Merge consecutive character callbacks into one text node.
+    if (!parent->children.empty() && parent->children.back()->IsText()) {
+      parent->children.back()->text += std::string(text);
+      return Status::OK();
+    }
+    auto node = std::make_unique<Node>();
+    node->type = Node::Type::kText;
+    node->text = std::string(text);
+    node->parent = parent;
+    parent->children.push_back(std::move(node));
+    return Status::OK();
+  }
+
+ private:
+  Document* doc_;
+  std::vector<Node*> stack_;
+};
+
+void CountElements(const Node* node, size_t* count) {
+  if (!node->IsElement()) return;
+  ++*count;
+  for (const auto& child : node->children) CountElements(child.get(), count);
+}
+
+size_t MaxDepth(const Node* node) {
+  if (!node->IsElement()) return 0;
+  size_t deepest = 0;
+  for (const auto& child : node->children) {
+    deepest = std::max(deepest, MaxDepth(child.get()));
+  }
+  return deepest + 1;
+}
+
+// Document-order numbering: pre increments on element open, post on close.
+void Annotate(Node* node, uint32_t parent_pre, uint32_t* pre_counter,
+              uint32_t* post_counter) {
+  if (!node->IsElement()) return;
+  node->pre = ++*pre_counter;
+  node->parent_pre = parent_pre;
+  for (auto& child : node->children) {
+    Annotate(child.get(), node->pre, pre_counter, post_counter);
+  }
+  node->post = ++*post_counter;
+}
+
+}  // namespace
+
+std::string Node::DirectText() const {
+  std::string out;
+  for (const auto& child : children) {
+    if (child->IsText()) out += child->text;
+  }
+  return out;
+}
+
+size_t Document::ElementCount() const {
+  size_t count = 0;
+  if (root_) CountElements(root_.get(), &count);
+  return count;
+}
+
+size_t Document::Depth() const {
+  return root_ ? MaxDepth(root_.get()) : 0;
+}
+
+StatusOr<Document> ParseDocument(std::string_view input) {
+  Document doc;
+  DomBuilder builder(&doc);
+  SaxParser parser;
+  SSDB_RETURN_IF_ERROR(parser.Parse(input, &builder));
+  return doc;
+}
+
+StatusOr<Document> ParseDocumentFile(const std::string& path) {
+  Document doc;
+  DomBuilder builder(&doc);
+  SaxParser parser;
+  SSDB_RETURN_IF_ERROR(parser.ParseFile(path, &builder));
+  return doc;
+}
+
+void AnnotatePrePost(Document* doc) {
+  if (doc->root() == nullptr) return;
+  uint32_t pre = 0, post = 0;
+  Annotate(doc->root(), 0, &pre, &post);
+}
+
+void ForEachElement(const Node* node,
+                    const std::function<void(const Node&)>& fn) {
+  if (node == nullptr || !node->IsElement()) return;
+  fn(*node);
+  for (const auto& child : node->children) {
+    ForEachElement(child.get(), fn);
+  }
+}
+
+}  // namespace ssdb::xml

@@ -1,0 +1,78 @@
+// In-memory document tree built on the SAX parser. Used by the ground-truth
+// query evaluator, the trie transformation and tests; the encoder itself
+// streams and never materializes a DOM (§5.1).
+
+#ifndef SSDB_XML_DOM_H_
+#define SSDB_XML_DOM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+#include "xml/sax.h"
+
+namespace ssdb::xml {
+
+struct Node {
+  enum class Type { kElement, kText };
+
+  Type type = Type::kElement;
+  std::string name;  // element tag name; empty for text nodes
+  std::string text;  // text content; empty for element nodes
+  AttributeList attributes;
+  std::vector<std::unique_ptr<Node>> children;
+  Node* parent = nullptr;
+
+  // Pre/post/parent numbering in the paper's scheme (open-tag counter /
+  // close-tag counter / parent's pre; root parent is 0). Filled by
+  // AnnotatePrePost; 0 means "not annotated".
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  uint32_t parent_pre = 0;
+
+  bool IsElement() const { return type == Type::kElement; }
+  bool IsText() const { return type == Type::kText; }
+
+  // Concatenated text of direct text children.
+  std::string DirectText() const;
+};
+
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+  void set_root(std::unique_ptr<Node> root) { root_ = std::move(root); }
+
+  // Number of element nodes.
+  size_t ElementCount() const;
+  // Maximum element depth (root = 1).
+  size_t Depth() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+// Parses a document; text nodes that are all-whitespace between elements are
+// dropped (they are formatting, not data).
+StatusOr<Document> ParseDocument(std::string_view input);
+StatusOr<Document> ParseDocumentFile(const std::string& path);
+
+// Assigns pre/post/parent numbers over *element* nodes only, in document
+// order, matching the streaming encoder's numbering exactly (text nodes get
+// pre = 0 and are skipped).
+void AnnotatePrePost(Document* doc);
+
+// Visits every element node in document order.
+void ForEachElement(const Node* node,
+                    const std::function<void(const Node&)>& fn);
+
+}  // namespace ssdb::xml
+
+#endif  // SSDB_XML_DOM_H_

@@ -1,0 +1,121 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+
+#include "util/file_util.h"
+
+namespace ssdb::xml {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+// Extracts element names from a content model like
+// "(location, quantity, name?, (a | b)*)".
+std::vector<std::string> ExtractChildNames(std::string_view model) {
+  std::vector<std::string> names;
+  size_t i = 0;
+  while (i < model.size()) {
+    char c = model[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < model.size() && IsNameChar(model[i])) ++i;
+      std::string name(model.substr(start, i - start));
+      if (name != "EMPTY" && name != "ANY") {
+        bool seen = false;
+        for (const auto& existing : names) {
+          if (existing == name) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) names.push_back(std::move(name));
+      }
+    } else {
+      ++i;
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> Dtd::ElementNames() const {
+  std::vector<std::string> names;
+  names.reserve(elements_.size());
+  for (const auto& decl : elements_) names.push_back(decl.name);
+  return names;
+}
+
+bool Dtd::HasElement(std::string_view name) const {
+  return FindElement(name) != nullptr;
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  for (const auto& decl : elements_) {
+    if (decl.name == name) return &decl;
+  }
+  return nullptr;
+}
+
+StatusOr<Dtd> ParseDtd(std::string_view input) {
+  Dtd dtd;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    size_t open = input.find("<!", pos);
+    if (open == std::string_view::npos) break;
+    if (input.substr(open).substr(0, 4) == "<!--") {
+      size_t end = input.find("-->", open);
+      if (end == std::string_view::npos) {
+        return Status::Corruption("unterminated DTD comment");
+      }
+      pos = end + 3;
+      continue;
+    }
+    size_t close = input.find('>', open);
+    if (close == std::string_view::npos) {
+      return Status::Corruption("unterminated DTD declaration");
+    }
+    std::string_view decl = input.substr(open + 2, close - open - 2);
+    pos = close + 1;
+    if (decl.substr(0, 7) != "ELEMENT") continue;  // skip ATTLIST/ENTITY/...
+    decl.remove_prefix(7);
+    // Parse: name, then content model.
+    size_t i = 0;
+    while (i < decl.size() &&
+           std::isspace(static_cast<unsigned char>(decl[i]))) {
+      ++i;
+    }
+    size_t name_start = i;
+    while (i < decl.size() && IsNameChar(decl[i])) ++i;
+    if (i == name_start) {
+      return Status::Corruption("ELEMENT declaration missing name");
+    }
+    ElementDecl element;
+    element.name = std::string(decl.substr(name_start, i - name_start));
+    while (i < decl.size() &&
+           std::isspace(static_cast<unsigned char>(decl[i]))) {
+      ++i;
+    }
+    element.content_model = std::string(decl.substr(i));
+    element.children = ExtractChildNames(element.content_model);
+    if (dtd.HasElement(element.name)) {
+      return Status::Corruption("duplicate ELEMENT declaration: " +
+                                element.name);
+    }
+    dtd.AddElement(std::move(element));
+  }
+  if (dtd.elements().empty()) {
+    return Status::InvalidArgument("DTD contains no ELEMENT declarations");
+  }
+  return dtd;
+}
+
+StatusOr<Dtd> ParseDtdFile(const std::string& path) {
+  SSDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return ParseDtd(contents);
+}
+
+}  // namespace ssdb::xml

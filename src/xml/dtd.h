@@ -1,0 +1,48 @@
+// Minimal DTD parser: extracts <!ELEMENT name (content-model)> declarations.
+// The paper's mapping function is defined over "tag names ... chosen from a
+// fixed sized set (described in a DTD)" — this module supplies that set (the
+// XMark auction DTD from the paper's appendix ships in src/xmark).
+
+#ifndef SSDB_XML_DTD_H_
+#define SSDB_XML_DTD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::xml {
+
+struct ElementDecl {
+  std::string name;
+  std::string content_model;  // raw text between the parentheses/keywords
+  // Child element names referenced by the content model (no duplicates,
+  // in first-appearance order). #PCDATA is not included.
+  std::vector<std::string> children;
+};
+
+class Dtd {
+ public:
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+
+  // Declared element names in declaration order.
+  std::vector<std::string> ElementNames() const;
+
+  bool HasElement(std::string_view name) const;
+  const ElementDecl* FindElement(std::string_view name) const;
+
+  void AddElement(ElementDecl decl) { elements_.push_back(std::move(decl)); }
+
+ private:
+  std::vector<ElementDecl> elements_;
+};
+
+// Parses the <!ELEMENT ...> declarations out of DTD text; <!ATTLIST ...>,
+// <!ENTITY ...> and comments are skipped.
+StatusOr<Dtd> ParseDtd(std::string_view input);
+StatusOr<Dtd> ParseDtdFile(const std::string& path);
+
+}  // namespace ssdb::xml
+
+#endif  // SSDB_XML_DTD_H_

@@ -1,0 +1,116 @@
+#include "xml/escape.h"
+
+#include <cstdlib>
+
+namespace ssdb::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      return Status::Corruption("unterminated entity reference");
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10ffff) {
+        return Status::Corruption("invalid numeric character reference");
+      }
+      // Minimal UTF-8 encoding.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else {
+        out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      }
+    } else {
+      return Status::Corruption("unknown entity: &" + std::string(entity) +
+                                ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace ssdb::xml

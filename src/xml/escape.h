@@ -1,0 +1,25 @@
+// XML entity escaping/unescaping.
+
+#ifndef SSDB_XML_ESCAPE_H_
+#define SSDB_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace ssdb::xml {
+
+// Escapes &, <, > for element text content.
+std::string EscapeText(std::string_view text);
+
+// Escapes &, <, >, ", ' for attribute values.
+std::string EscapeAttribute(std::string_view value);
+
+// Decodes the five predefined entities plus numeric character references
+// (&#NN; and &#xNN;, ASCII range only). Unknown entities are an error.
+StatusOr<std::string> UnescapeEntities(std::string_view text);
+
+}  // namespace ssdb::xml
+
+#endif  // SSDB_XML_ESCAPE_H_

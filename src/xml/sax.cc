@@ -1,0 +1,269 @@
+#include "xml/sax.h"
+
+#include <cctype>
+
+#include "util/file_util.h"
+#include "xml/escape.h"
+
+namespace ssdb::xml {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Cursor over the input with line tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void AdvanceBy(size_t count) {
+    for (size_t i = 0; i < count && !AtEnd(); ++i) Advance();
+  }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.substr(pos_).substr(0, prefix.size()) != prefix) return false;
+    AdvanceBy(prefix.size());
+    return true;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view SliceFrom(size_t start) const {
+    return input_.substr(start, pos_ - start);
+  }
+  // Finds `needle` starting at the current position; npos when absent.
+  size_t Find(std::string_view needle) const {
+    return input_.find(needle, pos_);
+  }
+  void JumpTo(size_t pos) {
+    while (pos_ < pos && !AtEnd()) Advance();
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Status ParseError(const Cursor& cursor, const std::string& message) {
+  return Status::Corruption("XML parse error at line " +
+                            std::to_string(cursor.line()) + ": " + message);
+}
+
+}  // namespace
+
+Status SaxParser::Parse(std::string_view input, SaxHandler* handler) {
+  Cursor cursor(input);
+  // Skip UTF-8 BOM if present.
+  cursor.ConsumePrefix("\xef\xbb\xbf");
+
+  SSDB_RETURN_IF_ERROR(handler->StartDocument());
+
+  std::vector<std::string> open_elements;
+  std::string text_buffer;
+  bool seen_root = false;
+
+  auto flush_text = [&]() -> Status {
+    if (text_buffer.empty()) return Status::OK();
+    if (!open_elements.empty()) {
+      SSDB_RETURN_IF_ERROR(handler->Characters(text_buffer));
+    } else {
+      // Text outside the root must be whitespace.
+      for (char c : text_buffer) {
+        if (!IsSpace(c)) {
+          return Status::Corruption("text content outside root element");
+        }
+      }
+    }
+    text_buffer.clear();
+    return Status::OK();
+  };
+
+  while (!cursor.AtEnd()) {
+    if (cursor.Peek() != '<') {
+      // Accumulate raw text up to the next markup; decode entities at flush.
+      size_t start = cursor.pos();
+      while (!cursor.AtEnd() && cursor.Peek() != '<') cursor.Advance();
+      SSDB_ASSIGN_OR_RETURN(std::string decoded,
+                            UnescapeEntities(cursor.SliceFrom(start)));
+      text_buffer += decoded;
+      continue;
+    }
+
+    // Markup.
+    if (cursor.ConsumePrefix("<!--")) {
+      size_t end = cursor.Find("-->");
+      if (end == std::string_view::npos) {
+        return ParseError(cursor, "unterminated comment");
+      }
+      cursor.JumpTo(end + 3);
+      continue;
+    }
+    if (cursor.ConsumePrefix("<![CDATA[")) {
+      size_t end = cursor.Find("]]>");
+      if (end == std::string_view::npos) {
+        return ParseError(cursor, "unterminated CDATA section");
+      }
+      size_t start = cursor.pos();
+      cursor.JumpTo(end);
+      text_buffer += std::string(cursor.SliceFrom(start));
+      cursor.AdvanceBy(3);
+      continue;
+    }
+    if (cursor.ConsumePrefix("<?")) {
+      size_t end = cursor.Find("?>");
+      if (end == std::string_view::npos) {
+        return ParseError(cursor, "unterminated processing instruction");
+      }
+      cursor.JumpTo(end + 2);
+      continue;
+    }
+    if (cursor.ConsumePrefix("<!DOCTYPE")) {
+      // Skip, honouring a bracketed internal subset.
+      int depth = 0;
+      while (!cursor.AtEnd()) {
+        char c = cursor.Advance();
+        if (c == '[') {
+          ++depth;
+        } else if (c == ']') {
+          --depth;
+        } else if (c == '>' && depth == 0) {
+          break;
+        }
+      }
+      continue;
+    }
+    if (cursor.ConsumePrefix("</")) {
+      SSDB_RETURN_IF_ERROR(flush_text());
+      size_t start = cursor.pos();
+      while (!cursor.AtEnd() && IsNameChar(cursor.Peek())) cursor.Advance();
+      std::string name(cursor.SliceFrom(start));
+      if (name.empty()) return ParseError(cursor, "empty closing tag name");
+      cursor.SkipSpace();
+      if (cursor.AtEnd() || cursor.Advance() != '>') {
+        return ParseError(cursor, "malformed closing tag </" + name);
+      }
+      if (open_elements.empty()) {
+        return ParseError(cursor, "closing tag </" + name +
+                                      "> with no open element");
+      }
+      if (open_elements.back() != name) {
+        return ParseError(cursor, "mismatched closing tag </" + name +
+                                      ">, expected </" +
+                                      open_elements.back() + ">");
+      }
+      open_elements.pop_back();
+      SSDB_RETURN_IF_ERROR(handler->EndElement(name));
+      continue;
+    }
+
+    // Opening tag.
+    cursor.AdvanceBy(1);  // consume '<'
+    if (cursor.AtEnd() || !IsNameStartChar(cursor.Peek())) {
+      return ParseError(cursor, "invalid character after '<'");
+    }
+    SSDB_RETURN_IF_ERROR(flush_text());
+    size_t start = cursor.pos();
+    while (!cursor.AtEnd() && IsNameChar(cursor.Peek())) cursor.Advance();
+    std::string name(cursor.SliceFrom(start));
+
+    AttributeList attributes;
+    bool self_closing = false;
+    for (;;) {
+      cursor.SkipSpace();
+      if (cursor.AtEnd()) return ParseError(cursor, "unterminated tag");
+      char c = cursor.Peek();
+      if (c == '>') {
+        cursor.AdvanceBy(1);
+        break;
+      }
+      if (c == '/') {
+        cursor.AdvanceBy(1);
+        if (cursor.AtEnd() || cursor.Advance() != '>') {
+          return ParseError(cursor, "malformed self-closing tag");
+        }
+        self_closing = true;
+        break;
+      }
+      if (!IsNameStartChar(c)) {
+        return ParseError(cursor, "invalid attribute name");
+      }
+      size_t attr_start = cursor.pos();
+      while (!cursor.AtEnd() && IsNameChar(cursor.Peek())) cursor.Advance();
+      std::string attr_name(cursor.SliceFrom(attr_start));
+      cursor.SkipSpace();
+      if (cursor.AtEnd() || cursor.Advance() != '=') {
+        return ParseError(cursor, "attribute " + attr_name + " missing '='");
+      }
+      cursor.SkipSpace();
+      if (cursor.AtEnd()) return ParseError(cursor, "unterminated attribute");
+      char quote = cursor.Advance();
+      if (quote != '"' && quote != '\'') {
+        return ParseError(cursor, "attribute value must be quoted");
+      }
+      size_t value_start = cursor.pos();
+      while (!cursor.AtEnd() && cursor.Peek() != quote) cursor.Advance();
+      if (cursor.AtEnd()) {
+        return ParseError(cursor, "unterminated attribute value");
+      }
+      SSDB_ASSIGN_OR_RETURN(std::string value,
+                            UnescapeEntities(cursor.SliceFrom(value_start)));
+      cursor.AdvanceBy(1);  // closing quote
+      attributes.emplace_back(std::move(attr_name), std::move(value));
+    }
+
+    if (open_elements.empty() && seen_root) {
+      return ParseError(cursor, "multiple root elements");
+    }
+    seen_root = true;
+    SSDB_RETURN_IF_ERROR(handler->StartElement(name, attributes));
+    if (self_closing) {
+      SSDB_RETURN_IF_ERROR(handler->EndElement(name));
+    } else {
+      open_elements.push_back(std::move(name));
+    }
+  }
+
+  SSDB_RETURN_IF_ERROR(flush_text());
+  if (!open_elements.empty()) {
+    return Status::Corruption("unexpected end of input; <" +
+                              open_elements.back() + "> not closed");
+  }
+  if (!seen_root) {
+    return Status::Corruption("document has no root element");
+  }
+  return handler->EndDocument();
+}
+
+Status SaxParser::ParseFile(const std::string& path, SaxHandler* handler) {
+  SSDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return Parse(contents, handler);
+}
+
+}  // namespace ssdb::xml

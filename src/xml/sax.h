@@ -1,0 +1,53 @@
+// Streaming SAX-style XML parser (§5.1: the paper parses with a SAX parser so
+// the client only needs memory proportional to tree depth). Handles elements,
+// attributes, text with entity references, CDATA, comments, processing
+// instructions and DOCTYPE declarations (skipped).
+//
+// The dialect is the well-formed subset XMark-style documents use; it is not
+// a full XML 1.0 implementation (no namespaces-aware validation, no external
+// entities — the latter deliberately, as external entities are an injection
+// vector).
+
+#ifndef SSDB_XML_SAX_H_
+#define SSDB_XML_SAX_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssdb::xml {
+
+using AttributeList = std::vector<std::pair<std::string, std::string>>;
+
+// Callback interface; any non-OK return aborts the parse and propagates.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual Status StartDocument() { return Status::OK(); }
+  virtual Status EndDocument() { return Status::OK(); }
+  virtual Status StartElement(std::string_view name,
+                              const AttributeList& attributes) = 0;
+  virtual Status EndElement(std::string_view name) = 0;
+  // Text content with entities already decoded. May be called multiple times
+  // per text node (e.g. around CDATA sections).
+  virtual Status Characters(std::string_view text) = 0;
+};
+
+class SaxParser {
+ public:
+  SaxParser() = default;
+
+  // Parses a complete document held in memory. Errors carry line numbers.
+  Status Parse(std::string_view input, SaxHandler* handler);
+
+  // Convenience: reads and parses a file.
+  Status ParseFile(const std::string& path, SaxHandler* handler);
+};
+
+}  // namespace ssdb::xml
+
+#endif  // SSDB_XML_SAX_H_

@@ -1,0 +1,71 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace ssdb::xml {
+namespace {
+
+void WriteNodeRec(const Node& node, const WriterOptions& options, int depth,
+                  std::string* out) {
+  if (node.IsText()) {
+    out->append(EscapeText(node.text));
+    return;
+  }
+  auto indent = [&](int d) {
+    if (options.pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  if (options.pretty && depth > 0) indent(depth);
+
+  out->push_back('<');
+  out->append(node.name);
+  for (const auto& [attr_name, value] : node.attributes) {
+    out->push_back(' ');
+    out->append(attr_name);
+    out->append("=\"");
+    out->append(EscapeAttribute(value));
+    out->push_back('"');
+  }
+  if (node.children.empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool has_element_child = false;
+  for (const auto& child : node.children) {
+    if (child->IsElement()) has_element_child = true;
+    WriteNodeRec(*child, options, depth + 1, out);
+  }
+  if (options.pretty && has_element_child) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  out->append("</");
+  out->append(node.name);
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string WriteNode(const Node& node, const WriterOptions& options) {
+  std::string out;
+  WriteNodeRec(node, options, 0, &out);
+  return out;
+}
+
+std::string WriteDocument(const Document& doc, const WriterOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out.push_back('\n');
+  }
+  if (doc.root() != nullptr) {
+    WriteNodeRec(*doc.root(), options, 0, &out);
+  }
+  if (options.pretty) out.push_back('\n');
+  return out;
+}
+
+}  // namespace ssdb::xml

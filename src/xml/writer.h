@@ -1,0 +1,24 @@
+// Serializes a DOM back to XML text; inverse of ParseDocument (round-trip
+// property-tested). Used by the XMark generator and the trie transformation.
+
+#ifndef SSDB_XML_WRITER_H_
+#define SSDB_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace ssdb::xml {
+
+struct WriterOptions {
+  bool pretty = false;    // newline + two-space indentation per depth
+  bool declaration = false;  // emit <?xml version="1.0"?> prolog
+};
+
+std::string WriteDocument(const Document& doc,
+                          const WriterOptions& options = {});
+std::string WriteNode(const Node& node, const WriterOptions& options = {});
+
+}  // namespace ssdb::xml
+
+#endif  // SSDB_XML_WRITER_H_

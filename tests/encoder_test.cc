@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "gf/poly.h"
+#include "gf/share.h"
+#include "test_helpers.h"
+#include "xmark/generator.h"
+
+namespace ssdb::encode {
+namespace {
+
+using testing_helpers::BuildTestDb;
+using testing_helpers::SmallAuctionXml;
+
+// Recomputes a node's true (reduced) polynomial from the DOM, bottom-up.
+gf::RingElem TruePoly(const gf::Ring& ring, const mapping::TagMap& map,
+                      const xml::Node& node) {
+  gf::RingElem poly = ring.XMinus(*map.Lookup(node.name));
+  for (const auto& child : node.children) {
+    if (!child->IsElement()) continue;
+    poly = ring.Mul(poly, TruePoly(ring, map, *child));
+  }
+  return poly;
+}
+
+void CheckNode(const testing_helpers::TestDb& db, const xml::Node& node) {
+  auto row = db.store->GetByPre(node.pre);
+  ASSERT_TRUE(row.ok()) << "pre=" << node.pre;
+  EXPECT_EQ(row->post, node.post);
+  EXPECT_EQ(row->parent, node.parent_pre);
+  // client share (PRG) + stored server share == true polynomial.
+  prg::Prg prg(db.seed);
+  gf::RingElem client = prg.ClientShare(db.ring, node.pre);
+  auto server = db.ring.Deserialize(row->share);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(gf::Combine(db.ring, client, *server),
+            TruePoly(db.ring, db.map, node))
+      << "node " << node.name << " pre=" << node.pre;
+  for (const auto& child : node.children) {
+    if (child->IsElement()) CheckNode(db, *child);
+  }
+}
+
+TEST(EncoderTest, PrePostParentAndSharesMatchDom) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  EXPECT_EQ(db->encode_result.node_count, db->doc.ElementCount());
+  CheckNode(*db, *db->doc.root());
+}
+
+TEST(EncoderTest, EvalAndCoefficientDomainsAgree) {
+  // Ablation A1: both encode paths must produce identical stores.
+  std::string xml = SmallAuctionXml();
+  auto field = *gf::Field::Make(83);
+  auto doc = *xml::ParseDocument(xml);
+  auto map = *mapping::TagMap::FromNames(
+      testing_helpers::CollectNames(doc), field);
+  gf::Ring ring(field);
+  prg::Seed seed = prg::Seed::FromUint64(3);
+
+  storage::MemoryNodeStore store_eval, store_coeff;
+  EncodeOptions eval_options;
+  eval_options.use_eval_domain = true;
+  EncodeOptions coeff_options;
+  coeff_options.use_eval_domain = false;
+
+  Encoder encoder_eval(ring, map, prg::Prg(seed), &store_eval, eval_options);
+  Encoder encoder_coeff(ring, map, prg::Prg(seed), &store_coeff,
+                        coeff_options);
+  auto r1 = encoder_eval.EncodeString(xml);
+  auto r2 = encoder_coeff.EncodeString(xml);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->node_count, r2->node_count);
+  for (uint32_t pre = 1; pre <= r1->node_count; ++pre) {
+    auto a = store_eval.GetByPre(pre);
+    auto b = store_coeff.GetByPre(pre);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "pre=" << pre;
+  }
+}
+
+TEST(EncoderTest, FailsOnUnmappedTag) {
+  auto field = *gf::Field::Make(83);
+  auto map = *mapping::TagMap::FromNames({"a"}, field);
+  gf::Ring ring(field);
+  storage::MemoryNodeStore store;
+  Encoder encoder(ring, map, prg::Prg(prg::Seed::FromUint64(1)), &store);
+  EXPECT_FALSE(encoder.EncodeString("<a><unmapped/></a>").ok());
+}
+
+TEST(EncoderTest, FailsOnNonEmptyStore) {
+  auto field = *gf::Field::Make(83);
+  auto map = *mapping::TagMap::FromNames({"a"}, field);
+  gf::Ring ring(field);
+  storage::MemoryNodeStore store;
+  Encoder encoder(ring, map, prg::Prg(prg::Seed::FromUint64(1)), &store);
+  ASSERT_TRUE(encoder.EncodeString("<a/>").ok());
+  EXPECT_FALSE(encoder.EncodeString("<a/>").ok());
+}
+
+TEST(EncoderTest, TrieModeEncodesTextAsNodes) {
+  std::string xml = "<name>Jo</name>";
+  // Non-trie: 1 node. Trie: name + j + o + _end_ = 4 nodes.
+  auto plain = BuildTestDb(xml);
+  EXPECT_EQ(plain->encode_result.node_count, 1u);
+  auto trie_db = BuildTestDb(xml, 83, /*trie=*/true);
+  EXPECT_EQ(trie_db->encode_result.node_count, 4u);
+  // Numbering still matches the (transformed) DOM.
+  CheckNode(*trie_db, *trie_db->doc.root());
+}
+
+TEST(EncoderTest, ShareBytesMatchRingSize) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  EXPECT_EQ(db->encode_result.share_bytes,
+            db->encode_result.node_count * db->ring.serialized_bytes());
+}
+
+TEST(EncoderTest, SealedPayloadsRoundTrip) {
+  // §4 extension: name + direct text sealed under the seed, opaque to the
+  // server, revealed exactly by the client.
+  auto field = *gf::Field::Make(83);
+  auto map = *mapping::TagMap::FromNames({"person", "name", "age"}, field);
+  gf::Ring ring(field);
+  prg::Seed seed = prg::Seed::FromUint64(55);
+  storage::MemoryNodeStore store;
+  EncodeOptions options;
+  options.seal_content = true;
+  Encoder encoder(ring, map, prg::Prg(seed), &store, options);
+  ASSERT_TRUE(
+      encoder
+          .EncodeString(
+              "<person><name>Joan Johnson</name><age>30</age></person>")
+          .ok());
+
+  // Server-visible bytes must not contain the plaintext.
+  auto row = store.GetByPre(2);
+  ASSERT_TRUE(row.ok());
+  EXPECT_FALSE(row->sealed.empty());
+  EXPECT_EQ(row->sealed.find("Joan"), std::string::npos);
+  EXPECT_EQ(row->sealed.find("name"), std::string::npos);
+
+  filter::LocalServerFilter server(ring, &store);
+  filter::ClientFilter client(ring, prg::Prg(seed), &server);
+  auto node = client.GetNode(2);
+  ASSERT_TRUE(node.ok());
+  auto revealed = client.Reveal(*node);
+  ASSERT_TRUE(revealed.ok()) << revealed.status().ToString();
+  EXPECT_EQ(revealed->name, "name");
+  EXPECT_EQ(revealed->text, "Joan Johnson");
+
+  auto root_revealed = client.Reveal(*client.Root());
+  ASSERT_TRUE(root_revealed.ok());
+  EXPECT_EQ(root_revealed->name, "person");
+  EXPECT_EQ(root_revealed->text, "");
+
+  // A wrong seed yields garbage, not the plaintext.
+  filter::ClientFilter wrong(ring, prg::Prg(prg::Seed::FromUint64(56)),
+                             &server);
+  auto garbage = wrong.Reveal(*node);
+  if (garbage.ok()) {
+    EXPECT_NE(garbage->text, "Joan Johnson");
+  }
+}
+
+TEST(EncoderTest, UnsealedDatabaseRefusesReveal) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  auto root = db->client->Root();
+  ASSERT_TRUE(root.ok());
+  auto revealed = db->client->Reveal(*root);
+  EXPECT_FALSE(revealed.ok());
+  EXPECT_EQ(revealed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EncoderTest, XmarkDocumentEncodesCleanly) {
+  xmark::GeneratorOptions options;
+  options.target_bytes = 40 << 10;
+  auto generated = xmark::GenerateAuctionDocument(options);
+  auto db = BuildTestDb(generated.xml);
+  EXPECT_EQ(db->encode_result.node_count, db->doc.ElementCount());
+  EXPECT_GT(db->encode_result.node_count, 100u);
+  // Spot-check a person node's share reconstructs.
+  CheckNode(*db, *db->doc.root()->children[0]);
+}
+
+}  // namespace
+}  // namespace ssdb::encode

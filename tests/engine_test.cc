@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/advanced_engine.h"
+#include "query/ground_truth.h"
+#include "query/simple_engine.h"
+#include "test_helpers.h"
+#include "xmark/generator.h"
+
+namespace ssdb::query {
+namespace {
+
+using testing_helpers::BuildTestDb;
+using testing_helpers::SmallAuctionXml;
+using testing_helpers::TestDb;
+
+std::set<uint32_t> PreSet(const std::vector<filter::NodeMeta>& nodes) {
+  std::set<uint32_t> out;
+  for (const auto& node : nodes) out.insert(node.pre);
+  return out;
+}
+
+std::set<uint32_t> PreSet(const std::vector<uint32_t>& pres) {
+  return {pres.begin(), pres.end()};
+}
+
+struct Engines {
+  SimpleEngine simple;
+  AdvancedEngine advanced;
+  explicit Engines(TestDb* db)
+      : simple(db->client.get(), &db->map),
+        advanced(db->client.get(), &db->map) {}
+};
+
+// Core correctness property over a corpus of queries:
+//  * strict (equality) results == plaintext ground truth, both engines;
+//  * non-strict (containment) results are a superset of ground truth.
+void CheckQueryCorpus(TestDb* db, const std::vector<std::string>& queries) {
+  Engines engines(db);
+  for (const std::string& text : queries) {
+    auto parsed = ParseQuery(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    auto truth = EvaluateGroundTruth(*parsed, db->doc);
+    ASSERT_TRUE(truth.ok()) << text;
+    std::set<uint32_t> expected = PreSet(*truth);
+
+    for (QueryEngine* engine :
+         {static_cast<QueryEngine*>(&engines.simple),
+          static_cast<QueryEngine*>(&engines.advanced)}) {
+      QueryStats strict_stats;
+      auto strict = engine->Execute(*parsed, MatchMode::kEquality,
+                                    &strict_stats);
+      ASSERT_TRUE(strict.ok()) << engine->name() << " " << text;
+      EXPECT_EQ(PreSet(*strict), expected)
+          << engine->name() << " strict mismatch on " << text;
+      EXPECT_EQ(strict_stats.result_size, strict->size());
+
+      auto loose = engine->Execute(*parsed, MatchMode::kContainment,
+                                   nullptr);
+      ASSERT_TRUE(loose.ok()) << engine->name() << " " << text;
+      std::set<uint32_t> loose_set = PreSet(*loose);
+      for (uint32_t pre : expected) {
+        EXPECT_TRUE(loose_set.count(pre) > 0)
+            << engine->name() << " non-strict lost a true result on "
+            << text << " (pre " << pre << ")";
+      }
+    }
+  }
+}
+
+TEST(EngineTest, SmallDocumentCorpus) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  CheckQueryCorpus(db.get(), {
+                                 "/site",
+                                 "/site/people",
+                                 "/site/people/person",
+                                 "/site/people/person/name",
+                                 "/site/*/person",
+                                 "/site/*/person//city",
+                                 "/site//city",
+                                 "//city",
+                                 "//person/address/city",
+                                 "//bidder/date",
+                                 "/*/*/open_auction/bidder/date",
+                                 "/site//europe/item",
+                                 "/site//europe//item",
+                                 "/site/people/person/address/..",
+                                 "//address/../name",
+                                 "/site/people/person[address/city]",
+                                 "/site/people/person[//city]/name",
+                                 "/nonexistent",
+                                 "//nonexistent",
+                             });
+}
+
+TEST(EngineTest, XmarkDocumentCorpus) {
+  xmark::GeneratorOptions options;
+  options.target_bytes = 30 << 10;
+  options.seed = 5;
+  auto generated = xmark::GenerateAuctionDocument(options);
+  auto db = BuildTestDb(generated.xml);
+  CheckQueryCorpus(db.get(), {
+                                 "/site/regions/europe/item",
+                                 "/site//europe/item",
+                                 "/site/*/person//city",
+                                 "//bidder/date",
+                                 "/*/*/open_auction/bidder/date",
+                                 "/site/people/person/profile",
+                             });
+}
+
+TEST(EngineTest, NonStrictAccuracyIs100ForAbsoluteQueries) {
+  // Fig. 7: queries without // reach 100% accuracy.
+  auto db = BuildTestDb(SmallAuctionXml());
+  Engines engines(db.get());
+  for (const char* text :
+       {"/site/people/person", "/site/regions/europe/item",
+        "/site/open_auctions/open_auction/bidder/date"}) {
+    auto parsed = ParseQuery(text);
+    ASSERT_TRUE(parsed.ok());
+    auto strict =
+        engines.simple.Execute(*parsed, MatchMode::kEquality, nullptr);
+    auto loose =
+        engines.simple.Execute(*parsed, MatchMode::kContainment, nullptr);
+    ASSERT_TRUE(strict.ok() && loose.ok());
+    EXPECT_EQ(PreSet(*strict), PreSet(*loose)) << text;
+  }
+}
+
+TEST(EngineTest, NonStrictOverApproximatesOnDescendantQueries) {
+  // '//city' in non-strict mode also returns ancestors that merely contain
+  // a city (e.g. address) — the accuracy loss fig. 7 measures.
+  auto db = BuildTestDb(SmallAuctionXml());
+  Engines engines(db.get());
+  auto parsed = ParseQuery("/site/*/person//city");
+  ASSERT_TRUE(parsed.ok());
+  auto strict =
+      engines.simple.Execute(*parsed, MatchMode::kEquality, nullptr);
+  auto loose =
+      engines.simple.Execute(*parsed, MatchMode::kContainment, nullptr);
+  ASSERT_TRUE(strict.ok() && loose.ok());
+  EXPECT_EQ(strict->size(), 2u);          // the two real cities
+  EXPECT_GT(loose->size(), strict->size());  // plus containing addresses
+}
+
+TEST(EngineTest, AdvancedPrunesDeadBranches) {
+  // On queries with // the advanced engine must visit (and test) fewer
+  // candidates than the simple engine — the core claim of fig. 6.
+  xmark::GeneratorOptions options;
+  options.target_bytes = 60 << 10;
+  auto generated = xmark::GenerateAuctionDocument(options);
+  auto db = BuildTestDb(generated.xml);
+  Engines engines(db.get());
+  for (const char* text : {"/site/*/person//city", "//bidder/date"}) {
+    auto parsed = ParseQuery(text);
+    ASSERT_TRUE(parsed.ok());
+    QueryStats simple_stats, advanced_stats;
+    ASSERT_TRUE(engines.simple
+                    .Execute(*parsed, MatchMode::kContainment, &simple_stats)
+                    .ok());
+    ASSERT_TRUE(engines.advanced
+                    .Execute(*parsed, MatchMode::kContainment,
+                             &advanced_stats)
+                    .ok());
+    EXPECT_LT(advanced_stats.eval.nodes_visited,
+              simple_stats.eval.nodes_visited)
+        << text;
+  }
+}
+
+TEST(EngineTest, AdvancedPaysLookaheadOnLinearQueries) {
+  // Table 1 / fig. 5: on plain child-step queries the advanced engine does
+  // *more* evaluations (constant factor), not fewer.
+  auto db = BuildTestDb(SmallAuctionXml());
+  Engines engines(db.get());
+  auto parsed = ParseQuery("/site/people/person/name");
+  ASSERT_TRUE(parsed.ok());
+  QueryStats simple_stats, advanced_stats;
+  ASSERT_TRUE(engines.simple
+                  .Execute(*parsed, MatchMode::kContainment, &simple_stats)
+                  .ok());
+  ASSERT_TRUE(engines.advanced
+                  .Execute(*parsed, MatchMode::kContainment, &advanced_stats)
+                  .ok());
+  EXPECT_GE(advanced_stats.eval.evaluations, simple_stats.eval.evaluations);
+}
+
+TEST(EngineTest, TrieContainsQueryFindsWord) {
+  // §4 end to end: trie-encode names, query with contains(text(), ...).
+  auto db = BuildTestDb(
+      "<people>"
+      "<person><name>Joan Johnson</name></person>"
+      "<person><name>Mary Smith</name></person>"
+      "</people>",
+      83, /*trie=*/true);
+  Engines engines(db.get());
+  auto parsed = ParseQuery("/people/person/name[contains(text(), \"Joan\")]");
+  ASSERT_TRUE(parsed.ok());
+
+  auto truth = EvaluateGroundTruth(*parsed, db->doc);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_EQ(truth->size(), 1u);
+
+  for (QueryEngine* engine :
+       {static_cast<QueryEngine*>(&engines.simple),
+        static_cast<QueryEngine*>(&engines.advanced)}) {
+    auto result = engine->Execute(*parsed, MatchMode::kEquality, nullptr);
+    ASSERT_TRUE(result.ok()) << engine->name();
+    EXPECT_EQ(PreSet(*result), PreSet(*truth)) << engine->name();
+  }
+  // A word that is present as a prefix should also hit (substring-prefix
+  // semantics of the paper's rewrite)...
+  auto prefix = ParseQuery("/people/person/name[contains(text(), \"Joa\")]");
+  auto r = engines.simple.Execute(*prefix, MatchMode::kEquality, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  // ... while an absent word misses.
+  auto absent = ParseQuery("/people/person/name[contains(text(), \"zoe\")]");
+  auto r2 = engines.simple.Execute(*absent, MatchMode::kEquality, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST(EngineTest, StatsDeltasAreScopedPerQuery) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  Engines engines(db.get());
+  auto parsed = ParseQuery("/site/people/person");
+  ASSERT_TRUE(parsed.ok());
+  QueryStats first, second;
+  ASSERT_TRUE(
+      engines.simple.Execute(*parsed, MatchMode::kContainment, &first).ok());
+  ASSERT_TRUE(
+      engines.simple.Execute(*parsed, MatchMode::kContainment, &second).ok());
+  EXPECT_EQ(first.eval.evaluations, second.eval.evaluations);
+  EXPECT_GT(first.eval.evaluations, 0u);
+  EXPECT_GT(first.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ssdb::query

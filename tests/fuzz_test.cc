@@ -1,0 +1,206 @@
+// Randomized property tests over the whole pipeline:
+//  * XML writer/parser round-trip on random trees;
+//  * random queries on random documents: strict engine results must equal
+//    the plaintext ground truth exactly, non-strict must be a superset —
+//    for both engines, across many (document, query) pairs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/advanced_engine.h"
+#include "query/ground_truth.h"
+#include "query/simple_engine.h"
+#include "test_helpers.h"
+#include "util/random.h"
+#include "xml/writer.h"
+
+namespace ssdb {
+namespace {
+
+using query::MatchMode;
+using query::Step;
+
+// Small tag alphabet so that random documents have repeated tags, nesting
+// of a tag inside itself, and dead branches — the interesting cases.
+const char* kTags[] = {"a", "b", "c", "d", "e"};
+constexpr size_t kTagCount = 5;
+
+void BuildRandomTree(Random* rng, int depth, int max_depth,
+                     std::string* out) {
+  const char* tag = kTags[rng->Uniform(kTagCount)];
+  *out += "<";
+  *out += tag;
+  *out += ">";
+  if (depth < max_depth) {
+    uint64_t children = rng->Uniform(4);  // 0..3
+    for (uint64_t i = 0; i < children; ++i) {
+      BuildRandomTree(rng, depth + 1, max_depth, out);
+    }
+  }
+  *out += "</";
+  *out += tag;
+  *out += ">";
+}
+
+std::string RandomDocument(Random* rng) {
+  std::string out;
+  BuildRandomTree(rng, 0, 4 + static_cast<int>(rng->Uniform(2)), &out);
+  return out;
+}
+
+query::Query RandomQuery(Random* rng) {
+  query::Query q;
+  size_t steps = 1 + rng->Uniform(4);
+  for (size_t i = 0; i < steps; ++i) {
+    Step step;
+    step.axis = rng->Bernoulli(0.4) ? Step::Axis::kDescendant
+                                    : Step::Axis::kChild;
+    double kind_roll = rng->NextDouble();
+    if (kind_roll < 0.15) {
+      step.kind = Step::Kind::kWildcard;
+    } else if (kind_roll < 0.25 && i > 0) {
+      step.kind = Step::Kind::kParent;
+    } else {
+      step.kind = Step::Kind::kName;
+      step.name = kTags[rng->Uniform(kTagCount)];
+    }
+    // Occasional single-step predicate.
+    if (rng->Bernoulli(0.2) && step.kind == Step::Kind::kName) {
+      Step pred;
+      pred.axis = rng->Bernoulli(0.5) ? Step::Axis::kDescendant
+                                      : Step::Axis::kChild;
+      pred.kind = Step::Kind::kName;
+      pred.name = kTags[rng->Uniform(kTagCount)];
+      step.predicate.push_back(std::move(pred));
+    }
+    q.steps.push_back(std::move(step));
+  }
+  q.text = query::QueryToString(q);
+  return q;
+}
+
+TEST(FuzzTest, WriterParserRoundTrip) {
+  Random rng(2025);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string xml = RandomDocument(&rng);
+    auto doc = xml::ParseDocument(xml);
+    ASSERT_TRUE(doc.ok()) << xml;
+    std::string written = xml::WriteDocument(*doc);
+    auto doc2 = xml::ParseDocument(written);
+    ASSERT_TRUE(doc2.ok()) << written;
+    EXPECT_EQ(xml::WriteDocument(*doc2), written);
+    EXPECT_EQ(doc2->ElementCount(), doc->ElementCount());
+  }
+}
+
+TEST(FuzzTest, RandomQueriesMatchGroundTruth) {
+  Random rng(777);
+  int non_trivial = 0;
+  for (int doc_trial = 0; doc_trial < 8; ++doc_trial) {
+    auto db = testing_helpers::BuildTestDb(RandomDocument(&rng));
+    query::SimpleEngine simple(db->client.get(), &db->map);
+    query::AdvancedEngine advanced(db->client.get(), &db->map);
+
+    for (int query_trial = 0; query_trial < 20; ++query_trial) {
+      query::Query q = RandomQuery(&rng);
+      auto truth = query::EvaluateGroundTruth(q, db->doc);
+      ASSERT_TRUE(truth.ok()) << q.text;
+      std::set<uint32_t> expected(truth->begin(), truth->end());
+      if (!expected.empty()) ++non_trivial;
+
+      for (query::QueryEngine* engine :
+           {static_cast<query::QueryEngine*>(&simple),
+            static_cast<query::QueryEngine*>(&advanced)}) {
+        auto strict = engine->Execute(q, MatchMode::kEquality, nullptr);
+        ASSERT_TRUE(strict.ok()) << q.text;
+        std::set<uint32_t> actual;
+        for (const auto& node : *strict) actual.insert(node.pre);
+        EXPECT_EQ(actual, expected)
+            << engine->name() << " strict diverged on " << q.text;
+
+        auto loose = engine->Execute(q, MatchMode::kContainment, nullptr);
+        ASSERT_TRUE(loose.ok()) << q.text;
+        std::set<uint32_t> loose_set;
+        for (const auto& node : *loose) loose_set.insert(node.pre);
+        for (uint32_t pre : expected) {
+          EXPECT_TRUE(loose_set.count(pre) > 0)
+              << engine->name() << " non-strict lost " << pre << " on "
+              << q.text;
+        }
+      }
+    }
+  }
+  // The corpus must actually exercise matches, not just empty results.
+  EXPECT_GT(non_trivial, 20);
+}
+
+TEST(FuzzTest, EncoderHandlesAdversarialShapes) {
+  // Degenerate but legal documents: deep chains, wide fans, self-nesting.
+  std::string deep;
+  for (int i = 0; i < 60; ++i) deep += "<a>";
+  for (int i = 0; i < 60; ++i) deep += "</a>";
+  auto db1 = testing_helpers::BuildTestDb(deep);
+  EXPECT_EQ(db1->encode_result.node_count, 60u);
+  EXPECT_EQ(db1->encode_result.max_depth, 60u);
+  // The root of a 60-deep chain of <a> contains a (with multiplicity 60):
+  // reduction wraps the degree but evaluations survive.
+  auto root = db1->client->Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(*db1->client->ContainsValue(*root, *db1->map.Lookup("a")));
+  EXPECT_EQ(*db1->client->RecoverOwnValue(*root), *db1->map.Lookup("a"));
+
+  std::string wide = "<a>";
+  for (int i = 0; i < 300; ++i) wide += "<b/>";
+  wide += "</a>";
+  auto db2 = testing_helpers::BuildTestDb(wide);
+  EXPECT_EQ(db2->encode_result.node_count, 301u);
+  auto root2 = db2->client->Root();
+  ASSERT_TRUE(root2.ok());
+  // Equality test with 300 children still recovers the root tag.
+  EXPECT_EQ(*db2->client->RecoverOwnValue(*root2), *db2->map.Lookup("a"));
+}
+
+TEST(FuzzTest, QueryParserNeverCrashesOnGarbage) {
+  Random rng(13);
+  const char charset[] = "/abc*[].\"()， ";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage;
+    size_t len = rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(charset[rng.Uniform(sizeof(charset) - 1)]);
+    }
+    // Must return a Status, never crash; parse success is fine too.
+    auto parsed = query::ParseQuery(garbage);
+    if (parsed.ok()) {
+      EXPECT_FALSE(parsed->steps.empty());
+    }
+  }
+}
+
+TEST(FuzzTest, SaxParserNeverCrashesOnGarbage) {
+  Random rng(17);
+  const char charset[] = "<>ab/\"=' !&;-?[]";
+  class NullHandler : public xml::SaxHandler {
+   public:
+    Status StartElement(std::string_view,
+                        const xml::AttributeList&) override {
+      return Status::OK();
+    }
+    Status EndElement(std::string_view) override { return Status::OK(); }
+    Status Characters(std::string_view) override { return Status::OK(); }
+  };
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string garbage;
+    size_t len = rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(charset[rng.Uniform(sizeof(charset) - 1)]);
+    }
+    NullHandler handler;
+    xml::SaxParser parser;
+    parser.Parse(garbage, &handler).ok();  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace ssdb

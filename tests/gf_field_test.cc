@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "gf/field.h"
+#include "gf/irreducible.h"
+#include "gf/modular.h"
+#include "gf/prime.h"
+
+namespace ssdb::gf {
+namespace {
+
+TEST(ModularTest, Basics) {
+  EXPECT_EQ(AddMod(80, 5, 83), 2u);
+  EXPECT_EQ(SubMod(2, 5, 83), 80u);
+  EXPECT_EQ(MulMod(82, 82, 83), 1u);  // (-1)^2
+  EXPECT_EQ(PowMod(2, 82, 83), 1u);   // Fermat
+  EXPECT_EQ(MulMod(InvMod(7, 83), 7, 83), 1u);
+  EXPECT_EQ(InvMod(6, 12), 0u);  // not invertible
+  EXPECT_EQ(Gcd(48, 36), 12u);
+}
+
+TEST(PrimeTest, KnownPrimes) {
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(29));
+  EXPECT_TRUE(IsPrime(83));
+  EXPECT_TRUE(IsPrime((1ull << 31) - 1));  // Mersenne prime
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_FALSE(IsPrime(91));   // 7*13
+  EXPECT_FALSE(IsPrime(561));  // Carmichael
+  EXPECT_EQ(NextPrime(84), 89u);
+  EXPECT_EQ(DistinctPrimeFactors(82), (std::vector<uint64_t>{2, 41}));
+}
+
+TEST(IrreducibleTest, DegreeOneAlwaysIrreducible) {
+  EXPECT_TRUE(IsIrreducible({1, 1}, 5));
+  EXPECT_TRUE(IsIrreducible({3, 1}, 5));
+}
+
+TEST(IrreducibleTest, KnownReducible) {
+  // x^2 - 1 = (x-1)(x+1) over F_5.
+  EXPECT_FALSE(IsIrreducible({4, 0, 1}, 5));
+  // x^2 + 1 factors over F_5 (2^2 = 4 = -1).
+  EXPECT_FALSE(IsIrreducible({1, 0, 1}, 5));
+  // x^2 + 2 is irreducible over F_5 (no square root of -2 = 3).
+  EXPECT_TRUE(IsIrreducible({2, 0, 1}, 5));
+}
+
+TEST(IrreducibleTest, FindIrreducibleProducesIrreducible) {
+  for (uint32_t p : {2u, 3u, 5u, 7u}) {
+    for (uint32_t e : {2u, 3u, 4u}) {
+      auto f = FindIrreducible(p, e);
+      ASSERT_TRUE(f.ok()) << "p=" << p << " e=" << e;
+      EXPECT_EQ(f->size(), e + 1);
+      EXPECT_EQ(f->back(), 1u);
+      EXPECT_TRUE(IsIrreducible(*f, p)) << "p=" << p << " e=" << e;
+    }
+  }
+}
+
+TEST(FieldTest, RejectsBadParameters) {
+  EXPECT_FALSE(Field::Make(4).ok());        // not prime
+  EXPECT_FALSE(Field::Make(2, 0).ok());     // e < 1
+  EXPECT_FALSE(Field::Make(2, 17).ok());    // q > 2^16
+  EXPECT_FALSE(Field::Make(2, 1).ok());     // q = 2: F_q* trivial
+}
+
+TEST(FieldTest, PaperParameters) {
+  auto field = Field::Make(83);
+  ASSERT_TRUE(field.ok());
+  EXPECT_EQ(field->q(), 83u);
+  EXPECT_EQ(field->n(), 82u);
+  EXPECT_EQ(field->bit_width(), 7);
+}
+
+// Field axioms over several (p, e), including extension fields.
+class FieldAxiomsTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(FieldAxiomsTest, AxiomsHold) {
+  auto [p, e] = GetParam();
+  auto field_or = Field::Make(p, e);
+  ASSERT_TRUE(field_or.ok());
+  const Field& f = *field_or;
+  const uint32_t q = f.q();
+
+  // Additive group: associativity/commutativity/identity/inverse (sampled
+  // exhaustively for small q).
+  for (Elem a = 0; a < q; ++a) {
+    EXPECT_EQ(f.Add(a, 0), a);
+    EXPECT_EQ(f.Add(a, f.Neg(a)), 0u);
+    EXPECT_EQ(f.Mul(a, 1), a);
+    EXPECT_EQ(f.Mul(a, 0), 0u);
+    if (a != 0) {
+      EXPECT_EQ(f.Mul(a, f.Inv(a)), 1u) << "a=" << a;
+    }
+  }
+  for (Elem a = 0; a < q; ++a) {
+    for (Elem b = 0; b < q; ++b) {
+      EXPECT_EQ(f.Add(a, b), f.Add(b, a));
+      EXPECT_EQ(f.Mul(a, b), f.Mul(b, a));
+      EXPECT_EQ(f.Sub(a, b), f.Add(a, f.Neg(b)));
+    }
+  }
+  // Distributivity on a sample grid.
+  for (Elem a = 0; a < q; a += 3) {
+    for (Elem b = 0; b < q; b += 5) {
+      for (Elem c = 0; c < q; c += 7) {
+        EXPECT_EQ(f.Mul(a, f.Add(b, c)),
+                  f.Add(f.Mul(a, b), f.Mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxiomsTest, GeneratorHasFullOrder) {
+  auto [p, e] = GetParam();
+  auto field_or = Field::Make(p, e);
+  ASSERT_TRUE(field_or.ok());
+  const Field& f = *field_or;
+  // g^i for i in [0, q-1) hits every non-zero element exactly once.
+  std::vector<bool> seen(f.q(), false);
+  Elem acc = 1;
+  for (uint32_t i = 0; i < f.n(); ++i) {
+    EXPECT_FALSE(seen[acc]);
+    seen[acc] = true;
+    EXPECT_EQ(f.GeneratorPow(i), acc);
+    acc = f.Mul(acc, f.generator());
+  }
+  EXPECT_EQ(acc, 1u);
+  for (Elem a = 1; a < f.q(); ++a) EXPECT_TRUE(seen[a]);
+}
+
+TEST_P(FieldAxiomsTest, PowAndLogAgree) {
+  auto [p, e] = GetParam();
+  auto field_or = Field::Make(p, e);
+  ASSERT_TRUE(field_or.ok());
+  const Field& f = *field_or;
+  for (Elem a = 1; a < f.q(); ++a) {
+    EXPECT_EQ(f.GeneratorPow(f.Log(a)), a);
+    EXPECT_EQ(f.Pow(a, f.n()), 1u);  // Lagrange
+    EXPECT_EQ(f.Pow(a, 2), f.Mul(a, a));
+  }
+  EXPECT_EQ(f.Pow(0, 5), 0u);
+  EXPECT_EQ(f.Pow(0, 0), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, FieldAxiomsTest,
+    ::testing::Values(std::make_pair(5u, 1u), std::make_pair(29u, 1u),
+                      std::make_pair(83u, 1u), std::make_pair(2u, 4u),
+                      std::make_pair(3u, 2u), std::make_pair(7u, 2u)),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.first) + "e" +
+             std::to_string(info.param.second);
+    });
+
+TEST(FieldTest, DigitsRoundTrip) {
+  auto field = Field::Make(3, 2);
+  ASSERT_TRUE(field.ok());
+  for (Elem a = 0; a < field->q(); ++a) {
+    auto digits = field->Digits(a);
+    EXPECT_EQ(digits.size(), 2u);
+    EXPECT_EQ(field->FromDigits(digits), a);
+  }
+}
+
+TEST(FieldTest, ExtensionAdditionIsDigitwise) {
+  auto field = Field::Make(3, 2);
+  ASSERT_TRUE(field.ok());
+  // (1 + 2z) + (2 + 2z) = (0 + z): codes 1+2*3=7, 2+2*3=8 -> 0+1*3=3.
+  EXPECT_EQ(field->Add(7, 8), 3u);
+}
+
+TEST(FieldTest, CopiesShareTables) {
+  auto field = Field::Make(83);
+  ASSERT_TRUE(field.ok());
+  Field copy = *field;
+  EXPECT_EQ(copy.Mul(5, 17), field->Mul(5, 17));
+  EXPECT_TRUE(copy == *field);
+}
+
+}  // namespace
+}  // namespace ssdb::gf

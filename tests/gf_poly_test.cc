@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "gf/poly.h"
+#include "util/random.h"
+
+namespace ssdb::gf {
+namespace {
+
+class PolyTest : public ::testing::Test {
+ protected:
+  PolyTest() : field_(*Field::Make(83)) {}
+
+  Poly RandomPoly(Random* rng, int max_degree) {
+    Poly f;
+    int degree = static_cast<int>(rng->Uniform(max_degree + 1));
+    for (int i = 0; i <= degree; ++i) {
+      f.coeffs.push_back(static_cast<Elem>(rng->Uniform(field_.q())));
+    }
+    PolyNormalize(&f);
+    return f;
+  }
+
+  Field field_;
+};
+
+TEST_F(PolyTest, NormalizeDropsTrailingZeros) {
+  Poly f{{1, 2, 0, 0}};
+  PolyNormalize(&f);
+  EXPECT_EQ(f.coeffs, (std::vector<Elem>{1, 2}));
+  EXPECT_EQ(f.Degree(), 1);
+  Poly zero{{0, 0}};
+  PolyNormalize(&zero);
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.Degree(), -1);
+}
+
+TEST_F(PolyTest, XMinusEvaluatesToZeroAtRoot) {
+  Poly f = PolyXMinus(field_, 17);
+  EXPECT_EQ(PolyEval(field_, f, 17), 0u);
+  EXPECT_NE(PolyEval(field_, f, 18), 0u);
+}
+
+TEST_F(PolyTest, AddSubInverse) {
+  Random rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Poly a = RandomPoly(&rng, 10);
+    Poly b = RandomPoly(&rng, 10);
+    Poly sum = PolyAdd(field_, a, b);
+    Poly back = PolySub(field_, sum, b);
+    EXPECT_EQ(back.coeffs, a.coeffs);
+  }
+}
+
+TEST_F(PolyTest, MulDegreeAndEvalHomomorphism) {
+  Random rng(13);
+  for (int i = 0; i < 50; ++i) {
+    Poly a = RandomPoly(&rng, 8);
+    Poly b = RandomPoly(&rng, 8);
+    Poly prod = PolyMul(field_, a, b);
+    if (!a.IsZero() && !b.IsZero()) {
+      EXPECT_EQ(prod.Degree(), a.Degree() + b.Degree());
+    } else {
+      EXPECT_TRUE(prod.IsZero());
+    }
+    // eval(a*b, x) == eval(a,x) * eval(b,x) at several points.
+    for (Elem x : {0u, 1u, 2u, 50u, 82u}) {
+      EXPECT_EQ(PolyEval(field_, prod, x),
+                field_.Mul(PolyEval(field_, a, x), PolyEval(field_, b, x)));
+    }
+  }
+}
+
+TEST_F(PolyTest, DivModReconstructs) {
+  Random rng(17);
+  for (int i = 0; i < 50; ++i) {
+    Poly a = RandomPoly(&rng, 12);
+    Poly b = RandomPoly(&rng, 6);
+    if (b.IsZero()) continue;
+    auto division = PolyDivMod(field_, a, b);
+    ASSERT_TRUE(division.ok());
+    // a == q*b + r with deg(r) < deg(b).
+    Poly recon = PolyAdd(field_, PolyMul(field_, division->quotient, b),
+                         division->remainder);
+    EXPECT_EQ(recon.coeffs, a.coeffs);
+    EXPECT_LT(division->remainder.Degree(), b.Degree());
+  }
+}
+
+TEST_F(PolyTest, DivisionByZeroFails) {
+  EXPECT_FALSE(PolyDivMod(field_, Poly{{1, 1}}, Poly{}).ok());
+}
+
+TEST_F(PolyTest, ExactDivisionOfProductOfMonomials) {
+  // ((x-1)(x-2)(x-3)) / (x-2) = (x-1)(x-3).
+  Poly prod = PolyMul(
+      field_, PolyMul(field_, PolyXMinus(field_, 1), PolyXMinus(field_, 2)),
+      PolyXMinus(field_, 3));
+  auto division = PolyDivMod(field_, prod, PolyXMinus(field_, 2));
+  ASSERT_TRUE(division.ok());
+  EXPECT_TRUE(division->remainder.IsZero());
+  Poly expected = PolyMul(field_, PolyXMinus(field_, 1),
+                          PolyXMinus(field_, 3));
+  EXPECT_EQ(division->quotient.coeffs, expected.coeffs);
+}
+
+TEST_F(PolyTest, GcdOfProductsIsCommonFactor) {
+  Poly common = PolyXMinus(field_, 7);
+  Poly a = PolyMul(field_, common, PolyXMinus(field_, 9));
+  Poly b = PolyMul(field_, common, PolyXMinus(field_, 11));
+  Poly gcd = PolyGcd(field_, a, b);
+  EXPECT_EQ(gcd.coeffs, common.coeffs);  // monic already
+}
+
+TEST_F(PolyTest, ScaleByZeroGivesZero) {
+  Poly f{{1, 2, 3}};
+  EXPECT_TRUE(PolyScale(field_, f, 0).IsZero());
+}
+
+TEST_F(PolyTest, ToStringReadable) {
+  auto field5 = *Field::Make(5);
+  Poly f{{3, 2, 3, 2}};
+  EXPECT_EQ(PolyToString(field5, f), "2x^3 + 3x^2 + 2x + 3");
+  EXPECT_EQ(PolyToString(field5, Poly{}), "0");
+}
+
+}  // namespace
+}  // namespace ssdb::gf

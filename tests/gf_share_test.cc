@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "gf/share.h"
+#include "prg/prg.h"
+#include "util/random.h"
+
+namespace ssdb::gf {
+namespace {
+
+class ShareTest : public ::testing::Test {
+ protected:
+  ShareTest() : field_(*Field::Make(83)), ring_(field_) {}
+
+  RingElem RandomElem(Random* rng) {
+    RingElem f(ring_.n());
+    for (auto& c : f) c = static_cast<Elem>(rng->Uniform(field_.q()));
+    return f;
+  }
+
+  Field field_;
+  Ring ring_;
+};
+
+TEST_F(ShareTest, CombineReconstructsSecret) {
+  Random rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    RingElem secret = RandomElem(&rng);
+    RingElem randomness = RandomElem(&rng);
+    SharePair shares = SplitWithRandomness(ring_, secret, randomness);
+    EXPECT_EQ(shares.client, randomness);
+    EXPECT_EQ(Combine(ring_, shares.client, shares.server), secret);
+  }
+}
+
+TEST_F(ShareTest, EvaluationIsLinear) {
+  // eval(client, t) + eval(server, t) == eval(secret, t) for every t —
+  // the fact that makes remote filtering possible without reconstruction.
+  Random rng(5);
+  RingElem secret = RandomElem(&rng);
+  SharePair shares = SplitWithRandomness(ring_, secret, RandomElem(&rng));
+  for (Elem t = 0; t < field_.q(); ++t) {
+    EXPECT_EQ(EvalShares(ring_, shares.client, shares.server, t),
+              ring_.Eval(secret, t));
+  }
+}
+
+TEST_F(ShareTest, ServerShareAloneLooksUnrelated) {
+  // With uniform randomness the server share is uniform: sharing the same
+  // secret twice with different randomness gives different server shares.
+  Random rng(7);
+  RingElem secret = RandomElem(&rng);
+  SharePair s1 = SplitWithRandomness(ring_, secret, RandomElem(&rng));
+  SharePair s2 = SplitWithRandomness(ring_, secret, RandomElem(&rng));
+  EXPECT_NE(s1.server, s2.server);
+}
+
+TEST_F(ShareTest, PrgShareIsRegenerable) {
+  // The client share for a node position can be regenerated exactly from
+  // (seed, pre) — the paper's step 4.
+  prg::Seed seed = prg::Seed::FromUint64(99);
+  prg::Prg prg(seed);
+  Random rng(11);
+  RingElem secret = RandomElem(&rng);
+  const uint64_t pre = 42;
+
+  RingElem client1 = prg.ClientShare(ring_, pre);
+  SharePair shares = SplitWithRandomness(ring_, secret, client1);
+
+  // A fresh PRG from the same seed regenerates the identical share.
+  prg::Prg prg2(seed);
+  RingElem client2 = prg2.ClientShare(ring_, pre);
+  EXPECT_EQ(client2, shares.client);
+  EXPECT_EQ(Combine(ring_, client2, shares.server), secret);
+}
+
+TEST_F(ShareTest, ZeroSecretStillHidden) {
+  Random rng(13);
+  RingElem zero = ring_.Zero();
+  RingElem randomness = RandomElem(&rng);
+  SharePair shares = SplitWithRandomness(ring_, zero, randomness);
+  EXPECT_EQ(shares.server, ring_.Neg(randomness));
+  EXPECT_EQ(Combine(ring_, shares.client, shares.server), zero);
+}
+
+}  // namespace
+}  // namespace ssdb::gf

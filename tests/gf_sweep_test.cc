@@ -1,0 +1,146 @@
+// Parameterized sweep of the full algebra stack across many fields —
+// prime fields large and small plus extension fields — checking every
+// invariant the encoding relies on end to end (DESIGN.md §2).
+
+#include <gtest/gtest.h>
+
+#include "encode/encoder.h"
+#include "filter/client_filter.h"
+#include "filter/server_filter.h"
+#include "gf/dft.h"
+#include "gf/poly.h"
+#include "gf/share.h"
+#include "mapping/tag_map.h"
+#include "prg/prg.h"
+#include "storage/memory_backend.h"
+#include "util/random.h"
+
+namespace ssdb::gf {
+namespace {
+
+struct FieldParam {
+  uint32_t p;
+  uint32_t e;
+};
+
+class GfSweepTest : public ::testing::TestWithParam<FieldParam> {
+ protected:
+  GfSweepTest()
+      : field_(*Field::Make(GetParam().p, GetParam().e)),
+        ring_(field_),
+        evaluator_(ring_),
+        rng_(GetParam().p * 1000 + GetParam().e) {}
+
+  RingElem RandomElem() {
+    RingElem f(ring_.n());
+    for (auto& c : f) c = static_cast<Elem>(rng_.Uniform(field_.q()));
+    return f;
+  }
+
+  Field field_;
+  Ring ring_;
+  Evaluator evaluator_;
+  Random rng_;
+};
+
+TEST_P(GfSweepTest, ReductionPreservesNonzeroEvaluations) {
+  for (int trial = 0; trial < 5; ++trial) {
+    Poly f;
+    int degree = static_cast<int>(ring_.n() * 2 + rng_.Uniform(ring_.n()));
+    for (int i = 0; i <= degree; ++i) {
+      f.coeffs.push_back(static_cast<Elem>(rng_.Uniform(field_.q())));
+    }
+    RingElem reduced = ring_.Reduce(f);
+    for (uint32_t i = 0; i < ring_.n(); i += 3) {
+      Elem t = evaluator_.point(i);
+      EXPECT_EQ(ring_.Eval(reduced, t), PolyEval(field_, f, t));
+    }
+  }
+}
+
+TEST_P(GfSweepTest, DftRoundTripAndConvolutionTheorem) {
+  RingElem a = RandomElem();
+  RingElem b = RandomElem();
+  EXPECT_EQ(evaluator_.Inverse(evaluator_.Forward(a)), a);
+  EvalVector ea = evaluator_.Forward(a);
+  EvalVector eb = evaluator_.Forward(b);
+  evaluator_.PointwiseMulInto(&ea, eb);
+  EXPECT_EQ(evaluator_.Inverse(ea), ring_.Mul(a, b));
+}
+
+TEST_P(GfSweepTest, ShareLinearityEverywhere) {
+  RingElem secret = RandomElem();
+  SharePair shares = SplitWithRandomness(ring_, secret, RandomElem());
+  for (uint32_t i = 0; i < ring_.n(); ++i) {
+    Elem t = evaluator_.point(i);
+    EXPECT_EQ(EvalShares(ring_, shares.client, shares.server, t),
+              ring_.Eval(secret, t));
+  }
+}
+
+TEST_P(GfSweepTest, SerializationRoundTripsAtFieldWidth) {
+  RingElem f = RandomElem();
+  std::string bytes = ring_.Serialize(f);
+  EXPECT_EQ(bytes.size(),
+            (ring_.n() * static_cast<size_t>(field_.bit_width()) + 7) / 8);
+  auto back = ring_.Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, f);
+}
+
+TEST_P(GfSweepTest, EndToEndEncodeAndRecoverTags) {
+  // A small document must encode and support exact tag recovery in every
+  // field (given enough room in the tag map: 4 tags + spare).
+  if (field_.n() < 6) GTEST_SKIP() << "field too small for 4 tags + spare";
+  auto map = mapping::TagMap::FromNames({"w", "x", "y", "z"}, field_);
+  ASSERT_TRUE(map.ok());
+  storage::MemoryNodeStore store;
+  prg::Seed seed = prg::Seed::FromUint64(field_.q());
+  encode::Encoder encoder(ring_, *map, prg::Prg(seed), &store);
+  auto result = encoder.EncodeString("<w><x><y/><z/></x><y/></w>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->node_count, 5u);
+
+  filter::LocalServerFilter server(ring_, &store);
+  filter::ClientFilter client(ring_, prg::Prg(seed), &server);
+  auto root = client.Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*client.RecoverOwnValue(*root), *map->Lookup("w"));
+  EXPECT_TRUE(*client.ContainsValue(*root, *map->Lookup("z")));
+  auto children = client.Children(*root);
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 2u);
+  EXPECT_EQ(*client.RecoverOwnValue((*children)[0]), *map->Lookup("x"));
+  EXPECT_EQ(*client.RecoverOwnValue((*children)[1]), *map->Lookup("y"));
+  EXPECT_FALSE(*client.ContainsValue((*children)[1], *map->Lookup("z")));
+}
+
+TEST_P(GfSweepTest, PrgElementsUniformInField) {
+  prg::Prg prg(prg::Seed::FromUint64(1));
+  auto stream = prg.StreamForNode(3);
+  std::vector<uint32_t> histogram(field_.q(), 0);
+  const int draws = static_cast<int>(field_.q()) * 200;
+  for (int i = 0; i < draws; ++i) {
+    Elem e = stream.NextElem(field_);
+    ASSERT_LT(e, field_.q());
+    ++histogram[e];
+  }
+  for (uint32_t v = 0; v < field_.q(); ++v) {
+    EXPECT_GT(histogram[v], 100) << "value " << v;  // expected 200
+    EXPECT_LT(histogram[v], 320) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, GfSweepTest,
+    ::testing::Values(FieldParam{5, 1}, FieldParam{13, 1}, FieldParam{29, 1},
+                      FieldParam{83, 1}, FieldParam{127, 1},
+                      FieldParam{251, 1}, FieldParam{3, 4},
+                      FieldParam{7, 2}, FieldParam{2, 8}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.p) + "e" +
+             std::to_string(info.param.e);
+    });
+
+}  // namespace
+}  // namespace ssdb::gf

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "prg/chacha.h"
+#include "prg/prg.h"
+#include "prg/seed.h"
+#include "util/file_util.h"
+
+namespace ssdb::prg {
+namespace {
+
+TEST(ChaChaTest, DeterministicAndCounterSensitive) {
+  std::array<uint8_t, kChaChaKeyBytes> key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
+  std::array<uint8_t, kChaChaBlockBytes> b1, b2, b3, b4;
+  ChaCha20Block(key, 0, 0, &b1);
+  ChaCha20Block(key, 0, 0, &b2);
+  ChaCha20Block(key, 1, 0, &b3);
+  ChaCha20Block(key, 0, 1, &b4);
+  EXPECT_EQ(b1, b2);
+  EXPECT_NE(b1, b3);  // counter changes the block
+  EXPECT_NE(b1, b4);  // nonce changes the block
+  EXPECT_NE(b3, b4);
+}
+
+TEST(ChaChaTest, KeySensitive) {
+  std::array<uint8_t, kChaChaKeyBytes> k1{}, k2{};
+  k2[0] = 1;
+  std::array<uint8_t, kChaChaBlockBytes> b1, b2;
+  ChaCha20Block(k1, 0, 0, &b1);
+  ChaCha20Block(k2, 0, 0, &b2);
+  EXPECT_NE(b1, b2);
+}
+
+TEST(SeedTest, HexRoundTrip) {
+  Seed seed = Seed::FromUint64(1234);
+  auto back = Seed::FromHex(seed.ToHex());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == seed);
+}
+
+TEST(SeedTest, FileRoundTrip) {
+  ssdb::TempDir dir("seed_test");
+  Seed seed = Seed::FromUint64(777);
+  std::string path = dir.FilePath("seed.key");
+  ASSERT_TRUE(seed.SaveToFile(path).ok());
+  auto loaded = Seed::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == seed);
+}
+
+TEST(SeedTest, RejectsWrongLength) {
+  EXPECT_FALSE(Seed::FromHex("abcd").ok());
+  EXPECT_FALSE(Seed::FromHex("zz").ok());
+}
+
+TEST(SeedTest, NearbyIntegersGiveUnrelatedSeeds) {
+  EXPECT_FALSE(Seed::FromUint64(1) == Seed::FromUint64(2));
+}
+
+TEST(PrgTest, StreamsAreDeterministicPerPosition) {
+  Prg prg(Seed::FromUint64(42));
+  auto s1 = prg.StreamForNode(10);
+  auto s2 = prg.StreamForNode(10);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(s1.NextByte(), s2.NextByte());
+  }
+}
+
+TEST(PrgTest, DifferentPositionsAreIndependent) {
+  Prg prg(Seed::FromUint64(42));
+  auto s1 = prg.StreamForNode(10);
+  auto s2 = prg.StreamForNode(11);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1.NextByte() != s2.NextByte()) ++differing;
+  }
+  EXPECT_GT(differing, 32);  // overwhelming with independent streams
+}
+
+TEST(PrgTest, ElementsAreInRangeAndRoughlyUniform) {
+  auto field = gf::Field::Make(83);
+  ASSERT_TRUE(field.ok());
+  Prg prg(Seed::FromUint64(7));
+  auto stream = prg.StreamForNode(1);
+  std::vector<int> histogram(field->q(), 0);
+  const int draws = 83000;
+  for (int i = 0; i < draws; ++i) {
+    gf::Elem e = stream.NextElem(*field);
+    ASSERT_LT(e, field->q());
+    ++histogram[e];
+  }
+  // Every value should appear, none wildly over-represented (chi-square-ish
+  // sanity bound: expected 1000 per bucket).
+  for (uint32_t v = 0; v < field->q(); ++v) {
+    EXPECT_GT(histogram[v], 700) << "value " << v;
+    EXPECT_LT(histogram[v], 1300) << "value " << v;
+  }
+}
+
+TEST(PrgTest, ClientShareMatchesStream) {
+  auto field = gf::Field::Make(29);
+  ASSERT_TRUE(field.ok());
+  gf::Ring ring(*field);
+  Prg prg(Seed::FromUint64(123));
+  gf::RingElem share = prg.ClientShare(ring, 5);
+  EXPECT_EQ(share.size(), ring.n());
+  auto stream = prg.StreamForNode(5);
+  gf::RingElem expected = stream.NextRingElem(ring);
+  EXPECT_EQ(share, expected);
+}
+
+TEST(PrgTest, DifferentSeedsDiverge) {
+  auto field = gf::Field::Make(83);
+  ASSERT_TRUE(field.ok());
+  gf::Ring ring(*field);
+  Prg a((Seed::FromUint64(1)));
+  Prg b((Seed::FromUint64(2)));
+  EXPECT_NE(a.ClientShare(ring, 1), b.ClientShare(ring, 1));
+}
+
+}  // namespace
+}  // namespace ssdb::prg

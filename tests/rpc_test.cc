@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <thread>
+
+#include "rpc/channel.h"
+#include "rpc/client.h"
+#include "rpc/protocol.h"
+#include "rpc/server.h"
+#include "rpc/socket_channel.h"
+#include "test_helpers.h"
+
+namespace ssdb::rpc {
+namespace {
+
+using testing_helpers::BuildTestDb;
+using testing_helpers::SmallAuctionXml;
+
+TEST(ChannelTest, InProcessPairDelivers) {
+  ChannelPair pair = CreateInProcessChannelPair();
+  ASSERT_TRUE(pair.client->Send("ping").ok());
+  auto received = pair.server->Receive();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(*received, "ping");
+  ASSERT_TRUE(pair.server->Send("pong").ok());
+  EXPECT_EQ(*pair.client->Receive(), "pong");
+  EXPECT_EQ(pair.client->bytes_sent(), 4u);
+  EXPECT_EQ(pair.client->messages_sent(), 1u);
+}
+
+TEST(ChannelTest, CloseUnblocksReceiver) {
+  ChannelPair pair = CreateInProcessChannelPair();
+  std::thread closer([&] { pair.client->Close(); });
+  auto received = pair.server->Receive();
+  EXPECT_FALSE(received.ok());
+  closer.join();
+}
+
+TEST(ProtocolTest, RequestRoundTripAllOps) {
+  for (Op op : {Op::kRoot, Op::kGetNode, Op::kChildren, Op::kOpenCursor,
+                Op::kNextNodes, Op::kCloseCursor, Op::kEvalAt,
+                Op::kEvalAtBatch, Op::kFetchShare, Op::kNodeCount,
+                Op::kShutdown}) {
+    Request request;
+    request.op = op;
+    request.pre = 12;
+    request.post = 34;
+    request.cursor = 56;
+    request.batch = 78;
+    request.point = 9;
+    request.pres = {1, 2, 3};
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok()) << static_cast<int>(op);
+    EXPECT_EQ(decoded->op, op);
+  }
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeRequest("\x63junk").ok());
+}
+
+TEST(ProtocolTest, ResponseEnvelope) {
+  auto ok_payload = DecodeResponse(EncodeOkResponse("payload"));
+  ASSERT_TRUE(ok_payload.ok());
+  EXPECT_EQ(*ok_payload, "payload");
+  auto error = DecodeResponse(
+      EncodeErrorResponse(Status::NotFound("gone fishing")));
+  ASSERT_FALSE(error.ok());
+  EXPECT_TRUE(error.status().IsNotFound());
+  EXPECT_EQ(error.status().message(), "gone fishing");
+}
+
+// The remote filter must behave exactly like the local one it proxies.
+TEST(RemoteFilterTest, MatchesLocalOverInProcessChannel) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  ChannelPair pair = CreateInProcessChannelPair();
+  ServerThread server_thread(db->ring, db->server.get(),
+                             std::move(pair.server));
+  RemoteServerFilter remote(db->ring, std::move(pair.client));
+
+  auto local_root = db->server->Root();
+  auto remote_root = remote.Root();
+  ASSERT_TRUE(local_root.ok() && remote_root.ok());
+  EXPECT_EQ(*local_root, *remote_root);
+
+  EXPECT_EQ(*remote.NodeCount(), *db->server->NodeCount());
+
+  auto local_children = db->server->Children(1);
+  auto remote_children = remote.Children(1);
+  ASSERT_TRUE(local_children.ok() && remote_children.ok());
+  EXPECT_EQ(*local_children, *remote_children);
+
+  for (gf::Elem t = 1; t < 10; ++t) {
+    EXPECT_EQ(*remote.EvalAt(1, t), *db->server->EvalAt(1, t));
+  }
+  auto batch = remote.EvalAtBatch({1, 2, 3}, 5);
+  auto local_batch = db->server->EvalAtBatch({1, 2, 3}, 5);
+  ASSERT_TRUE(batch.ok() && local_batch.ok());
+  EXPECT_EQ(*batch, *local_batch);
+
+  auto points = remote.EvalPointsBatch(1, {1, 2, 3, 4});
+  auto local_points = db->server->EvalPointsBatch(1, {1, 2, 3, 4});
+  ASSERT_TRUE(points.ok() && local_points.ok());
+  EXPECT_EQ(*points, *local_points);
+
+  EXPECT_EQ(*remote.FetchShare(2), *db->server->FetchShare(2));
+
+  // Cursor pipeline across the wire.
+  auto cursor = remote.OpenDescendantCursor(local_root->pre,
+                                            local_root->post);
+  ASSERT_TRUE(cursor.ok());
+  size_t streamed = 0;
+  for (;;) {
+    auto nodes = remote.NextNodes(*cursor, 4);
+    ASSERT_TRUE(nodes.ok());
+    if (nodes->empty()) break;
+    streamed += nodes->size();
+  }
+  EXPECT_EQ(streamed, *db->server->NodeCount() - 1);
+
+  // Errors transport as errors.
+  EXPECT_FALSE(remote.GetNode(4242).ok());
+
+  EXPECT_GT(remote.round_trips(), 10u);
+  ASSERT_TRUE(remote.Shutdown().ok());
+}
+
+TEST(SocketChannelTest, UnixSocketEndToEnd) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  std::string socket_path = "/tmp/ssdb_rpc_test_" +
+                            std::to_string(::getpid()) + ".sock";
+  auto listener = UnixServerSocket::Listen(socket_path);
+  ASSERT_TRUE(listener.ok());
+
+  std::thread server_thread([&] {
+    auto channel = (*listener)->Accept();
+    if (!channel.ok()) return;
+    RpcServer server(db->ring, db->server.get());
+    server.Serve(channel->get());
+  });
+
+  auto channel = ConnectUnix(socket_path);
+  ASSERT_TRUE(channel.ok());
+  RemoteServerFilter remote(db->ring, std::move(*channel));
+  auto root = remote.Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->pre, 1u);
+  EXPECT_EQ(*remote.NodeCount(), *db->server->NodeCount());
+  ASSERT_TRUE(remote.Shutdown().ok());
+  server_thread.join();
+}
+
+TEST(SocketChannelTest, ConnectToMissingSocketFails) {
+  EXPECT_FALSE(ConnectUnix("/tmp/ssdb_no_such_socket.sock").ok());
+}
+
+// A full client pipeline (ClientFilter) over the remote stub must give the
+// same answers as the local pipeline.
+TEST(RemoteFilterTest, ClientFilterOverRpc) {
+  auto db = BuildTestDb(SmallAuctionXml());
+  ChannelPair pair = CreateInProcessChannelPair();
+  ServerThread server_thread(db->ring, db->server.get(),
+                             std::move(pair.server));
+  RemoteServerFilter remote(db->ring, std::move(pair.client));
+  filter::ClientFilter remote_client(db->ring, prg::Prg(db->seed), &remote);
+
+  auto root = remote_client.Root();
+  ASSERT_TRUE(root.ok());
+  gf::Elem city = *db->map.Lookup("city");
+  EXPECT_TRUE(*remote_client.ContainsValue(*root, city));
+  EXPECT_EQ(*remote_client.RecoverOwnValue(*root), *db->map.Lookup("site"));
+}
+
+}  // namespace
+}  // namespace ssdb::rpc

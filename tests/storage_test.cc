@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "util/file_util.h"
+#include "util/random.h"
+
+namespace ssdb::storage {
+namespace {
+
+TEST(PageTest, ChecksumDetectsCorruption) {
+  PageBuf page;
+  page.fill(0);
+  page[100] = 42;
+  SealPage(page.data());
+  EXPECT_TRUE(VerifyPage(page.data()));
+  page[100] = 43;
+  EXPECT_FALSE(VerifyPage(page.data()));
+}
+
+TEST(PageTest, FreshZeroPageVerifies) {
+  PageBuf page;
+  page.fill(0);
+  EXPECT_TRUE(VerifyPage(page.data()));
+}
+
+TEST(PageTest, EndianHelpersRoundTrip) {
+  uint8_t buf[8];
+  StoreU16(buf, 0xbeef);
+  EXPECT_EQ(LoadU16(buf), 0xbeef);
+  StoreU32(buf, 0xdeadbeef);
+  EXPECT_EQ(LoadU32(buf), 0xdeadbeefu);
+  StoreU64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadU64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(PagerTest, CreateWriteReadReopen) {
+  TempDir dir("pager_test");
+  std::string path = dir.FilePath("db");
+  {
+    auto pager = Pager::Open(path, true);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->page_count(), 1u);  // meta
+    auto id = (*pager)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, 1u);
+    PageBuf buf;
+    buf.fill(0);
+    buf[500] = 77;
+    SealPage(buf.data());
+    ASSERT_TRUE((*pager)->WritePage(*id, buf).ok());
+    ASSERT_TRUE((*pager)->SetMetaSlot(3, 0xabcd).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  {
+    auto pager = Pager::Open(path, false);
+    ASSERT_TRUE(pager.ok());
+    EXPECT_EQ((*pager)->page_count(), 2u);
+    EXPECT_EQ((*pager)->GetMetaSlot(3), 0xabcdu);
+    PageBuf buf;
+    ASSERT_TRUE((*pager)->ReadPage(1, &buf).ok());
+    EXPECT_EQ(buf[500], 77);
+    EXPECT_TRUE(VerifyPage(buf.data()));
+  }
+}
+
+TEST(PagerTest, FreeListReusesPages) {
+  TempDir dir("pager_free");
+  auto pager = Pager::Open(dir.FilePath("db"), true);
+  ASSERT_TRUE(pager.ok());
+  auto a = (*pager)->AllocatePage();
+  auto b = (*pager)->AllocatePage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*pager)->FreePage(*a).ok());
+  auto c = (*pager)->AllocatePage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // reused
+  EXPECT_FALSE((*pager)->FreePage(0).ok());  // meta is not freeable
+}
+
+TEST(PagerTest, RejectsForeignFiles) {
+  TempDir dir("pager_bad");
+  std::string path = dir.FilePath("not_a_db");
+  ASSERT_TRUE(WriteStringToFile(path, std::string(8192, 'x')).ok());
+  EXPECT_FALSE(Pager::Open(path, false).ok());
+}
+
+TEST(BufferPoolTest, FetchCachesPages) {
+  TempDir dir("pool_test");
+  auto pager = Pager::Open(dir.FilePath("db"), true);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 16);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId id = page->id();
+  page->data()[200] = 9;
+  page->MarkDirty();
+  *page = PageHandle();  // unpin
+  auto again = pool.Fetch(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->data()[200], 9);
+  EXPECT_GE(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLruAndWritesBack) {
+  TempDir dir("pool_evict");
+  auto pager = Pager::Open(dir.FilePath("db"), true);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    page->data()[10] = static_cast<uint8_t>(i);
+    page->MarkDirty();
+    ids.push_back(page->id());
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  // Every page still readable with its contents.
+  for (int i = 0; i < 32; ++i) {
+    auto page = pool.Fetch(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->data()[10], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(BufferPoolTest, AllPinnedFailsGracefully) {
+  TempDir dir("pool_pinned");
+  auto pager = Pager::Open(dir.FilePath("db"), true);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), 8);
+  std::vector<PageHandle> pinned;
+  for (int i = 0; i < 8; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    pinned.push_back(std::move(*page));
+  }
+  EXPECT_FALSE(pool.NewPage().ok());  // no evictable frame
+  pinned.clear();
+  EXPECT_TRUE(pool.NewPage().ok());
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : dir_("heap_test"),
+        pager_(*Pager::Open(dir_.FilePath("db"), true)),
+        pool_(pager_.get(), 64) {}
+
+  TempDir dir_;
+  std::unique_ptr<Pager> pager_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapFileTest, AppendGetRoundTrip) {
+  auto heap = HeapFile::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  auto rid = heap->Append("hello world");
+  ASSERT_TRUE(rid.ok());
+  auto value = heap->Get(*rid);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "hello world");
+}
+
+TEST_F(HeapFileTest, SpillsAcrossPagesAndScans) {
+  auto heap = HeapFile::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  Random rng(5);
+  std::vector<std::pair<RecordId, std::string>> records;
+  for (int i = 0; i < 500; ++i) {
+    std::string record(100 + rng.Uniform(200), static_cast<char>('a' + i % 26));
+    auto rid = heap->Append(record);
+    ASSERT_TRUE(rid.ok());
+    records.emplace_back(*rid, record);
+  }
+  auto pages = heap->PageCount();
+  ASSERT_TRUE(pages.ok());
+  EXPECT_GT(*pages, 10u);
+  for (const auto& [rid, record] : records) {
+    auto value = heap->Get(rid);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, record);
+  }
+  size_t scanned = 0;
+  ASSERT_TRUE(heap->Scan([&](RecordId, std::string_view) {
+                    ++scanned;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(scanned, records.size());
+}
+
+TEST_F(HeapFileTest, DeleteTombstones) {
+  auto heap = HeapFile::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  auto rid1 = heap->Append("one");
+  auto rid2 = heap->Append("two");
+  ASSERT_TRUE(rid1.ok() && rid2.ok());
+  ASSERT_TRUE(heap->Delete(*rid1).ok());
+  EXPECT_FALSE(heap->Get(*rid1).ok());
+  EXPECT_TRUE(heap->Get(*rid2).ok());
+  EXPECT_FALSE(heap->Delete(*rid1).ok());  // double delete
+  size_t scanned = 0;
+  ASSERT_TRUE(heap->Scan([&](RecordId, std::string_view) {
+                    ++scanned;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(scanned, 1u);
+}
+
+TEST_F(HeapFileTest, RejectsOversizedRecords) {
+  auto heap = HeapFile::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_FALSE(heap->Append(std::string(kPageSize, 'x')).ok());
+}
+
+}  // namespace
+}  // namespace ssdb::storage

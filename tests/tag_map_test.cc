@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "mapping/tag_map.h"
+#include "util/file_util.h"
+#include "xmark/generator.h"
+
+namespace ssdb::mapping {
+namespace {
+
+class TagMapTest : public ::testing::Test {
+ protected:
+  TagMapTest() : field_(*gf::Field::Make(83)) {}
+  gf::Field field_;
+};
+
+TEST_F(TagMapTest, FromNamesAssignsSequentialNonzeroValues) {
+  auto map = TagMap::FromNames({"a", "b", "c"}, field_);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(*map->Lookup("a"), 1u);
+  EXPECT_EQ(*map->Lookup("b"), 2u);
+  EXPECT_EQ(*map->Lookup("c"), 3u);
+  EXPECT_TRUE(map->Contains("b"));
+  EXPECT_FALSE(map->Contains("z"));
+  EXPECT_FALSE(map->Lookup("z").ok());
+  EXPECT_EQ(map->SpareValue(), 4u);
+}
+
+TEST_F(TagMapTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(TagMap::FromNames({"a", "a"}, field_).ok());
+}
+
+TEST_F(TagMapTest, RequiresSpareValue) {
+  // F_5 has 4 non-zero values; 4 tags leave no spare -> rejected.
+  auto f5 = *gf::Field::Make(5);
+  EXPECT_FALSE(TagMap::FromNames({"a", "b", "c", "d"}, f5).ok());
+  EXPECT_TRUE(TagMap::FromNames({"a", "b", "c"}, f5).ok());
+}
+
+TEST_F(TagMapTest, PaperDtdFitsInF83) {
+  // 77 elements, 82 non-zero values: fits with spares — the paper's choice.
+  auto dtd = xml::ParseDtd(xmark::AuctionDtd());
+  ASSERT_TRUE(dtd.ok());
+  auto map = TagMap::FromDtd(*dtd, field_);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->size(), 77u);
+  EXPECT_NE(map->SpareValue(), 0u);
+}
+
+TEST_F(TagMapTest, FileFormatRoundTrip) {
+  TempDir dir("tag_map_test");
+  auto map = TagMap::FromNames({"site", "person", "city"}, field_);
+  ASSERT_TRUE(map.ok());
+  std::string path = dir.FilePath("map.properties");
+  ASSERT_TRUE(map->SaveToFile(path).ok());
+  auto loaded = TagMap::FromFile(path, field_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->entries(), map->entries());
+}
+
+TEST_F(TagMapTest, ParsesPropertyFormatWithComments) {
+  auto map = TagMap::FromString(
+      "# comment\n"
+      "  site = 10  \n"
+      "\n"
+      "person=20\n",
+      field_);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(*map->Lookup("site"), 10u);
+  EXPECT_EQ(*map->Lookup("person"), 20u);
+}
+
+TEST_F(TagMapTest, RejectsInvalidFiles) {
+  EXPECT_FALSE(TagMap::FromString("site 10", field_).ok());       // no '='
+  EXPECT_FALSE(TagMap::FromString("site = zero", field_).ok());   // NaN
+  EXPECT_FALSE(TagMap::FromString("site = 0", field_).ok());      // zero
+  EXPECT_FALSE(TagMap::FromString("site = 83", field_).ok());     // >= q
+  EXPECT_FALSE(
+      TagMap::FromString("a = 5\nb = 5", field_).ok());           // dup value
+  EXPECT_FALSE(
+      TagMap::FromString("a = 5\na = 6", field_).ok());           // dup name
+  EXPECT_FALSE(TagMap::FromString("", field_).ok());              // empty
+}
+
+}  // namespace
+}  // namespace ssdb::mapping

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "trie/trie.h"
+#include "trie/trie_xml.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+
+namespace ssdb::trie {
+namespace {
+
+TEST(TrieTest, SplitIntoWordsNormalizes) {
+  EXPECT_EQ(SplitIntoWords("Joan Johnson"),
+            (std::vector<std::string>{"joan", "johnson"}));
+  EXPECT_EQ(SplitIntoWords("  Hello, World!42 "),
+            (std::vector<std::string>{"hello", "world", "42"}));
+  EXPECT_TRUE(SplitIntoWords("...").empty());
+}
+
+TEST(TrieTest, CompressedSharesPrefixes) {
+  // Fig. 2(b): "Joan Johnson" — j-o shared, then a-n and h-n-s-o-n.
+  Trie trie = BuildTrieFromText("Joan Johnson", /*compressed=*/true);
+  EXPECT_TRUE(trie.ContainsWord("joan"));
+  EXPECT_TRUE(trie.ContainsWord("johnson"));
+  EXPECT_FALSE(trie.ContainsWord("jo"));
+  EXPECT_TRUE(trie.ContainsPrefix("jo"));
+  EXPECT_FALSE(trie.ContainsPrefix("x"));
+  // Nodes: j,o shared (2) + a,n (2) + h,n,s,o,n (5) + 2 terminals = 11.
+  EXPECT_EQ(trie.NodeCount(), 11u);
+  EXPECT_EQ(trie.Words(),
+            (std::vector<std::string>{"joan", "johnson"}));
+}
+
+TEST(TrieTest, CompressedDeduplicatesRepeats) {
+  Trie trie = BuildTrieFromText("cat cat cat", /*compressed=*/true);
+  EXPECT_EQ(trie.NodeCount(), 4u);  // c,a,t + terminal
+  EXPECT_EQ(trie.Words().size(), 1u);
+}
+
+TEST(TrieTest, UncompressedKeepsEveryOccurrence) {
+  // Fig. 2(c): no sharing at all.
+  Trie trie = BuildTrieFromText("cat cat", /*compressed=*/false);
+  EXPECT_EQ(trie.NodeCount(), 8u);  // 2 * (c,a,t + terminal)
+  EXPECT_TRUE(trie.ContainsWord("cat"));
+}
+
+TEST(TrieTest, StatsReflectDeduplication) {
+  TrieStats compressed = AnalyzeText("the cat and the dog", true);
+  EXPECT_EQ(compressed.word_count, 5u);
+  EXPECT_EQ(compressed.distinct_word_count, 4u);
+  EXPECT_EQ(compressed.total_chars, 15u);
+  TrieStats uncompressed = AnalyzeText("the cat and the dog", false);
+  EXPECT_GT(uncompressed.node_count, compressed.node_count);
+}
+
+TEST(TrieXmlTest, AlphabetCoversCharsAndTerminal) {
+  auto alphabet = TrieAlphabet();
+  EXPECT_EQ(alphabet.size(), 26u + 10u + 1u);
+  EXPECT_EQ(alphabet.back(), kTerminalLabel);
+}
+
+TEST(TrieXmlTest, WordToSteps) {
+  EXPECT_EQ(WordToSteps("Joan"),
+            (std::vector<std::string>{"j", "o", "a", "n"}));
+  EXPECT_EQ(WordToSteps("a-b"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TrieXmlTest, TransformReplacesTextWithCharacterElements) {
+  auto doc = xml::ParseDocument("<name>Joan</name>");
+  ASSERT_TRUE(doc.ok());
+  size_t transformed = TransformDocument(&*doc);
+  EXPECT_EQ(transformed, 1u);
+  // <name><j><o><a><n><_end_/></n></a></o></j></name>
+  const xml::Node* node = doc->root();
+  ASSERT_EQ(node->children.size(), 1u);
+  const xml::Node* j = node->children[0].get();
+  EXPECT_EQ(j->name, "j");
+  const xml::Node* o = j->children[0].get();
+  EXPECT_EQ(o->name, "o");
+  const xml::Node* a = o->children[0].get();
+  EXPECT_EQ(a->name, "a");
+  const xml::Node* n = a->children[0].get();
+  EXPECT_EQ(n->name, "n");
+  ASSERT_EQ(n->children.size(), 1u);
+  EXPECT_EQ(n->children[0]->name, kTerminalLabel);
+}
+
+TEST(TrieXmlTest, TransformPreservesElementStructure) {
+  auto doc = xml::ParseDocument(
+      "<person><name>Joan Johnson</name><age>30</age></person>");
+  ASSERT_TRUE(doc.ok());
+  size_t transformed = TransformDocument(&*doc);
+  EXPECT_EQ(transformed, 2u);
+  const xml::Node* root = doc->root();
+  EXPECT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->name, "name");
+  EXPECT_EQ(root->children[1]->name, "age");
+  // No text nodes remain anywhere.
+  bool has_text = false;
+  std::function<void(const xml::Node*)> walk = [&](const xml::Node* n) {
+    for (const auto& c : n->children) {
+      if (c->IsText()) has_text = true;
+      walk(c.get());
+    }
+  };
+  walk(root);
+  EXPECT_FALSE(has_text);
+}
+
+TEST(TrieXmlTest, CompressedVsUncompressedNodeCounts) {
+  auto doc1 = xml::ParseDocument("<t>aa aa aa</t>");
+  auto doc2 = xml::ParseDocument("<t>aa aa aa</t>");
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  TransformDocument(&*doc1, {.compressed = true});
+  TransformDocument(&*doc2, {.compressed = false});
+  EXPECT_LT(doc1->ElementCount(), doc2->ElementCount());
+}
+
+}  // namespace
+}  // namespace ssdb::trie

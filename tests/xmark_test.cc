@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xmark/generator.h"
+#include "xmark/words.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace ssdb::xmark {
+namespace {
+
+TEST(WordsTest, PoolsAreNonEmptyAndStable) {
+  EXPECT_GT(Vocabulary().size(), 150u);
+  EXPECT_GE(FirstNames().size(), 30u);
+  EXPECT_GE(LastNames().size(), 30u);
+  EXPECT_FALSE(Cities().empty());
+  // Joan Johnson — the paper's fig. 2 running example — must be reachable.
+  bool has_joan = false, has_johnson = false;
+  for (const auto& n : FirstNames()) has_joan |= (n == "Joan");
+  for (const auto& n : LastNames()) has_johnson |= (n == "Johnson");
+  EXPECT_TRUE(has_joan);
+  EXPECT_TRUE(has_johnson);
+}
+
+TEST(WordsTest, SentencesAreDeterministic) {
+  Random r1(5), r2(5);
+  EXPECT_EQ(MakeSentence(&r1, 10), MakeSentence(&r2, 10));
+}
+
+TEST(GeneratorTest, OutputIsWellFormedXml) {
+  GeneratorOptions options;
+  options.target_bytes = 50 << 10;
+  auto generated = GenerateAuctionDocument(options);
+  auto doc = xml::ParseDocument(generated.xml);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root()->name, "site");
+}
+
+TEST(GeneratorTest, UsesOnlyDtdElements) {
+  auto dtd = xml::ParseDtd(AuctionDtd());
+  ASSERT_TRUE(dtd.ok());
+  GeneratorOptions options;
+  options.target_bytes = 50 << 10;
+  auto generated = GenerateAuctionDocument(options);
+  auto doc = xml::ParseDocument(generated.xml);
+  ASSERT_TRUE(doc.ok());
+  std::set<std::string> used;
+  xml::ForEachElement(doc->root(), [&](const xml::Node& node) {
+    used.insert(node.name);
+  });
+  for (const auto& name : used) {
+    EXPECT_TRUE(dtd->HasElement(name)) << name;
+  }
+  // Structure should be rich: a good share of the DTD in use.
+  EXPECT_GT(used.size(), 40u);
+}
+
+TEST(GeneratorTest, RespectsDtdStructureSpotChecks) {
+  GeneratorOptions options;
+  options.target_bytes = 30 << 10;
+  auto generated = GenerateAuctionDocument(options);
+  auto doc = xml::ParseDocument(generated.xml);
+  ASSERT_TRUE(doc.ok());
+  // site has exactly the six DTD children in order.
+  const xml::Node* site = doc->root();
+  ASSERT_EQ(site->children.size(), 6u);
+  EXPECT_EQ(site->children[0]->name, "regions");
+  EXPECT_EQ(site->children[1]->name, "categories");
+  EXPECT_EQ(site->children[2]->name, "catgraph");
+  EXPECT_EQ(site->children[3]->name, "people");
+  EXPECT_EQ(site->children[4]->name, "open_auctions");
+  EXPECT_EQ(site->children[5]->name, "closed_auctions");
+  // regions has all six continents.
+  EXPECT_EQ(site->children[0]->children.size(), 6u);
+  // every person starts with name, emailaddress.
+  for (const auto& person : site->children[3]->children) {
+    ASSERT_GE(person->children.size(), 2u);
+    EXPECT_EQ(person->children[0]->name, "name");
+    EXPECT_EQ(person->children[1]->name, "emailaddress");
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GeneratorOptions options;
+  options.target_bytes = 20 << 10;
+  options.seed = 11;
+  auto a = GenerateAuctionDocument(options);
+  auto b = GenerateAuctionDocument(options);
+  EXPECT_EQ(a.xml, b.xml);
+  options.seed = 12;
+  auto c = GenerateAuctionDocument(options);
+  EXPECT_NE(a.xml, c.xml);
+}
+
+TEST(GeneratorTest, SizeCalibrationWithinTolerance) {
+  for (uint64_t target : {64ull << 10, 256ull << 10, 1ull << 20}) {
+    GeneratorOptions options;
+    options.target_bytes = target;
+    auto generated = GenerateAuctionDocument(options);
+    double ratio = static_cast<double>(generated.xml.size()) /
+                   static_cast<double>(target);
+    EXPECT_GT(ratio, 0.6) << "target " << target;
+    EXPECT_LT(ratio, 1.6) << "target " << target;
+  }
+}
+
+TEST(GeneratorTest, ScalesLinearly) {
+  GeneratorOptions small, large;
+  small.target_bytes = 100 << 10;
+  large.target_bytes = 400 << 10;
+  auto s = GenerateAuctionDocument(small);
+  auto l = GenerateAuctionDocument(large);
+  double ratio = static_cast<double>(l.xml.size()) /
+                 static_cast<double>(s.xml.size());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.5);
+  EXPECT_GT(l.person_count, s.person_count * 3);
+}
+
+}  // namespace
+}  // namespace ssdb::xmark

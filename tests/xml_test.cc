@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xml/dtd.h"
+#include "xml/escape.h"
+#include "xml/sax.h"
+#include "xml/writer.h"
+#include "xmark/generator.h"
+
+namespace ssdb::xml {
+namespace {
+
+// Records SAX events as a flat trace for assertions.
+class TraceHandler : public SaxHandler {
+ public:
+  Status StartElement(std::string_view name,
+                      const AttributeList& attributes) override {
+    trace_ += "<" + std::string(name);
+    for (const auto& [k, v] : attributes) trace_ += " " + k + "=" + v;
+    trace_ += ">";
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name) override {
+    trace_ += "</" + std::string(name) + ">";
+    return Status::OK();
+  }
+  Status Characters(std::string_view text) override {
+    trace_ += "[" + std::string(text) + "]";
+    return Status::OK();
+  }
+  const std::string& trace() const { return trace_; }
+
+ private:
+  std::string trace_;
+};
+
+TEST(EscapeTest, RoundTrip) {
+  std::string text = "a<b>&c\"d'e";
+  auto back = UnescapeEntities(EscapeText(text));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, text);
+  auto attr_back = UnescapeEntities(EscapeAttribute(text));
+  ASSERT_TRUE(attr_back.ok());
+  EXPECT_EQ(*attr_back, text);
+}
+
+TEST(EscapeTest, NumericReferences) {
+  auto decoded = UnescapeEntities("&#65;&#x42;");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "AB");
+  EXPECT_FALSE(UnescapeEntities("&bogus;").ok());
+  EXPECT_FALSE(UnescapeEntities("&#0;").ok());
+  EXPECT_FALSE(UnescapeEntities("&unterminated").ok());
+}
+
+TEST(SaxTest, BasicEvents) {
+  TraceHandler handler;
+  SaxParser parser;
+  ASSERT_TRUE(parser
+                  .Parse("<a x=\"1\"><b>hi</b><c/></a>", &handler)
+                  .ok());
+  EXPECT_EQ(handler.trace(), "<a x=1><b>[hi]</b><c></c></a>");
+}
+
+TEST(SaxTest, SkipsCommentsPIsAndDoctype) {
+  TraceHandler handler;
+  SaxParser parser;
+  Status s = parser.Parse(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a EMPTY>]>"
+      "<!-- note --><a><!-- inner --><b/></a>",
+      &handler);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(handler.trace(), "<a><b></b></a>");
+}
+
+TEST(SaxTest, CdataIsRawText) {
+  TraceHandler handler;
+  SaxParser parser;
+  ASSERT_TRUE(parser.Parse("<a><![CDATA[x < y & z]]></a>", &handler).ok());
+  EXPECT_EQ(handler.trace(), "<a>[x < y & z]</a>");
+}
+
+TEST(SaxTest, EntityDecodingInTextAndAttributes) {
+  TraceHandler handler;
+  SaxParser parser;
+  ASSERT_TRUE(
+      parser.Parse("<a t=\"&lt;v&gt;\">&amp;&apos;</a>", &handler).ok());
+  EXPECT_EQ(handler.trace(), "<a t=<v>>[&']</a>");
+}
+
+TEST(SaxTest, RejectsMalformedDocuments) {
+  SaxParser parser;
+  TraceHandler h1, h2, h3, h4, h5;
+  EXPECT_FALSE(parser.Parse("<a><b></a></b>", &h1).ok());  // mismatch
+  EXPECT_FALSE(parser.Parse("<a>", &h2).ok());             // unclosed
+  EXPECT_FALSE(parser.Parse("<a/><b/>", &h3).ok());        // two roots
+  EXPECT_FALSE(parser.Parse("just text", &h4).ok());       // no root
+  EXPECT_FALSE(parser.Parse("<a attr=oops/>", &h5).ok());  // unquoted attr
+}
+
+TEST(SaxTest, ErrorsCarryLineNumbers) {
+  SaxParser parser;
+  TraceHandler handler;
+  Status s = parser.Parse("<a>\n\n<b></c>\n</a>", &handler);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+}
+
+TEST(DomTest, BuildsTreeWithParents) {
+  auto doc = ParseDocument("<a><b>text</b><c><d/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  const Node* root = doc->root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "a");
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->name, "b");
+  EXPECT_EQ(root->children[0]->DirectText(), "text");
+  EXPECT_EQ(root->children[1]->children[0]->name, "d");
+  EXPECT_EQ(root->children[1]->parent, root);
+  EXPECT_EQ(doc->ElementCount(), 4u);
+  EXPECT_EQ(doc->Depth(), 3u);
+}
+
+TEST(DomTest, DropsWhitespaceOnlyText) {
+  auto doc = ParseDocument("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root()->children.size(), 1u);
+  EXPECT_TRUE(doc->root()->children[0]->IsElement());
+}
+
+TEST(DomTest, PrePostAnnotation) {
+  // <a><b><c/></b><d/></a>: pre a=1 b=2 c=3 d=4; post c=1 b=2 d=3 a=4.
+  auto doc = ParseDocument("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  AnnotatePrePost(&*doc);
+  const Node* a = doc->root();
+  const Node* b = a->children[0].get();
+  const Node* c = b->children[0].get();
+  const Node* d = a->children[1].get();
+  EXPECT_EQ(a->pre, 1u);
+  EXPECT_EQ(b->pre, 2u);
+  EXPECT_EQ(c->pre, 3u);
+  EXPECT_EQ(d->pre, 4u);
+  EXPECT_EQ(c->post, 1u);
+  EXPECT_EQ(b->post, 2u);
+  EXPECT_EQ(d->post, 3u);
+  EXPECT_EQ(a->post, 4u);
+  EXPECT_EQ(a->parent_pre, 0u);
+  EXPECT_EQ(b->parent_pre, 1u);
+  EXPECT_EQ(c->parent_pre, 2u);
+  EXPECT_EQ(d->parent_pre, 1u);
+}
+
+TEST(WriterTest, RoundTripThroughParser) {
+  std::string original = "<a x=\"1&amp;2\"><b>hi &lt;there&gt;</b><c/></a>";
+  auto doc = ParseDocument(original);
+  ASSERT_TRUE(doc.ok());
+  std::string written = WriteDocument(*doc);
+  auto doc2 = ParseDocument(written);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(WriteDocument(*doc2), written);  // fixpoint
+  EXPECT_EQ(doc2->ElementCount(), doc->ElementCount());
+}
+
+TEST(WriterTest, PrettyPrintIndents) {
+  auto doc = ParseDocument("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  WriterOptions options;
+  options.pretty = true;
+  std::string out = WriteDocument(*doc, options);
+  EXPECT_NE(out.find("\n  <b>"), std::string::npos);
+  EXPECT_NE(out.find("\n    <c/>"), std::string::npos);
+}
+
+TEST(DtdTest, ParsesAuctionDtdWith77Elements) {
+  auto dtd = ParseDtd(xmark::AuctionDtd());
+  ASSERT_TRUE(dtd.ok());
+  // The paper: "The DTD ... contains 77 elements" (§6).
+  EXPECT_EQ(dtd->elements().size(), 77u);
+  EXPECT_TRUE(dtd->HasElement("site"));
+  EXPECT_TRUE(dtd->HasElement("closed_auction"));
+  const ElementDecl* person = dtd->FindElement("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->children.front(), "name");
+}
+
+TEST(DtdTest, ExtractsChildNames) {
+  auto dtd = ParseDtd("<!ELEMENT a (b, c?, (d | e)*)><!ELEMENT b EMPTY>");
+  ASSERT_TRUE(dtd.ok());
+  const ElementDecl* a = dtd->FindElement("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->children, (std::vector<std::string>{"b", "c", "d", "e"}));
+  EXPECT_TRUE(dtd->FindElement("b")->children.empty());
+}
+
+TEST(DtdTest, RejectsDuplicatesAndEmpty) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>").ok());
+  EXPECT_FALSE(ParseDtd("<!ATTLIST a b CDATA #REQUIRED>").ok());
+}
+
+}  // namespace
+}  // namespace ssdb::xml

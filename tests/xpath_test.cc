@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "query/xpath.h"
+
+namespace ssdb::query {
+namespace {
+
+TEST(XPathTest, ParsesChildSteps) {
+  auto q = ParseQuery("/site/regions/europe");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 3u);
+  EXPECT_EQ(q->steps[0].axis, Step::Axis::kChild);
+  EXPECT_EQ(q->steps[0].name, "site");
+  EXPECT_EQ(q->steps[2].name, "europe");
+  EXPECT_EQ(QueryToString(*q), "/site/regions/europe");
+}
+
+TEST(XPathTest, ParsesDescendantWildcardParent) {
+  auto q = ParseQuery("//site/*/..//city");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 4u);
+  EXPECT_EQ(q->steps[0].axis, Step::Axis::kDescendant);
+  EXPECT_EQ(q->steps[1].kind, Step::Kind::kWildcard);
+  EXPECT_EQ(q->steps[2].kind, Step::Kind::kParent);
+  EXPECT_EQ(q->steps[3].axis, Step::Axis::kDescendant);
+  EXPECT_EQ(q->steps[3].name, "city");
+  EXPECT_EQ(QueryToString(*q), "//site/*/..//city");
+}
+
+TEST(XPathTest, ParsesAllPaperQueries) {
+  // Table 1 and Table 2 queries must all parse.
+  const char* queries[] = {
+      "/site",
+      "/site/regions",
+      "/site/regions/europe",
+      "/site/regions/europe/item",
+      "/site/regions/europe/item/description",
+      "/site/regions/europe/item/description/parlist",
+      "/site/regions/europe/item/description/parlist/listitem",
+      "/site/regions/europe/item/description/parlist/listitem/text",
+      "/site/regions/europe/item/description/parlist/listitem/text/keyword",
+      "/site//europe/item",
+      "/site//europe//item",
+      "/site/*/person//city",
+      "/*/*/open_auction/bidder/date",
+      "//bidder/date",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    EXPECT_EQ(QueryToString(*q), text);
+  }
+}
+
+TEST(XPathTest, PathPredicate) {
+  auto q = ParseQuery("/site/person[address/city]//name");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 3u);
+  const Step& person = q->steps[1];
+  ASSERT_EQ(person.predicate.size(), 2u);
+  EXPECT_EQ(person.predicate[0].name, "address");
+  EXPECT_EQ(person.predicate[1].name, "city");
+  EXPECT_EQ(QueryToString(*q), "/site/person[/address/city]//name");
+}
+
+TEST(XPathTest, DescendantPathPredicate) {
+  // The paper's §4 example form: /name[//J/o/a/n].
+  auto q = ParseQuery("/name[//j/o/a/n]");
+  ASSERT_TRUE(q.ok());
+  const Step& name = q->steps[0];
+  ASSERT_EQ(name.predicate.size(), 4u);
+  EXPECT_EQ(name.predicate[0].axis, Step::Axis::kDescendant);
+  EXPECT_EQ(name.predicate[0].name, "j");
+  EXPECT_EQ(name.predicate[3].name, "n");
+}
+
+TEST(XPathTest, ContainsPredicateRewritesToTrieSteps) {
+  auto q = ParseQuery("/name[contains(text(), \"Joan\")]");
+  ASSERT_TRUE(q.ok());
+  const Step& name = q->steps[0];
+  ASSERT_EQ(name.predicate.size(), 4u);
+  EXPECT_EQ(name.predicate[0].axis, Step::Axis::kDescendant);
+  EXPECT_EQ(name.predicate[0].name, "j");
+  EXPECT_EQ(name.predicate[1].axis, Step::Axis::kChild);
+  EXPECT_EQ(name.predicate[1].name, "o");
+  EXPECT_EQ(name.predicate[2].name, "a");
+  EXPECT_EQ(name.predicate[3].name, "n");
+}
+
+TEST(XPathTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("site").ok());          // relative
+  EXPECT_FALSE(ParseQuery("/").ok());             // no name
+  EXPECT_FALSE(ParseQuery("/site[").ok());        // unterminated predicate
+  EXPECT_FALSE(ParseQuery("/site]").ok());        // stray bracket
+  EXPECT_FALSE(ParseQuery("/site/.").ok());       // bare '.'
+  EXPECT_FALSE(ParseQuery("/site/#").ok());       // bad char
+  EXPECT_FALSE(
+      ParseQuery("/a[contains(text(), \"\")]").ok());  // empty word
+  EXPECT_FALSE(ParseQuery("/a[contains(text(), \"x\"").ok());
+}
+
+TEST(XPathTest, StepEqualityOperator) {
+  auto q1 = ParseQuery("/a//b");
+  auto q2 = ParseQuery("/a//b");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_EQ(q1->steps, q2->steps);
+}
+
+}  // namespace
+}  // namespace ssdb::query

@@ -1,0 +1,53 @@
+// ssdb_keygen: generates the client's key material — a random seed file and
+// a tag-map file derived from a DTD (the paper's map + seed files, §5.1).
+//
+//   ssdb_keygen --dtd auction.dtd --map map.properties --seed seed.key
+//               [--p 83] [--e 1] [--trie]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/database.h"
+#include "tools/tool_util.h"
+#include "util/file_util.h"
+#include "xmark/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ssdb;
+  tools::Args args(argc, argv);
+  std::string dtd_path = args.Get("--dtd", "");
+  std::string map_path = args.Get("--map", "map.properties");
+  std::string seed_path = args.Get("--seed", "seed.key");
+  uint32_t p = args.GetInt("--p", 83);
+  uint32_t e = args.GetInt("--e", 1);
+  bool trie = args.Has("--trie");
+
+  auto field = gf::Field::Make(p, e);
+  if (!field.ok()) return tools::Fail(field.status());
+
+  std::string dtd_text;
+  if (dtd_path.empty()) {
+    std::fprintf(stderr,
+                 "no --dtd given; using the built-in XMark auction DTD\n");
+    dtd_text = xmark::AuctionDtd();
+  } else {
+    auto contents = ReadFileToString(dtd_path);
+    if (!contents.ok()) return tools::Fail(contents.status());
+    dtd_text = *contents;
+  }
+
+  auto map = core::EncryptedXmlDatabase::TagMapForDtd(dtd_text, *field,
+                                                      trie);
+  if (!map.ok()) return tools::Fail(map.status());
+  if (auto s = map->SaveToFile(map_path); !s.ok()) return tools::Fail(s);
+
+  prg::Seed seed = prg::Seed::Generate();
+  if (auto s = seed.SaveToFile(seed_path); !s.ok()) return tools::Fail(s);
+
+  std::printf("wrote %s (%zu tags, F_%u^%u, spare value %u) and %s\n",
+              map_path.c_str(), map->size(), p, e, map->SpareValue(),
+              seed_path.c_str());
+  std::printf("keep both files secret: together they are the database key.\n");
+  return 0;
+}

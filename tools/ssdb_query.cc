@@ -1,0 +1,100 @@
+// ssdb_query: runs XPath-subset queries against an encrypted database file
+// (local) or a running ssdb_server (remote).
+//
+//   ssdb_query --db db.ssdb --map map.properties --seed seed.key
+//              [--engine simple|advanced] [--mode strict|nonstrict]
+//              [--p 83] [--e 1] "QUERY" ["QUERY" ...]
+//   ssdb_query --connect /tmp/ssdb.sock --map ... --seed ... "QUERY"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "rpc/client.h"
+#include "rpc/socket_channel.h"
+#include "storage/table.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ssdb;
+  tools::Args args(argc, argv);
+  std::string db_path = args.Get("--db", "");
+  std::string connect = args.Get("--connect", "");
+  std::string map_path = args.Get("--map", "map.properties");
+  std::string seed_path = args.Get("--seed", "seed.key");
+  uint32_t p = args.GetInt("--p", 83);
+  uint32_t e = args.GetInt("--e", 1);
+  bool advanced = args.Get("--engine", "advanced") != "simple";
+  bool strict = args.Get("--mode", "strict") != "nonstrict";
+
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '/') queries.push_back(argv[i]);
+  }
+  if (queries.empty() || (db_path.empty() && connect.empty())) {
+    std::fprintf(stderr,
+                 "usage: ssdb_query (--db DB.ssdb | --connect SOCK) "
+                 "--map MAP --seed SEED [--engine simple|advanced] "
+                 "[--mode strict|nonstrict] \"/site//query\" ...\n");
+    return 1;
+  }
+
+  auto field = gf::Field::Make(p, e);
+  if (!field.ok()) return tools::Fail(field.status());
+  auto map = mapping::TagMap::FromFile(map_path, *field);
+  if (!map.ok()) return tools::Fail(map.status());
+  auto seed = prg::Seed::LoadFromFile(seed_path);
+  if (!seed.ok()) return tools::Fail(seed.status());
+
+  // Build the client filter stack over either a local store or a socket.
+  gf::Ring ring(*field);
+  std::unique_ptr<storage::NodeStore> store;
+  std::unique_ptr<filter::ServerFilter> server;
+  if (!connect.empty()) {
+    auto channel = rpc::ConnectUnix(connect);
+    if (!channel.ok()) return tools::Fail(channel.status());
+    server = std::make_unique<rpc::RemoteServerFilter>(ring,
+                                                       std::move(*channel));
+  } else {
+    auto disk = storage::DiskNodeStore::Open(db_path);
+    if (!disk.ok()) return tools::Fail(disk.status());
+    store = std::move(*disk);
+    server = std::make_unique<filter::LocalServerFilter>(ring, store.get());
+  }
+  filter::ClientFilter client(ring, prg::Prg(*seed), server.get());
+  query::SimpleEngine simple(&client, &*map);
+  query::AdvancedEngine adv(&client, &*map);
+  query::QueryEngine* engine =
+      advanced ? static_cast<query::QueryEngine*>(&adv)
+               : static_cast<query::QueryEngine*>(&simple);
+  query::MatchMode mode =
+      strict ? query::MatchMode::kEquality : query::MatchMode::kContainment;
+
+  for (const std::string& text : queries) {
+    auto parsed = query::ParseQuery(text);
+    if (!parsed.ok()) return tools::Fail(parsed.status());
+    query::QueryStats stats;
+    auto result = engine->Execute(*parsed, mode, &stats);
+    if (!result.ok()) return tools::Fail(result.status());
+    std::printf("%s  [%s/%s]\n", text.c_str(), engine->name().data(),
+                query::MatchModeName(mode).data());
+    std::printf("  %zu result(s) in %.1f ms, %llu evaluations, %llu server "
+                "calls\n",
+                result->size(), stats.seconds * 1e3,
+                (unsigned long long)stats.eval.evaluations,
+                (unsigned long long)stats.eval.server_calls);
+    std::printf("  pre:");
+    size_t shown = 0;
+    for (const auto& node : *result) {
+      if (shown++ == 20) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" %u", node.pre);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// ssdb_server: serves an encrypted database file over a unix socket — the
+// untrusted server process of fig. 3. It loads no key material; it can only
+// evaluate stored shares and hand out structure.
+//
+//   ssdb_server --db db.ssdb --socket /tmp/ssdb.sock [--p 83] [--e 1]
+//
+// Serves one connection after another until killed (the prototype's model).
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "filter/server_filter.h"
+#include "rpc/server.h"
+#include "rpc/socket_channel.h"
+#include "storage/table.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ssdb;
+  tools::Args args(argc, argv);
+  std::string db_path = args.Get("--db", "db.ssdb");
+  std::string socket_path = args.Get("--socket", "/tmp/ssdb.sock");
+  uint32_t p = args.GetInt("--p", 83);
+  uint32_t e = args.GetInt("--e", 1);
+
+  auto field = gf::Field::Make(p, e);
+  if (!field.ok()) return tools::Fail(field.status());
+  gf::Ring ring(*field);
+
+  auto store = storage::DiskNodeStore::Open(db_path);
+  if (!store.ok()) return tools::Fail(store.status());
+  auto count = (*store)->NodeCount();
+  if (!count.ok()) return tools::Fail(count.status());
+
+  auto listener = rpc::UnixServerSocket::Listen(socket_path);
+  if (!listener.ok()) return tools::Fail(listener.status());
+
+  std::printf("serving %s (%llu nodes) on %s\n", db_path.c_str(),
+              (unsigned long long)*count, socket_path.c_str());
+
+  filter::LocalServerFilter filter(ring, store->get());
+  rpc::RpcServer server(ring, &filter);
+  for (;;) {
+    auto channel = (*listener)->Accept();
+    if (!channel.ok()) return tools::Fail(channel.status());
+    std::printf("client connected\n");
+    Status s = server.Serve(channel->get());
+    std::printf("client disconnected: %s\n", s.ToString().c_str());
+  }
+}

@@ -1,0 +1,43 @@
+// ssdb_xmlgen: emits a synthetic XMark-style auction document (the paper's
+// §6 workload) to stdout or a file.
+//
+//   ssdb_xmlgen [--kb 1024] [--seed 42] [--out doc.xml] [--dtd]
+
+#include <cstdio>
+#include <string>
+
+#include "tools/tool_util.h"
+#include "util/file_util.h"
+#include "xmark/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace ssdb;
+  tools::Args args(argc, argv);
+  if (args.Has("--dtd")) {
+    std::fputs(xmark::AuctionDtd().c_str(), stdout);
+    return 0;
+  }
+  xmark::GeneratorOptions options;
+  options.target_bytes = static_cast<uint64_t>(args.GetInt("--kb", 1024))
+                         << 10;
+  options.seed = args.GetInt("--seed", 42);
+  auto generated = xmark::GenerateAuctionDocument(options);
+
+  std::string out_path = args.Get("--out", "");
+  if (out_path.empty()) {
+    std::fwrite(generated.xml.data(), 1, generated.xml.size(), stdout);
+  } else {
+    if (auto s = WriteStringToFile(out_path, generated.xml); !s.ok()) {
+      return tools::Fail(s);
+    }
+    std::fprintf(stderr,
+                 "wrote %zu bytes to %s (%llu persons, %llu items, %llu "
+                 "open auctions, %llu closed auctions)\n",
+                 generated.xml.size(), out_path.c_str(),
+                 (unsigned long long)generated.person_count,
+                 (unsigned long long)generated.item_count,
+                 (unsigned long long)generated.open_auction_count,
+                 (unsigned long long)generated.closed_auction_count);
+  }
+  return 0;
+}

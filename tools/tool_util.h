@@ -1,0 +1,51 @@
+// Minimal flag parsing + error reporting shared by the CLI tools.
+
+#ifndef SSDB_TOOLS_TOOL_UTIL_H_
+#define SSDB_TOOLS_TOOL_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace ssdb::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  bool Has(const char* flag) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], flag) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string Get(const char* flag, const std::string& fallback) const {
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], flag) == 0) return argv_[i + 1];
+    }
+    return fallback;
+  }
+
+  uint32_t GetInt(const char* flag, uint32_t fallback) const {
+    std::string value = Get(flag, "");
+    if (value.empty()) return fallback;
+    return static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+inline int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace ssdb::tools
+
+#endif  // SSDB_TOOLS_TOOL_UTIL_H_
