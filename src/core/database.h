@@ -80,6 +80,12 @@ class EncryptedXmlDatabase {
   filter::ClientFilter* client_filter() { return client_.get(); }
   filter::ServerFilter* server_filter() { return server_.get(); }
 
+  // Total server exchanges so far (wire round trips in remote mode); the
+  // per-query delta is reported in QueryStats.eval.round_trips.
+  uint64_t server_round_trips() const {
+    return server_ == nullptr ? 0 : server_->RoundTrips();
+  }
+
   // Serves this database's server side over a channel (blocking). The peer
   // is typically another process using ConnectRemote.
   Status Serve(rpc::Channel* channel);

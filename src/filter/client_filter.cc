@@ -1,5 +1,7 @@
 #include "filter/client_filter.h"
 
+#include <unordered_map>
+
 #include "gf/share.h"
 
 namespace ssdb::filter {
@@ -18,6 +20,7 @@ ClientFilter::ClientFilter(gf::Ring ring, prg::Prg prg, ServerFilter* server)
       server_(server) {}
 
 StatusOr<NodeMeta> ClientFilter::Root() {
+  TripScope trips(this);
   ++stats_.server_calls;
   SSDB_ASSIGN_OR_RETURN(NodeMeta root, server_->Root());
   ++stats_.nodes_visited;
@@ -25,6 +28,7 @@ StatusOr<NodeMeta> ClientFilter::Root() {
 }
 
 StatusOr<NodeMeta> ClientFilter::GetNode(uint32_t pre) {
+  TripScope trips(this);
   ++stats_.server_calls;
   SSDB_ASSIGN_OR_RETURN(NodeMeta node, server_->GetNode(pre));
   ++stats_.nodes_visited;
@@ -39,6 +43,7 @@ StatusOr<NodeMeta> ClientFilter::Parent(const NodeMeta& node) {
 }
 
 StatusOr<std::vector<NodeMeta>> ClientFilter::Children(const NodeMeta& node) {
+  TripScope trips(this);
   ++stats_.server_calls;
   SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
                         server_->Children(node.pre));
@@ -46,8 +51,26 @@ StatusOr<std::vector<NodeMeta>> ClientFilter::Children(const NodeMeta& node) {
   return children;
 }
 
+StatusOr<std::vector<std::vector<NodeMeta>>> ClientFilter::ChildrenBatch(
+    const std::vector<NodeMeta>& nodes) {
+  if (nodes.empty()) return std::vector<std::vector<NodeMeta>>{};
+  TripScope trips(this);
+  ++stats_.server_calls;
+  std::vector<uint32_t> pres;
+  pres.reserve(nodes.size());
+  for (const NodeMeta& node : nodes) pres.push_back(node.pre);
+  SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<NodeMeta>> lists,
+                        server_->ChildrenBatch(pres));
+  if (lists.size() != nodes.size()) {
+    return Status::Internal("ChildrenBatch size mismatch");
+  }
+  for (const auto& list : lists) stats_.nodes_visited += list.size();
+  return lists;
+}
+
 StatusOr<std::vector<NodeMeta>> ClientFilter::Descendants(
     const NodeMeta& node) {
+  TripScope trips(this);
   ++stats_.server_calls;
   SSDB_ASSIGN_OR_RETURN(uint64_t cursor,
                         server_->OpenDescendantCursor(node.pre, node.post));
@@ -68,22 +91,86 @@ gf::Elem ClientFilter::EvalClientShare(uint32_t pre, gf::Elem t) {
   return ring_.Eval(share, t);
 }
 
-StatusOr<bool> ClientFilter::ContainsValue(const NodeMeta& node, gf::Elem t) {
-  ++stats_.containment_tests;
-  ++stats_.evaluations;
+StatusOr<std::vector<uint8_t>> ClientFilter::ContainsValueBatch(
+    const std::vector<NodeMeta>& nodes, gf::Elem t) {
+  if (nodes.empty()) return std::vector<uint8_t>{};
+  TripScope trips(this);
+  stats_.containment_tests += nodes.size();
+  stats_.evaluations += nodes.size();
+  stats_.batched_evaluations += nodes.size();
   ++stats_.server_calls;
-  SSDB_ASSIGN_OR_RETURN(gf::Elem server_value, server_->EvalAt(node.pre, t));
-  gf::Elem client_value = EvalClientShare(node.pre, t);
-  return ring_.field().Add(server_value, client_value) == 0;
+  std::vector<uint32_t> pres;
+  pres.reserve(nodes.size());
+  for (const NodeMeta& node : nodes) pres.push_back(node.pre);
+  SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> server_values,
+                        server_->EvalAtBatch(pres, t));
+  if (server_values.size() != nodes.size()) {
+    return Status::Internal("EvalAtBatch size mismatch");
+  }
+  std::vector<uint8_t> out(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    gf::Elem sum = ring_.field().Add(server_values[i],
+                                     EvalClientShare(nodes[i].pre, t));
+    out[i] = (sum == 0) ? 1 : 0;
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> ClientFilter::ContainsAllValuesBatch(
+    const std::vector<NodeMeta>& nodes, const std::vector<gf::Elem>& values) {
+  std::vector<uint8_t> alive(nodes.size(), 1);
+  if (nodes.empty() || values.empty()) return alive;
+  TripScope trips(this);
+  // One client-share regeneration per node, reused across all values; one
+  // server exchange per value, shrinking to the still-alive subset.
+  std::vector<gf::RingElem> client_shares;
+  client_shares.reserve(nodes.size());
+  for (const NodeMeta& node : nodes) {
+    client_shares.push_back(prg_.ClientShare(ring_, node.pre));
+  }
+  for (gf::Elem value : values) {
+    std::vector<size_t> indices;
+    std::vector<uint32_t> pres;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (alive[i]) {
+        indices.push_back(i);
+        pres.push_back(nodes[i].pre);
+      }
+    }
+    if (pres.empty()) break;
+    stats_.containment_tests += pres.size();
+    stats_.evaluations += pres.size();
+    stats_.batched_evaluations += pres.size();
+    ++stats_.server_calls;
+    SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> server_values,
+                          server_->EvalAtBatch(pres, value));
+    if (server_values.size() != pres.size()) {
+      return Status::Internal("EvalAtBatch size mismatch");
+    }
+    for (size_t j = 0; j < indices.size(); ++j) {
+      gf::Elem sum = ring_.field().Add(
+          server_values[j], ring_.Eval(client_shares[indices[j]], value));
+      if (sum != 0) alive[indices[j]] = 0;
+    }
+  }
+  return alive;
+}
+
+StatusOr<bool> ClientFilter::ContainsValue(const NodeMeta& node, gf::Elem t) {
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> out,
+                        ContainsValueBatch({node}, t));
+  return out[0] != 0;
 }
 
 StatusOr<bool> ClientFilter::ContainsAllValues(
     const NodeMeta& node, const std::vector<gf::Elem>& values) {
   if (values.empty()) return true;
   if (values.size() == 1) return ContainsValue(node, values[0]);
+  TripScope trips(this);
   // One share regeneration + one (batched) server exchange for all points.
   stats_.containment_tests += values.size();
   stats_.evaluations += values.size();
+  stats_.batched_evaluations += values.size();
   ++stats_.server_calls;
   gf::RingElem client_share = prg_.ClientShare(ring_, node.pre);
   SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> server_values,
@@ -100,6 +187,7 @@ StatusOr<bool> ClientFilter::ContainsAllValues(
 }
 
 StatusOr<gf::RingElem> ClientFilter::ReconstructPoly(uint32_t pre) {
+  TripScope trips(this);
   ++stats_.server_calls;
   ++stats_.shares_fetched;
   SSDB_ASSIGN_OR_RETURN(gf::RingElem server_share, server_->FetchShare(pre));
@@ -107,12 +195,13 @@ StatusOr<gf::RingElem> ClientFilter::ReconstructPoly(uint32_t pre) {
   return gf::Combine(ring_, client_share, server_share);
 }
 
-StatusOr<gf::Elem> ClientFilter::RecoverOwnValue(const NodeMeta& node) {
-  // Reconstruct the node polynomial and every direct child polynomial; the
-  // node's own factor is node(x) / prod(children). The quotient ring has
-  // zero divisors, so the division happens in the evaluation domain (a ring
-  // isomorphism; see DESIGN.md §3): find a point v where the child product
-  // is non-zero, then t = v - node(v)/prod(v).
+StatusOr<gf::Elem> ClientFilter::RecoverFromPolys(
+    const gf::RingElem& node_poly,
+    const std::vector<gf::RingElem>& child_polys) {
+  // The node's own factor is node(x) / prod(children). The quotient ring
+  // has zero divisors, so the division happens in the evaluation domain (a
+  // ring isomorphism; see DESIGN.md §3): find a point v where the child
+  // product is non-zero, then t = v - node(v)/prod(v).
   //
   // Cost: O(n * children) field operations — Horner at a handful of points
   // rather than a full transform. The division is verified at
@@ -120,22 +209,6 @@ StatusOr<gf::Elem> ClientFilter::RecoverOwnValue(const NodeMeta& node) {
   // any mismatch means the stored shares are inconsistent.
   constexpr uint32_t kVerifyPoints = 4;
   const gf::Field& field = ring_.field();
-  ++stats_.equality_tests;
-
-  SSDB_ASSIGN_OR_RETURN(gf::RingElem node_poly, ReconstructPoly(node.pre));
-  ++stats_.evaluations;  // one polynomial-processing unit for the node
-
-  ++stats_.server_calls;
-  SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
-                        server_->Children(node.pre));
-  std::vector<gf::RingElem> child_polys;
-  child_polys.reserve(children.size());
-  for (const NodeMeta& child : children) {
-    SSDB_ASSIGN_OR_RETURN(gf::RingElem child_poly,
-                          ReconstructPoly(child.pre));
-    ++stats_.evaluations;  // one unit per child polynomial
-    child_polys.push_back(std::move(child_poly));
-  }
 
   auto product_at = [&](gf::Elem v) {
     gf::Elem prod = 1;
@@ -180,8 +253,96 @@ StatusOr<gf::Elem> ClientFilter::RecoverOwnValue(const NodeMeta& node) {
   return t;
 }
 
+StatusOr<std::vector<gf::Elem>> ClientFilter::RecoverOwnValueBatch(
+    const std::vector<NodeMeta>& nodes) {
+  if (nodes.empty()) return std::vector<gf::Elem>{};
+  TripScope trips(this);
+  stats_.equality_tests += nodes.size();
+
+  // Exchange 1: children of every candidate.
+  ++stats_.server_calls;
+  std::vector<uint32_t> pres;
+  pres.reserve(nodes.size());
+  for (const NodeMeta& node : nodes) pres.push_back(node.pre);
+  SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<NodeMeta>> child_lists,
+                        server_->ChildrenBatch(pres));
+  if (child_lists.size() != nodes.size()) {
+    return Status::Internal("ChildrenBatch size mismatch");
+  }
+
+  // Exchange 2: every needed share (node + children), fetched once even
+  // when candidates overlap.
+  std::vector<uint32_t> unique;
+  std::unordered_map<uint32_t, size_t> index;
+  auto intern = [&](uint32_t pre) {
+    auto [it, inserted] = index.emplace(pre, unique.size());
+    if (inserted) unique.push_back(pre);
+    return it->second;
+  };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    intern(nodes[i].pre);
+    for (const NodeMeta& child : child_lists[i]) intern(child.pre);
+  }
+  ++stats_.server_calls;
+  stats_.shares_fetched += unique.size();
+  SSDB_ASSIGN_OR_RETURN(std::vector<gf::RingElem> server_shares,
+                        server_->FetchShareBatch(unique));
+  if (server_shares.size() != unique.size()) {
+    return Status::Internal("FetchShareBatch size mismatch");
+  }
+
+  // Reconstruct each distinct polynomial once, then run the local
+  // evaluation-domain division per candidate.
+  std::vector<gf::RingElem> polys;
+  polys.reserve(unique.size());
+  for (size_t i = 0; i < unique.size(); ++i) {
+    gf::RingElem client_share = prg_.ClientShare(ring_, unique[i]);
+    polys.push_back(gf::Combine(ring_, client_share, server_shares[i]));
+  }
+
+  std::vector<gf::Elem> out;
+  out.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const gf::RingElem& node_poly = polys[index[nodes[i].pre]];
+    std::vector<gf::RingElem> child_polys;
+    child_polys.reserve(child_lists[i].size());
+    for (const NodeMeta& child : child_lists[i]) {
+      child_polys.push_back(polys[index[child.pre]]);
+    }
+    stats_.evaluations += 1 + child_polys.size();
+    stats_.batched_evaluations += 1 + child_polys.size();
+    SSDB_ASSIGN_OR_RETURN(gf::Elem t,
+                          RecoverFromPolys(node_poly, child_polys));
+    out.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> ClientFilter::EqualsValueBatch(
+    const std::vector<NodeMeta>& nodes, gf::Elem t) {
+  SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> own,
+                        RecoverOwnValueBatch(nodes));
+  std::vector<uint8_t> out(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = (own[i] == t) ? 1 : 0;
+  }
+  return out;
+}
+
+StatusOr<gf::Elem> ClientFilter::RecoverOwnValue(const NodeMeta& node) {
+  SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> out,
+                        RecoverOwnValueBatch({node}));
+  return out[0];
+}
+
+StatusOr<bool> ClientFilter::EqualsValue(const NodeMeta& node, gf::Elem t) {
+  SSDB_ASSIGN_OR_RETURN(gf::Elem own, RecoverOwnValue(node));
+  return own == t;
+}
+
 StatusOr<ClientFilter::RevealedNode> ClientFilter::Reveal(
     const NodeMeta& node) {
+  TripScope trips(this);
   ++stats_.server_calls;
   SSDB_ASSIGN_OR_RETURN(std::string sealed, server_->FetchSealed(node.pre));
   if (sealed.empty()) {
@@ -198,11 +359,6 @@ StatusOr<ClientFilter::RevealedNode> ClientFilter::Reveal(
   revealed.name = plaintext.substr(0, split);
   revealed.text = plaintext.substr(split + 1);
   return revealed;
-}
-
-StatusOr<bool> ClientFilter::EqualsValue(const NodeMeta& node, gf::Elem t) {
-  SSDB_ASSIGN_OR_RETURN(gf::Elem own, RecoverOwnValue(node));
-  return own == t;
 }
 
 }  // namespace ssdb::filter

@@ -9,6 +9,11 @@
 //  * equality test    — reconstructs the node polynomial and all child
 //    polynomials, divides out the child product and checks the remaining
 //    monomial is (x - map(tag)). Cost grows with the number of children.
+//
+// The batch entry points are the primary path (DESIGN.md §6): they
+// regenerate the client shares for a whole candidate set and issue one
+// joint server exchange, so a query step costs O(1) round trips instead of
+// O(candidates). The scalar methods are thin wrappers over batches of one.
 
 #ifndef SSDB_FILTER_CLIENT_FILTER_H_
 #define SSDB_FILTER_CLIENT_FILTER_H_
@@ -33,7 +38,11 @@ struct EvalStats {
   uint64_t equality_tests = 0;
   uint64_t shares_fetched = 0;     // full polynomials pulled for equality
   uint64_t nodes_visited = 0;      // navigation volume
-  uint64_t server_calls = 0;
+  uint64_t server_calls = 0;       // logical ServerFilter invocations
+  uint64_t round_trips = 0;        // wire exchanges (chunked batches count
+                                   // one per chunk), accumulated from the
+                                   // server's RoundTrips() deltas
+  uint64_t batched_evaluations = 0;  // evaluations that rode a batch call
 
   void Reset() { *this = EvalStats{}; }
 };
@@ -49,21 +58,41 @@ class ClientFilter {
   // NotFound for the root (which has no parent).
   StatusOr<NodeMeta> Parent(const NodeMeta& node);
   StatusOr<std::vector<NodeMeta>> Children(const NodeMeta& node);
+  // Children of every node in one server exchange; out[i] belongs to
+  // nodes[i].
+  StatusOr<std::vector<std::vector<NodeMeta>>> ChildrenBatch(
+      const std::vector<NodeMeta>& nodes);
   // All proper descendants, pulled through the server-side cursor pipeline.
   StatusOr<std::vector<NodeMeta>> Descendants(const NodeMeta& node);
 
-  // --- Matching rules ---
+  // --- Matching rules (batch-first) ---
+  // out[i] != 0 iff the subtree rooted at nodes[i] contains the mapped
+  // value t. One joint server exchange for the whole set.
+  StatusOr<std::vector<uint8_t>> ContainsValueBatch(
+      const std::vector<NodeMeta>& nodes, gf::Elem t);
+  // out[i] != 0 iff nodes[i]'s subtree contains *all* of `values`. One
+  // server exchange per value (not per node), with nodes dropping out as
+  // soon as a value is missing.
+  StatusOr<std::vector<uint8_t>> ContainsAllValuesBatch(
+      const std::vector<NodeMeta>& nodes, const std::vector<gf::Elem>& values);
+  // out[i] != 0 iff nodes[i]'s own tag is exactly t (strict checking).
+  // Two server exchanges for the whole set (children + shares).
+  StatusOr<std::vector<uint8_t>> EqualsValueBatch(
+      const std::vector<NodeMeta>& nodes, gf::Elem t);
+  // Recovers each node's own mapped tag value (the equality test's core).
+  StatusOr<std::vector<gf::Elem>> RecoverOwnValueBatch(
+      const std::vector<NodeMeta>& nodes);
+
+  // --- Scalar wrappers over the batch path ---
   // Does the subtree rooted at `node` contain the mapped value t?
   StatusOr<bool> ContainsValue(const NodeMeta& node, gf::Elem t);
-  // Does it contain *all* of `values`? Evaluates the whole set against one
-  // regenerated client share and asks the server per point; used by the
-  // advanced engine's look-ahead so a k-name check is one logical batch.
+  // Does it contain *all* of `values`?
   StatusOr<bool> ContainsAllValues(const NodeMeta& node,
                                    const std::vector<gf::Elem>& values);
   // Is the node's own tag exactly t? (strict checking)
   StatusOr<bool> EqualsValue(const NodeMeta& node, gf::Elem t);
-  // Recovers the node's own mapped tag value (the equality test's core);
-  // exposed for diagnostics and tests.
+  // Recovers the node's own mapped tag value; exposed for diagnostics and
+  // tests.
   StatusOr<gf::Elem> RecoverOwnValue(const NodeMeta& node);
 
   // §4 extension: fetches and decrypts the node's sealed payload.
@@ -85,10 +114,35 @@ class ClientFilter {
   void set_full_verification(bool on) { full_verification_ = on; }
 
  private:
+  // Accumulates the server's round-trip delta over one logical call into
+  // stats_.round_trips, so the counter resets and deltas like every other
+  // EvalStats field. Instantiated only by methods that talk to the server
+  // directly (wrappers would double-count).
+  class TripScope {
+   public:
+    explicit TripScope(ClientFilter* filter)
+        : filter_(filter), before_(filter->server_->RoundTrips()) {}
+    ~TripScope() {
+      filter_->stats_.round_trips +=
+          filter_->server_->RoundTrips() - before_;
+    }
+    TripScope(const TripScope&) = delete;
+    TripScope& operator=(const TripScope&) = delete;
+
+   private:
+    ClientFilter* filter_;
+    uint64_t before_;
+  };
+
   // eval(client_share(pre), t) — regenerated from the PRG, never stored.
   gf::Elem EvalClientShare(uint32_t pre, gf::Elem t);
   // Reconstructs the full polynomial of a node (client + server share).
   StatusOr<gf::RingElem> ReconstructPoly(uint32_t pre);
+  // Extracts the node's own factor from its reconstructed polynomial and
+  // the reconstructed child polynomials (evaluation-domain division).
+  StatusOr<gf::Elem> RecoverFromPolys(
+      const gf::RingElem& node_poly,
+      const std::vector<gf::RingElem>& child_polys);
 
   gf::Ring ring_;
   gf::Evaluator evaluator_;

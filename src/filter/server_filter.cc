@@ -3,16 +3,19 @@
 namespace ssdb::filter {
 
 StatusOr<NodeMeta> LocalServerFilter::Root() {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetRoot());
   return MetaOf(row);
 }
 
 StatusOr<NodeMeta> LocalServerFilter::GetNode(uint32_t pre) {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   return MetaOf(row);
 }
 
 StatusOr<std::vector<NodeMeta>> LocalServerFilter::Children(uint32_t pre) {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(std::vector<storage::NodeRow> rows,
                         store_->GetChildren(pre));
   std::vector<NodeMeta> out;
@@ -21,8 +24,25 @@ StatusOr<std::vector<NodeMeta>> LocalServerFilter::Children(uint32_t pre) {
   return out;
 }
 
+StatusOr<std::vector<std::vector<NodeMeta>>> LocalServerFilter::ChildrenBatch(
+    const std::vector<uint32_t>& pres) {
+  ++round_trips_;
+  std::vector<std::vector<NodeMeta>> out;
+  out.reserve(pres.size());
+  for (uint32_t pre : pres) {
+    SSDB_ASSIGN_OR_RETURN(std::vector<storage::NodeRow> rows,
+                          store_->GetChildren(pre));
+    std::vector<NodeMeta> metas;
+    metas.reserve(rows.size());
+    for (const auto& row : rows) metas.push_back(MetaOf(row));
+    out.push_back(std::move(metas));
+  }
+  return out;
+}
+
 StatusOr<uint64_t> LocalServerFilter::OpenDescendantCursor(uint32_t pre,
                                                            uint32_t post) {
+  ++round_trips_;
   Cursor cursor;
   SSDB_RETURN_IF_ERROR(store_->ScanDescendants(
       pre, post, [&](const storage::NodeRow& row) {
@@ -36,6 +56,7 @@ StatusOr<uint64_t> LocalServerFilter::OpenDescendantCursor(uint32_t pre,
 
 StatusOr<std::vector<NodeMeta>> LocalServerFilter::NextNodes(
     uint64_t cursor_id, size_t max_batch) {
+  ++round_trips_;
   auto it = cursors_.find(cursor_id);
   if (it == cursors_.end()) {
     return Status::NotFound("no such cursor");
@@ -52,11 +73,13 @@ StatusOr<std::vector<NodeMeta>> LocalServerFilter::NextNodes(
 }
 
 Status LocalServerFilter::CloseCursor(uint64_t cursor_id) {
+  ++round_trips_;
   cursors_.erase(cursor_id);
   return Status::OK();
 }
 
 StatusOr<gf::Elem> LocalServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
   return ring_.Eval(share, t);
@@ -64,17 +87,20 @@ StatusOr<gf::Elem> LocalServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
 
 StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
     const std::vector<uint32_t>& pres, gf::Elem t) {
+  ++round_trips_;
   std::vector<gf::Elem> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
-    SSDB_ASSIGN_OR_RETURN(gf::Elem value, EvalAt(pre, t));
-    out.push_back(value);
+    SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
+    out.push_back(ring_.Eval(share, t));
   }
   return out;
 }
 
 StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
     uint32_t pre, const std::vector<gf::Elem>& points) {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
   std::vector<gf::Elem> out;
@@ -86,16 +112,32 @@ StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
 }
 
 StatusOr<gf::RingElem> LocalServerFilter::FetchShare(uint32_t pre) {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   return ring_.Deserialize(row.share);
 }
 
+StatusOr<std::vector<gf::RingElem>> LocalServerFilter::FetchShareBatch(
+    const std::vector<uint32_t>& pres) {
+  ++round_trips_;
+  std::vector<gf::RingElem> out;
+  out.reserve(pres.size());
+  for (uint32_t pre : pres) {
+    SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
+    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
+    out.push_back(std::move(share));
+  }
+  return out;
+}
+
 StatusOr<std::string> LocalServerFilter::FetchSealed(uint32_t pre) {
+  ++round_trips_;
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   return row.sealed;
 }
 
 StatusOr<uint64_t> LocalServerFilter::NodeCount() {
+  ++round_trips_;
   return store_->NodeCount();
 }
 

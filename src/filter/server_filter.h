@@ -44,6 +44,11 @@ class ServerFilter {
   virtual StatusOr<NodeMeta> Root() = 0;
   virtual StatusOr<NodeMeta> GetNode(uint32_t pre) = 0;
   virtual StatusOr<std::vector<NodeMeta>> Children(uint32_t pre) = 0;
+  // Children of many nodes at once; out[i] are the children of pres[i].
+  // One round trip remotely — the step-level expansion of the batched
+  // query pipeline.
+  virtual StatusOr<std::vector<std::vector<NodeMeta>>> ChildrenBatch(
+      const std::vector<uint32_t>& pres) = 0;
 
   // The paper's nextNode() pipeline: the server buffers the intermediate
   // result (descendants of a subtree) and the thin client pulls batches.
@@ -65,12 +70,20 @@ class ServerFilter {
 
   // Full server share, needed by the client-side equality test.
   virtual StatusOr<gf::RingElem> FetchShare(uint32_t pre) = 0;
+  // Many full shares in one round trip (batched equality tests).
+  virtual StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
+      const std::vector<uint32_t>& pres) = 0;
 
   // Sealed payload bytes (ciphertext; §4 extension). Empty when the
   // database was encoded without sealing.
   virtual StatusOr<std::string> FetchSealed(uint32_t pre) = 0;
 
   virtual StatusOr<uint64_t> NodeCount() = 0;
+
+  // Number of server exchanges so far. Locally this counts filter calls;
+  // remotely it counts actual wire round trips (a chunked batch counts one
+  // trip per chunk). The batched pipeline's win is measured against it.
+  virtual uint64_t RoundTrips() const = 0;
 };
 
 class LocalServerFilter : public ServerFilter {
@@ -82,6 +95,8 @@ class LocalServerFilter : public ServerFilter {
   StatusOr<NodeMeta> Root() override;
   StatusOr<NodeMeta> GetNode(uint32_t pre) override;
   StatusOr<std::vector<NodeMeta>> Children(uint32_t pre) override;
+  StatusOr<std::vector<std::vector<NodeMeta>>> ChildrenBatch(
+      const std::vector<uint32_t>& pres) override;
   StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
                                           uint32_t post) override;
   StatusOr<std::vector<NodeMeta>> NextNodes(uint64_t cursor,
@@ -93,8 +108,11 @@ class LocalServerFilter : public ServerFilter {
   StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
       uint32_t pre, const std::vector<gf::Elem>& points) override;
   StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
+  StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
+      const std::vector<uint32_t>& pres) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
+  uint64_t RoundTrips() const override { return round_trips_; }
 
   const gf::Ring& ring() const { return ring_; }
 
@@ -108,6 +126,7 @@ class LocalServerFilter : public ServerFilter {
   storage::NodeStore* store_;
   std::map<uint64_t, Cursor> cursors_;
   uint64_t next_cursor_ = 1;
+  uint64_t round_trips_ = 0;
 };
 
 }  // namespace ssdb::filter

@@ -21,14 +21,7 @@ StatusOr<std::vector<NodeMeta>> AdvancedEngine::Execute(const Query& query,
   if (stats != nullptr) {
     stats->seconds = watch.ElapsedSeconds();
     stats->result_size = result.size();
-    filter::EvalStats after = filter_->stats();
-    stats->eval.evaluations = after.evaluations - before.evaluations;
-    stats->eval.containment_tests =
-        after.containment_tests - before.containment_tests;
-    stats->eval.equality_tests = after.equality_tests - before.equality_tests;
-    stats->eval.shares_fetched = after.shares_fetched - before.shares_fetched;
-    stats->eval.nodes_visited = after.nodes_visited - before.nodes_visited;
-    stats->eval.server_calls = after.server_calls - before.server_calls;
+    internal::FillStatsDelta(before, filter_->stats(), stats);
   }
   return result;
 }
@@ -58,6 +51,14 @@ StatusOr<bool> AdvancedEngine::ContainsAll(
   return filter_->ContainsAllValues(node, values);
 }
 
+StatusOr<std::vector<NodeMeta>> AdvancedEngine::FilterByLookahead(
+    std::vector<NodeMeta> nodes, const std::vector<gf::Elem>& values) {
+  if (nodes.empty() || values.empty()) return nodes;
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        filter_->ContainsAllValuesBatch(nodes, values));
+  return internal::ApplyMask(std::move(nodes), mask);
+}
+
 StatusOr<std::vector<NodeMeta>> AdvancedEngine::RunSteps(
     const std::vector<Step>& steps, std::vector<NodeMeta> candidates,
     bool from_document_root, MatchMode mode, QueryStats* stats) {
@@ -65,8 +66,8 @@ StatusOr<std::vector<NodeMeta>> AdvancedEngine::RunSteps(
     const Step& step = steps[i];
     bool first = (i == 0);
 
-    // The look-ahead: values of the current step's name (if any) and every
-    // later named step. `lookahead_rest` excludes the current step.
+    // The look-ahead: values of every later named step. `lookahead_rest`
+    // excludes the current step.
     bool absent = false;
     std::vector<gf::Elem> lookahead_rest = LookaheadValues(steps, i + 1,
                                                            &absent);
@@ -91,91 +92,71 @@ StatusOr<std::vector<NodeMeta>> AdvancedEngine::RunSteps(
     }
 
     std::vector<NodeMeta> next;
-    if (first && from_document_root && step.axis == Step::Axis::kChild) {
-      // The root is the document node's only child: test it in place.
-      for (const NodeMeta& node : candidates) {
-        if (stats != nullptr) ++stats->candidates_examined;
-        if (step.kind == Step::Kind::kName) {
-          SSDB_ASSIGN_OR_RETURN(bool pass,
-                                internal::TestNode(filter_, node, value,
-                                                   mode));
-          if (!pass) continue;
-          SSDB_ASSIGN_OR_RETURN(bool future, ContainsAll(node,
-                                                         lookahead_rest));
-          if (!future) continue;
-        } else {
-          SSDB_ASSIGN_OR_RETURN(bool future, ContainsAll(node,
-                                                         lookahead_rest));
-          if (!future) continue;
-        }
-        next.push_back(node);
-      }
-    } else if (step.axis == Step::Axis::kChild) {
-      for (const NodeMeta& node : candidates) {
-        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
-                              filter_->Children(node));
-        for (const NodeMeta& child : children) {
-          if (stats != nullptr) ++stats->candidates_examined;
-          if (step.kind == Step::Kind::kName) {
-            SSDB_ASSIGN_OR_RETURN(
-                bool pass, internal::TestNode(filter_, child, value, mode));
-            if (!pass) continue;
-          }
-          SSDB_ASSIGN_OR_RETURN(bool future,
-                                ContainsAll(child, lookahead_rest));
-          if (!future) continue;
-          next.push_back(child);
+    if (step.axis == Step::Axis::kChild) {
+      // Step-level batching: expand the whole candidate set in one
+      // exchange, name-test the pool in one batch, then apply the
+      // look-ahead to the survivors (one exchange per remaining value).
+      std::vector<NodeMeta> pool;
+      if (first && from_document_root) {
+        // The root is the document node's only child: test it in place.
+        pool = candidates;
+      } else {
+        SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<NodeMeta>> child_lists,
+                              filter_->ChildrenBatch(candidates));
+        for (std::vector<NodeMeta>& children : child_lists) {
+          pool.insert(pool.end(), children.begin(), children.end());
         }
       }
+      if (stats != nullptr) stats->candidates_examined += pool.size();
+      if (step.kind == Step::Kind::kName) {
+        SSDB_ASSIGN_OR_RETURN(
+            pool, internal::TestNodes(filter_, std::move(pool), value, mode));
+      }
+      SSDB_ASSIGN_OR_RETURN(
+          next, FilterByLookahead(std::move(pool), lookahead_rest));
+    } else if (step.kind == Step::Kind::kWildcard) {
+      // No tag to prune on: expand all descendants (plus the node itself
+      // when stepping from the virtual document node, whose descendants
+      // include the root), filter by look-ahead in one batch.
+      std::vector<NodeMeta> pool;
+      if (first && from_document_root) {
+        pool = candidates;
+      }
+      for (const NodeMeta& node : candidates) {
+        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> descendants,
+                              filter_->Descendants(node));
+        pool.insert(pool.end(), descendants.begin(), descendants.end());
+      }
+      internal::Canonicalize(&pool);
+      if (stats != nullptr) stats->candidates_examined += pool.size();
+      SSDB_ASSIGN_OR_RETURN(
+          next, FilterByLookahead(std::move(pool), lookahead_rest));
     } else {
-      // Descendant step: pruned DFS. kWildcard with '//' degenerates to
-      // "all descendants that can still complete the query".
-      for (const NodeMeta& node : candidates) {
-        if (first && from_document_root &&
-            step.kind == Step::Kind::kName) {
-          // '//x' from the document node may match the root itself.
-          if (stats != nullptr) ++stats->candidates_examined;
-          SSDB_ASSIGN_OR_RETURN(bool self_contains,
-                                filter_->ContainsValue(node, value));
-          if (self_contains) {
-            SSDB_ASSIGN_OR_RETURN(bool future,
-                                  ContainsAll(node, lookahead_rest));
-            if (future) {
-              if (mode == MatchMode::kContainment) {
-                next.push_back(node);
-              } else {
-                SSDB_ASSIGN_OR_RETURN(bool self_is,
-                                      filter_->EqualsValue(node, value));
-                if (self_is) next.push_back(node);
-              }
-            }
-            SSDB_RETURN_IF_ERROR(DescendantSearch(
-                node, value, lookahead_rest, mode, stats, &next));
-          }
-          continue;
+      // Named descendant step: pruned level-order search.
+      if (first && from_document_root) {
+        // '//x' from the document node may match the root itself. One
+        // containment batch serves both the self-test and root pruning.
+        if (stats != nullptr) stats->candidates_examined += candidates.size();
+        SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                              filter_->ContainsValueBatch(candidates, value));
+        std::vector<NodeMeta> roots =
+            internal::ApplyMask(std::move(candidates), mask);
+        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> self_matches,
+                              FilterByLookahead(roots, lookahead_rest));
+        if (mode == MatchMode::kEquality && !self_matches.empty()) {
+          SSDB_ASSIGN_OR_RETURN(
+              std::vector<uint8_t> eq_mask,
+              filter_->EqualsValueBatch(self_matches, value));
+          self_matches =
+              internal::ApplyMask(std::move(self_matches), eq_mask);
         }
-        if (step.kind == Step::Kind::kWildcard) {
-          // No tag to prune on: expand all descendants (plus the node
-          // itself when stepping from the virtual document node, whose
-          // descendants include the root), filter by look-ahead.
-          if (first && from_document_root) {
-            if (stats != nullptr) ++stats->candidates_examined;
-            SSDB_ASSIGN_OR_RETURN(bool self_future,
-                                  ContainsAll(node, lookahead_rest));
-            if (self_future) next.push_back(node);
-          }
-          SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> descendants,
-                                filter_->Descendants(node));
-          for (const NodeMeta& d : descendants) {
-            if (stats != nullptr) ++stats->candidates_examined;
-            SSDB_ASSIGN_OR_RETURN(bool future,
-                                  ContainsAll(d, lookahead_rest));
-            if (future) next.push_back(d);
-          }
-          continue;
-        }
-        SSDB_RETURN_IF_ERROR(DescendantSearch(node, value, lookahead_rest,
+        next.insert(next.end(), self_matches.begin(), self_matches.end());
+        SSDB_RETURN_IF_ERROR(DescendantSearch(roots, value, lookahead_rest,
                                               mode, stats, &next));
+      } else {
+        SSDB_RETURN_IF_ERROR(DescendantSearch(candidates, value,
+                                              lookahead_rest, mode, stats,
+                                              &next));
       }
     }
     internal::Canonicalize(&next);
@@ -200,29 +181,45 @@ StatusOr<std::vector<NodeMeta>> AdvancedEngine::RunSteps(
 }
 
 Status AdvancedEngine::DescendantSearch(
-    const NodeMeta& node, gf::Elem value,
+    const std::vector<NodeMeta>& roots, gf::Elem value,
     const std::vector<gf::Elem>& lookahead, MatchMode mode,
     QueryStats* stats, std::vector<NodeMeta>* out) {
-  // Walk downwards while the subtree still contains `value` (§5.3 "//city").
-  SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
-                        filter_->Children(node));
-  for (const NodeMeta& child : children) {
-    if (stats != nullptr) ++stats->candidates_examined;
-    SSDB_ASSIGN_OR_RETURN(bool contains,
-                          filter_->ContainsValue(child, value));
-    if (!contains) continue;  // dead branch
-    SSDB_ASSIGN_OR_RETURN(bool future, ContainsAll(child, lookahead));
-    if (future) {
-      if (mode == MatchMode::kContainment) {
-        out->push_back(child);
-      } else {
-        SSDB_ASSIGN_OR_RETURN(bool is_match,
-                              filter_->EqualsValue(child, value));
-        if (is_match) out->push_back(child);
-      }
+  // Walk downwards level by level while subtrees still contain `value`
+  // (§5.3 "//city"). Each level is three batched exchanges — children,
+  // containment, look-ahead (plus equality in strict mode) — so the cost in
+  // round trips is bounded by the tree depth, never the branch count.
+  std::vector<NodeMeta> frontier = roots;
+  internal::Canonicalize(&frontier);
+  while (!frontier.empty()) {
+    SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<NodeMeta>> child_lists,
+                          filter_->ChildrenBatch(frontier));
+    std::vector<NodeMeta> level;
+    for (std::vector<NodeMeta>& children : child_lists) {
+      level.insert(level.end(), children.begin(), children.end());
     }
-    SSDB_RETURN_IF_ERROR(
-        DescendantSearch(child, value, lookahead, mode, stats, out));
+    internal::Canonicalize(&level);
+    if (level.empty()) break;
+    if (stats != nullptr) stats->candidates_examined += level.size();
+
+    // Prune dead branches: only children whose subtree still contains the
+    // value survive (and only they are descended into).
+    SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> contains_mask,
+                          filter_->ContainsValueBatch(level, value));
+    std::vector<NodeMeta> survivors =
+        internal::ApplyMask(std::move(level), contains_mask);
+
+    // Matches at this level: survivors that can also complete the rest of
+    // the query (and, in strict mode, whose own tag is the value).
+    SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> matches,
+                          FilterByLookahead(survivors, lookahead));
+    if (mode == MatchMode::kEquality && !matches.empty()) {
+      SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> eq_mask,
+                            filter_->EqualsValueBatch(matches, value));
+      matches = internal::ApplyMask(std::move(matches), eq_mask);
+    }
+    out->insert(out->end(), matches.begin(), matches.end());
+
+    frontier = std::move(survivors);
   }
   return Status::OK();
 }

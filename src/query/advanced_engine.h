@@ -40,13 +40,22 @@ class AdvancedEngine : public QueryEngine {
   StatusOr<bool> ContainsAll(const filter::NodeMeta& node,
                              const std::vector<gf::Elem>& values);
 
+  // Keeps the nodes whose subtree contains every value in `values` — one
+  // server exchange per value, not per node.
+  StatusOr<std::vector<filter::NodeMeta>> FilterByLookahead(
+      std::vector<filter::NodeMeta> nodes,
+      const std::vector<gf::Elem>& values);
+
   StatusOr<std::vector<filter::NodeMeta>> RunSteps(
       const std::vector<Step>& steps,
       std::vector<filter::NodeMeta> candidates, bool from_document_root,
       MatchMode mode, QueryStats* stats);
 
-  // Pruned DFS for a descendant step: collects matches under `node`.
-  Status DescendantSearch(const filter::NodeMeta& node, gf::Elem value,
+  // Pruned search for a descendant step, level by level: each tree level
+  // costs a constant number of server exchanges regardless of how many
+  // branches survive. Collects matches under (but excluding) `roots`.
+  Status DescendantSearch(const std::vector<filter::NodeMeta>& roots,
+                          gf::Elem value,
                           const std::vector<gf::Elem>& lookahead,
                           MatchMode mode, QueryStats* stats,
                           std::vector<filter::NodeMeta>* out);

@@ -23,6 +23,19 @@ void Canonicalize(std::vector<filter::NodeMeta>* nodes) {
                nodes->end());
 }
 
+StatusOr<std::vector<filter::NodeMeta>> TestNodes(
+    filter::ClientFilter* filter, std::vector<filter::NodeMeta> nodes,
+    gf::Elem value, MatchMode mode) {
+  if (nodes.empty()) return nodes;
+  std::vector<uint8_t> mask;
+  if (mode == MatchMode::kContainment) {
+    SSDB_ASSIGN_OR_RETURN(mask, filter->ContainsValueBatch(nodes, value));
+  } else {
+    SSDB_ASSIGN_OR_RETURN(mask, filter->EqualsValueBatch(nodes, value));
+  }
+  return ApplyMask(std::move(nodes), mask);
+}
+
 StatusOr<bool> TestNode(filter::ClientFilter* filter,
                         const filter::NodeMeta& node, gf::Elem value,
                         MatchMode mode) {
@@ -30,6 +43,30 @@ StatusOr<bool> TestNode(filter::ClientFilter* filter,
     return filter->ContainsValue(node, value);
   }
   return filter->EqualsValue(node, value);
+}
+
+std::vector<filter::NodeMeta> ApplyMask(std::vector<filter::NodeMeta> nodes,
+                                        const std::vector<uint8_t>& mask) {
+  std::vector<filter::NodeMeta> kept;
+  kept.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size() && i < mask.size(); ++i) {
+    if (mask[i]) kept.push_back(nodes[i]);
+  }
+  return kept;
+}
+
+void FillStatsDelta(const filter::EvalStats& before,
+                    const filter::EvalStats& after, QueryStats* stats) {
+  stats->eval.evaluations = after.evaluations - before.evaluations;
+  stats->eval.containment_tests =
+      after.containment_tests - before.containment_tests;
+  stats->eval.equality_tests = after.equality_tests - before.equality_tests;
+  stats->eval.shares_fetched = after.shares_fetched - before.shares_fetched;
+  stats->eval.nodes_visited = after.nodes_visited - before.nodes_visited;
+  stats->eval.server_calls = after.server_calls - before.server_calls;
+  stats->eval.round_trips = after.round_trips - before.round_trips;
+  stats->eval.batched_evaluations =
+      after.batched_evaluations - before.batched_evaluations;
 }
 
 }  // namespace internal

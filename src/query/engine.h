@@ -49,10 +49,27 @@ namespace internal {
 // Sorts by pre and removes duplicates.
 void Canonicalize(std::vector<filter::NodeMeta>* nodes);
 
-// Tests one node against a mapped tag value under the given mode.
+// Filters a whole candidate set against a mapped tag value under the given
+// mode — the step-level primitive of the batched pipeline: one joint server
+// exchange for containment, two for equality, independent of the number of
+// candidates.
+StatusOr<std::vector<filter::NodeMeta>> TestNodes(
+    filter::ClientFilter* filter, std::vector<filter::NodeMeta> nodes,
+    gf::Elem value, MatchMode mode);
+
+// Tests one node against a mapped tag value under the given mode (wrapper
+// over TestNodes for diagnostics and tests).
 StatusOr<bool> TestNode(filter::ClientFilter* filter,
                         const filter::NodeMeta& node, gf::Elem value,
                         MatchMode mode);
+
+// Keeps nodes[i] iff mask[i] != 0.
+std::vector<filter::NodeMeta> ApplyMask(std::vector<filter::NodeMeta> nodes,
+                                        const std::vector<uint8_t>& mask);
+
+// Fills stats->eval with the filter-counter delta across a query execution.
+void FillStatsDelta(const filter::EvalStats& before,
+                    const filter::EvalStats& after, QueryStats* stats);
 
 }  // namespace internal
 

@@ -23,14 +23,7 @@ StatusOr<std::vector<NodeMeta>> SimpleEngine::Execute(const Query& query,
     stats->seconds = watch.ElapsedSeconds();
     stats->result_size = result.size();
     // Delta of the filter's counters over this query.
-    filter::EvalStats after = filter_->stats();
-    stats->eval.evaluations = after.evaluations - before.evaluations;
-    stats->eval.containment_tests =
-        after.containment_tests - before.containment_tests;
-    stats->eval.equality_tests = after.equality_tests - before.equality_tests;
-    stats->eval.shares_fetched = after.shares_fetched - before.shares_fetched;
-    stats->eval.nodes_visited = after.nodes_visited - before.nodes_visited;
-    stats->eval.server_calls = after.server_calls - before.server_calls;
+    internal::FillStatsDelta(before, filter_->stats(), stats);
   }
   return result;
 }
@@ -69,9 +62,10 @@ StatusOr<std::vector<NodeMeta>> SimpleEngine::RunSteps(
         }
       }
     } else if (step.axis == Step::Axis::kChild) {
-      for (const NodeMeta& node : candidates) {
-        SSDB_ASSIGN_OR_RETURN(std::vector<NodeMeta> children,
-                              filter_->Children(node));
+      // One exchange expands the whole candidate set.
+      SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<NodeMeta>> child_lists,
+                            filter_->ChildrenBatch(candidates));
+      for (std::vector<NodeMeta>& children : child_lists) {
         expanded.insert(expanded.end(), children.begin(), children.end());
       }
     } else {
@@ -85,7 +79,8 @@ StatusOr<std::vector<NodeMeta>> SimpleEngine::RunSteps(
     internal::Canonicalize(&expanded);
     if (stats != nullptr) stats->candidates_examined += expanded.size();
 
-    // 2. Name filtering: exactly one test per candidate (§5.3 SimpleQuery).
+    // 2. Name filtering: one test per candidate (§5.3 SimpleQuery), issued
+    // as a single step-level batch — one server exchange for the whole set.
     std::vector<NodeMeta> filtered;
     if (step.kind == Step::Kind::kWildcard) {
       filtered = std::move(expanded);
@@ -96,11 +91,9 @@ StatusOr<std::vector<NodeMeta>> SimpleEngine::RunSteps(
         candidates.clear();
         return candidates;
       }
-      for (const NodeMeta& node : expanded) {
-        SSDB_ASSIGN_OR_RETURN(bool pass,
-                              internal::TestNode(filter_, node, *value, mode));
-        if (pass) filtered.push_back(node);
-      }
+      SSDB_ASSIGN_OR_RETURN(
+          filtered,
+          internal::TestNodes(filter_, std::move(expanded), *value, mode));
     }
 
     // 3. Predicate filtering (existence of the relative sub-path).

@@ -1,5 +1,7 @@
 #include "rpc/client.h"
 
+#include <algorithm>
+
 #include "rpc/wire.h"
 #include "util/varint.h"
 
@@ -86,15 +88,42 @@ StatusOr<gf::Elem> RemoteServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
   return static_cast<gf::Elem>(value);
 }
 
+StatusOr<std::vector<std::vector<filter::NodeMeta>>>
+RemoteServerFilter::ChildrenBatch(const std::vector<uint32_t>& pres) {
+  std::vector<std::vector<filter::NodeMeta>> all;
+  all.reserve(pres.size());
+  for (size_t begin = 0; begin < pres.size(); begin += kChildrenChunk) {
+    size_t end = std::min(begin + kChildrenChunk, pres.size());
+    Request request;
+    request.op = Op::kChildrenBatch;
+    request.pres.assign(pres.begin() + begin, pres.begin() + end);
+    SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+    std::string_view view = payload;
+    for (size_t i = begin; i < end; ++i) {
+      SSDB_ASSIGN_OR_RETURN(std::vector<filter::NodeMeta> metas,
+                            ConsumeNodeMetas(&view));
+      all.push_back(std::move(metas));
+    }
+  }
+  return all;
+}
+
 StatusOr<std::vector<gf::Elem>> RemoteServerFilter::EvalAtBatch(
     const std::vector<uint32_t>& pres, gf::Elem t) {
-  Request request;
-  request.op = Op::kEvalAtBatch;
-  request.pres = pres;
-  request.point = t;
-  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
-  std::string_view view = payload;
-  return ConsumeElems(&view);
+  std::vector<gf::Elem> all;
+  all.reserve(pres.size());
+  for (size_t begin = 0; begin < pres.size(); begin += kEvalChunk) {
+    size_t end = std::min(begin + kEvalChunk, pres.size());
+    Request request;
+    request.op = Op::kEvalAtBatch;
+    request.pres.assign(pres.begin() + begin, pres.begin() + end);
+    request.point = t;
+    SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+    std::string_view view = payload;
+    SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> chunk, ConsumeElems(&view));
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
 }
 
 StatusOr<std::vector<gf::Elem>> RemoteServerFilter::EvalPointsBatch(
@@ -117,6 +146,28 @@ StatusOr<gf::RingElem> RemoteServerFilter::FetchShare(uint32_t pre) {
   std::string_view share_bytes;
   SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&view, &share_bytes));
   return ring_.Deserialize(share_bytes);
+}
+
+StatusOr<std::vector<gf::RingElem>> RemoteServerFilter::FetchShareBatch(
+    const std::vector<uint32_t>& pres) {
+  std::vector<gf::RingElem> all;
+  all.reserve(pres.size());
+  for (size_t begin = 0; begin < pres.size(); begin += kShareChunk) {
+    size_t end = std::min(begin + kShareChunk, pres.size());
+    Request request;
+    request.op = Op::kFetchShareBatch;
+    request.pres.assign(pres.begin() + begin, pres.begin() + end);
+    SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+    std::string_view view = payload;
+    for (size_t i = begin; i < end; ++i) {
+      std::string_view share_bytes;
+      SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&view, &share_bytes));
+      SSDB_ASSIGN_OR_RETURN(gf::RingElem share,
+                            ring_.Deserialize(share_bytes));
+      all.push_back(std::move(share));
+    }
+  }
+  return all;
 }
 
 StatusOr<std::string> RemoteServerFilter::FetchSealed(uint32_t pre) {

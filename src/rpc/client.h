@@ -21,6 +21,8 @@ class RemoteServerFilter : public filter::ServerFilter {
   StatusOr<filter::NodeMeta> Root() override;
   StatusOr<filter::NodeMeta> GetNode(uint32_t pre) override;
   StatusOr<std::vector<filter::NodeMeta>> Children(uint32_t pre) override;
+  StatusOr<std::vector<std::vector<filter::NodeMeta>>> ChildrenBatch(
+      const std::vector<uint32_t>& pres) override;
   StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
                                           uint32_t post) override;
   StatusOr<std::vector<filter::NodeMeta>> NextNodes(uint64_t cursor,
@@ -32,14 +34,24 @@ class RemoteServerFilter : public filter::ServerFilter {
   StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
       uint32_t pre, const std::vector<gf::Elem>& points) override;
   StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
+  StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
+      const std::vector<uint32_t>& pres) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
+  uint64_t RoundTrips() const override { return round_trips_; }
 
   // Asks the server to stop serving, then closes the channel.
   Status Shutdown();
 
   uint64_t round_trips() const { return round_trips_; }
   const Channel& channel() const { return *channel_; }
+
+  // Large batches are streamed in bounded chunks of this many nodes per
+  // request frame, keeping any single frame well under kMaxFrameBytes while
+  // still costing O(batch / chunk) round trips instead of O(batch).
+  static constexpr size_t kEvalChunk = 16384;
+  static constexpr size_t kShareChunk = 2048;   // full polynomials are wide
+  static constexpr size_t kChildrenChunk = 8192;
 
  private:
   // Sends one request and returns the response payload.

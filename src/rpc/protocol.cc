@@ -3,6 +3,34 @@
 #include "util/varint.h"
 
 namespace ssdb::rpc {
+namespace {
+
+// Shared count-prefixed varint-list codec for the batch ops. The decode
+// side rejects counts that cannot fit in the remaining bytes (each element
+// is at least one byte), so a tiny malformed frame cannot force a huge
+// allocation.
+void AppendVarintList(std::string* out, const std::vector<uint32_t>& values) {
+  PutVarint64(out, values.size());
+  for (uint32_t value : values) PutVarint64(out, value);
+}
+
+template <typename T>
+Status ConsumeVarintList(std::string_view* data, std::vector<T>* out) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(data, &count));
+  if (count > data->size()) {
+    return Status::Corruption("batch count exceeds frame size");
+  }
+  out->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    SSDB_RETURN_IF_ERROR(GetVarint64(data, &v));
+    (*out)[i] = static_cast<T>(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 std::string EncodeRequest(const Request& request) {
   std::string out;
@@ -33,18 +61,18 @@ std::string EncodeRequest(const Request& request) {
       PutVarint64(&out, request.pre);
       PutVarint64(&out, request.point);
       break;
-    case Op::kEvalAtBatch: {
+    case Op::kEvalAtBatch:
       PutVarint64(&out, request.point);
-      PutVarint64(&out, request.pres.size());
-      for (uint32_t pre : request.pres) PutVarint64(&out, pre);
+      AppendVarintList(&out, request.pres);
       break;
-    }
-    case Op::kEvalPointsBatch: {
+    case Op::kFetchShareBatch:
+    case Op::kChildrenBatch:
+      AppendVarintList(&out, request.pres);
+      break;
+    case Op::kEvalPointsBatch:
       PutVarint64(&out, request.pre);
-      PutVarint64(&out, request.points.size());
-      for (gf::Elem point : request.points) PutVarint64(&out, point);
+      AppendVarintList(&out, request.points);
       break;
-    }
   }
   return out;
 }
@@ -86,30 +114,20 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
       SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
       request.point = static_cast<gf::Elem>(v);
       break;
-    case Op::kEvalAtBatch: {
+    case Op::kEvalAtBatch:
       SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
       request.point = static_cast<gf::Elem>(v);
-      uint64_t count = 0;
-      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &count));
-      request.pres.resize(count);
-      for (uint64_t i = 0; i < count; ++i) {
-        SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
-        request.pres[i] = static_cast<uint32_t>(v);
-      }
+      SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.pres));
       break;
-    }
-    case Op::kEvalPointsBatch: {
+    case Op::kEvalPointsBatch:
       SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
       request.pre = static_cast<uint32_t>(v);
-      uint64_t count = 0;
-      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &count));
-      request.points.resize(count);
-      for (uint64_t i = 0; i < count; ++i) {
-        SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
-        request.points[i] = static_cast<gf::Elem>(v);
-      }
+      SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.points));
       break;
-    }
+    case Op::kFetchShareBatch:
+    case Op::kChildrenBatch:
+      SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.pres));
+      break;
     default:
       return Status::Corruption("unknown op " +
                                 std::to_string(static_cast<int>(request.op)));

@@ -32,6 +32,8 @@ enum class Op : uint8_t {
   kShutdown = 11,  // graceful server stop
   kEvalPointsBatch = 12,
   kFetchSealed = 13,
+  kFetchShareBatch = 14,
+  kChildrenBatch = 15,
 };
 
 struct Request {

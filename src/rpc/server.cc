@@ -75,6 +75,22 @@ StatusOr<std::string> Dispatch(const gf::Ring& ring,
       PutLengthPrefixed(&payload, ring.Serialize(share));
       return payload;
     }
+    case Op::kFetchShareBatch: {
+      SSDB_ASSIGN_OR_RETURN(std::vector<gf::RingElem> shares,
+                            filter->FetchShareBatch(request.pres));
+      for (const gf::RingElem& share : shares) {
+        PutLengthPrefixed(&payload, ring.Serialize(share));
+      }
+      return payload;
+    }
+    case Op::kChildrenBatch: {
+      SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<filter::NodeMeta>> lists,
+                            filter->ChildrenBatch(request.pres));
+      for (const std::vector<filter::NodeMeta>& metas : lists) {
+        AppendNodeMetas(&payload, metas);
+      }
+      return payload;
+    }
     case Op::kFetchSealed: {
       SSDB_ASSIGN_OR_RETURN(std::string sealed,
                             filter->FetchSealed(request.pre));

@@ -41,7 +41,8 @@ TEST(ProtocolTest, RequestRoundTripAllOps) {
   for (Op op : {Op::kRoot, Op::kGetNode, Op::kChildren, Op::kOpenCursor,
                 Op::kNextNodes, Op::kCloseCursor, Op::kEvalAt,
                 Op::kEvalAtBatch, Op::kFetchShare, Op::kNodeCount,
-                Op::kShutdown}) {
+                Op::kShutdown, Op::kEvalPointsBatch, Op::kFetchSealed,
+                Op::kFetchShareBatch, Op::kChildrenBatch}) {
     Request request;
     request.op = op;
     request.pre = 12;
@@ -50,12 +51,31 @@ TEST(ProtocolTest, RequestRoundTripAllOps) {
     request.batch = 78;
     request.point = 9;
     request.pres = {1, 2, 3};
+    request.points = {4, 5};
     auto decoded = DecodeRequest(EncodeRequest(request));
     ASSERT_TRUE(decoded.ok()) << static_cast<int>(op);
     EXPECT_EQ(decoded->op, op);
   }
   EXPECT_FALSE(DecodeRequest("").ok());
   EXPECT_FALSE(DecodeRequest("\x63junk").ok());
+}
+
+TEST(ProtocolTest, HugeBatchCountRejectedWithoutAllocation) {
+  // A tiny frame claiming a 2^60-element batch must decode to Corruption,
+  // not attempt the allocation.
+  for (Op op : {Op::kEvalAtBatch, Op::kEvalPointsBatch, Op::kFetchShareBatch,
+                Op::kChildrenBatch}) {
+    std::string frame;
+    frame.push_back(static_cast<char>(op));
+    if (op == Op::kEvalAtBatch || op == Op::kEvalPointsBatch) {
+      frame.push_back(1);  // leading point/pre varint
+    }
+    // varint for 2^60.
+    for (int i = 0; i < 8; ++i) frame.push_back(static_cast<char>(0x80));
+    frame.push_back(0x10);
+    auto decoded = DecodeRequest(frame);
+    EXPECT_FALSE(decoded.ok()) << static_cast<int>(op);
+  }
 }
 
 TEST(ProtocolTest, ResponseEnvelope) {
@@ -103,6 +123,21 @@ TEST(RemoteFilterTest, MatchesLocalOverInProcessChannel) {
   EXPECT_EQ(*points, *local_points);
 
   EXPECT_EQ(*remote.FetchShare(2), *db->server->FetchShare(2));
+
+  // Multi-node batch ops match their scalar loops.
+  auto share_batch = remote.FetchShareBatch({1, 2, 3});
+  ASSERT_TRUE(share_batch.ok());
+  ASSERT_EQ(share_batch->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*share_batch)[i],
+              *db->server->FetchShare(static_cast<uint32_t>(i + 1)));
+  }
+  auto children_batch = remote.ChildrenBatch({1, 2});
+  auto local_children_batch = db->server->ChildrenBatch({1, 2});
+  ASSERT_TRUE(children_batch.ok() && local_children_batch.ok());
+  EXPECT_EQ(*children_batch, *local_children_batch);
+  EXPECT_TRUE(remote.ChildrenBatch({})->empty());
+  EXPECT_TRUE(remote.FetchShareBatch({})->empty());
 
   // Cursor pipeline across the wire.
   auto cursor = remote.OpenDescendantCursor(local_root->pre,
