@@ -1,36 +1,47 @@
 // Ablation A3: communication-layer overhead — the same query executed
 // against (a) the local in-process filter, (b) the RPC stack over an
-// in-process channel, and (c) the RPC stack over a unix-domain socket
-// (the stand-in for the paper's RMI deployment). Reports wall time, round
-// trips and bytes moved.
+// in-process channel, (c) the RPC stack over a unix-domain socket (the
+// stand-in for the paper's RMI deployment), and (d) m-server share fan-out
+// over m sockets for m = 1, 2, 4 (DESIGN.md §5). Reports wall time, round
+// trips (straggler-counted under fan-out) and bytes moved, then one
+// machine-readable JSON line for trajectory tracking.
+//
+//   bench_rpc [--servers m]   # restrict the fan-out rows to one m
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "rpc/client.h"
+#include "rpc/multi_session.h"
 #include "rpc/server.h"
 #include "rpc/socket_channel.h"
+#include "tools/tool_util.h"
 
 namespace ssdb::bench {
 namespace {
 
 struct Measurement {
+  std::string transport;
+  uint32_t servers = 1;
   double ms = 0;
   uint64_t round_trips = 0;
   uint64_t bytes = 0;
   size_t results = 0;
   uint64_t batched_evals = 0;
   uint64_t candidates = 0;
+  double straggler_ms = 0;
+  bool has_bytes = false;
 };
 
 Measurement RunWith(BenchDb* db, filter::ServerFilter* server,
-                    rpc::RemoteServerFilter* remote,
                     const std::string& text) {
-  filter::ClientFilter client(db->db->ring(), prg::Prg(prg::Seed::FromUint64(42)),
-                              server);
+  filter::ClientFilter client(db->db->ring(),
+                              prg::Prg(prg::Seed::FromUint64(42)), server);
   query::AdvancedEngine engine(&client, &db->map);
   auto parsed = *query::ParseQuery(text);
   Stopwatch watch;
@@ -43,21 +54,102 @@ Measurement RunWith(BenchDb* db, filter::ServerFilter* server,
   m.results = result->size();
   m.batched_evals = stats.eval.batched_evaluations;
   m.candidates = stats.candidates_examined;
-  // Wire-level truth when remote; the filter's mirrored counter locally.
-  m.round_trips = remote != nullptr ? remote->round_trips()
-                                    : stats.eval.round_trips;
-  if (remote != nullptr) {
-    m.bytes = remote->channel().bytes_sent() +
-              remote->channel().bytes_received();
-  }
+  m.round_trips = stats.eval.round_trips;
+  m.straggler_ms = stats.eval.straggler_seconds * 1e3;
   return m;
 }
 
-void Run() {
+void PrintRow(const Measurement& m) {
+  char bytes[32];
+  if (m.has_bytes) {
+    std::snprintf(bytes, sizeof(bytes), "%llu",
+                  static_cast<unsigned long long>(m.bytes));
+  } else {
+    std::snprintf(bytes, sizeof(bytes), "-");
+  }
+  std::printf("%-22s %-12.1f %-14llu %-14llu %-14llu %-12s %-10zu\n",
+              m.transport.c_str(), m.ms,
+              static_cast<unsigned long long>(m.round_trips),
+              static_cast<unsigned long long>(m.batched_evals),
+              static_cast<unsigned long long>(m.candidates), bytes,
+              m.results);
+}
+
+void PrintJson(const std::string& query, const std::vector<Measurement>& rows) {
+  std::printf("BENCH_JSON {\"bench\":\"rpc\",\"query\":\"%s\",\"rows\":[",
+              query.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    char bytes[32];
+    if (m.has_bytes) {
+      std::snprintf(bytes, sizeof(bytes), "%llu",
+                    static_cast<unsigned long long>(m.bytes));
+    } else {
+      std::snprintf(bytes, sizeof(bytes), "null");  // not measured locally
+    }
+    std::printf(
+        "%s{\"transport\":\"%s\",\"servers\":%u,\"ms\":%.3f,"
+        "\"round_trips\":%llu,\"batched_evals\":%llu,\"candidates\":%llu,"
+        "\"bytes\":%s,\"results\":%zu,\"straggler_ms\":%.3f}",
+        i == 0 ? "" : ",", m.transport.c_str(), m.servers, m.ms,
+        static_cast<unsigned long long>(m.round_trips),
+        static_cast<unsigned long long>(m.batched_evals),
+        static_cast<unsigned long long>(m.candidates), bytes, m.results,
+        m.straggler_ms);
+  }
+  std::printf("]}\n");
+}
+
+// One ssdb_server stand-in per share slice: accepts a single connection on
+// its own socket and serves that slice until shutdown.
+struct SliceServers {
+  std::vector<std::string> paths;
+  std::vector<std::thread> threads;
+
+  SliceServers(BenchDb* db, uint32_t servers) {
+    for (uint32_t i = 0; i < servers; ++i) {
+      paths.push_back("/tmp/ssdb_bench_rpc_" + std::to_string(::getpid()) +
+                      "_s" + std::to_string(i) + ".sock");
+      auto listener = *rpc::UnixServerSocket::Listen(paths.back());
+      threads.emplace_back(
+          [db, i, listener = std::move(listener)]() mutable {
+            auto channel = listener->Accept();
+            if (!channel.ok()) return;
+            db->db->ServeSlice(i, channel->get());
+          });
+    }
+  }
+
+  void Join() {
+    for (std::thread& thread : threads) thread.join();
+  }
+};
+
+Measurement RunMultiServer(uint64_t target_bytes, uint32_t servers,
+                           const std::string& query) {
+  auto db = BuildXmarkDb(target_bytes, 42, servers);
+  SliceServers slice_servers(db.get(), servers);
+  auto session =
+      *rpc::MultiServerSession::ConnectUnix(db->db->ring(),
+                                            slice_servers.paths);
+  Measurement m = RunWith(db.get(), session->filter(), query);
+  m.transport = "rpc/" + std::to_string(servers) + "-server";
+  m.servers = servers;
+  m.bytes = session->bytes_on_wire();
+  m.has_bytes = true;
+  SSDB_CHECK_OK(session->Shutdown());
+  slice_servers.Join();
+  return m;
+}
+
+void Run(int argc, char** argv) {
+  tools::Args args(argc, argv);
+  uint32_t only_servers = args.GetInt("--servers", 0);
   double scale = BenchScale();
-  auto db = BuildXmarkDb(
-      static_cast<uint64_t>(scale * (512 << 10)));
+  uint64_t target_bytes = static_cast<uint64_t>(scale * (512 << 10));
+  auto db = BuildXmarkDb(target_bytes);
   const std::string query = "/site/*/person//city";
+  std::vector<Measurement> rows;
 
   PrintHeader("Ablation A3: transport overhead for " + query);
   std::printf("%-22s %-12s %-14s %-14s %-14s %-12s %-10s\n", "transport",
@@ -65,14 +157,10 @@ void Run() {
               "bytes", "results");
 
   // (a) Local, no RPC.
-  Measurement local = RunWith(db.get(), db->db->server_filter(), nullptr,
-                              query);
-  std::printf("%-22s %-12.1f %-14llu %-14llu %-14llu %-12s %-10zu\n",
-              "local", local.ms,
-              static_cast<unsigned long long>(local.round_trips),
-              static_cast<unsigned long long>(local.batched_evals),
-              static_cast<unsigned long long>(local.candidates), "-",
-              local.results);
+  Measurement local = RunWith(db.get(), db->db->server_filter(), query);
+  local.transport = "local";
+  PrintRow(local);
+  rows.push_back(local);
 
   // (b) In-process channel.
   {
@@ -80,16 +168,15 @@ void Run() {
     rpc::ServerThread server_thread(db->db->ring(), db->db->server_filter(),
                                     std::move(pair.server));
     rpc::RemoteServerFilter remote(db->db->ring(), std::move(pair.client));
-    Measurement m = RunWith(db.get(), &remote, &remote, query);
-    std::printf("%-22s %-12.1f %-14llu %-14llu %-14llu %-12llu %-10zu\n",
-                "rpc/in-process", m.ms,
-                static_cast<unsigned long long>(m.round_trips),
-                static_cast<unsigned long long>(m.batched_evals),
-                static_cast<unsigned long long>(m.candidates),
-                static_cast<unsigned long long>(m.bytes), m.results);
+    Measurement m = RunWith(db.get(), &remote, query);
+    m.transport = "rpc/in-process";
+    m.bytes = remote.channel().bytes_sent() + remote.channel().bytes_received();
+    m.has_bytes = true;
+    PrintRow(m);
+    rows.push_back(m);
   }
 
-  // (c) Unix-domain socket.
+  // (c) Unix-domain socket, single server.
   {
     std::string path =
         "/tmp/ssdb_bench_rpc_" + std::to_string(::getpid()) + ".sock";
@@ -102,28 +189,39 @@ void Run() {
     });
     auto channel = *rpc::ConnectUnix(path);
     rpc::RemoteServerFilter remote(db->db->ring(), std::move(channel));
-    Measurement m = RunWith(db.get(), &remote, &remote, query);
-    std::printf("%-22s %-12.1f %-14llu %-14llu %-14llu %-12llu %-10zu\n",
-                "rpc/unix-socket", m.ms,
-                static_cast<unsigned long long>(m.round_trips),
-                static_cast<unsigned long long>(m.batched_evals),
-                static_cast<unsigned long long>(m.candidates),
-                static_cast<unsigned long long>(m.bytes), m.results);
+    Measurement m = RunWith(db.get(), &remote, query);
+    m.transport = "rpc/unix-socket";
+    m.bytes = remote.channel().bytes_sent() + remote.channel().bytes_received();
+    m.has_bytes = true;
+    PrintRow(m);
+    rows.push_back(m);
     SSDB_CHECK_OK(remote.Shutdown());
     server_thread.join();
   }
 
+  // (d) m-server share fan-out over m sockets (DESIGN.md §5). Round trips
+  // must not grow with m: fan-out is concurrent, so each query step still
+  // costs one step of latency and the counter reports the straggler.
+  for (uint32_t servers : {1u, 2u, 4u}) {
+    if (only_servers != 0 && servers != only_servers) continue;
+    Measurement m = RunMultiServer(target_bytes, servers, query);
+    PrintRow(m);
+    rows.push_back(m);
+  }
+
   std::printf(
-      "\nAll three transports must return identical result sets; the\n"
-      "deltas are pure communication cost (the paper's RMI hop). With the\n"
-      "batched pipeline, round trips track query steps x tree depth, not\n"
-      "the number of candidates examined.\n");
+      "\nAll transports must return identical result sets; the deltas are\n"
+      "pure communication cost (the paper's RMI hop). With the batched\n"
+      "pipeline, round trips track query steps x tree depth, not the number\n"
+      "of candidates examined; with m-server fan-out they stay equal to the\n"
+      "single-server case while total bytes scale with m.\n\n");
+  PrintJson(query, rows);
 }
 
 }  // namespace
 }  // namespace ssdb::bench
 
-int main() {
-  ssdb::bench::Run();
+int main(int argc, char** argv) {
+  ssdb::bench::Run(argc, argv);
   return 0;
 }

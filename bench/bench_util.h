@@ -27,9 +27,11 @@ struct BenchDb {
 };
 
 // Builds a memory-backend encrypted database over a fresh XMark document of
-// roughly `target_bytes` of XML.
+// roughly `target_bytes` of XML; `servers` > 1 splits the share across that
+// many slice stores (DESIGN.md §5).
 inline std::unique_ptr<BenchDb> BuildXmarkDb(uint64_t target_bytes,
-                                             uint64_t seed = 42) {
+                                             uint64_t seed = 42,
+                                             uint32_t servers = 1) {
   auto field = *gf::Field::Make(83);
   auto map = core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
                                                       field, false);
@@ -46,9 +48,10 @@ inline std::unique_ptr<BenchDb> BuildXmarkDb(uint64_t target_bytes,
   bench_db->doc = std::move(*doc);
   xml::AnnotatePrePost(&bench_db->doc);
 
+  core::DatabaseOptions options;
+  options.servers = servers;
   auto db = core::EncryptedXmlDatabase::Encode(
-      bench_db->xml, bench_db->map, prg::Seed::FromUint64(seed),
-      core::DatabaseOptions{});
+      bench_db->xml, bench_db->map, prg::Seed::FromUint64(seed), options);
   SSDB_CHECK(db.ok()) << db.status().ToString();
   bench_db->db = std::move(*db);
   return bench_db;

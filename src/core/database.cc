@@ -33,25 +33,48 @@ StatusOr<std::unique_ptr<EncryptedXmlDatabase>> EncryptedXmlDatabase::Encode(
   auto db = std::unique_ptr<EncryptedXmlDatabase>(
       new EncryptedXmlDatabase(ring, map));
 
-  if (options.backend == Backend::kDisk) {
-    if (options.disk_path.empty()) {
-      return Status::InvalidArgument("disk backend requires disk_path");
+  const uint32_t servers = options.servers == 0 ? 1 : options.servers;
+  if (servers > kMaxServers) {
+    return Status::InvalidArgument("servers exceeds kMaxServers (" +
+                                   std::to_string(kMaxServers) + ")");
+  }
+  for (uint32_t i = 0; i < servers; ++i) {
+    if (options.backend == Backend::kDisk) {
+      if (options.disk_path.empty()) {
+        return Status::InvalidArgument("disk backend requires disk_path");
+      }
+      storage::DiskStoreOptions disk_options;
+      disk_options.buffer_pool_pages = options.buffer_pool_pages;
+      SSDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<storage::NodeStore> store,
+          storage::DiskNodeStore::Create(
+              ShareSlicePath(options.disk_path, i, servers), disk_options));
+      db->stores_.push_back(std::move(store));
+    } else {
+      db->stores_.push_back(std::make_unique<storage::MemoryNodeStore>());
     }
-    storage::DiskStoreOptions disk_options;
-    disk_options.buffer_pool_pages = options.buffer_pool_pages;
-    SSDB_ASSIGN_OR_RETURN(
-        db->store_,
-        storage::DiskNodeStore::Create(options.disk_path, disk_options));
-  } else {
-    db->store_ = std::make_unique<storage::MemoryNodeStore>();
   }
 
-  encode::Encoder encoder(ring, db->map_, prg::Prg(seed), db->store_.get(),
+  std::vector<storage::NodeStore*> store_ptrs;
+  for (const auto& store : db->stores_) store_ptrs.push_back(store.get());
+  encode::Encoder encoder(ring, db->map_, prg::Prg(seed), store_ptrs,
                           options.encode);
   SSDB_ASSIGN_OR_RETURN(db->encode_result_, encoder.EncodeString(xml));
 
-  db->server_ =
-      std::make_unique<filter::LocalServerFilter>(ring, db->store_.get());
+  if (servers == 1) {
+    db->server_ = std::make_unique<filter::LocalServerFilter>(
+        ring, db->stores_[0].get());
+  } else {
+    std::vector<filter::ServerFilter*> backends;
+    for (const auto& store : db->stores_) {
+      db->backends_.push_back(
+          std::make_unique<filter::LocalServerFilter>(ring, store.get()));
+      backends.push_back(db->backends_.back().get());
+    }
+    db->server_ = std::make_unique<filter::MultiServerFilter>(
+        ring, std::move(backends));
+  }
+  db->server_view_ = db->server_.get();
   db->BuildEngines(seed);
   return db;
 }
@@ -67,13 +90,31 @@ EncryptedXmlDatabase::ConnectRemote(std::unique_ptr<rpc::Channel> channel,
       new EncryptedXmlDatabase(ring, map));
   db->server_ = std::make_unique<rpc::RemoteServerFilter>(
       ring, std::move(channel));
+  db->server_view_ = db->server_.get();
+  db->BuildEngines(seed);
+  return db;
+}
+
+StatusOr<std::unique_ptr<EncryptedXmlDatabase>>
+EncryptedXmlDatabase::ConnectRemoteMulti(
+    std::vector<std::unique_ptr<rpc::Channel>> channels,
+    const mapping::TagMap& map, const prg::Seed& seed, uint32_t p,
+    uint32_t e) {
+  SSDB_ASSIGN_OR_RETURN(gf::Field field, gf::Field::Make(p, e));
+  gf::Ring ring(field);
+  auto db = std::unique_ptr<EncryptedXmlDatabase>(
+      new EncryptedXmlDatabase(ring, map));
+  SSDB_ASSIGN_OR_RETURN(
+      db->session_,
+      rpc::MultiServerSession::FromChannels(ring, std::move(channels)));
+  db->server_view_ = db->session_->filter();
   db->BuildEngines(seed);
   return db;
 }
 
 void EncryptedXmlDatabase::BuildEngines(const prg::Seed& seed) {
   client_ = std::make_unique<filter::ClientFilter>(ring_, prg::Prg(seed),
-                                                   server_.get());
+                                                   server_view_);
   simple_ = std::make_unique<query::SimpleEngine>(client_.get(), &map_);
   advanced_ = std::make_unique<query::AdvancedEngine>(client_.get(), &map_);
 }
@@ -98,10 +139,19 @@ StatusOr<QueryResult> EncryptedXmlDatabase::QueryParsed(
 }
 
 Status EncryptedXmlDatabase::Serve(rpc::Channel* channel) {
-  if (server_ == nullptr) {
+  if (server_view_ == nullptr) {
     return Status::FailedPrecondition("no server filter attached");
   }
-  rpc::RpcServer server(ring_, server_.get());
+  rpc::RpcServer server(ring_, server_view_);
+  return server.Serve(channel);
+}
+
+Status EncryptedXmlDatabase::ServeSlice(size_t index, rpc::Channel* channel) {
+  if (index >= stores_.size()) {
+    return Status::InvalidArgument("no such share slice");
+  }
+  filter::LocalServerFilter slice_filter(ring_, stores_[index].get());
+  rpc::RpcServer server(ring_, &slice_filter);
   return server.Serve(channel);
 }
 

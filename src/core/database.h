@@ -1,8 +1,9 @@
 // EncryptedXmlDatabase — the library's public facade tying the full pipeline
-// together (fig. 3): encode a plaintext XML document into secret-shared
-// polynomials on a storage backend, then answer XPath-subset queries with
-// either search strategy and either matching rule, locally or across a
-// client/server channel.
+// together (fig. 3, DESIGN.md §1): encode a plaintext XML document into
+// secret-shared polynomials on one or more storage backends
+// (DatabaseOptions::servers selects the m-server split of DESIGN.md §5),
+// then answer XPath-subset queries with either search strategy and either
+// matching rule, locally or across client/server channels.
 //
 // Quickstart:
 //   auto field = gf::Field::Make(83).value();
@@ -30,7 +31,9 @@
 #include "query/engine.h"
 #include "query/simple_engine.h"
 #include "query/xpath.h"
+#include "filter/multi_server_filter.h"
 #include "rpc/channel.h"
+#include "rpc/multi_session.h"
 #include "rpc/server.h"
 #include "storage/node_store.h"
 #include "util/statusor.h"
@@ -62,6 +65,14 @@ class EncryptedXmlDatabase {
       std::unique_ptr<rpc::Channel> channel, const mapping::TagMap& map,
       const prg::Seed& seed, uint32_t p, uint32_t e);
 
+  // m-server variant (DESIGN.md §5): channel i must reach the server
+  // holding share slice i. Evaluations fan out to every channel
+  // concurrently and the replies are summed client-side.
+  static StatusOr<std::unique_ptr<EncryptedXmlDatabase>> ConnectRemoteMulti(
+      std::vector<std::unique_ptr<rpc::Channel>> channels,
+      const mapping::TagMap& map, const prg::Seed& seed, uint32_t p,
+      uint32_t e);
+
   // Parses and runs a query.
   StatusOr<QueryResult> Query(std::string_view xpath, EngineKind engine,
                               query::MatchMode mode);
@@ -75,20 +86,38 @@ class EncryptedXmlDatabase {
     return encode_result_;
   }
 
-  // Local-mode accessors (null in remote mode).
-  storage::NodeStore* store() { return store_.get(); }
+  // Local-mode accessors (null in remote mode). store() is the primary
+  // (slice 0) store; slice_store(i) reaches the other slices of an
+  // m-server encode.
+  storage::NodeStore* store() {
+    return stores_.empty() ? nullptr : stores_[0].get();
+  }
+  storage::NodeStore* slice_store(size_t i) {
+    return i < stores_.size() ? stores_[i].get() : nullptr;
+  }
+  size_t server_count() const {
+    if (!stores_.empty()) return stores_.size();
+    if (session_ != nullptr) return session_->server_count();
+    return server_view_ != nullptr ? 1 : 0;
+  }
   filter::ClientFilter* client_filter() { return client_.get(); }
-  filter::ServerFilter* server_filter() { return server_.get(); }
+  filter::ServerFilter* server_filter() { return server_view_; }
 
-  // Total server exchanges so far (wire round trips in remote mode); the
-  // per-query delta is reported in QueryStats.eval.round_trips.
+  // Total server exchanges so far (wire round trips in remote mode,
+  // straggler-counted under multi-server fan-out); the per-query delta is
+  // reported in QueryStats.eval.round_trips.
   uint64_t server_round_trips() const {
-    return server_ == nullptr ? 0 : server_->RoundTrips();
+    return server_view_ == nullptr ? 0 : server_view_->RoundTrips();
   }
 
   // Serves this database's server side over a channel (blocking). The peer
   // is typically another process using ConnectRemote.
   Status Serve(rpc::Channel* channel);
+
+  // Serves exactly one share slice of an m-server encode (blocking) — what
+  // a real deployment's per-host ssdb_server process does. The peer is one
+  // of the channels a ConnectRemoteMulti client holds.
+  Status ServeSlice(size_t index, rpc::Channel* channel);
 
  private:
   explicit EncryptedXmlDatabase(gf::Ring ring, mapping::TagMap map)
@@ -99,8 +128,16 @@ class EncryptedXmlDatabase {
   gf::Ring ring_;
   mapping::TagMap map_;
   encode::EncodeResult encode_result_;
-  std::unique_ptr<storage::NodeStore> store_;
+  // Local mode: stores_[i] holds share slice i; backends_ the per-slice
+  // filters when m > 1; server_ the filter the client stack talks to (a
+  // LocalServerFilter, RemoteServerFilter, or MultiServerFilter).
+  std::vector<std::unique_ptr<storage::NodeStore>> stores_;
+  std::vector<std::unique_ptr<filter::ServerFilter>> backends_;
   std::unique_ptr<filter::ServerFilter> server_;
+  // Remote multi mode: the session owns the channels and the fan-out.
+  std::unique_ptr<rpc::MultiServerSession> session_;
+  // Always points at the active server filter (server_ or the session's).
+  filter::ServerFilter* server_view_ = nullptr;
   std::unique_ptr<filter::ClientFilter> client_;
   std::unique_ptr<query::SimpleEngine> simple_;
   std::unique_ptr<query::AdvancedEngine> advanced_;

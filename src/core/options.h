@@ -10,6 +10,11 @@
 
 namespace ssdb::core {
 
+// Upper bound on DatabaseOptions::servers — far below the PRG's 2^16-slice
+// nonce space, and a sanity guard against a typo'd flag allocating
+// thousands of stores.
+inline constexpr uint32_t kMaxServers = 256;
+
 enum class Backend {
   kMemory,  // in-RAM store (tests, algorithm benchmarks)
   kDisk,    // paged B+tree engine (the paper's MySQL role)
@@ -30,8 +35,24 @@ struct DatabaseOptions {
   std::string disk_path;          // required for Backend::kDisk
   size_t buffer_pool_pages = 1024;
 
+  // Number of servers the additive share is split across (DESIGN.md §5):
+  // f = c + s_0 + ... + s_{m-1}. With 1 (the default) the classic 2-party
+  // split is produced, bit-identical to earlier versions. With m > 1 and a
+  // disk backend, slice i is written to ShareSlicePath(disk_path, i, m).
+  // At most kMaxServers: slice indices must stay inside the PRG's
+  // dedicated nonce bits (src/prg/prg.h).
+  uint32_t servers = 1;
+
   encode::EncodeOptions encode;
 };
+
+// File naming for share slices: the base path itself for a single server,
+// "<base>.s<i>of<m>" for slice i of an m-server split.
+inline std::string ShareSlicePath(const std::string& base, uint32_t index,
+                                  uint32_t servers) {
+  if (servers <= 1) return base;
+  return base + ".s" + std::to_string(index) + "of" + std::to_string(servers);
+}
 
 }  // namespace ssdb::core
 

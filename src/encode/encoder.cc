@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <vector>
 
-#include "gf/share.h"
 #include "trie/trie.h"
 #include "util/file_util.h"
 #include "xml/sax.h"
@@ -18,12 +17,13 @@ class EncodingHandler : public xml::SaxHandler {
  public:
   EncodingHandler(const gf::Ring& ring, const gf::Evaluator& evaluator,
                   const mapping::TagMap& map, const prg::Prg& prg,
-                  storage::NodeStore* store, const EncodeOptions& options)
+                  const std::vector<storage::NodeStore*>& stores,
+                  const EncodeOptions& options)
       : ring_(ring),
         evaluator_(evaluator),
         map_(map),
         prg_(prg),
-        store_(store),
+        stores_(stores),
         options_(options) {}
 
   Status StartElement(std::string_view name,
@@ -120,24 +120,34 @@ class EncodingHandler : public xml::SaxHandler {
       }
     }
 
-    // Split: client share is the PRG stream at this node's pre position; the
-    // server share is the difference. Only the server share is stored.
-    gf::RingElem randomness = prg_.ClientShare(ring_, frame.pre);
-    gf::SharePair shares =
-        gf::SplitWithRandomness(ring_, node_poly, std::move(randomness));
+    // Split: the client share is the PRG stream at this node's pre
+    // position; server slices i >= 1 are further PRG streams (one slice
+    // materialized at a time); slice 0 is the remainder, so
+    // f = c + s_0 + ... + s_{m-1} (DESIGN.md §5). Only server slices are
+    // stored; structure columns are replicated to every store.
+    gf::RingElem remainder =
+        ring_.Sub(node_poly, prg_.ClientShare(ring_, frame.pre));
 
     storage::NodeRow row;
     row.pre = frame.pre;
     row.post = post;
     row.parent = frame.parent;
-    row.share = ring_.Serialize(shares.server);
+    for (size_t i = stores_.size(); i-- > 1;) {
+      gf::RingElem slice = prg_.ServerSliceShare(
+          ring_, frame.pre, static_cast<uint32_t>(i));
+      row.share = ring_.Serialize(slice);
+      share_bytes_ += row.share.size();
+      SSDB_RETURN_IF_ERROR(stores_[i]->Insert(row));
+      remainder = ring_.Sub(remainder, slice);
+    }
+    row.share = ring_.Serialize(remainder);
     if (options_.seal_content) {
       row.sealed = prg_.SealPayload(
           frame.pre, frame.tag_name + "\n" + frame.direct_text);
     }
     share_bytes_ += row.share.size();
     ++node_count_;
-    return store_->Insert(row);
+    return stores_[0]->Insert(row);
   }
 
   // Emits a trie as nested virtual elements (depth-first).
@@ -155,7 +165,7 @@ class EncodingHandler : public xml::SaxHandler {
   const gf::Evaluator& evaluator_;
   const mapping::TagMap& map_;
   const prg::Prg& prg_;
-  storage::NodeStore* store_;
+  const std::vector<storage::NodeStore*>& stores_;
   EncodeOptions options_;
 
   std::vector<Frame> stack_;
@@ -171,22 +181,35 @@ class EncodingHandler : public xml::SaxHandler {
 
 Encoder::Encoder(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
                  storage::NodeStore* store, const EncodeOptions& options)
+    : Encoder(ring, map, std::move(prg),
+              std::vector<storage::NodeStore*>{store}, options) {}
+
+Encoder::Encoder(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
+                 std::vector<storage::NodeStore*> stores,
+                 const EncodeOptions& options)
     : ring_(ring),
       evaluator_(ring),
       map_(map),
       prg_(std::move(prg)),
-      store_(store),
+      stores_(std::move(stores)),
       options_(options) {}
 
 StatusOr<EncodeResult> Encoder::EncodeString(std::string_view xml) {
-  SSDB_ASSIGN_OR_RETURN(uint64_t existing, store_->NodeCount());
-  if (existing != 0) {
-    return Status::FailedPrecondition("target store is not empty");
+  if (stores_.empty()) {
+    return Status::InvalidArgument("encoder needs at least one store");
   }
-  EncodingHandler handler(ring_, evaluator_, map_, prg_, store_, options_);
+  for (storage::NodeStore* store : stores_) {
+    SSDB_ASSIGN_OR_RETURN(uint64_t existing, store->NodeCount());
+    if (existing != 0) {
+      return Status::FailedPrecondition("target store is not empty");
+    }
+  }
+  EncodingHandler handler(ring_, evaluator_, map_, prg_, stores_, options_);
   xml::SaxParser parser;
   SSDB_RETURN_IF_ERROR(parser.Parse(xml, &handler));
-  SSDB_RETURN_IF_ERROR(store_->Flush());
+  for (storage::NodeStore* store : stores_) {
+    SSDB_RETURN_IF_ERROR(store->Flush());
+  }
   EncodeResult result = handler.TakeResult();
   result.input_bytes = xml.size();
   return result;

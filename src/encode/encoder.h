@@ -1,22 +1,30 @@
-// Streaming encoder — the paper's MySQLEncode (§5.1). Parses XML with the
-// SAX parser (memory proportional to tree depth), assigns pre/post/parent
-// numbers, builds each node's polynomial bottom-up, splits it into a
-// pseudorandom client share (discarded — regenerable from the seed) and a
-// server share, and inserts rows (pre, post, parent, share) into a
-// NodeStore.
-//
-// Two encoding paths (ablation A1 in DESIGN.md):
-//  * evaluation domain (default): a node's evaluation vector is
-//    (g^i - map(tag)) * prod(children), O(q) per node, with one inverse DFT
-//    per node for coefficient storage;
-//  * coefficient domain: ring convolution per child, O(q^2) — the naive
-//    reading of the paper.
+/// Streaming encoder — the paper's MySQLEncode (§5.1). Parses XML with the
+/// SAX parser (memory proportional to tree depth), assigns pre/post/parent
+/// numbers, builds each node's polynomial bottom-up, splits it into a
+/// pseudorandom client share (discarded — regenerable from the seed) and
+/// one server share per configured server, and inserts rows
+/// (pre, post, parent, share) into each server's NodeStore.
+///
+/// Two encoding paths (ablation A1 in DESIGN.md §4):
+///  * evaluation domain (default): a node's evaluation vector is
+///    (g^i - map(tag)) * prod(children), O(q) per node, with one inverse
+///    DFT per node for coefficient storage;
+///  * coefficient domain: ring convolution per child, O(q^2) — the naive
+///    reading of the paper.
+///
+/// Multi-server fan-out (DESIGN.md §5): with m stores, slice i >= 1 of each
+/// node polynomial is PRG-derived (never more than one slice materialized at
+/// a time) and slice 0 is the remainder, so f = c + s_0 + ... + s_{m-1}.
+/// Structure columns are replicated to every store; the sealed payload (§4
+/// extension) lives only on the primary (slice 0). With one store the
+/// output is bit-identical to the classic 2-party split.
 
 #ifndef SSDB_ENCODE_ENCODER_H_
 #define SSDB_ENCODE_ENCODER_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gf/dft.h"
 #include "gf/ring.h"
@@ -44,7 +52,7 @@ struct EncodeResult {
   uint64_t node_count = 0;
   uint64_t max_depth = 0;
   uint64_t input_bytes = 0;
-  uint64_t share_bytes = 0;  // serialized polynomial payload written
+  uint64_t share_bytes = 0;  // serialized polynomial payload, all slices
 };
 
 class Encoder {
@@ -54,6 +62,13 @@ class Encoder {
   Encoder(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
           storage::NodeStore* store, const EncodeOptions& options = {});
 
+  // m-server variant: writes share slice i of every node polynomial to
+  // stores[i] (all must be empty). stores.size() is m; a single store is
+  // the classic split.
+  Encoder(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
+          std::vector<storage::NodeStore*> stores,
+          const EncodeOptions& options = {});
+
   StatusOr<EncodeResult> EncodeString(std::string_view xml);
   StatusOr<EncodeResult> EncodeFile(const std::string& path);
 
@@ -62,7 +77,7 @@ class Encoder {
   gf::Evaluator evaluator_;
   const mapping::TagMap& map_;
   prg::Prg prg_;
-  storage::NodeStore* store_;
+  std::vector<storage::NodeStore*> stores_;  // stores_[i] holds slice i
   EncodeOptions options_;
 };
 

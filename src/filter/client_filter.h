@@ -1,19 +1,22 @@
-// ClientFilter (§5.2): the trusted side. Holds the secret seed (via the PRG)
-// and regenerates client shares per node position; combines them with server
-// evaluations so that only the *sum* — which equals the true polynomial's
-// evaluation — is ever learned, and only by the client.
-//
-// Two matching rules (§5.2/§6.3):
-//  * containment test — one joint evaluation at map(tag); zero sum means the
-//    tag occurs somewhere in the node's subtree. Constant cost.
-//  * equality test    — reconstructs the node polynomial and all child
-//    polynomials, divides out the child product and checks the remaining
-//    monomial is (x - map(tag)). Cost grows with the number of children.
-//
-// The batch entry points are the primary path (DESIGN.md §6): they
-// regenerate the client shares for a whole candidate set and issue one
-// joint server exchange, so a query step costs O(1) round trips instead of
-// O(candidates). The scalar methods are thin wrappers over batches of one.
+/// ClientFilter (paper §5.2): the trusted side. Holds the secret seed (via
+/// the PRG) and regenerates client shares per node position; combines them
+/// with server evaluations so that only the *sum* — which equals the true
+/// polynomial's evaluation — is ever learned, and only by the client.
+///
+/// Two matching rules (DESIGN.md §3):
+///  * containment test — one joint evaluation at map(tag); zero sum means
+///    the tag occurs somewhere in the node's subtree. Constant cost.
+///  * equality test    — reconstructs the node polynomial and all child
+///    polynomials, divides out the child product and checks the remaining
+///    monomial is (x - map(tag)). Cost grows with the number of children.
+///
+/// The batch entry points are the primary path (DESIGN.md §6): they
+/// regenerate the client shares for a whole candidate set and issue one
+/// joint server exchange, so a query step costs O(1) round trips instead of
+/// O(candidates). The scalar methods are thin wrappers over batches of one.
+/// The filter is deployment-agnostic: behind the ServerFilter it talks to
+/// may sit one server or an m-server fan-out (DESIGN.md §5) — the share sums
+/// it computes are the same either way.
 
 #ifndef SSDB_FILTER_CLIENT_FILTER_H_
 #define SSDB_FILTER_CLIENT_FILTER_H_
@@ -41,8 +44,14 @@ struct EvalStats {
   uint64_t server_calls = 0;       // logical ServerFilter invocations
   uint64_t round_trips = 0;        // wire exchanges (chunked batches count
                                    // one per chunk), accumulated from the
-                                   // server's RoundTrips() deltas
+                                   // server's RoundTrips() deltas; straggler
+                                   // semantics under multi-server fan-out
   uint64_t batched_evaluations = 0;  // evaluations that rode a batch call
+  // Multi-server fan-out (DESIGN.md §5): raw wire exchanges per backend
+  // (empty or size-1 for single-server deployments) and the wall time spent
+  // waiting on the slowest server across concurrent fan-outs.
+  std::vector<uint64_t> per_server_round_trips;
+  double straggler_seconds = 0;
 
   void Reset() { *this = EvalStats{}; }
 };
@@ -121,17 +130,40 @@ class ClientFilter {
   class TripScope {
    public:
     explicit TripScope(ClientFilter* filter)
-        : filter_(filter), before_(filter->server_->RoundTrips()) {}
+        : filter_(filter),
+          multi_(filter->server_->ServerCount() > 1),
+          before_(filter->server_->RoundTrips()) {
+      // The per-server vectors cost an allocation per capture; only a
+      // fan-out filter has anything beyond RoundTrips() to report.
+      if (multi_) {
+        per_server_before_ = filter->server_->PerServerRoundTrips();
+        straggler_before_ = filter->server_->StragglerSeconds();
+      }
+    }
     ~TripScope() {
-      filter_->stats_.round_trips +=
-          filter_->server_->RoundTrips() - before_;
+      EvalStats& stats = filter_->stats_;
+      stats.round_trips += filter_->server_->RoundTrips() - before_;
+      if (!multi_) return;
+      stats.straggler_seconds +=
+          filter_->server_->StragglerSeconds() - straggler_before_;
+      std::vector<uint64_t> after = filter_->server_->PerServerRoundTrips();
+      if (stats.per_server_round_trips.size() < after.size()) {
+        stats.per_server_round_trips.resize(after.size(), 0);
+      }
+      for (size_t i = 0;
+           i < after.size() && i < per_server_before_.size(); ++i) {
+        stats.per_server_round_trips[i] += after[i] - per_server_before_[i];
+      }
     }
     TripScope(const TripScope&) = delete;
     TripScope& operator=(const TripScope&) = delete;
 
    private:
     ClientFilter* filter_;
+    bool multi_;
     uint64_t before_;
+    std::vector<uint64_t> per_server_before_;
+    double straggler_before_ = 0;
   };
 
   // eval(client_share(pre), t) — regenerated from the PRG, never stored.

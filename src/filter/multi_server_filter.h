@@ -1,0 +1,108 @@
+/// MultiServerFilter (DESIGN.md §5): presents m share-slice servers as one
+/// ServerFilter. Share operations (EvalAt*, FetchShare*) fan out to every
+/// backend **concurrently** — one persistent worker thread per extra
+/// backend, the primary served on the calling thread — and the replies are
+/// summed (field sum for evaluations, ring sum for shares), which
+/// reconstructs the single-server answer because the additive split
+/// commutes with evaluation. Structure operations (navigation, cursors,
+/// sealed payloads) go to the primary (backend 0) alone: pre/post/parent
+/// are replicated to every slice store, so any backend could serve them,
+/// and asking one keeps them a single round trip.
+///
+/// Round-trip accounting uses straggler semantics: a concurrent fan-out
+/// costs one step of latency, so RoundTrips() advances by the *maximum*
+/// per-backend delta, making an m-server query step cost exactly as many
+/// round trips as the m = 1 case. PerServerRoundTrips() exposes the raw
+/// per-backend counters and StragglerSeconds() the wall time spent waiting
+/// on the slowest backend.
+///
+/// With a single backend every call delegates directly (no threads), so the
+/// m = 1 path is byte-identical to using the backend alone.
+
+#ifndef SSDB_FILTER_MULTI_SERVER_FILTER_H_
+#define SSDB_FILTER_MULTI_SERVER_FILTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "filter/server_filter.h"
+#include "gf/ring.h"
+#include "util/statusor.h"
+
+namespace ssdb::filter {
+
+class MultiServerFilter : public ServerFilter {
+ public:
+  // `backends` must be non-empty and outlive the filter; backend i must
+  // serve share slice i of the same encoded document. Backends are driven
+  // from separate threads during fan-out, so each must be independently
+  // usable (distinct channels / stores).
+  MultiServerFilter(gf::Ring ring, std::vector<ServerFilter*> backends);
+  ~MultiServerFilter() override;
+
+  // --- Structure (primary only) ---
+  StatusOr<NodeMeta> Root() override;
+  StatusOr<NodeMeta> GetNode(uint32_t pre) override;
+  StatusOr<std::vector<NodeMeta>> Children(uint32_t pre) override;
+  StatusOr<std::vector<std::vector<NodeMeta>>> ChildrenBatch(
+      const std::vector<uint32_t>& pres) override;
+  StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
+                                          uint32_t post) override;
+  StatusOr<std::vector<NodeMeta>> NextNodes(uint64_t cursor,
+                                            size_t max_batch) override;
+  Status CloseCursor(uint64_t cursor) override;
+  StatusOr<std::string> FetchSealed(uint32_t pre) override;
+  StatusOr<uint64_t> NodeCount() override;
+
+  // --- Shares (concurrent fan-out, replies summed) ---
+  StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override;
+  StatusOr<std::vector<gf::Elem>> EvalAtBatch(
+      const std::vector<uint32_t>& pres, gf::Elem t) override;
+  StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
+      uint32_t pre, const std::vector<gf::Elem>& points) override;
+  StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
+  StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
+      const std::vector<uint32_t>& pres) override;
+
+  uint64_t RoundTrips() const override { return round_trips_; }
+  size_t ServerCount() const override { return backends_.size(); }
+  std::vector<uint64_t> PerServerRoundTrips() const override;
+  double StragglerSeconds() const override { return straggler_seconds_; }
+
+  size_t server_count() const { return backends_.size(); }
+  ServerFilter* backend(size_t i) { return backends_[i]; }
+
+ private:
+  // A persistent worker pinned to one extra backend: fan-out dispatches a
+  // job per call instead of paying thread creation per round trip.
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void()> job;  // empty when idle
+    bool exit = false;
+  };
+
+  // Runs fn(i) for every backend — concurrently when there is more than
+  // one — then advances round_trips_ by the straggler's delta and
+  // straggler_seconds_ by the fan-out's wall time. fn must only touch
+  // backend i.
+  Status FanOut(const std::function<Status(size_t)>& fn);
+  // Primary-only call with the same round-trip accounting.
+  Status Primary(const std::function<Status()>& fn);
+
+  gf::Ring ring_;
+  std::vector<ServerFilter*> backends_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // backends_[i + 1] each
+  uint64_t round_trips_ = 0;
+  double straggler_seconds_ = 0;
+};
+
+}  // namespace ssdb::filter
+
+#endif  // SSDB_FILTER_MULTI_SERVER_FILTER_H_

@@ -1,11 +1,13 @@
-// ServerFilter (§5.2): the operations the untrusted server exposes. It sees
-// only pre/post/parent (stored in the clear, as in the paper's MySQL schema)
-// and the *server shares* of the node polynomials — never tag names, the
-// map, the seed, or reconstructed polynomials.
-//
-// LocalServerFilter runs against a NodeStore in-process; RemoteServerFilter
-// (src/rpc/client.h) speaks the same interface over a channel, replacing the
-// paper's Java RMI.
+/// ServerFilter (paper §5.2): the operations an untrusted server exposes.
+/// It sees only pre/post/parent (stored in the clear, as in the paper's
+/// MySQL schema) and *server shares* of the node polynomials — never tag
+/// names, the map, the seed, or reconstructed polynomials. See DESIGN.md §3
+/// for the matching rules built on top and §6 for the batch entry points.
+///
+/// LocalServerFilter runs against a NodeStore in-process; RemoteServerFilter
+/// (src/rpc/client.h) speaks the same interface over a channel, replacing
+/// the paper's Java RMI; MultiServerFilter (src/filter/multi_server_filter.h,
+/// DESIGN.md §5) fans out to m share-slice servers and sums their replies.
 
 #ifndef SSDB_FILTER_SERVER_FILTER_H_
 #define SSDB_FILTER_SERVER_FILTER_H_
@@ -82,8 +84,22 @@ class ServerFilter {
 
   // Number of server exchanges so far. Locally this counts filter calls;
   // remotely it counts actual wire round trips (a chunked batch counts one
-  // trip per chunk). The batched pipeline's win is measured against it.
+  // trip per chunk). A multi-server fan-out counts the straggler only —
+  // concurrent exchanges cost one step of latency (DESIGN.md §5). The
+  // batched pipeline's win is measured against it.
   virtual uint64_t RoundTrips() const = 0;
+
+  // How many backends answer this filter (1 unless it is a fan-out).
+  virtual size_t ServerCount() const { return 1; }
+
+  // Per-backend wire exchanges; single-server filters report {RoundTrips()}.
+  virtual std::vector<uint64_t> PerServerRoundTrips() const {
+    return {RoundTrips()};
+  }
+
+  // Accumulated wall time of the slowest backend across concurrent
+  // fan-outs; 0 for single-server filters.
+  virtual double StragglerSeconds() const { return 0.0; }
 };
 
 class LocalServerFilter : public ServerFilter {

@@ -1,5 +1,7 @@
 #include "gf/share.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace ssdb::gf {
@@ -21,6 +23,43 @@ RingElem Combine(const Ring& ring, const RingElem& client,
 Elem EvalShares(const Ring& ring, const RingElem& client,
                 const RingElem& server, Elem t) {
   return ring.field().Add(ring.Eval(client, t), ring.Eval(server, t));
+}
+
+MultiShares SplitMulti(const Ring& ring, const RingElem& secret,
+                       RingElem client_randomness,
+                       std::vector<RingElem> extra) {
+  SSDB_DCHECK(client_randomness.size() == ring.n());
+  MultiShares shares;
+  RingElem remainder = ring.Sub(secret, client_randomness);
+  for (const RingElem& slice : extra) {
+    SSDB_DCHECK(slice.size() == ring.n());
+    remainder = ring.Sub(remainder, slice);
+  }
+  shares.client = std::move(client_randomness);
+  shares.servers.reserve(extra.size() + 1);
+  shares.servers.push_back(std::move(remainder));
+  for (RingElem& slice : extra) {
+    shares.servers.push_back(std::move(slice));
+  }
+  return shares;
+}
+
+RingElem CombineMulti(const Ring& ring, const RingElem& client,
+                      const std::vector<RingElem>& servers) {
+  RingElem sum = client;
+  for (const RingElem& slice : servers) {
+    ring.AddInto(&sum, slice);
+  }
+  return sum;
+}
+
+Elem EvalMultiShares(const Ring& ring, const RingElem& client,
+                     const std::vector<RingElem>& servers, Elem t) {
+  Elem sum = ring.Eval(client, t);
+  for (const RingElem& slice : servers) {
+    sum = ring.field().Add(sum, ring.Eval(slice, t));
+  }
+  return sum;
 }
 
 }  // namespace ssdb::gf

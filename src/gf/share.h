@@ -1,11 +1,23 @@
-// Additive 2-out-of-2 secret sharing of ring elements (§3 steps 3-4).
-// The client share is pseudorandom (regenerable from the seed + node
-// position); the server share is secret - client, so each share alone is
-// uniformly random and reveals nothing, while evaluation is linear:
-//   eval(client, t) + eval(server, t) = eval(secret, t).
+/// Additive secret sharing of ring elements (DESIGN.md §2, §5; paper §3
+/// steps 3-4). The 2-party split stores f = c + s: the client share c is
+/// pseudorandom (regenerable from the seed + node position), the server
+/// share is secret - c, so each share alone is uniformly random and reveals
+/// nothing, while evaluation is linear:
+///   eval(client, t) + eval(server, t) = eval(secret, t).
+///
+/// The m-server generalization (DESIGN.md §5) splits the server side again:
+///   f = c + s_0 + s_1 + ... + s_{m-1}
+/// with s_1..s_{m-1} pseudorandom (PRG-derived per server index, see
+/// prg::Prg::ServerSliceShare) and s_0 the computed remainder. Every proper
+/// subset of the shares is uniformly random; the sum still commutes with
+/// evaluation, so m servers can evaluate their slices independently and the
+/// client adds the replies. With m = 1 the split degenerates to exactly the
+/// 2-party split above, bit for bit.
 
 #ifndef SSDB_GF_SHARE_H_
 #define SSDB_GF_SHARE_H_
+
+#include <vector>
 
 #include "gf/ring.h"
 
@@ -28,6 +40,31 @@ RingElem Combine(const Ring& ring, const RingElem& client,
 // Joint evaluation without reconstructing: eval(client,t) + eval(server,t).
 Elem EvalShares(const Ring& ring, const RingElem& client,
                 const RingElem& server, Elem t);
+
+// --- m-server split (DESIGN.md §5) ---
+
+struct MultiShares {
+  RingElem client;
+  // servers[0] is the computed remainder slice; servers[1..m-1] echo the
+  // supplied pseudorandom slices.
+  std::vector<RingElem> servers;
+};
+
+// Splits `secret` into a client share plus m = extra.size() + 1 server
+// slices: servers[0] = secret - client - sum(extra), servers[i] = extra[i-1].
+// With `extra` empty this is SplitWithRandomness (m = 1).
+MultiShares SplitMulti(const Ring& ring, const RingElem& secret,
+                       RingElem client_randomness,
+                       std::vector<RingElem> extra);
+
+// Reconstructs the secret: client + sum(server slices).
+RingElem CombineMulti(const Ring& ring, const RingElem& client,
+                      const std::vector<RingElem>& servers);
+
+// Sum of per-slice evaluations plus the client's — equals eval(secret, t)
+// because evaluation is linear over the additive split.
+Elem EvalMultiShares(const Ring& ring, const RingElem& client,
+                     const std::vector<RingElem>& servers, Elem t);
 
 }  // namespace ssdb::gf
 

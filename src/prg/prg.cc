@@ -66,6 +66,16 @@ Prg::Stream Prg::StreamForNode(uint64_t pre) const {
   return Stream(key_, pre);
 }
 
+Prg::Stream Prg::StreamForServerSlice(uint64_t pre, uint32_t index) const {
+  SSDB_DCHECK(index != 0 && index < (1u << 16));
+  return Stream(key_, pre | (static_cast<uint64_t>(index) << 40));
+}
+
+gf::RingElem Prg::ServerSliceShare(const gf::Ring& ring, uint64_t pre,
+                                   uint32_t index) const {
+  return StreamForServerSlice(pre, index).NextRingElem(ring);
+}
+
 gf::RingElem Prg::ClientShare(const gf::Ring& ring, uint64_t pre) const {
   return StreamForNode(pre).NextRingElem(ring);
 }

@@ -1,10 +1,14 @@
-// Position-addressable pseudorandom generator for client shares (§5.2):
-// "ClientFilter first regenerates the client polynomial by using the
-// pseudorandom generator with the secret seed and the pre location".
-//
-// Each node position `pre` selects an independent ChaCha20 keystream
-// (nonce = pre), so any node's client share can be regenerated in isolation,
-// in any order — exactly the property the thin-client pipeline needs.
+/// Position-addressable pseudorandom generator for client shares (paper
+/// §5.2): "ClientFilter first regenerates the client polynomial by using the
+/// pseudorandom generator with the secret seed and the pre location".
+///
+/// Each node position `pre` selects an independent ChaCha20 keystream
+/// (nonce = pre), so any node's client share can be regenerated in
+/// isolation, in any order — exactly the property the thin-client pipeline
+/// needs. Three domain-separated nonce spaces share the key (DESIGN.md §5):
+///   bits 0..31   node position `pre`
+///   bits 40..55  server slice index (multi-server encode; 0 = client share)
+///   bit  63      sealed-payload keystream flag (§4 extension)
 
 #ifndef SSDB_PRG_PRG_H_
 #define SSDB_PRG_PRG_H_
@@ -51,6 +55,15 @@ class Prg {
 
   // Convenience: the client share for the node at position `pre`.
   gf::RingElem ClientShare(const gf::Ring& ring, uint64_t pre) const;
+
+  // Pseudorandom server share slice `index` (1 <= index < m) for the node at
+  // position `pre` — the m-server split's extra slices (DESIGN.md §5).
+  // Domain-separated from the client share by nonce bits 40..55, so slice
+  // randomness never overlaps share or payload randomness. Only the encoder
+  // uses these; querying needs no knowledge of m.
+  Stream StreamForServerSlice(uint64_t pre, uint32_t index) const;
+  gf::RingElem ServerSliceShare(const gf::Ring& ring, uint64_t pre,
+                                uint32_t index) const;
 
   // Keystream for the node's sealed payload (§4 extension). Domain-separated
   // from the share stream by the nonce's high bit, so payload bytes never

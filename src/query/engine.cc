@@ -67,6 +67,17 @@ void FillStatsDelta(const filter::EvalStats& before,
   stats->eval.round_trips = after.round_trips - before.round_trips;
   stats->eval.batched_evaluations =
       after.batched_evaluations - before.batched_evaluations;
+  stats->eval.straggler_seconds =
+      after.straggler_seconds - before.straggler_seconds;
+  stats->eval.per_server_round_trips.assign(
+      after.per_server_round_trips.size(), 0);
+  for (size_t i = 0; i < after.per_server_round_trips.size(); ++i) {
+    uint64_t prior = i < before.per_server_round_trips.size()
+                         ? before.per_server_round_trips[i]
+                         : 0;
+    stats->eval.per_server_round_trips[i] =
+        after.per_server_round_trips[i] - prior;
+  }
 }
 
 }  // namespace internal

@@ -1,9 +1,11 @@
-// Bidirectional blocking message channel — the transport under the RPC
-// stack. Two implementations: an in-process pair (deterministic, zero-copy,
-// used by default) and unix-domain sockets (src/rpc/socket_channel.h) for a
-// real client/server split like the paper's RMI setup.
-//
-// Byte and message counters feed the communication-cost experiments.
+/// Bidirectional blocking message channel — the transport under the RPC
+/// stack. Two implementations: an in-process pair (deterministic, zero-copy,
+/// used by default) and unix-domain sockets (src/rpc/socket_channel.h) for a
+/// real client/server split like the paper's RMI setup. An m-server session
+/// (DESIGN.md §5) holds one channel per share-slice server.
+///
+/// Byte and message counters feed the communication-cost experiments
+/// (DESIGN.md §4, ablation A3).
 
 #ifndef SSDB_RPC_CHANNEL_H_
 #define SSDB_RPC_CHANNEL_H_

@@ -1,5 +1,9 @@
-// RemoteServerFilter: client-side stub implementing ServerFilter over a
-// Channel — the drop-in replacement for the paper's RMI remote object.
+/// RemoteServerFilter: client-side stub implementing ServerFilter over a
+/// Channel — the drop-in replacement for the paper's RMI remote object.
+/// Streams large batches in bounded chunks so round trips stay
+/// O(batch / chunk) under the frame cap (DESIGN.md §6). In an m-server
+/// deployment one stub per channel sits behind a MultiServerFilter
+/// (DESIGN.md §5, src/rpc/multi_session.h).
 
 #ifndef SSDB_RPC_CLIENT_H_
 #define SSDB_RPC_CLIENT_H_

@@ -1,0 +1,57 @@
+#include "rpc/multi_session.h"
+
+#include <utility>
+
+#include "rpc/socket_channel.h"
+
+namespace ssdb::rpc {
+
+StatusOr<std::unique_ptr<MultiServerSession>> MultiServerSession::FromChannels(
+    gf::Ring ring, std::vector<std::unique_ptr<Channel>> channels) {
+  if (channels.empty()) {
+    return Status::InvalidArgument("session needs at least one channel");
+  }
+  auto session = std::unique_ptr<MultiServerSession>(new MultiServerSession());
+  std::vector<filter::ServerFilter*> backends;
+  backends.reserve(channels.size());
+  for (std::unique_ptr<Channel>& channel : channels) {
+    session->remotes_.push_back(
+        std::make_unique<RemoteServerFilter>(ring, std::move(channel)));
+    backends.push_back(session->remotes_.back().get());
+  }
+  session->fanout_ = std::make_unique<filter::MultiServerFilter>(
+      std::move(ring), std::move(backends));
+  return session;
+}
+
+StatusOr<std::unique_ptr<MultiServerSession>> MultiServerSession::ConnectUnix(
+    gf::Ring ring, const std::vector<std::string>& socket_paths) {
+  std::vector<std::unique_ptr<Channel>> channels;
+  channels.reserve(socket_paths.size());
+  for (const std::string& path : socket_paths) {
+    SSDB_ASSIGN_OR_RETURN(std::unique_ptr<Channel> channel,
+                          rpc::ConnectUnix(path));
+    channels.push_back(std::move(channel));
+  }
+  return FromChannels(std::move(ring), std::move(channels));
+}
+
+uint64_t MultiServerSession::bytes_on_wire() const {
+  uint64_t total = 0;
+  for (const auto& remote : remotes_) {
+    total += remote->channel().bytes_sent() +
+             remote->channel().bytes_received();
+  }
+  return total;
+}
+
+Status MultiServerSession::Shutdown() {
+  Status first = Status::OK();
+  for (const auto& remote : remotes_) {
+    Status status = remote->Shutdown();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+}  // namespace ssdb::rpc

@@ -1,0 +1,60 @@
+/// MultiServerSession (DESIGN.md §5): the client side of an m-server
+/// deployment. Owns one Channel + RemoteServerFilter per share-slice server
+/// and the MultiServerFilter that fans batched evaluations out to all of
+/// them concurrently (one thread per extra channel) and sums the replies.
+/// With one channel this degenerates to a plain RemoteServerFilter session —
+/// same wire bytes, no threads.
+///
+/// The session is the unit of connection management: ConnectUnix dials every
+/// server, Shutdown() stops them all, and bytes_on_wire() aggregates the
+/// channels' counters for the communication-cost experiments (DESIGN.md §4,
+/// ablation A3).
+
+#ifndef SSDB_RPC_MULTI_SESSION_H_
+#define SSDB_RPC_MULTI_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/multi_server_filter.h"
+#include "gf/ring.h"
+#include "rpc/channel.h"
+#include "rpc/client.h"
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+class MultiServerSession {
+ public:
+  // One connected channel per share-slice server, in slice order (channel i
+  // must reach the server holding slice i; slice 0 is the primary that also
+  // serves structure and sealed payloads).
+  static StatusOr<std::unique_ptr<MultiServerSession>> FromChannels(
+      gf::Ring ring, std::vector<std::unique_ptr<Channel>> channels);
+
+  // Dials one unix socket per server, in slice order.
+  static StatusOr<std::unique_ptr<MultiServerSession>> ConnectUnix(
+      gf::Ring ring, const std::vector<std::string>& socket_paths);
+
+  // The fan-out filter the client stack talks to.
+  filter::MultiServerFilter* filter() { return fanout_.get(); }
+  RemoteServerFilter* remote(size_t i) { return remotes_[i].get(); }
+  size_t server_count() const { return remotes_.size(); }
+
+  // Total bytes moved over all channels (sent + received).
+  uint64_t bytes_on_wire() const;
+
+  // Asks every server to stop serving, then closes the channels.
+  Status Shutdown();
+
+ private:
+  MultiServerSession() = default;
+
+  std::vector<std::unique_ptr<RemoteServerFilter>> remotes_;
+  std::unique_ptr<filter::MultiServerFilter> fanout_;
+};
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_MULTI_SESSION_H_

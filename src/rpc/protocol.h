@@ -1,9 +1,12 @@
-// Request/response message formats mapping the ServerFilter interface onto a
-// Channel. One request frame yields exactly one response frame.
-//
-// Request : u8 op, then op-specific fields (varints).
-// Response: u8 ok; if !ok { varint code, length-prefixed message }
-//           else op-specific payload.
+/// Request/response message formats mapping the ServerFilter interface onto
+/// a Channel. One request frame yields exactly one response frame; the
+/// batch opcodes are the wire half of the batched pipeline (DESIGN.md §6).
+/// A share-slice server in an m-server deployment (DESIGN.md §5) speaks
+/// exactly this protocol — fan-out is purely client-side.
+///
+/// Request : u8 op, then op-specific fields (varints).
+/// Response: u8 ok; if !ok { varint code, length-prefixed message }
+///           else op-specific payload.
 
 #ifndef SSDB_RPC_PROTOCOL_H_
 #define SSDB_RPC_PROTOCOL_H_

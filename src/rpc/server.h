@@ -1,6 +1,8 @@
-// RpcServer: serves a ServerFilter over a Channel, one request/response at a
-// time (the prototype's single-connection model). ServerThread is a
-// convenience for tests/examples that runs Serve() on a background thread.
+/// RpcServer: serves a ServerFilter over a Channel, one request/response at
+/// a time (the prototype's single-connection model). In an m-server
+/// deployment (DESIGN.md §5) each host runs one RpcServer over its own
+/// share slice. ServerThread is a convenience for tests/examples that runs
+/// Serve() on a background thread.
 
 #ifndef SSDB_RPC_SERVER_H_
 #define SSDB_RPC_SERVER_H_

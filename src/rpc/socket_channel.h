@@ -1,5 +1,7 @@
-// Unix-domain socket transport: a real process boundary for the
-// client/server architecture of fig. 3 (the paper used Java RMI).
+/// Unix-domain socket transport: a real process boundary for the
+/// client/server architecture of fig. 3 (the paper used Java RMI). The
+/// m-server quickstart in README.md runs one listening socket per share
+/// slice (DESIGN.md §5); ablation A3 (DESIGN.md §4) measures the hop.
 
 #ifndef SSDB_RPC_SOCKET_CHANNEL_H_
 #define SSDB_RPC_SOCKET_CHANNEL_H_

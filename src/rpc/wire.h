@@ -1,5 +1,7 @@
-// Low-level wire helpers: length-prefixed frames over file descriptors and
-// the shared encode/decode routines for protocol payloads.
+/// Low-level wire helpers: length-prefixed frames over file descriptors and
+/// the shared encode/decode routines for protocol payloads. The frame cap
+/// is what the batched pipeline's chunk sizes are tuned against
+/// (DESIGN.md §6).
 
 #ifndef SSDB_RPC_WIRE_H_
 #define SSDB_RPC_WIRE_H_

@@ -2,7 +2,8 @@
 // auction database synthesized by the XMark benchmark"). The original XMark
 // generator is not available offline, so this module produces documents
 // conforming to the paper's appendix DTD — same 77 elements, same structure,
-// size-scalable — which exercises exactly the same code paths (DESIGN.md S14).
+// size-scalable — which exercises exactly the same code paths
+// (DESIGN.md §14).
 
 #ifndef SSDB_XMARK_GENERATOR_H_
 #define SSDB_XMARK_GENERATOR_H_

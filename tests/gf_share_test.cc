@@ -82,5 +82,78 @@ TEST_F(ShareTest, ZeroSecretStillHidden) {
   EXPECT_EQ(Combine(ring_, shares.client, shares.server), zero);
 }
 
+TEST_F(ShareTest, MultiSplitWithNoExtrasIsClassicSplit) {
+  // m = 1 must degenerate to the 2-party split bit for bit.
+  Random rng(17);
+  RingElem secret = RandomElem(&rng);
+  RingElem randomness = RandomElem(&rng);
+  SharePair classic = SplitWithRandomness(ring_, secret, randomness);
+  MultiShares multi = SplitMulti(ring_, secret, randomness, {});
+  ASSERT_EQ(multi.servers.size(), 1u);
+  EXPECT_EQ(multi.client, classic.client);
+  EXPECT_EQ(multi.servers[0], classic.server);
+}
+
+TEST_F(ShareTest, MultiCombineReconstructsSecret) {
+  Random rng(19);
+  for (size_t extras : {1u, 3u, 7u}) {
+    RingElem secret = RandomElem(&rng);
+    std::vector<RingElem> extra;
+    for (size_t i = 0; i < extras; ++i) extra.push_back(RandomElem(&rng));
+    MultiShares multi = SplitMulti(ring_, secret, RandomElem(&rng), extra);
+    ASSERT_EQ(multi.servers.size(), extras + 1);
+    // The supplied pseudorandom slices are echoed unchanged.
+    for (size_t i = 0; i < extras; ++i) {
+      EXPECT_EQ(multi.servers[i + 1], extra[i]);
+    }
+    EXPECT_EQ(CombineMulti(ring_, multi.client, multi.servers), secret);
+  }
+}
+
+TEST_F(ShareTest, MultiEvaluationIsLinear) {
+  // The sum of per-slice evaluations equals eval(secret, t) at every t —
+  // the fact that lets m servers evaluate independently (DESIGN.md §5).
+  Random rng(23);
+  RingElem secret = RandomElem(&rng);
+  MultiShares multi = SplitMulti(ring_, secret, RandomElem(&rng),
+                                 {RandomElem(&rng), RandomElem(&rng)});
+  for (Elem t = 0; t < field_.q(); ++t) {
+    EXPECT_EQ(EvalMultiShares(ring_, multi.client, multi.servers, t),
+              ring_.Eval(secret, t));
+  }
+}
+
+TEST_F(ShareTest, ProperSubsetOfSlicesStaysMasked) {
+  // Dropping any one slice leaves a sum that differs from the secret (the
+  // missing slice is uniform), so no proper subset reconstructs it.
+  Random rng(29);
+  RingElem secret = RandomElem(&rng);
+  MultiShares multi = SplitMulti(ring_, secret, RandomElem(&rng),
+                                 {RandomElem(&rng), RandomElem(&rng)});
+  for (size_t drop = 0; drop < multi.servers.size(); ++drop) {
+    std::vector<RingElem> partial;
+    for (size_t i = 0; i < multi.servers.size(); ++i) {
+      if (i != drop) partial.push_back(multi.servers[i]);
+    }
+    EXPECT_NE(CombineMulti(ring_, multi.client, partial), secret);
+  }
+}
+
+TEST_F(ShareTest, ServerSliceStreamsAreDomainSeparated) {
+  // Slice streams must differ from the client-share stream and from each
+  // other, at the same node position.
+  prg::Prg prg(prg::Seed::FromUint64(123));
+  const uint64_t pre = 7;
+  RingElem client = prg.ClientShare(ring_, pre);
+  RingElem slice1 = prg.ServerSliceShare(ring_, pre, 1);
+  RingElem slice2 = prg.ServerSliceShare(ring_, pre, 2);
+  EXPECT_NE(client, slice1);
+  EXPECT_NE(client, slice2);
+  EXPECT_NE(slice1, slice2);
+  // And be regenerable, like the client share.
+  prg::Prg again(prg::Seed::FromUint64(123));
+  EXPECT_EQ(again.ServerSliceShare(ring_, pre, 1), slice1);
+}
+
 }  // namespace
 }  // namespace ssdb::gf

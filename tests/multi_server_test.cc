@@ -1,0 +1,319 @@
+// Multi-server share fan-out (DESIGN.md §5): slice algebra, query-result
+// consistency for m = 1, 2, 4, straggler round-trip accounting over real
+// channels, byte-identical m = 1 wire behaviour, and tamper evidence when
+// one server's share slice is modified.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "filter/multi_server_filter.h"
+#include "query/ground_truth.h"
+#include "rpc/multi_session.h"
+#include "rpc/server.h"
+#include "test_helpers.h"
+#include "xmark/generator.h"
+
+namespace ssdb {
+namespace {
+
+constexpr uint32_t kServerCounts[] = {1, 2, 4};
+
+std::string CorpusXml() {
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = 20 << 10;
+  gen.seed = 77;
+  return xmark::GenerateAuctionDocument(gen).xml;
+}
+
+StatusOr<std::unique_ptr<core::EncryptedXmlDatabase>> EncodeWithServers(
+    const std::string& xml, const mapping::TagMap& map, const prg::Seed& seed,
+    uint32_t servers) {
+  core::DatabaseOptions options;
+  options.backend = core::Backend::kMemory;
+  options.servers = servers;
+  return core::EncryptedXmlDatabase::Encode(xml, map, seed, options);
+}
+
+class MultiServerTest : public ::testing::Test {
+ protected:
+  MultiServerTest()
+      : field_(*gf::Field::Make(83)),
+        ring_(field_),
+        map_(*core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
+                                                       field_, false)),
+        seed_(prg::Seed::FromUint64(2718)),
+        xml_(CorpusXml()) {}
+
+  gf::Field field_;
+  gf::Ring ring_;
+  mapping::TagMap map_;
+  prg::Seed seed_;
+  std::string xml_;
+};
+
+TEST_F(MultiServerTest, SliceSumsEqualClassicServerShare) {
+  // For every node, the sum of the m slices must equal the m = 1 server
+  // share — the additive split refines the classic one without changing
+  // what the client reconstructs.
+  auto single = EncodeWithServers(xml_, map_, seed_, 1);
+  ASSERT_TRUE(single.ok());
+  uint64_t nodes = *(*single)->store()->NodeCount();
+  ASSERT_GT(nodes, 100u);
+
+  for (uint32_t servers : {2u, 4u}) {
+    auto multi = EncodeWithServers(xml_, map_, seed_, servers);
+    ASSERT_TRUE(multi.ok());
+    for (uint32_t pre = 1; pre <= nodes; ++pre) {
+      auto classic_row = (*single)->store()->GetByPre(pre);
+      ASSERT_TRUE(classic_row.ok());
+      gf::RingElem classic = *ring_.Deserialize(classic_row->share);
+
+      gf::RingElem sum = ring_.Zero();
+      for (uint32_t i = 0; i < servers; ++i) {
+        auto row = (*multi)->slice_store(i)->GetByPre(pre);
+        ASSERT_TRUE(row.ok());
+        // Structure columns are replicated to every slice.
+        EXPECT_EQ(row->post, classic_row->post);
+        EXPECT_EQ(row->parent, classic_row->parent);
+        ring_.AddInto(&sum, *ring_.Deserialize(row->share));
+      }
+      ASSERT_EQ(sum, classic) << "pre=" << pre << " m=" << servers;
+    }
+  }
+}
+
+TEST_F(MultiServerTest, QueryResultsIdenticalAcrossServerCounts) {
+  auto doc = *xml::ParseDocument(xml_);
+  xml::AnnotatePrePost(&doc);
+
+  const char* queries[] = {
+      "/site/regions/europe/item",
+      "/site//europe//item",
+      "/site/*/person//city",
+      "//bidder/date",
+  };
+  for (const char* text : queries) {
+    auto parsed = query::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok());
+    auto truth = query::EvaluateGroundTruth(*parsed, doc);
+    ASSERT_TRUE(truth.ok());
+    std::set<uint32_t> expected(truth->begin(), truth->end());
+
+    for (uint32_t servers : kServerCounts) {
+      auto db = EncodeWithServers(xml_, map_, seed_, servers);
+      ASSERT_TRUE(db.ok());
+      for (core::EngineKind engine :
+           {core::EngineKind::kSimple, core::EngineKind::kAdvanced}) {
+        auto result = (*db)->QueryParsed(*parsed, engine,
+                                         query::MatchMode::kEquality);
+        ASSERT_TRUE(result.ok()) << text << " m=" << servers;
+        std::set<uint32_t> actual;
+        for (const auto& node : result->nodes) actual.insert(node.pre);
+        EXPECT_EQ(actual, expected) << text << " m=" << servers;
+      }
+    }
+  }
+}
+
+TEST_F(MultiServerTest, FanOutRoundTripsMatchSingleServerCase) {
+  // The acceptance invariant: per-step round trips under concurrent m = 2
+  // fan-out equal the m = 1 case; the raw per-server counters each equal
+  // the single-server count.
+  const std::string text = "/site/*/person//city";
+  auto parsed = *query::ParseQuery(text);
+
+  auto run_remote = [&](uint32_t servers, query::QueryStats* stats) {
+    auto db = EncodeWithServers(xml_, map_, seed_, servers);
+    SSDB_CHECK(db.ok());
+    std::vector<std::unique_ptr<filter::ServerFilter>> slice_filters;
+    std::vector<std::unique_ptr<rpc::ServerThread>> server_threads;
+    std::vector<std::unique_ptr<rpc::Channel>> client_channels;
+    for (uint32_t i = 0; i < servers; ++i) {
+      rpc::ChannelPair pair = rpc::CreateInProcessChannelPair();
+      slice_filters.push_back(std::make_unique<filter::LocalServerFilter>(
+          ring_, (*db)->slice_store(i)));
+      server_threads.push_back(std::make_unique<rpc::ServerThread>(
+          ring_, slice_filters.back().get(), std::move(pair.server)));
+      client_channels.push_back(std::move(pair.client));
+    }
+    auto session = *rpc::MultiServerSession::FromChannels(
+        ring_, std::move(client_channels));
+    filter::ClientFilter client(ring_, prg::Prg(seed_), session->filter());
+    query::AdvancedEngine engine(&client, &map_);
+    auto result = engine.Execute(parsed, query::MatchMode::kEquality, stats);
+    SSDB_CHECK(result.ok());
+    SSDB_CHECK_OK(session->Shutdown());
+    return result->size();
+  };
+
+  query::QueryStats one, two;
+  size_t results_one = run_remote(1, &one);
+  size_t results_two = run_remote(2, &two);
+
+  EXPECT_EQ(results_one, results_two);
+  EXPECT_GT(one.eval.round_trips, 0u);
+  EXPECT_EQ(two.eval.round_trips, one.eval.round_trips);
+  ASSERT_EQ(two.eval.per_server_round_trips.size(), 2u);
+  // The primary serves structure + shares and matches the m = 1 count; the
+  // second server only sees the fanned-out share exchanges.
+  EXPECT_EQ(two.eval.per_server_round_trips[0], one.eval.round_trips);
+  EXPECT_GT(two.eval.per_server_round_trips[1], 0u);
+  EXPECT_LT(two.eval.per_server_round_trips[1],
+            two.eval.per_server_round_trips[0]);
+  EXPECT_GT(two.eval.straggler_seconds, 0.0);
+}
+
+TEST_F(MultiServerTest, SingleServerSessionIsByteIdenticalOnTheWire) {
+  // A 1-channel MultiServerSession must move exactly the same bytes as a
+  // plain RemoteServerFilter: the m = 1 path adds nothing to the wire.
+  const std::string text = "/site//europe//item";
+  auto parsed = *query::ParseQuery(text);
+
+  auto run = [&](bool use_session) {
+    auto db = EncodeWithServers(xml_, map_, seed_, 1);
+    SSDB_CHECK(db.ok());
+    rpc::ChannelPair pair = rpc::CreateInProcessChannelPair();
+    filter::LocalServerFilter slice(ring_, (*db)->store());
+    rpc::ServerThread server_thread(ring_, &slice, std::move(pair.server));
+    uint64_t bytes = 0;
+    if (use_session) {
+      std::vector<std::unique_ptr<rpc::Channel>> channels;
+      channels.push_back(std::move(pair.client));
+      auto session =
+          *rpc::MultiServerSession::FromChannels(ring_, std::move(channels));
+      filter::ClientFilter client(ring_, prg::Prg(seed_), session->filter());
+      query::AdvancedEngine engine(&client, &map_);
+      SSDB_CHECK(engine.Execute(parsed, query::MatchMode::kEquality,
+                                nullptr).ok());
+      bytes = session->bytes_on_wire();
+      SSDB_CHECK_OK(session->Shutdown());
+    } else {
+      rpc::RemoteServerFilter remote(ring_, std::move(pair.client));
+      filter::ClientFilter client(ring_, prg::Prg(seed_), &remote);
+      query::AdvancedEngine engine(&client, &map_);
+      SSDB_CHECK(engine.Execute(parsed, query::MatchMode::kEquality,
+                                nullptr).ok());
+      bytes = remote.channel().bytes_sent() +
+              remote.channel().bytes_received();
+      SSDB_CHECK_OK(remote.Shutdown());
+    }
+    return bytes;
+  };
+
+  uint64_t direct = run(false);
+  uint64_t via_session = run(true);
+  EXPECT_GT(direct, 0u);
+  EXPECT_EQ(via_session, direct);
+}
+
+// Delegating wrapper that corrupts the share material one server returns —
+// the "one compromised host modifies its slice" scenario.
+class TamperingFilter : public filter::ServerFilter {
+ public:
+  TamperingFilter(const gf::Ring& ring, filter::ServerFilter* inner)
+      : ring_(ring), inner_(inner) {}
+
+  StatusOr<filter::NodeMeta> Root() override { return inner_->Root(); }
+  StatusOr<filter::NodeMeta> GetNode(uint32_t pre) override {
+    return inner_->GetNode(pre);
+  }
+  StatusOr<std::vector<filter::NodeMeta>> Children(uint32_t pre) override {
+    return inner_->Children(pre);
+  }
+  StatusOr<std::vector<std::vector<filter::NodeMeta>>> ChildrenBatch(
+      const std::vector<uint32_t>& pres) override {
+    return inner_->ChildrenBatch(pres);
+  }
+  StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
+                                          uint32_t post) override {
+    return inner_->OpenDescendantCursor(pre, post);
+  }
+  StatusOr<std::vector<filter::NodeMeta>> NextNodes(
+      uint64_t cursor, size_t max_batch) override {
+    return inner_->NextNodes(cursor, max_batch);
+  }
+  Status CloseCursor(uint64_t cursor) override {
+    return inner_->CloseCursor(cursor);
+  }
+  StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override {
+    SSDB_ASSIGN_OR_RETURN(gf::Elem value, inner_->EvalAt(pre, t));
+    return Perturb(value);
+  }
+  StatusOr<std::vector<gf::Elem>> EvalAtBatch(
+      const std::vector<uint32_t>& pres, gf::Elem t) override {
+    SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> values,
+                          inner_->EvalAtBatch(pres, t));
+    for (gf::Elem& value : values) value = Perturb(value);
+    return values;
+  }
+  StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
+      uint32_t pre, const std::vector<gf::Elem>& points) override {
+    SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> values,
+                          inner_->EvalPointsBatch(pre, points));
+    for (gf::Elem& value : values) value = Perturb(value);
+    return values;
+  }
+  StatusOr<gf::RingElem> FetchShare(uint32_t pre) override {
+    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, inner_->FetchShare(pre));
+    share[0] = Perturb(share[0]);
+    return share;
+  }
+  StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
+      const std::vector<uint32_t>& pres) override {
+    SSDB_ASSIGN_OR_RETURN(std::vector<gf::RingElem> shares,
+                          inner_->FetchShareBatch(pres));
+    for (gf::RingElem& share : shares) share[0] = Perturb(share[0]);
+    return shares;
+  }
+  StatusOr<std::string> FetchSealed(uint32_t pre) override {
+    return inner_->FetchSealed(pre);
+  }
+  StatusOr<uint64_t> NodeCount() override { return inner_->NodeCount(); }
+  uint64_t RoundTrips() const override { return inner_->RoundTrips(); }
+
+ private:
+  gf::Elem Perturb(gf::Elem value) const {
+    return ring_.field().Add(value, 1);
+  }
+
+  const gf::Ring& ring_;
+  filter::ServerFilter* inner_;
+};
+
+TEST_F(MultiServerTest, TamperedSliceIsDetectedByFullVerification) {
+  auto db = EncodeWithServers(xml_, map_, seed_, 2);
+  ASSERT_TRUE(db.ok());
+  filter::LocalServerFilter slice0(ring_, (*db)->slice_store(0));
+  filter::LocalServerFilter slice1(ring_, (*db)->slice_store(1));
+  TamperingFilter tampered(ring_, &slice1);
+
+  filter::MultiServerFilter fanout(ring_, {&slice0, &tampered});
+  filter::ClientFilter client(ring_, prg::Prg(seed_), &fanout);
+  client.set_full_verification(true);
+
+  auto root = client.Root();
+  ASSERT_TRUE(root.ok());
+  auto recovered = client.RecoverOwnValue(*root);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kCorruption)
+      << recovered.status().ToString();
+
+  // Control: the untampered fan-out recovers the root's tag under the same
+  // full-verification mode.
+  filter::MultiServerFilter honest(ring_, {&slice0, &slice1});
+  filter::ClientFilter honest_client(ring_, prg::Prg(seed_), &honest);
+  honest_client.set_full_verification(true);
+  auto honest_root = honest_client.Root();
+  ASSERT_TRUE(honest_root.ok());
+  auto honest_value = honest_client.RecoverOwnValue(*honest_root);
+  ASSERT_TRUE(honest_value.ok()) << honest_value.status().ToString();
+  EXPECT_EQ(*honest_value, *map_.Lookup("site"));
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Documentation consistency checks (CI docs job):
+#   1. Every intra-repo markdown link in *.md resolves to a real file.
+#   2. Every `## §N` section heading in DESIGN.md is cited by at least one
+#      source file (as `DESIGN.md §N` / `see DESIGN.md §N`), and every
+#      `DESIGN.md §N` citation in the sources names a section that exists —
+#      so § citations resolve both ways.
+#
+# Run from anywhere inside the repository.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. intra-repo markdown links ------------------------------------------
+while IFS=: read -r file link; do
+  # Strip anchors and skip external / mailto links.
+  target="${link%%#*}"
+  case "$target" in
+    http://*|https://*|mailto:*|"") continue ;;
+  esac
+  dir="$(dirname "$file")"
+  if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+    echo "BROKEN LINK: $file -> $link"
+    fail=1
+  fi
+done < <(grep -o '\[[^]]*\]([^)]*)' --include='*.md' -r . \
+           --exclude-dir=build --exclude-dir=.git --exclude=SNIPPETS.md \
+         | sed 's/^\([^:]*\):\[[^]]*\](\([^)]*\))$/\1:\2/')
+
+# --- 2. DESIGN.md § sections vs source citations ---------------------------
+sections="$(grep -o '^## §[0-9]*' DESIGN.md | grep -o '§[0-9]*' | sort -u)"
+if [ -z "$sections" ]; then
+  echo "NO SECTIONS: DESIGN.md has no '## §N' headings"
+  fail=1
+fi
+
+for section in $sections; do
+  if ! grep -rq "DESIGN.md ${section}\b" src tools bench tests examples; then
+    echo "UNCITED SECTION: DESIGN.md $section is cited by no source file"
+    fail=1
+  fi
+done
+
+while IFS=: read -r file cited; do
+  if ! printf '%s\n' "$sections" | grep -qx "$cited"; then
+    echo "DANGLING CITATION: $file cites DESIGN.md $cited (no such section)"
+    fail=1
+  fi
+done < <(grep -ro 'DESIGN.md §[0-9][0-9]*' src tools bench tests examples \
+         | sed 's/DESIGN.md //' | sort -u)
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs OK: links resolve, § citations resolve both ways"
+fi
+exit "$fail"

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# The README's 2-server quickstart (DESIGN.md §5), end to end, against a
+# build directory: generate a document, produce key material, encode two
+# share slices, serve each over its own unix socket, query through the
+# concurrent fan-out session — and assert the answer matches a local
+# single-server run of the same query.
+#
+#   tools/quickstart_2server.sh [BUILD_DIR]   # default: build
+
+set -eu
+
+build_dir="${1:-build}"
+cd "$(dirname "$0")/.."
+build_dir="$(cd "$build_dir" && pwd)"
+
+work="$(mktemp -d /tmp/ssdb_quickstart.XXXXXX)"
+pids=""
+cleanup() {
+  for pid in $pids; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+cd "$work"
+query="/site//person"
+
+"$build_dir/ssdb_xmlgen" --kb 64 --out doc.xml
+"$build_dir/ssdb_keygen" --map map.properties --seed seed.key
+"$build_dir/ssdb_encode" --map map.properties --seed seed.key \
+    --xml doc.xml --out db.ssdb --servers=2
+
+"$build_dir/ssdb_server" --db db.ssdb --servers=2 --share-index=0 \
+    --socket "$work/s0.sock" &
+pids="$pids $!"
+"$build_dir/ssdb_server" --db db.ssdb --servers=2 --share-index=1 \
+    --socket "$work/s1.sock" &
+pids="$pids $!"
+
+for _ in $(seq 50); do
+  [ -S "$work/s0.sock" ] && [ -S "$work/s1.sock" ] && break
+  sleep 0.1
+done
+
+"$build_dir/ssdb_query" --connect "$work/s0.sock,$work/s1.sock" \
+    --map map.properties --seed seed.key "$query" | tee two_server.out
+
+# Reference: the same query over the slice files opened locally as one
+# 2-server fan-out must agree with a fresh single-server encode.
+"$build_dir/ssdb_encode" --map map.properties --seed seed.key \
+    --xml doc.xml --out db1.ssdb >/dev/null
+"$build_dir/ssdb_query" --db db1.ssdb --map map.properties --seed seed.key \
+    "$query" | tee one_server.out
+
+remote_pre="$(grep '  pre:' two_server.out)"
+local_pre="$(grep '  pre:' one_server.out)"
+if [ "$remote_pre" != "$local_pre" ]; then
+  echo "MISMATCH: 2-server fan-out and single-server disagree"
+  echo "  2-server: $remote_pre"
+  echo "  1-server: $local_pre"
+  exit 1
+fi
+if ! grep -q 'per-server trips:' two_server.out; then
+  echo "MISSING: per-server round-trip stats not reported"
+  exit 1
+fi
+
+echo "quickstart OK: 2-server fan-out matches single-server results"

@@ -4,6 +4,11 @@
 //
 //   ssdb_encode --map map.properties --seed seed.key --xml doc.xml
 //               --out db.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain]
+//               [--servers m]
+//
+// With --servers m > 1 the additive share is split across m slice files
+// (DESIGN.md §5): db.ssdb.s0ofm ... db.ssdb.s(m-1)ofm, one per untrusted
+// server. Each slice alone is uniformly random.
 
 #include <cstdio>
 #include <string>
@@ -23,11 +28,13 @@ int main(int argc, char** argv) {
   std::string out_path = args.Get("--out", "db.ssdb");
   uint32_t p = args.GetInt("--p", 83);
   uint32_t e = args.GetInt("--e", 1);
+  uint32_t servers = args.GetInt("--servers", 1);
 
-  if (xml_path.empty()) {
+  if (xml_path.empty() || servers == 0) {
     std::fprintf(stderr,
                  "usage: ssdb_encode --map MAP --seed SEED --xml DOC.xml "
-                 "--out DB.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain]\n");
+                 "--out DB.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain] "
+                 "[--servers m]\n");
     return 1;
   }
 
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
   options.disk_path = out_path;
   options.encode.trie = args.Has("--trie");
   options.encode.use_eval_domain = !args.Has("--coeff-domain");
+  options.servers = servers;
 
   Stopwatch watch;
   auto db = core::EncryptedXmlDatabase::Encode(*xml, *map, *seed, options);
@@ -58,9 +66,15 @@ int main(int argc, char** argv) {
   std::printf("encoded %llu nodes from %s (%s) in %.2fs\n",
               (unsigned long long)stats->node_count, xml_path.c_str(),
               HumanBytes(xml->size()).c_str(), seconds);
-  std::printf("database %s: data %s, indexes %s, file %s\n",
-              out_path.c_str(), HumanBytes(stats->data_bytes).c_str(),
-              HumanBytes(stats->index_bytes).c_str(),
-              HumanBytes(stats->file_bytes).c_str());
+  for (uint32_t i = 0; i < servers; ++i) {
+    std::string path = core::ShareSlicePath(out_path, i, servers);
+    auto slice_stats = (*db)->slice_store(i)->Stats();
+    if (!slice_stats.ok()) return tools::Fail(slice_stats.status());
+    std::printf("%s %s: data %s, indexes %s, file %s\n",
+                servers > 1 ? "slice" : "database", path.c_str(),
+                HumanBytes(slice_stats->data_bytes).c_str(),
+                HumanBytes(slice_stats->index_bytes).c_str(),
+                HumanBytes(slice_stats->file_bytes).c_str());
+  }
   return 0;
 }

@@ -1,18 +1,30 @@
-// ssdb_query: runs XPath-subset queries against an encrypted database file
-// (local) or a running ssdb_server (remote).
+// ssdb_query: runs XPath-subset queries against an encrypted database
+// (local) or one or more running ssdb_server processes (remote). In an
+// m-server deployment (DESIGN.md §5) every server holds one share slice;
+// evaluations fan out to all of them concurrently and the replies are
+// summed client-side.
 //
 //   ssdb_query --db db.ssdb --map map.properties --seed seed.key
-//              [--engine simple|advanced] [--mode strict|nonstrict]
+//              [--servers m] [--engine simple|advanced]
+//              [--mode strict|nonstrict] [--full-verify]
 //              [--p 83] [--e 1] "QUERY" ["QUERY" ...]
-//   ssdb_query --connect /tmp/ssdb.sock --map ... --seed ... "QUERY"
+//   ssdb_query --connect /tmp/s0.sock[,/tmp/s1.sock,...] --map ... --seed ...
+//              "QUERY"
+//
+// --connect may be repeated or comma-separated, one socket per share slice
+// in slice order (slice 0 first). --servers m with --db opens the m local
+// slice files of an `ssdb_encode --servers m` run.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
+#include "filter/multi_server_filter.h"
 #include "rpc/client.h"
+#include "rpc/multi_session.h"
 #include "rpc/socket_channel.h"
 #include "storage/table.h"
 #include "tools/tool_util.h"
@@ -21,23 +33,26 @@ int main(int argc, char** argv) {
   using namespace ssdb;
   tools::Args args(argc, argv);
   std::string db_path = args.Get("--db", "");
-  std::string connect = args.Get("--connect", "");
+  std::vector<std::string> connects = args.GetList("--connect");
   std::string map_path = args.Get("--map", "map.properties");
   std::string seed_path = args.Get("--seed", "seed.key");
   uint32_t p = args.GetInt("--p", 83);
   uint32_t e = args.GetInt("--e", 1);
+  uint32_t servers = args.GetInt("--servers", 1);
   bool advanced = args.Get("--engine", "advanced") != "simple";
   bool strict = args.Get("--mode", "strict") != "nonstrict";
 
   std::vector<std::string> queries;
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i][0] == '/') queries.push_back(argv[i]);
+  for (const std::string& arg : args.Positionals({"--full-verify"})) {
+    if (arg[0] == '/') queries.push_back(arg);
   }
-  if (queries.empty() || (db_path.empty() && connect.empty())) {
+  if (queries.empty() || (db_path.empty() && connects.empty()) ||
+      servers == 0) {
     std::fprintf(stderr,
-                 "usage: ssdb_query (--db DB.ssdb | --connect SOCK) "
-                 "--map MAP --seed SEED [--engine simple|advanced] "
-                 "[--mode strict|nonstrict] \"/site//query\" ...\n");
+                 "usage: ssdb_query (--db DB.ssdb [--servers m] | "
+                 "--connect SOCK[,SOCK...]) --map MAP --seed SEED "
+                 "[--engine simple|advanced] [--mode strict|nonstrict] "
+                 "[--full-verify] \"/site//query\" ...\n");
     return 1;
   }
 
@@ -48,22 +63,72 @@ int main(int argc, char** argv) {
   auto seed = prg::Seed::LoadFromFile(seed_path);
   if (!seed.ok()) return tools::Fail(seed.status());
 
-  // Build the client filter stack over either a local store or a socket.
+  // Build the client filter stack over local slice stores or sockets — one
+  // backend per share slice, fanned out through a MultiServerFilter when
+  // there is more than one.
   gf::Ring ring(*field);
-  std::unique_ptr<storage::NodeStore> store;
+  std::vector<std::unique_ptr<storage::NodeStore>> stores;
+  std::vector<std::unique_ptr<filter::ServerFilter>> backends;
+  std::unique_ptr<rpc::MultiServerSession> session;
   std::unique_ptr<filter::ServerFilter> server;
-  if (!connect.empty()) {
-    auto channel = rpc::ConnectUnix(connect);
-    if (!channel.ok()) return tools::Fail(channel.status());
-    server = std::make_unique<rpc::RemoteServerFilter>(ring,
-                                                       std::move(*channel));
+  filter::ServerFilter* server_view = nullptr;
+
+  if (!connects.empty()) {
+    if (connects.size() == 1) {
+      auto channel = rpc::ConnectUnix(connects[0]);
+      if (!channel.ok()) return tools::Fail(channel.status());
+      server = std::make_unique<rpc::RemoteServerFilter>(ring,
+                                                         std::move(*channel));
+      server_view = server.get();
+    } else {
+      auto connected = rpc::MultiServerSession::ConnectUnix(ring, connects);
+      if (!connected.ok()) return tools::Fail(connected.status());
+      session = std::move(*connected);
+      server_view = session->filter();
+    }
   } else {
-    auto disk = storage::DiskNodeStore::Open(db_path);
-    if (!disk.ok()) return tools::Fail(disk.status());
-    store = std::move(*disk);
-    server = std::make_unique<filter::LocalServerFilter>(ring, store.get());
+    std::vector<filter::ServerFilter*> raw_backends;
+    for (uint32_t i = 0; i < servers; ++i) {
+      auto disk = storage::DiskNodeStore::Open(
+          core::ShareSlicePath(db_path, i, servers));
+      if (!disk.ok()) return tools::Fail(disk.status());
+      stores.push_back(std::move(*disk));
+      backends.push_back(std::make_unique<filter::LocalServerFilter>(
+          ring, stores.back().get()));
+      raw_backends.push_back(backends.back().get());
+    }
+    if (servers == 1) {
+      server = std::move(backends[0]);
+      backends.clear();
+    } else {
+      server = std::make_unique<filter::MultiServerFilter>(
+          ring, std::move(raw_backends));
+    }
+    server_view = server.get();
   }
-  filter::ClientFilter client(ring, prg::Prg(*seed), server.get());
+  filter::ClientFilter client(ring, prg::Prg(*seed), server_view);
+  client.set_full_verification(args.Has("--full-verify"));
+
+  // Share-sum sanity probe: recover the root's own tag through the
+  // verified equality-test division. An incomplete or tampered share sum
+  // (too few --connect sockets, a lone socket pointing at one slice of a
+  // larger split, a modified slice) fails verification here instead of
+  // silently returning wrong results. Runs for every remote connection
+  // and every local multi-slice deployment.
+  if (!connects.empty() || server_view->ServerCount() > 1) {
+    auto root = client.Root();
+    if (!root.ok()) return tools::Fail(root.status());
+    auto probe = client.RecoverOwnValue(*root);
+    if (!probe.ok()) {
+      std::fprintf(stderr,
+                   "error: share-sum sanity probe failed — are all %zu "
+                   "slices of this database connected, in slice order?\n"
+                   "  %s\n",
+                   connects.empty() ? (size_t)servers : connects.size(),
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+  }
   query::SimpleEngine simple(&client, &*map);
   query::AdvancedEngine adv(&client, &*map);
   query::QueryEngine* engine =
@@ -81,10 +146,19 @@ int main(int argc, char** argv) {
     std::printf("%s  [%s/%s]\n", text.c_str(), engine->name().data(),
                 query::MatchModeName(mode).data());
     std::printf("  %zu result(s) in %.1f ms, %llu evaluations, %llu server "
-                "calls\n",
+                "calls, %llu round trips\n",
                 result->size(), stats.seconds * 1e3,
                 (unsigned long long)stats.eval.evaluations,
-                (unsigned long long)stats.eval.server_calls);
+                (unsigned long long)stats.eval.server_calls,
+                (unsigned long long)stats.eval.round_trips);
+    if (stats.eval.per_server_round_trips.size() > 1) {
+      std::printf("  per-server trips:");
+      for (uint64_t trips : stats.eval.per_server_round_trips) {
+        std::printf(" %llu", (unsigned long long)trips);
+      }
+      std::printf("  (straggler wait %.1f ms)\n",
+                  stats.eval.straggler_seconds * 1e3);
+    }
     std::printf("  pre:");
     size_t shown = 0;
     for (const auto& node : *result) {

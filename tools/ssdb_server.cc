@@ -1,15 +1,21 @@
-// ssdb_server: serves an encrypted database file over a unix socket — the
+// ssdb_server: serves an encrypted database file over a unix socket — one
 // untrusted server process of fig. 3. It loads no key material; it can only
 // evaluate stored shares and hand out structure.
 //
 //   ssdb_server --db db.ssdb --socket /tmp/ssdb.sock [--p 83] [--e 1]
+//               [--servers m --share-index i]
 //
-// Serves one connection after another until killed (the prototype's model).
+// In an m-server deployment (DESIGN.md §5) each host runs one ssdb_server
+// over its own share slice; --servers/--share-index resolve the slice file
+// from the base --db path (db.ssdb.s<i>of<m>), or point --db at the slice
+// file directly. Serves one connection after another until killed (the
+// prototype's model).
 
 #include <csignal>
 #include <cstdio>
 #include <string>
 
+#include "core/options.h"
 #include "filter/server_filter.h"
 #include "rpc/server.h"
 #include "rpc/socket_channel.h"
@@ -23,6 +29,14 @@ int main(int argc, char** argv) {
   std::string socket_path = args.Get("--socket", "/tmp/ssdb.sock");
   uint32_t p = args.GetInt("--p", 83);
   uint32_t e = args.GetInt("--e", 1);
+  uint32_t servers = args.GetInt("--servers", 1);
+  uint32_t share_index = args.GetInt("--share-index", 0);
+
+  if (servers == 0 || share_index >= servers) {
+    std::fprintf(stderr, "error: --share-index must be < --servers\n");
+    return 1;
+  }
+  db_path = core::ShareSlicePath(db_path, share_index, servers);
 
   auto field = gf::Field::Make(p, e);
   if (!field.ok()) return tools::Fail(field.status());
@@ -36,8 +50,14 @@ int main(int argc, char** argv) {
   auto listener = rpc::UnixServerSocket::Listen(socket_path);
   if (!listener.ok()) return tools::Fail(listener.status());
 
-  std::printf("serving %s (%llu nodes) on %s\n", db_path.c_str(),
-              (unsigned long long)*count, socket_path.c_str());
+  if (servers > 1) {
+    std::printf("serving %s (slice %u/%u, %llu nodes) on %s\n",
+                db_path.c_str(), share_index, servers,
+                (unsigned long long)*count, socket_path.c_str());
+  } else {
+    std::printf("serving %s (%llu nodes) on %s\n", db_path.c_str(),
+                (unsigned long long)*count, socket_path.c_str());
+  }
 
   filter::LocalServerFilter filter(ring, store->get());
   rpc::RpcServer server(ring, &filter);

@@ -1,4 +1,6 @@
-// Minimal flag parsing + error reporting shared by the CLI tools.
+// Minimal flag parsing + error reporting shared by the CLI tools. Flags are
+// accepted as "--flag value" or "--flag=value"; list-valued flags may be
+// repeated and/or comma-separated ("--connect a.sock,b.sock").
 
 #ifndef SSDB_TOOLS_TOOL_UTIL_H_
 #define SSDB_TOOLS_TOOL_UTIL_H_
@@ -7,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -17,15 +20,27 @@ class Args {
   Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
 
   bool Has(const char* flag) const {
+    const size_t flag_len = std::strlen(flag);
     for (int i = 1; i < argc_; ++i) {
       if (std::strcmp(argv_[i], flag) == 0) return true;
+      if (std::strncmp(argv_[i], flag, flag_len) == 0 &&
+          argv_[i][flag_len] == '=') {
+        return true;
+      }
     }
     return false;
   }
 
   std::string Get(const char* flag, const std::string& fallback) const {
-    for (int i = 1; i + 1 < argc_; ++i) {
-      if (std::strcmp(argv_[i], flag) == 0) return argv_[i + 1];
+    const size_t flag_len = std::strlen(flag);
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], flag) == 0 && i + 1 < argc_) {
+        return argv_[i + 1];
+      }
+      if (std::strncmp(argv_[i], flag, flag_len) == 0 &&
+          argv_[i][flag_len] == '=') {
+        return argv_[i] + flag_len + 1;
+      }
     }
     return fallback;
   }
@@ -34,6 +49,53 @@ class Args {
     std::string value = Get(flag, "");
     if (value.empty()) return fallback;
     return static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+  }
+
+  // Arguments that are neither flags nor flag values. `boolean_flags` names
+  // the flags that take no value; every other "--flag" consumes the next
+  // argument (unless written as "--flag=value").
+  std::vector<std::string> Positionals(
+      const std::vector<std::string>& boolean_flags) const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], "--", 2) != 0) {
+        out.push_back(argv_[i]);
+        continue;
+      }
+      bool is_boolean = false;
+      for (const std::string& flag : boolean_flags) {
+        if (flag == argv_[i]) {
+          is_boolean = true;
+          break;
+        }
+      }
+      if (!is_boolean && std::strchr(argv_[i], '=') == nullptr) ++i;
+    }
+    return out;
+  }
+
+  // Every occurrence of the flag, with comma-separated values split out.
+  std::vector<std::string> GetList(const char* flag) const {
+    const size_t flag_len = std::strlen(flag);
+    std::vector<std::string> values;
+    auto split_into = [&values](const std::string& value) {
+      size_t start = 0;
+      while (start <= value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        if (comma > start) values.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+      }
+    };
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], flag) == 0 && i + 1 < argc_) {
+        split_into(argv_[i + 1]);
+      } else if (std::strncmp(argv_[i], flag, flag_len) == 0 &&
+                 argv_[i][flag_len] == '=') {
+        split_into(argv_[i] + flag_len + 1);
+      }
+    }
+    return values;
   }
 
  private:
