@@ -6,10 +6,18 @@
 // trips (straggler-counted under fan-out) and bytes moved, then one
 // machine-readable JSON line for trajectory tracking.
 //
-//   bench_rpc [--servers m]   # restrict the fan-out rows to one m
+// Second section: multi-client throughput against the concurrent server
+// (DESIGN.md §7) — 1/4/16 concurrent clients x m in {1, 2} servers, each
+// client running the query in a loop over its own connection; reports
+// aggregate queries/sec and p50/p99 per-query latency, plus a second
+// BENCH_JSON line. The scaling win of the worker pool is measured here,
+// not asserted.
+//
+//   bench_rpc [--servers m]   # restrict the fan-out/multi-client rows
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -17,6 +25,7 @@
 
 #include "bench/bench_util.h"
 #include "rpc/client.h"
+#include "rpc/concurrent_server.h"
 #include "rpc/multi_session.h"
 #include "rpc/server.h"
 #include "rpc/socket_channel.h"
@@ -125,6 +134,105 @@ struct SliceServers {
   }
 };
 
+// --- multi-client throughput against the concurrent server -----------------
+
+struct ClientScalingRow {
+  uint32_t servers = 1;
+  uint32_t clients = 1;
+  uint64_t queries = 0;
+  double wall_s = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+// One ConcurrentServer per share slice, all slices of one database.
+struct ConcurrentSliceServers {
+  std::vector<std::unique_ptr<rpc::ConcurrentServer>> servers;
+  std::vector<std::string> paths;
+
+  ConcurrentSliceServers(BenchDb* db, uint32_t m) {
+    for (uint32_t i = 0; i < m; ++i) {
+      paths.push_back("/tmp/ssdb_bench_mc_" + std::to_string(::getpid()) +
+                      "_m" + std::to_string(m) + "_s" + std::to_string(i) +
+                      ".sock");
+      auto listener = *rpc::UnixServerSocket::Listen(paths.back());
+      servers.push_back(std::make_unique<rpc::ConcurrentServer>(
+          db->db->ring(), db->db->slice_filter(i), std::move(listener),
+          rpc::ConcurrentServerOptions{}));
+      SSDB_CHECK_OK(servers.back()->Start());
+    }
+  }
+
+  void Shutdown() {
+    for (auto& server : servers) server->Shutdown();
+  }
+};
+
+ClientScalingRow RunMultiClientCell(BenchDb* db,
+                                    const std::vector<std::string>& paths,
+                                    uint32_t clients, uint32_t per_client,
+                                    const std::string& query) {
+  std::vector<std::vector<double>> latencies(clients);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([db, &paths, &latencies, &query, per_client, c] {
+      auto session =
+          *rpc::MultiServerSession::ConnectUnix(db->db->ring(), paths);
+      filter::ClientFilter client(db->db->ring(),
+                                  prg::Prg(prg::Seed::FromUint64(42)),
+                                  session->filter());
+      query::AdvancedEngine engine(&client, &db->map);
+      auto parsed = *query::ParseQuery(query);
+      latencies[c].reserve(per_client);
+      for (uint32_t i = 0; i < per_client; ++i) {
+        Stopwatch one;
+        auto result =
+            engine.Execute(parsed, query::MatchMode::kContainment, nullptr);
+        SSDB_CHECK(result.ok());
+        latencies[c].push_back(one.ElapsedSeconds());
+      }
+      SSDB_CHECK_OK(session->Shutdown());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ClientScalingRow row;
+  row.servers = static_cast<uint32_t>(paths.size());
+  row.clients = clients;
+  row.wall_s = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  row.queries = all.size();
+  row.qps = row.wall_s > 0 ? static_cast<double>(all.size()) / row.wall_s : 0;
+  row.p50_ms = all[all.size() / 2] * 1e3;
+  row.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)] * 1e3;
+  return row;
+}
+
+void PrintClientScalingJson(const std::string& query,
+                            const std::vector<ClientScalingRow>& rows) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"rpc_multi_client\",\"query\":\"%s\","
+      "\"worker_threads\":%u,\"rows\":[",
+      query.c_str(), std::thread::hardware_concurrency());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ClientScalingRow& r = rows[i];
+    std::printf(
+        "%s{\"servers\":%u,\"clients\":%u,\"queries\":%llu,"
+        "\"wall_s\":%.4f,\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}",
+        i == 0 ? "" : ",", r.servers, r.clients,
+        static_cast<unsigned long long>(r.queries), r.wall_s, r.qps,
+        r.p50_ms, r.p99_ms);
+  }
+  std::printf("]}\n");
+}
+
 Measurement RunMultiServer(uint64_t target_bytes, uint32_t servers,
                            const std::string& query) {
   auto db = BuildXmarkDb(target_bytes, 42, servers);
@@ -216,6 +324,41 @@ void Run(int argc, char** argv) {
       "of candidates examined; with m-server fan-out they stay equal to the\n"
       "single-server case while total bytes scale with m.\n\n");
   PrintJson(query, rows);
+
+  // --- multi-client scaling against the concurrent server (DESIGN.md §7).
+  // Same database, same query; only the number of concurrent connections
+  // changes. Every client runs `per_client` queries over its own socket.
+  PrintHeader("Multi-client throughput for " + query);
+  std::printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n", "servers",
+              "clients", "queries", "wall(s)", "queries/s", "p50(ms)",
+              "p99(ms)");
+  const uint32_t per_client = 8;
+  std::vector<ClientScalingRow> scaling_rows;
+  std::unique_ptr<BenchDb> db2;
+  for (uint32_t servers : {1u, 2u}) {
+    if (only_servers != 0 && servers != only_servers) continue;
+    BenchDb* cell_db = db.get();
+    if (servers > 1) {
+      if (db2 == nullptr) db2 = BuildXmarkDb(target_bytes, 42, servers);
+      cell_db = db2.get();
+    }
+    ConcurrentSliceServers slice_servers(cell_db, servers);
+    for (uint32_t clients : {1u, 4u, 16u}) {
+      ClientScalingRow row = RunMultiClientCell(
+          cell_db, slice_servers.paths, clients, per_client, query);
+      std::printf("%-10u %-10u %-10llu %-12.3f %-12.1f %-12.3f %-12.3f\n",
+                  row.servers, row.clients,
+                  static_cast<unsigned long long>(row.queries), row.wall_s,
+                  row.qps, row.p50_ms, row.p99_ms);
+      scaling_rows.push_back(row);
+    }
+    slice_servers.Shutdown();
+  }
+  std::printf(
+      "\nAll cells share one worker pool per server (hardware concurrency\n"
+      "threads); throughput should grow with concurrent clients until the\n"
+      "pool saturates, while p50 stays near the single-client latency.\n\n");
+  PrintClientScalingJson(query, scaling_rows);
 }
 
 }  // namespace

@@ -138,6 +138,14 @@ StatusOr<QueryResult> EncryptedXmlDatabase::QueryParsed(
   return result;
 }
 
+filter::ServerFilter* EncryptedXmlDatabase::slice_filter(size_t i) {
+  if (!backends_.empty()) {
+    return i < backends_.size() ? backends_[i].get() : nullptr;
+  }
+  if (i == 0 && !stores_.empty()) return server_.get();
+  return nullptr;
+}
+
 Status EncryptedXmlDatabase::Serve(rpc::Channel* channel) {
   if (server_view_ == nullptr) {
     return Status::FailedPrecondition("no server filter attached");

@@ -103,6 +103,12 @@ class EncryptedXmlDatabase {
   filter::ClientFilter* client_filter() { return client_.get(); }
   filter::ServerFilter* server_filter() { return server_view_; }
 
+  // Long-lived filter over share slice i, shared by every connection a
+  // concurrent transport dispatches (DESIGN.md §7) — unlike ServeSlice,
+  // which builds a per-call filter. Null when i is out of range or in
+  // remote mode. For m == 1, slice 0 is the whole server share.
+  filter::ServerFilter* slice_filter(size_t i);
+
   // Total server exchanges so far (wire round trips in remote mode,
   // straggler-counted under multi-server fan-out); the per-query delta is
   // reported in QueryStats.eval.round_trips.

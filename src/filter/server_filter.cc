@@ -3,19 +3,19 @@
 namespace ssdb::filter {
 
 StatusOr<NodeMeta> LocalServerFilter::Root() {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetRoot());
   return MetaOf(row);
 }
 
 StatusOr<NodeMeta> LocalServerFilter::GetNode(uint32_t pre) {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   return MetaOf(row);
 }
 
 StatusOr<std::vector<NodeMeta>> LocalServerFilter::Children(uint32_t pre) {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(std::vector<storage::NodeRow> rows,
                         store_->GetChildren(pre));
   std::vector<NodeMeta> out;
@@ -26,7 +26,7 @@ StatusOr<std::vector<NodeMeta>> LocalServerFilter::Children(uint32_t pre) {
 
 StatusOr<std::vector<std::vector<NodeMeta>>> LocalServerFilter::ChildrenBatch(
     const std::vector<uint32_t>& pres) {
-  ++round_trips_;
+  CountTrip();
   std::vector<std::vector<NodeMeta>> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
@@ -42,23 +42,43 @@ StatusOr<std::vector<std::vector<NodeMeta>>> LocalServerFilter::ChildrenBatch(
 
 StatusOr<uint64_t> LocalServerFilter::OpenDescendantCursor(uint32_t pre,
                                                            uint32_t post) {
-  ++round_trips_;
+  return OpenDescendantCursor(SessionId{0}, pre, post);
+}
+
+StatusOr<std::vector<NodeMeta>> LocalServerFilter::NextNodes(
+    uint64_t cursor_id, size_t max_batch) {
+  return NextNodes(SessionId{0}, cursor_id, max_batch);
+}
+
+Status LocalServerFilter::CloseCursor(uint64_t cursor_id) {
+  return CloseCursor(SessionId{0}, cursor_id);
+}
+
+StatusOr<uint64_t> LocalServerFilter::OpenDescendantCursor(SessionId session,
+                                                           uint32_t pre,
+                                                           uint32_t post) {
+  CountTrip();
   Cursor cursor;
+  cursor.session = session.value;
   SSDB_RETURN_IF_ERROR(store_->ScanDescendants(
       pre, post, [&](const storage::NodeRow& row) {
         cursor.buffered.push_back(MetaOf(row));
         return true;
       }));
+  std::lock_guard<std::mutex> lock(cursors_mu_);
   uint64_t id = next_cursor_++;
   cursors_.emplace(id, std::move(cursor));
   return id;
 }
 
 StatusOr<std::vector<NodeMeta>> LocalServerFilter::NextNodes(
-    uint64_t cursor_id, size_t max_batch) {
-  ++round_trips_;
+    SessionId session, uint64_t cursor_id, size_t max_batch) {
+  CountTrip();
+  std::lock_guard<std::mutex> lock(cursors_mu_);
   auto it = cursors_.find(cursor_id);
-  if (it == cursors_.end()) {
+  // A cursor opened by another connection must look exactly like a cursor
+  // that does not exist (DESIGN.md §7).
+  if (it == cursors_.end() || it->second.session != session.value) {
     return Status::NotFound("no such cursor");
   }
   Cursor& cursor = it->second;
@@ -72,14 +92,34 @@ StatusOr<std::vector<NodeMeta>> LocalServerFilter::NextNodes(
   return batch;
 }
 
-Status LocalServerFilter::CloseCursor(uint64_t cursor_id) {
-  ++round_trips_;
-  cursors_.erase(cursor_id);
+Status LocalServerFilter::CloseCursor(SessionId session, uint64_t cursor_id) {
+  CountTrip();
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  auto it = cursors_.find(cursor_id);
+  if (it != cursors_.end() && it->second.session == session.value) {
+    cursors_.erase(it);
+  }
   return Status::OK();
 }
 
+void LocalServerFilter::EndSession(SessionId session) {
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->second.session == session.value) {
+      it = cursors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t LocalServerFilter::OpenCursorCount() const {
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  return cursors_.size();
+}
+
 StatusOr<gf::Elem> LocalServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
   return ring_.Eval(share, t);
@@ -87,7 +127,7 @@ StatusOr<gf::Elem> LocalServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
 
 StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
     const std::vector<uint32_t>& pres, gf::Elem t) {
-  ++round_trips_;
+  CountTrip();
   std::vector<gf::Elem> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
@@ -100,7 +140,7 @@ StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
 
 StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
     uint32_t pre, const std::vector<gf::Elem>& points) {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
   std::vector<gf::Elem> out;
@@ -112,14 +152,14 @@ StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
 }
 
 StatusOr<gf::RingElem> LocalServerFilter::FetchShare(uint32_t pre) {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   return ring_.Deserialize(row.share);
 }
 
 StatusOr<std::vector<gf::RingElem>> LocalServerFilter::FetchShareBatch(
     const std::vector<uint32_t>& pres) {
-  ++round_trips_;
+  CountTrip();
   std::vector<gf::RingElem> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
@@ -131,13 +171,13 @@ StatusOr<std::vector<gf::RingElem>> LocalServerFilter::FetchShareBatch(
 }
 
 StatusOr<std::string> LocalServerFilter::FetchSealed(uint32_t pre) {
-  ++round_trips_;
+  CountTrip();
   SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
   return row.sealed;
 }
 
 StatusOr<uint64_t> LocalServerFilter::NodeCount() {
-  ++round_trips_;
+  CountTrip();
   return store_->NodeCount();
 }
 

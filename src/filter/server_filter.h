@@ -8,12 +8,22 @@
 /// (src/rpc/client.h) speaks the same interface over a channel, replacing
 /// the paper's Java RMI; MultiServerFilter (src/filter/multi_server_filter.h,
 /// DESIGN.md §5) fans out to m share-slice servers and sums their replies.
+///
+/// Concurrency (DESIGN.md §7): one LocalServerFilter is shared by every
+/// connection a concurrent transport dispatches. Share/structure reads are
+/// stateless and embarrassingly parallel (the store serializes internally);
+/// the only server-side state — the descendant-cursor registry — is a
+/// mutexed table keyed by (session, cursor id), so cursors opened on one
+/// connection are invisible to every other and are reclaimed by EndSession
+/// when a connection dies.
 
 #ifndef SSDB_FILTER_SERVER_FILTER_H_
 #define SSDB_FILTER_SERVER_FILTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "gf/ring.h"
@@ -38,6 +48,14 @@ inline NodeMeta MetaOf(const storage::NodeRow& row) {
   return NodeMeta{row.pre, row.post, row.parent};
 }
 
+// Identity of the connection issuing a cursor operation (DESIGN.md §7).
+// Session 0 is the implicit session of the single-connection entry points;
+// the concurrent transport passes each connection's id. A strong type so
+// the session can never be confused with a pre number or cursor id.
+struct SessionId {
+  uint64_t value = 0;
+};
+
 class ServerFilter {
  public:
   virtual ~ServerFilter() = default;
@@ -60,6 +78,32 @@ class ServerFilter {
   virtual StatusOr<std::vector<NodeMeta>> NextNodes(uint64_t cursor,
                                                     size_t max_batch) = 0;
   virtual Status CloseCursor(uint64_t cursor) = 0;
+
+  // Session-scoped cursor entry points used by the concurrent transport
+  // (DESIGN.md §7): a cursor is only visible to the session that opened it.
+  // The defaults drop the session — correct for client-side stubs, where
+  // the remote server scopes sessions by connection.
+  virtual StatusOr<uint64_t> OpenDescendantCursor(SessionId session,
+                                                  uint32_t pre,
+                                                  uint32_t post) {
+    (void)session;
+    return OpenDescendantCursor(pre, post);
+  }
+  virtual StatusOr<std::vector<NodeMeta>> NextNodes(SessionId session,
+                                                    uint64_t cursor,
+                                                    size_t max_batch) {
+    (void)session;
+    return NextNodes(cursor, max_batch);
+  }
+  virtual Status CloseCursor(SessionId session, uint64_t cursor) {
+    (void)session;
+    return CloseCursor(cursor);
+  }
+  // Reclaims everything the session left behind (open cursors); called by
+  // the transport when a connection closes, however it closed.
+  virtual void EndSession(SessionId session) { (void)session; }
+  // Open cursors across all sessions (leak detection in tests).
+  virtual uint64_t OpenCursorCount() const { return 0; }
 
   // Evaluates the stored server share of node `pre` at point t.
   virtual StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) = 0;
@@ -102,6 +146,9 @@ class ServerFilter {
   virtual double StragglerSeconds() const { return 0.0; }
 };
 
+// Thread-safe: any number of connections may call concurrently. Reads are
+// lock-free here (the store serializes internally); the cursor registry is
+// the one mutexed structure (DESIGN.md §7).
 class LocalServerFilter : public ServerFilter {
  public:
   // `store` must outlive the filter.
@@ -118,6 +165,14 @@ class LocalServerFilter : public ServerFilter {
   StatusOr<std::vector<NodeMeta>> NextNodes(uint64_t cursor,
                                             size_t max_batch) override;
   Status CloseCursor(uint64_t cursor) override;
+  StatusOr<uint64_t> OpenDescendantCursor(SessionId session, uint32_t pre,
+                                          uint32_t post) override;
+  StatusOr<std::vector<NodeMeta>> NextNodes(SessionId session,
+                                            uint64_t cursor,
+                                            size_t max_batch) override;
+  Status CloseCursor(SessionId session, uint64_t cursor) override;
+  void EndSession(SessionId session) override;
+  uint64_t OpenCursorCount() const override;
   StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override;
   StatusOr<std::vector<gf::Elem>> EvalAtBatch(
       const std::vector<uint32_t>& pres, gf::Elem t) override;
@@ -128,21 +183,29 @@ class LocalServerFilter : public ServerFilter {
       const std::vector<uint32_t>& pres) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
-  uint64_t RoundTrips() const override { return round_trips_; }
+  uint64_t RoundTrips() const override {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
 
   const gf::Ring& ring() const { return ring_; }
 
  private:
   struct Cursor {
+    uint64_t session = 0;            // owning connection
     std::vector<NodeMeta> buffered;  // server-side buffering (§5.2)
     size_t offset = 0;
   };
 
+  void CountTrip() { round_trips_.fetch_add(1, std::memory_order_relaxed); }
+
   gf::Ring ring_;
   storage::NodeStore* store_;
+  // Guards cursors_ and next_cursor_; cursor ids are unique across
+  // sessions, ownership is checked on every access.
+  mutable std::mutex cursors_mu_;
   std::map<uint64_t, Cursor> cursors_;
   uint64_t next_cursor_ = 1;
-  uint64_t round_trips_ = 0;
+  std::atomic<uint64_t> round_trips_{0};
 };
 
 }  // namespace ssdb::filter

@@ -30,6 +30,10 @@ class Channel {
   virtual uint64_t bytes_sent() const = 0;
   virtual uint64_t bytes_received() const = 0;
   virtual uint64_t messages_sent() const = 0;
+
+  // File descriptor a poll(2)-based dispatcher can watch for readability
+  // (DESIGN.md §7), or -1 when the transport has none (in-process pairs).
+  virtual int PollFd() const { return -1; }
 };
 
 struct ChannelPair {

@@ -1,0 +1,267 @@
+#include "rpc/concurrent_server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "rpc/protocol.h"
+#include "util/logging.h"
+
+namespace ssdb::rpc {
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+ConcurrentServer::ConcurrentServer(gf::Ring ring,
+                                   filter::ServerFilter* filter,
+                                   std::unique_ptr<UnixServerSocket> listener,
+                                   ConcurrentServerOptions options)
+    : server_(std::move(ring), filter),
+      filter_(filter),
+      listener_(std::move(listener)),
+      options_(options) {
+  threads_ = options_.threads;
+  if (threads_ == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : hw;
+  }
+}
+
+ConcurrentServer::~ConcurrentServer() { Shutdown(); }
+
+Status ConcurrentServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::FailedPrecondition("already started");
+    started_ = true;
+  }
+  if (::pipe(wake_fds_) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+  // Non-blocking accepts: poll can report a connection that aborts before
+  // accept runs, and the loop must not block on it.
+  SetNonBlocking(listener_->fd());
+  poll_thread_ = std::thread([this] { PollLoop(); });
+  workers_.reserve(threads_);
+  for (size_t i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void ConcurrentServer::WakePoller() {
+  char byte = 'w';
+  ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+  (void)ignored;  // a full pipe already guarantees a wakeup
+}
+
+size_t ConcurrentServer::open_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void ConcurrentServer::PollLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> ids;  // ids[i] owns fds[i + 2]
+  for (;;) {
+    fds.clear();
+    ids.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+      fds.push_back(pollfd{listener_->fd(), POLLIN, 0});
+      for (const auto& entry : sessions_) {
+        if (entry.second->state == SessionState::kArmed) {
+          fds.push_back(pollfd{entry.second->fd, POLLIN, 0});
+          ids.push_back(entry.first);
+        }
+      }
+    }
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      SSDB_LOG(ERROR) << "concurrent server poll: " << std::strerror(errno);
+      return;  // Shutdown still drains and closes everything
+    }
+    if (fds[0].revents != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[1].revents != 0) {
+      // Drain the accept backlog; EAGAIN (or a racing abort) ends the loop
+      // and the next poll round retries.
+      for (;;) {
+        StatusOr<std::unique_ptr<Channel>> channel = listener_->Accept();
+        if (!channel.ok()) break;
+        int fd = (*channel)->PollFd();
+        if (fd < 0) continue;  // not pollable; drop the connection
+        if (options_.io_timeout_seconds > 0) {
+          // Bound how long a stalled client can hold a worker mid-frame.
+          timeval timeout{};
+          timeout.tv_sec = options_.io_timeout_seconds;
+          ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                       sizeof(timeout));
+          ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                       sizeof(timeout));
+        }
+        uint64_t id;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (stopping_) break;
+          auto session = std::make_unique<Session>();
+          id = session->id = next_session_id_++;
+          session->fd = fd;
+          session->channel = std::move(*channel);
+          sessions_.emplace(id, std::move(session));
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.log_connections) {
+          std::printf("connection %llu accepted (%llu accepted, %llu closed, "
+                      "%zu open)\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(connections_accepted()),
+                      static_cast<unsigned long long>(connections_closed()),
+                      open_connections());
+          std::fflush(stdout);
+        }
+      }
+    }
+    bool dispatched = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 2; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        auto it = sessions_.find(ids[i - 2]);
+        if (it == sessions_.end() ||
+            it->second->state != SessionState::kArmed) {
+          continue;
+        }
+        it->second->state = SessionState::kReady;
+        ready_.push_back(it->first);
+        dispatched = true;
+      }
+    }
+    if (dispatched) ready_cv_.notify_all();
+  }
+}
+
+void ConcurrentServer::WorkerLoop() {
+  for (;;) {
+    uint64_t id = 0;
+    Session* session = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping and fully drained
+      id = ready_.front();
+      ready_.pop_front();
+      auto it = sessions_.find(id);
+      if (it == sessions_.end()) continue;
+      session = it->second.get();
+      // kBusy makes this worker the session's sole owner: the poller skips
+      // it and no other worker can be handed the same connection.
+      session->state = SessionState::kBusy;
+    }
+    StatusOr<std::string> request = session->channel->Receive();
+    if (!request.ok()) {
+      CloseSession(id, request.status().code() == StatusCode::kOutOfRange
+                           ? "peer disconnected"
+                           : "receive error");
+      continue;
+    }
+    std::string response =
+        server_.HandleRequest(*request, filter::SessionId{id});
+    if (!session->channel->Send(response).ok()) {
+      CloseSession(id, "send error");
+      continue;
+    }
+    if (!request->empty() &&
+        static_cast<Op>((*request)[0]) == Op::kShutdown) {
+      // Connection-scoped: a client's shutdown closes its own session, the
+      // server keeps serving everyone else (DESIGN.md §7).
+      CloseSession(id, "client shutdown");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      session->state = SessionState::kArmed;
+    }
+    WakePoller();
+  }
+}
+
+void ConcurrentServer::CloseSession(uint64_t id, const char* why) {
+  std::unique_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Reclaim whatever the connection left behind, however it died.
+  filter_->EndSession(filter::SessionId{id});
+  session->channel->Close();
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.log_connections) {
+    std::printf("connection %llu closed: %s (%llu accepted, %llu closed, "
+                "%zu open)\n",
+                static_cast<unsigned long long>(id), why,
+                static_cast<unsigned long long>(connections_accepted()),
+                static_cast<unsigned long long>(connections_closed()),
+                open_connections());
+    std::fflush(stdout);
+  }
+}
+
+void ConcurrentServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  WakePoller();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  // Unblock any worker parked in Receive on a partial frame: SHUT_RD turns
+  // its blocking read into an immediate EOF. Nothing is lost — a request
+  // that never fully arrived was never serviceable — while workers past
+  // Receive still compute and deliver their response (writes unaffected).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : sessions_) {
+      ::shutdown(entry.second->fd, SHUT_RD);
+    }
+  }
+  // Workers drain the ready queue (in-flight requests finish), then exit.
+  ready_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::vector<uint64_t> remaining;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    remaining.reserve(sessions_.size());
+    for (const auto& entry : sessions_) remaining.push_back(entry.first);
+  }
+  for (uint64_t id : remaining) CloseSession(id, "server shutdown");
+  listener_->Close();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+}  // namespace ssdb::rpc

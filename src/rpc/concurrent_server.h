@@ -1,0 +1,129 @@
+/// ConcurrentServer (DESIGN.md §7): the multi-client transport. A poller
+/// thread owns the accept loop and a poll(2) set of idle connections; a
+/// fixed worker pool (--threads, default = hardware concurrency) services
+/// one *request* at a time, so many mostly-idle connections share a
+/// handful of workers and a slow client never parks a worker on an idle
+/// socket (a stalled mid-frame client is bounded by io_timeout_seconds).
+/// Each connection gets a session id that scopes its cursor state in the
+/// shared ServerFilter; when a connection dies — cleanly or mid batch —
+/// EndSession reclaims everything it left behind. Shutdown() stops
+/// accepting, drains in-flight requests, then closes what remains.
+///
+/// Scale ceiling: the poller rebuilds its pollfd set (O(open
+/// connections)) each time it wakes; wakeups coalesce, but past a few
+/// thousand connections an incremental-interest-set backend (epoll) is
+/// the natural upgrade — see ROADMAP.md.
+
+#ifndef SSDB_RPC_CONCURRENT_SERVER_H_
+#define SSDB_RPC_CONCURRENT_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/server_filter.h"
+#include "gf/ring.h"
+#include "rpc/server.h"
+#include "rpc/socket_channel.h"
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+struct ConcurrentServerOptions {
+  // Worker pool size; 0 means std::thread::hardware_concurrency().
+  size_t threads = 0;
+  // Print a line per accepted/closed connection (ssdb_server does).
+  bool log_connections = false;
+  // Per-socket read/write timeout (SO_RCVTIMEO/SO_SNDTIMEO) on accepted
+  // connections; 0 disables. Bounds how long a stalled client — one that
+  // sent a partial frame, or stopped reading its response — can park a
+  // worker: the blocked call errors out and the session is dropped. Idle
+  // connections are unaffected (they wait in the poll set, not in a
+  // worker).
+  int io_timeout_seconds = 30;
+};
+
+class ConcurrentServer {
+ public:
+  // `filter` must outlive the server and be safe for concurrent callers
+  // (LocalServerFilter is; see filter/server_filter.h).
+  ConcurrentServer(gf::Ring ring, filter::ServerFilter* filter,
+                   std::unique_ptr<UnixServerSocket> listener,
+                   ConcurrentServerOptions options = {});
+  ~ConcurrentServer();
+
+  ConcurrentServer(const ConcurrentServer&) = delete;
+  ConcurrentServer& operator=(const ConcurrentServer&) = delete;
+
+  // Spawns the poller and the worker pool; returns once accepting.
+  Status Start();
+
+  // Graceful drain: stop accepting, finish requests already dispatched to
+  // workers, close every remaining connection, join all threads. Safe to
+  // call twice; the destructor calls it.
+  void Shutdown();
+
+  size_t threads() const { return threads_; }
+  const std::string& socket_path() const { return listener_->path(); }
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_closed() const {
+    return closed_.load(std::memory_order_relaxed);
+  }
+  size_t open_connections() const;
+
+ private:
+  // A connection's lifecycle: kArmed (fd in the poll set) → kReady (queued
+  // for a worker) → kBusy (one worker owns it) → back to kArmed, or
+  // destroyed on disconnect/shutdown-op. Exactly one owner at every stage,
+  // so channel reads never race.
+  enum class SessionState { kArmed, kReady, kBusy };
+
+  struct Session {
+    uint64_t id = 0;
+    std::unique_ptr<Channel> channel;
+    int fd = -1;
+    SessionState state = SessionState::kArmed;
+  };
+
+  void PollLoop();
+  void WorkerLoop();
+  // Removes the session and reclaims its cursors; `why` feeds the log line.
+  void CloseSession(uint64_t id, const char* why);
+  void WakePoller();
+
+  RpcServer server_;
+  filter::ServerFilter* filter_;
+  std::unique_ptr<UnixServerSocket> listener_;
+  ConcurrentServerOptions options_;
+  size_t threads_ = 0;
+
+  // Guards sessions_, ready_, stopping_. Lock order (DESIGN.md §7):
+  // mu_ → filter cursor mutex → store lock → buffer-pool latch; never
+  // held across a channel Receive/Send.
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  std::deque<uint64_t> ready_;
+  bool stopping_ = false;
+  bool started_ = false;
+  uint64_t next_session_id_ = 1;
+
+  int wake_fds_[2] = {-1, -1};  // pipe: [0] polled, [1] written to wake
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+
+  std::thread poll_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_CONCURRENT_SERVER_H_

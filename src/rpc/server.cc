@@ -11,6 +11,7 @@ namespace {
 // Builds the op-specific success payload; any error becomes an error frame.
 StatusOr<std::string> Dispatch(const gf::Ring& ring,
                                filter::ServerFilter* filter,
+                               filter::SessionId session,
                                const Request& request) {
   std::string payload;
   switch (request.op) {
@@ -34,20 +35,20 @@ StatusOr<std::string> Dispatch(const gf::Ring& ring,
     case Op::kOpenCursor: {
       SSDB_ASSIGN_OR_RETURN(
           uint64_t cursor,
-          filter->OpenDescendantCursor(request.pre, request.post));
+          filter->OpenDescendantCursor(session, request.pre, request.post));
       PutVarint64(&payload, cursor);
       return payload;
     }
     case Op::kNextNodes: {
       SSDB_ASSIGN_OR_RETURN(
           std::vector<filter::NodeMeta> metas,
-          filter->NextNodes(request.cursor,
+          filter->NextNodes(session, request.cursor,
                             static_cast<size_t>(request.batch)));
       AppendNodeMetas(&payload, metas);
       return payload;
     }
     case Op::kCloseCursor: {
-      SSDB_RETURN_IF_ERROR(filter->CloseCursor(request.cursor));
+      SSDB_RETURN_IF_ERROR(filter->CloseCursor(session, request.cursor));
       return payload;
     }
     case Op::kEvalAt: {
@@ -110,12 +111,13 @@ StatusOr<std::string> Dispatch(const gf::Ring& ring,
 
 }  // namespace
 
-std::string RpcServer::HandleRequest(std::string_view request_bytes) {
+std::string RpcServer::HandleRequest(std::string_view request_bytes,
+                                     filter::SessionId session) {
   StatusOr<Request> request = DecodeRequest(request_bytes);
   if (!request.ok()) {
     return EncodeErrorResponse(request.status());
   }
-  StatusOr<std::string> payload = Dispatch(ring_, filter_, *request);
+  StatusOr<std::string> payload = Dispatch(ring_, filter_, session, *request);
   if (!payload.ok()) {
     return EncodeErrorResponse(payload.status());
   }

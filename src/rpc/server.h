@@ -1,8 +1,11 @@
-/// RpcServer: serves a ServerFilter over a Channel, one request/response at
-/// a time (the prototype's single-connection model). In an m-server
-/// deployment (DESIGN.md §5) each host runs one RpcServer over its own
-/// share slice. ServerThread is a convenience for tests/examples that runs
-/// Serve() on a background thread.
+/// RpcServer: decodes one request frame, dispatches it against a
+/// ServerFilter, and encodes the response. Serve() runs the prototype's
+/// single-connection loop; the concurrent transport
+/// (src/rpc/concurrent_server.h, DESIGN.md §7) calls HandleRequest per
+/// frame with each connection's session id, so one RpcServer instance is
+/// shared by every worker. In an m-server deployment (DESIGN.md §5) each
+/// host runs one server over its own share slice. ServerThread is a
+/// convenience for tests/examples that runs Serve() on a background thread.
 
 #ifndef SSDB_RPC_SERVER_H_
 #define SSDB_RPC_SERVER_H_
@@ -25,11 +28,15 @@ class RpcServer {
       : ring_(std::move(ring)), filter_(filter) {}
 
   // Serves until the peer disconnects or sends kShutdown. Returns OK on a
-  // clean shutdown.
+  // clean shutdown. Cursor state lands in the implicit session 0.
   Status Serve(Channel* channel);
 
-  // Handles a single encoded request (exposed for tests).
-  std::string HandleRequest(std::string_view request_bytes);
+  // Handles a single encoded request (exposed for tests and the concurrent
+  // transport). Stateless apart from the filter, so safe to call from many
+  // threads with distinct sessions; any malformed frame yields an error
+  // frame, never a crash (tests/fuzz_test.cc).
+  std::string HandleRequest(std::string_view request_bytes,
+                            filter::SessionId session = filter::SessionId{0});
 
  private:
   gf::Ring ring_;

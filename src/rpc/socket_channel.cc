@@ -55,6 +55,7 @@ class SocketChannel : public Channel {
   uint64_t bytes_sent() const override { return bytes_sent_; }
   uint64_t bytes_received() const override { return bytes_received_; }
   uint64_t messages_sent() const override { return messages_sent_; }
+  int PollFd() const override { return fd_; }
 
  private:
   int fd_;
@@ -96,7 +97,8 @@ StatusOr<std::unique_ptr<UnixServerSocket>> UnixServerSocket::Listen(
     ::close(fd);
     return ErrnoError("bind " + path);
   }
-  if (::listen(fd, 4) != 0) {
+  // Backlog sized for bursts of concurrent clients (DESIGN.md §7).
+  if (::listen(fd, 64) != 0) {
     ::close(fd);
     return ErrnoError("listen " + path);
   }

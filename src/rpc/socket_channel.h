@@ -32,6 +32,8 @@ class UnixServerSocket {
 
   void Close();
   const std::string& path() const { return path_; }
+  // Listening descriptor, for poll(2)-based accept loops (DESIGN.md §7).
+  int fd() const { return fd_; }
 
  private:
   UnixServerSocket(int fd, std::string path)

@@ -1,5 +1,6 @@
 #include "rpc/wire.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,7 +14,11 @@ Status WriteFull(int fd, const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   size_t remaining = len;
   while (remaining > 0) {
-    ssize_t n = ::write(fd, p, remaining);
+    // MSG_NOSIGNAL: a peer that vanished mid-frame must surface as EPIPE,
+    // not a process-killing SIGPIPE — a multi-client server (DESIGN.md §7)
+    // outlives any one connection. Non-socket fds fall back to write().
+    ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, remaining);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(std::string("write: ") + std::strerror(errno));

@@ -37,6 +37,7 @@ const uint8_t* PageHandle::data() const {
 
 void PageHandle::MarkDirty() {
   SSDB_DCHECK(valid());
+  std::lock_guard<std::mutex> lock(pool_->latch_);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -69,12 +70,16 @@ StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
 StatusOr<PageHandle> BufferPool::NewPage() {
   SSDB_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
   SSDB_ASSIGN_OR_RETURN(size_t frame, GetFrame(id, /*load=*/false));
-  frames_[frame].buf.fill(0);
-  frames_[frame].dirty = true;
+  {
+    std::lock_guard<std::mutex> lock(latch_);
+    frames_[frame].buf.fill(0);
+    frames_[frame].dirty = true;
+  }
   return PageHandle(this, frame, id);
 }
 
 StatusOr<size_t> BufferPool::GetFrame(PageId id, bool load) {
+  std::lock_guard<std::mutex> lock(latch_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -155,6 +160,7 @@ Status BufferPool::FlushFrame(Frame* frame) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(latch_);
   for (Frame& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
       SSDB_RETURN_IF_ERROR(FlushFrame(&frame));
@@ -164,6 +170,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(latch_);
   Frame& f = frames_[frame];
   SSDB_DCHECK(f.pin_count > 0);
   --f.pin_count;

@@ -1,5 +1,9 @@
-// LRU buffer pool over the pager. Single-threaded by design: the RPC server
-// serializes storage access, matching the prototype's one-connection model.
+// LRU buffer pool over the pager. Thread-safe for the concurrent server
+// (DESIGN.md §7): a single internal latch serializes frame-table mutations
+// (lookup/pin/unpin/evict), which are short; page *bytes* are read outside
+// the latch through pinned frames, whose storage never moves (the frame
+// vector's capacity is reserved up front) and which eviction cannot touch
+// while pinned. Writes (encode time) are single-threaded by contract.
 //
 // Pages are pinned through RAII PageHandles; checksums are sealed on flush
 // and verified on load.
@@ -9,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -92,6 +97,11 @@ class BufferPool {
 
   Pager* pager_;
   size_t capacity_;
+  // Guards every member below (DESIGN.md §7). Held across page loads for
+  // simplicity — misses serialize, warm-cache hits are short critical
+  // sections. Innermost lock in the server stack; never held while calling
+  // out of the pool.
+  std::mutex latch_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   uint64_t clock_ = 0;

@@ -1,8 +1,11 @@
 #include "storage/memory_backend.h"
 
+#include <mutex>
+
 namespace ssdb::storage {
 
 Status MemoryNodeStore::Insert(const NodeRow& row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (row.pre == 0) {
     return Status::InvalidArgument("pre numbering starts at 1");
   }
@@ -25,6 +28,7 @@ Status MemoryNodeStore::Insert(const NodeRow& row) {
 }
 
 StatusOr<NodeRow> MemoryNodeStore::GetByPre(uint32_t pre) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = rows_.find(pre);
   if (it == rows_.end()) {
     return Status::NotFound("no row with pre " + std::to_string(pre));
@@ -33,12 +37,14 @@ StatusOr<NodeRow> MemoryNodeStore::GetByPre(uint32_t pre) {
 }
 
 StatusOr<NodeRow> MemoryNodeStore::GetRoot() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (root_pre_ == 0) return Status::NotFound("no root row");
-  return GetByPre(root_pre_);
+  return rows_.at(root_pre_);
 }
 
 StatusOr<std::vector<NodeRow>> MemoryNodeStore::GetChildren(
     uint32_t parent_pre) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<NodeRow> out;
   auto it = children_.find(parent_pre);
   if (it == children_.end()) return out;
@@ -52,6 +58,7 @@ StatusOr<std::vector<NodeRow>> MemoryNodeStore::GetChildren(
 Status MemoryNodeStore::ScanDescendants(
     uint32_t pre, uint32_t post,
     const std::function<bool(const NodeRow&)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto it = rows_.upper_bound(pre); it != rows_.end(); ++it) {
     if (it->second.post > post) break;  // left the subtree
     if (!fn(it->second)) break;
@@ -59,9 +66,13 @@ Status MemoryNodeStore::ScanDescendants(
   return Status::OK();
 }
 
-StatusOr<uint64_t> MemoryNodeStore::NodeCount() { return rows_.size(); }
+StatusOr<uint64_t> MemoryNodeStore::NodeCount() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rows_.size();
+}
 
 StatusOr<StorageStats> MemoryNodeStore::Stats() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   StorageStats stats;
   stats.node_count = rows_.size();
   stats.payload_bytes = payload_bytes_;

@@ -1,11 +1,16 @@
 // MemoryNodeStore: in-RAM implementation of the NodeStore interface, used by
 // tests (as a model for the disk engine) and by benchmarks that want to
 // isolate algorithmic costs from IO (ablation A2 in DESIGN.md).
+//
+// Thread-safe: reads take a shared lock, Insert an exclusive one, so any
+// number of concurrent server sessions can evaluate shares against one
+// store (DESIGN.md §7).
 
 #ifndef SSDB_STORAGE_MEMORY_BACKEND_H_
 #define SSDB_STORAGE_MEMORY_BACKEND_H_
 
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/node_store.h"
@@ -28,6 +33,8 @@ class MemoryNodeStore : public NodeStore {
   Status Flush() override { return Status::OK(); }
 
  private:
+  // Reads shared, Insert exclusive (DESIGN.md §7).
+  mutable std::shared_mutex mu_;
   // Keyed by pre: ordered map gives document-order scans for free.
   std::map<uint32_t, NodeRow> rows_;
   std::map<uint32_t, std::vector<uint32_t>> children_;  // parent -> pres

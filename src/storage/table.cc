@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <mutex>
+
 #include "util/logging.h"
 #include "util/varint.h"
 
@@ -108,6 +110,7 @@ Status DiskNodeStore::SaveRoots() {
 }
 
 Status DiskNodeStore::Insert(const NodeRow& row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (row.pre == 0) {
     return Status::InvalidArgument("pre numbering starts at 1");
   }
@@ -131,11 +134,13 @@ StatusOr<NodeRow> DiskNodeStore::FetchRow(RecordId rid) {
 }
 
 StatusOr<NodeRow> DiskNodeStore::GetByPre(uint32_t pre) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   SSDB_ASSIGN_OR_RETURN(uint64_t rid, pre_index_->Get(pre));
   return FetchRow(rid);
 }
 
 StatusOr<NodeRow> DiskNodeStore::GetRoot() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   // Root is the unique row with parent == 0: composite keys [0, 1<<32).
   RecordId rid = kInvalidRecordId;
   SSDB_RETURN_IF_ERROR(parent_index_->Scan(
@@ -149,6 +154,7 @@ StatusOr<NodeRow> DiskNodeStore::GetRoot() {
 
 StatusOr<std::vector<NodeRow>> DiskNodeStore::GetChildren(
     uint32_t parent_pre) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<RecordId> rids;
   SSDB_RETURN_IF_ERROR(parent_index_->Scan(
       CompositeKey(parent_pre, 0), CompositeKey(parent_pre + 1, 0),
@@ -168,6 +174,7 @@ StatusOr<std::vector<NodeRow>> DiskNodeStore::GetChildren(
 Status DiskNodeStore::ScanDescendants(
     uint32_t pre, uint32_t post,
     const std::function<bool(const NodeRow&)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   // Descendants are the contiguous pre range right after `pre`; the first
   // row with post > post is the first node outside the subtree, so the scan
   // stops without touching the rest of the index.
@@ -186,9 +193,13 @@ Status DiskNodeStore::ScanDescendants(
   return inner;
 }
 
-StatusOr<uint64_t> DiskNodeStore::NodeCount() { return node_count_; }
+StatusOr<uint64_t> DiskNodeStore::NodeCount() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return node_count_;
+}
 
 StatusOr<StorageStats> DiskNodeStore::Stats() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   StorageStats stats;
   stats.node_count = node_count_;
   SSDB_ASSIGN_OR_RETURN(uint64_t heap_pages, heap_->PageCount());
@@ -204,6 +215,7 @@ StatusOr<StorageStats> DiskNodeStore::Stats() {
 }
 
 Status DiskNodeStore::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (catalog_.has_value()) {
     SSDB_RETURN_IF_ERROR(SaveRoots());
   }

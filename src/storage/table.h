@@ -6,12 +6,17 @@
 //   pre index    : key = pre,                         value = record id
 //   parent index : key = (parent << 32) | pre,        value = record id
 //   post index   : key = (post << 32) | pre,          value = record id
+//
+// Thread-safe for serving (DESIGN.md §7): lookups and scans take a shared
+// lock (tree structure is immutable while serving; the buffer pool latches
+// its own frame table underneath), Insert/Flush take an exclusive one.
 
 #ifndef SSDB_STORAGE_TABLE_H_
 #define SSDB_STORAGE_TABLE_H_
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "storage/btree.h"
@@ -57,6 +62,9 @@ class DiskNodeStore : public NodeStore {
   Status SaveRoots();
   StatusOr<NodeRow> FetchRow(RecordId rid);
 
+  // Reads shared, Insert/Flush exclusive; taken before the buffer-pool
+  // latch, never after (DESIGN.md §7 lock order).
+  mutable std::shared_mutex mu_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::optional<Catalog> catalog_;

@@ -1,0 +1,266 @@
+// Concurrency battery for the multi-client transport (DESIGN.md §7):
+//  * N client threads hammer one ConcurrentServer with mixed scalar and
+//    batch ops against a shared XMark database; every thread's query
+//    results must equal the plaintext ground truth;
+//  * cursors opened on one connection are invisible to every other;
+//  * a client that disconnects mid-batch must not wedge the accept loop or
+//    leak cursor-table entries;
+//  * graceful shutdown drains and closes every connection.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "filter/client_filter.h"
+#include "query/advanced_engine.h"
+#include "query/ground_truth.h"
+#include "query/simple_engine.h"
+#include "rpc/client.h"
+#include "rpc/concurrent_server.h"
+#include "rpc/socket_channel.h"
+#include "test_helpers.h"
+#include "xmark/generator.h"
+
+namespace ssdb::rpc {
+namespace {
+
+using testing_helpers::BuildTestDb;
+using testing_helpers::TestDb;
+
+std::string SocketPath(const char* name) {
+  return "/tmp/ssdb_concurrent_" + std::to_string(::getpid()) + "_" + name +
+         ".sock";
+}
+
+// Shared XMark database plus a running ConcurrentServer over it.
+struct ServerFixture {
+  std::unique_ptr<TestDb> db;
+  std::unique_ptr<ConcurrentServer> server;
+  std::string path;
+
+  explicit ServerFixture(const char* name, size_t threads = 4) {
+    xmark::GeneratorOptions gen;
+    gen.target_bytes = 16 << 10;
+    gen.seed = 7;
+    db = BuildTestDb(xmark::GenerateAuctionDocument(gen).xml);
+    path = SocketPath(name);
+    auto listener = UnixServerSocket::Listen(path);
+    SSDB_CHECK(listener.ok());
+    ConcurrentServerOptions options;
+    options.threads = threads;
+    server = std::make_unique<ConcurrentServer>(
+        db->ring, db->server.get(), std::move(*listener), options);
+    SSDB_CHECK(server->Start().ok());
+  }
+
+  std::unique_ptr<RemoteServerFilter> Connect() {
+    auto channel = ConnectUnix(path);
+    SSDB_CHECK(channel.ok());
+    return std::make_unique<RemoteServerFilter>(db->ring,
+                                                std::move(*channel));
+  }
+};
+
+// Spin until the server-side cursor table drains (close processing is
+// asynchronous: the poller must notice the dead fd first).
+bool WaitForCursorCount(TestDb* db, uint64_t want) {
+  for (int i = 0; i < 500; ++i) {
+    if (db->server->OpenCursorCount() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return db->server->OpenCursorCount() == want;
+}
+
+TEST(ConcurrentServerTest, ManyClientsMatchGroundTruth) {
+  ServerFixture fixture("hammer", /*threads=*/4);
+  const std::vector<std::string> queries = {
+      "/site//person", "/site/people/person//city", "/site//bidder",
+      "/site/*"};
+
+  // Plaintext expectations, computed once up front.
+  std::vector<std::set<uint32_t>> expected;
+  for (const std::string& text : queries) {
+    auto parsed = query::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    auto truth = query::EvaluateGroundTruth(*parsed, fixture.db->doc);
+    ASSERT_TRUE(truth.ok()) << text;
+    expected.emplace_back(truth->begin(), truth->end());
+  }
+  // Scalar/batch baselines from the local filter (thread-safe by design).
+  filter::ServerFilter* local = fixture.db->server.get();
+  std::vector<gf::Elem> base_evals = *local->EvalAtBatch({1, 2, 3, 4}, 5);
+  gf::RingElem base_share = *local->FetchShare(2);
+
+  constexpr int kClients = 6;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto remote = fixture.Connect();
+      filter::ClientFilter client(fixture.db->ring,
+                                  prg::Prg(fixture.db->seed), remote.get());
+      query::SimpleEngine simple(&client, &fixture.db->map);
+      query::AdvancedEngine advanced(&client, &fixture.db->map);
+      for (int round = 0; round < 2; ++round) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          query::Query q = *query::ParseQuery(queries[qi]);
+          query::QueryEngine* engine =
+              (c + round) % 2 == 0
+                  ? static_cast<query::QueryEngine*>(&simple)
+                  : static_cast<query::QueryEngine*>(&advanced);
+          auto result =
+              engine->Execute(q, query::MatchMode::kEquality, nullptr);
+          ASSERT_TRUE(result.ok()) << queries[qi];
+          std::set<uint32_t> actual;
+          for (const auto& node : *result) actual.insert(node.pre);
+          EXPECT_EQ(actual, expected[qi])
+              << "client " << c << " diverged on " << queries[qi];
+        }
+        // Mixed scalar + batch ops interleaved with the engine traffic.
+        EXPECT_EQ(*remote->EvalAtBatch({1, 2, 3, 4}, 5), base_evals);
+        EXPECT_EQ(*remote->EvalAt(2, 5), base_evals[1]);
+        EXPECT_EQ(*remote->FetchShare(2), base_share);
+        EXPECT_EQ((*remote->FetchShareBatch({2, 2}))[1], base_share);
+        EXPECT_FALSE(remote->GetNode(1u << 30).ok());  // errors transport
+      }
+      ASSERT_TRUE(remote->Shutdown().ok());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(fixture.server->connections_accepted(), (uint64_t)kClients);
+  // Every client shut its own connection down; the server must survive all
+  // of them and still accept new work.
+  auto late = fixture.Connect();
+  EXPECT_EQ(*late->NodeCount(), *local->NodeCount());
+  ASSERT_TRUE(late->Shutdown().ok());
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_accepted(),
+            fixture.server->connections_closed());
+}
+
+TEST(ConcurrentServerTest, CursorsAreInvisibleAcrossConnections) {
+  ServerFixture fixture("cursors");
+  auto a = fixture.Connect();
+  auto b = fixture.Connect();
+  auto root = a->Root();
+  ASSERT_TRUE(root.ok());
+
+  auto cursor_a = a->OpenDescendantCursor(root->pre, root->post);
+  ASSERT_TRUE(cursor_a.ok());
+  auto cursor_b = b->OpenDescendantCursor(root->pre, root->post);
+  ASSERT_TRUE(cursor_b.ok());
+
+  // The other connection's cursor id must look like a cursor that does not
+  // exist — not readable, not closable.
+  auto stolen = b->NextNodes(*cursor_a, 4);
+  EXPECT_FALSE(stolen.ok());
+  EXPECT_TRUE(stolen.status().IsNotFound());
+  EXPECT_TRUE(b->CloseCursor(*cursor_a).ok());  // silently ignored
+  auto own = a->NextNodes(*cursor_a, 4);
+  ASSERT_TRUE(own.ok());
+  EXPECT_FALSE(own->empty());
+
+  // Both cursors drain fully and independently.
+  size_t streamed_a = own->size();
+  for (;;) {
+    auto nodes = a->NextNodes(*cursor_a, 16);
+    ASSERT_TRUE(nodes.ok());
+    if (nodes->empty()) break;
+    streamed_a += nodes->size();
+  }
+  size_t streamed_b = 0;
+  for (;;) {
+    auto nodes = b->NextNodes(*cursor_b, 16);
+    ASSERT_TRUE(nodes.ok());
+    if (nodes->empty()) break;
+    streamed_b += nodes->size();
+  }
+  EXPECT_EQ(streamed_a, *fixture.db->server->NodeCount() - 1);
+  EXPECT_EQ(streamed_a, streamed_b);
+  EXPECT_EQ(fixture.db->server->OpenCursorCount(), 0u);
+  ASSERT_TRUE(a->Shutdown().ok());
+  ASSERT_TRUE(b->Shutdown().ok());
+}
+
+TEST(ConcurrentServerTest, MidBatchDisconnectCleansUpAndKeepsServing) {
+  ServerFixture fixture("disconnect");
+  auto root = *fixture.db->server->Root();
+
+  // Ten clients in a row abandon a half-read cursor by dying abruptly —
+  // no CloseCursor, no shutdown handshake.
+  for (int i = 0; i < 10; ++i) {
+    auto doomed = fixture.Connect();
+    auto cursor = doomed->OpenDescendantCursor(root.pre, root.post);
+    ASSERT_TRUE(cursor.ok());
+    ASSERT_TRUE(doomed->NextNodes(*cursor, 2).ok());
+    EXPECT_GE(fixture.db->server->OpenCursorCount(), 1u);
+    doomed.reset();  // closes the socket with the cursor still open
+  }
+
+  // The server must reclaim every abandoned cursor...
+  EXPECT_TRUE(WaitForCursorCount(fixture.db.get(), 0));
+  // ...and the accept loop must still be alive for new clients.
+  auto survivor = fixture.Connect();
+  filter::ClientFilter client(fixture.db->ring, prg::Prg(fixture.db->seed),
+                              survivor.get());
+  query::AdvancedEngine engine(&client, &fixture.db->map);
+  auto q = *query::ParseQuery("/site//person");
+  auto result = engine.Execute(q, query::MatchMode::kEquality, nullptr);
+  ASSERT_TRUE(result.ok());
+  auto truth = query::EvaluateGroundTruth(q, fixture.db->doc);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(result->size(), truth->size());
+  ASSERT_TRUE(survivor->Shutdown().ok());
+
+  EXPECT_EQ(fixture.server->connections_accepted(), 11u);
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_closed(), 11u);
+}
+
+TEST(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
+  ServerFixture fixture("stall", /*threads=*/2);
+  auto channel = ConnectUnix(fixture.path);
+  ASSERT_TRUE(channel.ok());
+  // Two of the four frame-header bytes, then silence: the poller dispatches
+  // the readable fd and the worker blocks awaiting the rest of the frame.
+  int fd = (*channel)->PollFd();
+  const char partial[2] = {0x10, 0x00};
+  ASSERT_EQ(::write(fd, partial, sizeof(partial)), 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Drain must not wait for the stalled client (or its 30s io timeout):
+  // SHUT_RD turns the worker's blocked read into an immediate EOF.
+  auto start = std::chrono::steady_clock::now();
+  fixture.server->Shutdown();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            5);
+  EXPECT_EQ(fixture.server->connections_accepted(), 1u);
+  EXPECT_EQ(fixture.server->connections_closed(), 1u);
+}
+
+TEST(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
+  ServerFixture fixture("drain");
+  auto a = fixture.Connect();
+  auto b = fixture.Connect();
+  EXPECT_TRUE(a->Root().ok());
+  EXPECT_TRUE(b->Root().ok());
+
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_accepted(), 2u);
+  EXPECT_EQ(fixture.server->connections_closed(), 2u);
+  EXPECT_EQ(fixture.server->open_connections(), 0u);
+  // The socket file is gone: no new connections.
+  EXPECT_FALSE(ConnectUnix(fixture.path).ok());
+  // In-flight stubs observe the close as an error, not a hang.
+  EXPECT_FALSE(a->Root().ok());
+}
+
+}  // namespace
+}  // namespace ssdb::rpc

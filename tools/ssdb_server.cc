@@ -3,13 +3,15 @@
 // evaluate stored shares and hand out structure.
 //
 //   ssdb_server --db db.ssdb --socket /tmp/ssdb.sock [--p 83] [--e 1]
-//               [--servers m --share-index i]
+//               [--servers m --share-index i] [--threads n]
 //
 // In an m-server deployment (DESIGN.md §5) each host runs one ssdb_server
 // over its own share slice; --servers/--share-index resolve the slice file
 // from the base --db path (db.ssdb.s<i>of<m>), or point --db at the slice
-// file directly. Serves one connection after another until killed (the
-// prototype's model).
+// file directly. Serves any number of clients concurrently on a worker
+// pool of --threads threads (default: hardware concurrency; DESIGN.md §7),
+// keeps serving after clients disconnect, and drains gracefully on
+// SIGINT/SIGTERM.
 
 #include <csignal>
 #include <cstdio>
@@ -17,7 +19,7 @@
 
 #include "core/options.h"
 #include "filter/server_filter.h"
-#include "rpc/server.h"
+#include "rpc/concurrent_server.h"
 #include "rpc/socket_channel.h"
 #include "storage/table.h"
 #include "tools/tool_util.h"
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
   uint32_t e = args.GetInt("--e", 1);
   uint32_t servers = args.GetInt("--servers", 1);
   uint32_t share_index = args.GetInt("--share-index", 0);
+  uint32_t threads = args.GetInt("--threads", 0);
 
   if (servers == 0 || share_index >= servers) {
     std::fprintf(stderr, "error: --share-index must be < --servers\n");
@@ -47,25 +50,43 @@ int main(int argc, char** argv) {
   auto count = (*store)->NodeCount();
   if (!count.ok()) return tools::Fail(count.status());
 
+  // Block the termination signals before spawning server threads so they
+  // are delivered to sigwait below, not to a worker.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
   auto listener = rpc::UnixServerSocket::Listen(socket_path);
   if (!listener.ok()) return tools::Fail(listener.status());
 
-  if (servers > 1) {
-    std::printf("serving %s (slice %u/%u, %llu nodes) on %s\n",
-                db_path.c_str(), share_index, servers,
-                (unsigned long long)*count, socket_path.c_str());
-  } else {
-    std::printf("serving %s (%llu nodes) on %s\n", db_path.c_str(),
-                (unsigned long long)*count, socket_path.c_str());
-  }
-
   filter::LocalServerFilter filter(ring, store->get());
-  rpc::RpcServer server(ring, &filter);
-  for (;;) {
-    auto channel = (*listener)->Accept();
-    if (!channel.ok()) return tools::Fail(channel.status());
-    std::printf("client connected\n");
-    Status s = server.Serve(channel->get());
-    std::printf("client disconnected: %s\n", s.ToString().c_str());
+  rpc::ConcurrentServerOptions options;
+  options.threads = threads;
+  options.log_connections = true;
+  rpc::ConcurrentServer server(ring, &filter, std::move(*listener), options);
+  Status started = server.Start();
+  if (!started.ok()) return tools::Fail(started);
+
+  if (servers > 1) {
+    std::printf("serving %s (slice %u/%u, %llu nodes) on %s, %zu threads\n",
+                db_path.c_str(), share_index, servers,
+                (unsigned long long)*count, socket_path.c_str(),
+                server.threads());
+  } else {
+    std::printf("serving %s (%llu nodes) on %s, %zu threads\n",
+                db_path.c_str(), (unsigned long long)*count,
+                socket_path.c_str(), server.threads());
   }
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("signal %d: draining\n", signal_number);
+  server.Shutdown();
+  std::printf("served %llu connections (%llu closed)\n",
+              (unsigned long long)server.connections_accepted(),
+              (unsigned long long)server.connections_closed());
+  return 0;
 }
