@@ -39,6 +39,15 @@ void Run() {
               "query", "evals(simp)", "evals(adv)", "adv/simp", "rt(simp)",
               "rt(adv)", "output");
 
+  struct JsonRow {
+    uint64_t evals_simple = 0;
+    uint64_t evals_advanced = 0;
+    uint64_t round_trips_advanced = 0;
+    double ms_advanced = 0;
+    size_t results = 0;
+  };
+  std::vector<JsonRow> json_rows;
+
   for (size_t i = 0; i < std::size(kQueries); ++i) {
     RunResult simple = RunQuery(db.get(), kQueries[i],
                                 core::EngineKind::kSimple,
@@ -46,6 +55,12 @@ void Run() {
     RunResult advanced = RunQuery(db.get(), kQueries[i],
                                   core::EngineKind::kAdvanced,
                                   query::MatchMode::kContainment);
+    json_rows.push_back(JsonRow{
+        simple.result.stats.eval.evaluations,
+        advanced.result.stats.eval.evaluations,
+        advanced.result.stats.eval.round_trips,
+        advanced.seconds * 1e3,
+        simple.result.nodes.size()});
     double ratio =
         simple.result.stats.eval.evaluations == 0
             ? 0.0
@@ -69,7 +84,26 @@ void Run() {
       "\nPaper shape: the two series track each other with a bounded\n"
       "constant factor (fig. 5 log-scale lines stay parallel). The rt\n"
       "columns are server round trips under the batched pipeline: they\n"
-      "grow with the number of query steps, not with evaluations.\n");
+      "grow with the number of query steps, not with evaluations.\n\n");
+
+  // Machine-readable line for the CI bench-regression guard
+  // (tools/check_bench.py); evals and round trips are deterministic at a
+  // fixed scale, ms is advisory.
+  std::printf("BENCH_JSON {\"bench\":\"query_length\",\"scale\":%.3f,"
+              "\"rows\":[",
+              scale);
+  for (size_t i = 0; i < json_rows.size(); ++i) {
+    const JsonRow& r = json_rows[i];
+    std::printf(
+        "%s{\"steps\":%zu,\"evals_simple\":%llu,\"evals_advanced\":%llu,"
+        "\"round_trips\":%llu,\"ms\":%.3f,\"results\":%zu}",
+        i == 0 ? "" : ",", i + 1,
+        static_cast<unsigned long long>(r.evals_simple),
+        static_cast<unsigned long long>(r.evals_advanced),
+        static_cast<unsigned long long>(r.round_trips_advanced),
+        r.ms_advanced, r.results);
+  }
+  std::printf("]}\n");
 }
 
 }  // namespace

@@ -31,9 +31,19 @@ class Channel {
   virtual uint64_t bytes_received() const = 0;
   virtual uint64_t messages_sent() const = 0;
 
-  // File descriptor a poll(2)-based dispatcher can watch for readability
-  // (DESIGN.md §7), or -1 when the transport has none (in-process pairs).
+  // File descriptor a readiness-based dispatcher (rpc/event_poller.h)
+  // can register for readability (DESIGN.md §7), or -1 when the
+  // transport has none (in-process pairs).
   virtual int PollFd() const { return -1; }
+
+  // Bounds how long a blocking Send/Receive may stall (SO_RCVTIMEO /
+  // SO_SNDTIMEO on sockets); ConcurrentServer sets it on accepted
+  // connections so a stalled client cannot park a worker. No-op on
+  // transports without timeouts (in-process pairs).
+  virtual Status SetIoTimeout(int seconds) {
+    (void)seconds;
+    return Status::OK();
+  }
 };
 
 struct ChannelPair {

@@ -1,9 +1,6 @@
 #include "rpc/concurrent_server.h"
 
-#include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,10 +13,10 @@
 namespace ssdb::rpc {
 namespace {
 
-void SetNonBlocking(int fd) {
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
+// Poller registration identity of the listening socket; session ids
+// start at 1, so 0 is free (and the poller's internal wake channel uses
+// the top of the token range — see rpc/epoll_poller.cc).
+constexpr uint64_t kListenerToken = 0;
 
 }  // namespace
 
@@ -46,14 +43,25 @@ Status ConcurrentServer::Start() {
     if (started_) return Status::FailedPrecondition("already started");
     started_ = true;
   }
-  if (::pipe(wake_fds_) != 0) {
-    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  StatusOr<std::unique_ptr<EventPoller>> poller =
+      MakeEventPoller(options_.poller);
+  Status registered = poller.ok() ? Status::OK() : poller.status();
+  if (registered.ok()) {
+    poller_ = std::move(*poller);
+    // Non-blocking accepts: the poller can report a connection that aborts
+    // before accept runs, and the loop must not block on it.
+    listener_->SetNonBlocking();
+    registered = poller_->Add(listener_->fd(), kListenerToken,
+                              /*oneshot=*/false);
   }
-  SetNonBlocking(wake_fds_[0]);
-  SetNonBlocking(wake_fds_[1]);
-  // Non-blocking accepts: poll can report a connection that aborts before
-  // accept runs, and the loop must not block on it.
-  SetNonBlocking(listener_->fd());
+  if (!registered.ok()) {
+    // Leave the server restartable (e.g. retry with the poll backend
+    // after a kEpoll request on a non-epoll build).
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+    poller_.reset();
+    return registered;
+  }
   poll_thread_ = std::thread([this] { PollLoop(); });
   workers_.reserve(threads_);
   for (size_t i = 0; i < threads_; ++i) {
@@ -62,90 +70,61 @@ Status ConcurrentServer::Start() {
   return Status::OK();
 }
 
-void ConcurrentServer::WakePoller() {
-  char byte = 'w';
-  ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
-  (void)ignored;  // a full pipe already guarantees a wakeup
-}
-
 size_t ConcurrentServer::open_connections() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
 }
 
+const char* ConcurrentServer::poller_name() const {
+  return poller_ ? poller_->name() : PollerBackendName(options_.poller);
+}
+
+uint64_t ConcurrentServer::poller_wakeups() const {
+  return poller_ ? poller_->wakeups() : 0;
+}
+
+uint64_t ConcurrentServer::poller_items_scanned() const {
+  return poller_ ? poller_->items_scanned() : 0;
+}
+
 void ConcurrentServer::PollLoop() {
-  std::vector<pollfd> fds;
-  std::vector<uint64_t> ids;  // ids[i] owns fds[i + 2]
+  // With the idle sweep on, Wait returns at a fraction of the timeout so
+  // sessions are reclaimed within ~1.25x idle_timeout_seconds; otherwise
+  // the dispatcher sleeps until an event or a Wake.
+  const int wait_ms =
+      options_.idle_timeout_seconds > 0
+          ? std::max(50, options_.idle_timeout_seconds * 1000 / 4)
+          : -1;
+  // The sweep is rate-limited to the wait granularity: busy traffic
+  // wakes the dispatcher far more often, and an O(sessions) scan per
+  // event-driven wake would reintroduce the cost epoll removed.
+  auto next_sweep = std::chrono::steady_clock::now();
+  std::vector<PollerEvent> events;
   for (;;) {
-    fds.clear();
-    ids.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
-      fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
-      fds.push_back(pollfd{listener_->fd(), POLLIN, 0});
-      for (const auto& entry : sessions_) {
-        if (entry.second->state == SessionState::kArmed) {
-          fds.push_back(pollfd{entry.second->fd, POLLIN, 0});
-          ids.push_back(entry.first);
-        }
-      }
     }
-    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
-      if (errno == EINTR) continue;
-      SSDB_LOG(ERROR) << "concurrent server poll: " << std::strerror(errno);
+    StatusOr<size_t> waited = poller_->Wait(&events, wait_ms);
+    if (!waited.ok()) {
+      SSDB_LOG(ERROR) << "concurrent server " << poller_->name()
+                      << " wait: " << waited.status().ToString();
       return;  // Shutdown still drains and closes everything
     }
-    if (fds[0].revents != 0) {
-      char drain[64];
-      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
-      }
-    }
-    if (fds[1].revents != 0) {
-      // Drain the accept backlog; EAGAIN (or a racing abort) ends the loop
-      // and the next poll round retries.
-      for (;;) {
-        StatusOr<std::unique_ptr<Channel>> channel = listener_->Accept();
-        if (!channel.ok()) break;
-        int fd = (*channel)->PollFd();
-        if (fd < 0) continue;  // not pollable; drop the connection
-        if (options_.io_timeout_seconds > 0) {
-          // Bound how long a stalled client can hold a worker mid-frame.
-          timeval timeout{};
-          timeout.tv_sec = options_.io_timeout_seconds;
-          ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                       sizeof(timeout));
-          ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout,
-                       sizeof(timeout));
-        }
-        uint64_t id;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          if (stopping_) break;
-          auto session = std::make_unique<Session>();
-          id = session->id = next_session_id_++;
-          session->fd = fd;
-          session->channel = std::move(*channel);
-          sessions_.emplace(id, std::move(session));
-        }
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        if (options_.log_connections) {
-          std::printf("connection %llu accepted (%llu accepted, %llu closed, "
-                      "%zu open)\n",
-                      static_cast<unsigned long long>(id),
-                      static_cast<unsigned long long>(connections_accepted()),
-                      static_cast<unsigned long long>(connections_closed()),
-                      open_connections());
-          std::fflush(stdout);
-        }
-      }
-    }
+    bool accept_ready = false;
     bool dispatched = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (size_t i = 2; i < fds.size(); ++i) {
-        if (fds[i].revents == 0) continue;
-        auto it = sessions_.find(ids[i - 2]);
+      if (stopping_) return;
+      for (const PollerEvent& event : events) {
+        if (event.token == kListenerToken) {
+          accept_ready = true;
+          continue;
+        }
+        auto it = sessions_.find(event.token);
+        // Stale events (session closed, or token retired before this
+        // delivery) are dropped here; oneshot registration means an armed
+        // session produces exactly one event until a worker re-arms it.
         if (it == sessions_.end() ||
             it->second->state != SessionState::kArmed) {
           continue;
@@ -156,6 +135,96 @@ void ConcurrentServer::PollLoop() {
       }
     }
     if (dispatched) ready_cv_.notify_all();
+    if (accept_ready) HandleAccept();
+    if (options_.idle_timeout_seconds > 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= next_sweep) {
+        SweepIdle();
+        next_sweep = now + std::chrono::milliseconds(wait_ms);
+      }
+    }
+  }
+}
+
+void ConcurrentServer::HandleAccept() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_ || accept_paused_) return;
+      if (options_.max_connections > 0 &&
+          sessions_.size() >= options_.max_connections) {
+        // Backpressure: unplug the listener from the poller instead of
+        // accepting past the fd budget; pending clients wait in the
+        // listen backlog and CloseSession plugs it back in.
+        accept_paused_ = true;
+        poller_->Remove(listener_->fd());
+        if (options_.log_connections) {
+          std::printf("accept paused at %zu connections (budget %zu)\n",
+                      sessions_.size(), options_.max_connections);
+          std::fflush(stdout);
+        }
+        return;
+      }
+    }
+    // Drain the accept backlog; EAGAIN (or a racing abort) ends the loop
+    // and the next listener event retries.
+    StatusOr<std::unique_ptr<Channel>> channel = listener_->Accept();
+    if (!channel.ok()) return;
+    int fd = (*channel)->PollFd();
+    if (fd < 0) continue;  // not pollable; drop the connection
+    if (options_.io_timeout_seconds > 0) {
+      // Bound how long a stalled client can hold a worker mid-frame.
+      (*channel)->SetIoTimeout(options_.io_timeout_seconds);
+    }
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      auto session = std::make_unique<Session>();
+      id = session->id = next_session_id_++;
+      session->fd = fd;
+      session->channel = std::move(*channel);
+      session->last_armed = std::chrono::steady_clock::now();
+      Status added = poller_->Add(fd, id, /*oneshot=*/true);
+      if (!added.ok()) {
+        SSDB_LOG(ERROR) << "register connection: " << added.ToString();
+        continue;  // dropping the session closes the channel
+      }
+      sessions_.emplace(id, std::move(session));
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.log_connections) {
+      std::printf("connection %llu accepted (%llu accepted, %llu closed, "
+                  "%zu open)\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(connections_accepted()),
+                  static_cast<unsigned long long>(connections_closed()),
+                  open_connections());
+      std::fflush(stdout);
+    }
+  }
+}
+
+void ConcurrentServer::SweepIdle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::seconds(options_.idle_timeout_seconds);
+  std::vector<uint64_t> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : sessions_) {
+      // Only armed sessions are idle; kReady/kBusy are mid-request and
+      // bounded by the per-socket IO timeout instead. An armed session
+      // stays armed until this thread dispatches it, so the collected
+      // set cannot change state before the closes below.
+      if (entry.second->state != SessionState::kArmed) continue;
+      if (now - entry.second->last_armed >= limit) {
+        expired.push_back(entry.first);
+      }
+    }
+  }
+  for (uint64_t id : expired) {
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    CloseSession(id, "idle timeout");
   }
 }
 
@@ -172,8 +241,9 @@ void ConcurrentServer::WorkerLoop() {
       auto it = sessions_.find(id);
       if (it == sessions_.end()) continue;
       session = it->second.get();
-      // kBusy makes this worker the session's sole owner: the poller skips
-      // it and no other worker can be handed the same connection.
+      // kBusy makes this worker the session's sole owner: the dispatcher
+      // skips it (its poller registration is disabled by oneshot) and no
+      // other worker can be handed the same connection.
       session->state = SessionState::kBusy;
     }
     StatusOr<std::string> request = session->channel->Receive();
@@ -196,11 +266,20 @@ void ConcurrentServer::WorkerLoop() {
       CloseSession(id, "client shutdown");
       continue;
     }
+    bool rearmed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       session->state = SessionState::kArmed;
+      session->last_armed = std::chrono::steady_clock::now();
+      // Under epoll this re-enables the oneshot registration without
+      // waking the dispatcher; if bytes already arrived mid-request the
+      // kernel delivers the event immediately. Holding mu_ keeps the
+      // re-arm atomic with the state transition so the idle sweep cannot
+      // close a half-armed session.
+      rearmed = poller_->Rearm(session->fd, id).ok();
+      if (!rearmed) session->state = SessionState::kBusy;  // keep ownership
     }
-    WakePoller();
+    if (!rearmed) CloseSession(id, "poller rearm failed");
   }
 }
 
@@ -212,7 +291,15 @@ void ConcurrentServer::CloseSession(uint64_t id, const char* why) {
     if (it == sessions_.end()) return;
     session = std::move(it->second);
     sessions_.erase(it);
+    if (accept_paused_ && !stopping_ &&
+        sessions_.size() < options_.max_connections) {
+      accept_paused_ = false;
+      poller_->Add(listener_->fd(), kListenerToken, /*oneshot=*/false);
+    }
   }
+  // Deregister before closing the fd: the kernel may recycle the fd
+  // number for the very next accept.
+  poller_->Remove(session->fd);
   // Reclaim whatever the connection left behind, however it died.
   filter_->EndSession(filter::SessionId{id});
   session->channel->Close();
@@ -234,7 +321,7 @@ void ConcurrentServer::Shutdown() {
     if (!started_ || stopping_) return;
     stopping_ = true;
   }
-  WakePoller();
+  if (poller_) poller_->Wake();
   if (poll_thread_.joinable()) poll_thread_.join();
   // Unblock any worker parked in Receive on a partial frame: SHUT_RD turns
   // its blocking read into an immediate EOF. Nothing is lost — a request
@@ -259,9 +346,6 @@ void ConcurrentServer::Shutdown() {
   }
   for (uint64_t id : remaining) CloseSession(id, "server shutdown");
   listener_->Close();
-  ::close(wake_fds_[0]);
-  ::close(wake_fds_[1]);
-  wake_fds_[0] = wake_fds_[1] = -1;
 }
 
 }  // namespace ssdb::rpc

@@ -1,23 +1,33 @@
-/// ConcurrentServer (DESIGN.md §7): the multi-client transport. A poller
-/// thread owns the accept loop and a poll(2) set of idle connections; a
-/// fixed worker pool (--threads, default = hardware concurrency) services
-/// one *request* at a time, so many mostly-idle connections share a
-/// handful of workers and a slow client never parks a worker on an idle
-/// socket (a stalled mid-frame client is bounded by io_timeout_seconds).
-/// Each connection gets a session id that scopes its cursor state in the
-/// shared ServerFilter; when a connection dies — cleanly or mid batch —
-/// EndSession reclaims everything it left behind. Shutdown() stops
-/// accepting, drains in-flight requests, then closes what remains.
+/// ConcurrentServer (DESIGN.md §7): the multi-client transport. A
+/// dispatcher thread owns the accept loop and an EventPoller interest set
+/// of idle connections; a fixed worker pool (--threads, default =
+/// hardware concurrency) services one *request* at a time, so many
+/// mostly-idle connections share a handful of workers and a slow client
+/// never parks a worker on an idle socket (a stalled mid-frame client is
+/// bounded by io_timeout_seconds).
 ///
-/// Scale ceiling: the poller rebuilds its pollfd set (O(open
-/// connections)) each time it wakes; wakeups coalesce, but past a few
-/// thousand connections an incremental-interest-set backend (epoll) is
-/// the natural upgrade — see ROADMAP.md.
+/// The interest set is *incremental* (rpc/event_poller.h): a connection
+/// is registered once at accept, disabled while a worker owns its
+/// request (EPOLLONESHOT under the epoll backend), re-armed by the worker
+/// when the response is out, and deregistered on close — per-wake
+/// dispatch cost is O(ready events) under epoll, with poll(2) kept as
+/// the portable fallback. Overload is survived, not died from:
+/// max_connections pauses the accept loop at an fd budget (pending
+/// clients wait in the listen backlog), and idle_timeout_seconds sweeps
+/// connections that have been silent past the per-socket IO timeout,
+/// reclaiming their sessions.
+///
+/// Each connection gets a session id that scopes its cursor state in the
+/// shared ServerFilter; when a connection dies — cleanly, mid batch, or
+/// by idle sweep — EndSession reclaims everything it left behind.
+/// Shutdown() stops accepting, drains in-flight requests, then closes
+/// what remains.
 
 #ifndef SSDB_RPC_CONCURRENT_SERVER_H_
 #define SSDB_RPC_CONCURRENT_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,6 +39,7 @@
 
 #include "filter/server_filter.h"
 #include "gf/ring.h"
+#include "rpc/event_poller.h"
 #include "rpc/server.h"
 #include "rpc/socket_channel.h"
 #include "util/statusor.h"
@@ -44,9 +55,20 @@ struct ConcurrentServerOptions {
   // connections; 0 disables. Bounds how long a stalled client — one that
   // sent a partial frame, or stopped reading its response — can park a
   // worker: the blocked call errors out and the session is dropped. Idle
-  // connections are unaffected (they wait in the poll set, not in a
-  // worker).
+  // connections are unaffected (they wait in the poller, not in a
+  // worker) unless idle_timeout_seconds also kicks in.
   int io_timeout_seconds = 30;
+  // Readiness backend (DESIGN.md §7): epoll when available, with poll(2)
+  // as the portable fallback.
+  PollerBackend poller = PollerBackend::kDefault;
+  // Fd budget: at this many open connections the accept loop pauses
+  // (backpressure — pending clients queue in the listen backlog) and
+  // resumes as connections close. 0 = unlimited.
+  size_t max_connections = 0;
+  // Sweep connections that have been idle (armed, no request) longer
+  // than this, reclaiming their sessions — the idle-side complement of
+  // io_timeout_seconds, typically set to the same value. 0 = never.
+  int idle_timeout_seconds = 0;
 };
 
 class ConcurrentServer {
@@ -61,7 +83,7 @@ class ConcurrentServer {
   ConcurrentServer(const ConcurrentServer&) = delete;
   ConcurrentServer& operator=(const ConcurrentServer&) = delete;
 
-  // Spawns the poller and the worker pool; returns once accepting.
+  // Spawns the dispatcher and the worker pool; returns once accepting.
   Status Start();
 
   // Graceful drain: stop accepting, finish requests already dispatched to
@@ -78,12 +100,23 @@ class ConcurrentServer {
     return closed_.load(std::memory_order_relaxed);
   }
   size_t open_connections() const;
+  // Connections closed by the idle sweep (subset of connections_closed).
+  uint64_t connections_idle_closed() const {
+    return idle_closed_.load(std::memory_order_relaxed);
+  }
+
+  // Resolved readiness backend ("epoll"/"poll") and its wake-cost
+  // telemetry (rpc/event_poller.h); valid after Start().
+  const char* poller_name() const;
+  uint64_t poller_wakeups() const;
+  uint64_t poller_items_scanned() const;
 
  private:
-  // A connection's lifecycle: kArmed (fd in the poll set) → kReady (queued
-  // for a worker) → kBusy (one worker owns it) → back to kArmed, or
-  // destroyed on disconnect/shutdown-op. Exactly one owner at every stage,
-  // so channel reads never race.
+  // A connection's lifecycle: kArmed (fd armed in the poller) → kReady
+  // (queued for a worker, poller registration disabled by oneshot) →
+  // kBusy (one worker owns it) → back to kArmed via Rearm, or destroyed
+  // on disconnect/shutdown-op/idle sweep. Exactly one owner at every
+  // stage, so channel reads never race.
   enum class SessionState { kArmed, kReady, kBusy };
 
   struct Session {
@@ -91,13 +124,19 @@ class ConcurrentServer {
     std::unique_ptr<Channel> channel;
     int fd = -1;
     SessionState state = SessionState::kArmed;
+    // Last transition into kArmed; the idle sweep's clock.
+    std::chrono::steady_clock::time_point last_armed;
   };
 
   void PollLoop();
   void WorkerLoop();
+  // Drains the accept backlog, registering each connection; pauses the
+  // listener at the max_connections budget.
+  void HandleAccept();
+  // Closes every armed connection idle past idle_timeout_seconds.
+  void SweepIdle();
   // Removes the session and reclaims its cursors; `why` feeds the log line.
   void CloseSession(uint64_t id, const char* why);
-  void WakePoller();
 
   RpcServer server_;
   filter::ServerFilter* filter_;
@@ -105,20 +144,25 @@ class ConcurrentServer {
   ConcurrentServerOptions options_;
   size_t threads_ = 0;
 
-  // Guards sessions_, ready_, stopping_. Lock order (DESIGN.md §7):
-  // mu_ → filter cursor mutex → store lock → buffer-pool latch; never
-  // held across a channel Receive/Send.
+  std::unique_ptr<EventPoller> poller_;
+
+  // Guards sessions_, ready_, stopping_, accept_paused_, and every
+  // poller Add/Rearm (so arm state can't race the idle sweep's close).
+  // Lock order (DESIGN.md §7): mu_ → poller internal mutex → filter
+  // cursor mutex → store lock → buffer-pool latch; never held across a
+  // channel Receive/Send.
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
   std::deque<uint64_t> ready_;
   bool stopping_ = false;
   bool started_ = false;
+  bool accept_paused_ = false;
   uint64_t next_session_id_ = 1;
 
-  int wake_fds_[2] = {-1, -1};  // pipe: [0] polled, [1] written to wake
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> idle_closed_{0};
 
   std::thread poll_thread_;
   std::vector<std::thread> workers_;

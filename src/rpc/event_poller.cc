@@ -1,0 +1,182 @@
+#include "rpc/event_poller.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace ssdb::rpc {
+namespace {
+
+void SetNonBlockingFd(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Portable fallback (DESIGN.md §7): the interest set lives in a mutexed
+// table and is replayed into a fresh pollfd array on every wake, so each
+// wake costs O(open connections) — the exact ceiling the epoll backend
+// removes. Mutators write the self-pipe so a blocked poll(2) observes
+// interest changes (poll has no equivalent of epoll_ctl against a live
+// wait).
+class PollPoller : public EventPoller {
+ public:
+  static StatusOr<std::unique_ptr<EventPoller>> Make() {
+    auto poller = std::unique_ptr<PollPoller>(new PollPoller());
+    if (::pipe(poller->wake_fds_) != 0) {
+      return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+    }
+    SetNonBlockingFd(poller->wake_fds_[0]);
+    SetNonBlockingFd(poller->wake_fds_[1]);
+    return StatusOr<std::unique_ptr<EventPoller>>(std::move(poller));
+  }
+
+  ~PollPoller() override {
+    if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+    if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+  }
+
+  Status Add(int fd, uint64_t token, bool oneshot) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_[fd] = Entry{token, oneshot, /*armed=*/true};
+    }
+    Wake();
+    return Status::OK();
+  }
+
+  Status Rearm(int fd, uint64_t token) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(fd);
+      if (it == entries_.end()) {
+        return Status::NotFound("poll rearm: unknown fd");
+      }
+      it->second.token = token;
+      it->second.armed = true;
+    }
+    Wake();
+    return Status::OK();
+  }
+
+  Status Remove(int fd) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(fd);
+    // No Wake: a stale pollfd entry at worst produces one spurious wake,
+    // and its event is dropped at replay time (fd no longer in the table).
+    return Status::OK();
+  }
+
+  StatusOr<size_t> Wait(std::vector<PollerEvent>* events,
+                        int timeout_ms) override {
+    events->clear();
+    std::vector<pollfd> fds;
+    std::vector<uint64_t> tokens;  // tokens[i] belongs to fds[i + 1]
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fds.reserve(entries_.size() + 1);
+      tokens.reserve(entries_.size());
+      fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+      for (const auto& [fd, entry] : entries_) {
+        if (!entry.armed) continue;
+        fds.push_back(pollfd{fd, POLLIN, 0});
+        tokens.push_back(entry.token);
+      }
+    }
+    int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) return static_cast<size_t>(0);
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    items_scanned_.fetch_add(fds.size(), std::memory_order_relaxed);
+    if (fds[0].revents != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      auto it = entries_.find(fds[i].fd);
+      // The entry may have been removed or retargeted while poll slept;
+      // deliver only live, still-armed registrations.
+      if (it == entries_.end() || !it->second.armed ||
+          it->second.token != tokens[i - 1]) {
+        continue;
+      }
+      if (it->second.oneshot) it->second.armed = false;
+      events->push_back(PollerEvent{it->second.token});
+    }
+    return events->size();
+  }
+
+  void Wake() override {
+    char byte = 'w';
+    ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+    (void)ignored;  // a full pipe already guarantees a wakeup
+  }
+
+  const char* name() const override { return "poll"; }
+
+  size_t interest_size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    uint64_t token = 0;
+    bool oneshot = false;
+    bool armed = true;
+  };
+
+  PollPoller() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, Entry> entries_;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+};
+
+}  // namespace
+
+bool EpollAvailable() {
+#if defined(SSDB_HAVE_EPOLL)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* PollerBackendName(PollerBackend backend) {
+  switch (backend) {
+    case PollerBackend::kEpoll:
+      return "epoll";
+    case PollerBackend::kPoll:
+      return "poll";
+    case PollerBackend::kDefault:
+      return EpollAvailable() ? "epoll" : "poll";
+  }
+  return "poll";
+}
+
+StatusOr<std::unique_ptr<EventPoller>> MakeEventPoller(PollerBackend backend) {
+  if (backend == PollerBackend::kDefault) {
+    backend = EpollAvailable() ? PollerBackend::kEpoll : PollerBackend::kPoll;
+  }
+  if (backend == PollerBackend::kEpoll) {
+#if defined(SSDB_HAVE_EPOLL)
+    return MakeEpollPoller();
+#else
+    return Status::Unimplemented("epoll backend not compiled in");
+#endif
+  }
+  return PollPoller::Make();
+}
+
+}  // namespace ssdb::rpc

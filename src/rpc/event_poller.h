@@ -1,0 +1,112 @@
+/// EventPoller (DESIGN.md §7): the readiness backend under
+/// ConcurrentServer's dispatcher. The server registers each connection
+/// once at accept time, disables it while a worker owns the request
+/// (one-shot semantics), re-arms it when the worker hands the connection
+/// back, and removes it on close — an *incremental* interest set, so the
+/// per-wake cost of the good backend is O(ready events), not O(open
+/// connections).
+///
+/// Two implementations:
+///  * EpollPoller (Linux, compiled when <sys/epoll.h> is present): the
+///    kernel holds the interest set; one-shot registration maps to
+///    EPOLLONESHOT and re-arm to EPOLL_CTL_MOD, both callable from worker
+///    threads without waking the dispatcher.
+///  * PollPoller (portable fallback): a mutexed fd table replayed into a
+///    poll(2) array every wake — O(open connections) per wake by nature
+///    of the syscall, kept only for platforms without epoll and as the
+///    comparison baseline in bench_rpc's poller-scaling section.
+///
+/// Thread contract: Add/Rearm/Remove/Wake are safe from any thread;
+/// Wait has a single caller (the dispatcher thread). wakeups() and
+/// items_scanned() are monotone telemetry — scanned/wake is the wake-cost
+/// metric bench_rpc reports.
+
+#ifndef SSDB_RPC_EVENT_POLLER_H_
+#define SSDB_RPC_EVENT_POLLER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::rpc {
+
+// One ready file descriptor, identified by the token it was registered
+// with (ConcurrentServer uses session ids; 0 is its listener). Readable
+// data and hangup/error both surface as an event — the owner observes
+// the difference by reading.
+struct PollerEvent {
+  uint64_t token = 0;
+};
+
+enum class PollerBackend {
+  kDefault,  // epoll when compiled in, poll otherwise
+  kEpoll,
+  kPoll,
+};
+
+// True when the epoll backend was compiled in (Linux).
+bool EpollAvailable();
+
+// Human-readable backend name ("epoll" / "poll"); resolves kDefault.
+const char* PollerBackendName(PollerBackend backend);
+
+class EventPoller {
+ public:
+  virtual ~EventPoller() = default;
+
+  // Registers `fd` for readability with `token` as its identity in
+  // delivered events. A `oneshot` fd is disabled after each delivered
+  // event and must be Rearm()ed to fire again (the EPOLLONESHOT
+  // protocol); a persistent fd (listener) stays armed.
+  virtual Status Add(int fd, uint64_t token, bool oneshot) = 0;
+
+  // Re-enables a oneshot fd after its event was consumed. If the fd
+  // became readable while disabled, the next Wait reports it.
+  virtual Status Rearm(int fd, uint64_t token) = 0;
+
+  // Deregisters `fd`. Must be called before the fd is closed (a closed
+  // fd's slot can be reused by the kernel). Best-effort: unknown fds are
+  // ignored.
+  virtual Status Remove(int fd) = 0;
+
+  // Blocks up to `timeout_ms` (-1 = forever) for events; appends them to
+  // `events` (cleared first). Returns the number delivered; 0 on timeout
+  // or spurious Wake(). Single-threaded: only the dispatcher calls this.
+  virtual StatusOr<size_t> Wait(std::vector<PollerEvent>* events,
+                                int timeout_ms) = 0;
+
+  // Makes a concurrent/subsequent Wait return early (possibly with zero
+  // events). Used for shutdown and by PollPoller's own mutators.
+  virtual void Wake() = 0;
+
+  virtual const char* name() const = 0;
+  virtual size_t interest_size() const = 0;
+
+  // Times Wait returned with at least one event or a timeout/wake.
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  // Interest-set entries examined across all wakes: ready events for
+  // epoll, the whole replayed pollfd array for poll. scanned/wake is the
+  // dispatch cost bench_rpc tracks as idle connections grow.
+  uint64_t items_scanned() const {
+    return items_scanned_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  std::atomic<uint64_t> wakeups_{0};
+  std::atomic<uint64_t> items_scanned_{0};
+};
+
+// Builds the requested backend; kEpoll on a non-epoll build is an error.
+StatusOr<std::unique_ptr<EventPoller>> MakeEventPoller(PollerBackend backend);
+
+// Defined in epoll_poller.cc; only linked with epoll support.
+#if defined(SSDB_HAVE_EPOLL)
+StatusOr<std::unique_ptr<EventPoller>> MakeEpollPoller();
+#endif
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_EVENT_POLLER_H_

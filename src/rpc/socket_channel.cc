@@ -1,6 +1,8 @@
 #include "rpc/socket_channel.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -57,6 +59,18 @@ class SocketChannel : public Channel {
   uint64_t messages_sent() const override { return messages_sent_; }
   int PollFd() const override { return fd_; }
 
+  Status SetIoTimeout(int seconds) override {
+    timeval timeout{};
+    timeout.tv_sec = seconds;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout)) != 0 ||
+        ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                     sizeof(timeout)) != 0) {
+      return ErrnoError("setsockopt io timeout");
+    }
+    return Status::OK();
+  }
+
  private:
   int fd_;
   uint64_t bytes_sent_ = 0;
@@ -106,6 +120,11 @@ StatusOr<std::unique_ptr<UnixServerSocket>> UnixServerSocket::Listen(
 }
 
 UnixServerSocket::~UnixServerSocket() { Close(); }
+
+void UnixServerSocket::SetNonBlocking() {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
 
 StatusOr<std::unique_ptr<Channel>> UnixServerSocket::Accept() {
   int client = ::accept(fd_, nullptr, nullptr);

@@ -32,8 +32,13 @@ class UnixServerSocket {
 
   void Close();
   const std::string& path() const { return path_; }
-  // Listening descriptor, for poll(2)-based accept loops (DESIGN.md §7).
+  // Listening descriptor, for readiness-based accept loops
+  // (DESIGN.md §7, rpc/event_poller.h).
   int fd() const { return fd_; }
+  // Makes Accept() non-blocking (EAGAIN instead of waiting), so a
+  // dispatcher can drain the backlog without risking a hang on a
+  // connection that aborted between readiness and accept.
+  void SetNonBlocking();
 
  private:
   UnixServerSocket(int fd, std::string path)

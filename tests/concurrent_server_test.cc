@@ -1,16 +1,24 @@
-// Concurrency battery for the multi-client transport (DESIGN.md §7):
+// Concurrency battery for the multi-client transport (DESIGN.md §7),
+// run against BOTH readiness backends (epoll where compiled in, and the
+// portable poll fallback — rpc/event_poller.h):
 //  * N client threads hammer one ConcurrentServer with mixed scalar and
 //    batch ops against a shared XMark database; every thread's query
 //    results must equal the plaintext ground truth;
+//  * a 256-connection soak: mostly-idle connections with a rotating hot
+//    subset, ground-truth results throughout, and the idle sweep
+//    reclaiming every abandoned session afterwards;
 //  * cursors opened on one connection are invisible to every other;
 //  * a client that disconnects mid-batch must not wedge the accept loop or
 //    leak cursor-table entries;
+//  * the accept loop pauses at the max_connections budget (backpressure)
+//    and resumes as connections close;
 //  * graceful shutdown drains and closes every connection.
 
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <set>
 #include <string>
@@ -23,6 +31,7 @@
 #include "query/simple_engine.h"
 #include "rpc/client.h"
 #include "rpc/concurrent_server.h"
+#include "rpc/event_poller.h"
 #include "rpc/socket_channel.h"
 #include "test_helpers.h"
 #include "xmark/generator.h"
@@ -38,13 +47,20 @@ std::string SocketPath(const char* name) {
          ".sock";
 }
 
+std::vector<PollerBackend> AvailableBackends() {
+  std::vector<PollerBackend> backends{PollerBackend::kPoll};
+  if (EpollAvailable()) backends.push_back(PollerBackend::kEpoll);
+  return backends;
+}
+
 // Shared XMark database plus a running ConcurrentServer over it.
 struct ServerFixture {
   std::unique_ptr<TestDb> db;
   std::unique_ptr<ConcurrentServer> server;
   std::string path;
 
-  explicit ServerFixture(const char* name, size_t threads = 4) {
+  ServerFixture(const char* name, PollerBackend backend,
+                ConcurrentServerOptions options = {}) {
     xmark::GeneratorOptions gen;
     gen.target_bytes = 16 << 10;
     gen.seed = 7;
@@ -52,11 +68,13 @@ struct ServerFixture {
     path = SocketPath(name);
     auto listener = UnixServerSocket::Listen(path);
     SSDB_CHECK(listener.ok());
-    ConcurrentServerOptions options;
-    options.threads = threads;
+    if (options.threads == 0) options.threads = 4;
+    options.poller = backend;
     server = std::make_unique<ConcurrentServer>(
         db->ring, db->server.get(), std::move(*listener), options);
     SSDB_CHECK(server->Start().ok());
+    SSDB_CHECK(std::string(server->poller_name()) ==
+               PollerBackendName(backend));
   }
 
   std::unique_ptr<RemoteServerFilter> Connect() {
@@ -68,17 +86,29 @@ struct ServerFixture {
 };
 
 // Spin until the server-side cursor table drains (close processing is
-// asynchronous: the poller must notice the dead fd first).
-bool WaitForCursorCount(TestDb* db, uint64_t want) {
-  for (int i = 0; i < 500; ++i) {
+// asynchronous: the dispatcher must notice the dead fd first).
+bool WaitForCursorCount(TestDb* db, uint64_t want, int rounds = 500) {
+  for (int i = 0; i < rounds; ++i) {
     if (db->server->OpenCursorCount() == want) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   return db->server->OpenCursorCount() == want;
 }
 
-TEST(ConcurrentServerTest, ManyClientsMatchGroundTruth) {
-  ServerFixture fixture("hammer", /*threads=*/4);
+bool WaitForOpenConnections(ConcurrentServer* server, size_t want,
+                            int rounds = 1000) {
+  for (int i = 0; i < rounds; ++i) {
+    if (server->open_connections() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return server->open_connections() == want;
+}
+
+class ConcurrentServerTest
+    : public ::testing::TestWithParam<PollerBackend> {};
+
+TEST_P(ConcurrentServerTest, ManyClientsMatchGroundTruth) {
+  ServerFixture fixture("hammer", GetParam());
   const std::vector<std::string> queries = {
       "/site//person", "/site/people/person//city", "/site//bidder",
       "/site/*"};
@@ -144,8 +174,126 @@ TEST(ConcurrentServerTest, ManyClientsMatchGroundTruth) {
             fixture.server->connections_closed());
 }
 
-TEST(ConcurrentServerTest, CursorsAreInvisibleAcrossConnections) {
-  ServerFixture fixture("cursors");
+// The high-connection soak: 256 mostly-idle connections, a rotating hot
+// subset doing real share ops, ground truth throughout; afterwards the
+// idle sweep must reclaim every session (cursors included) without any
+// client closing cleanly.
+TEST_P(ConcurrentServerTest, HighConnectionSoakAndIdleSweep) {
+  ConcurrentServerOptions options;
+  options.idle_timeout_seconds = 1;
+  ServerFixture fixture("soak", GetParam(), options);
+  constexpr size_t kConnections = 256;
+  constexpr size_t kHot = 32;
+
+  filter::ServerFilter* local = fixture.db->server.get();
+  std::vector<gf::Elem> base_evals = *local->EvalAtBatch({1, 2, 3, 4}, 5);
+  gf::RingElem base_share = *local->FetchShare(2);
+  auto q = *query::ParseQuery("/site//person");
+  auto truth = query::EvaluateGroundTruth(q, fixture.db->doc);
+  ASSERT_TRUE(truth.ok());
+
+  std::vector<std::unique_ptr<RemoteServerFilter>> conns;
+  conns.reserve(kConnections);
+  for (size_t i = 0; i < kConnections; ++i) {
+    conns.push_back(fixture.Connect());
+  }
+  // Rotating hot subset: each round touches a different window of the
+  // connection set while the rest stay parked in the poller. A window
+  // that sat idle past the sweep may have been reclaimed — that is the
+  // sweep doing its job; the op is retried on a fresh connection and the
+  // ground truth must still hold.
+  for (size_t round = 0; round < kConnections / kHot; ++round) {
+    for (size_t i = round * kHot; i < (round + 1) * kHot; ++i) {
+      auto evals = conns[i]->EvalAtBatch({1, 2, 3, 4}, 5);
+      if (!evals.ok()) {
+        conns[i] = fixture.Connect();
+        evals = conns[i]->EvalAtBatch({1, 2, 3, 4}, 5);
+      }
+      ASSERT_TRUE(evals.ok()) << "connection " << i;
+      EXPECT_EQ(*evals, base_evals) << "connection " << i;
+      auto share = conns[i]->FetchShare(2);
+      if (!share.ok()) {  // swept between the two ops on a stalled runner
+        conns[i] = fixture.Connect();
+        share = conns[i]->FetchShare(2);
+      }
+      ASSERT_TRUE(share.ok()) << "connection " << i;
+      EXPECT_EQ(*share, base_share) << "connection " << i;
+    }
+    // One full engine query per round, against the plaintext answer.
+    filter::ClientFilter client(fixture.db->ring, prg::Prg(fixture.db->seed),
+                                conns[round * kHot].get());
+    query::AdvancedEngine engine(&client, &fixture.db->map);
+    auto result = engine.Execute(q, query::MatchMode::kEquality, nullptr);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->size(), truth->size()) << "round " << round;
+  }
+
+  // Park cursors on a few fresh connections and abandon everything: the
+  // idle sweep alone must close all sessions and reclaim the cursors.
+  auto root = *local->Root();
+  std::vector<std::unique_ptr<RemoteServerFilter>> cursor_conns;
+  for (int i = 0; i < 4; ++i) {
+    cursor_conns.push_back(fixture.Connect());
+    auto cursor =
+        cursor_conns.back()->OpenDescendantCursor(root.pre, root.post);
+    ASSERT_TRUE(cursor.ok());
+    ASSERT_TRUE(cursor_conns.back()->NextNodes(*cursor, 2).ok());
+  }
+  EXPECT_GE(fixture.db->server->OpenCursorCount(), 4u);
+
+  EXPECT_TRUE(WaitForOpenConnections(fixture.server.get(), 0));
+  EXPECT_TRUE(WaitForCursorCount(fixture.db.get(), 0));
+  EXPECT_GE(fixture.server->connections_idle_closed(), kConnections);
+
+  // The server survived sweeping its whole connection set and still
+  // accepts new clients.
+  auto survivor = fixture.Connect();
+  EXPECT_EQ(*survivor->NodeCount(), *local->NodeCount());
+  ASSERT_TRUE(survivor->Shutdown().ok());
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_accepted(),
+            fixture.server->connections_closed());
+}
+
+TEST_P(ConcurrentServerTest, BackpressurePausesAcceptAtBudget) {
+  ConcurrentServerOptions options;
+  options.threads = 2;
+  options.max_connections = 2;
+  ServerFixture fixture("budget", GetParam(), options);
+
+  auto a = fixture.Connect();
+  auto b = fixture.Connect();
+  ASSERT_TRUE(a->Root().ok());
+  ASSERT_TRUE(b->Root().ok());
+  EXPECT_EQ(fixture.server->open_connections(), 2u);
+
+  // A third client connects at the socket level (listen backlog) but must
+  // not be accepted while the budget is spent; its first request blocks.
+  std::atomic<bool> served{false};
+  std::thread third([&] {
+    auto remote = fixture.Connect();
+    auto root = remote->Root();
+    EXPECT_TRUE(root.ok());
+    served.store(true);
+    EXPECT_TRUE(remote->Shutdown().ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(fixture.server->open_connections(), 2u);
+  EXPECT_FALSE(served.load());
+
+  // Freeing one slot resumes the accept loop and the queued client gets
+  // served.
+  ASSERT_TRUE(a->Shutdown().ok());
+  third.join();
+  EXPECT_TRUE(served.load());
+  ASSERT_TRUE(b->Shutdown().ok());
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_accepted(), 3u);
+  EXPECT_EQ(fixture.server->connections_closed(), 3u);
+}
+
+TEST_P(ConcurrentServerTest, CursorsAreInvisibleAcrossConnections) {
+  ServerFixture fixture("cursors", GetParam());
   auto a = fixture.Connect();
   auto b = fixture.Connect();
   auto root = a->Root();
@@ -188,8 +336,8 @@ TEST(ConcurrentServerTest, CursorsAreInvisibleAcrossConnections) {
   ASSERT_TRUE(b->Shutdown().ok());
 }
 
-TEST(ConcurrentServerTest, MidBatchDisconnectCleansUpAndKeepsServing) {
-  ServerFixture fixture("disconnect");
+TEST_P(ConcurrentServerTest, MidBatchDisconnectCleansUpAndKeepsServing) {
+  ServerFixture fixture("disconnect", GetParam());
   auto root = *fixture.db->server->Root();
 
   // Ten clients in a row abandon a half-read cursor by dying abruptly —
@@ -223,12 +371,15 @@ TEST(ConcurrentServerTest, MidBatchDisconnectCleansUpAndKeepsServing) {
   EXPECT_EQ(fixture.server->connections_closed(), 11u);
 }
 
-TEST(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
-  ServerFixture fixture("stall", /*threads=*/2);
+TEST_P(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
+  ConcurrentServerOptions options;
+  options.threads = 2;
+  ServerFixture fixture("stall", GetParam(), options);
   auto channel = ConnectUnix(fixture.path);
   ASSERT_TRUE(channel.ok());
-  // Two of the four frame-header bytes, then silence: the poller dispatches
-  // the readable fd and the worker blocks awaiting the rest of the frame.
+  // Two of the four frame-header bytes, then silence: the dispatcher hands
+  // off the readable fd and the worker blocks awaiting the rest of the
+  // frame.
   int fd = (*channel)->PollFd();
   const char partial[2] = {0x10, 0x00};
   ASSERT_EQ(::write(fd, partial, sizeof(partial)), 2);
@@ -245,8 +396,8 @@ TEST(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
   EXPECT_EQ(fixture.server->connections_closed(), 1u);
 }
 
-TEST(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
-  ServerFixture fixture("drain");
+TEST_P(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
+  ServerFixture fixture("drain", GetParam());
   auto a = fixture.Connect();
   auto b = fixture.Connect();
   EXPECT_TRUE(a->Root().ok());
@@ -261,6 +412,12 @@ TEST(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
   // In-flight stubs observe the close as an error, not a hang.
   EXPECT_FALSE(a->Root().ok());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Pollers, ConcurrentServerTest, ::testing::ValuesIn(AvailableBackends()),
+    [](const ::testing::TestParamInfo<PollerBackend>& info) {
+      return std::string(PollerBackendName(info.param));
+    });
 
 }  // namespace
 }  // namespace ssdb::rpc

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Bench regression guard (CI).
+
+Collects the machine-readable ``BENCH_JSON {...}`` lines that bench_rpc
+and bench_query_length print into one merged artifact, then compares
+throughput against a committed baseline:
+
+    check_bench.py --out bench-results.json [--baseline bench/baseline.json]
+                   [--threshold 0.30] [--strict] capture1.txt [capture2.txt ...]
+
+Rows are matched on their identity keys (bench name plus every
+non-metric field: servers, clients, transport, poller, idle_conns, ...).
+A matched row whose ``qps`` dropped more than ``--threshold`` (default
+30%) emits a GitHub warning annotation; the check FAILS SOFT (exit 0)
+unless --strict, because absolute throughput is noisy across runners —
+the annotation is the signal, the artifact is the record. Rows with no
+baseline counterpart are reported informationally.
+
+To refresh the baseline after an intentional change, copy the merged
+artifact over bench/baseline.json (it is the same format). Each block
+carries the ``scale`` it ran at and scale is part of row identity, so
+regenerate under the same SSDB_BENCH_SCALE CI uses (0.05) — rows from
+another scale simply won't match.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that are measurements or machine facts, not identity;
+# everything else in a row (plus the enclosing bench name/query/scale)
+# identifies it across runs. worker_threads is hardware_concurrency —
+# recorded in the artifact, but matching on it would unpair every row
+# whose baseline came from a machine with a different core count.
+METRIC_KEYS = {
+    "qps", "p50_ms", "p99_ms", "ms", "wall_s", "queries", "wakes",
+    "scanned_per_wake", "straggler_ms", "bytes", "results", "round_trips",
+    "evals_simple", "evals_advanced", "batched_evals", "candidates",
+    "worker_threads",
+}
+
+MARKER = "BENCH_JSON "
+
+
+def collect(paths):
+    """Parses every BENCH_JSON line in the given capture files."""
+    benches = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line.startswith(MARKER):
+                    continue
+                try:
+                    benches.append(json.loads(line[len(MARKER):]))
+                except json.JSONDecodeError as error:
+                    print(f"::warning ::unparseable BENCH_JSON in {path}: "
+                          f"{error}")
+    return benches
+
+
+def row_identity(bench, row):
+    """Hashable identity of a row: bench-level context + non-metric fields."""
+    context = tuple(sorted(
+        (key, value) for key, value in bench.items()
+        if key != "rows" and key not in METRIC_KEYS
+        and not isinstance(value, (dict, list))))
+    fields = tuple(sorted(
+        (key, value) for key, value in row.items()
+        if key not in METRIC_KEYS))
+    return context + fields
+
+
+def index_rows(benches):
+    indexed = {}
+    for bench in benches:
+        for row in bench.get("rows", []):
+            indexed[row_identity(bench, row)] = row
+    return indexed
+
+
+def describe(identity):
+    return ", ".join(f"{key}={value}" for key, value in identity)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("captures", nargs="+",
+                        help="bench stdout capture files")
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--out", default="bench-results.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional qps drop that triggers a warning")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression instead of warning only")
+    args = parser.parse_args()
+
+    benches = collect(args.captures)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump({"results": benches}, handle, indent=2)
+        handle.write("\n")
+    total_rows = sum(len(b.get("rows", [])) for b in benches)
+    print(f"collected {len(benches)} BENCH_JSON blocks "
+          f"({total_rows} rows) -> {args.out}")
+    if not benches:
+        print("::warning ::no BENCH_JSON lines found in bench captures")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = index_rows(json.load(handle).get("results", []))
+    except FileNotFoundError:
+        print(f"::warning ::no baseline at {args.baseline}; "
+              "skipping regression check")
+        return 0
+
+    regressions = []
+    compared = 0
+    unmatched = 0
+    for identity, row in index_rows(benches).items():
+        if "qps" not in row:
+            continue
+        base = baseline.get(identity)
+        if base is None or "qps" not in base or base["qps"] <= 0:
+            unmatched += 1
+            continue
+        compared += 1
+        drop = 1.0 - row["qps"] / base["qps"]
+        if drop > args.threshold:
+            regressions.append(
+                f"qps {base['qps']:.1f} -> {row['qps']:.1f} "
+                f"({drop:.0%} drop) for {describe(identity)}")
+
+    print(f"compared {compared} qps rows against {args.baseline} "
+          f"({unmatched} without a baseline counterpart)")
+    for regression in regressions:
+        print(f"::warning ::bench regression: {regression}")
+    if not regressions:
+        print("bench OK: no qps drop beyond "
+              f"{args.threshold:.0%} of baseline")
+    return 1 if (regressions and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,8 @@
 //
 //   ssdb_server --db db.ssdb --socket /tmp/ssdb.sock [--p 83] [--e 1]
 //               [--servers m --share-index i] [--threads n]
+//               [--poller epoll|poll] [--max-connections n]
+//               [--idle-timeout s] [--io-timeout s]
 //
 // In an m-server deployment (DESIGN.md §5) each host runs one ssdb_server
 // over its own share slice; --servers/--share-index resolve the slice file
@@ -11,7 +13,10 @@
 // file directly. Serves any number of clients concurrently on a worker
 // pool of --threads threads (default: hardware concurrency; DESIGN.md §7),
 // keeps serving after clients disconnect, and drains gracefully on
-// SIGINT/SIGTERM.
+// SIGINT/SIGTERM. The accept loop dispatches through an incremental
+// interest set (--poller, default epoll where available); --max-connections
+// pauses accepting at an fd budget instead of dying, and --idle-timeout
+// sweeps connections idle past that many seconds.
 
 #include <csignal>
 #include <cstdio>
@@ -34,9 +39,22 @@ int main(int argc, char** argv) {
   uint32_t servers = args.GetInt("--servers", 1);
   uint32_t share_index = args.GetInt("--share-index", 0);
   uint32_t threads = args.GetInt("--threads", 0);
+  std::string poller = args.Get("--poller", "auto");
+  uint32_t max_connections = args.GetInt("--max-connections", 0);
+  uint32_t idle_timeout = args.GetInt("--idle-timeout", 0);
+  uint32_t io_timeout = args.GetInt("--io-timeout", 30);
 
   if (servers == 0 || share_index >= servers) {
     std::fprintf(stderr, "error: --share-index must be < --servers\n");
+    return 1;
+  }
+  rpc::PollerBackend backend = rpc::PollerBackend::kDefault;
+  if (poller == "epoll") {
+    backend = rpc::PollerBackend::kEpoll;
+  } else if (poller == "poll") {
+    backend = rpc::PollerBackend::kPoll;
+  } else if (poller != "auto") {
+    std::fprintf(stderr, "error: --poller must be epoll, poll, or auto\n");
     return 1;
   }
   db_path = core::ShareSlicePath(db_path, share_index, servers);
@@ -65,19 +83,24 @@ int main(int argc, char** argv) {
   rpc::ConcurrentServerOptions options;
   options.threads = threads;
   options.log_connections = true;
+  options.poller = backend;
+  options.max_connections = max_connections;
+  options.idle_timeout_seconds = static_cast<int>(idle_timeout);
+  options.io_timeout_seconds = static_cast<int>(io_timeout);
   rpc::ConcurrentServer server(ring, &filter, std::move(*listener), options);
   Status started = server.Start();
   if (!started.ok()) return tools::Fail(started);
 
   if (servers > 1) {
-    std::printf("serving %s (slice %u/%u, %llu nodes) on %s, %zu threads\n",
+    std::printf("serving %s (slice %u/%u, %llu nodes) on %s, %zu threads, "
+                "%s poller\n",
                 db_path.c_str(), share_index, servers,
                 (unsigned long long)*count, socket_path.c_str(),
-                server.threads());
+                server.threads(), server.poller_name());
   } else {
-    std::printf("serving %s (%llu nodes) on %s, %zu threads\n",
+    std::printf("serving %s (%llu nodes) on %s, %zu threads, %s poller\n",
                 db_path.c_str(), (unsigned long long)*count,
-                socket_path.c_str(), server.threads());
+                socket_path.c_str(), server.threads(), server.poller_name());
   }
   std::fflush(stdout);
 
