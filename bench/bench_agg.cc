@@ -1,0 +1,235 @@
+// Secure aggregation vs. fetch-and-count (DESIGN.md §8): the same
+// COUNT/GROUP-BY questions answered (a) the pre-§8 way — materialize the
+// matching node set at the client and count it — and (b) through the
+// aggregation subsystem, where every server folds its aggregate-column
+// slice over the frontier and returns one masked word per group.
+//
+// For each query and m in {1, 2, 4} share-slice servers (in-process
+// channels, so byte counters measure exactly the client's traffic) the
+// harness reports throughput, client bytes per query (sent + received
+// across all slices), round trips, and the fetch/aggregate byte ratio —
+// the headline is that the aggregate path moves O(groups) response bytes
+// where fetch-and-count moves O(candidates), so the ratio grows with the
+// document.
+//
+//   bench_agg            # full size (~10k+ candidates on the // query)
+//   SSDB_BENCH_SCALE=0.05 bench_agg   # CI smoke size
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregation.h"
+#include "bench/bench_util.h"
+#include "rpc/client.h"
+#include "rpc/multi_session.h"
+#include "rpc/server.h"
+
+namespace ssdb::bench {
+namespace {
+
+struct AggMeasurement {
+  std::string path;
+  std::string mode;  // "fetch" or "agg"
+  uint32_t servers = 1;
+  double qps = 0;
+  uint64_t bytes = 0;      // client bytes per query, all channels
+  uint64_t round_trips = 0;
+  uint64_t candidates = 0;  // candidate set the fetch path materializes
+  uint64_t results = 0;     // nodes (fetch) or groups (agg)
+  double ratio = 0;         // fetch bytes / agg bytes (agg rows only)
+};
+
+// One served deployment: m slice servers behind in-process channels, a
+// remote client stack in front, with every channel's byte counters at hand.
+struct Deployment {
+  std::vector<std::unique_ptr<rpc::ServerThread>> servers;
+  std::vector<rpc::Channel*> channels;  // client ends (owned by remotes)
+  std::vector<std::unique_ptr<rpc::RemoteServerFilter>> remotes;
+  std::unique_ptr<filter::MultiServerFilter> fanout;
+  std::unique_ptr<filter::ClientFilter> client;
+  std::unique_ptr<query::AdvancedEngine> engine;
+  std::unique_ptr<agg::AggregationEngine> aggregation;
+
+  uint64_t BytesOnWire() const {
+    uint64_t total = 0;
+    for (const rpc::Channel* channel : channels) {
+      total += channel->bytes_sent() + channel->bytes_received();
+    }
+    return total;
+  }
+};
+
+std::unique_ptr<Deployment> Deploy(BenchDb* db, uint32_t servers) {
+  auto deployment = std::make_unique<Deployment>();
+  std::vector<filter::ServerFilter*> backends;
+  for (uint32_t i = 0; i < servers; ++i) {
+    rpc::ChannelPair pair = rpc::CreateInProcessChannelPair();
+    deployment->channels.push_back(pair.client.get());
+    deployment->servers.push_back(std::make_unique<rpc::ServerThread>(
+        db->db->ring(), db->db->slice_filter(i), std::move(pair.server)));
+    deployment->remotes.push_back(std::make_unique<rpc::RemoteServerFilter>(
+        db->db->ring(), std::move(pair.client)));
+    backends.push_back(deployment->remotes.back().get());
+  }
+  deployment->fanout = std::make_unique<filter::MultiServerFilter>(
+      db->db->ring(), std::move(backends));
+  deployment->client = std::make_unique<filter::ClientFilter>(
+      db->db->ring(), prg::Prg(prg::Seed::FromUint64(42)),
+      deployment->fanout.get());
+  deployment->engine = std::make_unique<query::AdvancedEngine>(
+      deployment->client.get(), &db->map);
+  deployment->aggregation = std::make_unique<agg::AggregationEngine>(
+      deployment->client.get(), &db->map);
+  return deployment;
+}
+
+void PrintRow(const AggMeasurement& m) {
+  std::printf("%-28s %-6s m=%-3u %9.1f qps %12llu B/query %6llu trips "
+              "%8llu cand %7llu out",
+              m.path.c_str(), m.mode.c_str(), m.servers, m.qps,
+              static_cast<unsigned long long>(m.bytes),
+              static_cast<unsigned long long>(m.round_trips),
+              static_cast<unsigned long long>(m.candidates),
+              static_cast<unsigned long long>(m.results));
+  if (m.ratio > 0) std::printf("   %.0fx fewer bytes", m.ratio);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int Main() {
+  double scale = BenchScale();
+  // Sized so the // query examines >= 10k candidates at scale 1 even under
+  // the advanced engine's dead-branch pruning.
+  uint64_t target_bytes = static_cast<uint64_t>(scale * (3840 << 10));
+
+  // One descendant-axis query whose candidate set is the whole document
+  // (the 10k-candidate case at scale 1) and one child-axis query with a
+  // frontier of hundreds of person nodes; count(//*) exercises group-by.
+  const char* kPaths[] = {"//item", "/site/people/person/name"};
+  const int kReps = 5;
+
+  std::vector<AggMeasurement> rows;
+  for (uint32_t servers : {1u, 2u, 4u}) {
+    // Each m needs its own encode: slice i of an m-way split lives in
+    // store i (DESIGN.md §5).
+    auto db = BuildXmarkDb(target_bytes, 42, servers);
+    if (servers == 1) {
+      std::printf("bench_agg: %llu nodes, scale %.3f\n",
+                  static_cast<unsigned long long>(
+                      db->db->encode_result().node_count),
+                  scale);
+    }
+    auto deployment = Deploy(db.get(), servers);
+    for (const char* path : kPaths) {
+      auto parsed = *query::ParseQuery(path);
+      query::Query counted = *query::ParseQuery(std::string("count(") +
+                                                std::string(path) + ")");
+
+      // Fetch-and-count baseline: materialize, then count client-side.
+      AggMeasurement fetch;
+      fetch.path = path;
+      fetch.mode = "fetch";
+      fetch.servers = servers;
+      uint64_t bytes_before = deployment->BytesOnWire();
+      Stopwatch fetch_watch;
+      query::QueryStats fetch_stats;
+      size_t fetch_count = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        fetch_stats = query::QueryStats();
+        auto result = deployment->engine->Execute(
+            parsed, query::MatchMode::kContainment, &fetch_stats);
+        SSDB_CHECK(result.ok()) << result.status().ToString();
+        fetch_count = result->size();
+      }
+      fetch.qps = kReps / fetch_watch.ElapsedSeconds();
+      fetch.bytes = (deployment->BytesOnWire() - bytes_before) / kReps;
+      fetch.round_trips = fetch_stats.eval.round_trips;
+      fetch.candidates = fetch_stats.candidates_examined;
+      fetch.results = fetch_count;
+      rows.push_back(fetch);
+      PrintRow(fetch);
+
+      // Aggregate path: servers fold, one word per group comes home.
+      AggMeasurement agg_row;
+      agg_row.path = std::string("count(") + path + ")";
+      agg_row.mode = "agg";
+      agg_row.servers = servers;
+      bytes_before = deployment->BytesOnWire();
+      Stopwatch agg_watch;
+      query::QueryStats agg_stats;
+      uint64_t agg_total = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        agg_stats = query::QueryStats();
+        auto result = deployment->aggregation->Execute(
+            deployment->engine.get(), counted,
+            query::MatchMode::kContainment, &agg_stats);
+        SSDB_CHECK(result.ok()) << result.status().ToString();
+        agg_total = result->Total();
+      }
+      agg_row.qps = kReps / agg_watch.ElapsedSeconds();
+      agg_row.bytes = (deployment->BytesOnWire() - bytes_before) / kReps;
+      agg_row.round_trips = agg_stats.eval.round_trips;
+      agg_row.candidates = fetch.candidates;
+      agg_row.results = agg_stats.result_size;
+      agg_row.ratio = agg_row.bytes > 0
+                          ? static_cast<double>(fetch.bytes) / agg_row.bytes
+                          : 0;
+      SSDB_CHECK(agg_total == fetch_count)
+          << "aggregate diverged from fetch-and-count on " << path;
+      rows.push_back(agg_row);
+      PrintRow(agg_row);
+    }
+
+    // Group-by over every mapped tag: still one exchange, O(tags) words.
+    AggMeasurement grouped;
+    grouped.path = "count(//*)";
+    grouped.mode = "agg";
+    grouped.servers = servers;
+    query::Query group_query = *query::ParseQuery("count(//*)");
+    uint64_t bytes_before = deployment->BytesOnWire();
+    Stopwatch group_watch;
+    query::QueryStats group_stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+      group_stats = query::QueryStats();
+      auto result = deployment->aggregation->Execute(
+          deployment->engine.get(), group_query,
+          query::MatchMode::kEquality, &group_stats);
+      SSDB_CHECK(result.ok());
+      SSDB_CHECK(result->Total() == db->db->encode_result().node_count);
+    }
+    grouped.qps = kReps / group_watch.ElapsedSeconds();
+    grouped.bytes = (deployment->BytesOnWire() - bytes_before) / kReps;
+    grouped.round_trips = group_stats.eval.round_trips;
+    grouped.results = group_stats.result_size;
+    rows.push_back(grouped);
+    PrintRow(grouped);
+
+    for (auto& remote : deployment->remotes) {
+      SSDB_CHECK(remote->Shutdown().ok());
+    }
+  }
+
+  std::printf(
+      "BENCH_JSON {\"bench\":\"agg\",\"scale\":%.3f,\"rows\":[", scale);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const AggMeasurement& m = rows[i];
+    std::printf(
+        "%s{\"path\":\"%s\",\"mode\":\"%s\",\"servers\":%u,\"qps\":%.2f,"
+        "\"bytes\":%llu,\"round_trips\":%llu,\"candidates\":%llu,"
+        "\"results\":%llu,\"byte_ratio\":%.1f}",
+        i == 0 ? "" : ",", m.path.c_str(), m.mode.c_str(), m.servers, m.qps,
+        static_cast<unsigned long long>(m.bytes),
+        static_cast<unsigned long long>(m.round_trips),
+        static_cast<unsigned long long>(m.candidates),
+        static_cast<unsigned long long>(m.results), m.ratio);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace ssdb::bench
+
+int main() { return ssdb::bench::Main(); }

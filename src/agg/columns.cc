@@ -1,0 +1,45 @@
+#include "agg/columns.h"
+
+namespace ssdb::agg {
+
+std::string SerializeWords(const std::vector<Word>& words) {
+  std::string out;
+  out.reserve(words.size() * sizeof(Word));
+  for (Word word : words) {
+    out.push_back(static_cast<char>(word & 0xff));
+    out.push_back(static_cast<char>((word >> 8) & 0xff));
+    out.push_back(static_cast<char>((word >> 16) & 0xff));
+    out.push_back(static_cast<char>((word >> 24) & 0xff));
+  }
+  return out;
+}
+
+size_t BlobValueCount(std::string_view blob) {
+  size_t words = blob.size() / sizeof(Word);
+  if (words == 0 || blob.size() % sizeof(Word) != 0 ||
+      words % kColCount != 0) {
+    return 0;
+  }
+  return words / kColCount;
+}
+
+Word BlobWord(std::string_view blob, size_t word_index) {
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(blob.data()) +
+      word_index * sizeof(Word);
+  return static_cast<Word>(p[0]) | (static_cast<Word>(p[1]) << 8) |
+         (static_cast<Word>(p[2]) << 16) | (static_cast<Word>(p[3]) << 24);
+}
+
+Status ValidateSpec(const Spec& spec) {
+  if (spec.columns == 0 || (spec.columns & ~kAllColsMask) != 0) {
+    return Status::InvalidArgument("aggregate column mask invalid: " +
+                                   std::to_string(spec.columns));
+  }
+  if (spec.value_indexes.empty()) {
+    return Status::InvalidArgument("aggregate request has no groups");
+  }
+  return Status::OK();
+}
+
+}  // namespace ssdb::agg

@@ -1,0 +1,112 @@
+/// Aggregate-column algebra (DESIGN.md §8): the encode-time materialization
+/// of the §6.3 matching rules that lets the *servers* compute aggregates on
+/// additive shares instead of shipping candidate sets home.
+///
+/// Per node v the encoder derives, for every mapped tag value τ (indexed by
+/// mapping::TagMap::ValueIndex), seven 32-bit columns:
+///
+///   kEqualSelf     [tag(v) = τ]                     (one-hot of v's own tag)
+///   kEqualChild    #{c ∈ children(v) : tag(c) = τ}
+///   kEqualDesc     #{d ∈ desc(v)     : tag(d) = τ}  (proper descendants)
+///   kContainSelf   [τ ∈ subtree(v)]                 (§6.3 containment test)
+///   kContainChild  #{c ∈ children(v) : τ ∈ subtree(c)}
+///   kContainDesc   #{d ∈ desc(v)     : τ ∈ subtree(d)}
+///   kMultDesc      Σ_{d ∈ desc(v)} mult(d, τ)       (mult = occurrences of
+///                                                    τ in d's subtree)
+///
+/// Every aggregate the engine answers — COUNT/SUM/EXISTS/GROUP-BY over a
+/// query's final step, both match modes, both axes — is a *linear*
+/// functional of these columns over the penultimate candidate frontier, so
+/// m servers can each fold their additive slice into one word per group and
+/// the client recovers the exact answer by summation, exactly as
+/// gf::CombineMulti recovers polynomial values. Two derived identities keep
+/// the family at seven instead of nine:
+///   Σ_{c ∈ children(v)} mult(c, τ)  =  kEqualDesc(v, τ)
+///   mult(v, τ)                      =  kEqualSelf + kEqualDesc
+///
+/// The stored blob holds one additive slice of all 7·T words (T = mapped
+/// value count) masked by the client's PRG stream, so any subset of server
+/// slices — including a lone m = 1 server — is jointly uniform.
+
+#ifndef SSDB_AGG_COLUMNS_H_
+#define SSDB_AGG_COLUMNS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::agg {
+
+// Aggregate partials are additive shares over Z_{2^32}, not ring elements:
+// counts must not wrap at the (small) field modulus q. COUNT/EXISTS are
+// exact for any document a uint32 pre-numbering can address (the count is
+// bounded by the node count); SUM is exact while the true occurrence total
+// stays below 2^32 and wraps modulo 2^32 beyond that (reachable only by
+// adversarially deep same-tag nesting — see DESIGN.md §8).
+using Word = uint32_t;
+
+enum class Col : uint8_t {
+  kEqualSelf = 0,
+  kEqualChild = 1,
+  kEqualDesc = 2,
+  kContainSelf = 3,
+  kContainChild = 4,
+  kContainDesc = 5,
+  kMultDesc = 6,
+};
+
+inline constexpr size_t kColCount = 7;
+
+// Bitmask selecting a set of columns; a request sums every selected column
+// (the client subtracts the matching masks), so derived quantities like
+// mult(v) = kEqualSelf + kEqualDesc cost no extra round trip.
+inline constexpr uint8_t ColBit(Col col) {
+  return static_cast<uint8_t>(1u << static_cast<uint8_t>(col));
+}
+inline constexpr uint8_t kAllColsMask = (1u << kColCount) - 1;
+
+// Word order within a node's column block: column-major, τ-minor — the word
+// for (col, value_index) sits at index col·T + value_index. The client's
+// mask stream (prg::Prg::StreamForAggColumns) emits words in this order.
+inline size_t WordsPerNode(size_t value_count) {
+  return kColCount * value_count;
+}
+inline size_t WordIndex(Col col, size_t value_count, uint32_t value_index) {
+  return static_cast<size_t>(col) * value_count + value_index;
+}
+
+// --- blob codec (storage + wire side) --------------------------------------
+// A node's stored aggregate slice: 7·T little-endian uint32 words.
+
+std::string SerializeWords(const std::vector<Word>& words);
+
+// Number of mapped values a blob covers; 0 when the blob is absent or not a
+// whole number of column blocks (treated as "no aggregate columns").
+size_t BlobValueCount(std::string_view blob);
+
+// The word at `word_index`; caller guarantees the index is in range.
+Word BlobWord(std::string_view blob, size_t word_index);
+
+// --- request spec (client -> server) ---------------------------------------
+
+// A partial-aggregate request (DESIGN.md §8): fold the selected columns of
+// the frontier nodes `pres` into one masked word per entry of
+// `value_indexes`. The server never sees which axis or aggregate the
+// columns encode — only masked word sums leave it.
+struct Spec {
+  uint8_t columns = 0;                  // ColBit() mask; must be non-zero
+  std::vector<uint32_t> pres;           // frontier (deduped client-side)
+  std::vector<uint32_t> value_indexes;  // one partial per entry (group-by)
+  // Client-side only (never on the wire): the map's value count T, needed
+  // to locate mask words; servers derive T from their stored blobs.
+  uint32_t value_count = 0;
+};
+
+Status ValidateSpec(const Spec& spec);
+
+}  // namespace ssdb::agg
+
+#endif  // SSDB_AGG_COLUMNS_H_

@@ -117,6 +117,7 @@ void EncryptedXmlDatabase::BuildEngines(const prg::Seed& seed) {
                                                    server_view_);
   simple_ = std::make_unique<query::SimpleEngine>(client_.get(), &map_);
   advanced_ = std::make_unique<query::AdvancedEngine>(client_.get(), &map_);
+  agg_ = std::make_unique<agg::AggregationEngine>(client_.get(), &map_);
 }
 
 StatusOr<QueryResult> EncryptedXmlDatabase::Query(std::string_view xpath,
@@ -133,6 +134,14 @@ StatusOr<QueryResult> EncryptedXmlDatabase::QueryParsed(
           ? static_cast<query::QueryEngine*>(simple_.get())
           : static_cast<query::QueryEngine*>(advanced_.get());
   QueryResult result;
+  if (query.aggregate != query::Aggregate::kNone) {
+    // Aggregate form (DESIGN.md §8): the servers fold their column slices;
+    // only per-group words come home.
+    result.is_aggregate = true;
+    SSDB_ASSIGN_OR_RETURN(
+        result.aggregate, agg_->Execute(chosen, query, mode, &result.stats));
+    return result;
+  }
   SSDB_ASSIGN_OR_RETURN(result.nodes,
                         chosen->Execute(query, mode, &result.stats));
   return result;

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "agg/aggregation.h"
 #include "core/options.h"
 #include "filter/client_filter.h"
 #include "filter/server_filter.h"
@@ -43,6 +44,11 @@ namespace ssdb::core {
 struct QueryResult {
   std::vector<filter::NodeMeta> nodes;
   query::QueryStats stats;
+  // Set iff the query carried an aggregate form (count()/sum()/exists(),
+  // DESIGN.md §8); `nodes` stays empty — the matched set never reaches the
+  // client, stats.result_size counts groups.
+  bool is_aggregate = false;
+  agg::Result aggregate;
 };
 
 class EncryptedXmlDatabase {
@@ -102,6 +108,7 @@ class EncryptedXmlDatabase {
   }
   filter::ClientFilter* client_filter() { return client_.get(); }
   filter::ServerFilter* server_filter() { return server_view_; }
+  agg::AggregationEngine* aggregation_engine() { return agg_.get(); }
 
   // Long-lived filter over share slice i, shared by every connection a
   // concurrent transport dispatches (DESIGN.md §7) — unlike ServeSlice,
@@ -147,6 +154,7 @@ class EncryptedXmlDatabase {
   std::unique_ptr<filter::ClientFilter> client_;
   std::unique_ptr<query::SimpleEngine> simple_;
   std::unique_ptr<query::AdvancedEngine> advanced_;
+  std::unique_ptr<agg::AggregationEngine> agg_;
 };
 
 }  // namespace ssdb::core

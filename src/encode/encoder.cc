@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "agg/columns.h"
 #include "trie/trie.h"
 #include "util/file_util.h"
 #include "xml/sax.h"
@@ -24,7 +25,8 @@ class EncodingHandler : public xml::SaxHandler {
         map_(map),
         prg_(prg),
         stores_(stores),
-        options_(options) {}
+        options_(options),
+        value_count_(options.aggregate_columns ? map.size() : 0) {}
 
   Status StartElement(std::string_view name,
                       const xml::AttributeList&) override {
@@ -48,6 +50,7 @@ class EncodingHandler : public xml::SaxHandler {
     result_.node_count = node_count_;
     result_.max_depth = max_depth_;
     result_.share_bytes = share_bytes_;
+    result_.agg_bytes = agg_bytes_;
     return result_;
   }
 
@@ -56,6 +59,7 @@ class EncodingHandler : public xml::SaxHandler {
     uint32_t pre = 0;
     uint32_t parent = 0;
     gf::Elem tag_value = 0;
+    uint32_t value_index = 0;  // rank of tag_value among the mapped values
     std::string tag_name;     // kept only when sealing
     std::string direct_text;  // kept only when sealing
     // Product of completed child polynomials; exactly one representation is
@@ -63,6 +67,15 @@ class EncodingHandler : public xml::SaxHandler {
     gf::EvalVector child_evals;   // starts all-ones
     gf::RingElem child_coeffs;    // starts at the ring's 1
     bool has_children = false;
+    // Aggregate-column accumulators (DESIGN.md §8), indexed by value rank;
+    // allocated only when aggregate columns are enabled. `mult` collects the
+    // subtree tag histogram bottom-up (own tag added at Close); the other
+    // four collect the child/descendant sums the stored columns need.
+    std::vector<agg::Word> mult;
+    std::vector<agg::Word> child_equal;
+    std::vector<agg::Word> child_contain;
+    std::vector<agg::Word> desc_contain;
+    std::vector<agg::Word> desc_mult;
   };
 
   Status Open(std::string_view name) {
@@ -76,6 +89,16 @@ class EncodingHandler : public xml::SaxHandler {
     frame.parent = stack_.empty() ? 0 : stack_.back().pre;
     frame.tag_value = *value;
     if (options_.seal_content) frame.tag_name = std::string(name);
+    if (value_count_ > 0) {
+      StatusOr<uint32_t> index = map_.ValueIndex(*value);
+      SSDB_RETURN_IF_ERROR(index.status());
+      frame.value_index = *index;
+      frame.mult.assign(value_count_, 0);
+      frame.child_equal.assign(value_count_, 0);
+      frame.child_contain.assign(value_count_, 0);
+      frame.desc_contain.assign(value_count_, 0);
+      frame.desc_mult.assign(value_count_, 0);
+    }
     if (options_.use_eval_domain) {
       frame.child_evals.assign(ring_.n(), 1);
     } else {
@@ -120,11 +143,51 @@ class EncodingHandler : public xml::SaxHandler {
       }
     }
 
+    // Aggregate columns (DESIGN.md §8): finalize this node's subtree
+    // histogram, derive the seven stored columns, and fold the node into
+    // its parent's child/descendant accumulators.
+    std::vector<agg::Word> agg_plain;
+    if (value_count_ > 0) {
+      const size_t T = value_count_;
+      frame.mult[frame.value_index] += 1;
+      agg_plain.assign(agg::WordsPerNode(T), 0);
+      auto col = [&](agg::Col c) {
+        return agg_plain.data() + agg::WordIndex(c, T, 0);
+      };
+      col(agg::Col::kEqualSelf)[frame.value_index] = 1;
+      for (size_t t = 0; t < T; ++t) {
+        col(agg::Col::kEqualChild)[t] = frame.child_equal[t];
+        col(agg::Col::kEqualDesc)[t] =
+            frame.mult[t] - (t == frame.value_index ? 1 : 0);
+        col(agg::Col::kContainSelf)[t] = frame.mult[t] > 0 ? 1 : 0;
+        col(agg::Col::kContainChild)[t] = frame.child_contain[t];
+        col(agg::Col::kContainDesc)[t] = frame.desc_contain[t];
+        col(agg::Col::kMultDesc)[t] = frame.desc_mult[t];
+      }
+      if (!stack_.empty()) {
+        Frame& parent = stack_.back();
+        parent.child_equal[frame.value_index] += 1;
+        for (size_t t = 0; t < T; ++t) {
+          agg::Word contains = frame.mult[t] > 0 ? 1 : 0;
+          parent.child_contain[t] += contains;
+          parent.desc_contain[t] += frame.desc_contain[t] + contains;
+          parent.desc_mult[t] += frame.desc_mult[t] + frame.mult[t];
+          parent.mult[t] += frame.mult[t];
+        }
+      }
+      // Mask with the client's PRG stream: every stored word carries an
+      // independent uniform pad, so any subset of server slices is jointly
+      // uniform — the aggregate analog of the polynomial split.
+      prg::Prg::Stream mask = prg_.StreamForAggColumns(frame.pre, 0);
+      for (agg::Word& word : agg_plain) word -= mask.NextUint32();
+    }
+
     // Split: the client share is the PRG stream at this node's pre
     // position; server slices i >= 1 are further PRG streams (one slice
     // materialized at a time); slice 0 is the remainder, so
     // f = c + s_0 + ... + s_{m-1} (DESIGN.md §5). Only server slices are
-    // stored; structure columns are replicated to every store.
+    // stored; structure columns are replicated to every store. The
+    // aggregate columns split the same way in Z_{2^32}.
     gf::RingElem remainder =
         ring_.Sub(node_poly, prg_.ClientShare(ring_, frame.pre));
 
@@ -137,10 +200,25 @@ class EncodingHandler : public xml::SaxHandler {
           ring_, frame.pre, static_cast<uint32_t>(i));
       row.share = ring_.Serialize(slice);
       share_bytes_ += row.share.size();
+      if (value_count_ > 0) {
+        prg::Prg::Stream slice_mask =
+            prg_.StreamForAggColumns(frame.pre, static_cast<uint32_t>(i));
+        std::vector<agg::Word> slice_words(agg_plain.size());
+        for (size_t w = 0; w < slice_words.size(); ++w) {
+          slice_words[w] = slice_mask.NextUint32();
+          agg_plain[w] -= slice_words[w];
+        }
+        row.agg = agg::SerializeWords(slice_words);
+        agg_bytes_ += row.agg.size();
+      }
       SSDB_RETURN_IF_ERROR(stores_[i]->Insert(row));
       remainder = ring_.Sub(remainder, slice);
     }
     row.share = ring_.Serialize(remainder);
+    if (value_count_ > 0) {
+      row.agg = agg::SerializeWords(agg_plain);
+      agg_bytes_ += row.agg.size();
+    }
     if (options_.seal_content) {
       row.sealed = prg_.SealPayload(
           frame.pre, frame.tag_name + "\n" + frame.direct_text);
@@ -167,12 +245,15 @@ class EncodingHandler : public xml::SaxHandler {
   const prg::Prg& prg_;
   const std::vector<storage::NodeStore*>& stores_;
   EncodeOptions options_;
+  // Mapped-value count T when aggregate columns are on, 0 when off.
+  size_t value_count_ = 0;
 
   std::vector<Frame> stack_;
   uint32_t pre_counter_ = 0;
   uint32_t post_counter_ = 0;
   uint64_t node_count_ = 0;
   uint64_t share_bytes_ = 0;
+  uint64_t agg_bytes_ = 0;
   uint64_t max_depth_ = 0;
   EncodeResult result_;
 };

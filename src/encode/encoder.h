@@ -46,6 +46,12 @@ struct EncodeOptions {
   // the seed, alongside each node's share so matched nodes can be revealed
   // client-side. The server sees only ciphertext.
   bool seal_content = false;
+  // DESIGN.md §8: store each node's masked aggregate-column slice (7 uint32
+  // words per mapped tag value, agg/columns.h) so servers can answer
+  // COUNT/SUM/EXISTS/GROUP-BY with one word per group instead of the client
+  // fetching the candidate set. Costs 28·|map| bytes per node per slice;
+  // disable for minimal storage or very large maps on the disk backend.
+  bool aggregate_columns = true;
 };
 
 struct EncodeResult {
@@ -53,6 +59,7 @@ struct EncodeResult {
   uint64_t max_depth = 0;
   uint64_t input_bytes = 0;
   uint64_t share_bytes = 0;  // serialized polynomial payload, all slices
+  uint64_t agg_bytes = 0;    // aggregate-column payload, all slices (§8)
 };
 
 class Encoder {

@@ -1,6 +1,9 @@
 #include "filter/client_filter.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 
 #include "gf/share.h"
 
@@ -89,6 +92,68 @@ StatusOr<std::vector<NodeMeta>> ClientFilter::Descendants(
 gf::Elem ClientFilter::EvalClientShare(uint32_t pre, gf::Elem t) {
   gf::RingElem share = prg_.ClientShare(ring_, pre);
   return ring_.Eval(share, t);
+}
+
+StatusOr<std::vector<agg::Word>> ClientFilter::Aggregate(
+    const agg::Spec& spec) {
+  SSDB_RETURN_IF_ERROR(agg::ValidateSpec(spec));
+  if (spec.value_count == 0) {
+    return Status::InvalidArgument("aggregate spec needs the map size");
+  }
+  for (uint32_t index : spec.value_indexes) {
+    if (index >= spec.value_count) {
+      return Status::InvalidArgument("aggregate value index out of range");
+    }
+  }
+  // Canonicalize the frontier once so the server fold and the client mask
+  // sum cover exactly the same node set.
+  agg::Spec canonical = spec;
+  std::sort(canonical.pres.begin(), canonical.pres.end());
+  canonical.pres.erase(
+      std::unique(canonical.pres.begin(), canonical.pres.end()),
+      canonical.pres.end());
+
+  TripScope trips(this);
+  ++stats_.server_calls;
+  stats_.aggregate_ops += canonical.value_indexes.size();
+  SSDB_ASSIGN_OR_RETURN(std::vector<agg::Word> totals,
+                        server_->PartialAggregate(canonical));
+  if (totals.size() != canonical.value_indexes.size()) {
+    return Status::Internal("PartialAggregate group count mismatch");
+  }
+
+  // Remove the client's masks: for each frontier node, the mask stream
+  // words at every (selected column, group value) position. Word positions
+  // are visited in ascending order so each node costs one skip-walk of its
+  // ChaCha stream — O(selected words), not O(7T).
+  std::vector<std::pair<size_t, size_t>> wanted;  // (word index, group)
+  for (size_t g = 0; g < canonical.value_indexes.size(); ++g) {
+    for (size_t c = 0; c < agg::kColCount; ++c) {
+      if ((canonical.columns & (1u << c)) == 0) continue;
+      wanted.emplace_back(
+          agg::WordIndex(static_cast<agg::Col>(c), spec.value_count,
+                         canonical.value_indexes[g]),
+          g);
+    }
+  }
+  std::sort(wanted.begin(), wanted.end());
+  for (uint32_t pre : canonical.pres) {
+    prg::Prg::Stream stream = prg_.StreamForAggColumns(pre, 0);
+    size_t position = 0;           // bytes consumed from the stream
+    size_t last_byte = SIZE_MAX;   // last word offset read (duplicates)
+    agg::Word word = 0;
+    for (const auto& [index, group] : wanted) {
+      size_t byte = index * sizeof(agg::Word);
+      if (byte != last_byte) {
+        stream.Skip(byte - position);
+        word = stream.NextUint32();
+        position = byte + sizeof(agg::Word);
+        last_byte = byte;
+      }
+      totals[group] += word;
+    }
+  }
+  return totals;
 }
 
 StatusOr<std::vector<uint8_t>> ClientFilter::ContainsValueBatch(

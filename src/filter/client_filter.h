@@ -47,6 +47,8 @@ struct EvalStats {
                                    // server's RoundTrips() deltas; straggler
                                    // semantics under multi-server fan-out
   uint64_t batched_evaluations = 0;  // evaluations that rode a batch call
+  uint64_t aggregate_ops = 0;        // server-side partial-aggregate folds
+                                     // (DESIGN.md §8), one per exchange
   // Multi-server fan-out (DESIGN.md §5): raw wire exchanges per backend
   // (empty or size-1 for single-server deployments) and the wall time spent
   // waiting on the slowest server across concurrent fan-outs.
@@ -73,6 +75,13 @@ class ClientFilter {
       const std::vector<NodeMeta>& nodes);
   // All proper descendants, pulled through the server-side cursor pipeline.
   StatusOr<std::vector<NodeMeta>> Descendants(const NodeMeta& node);
+
+  // --- Aggregation (DESIGN.md §8) ---
+  // Runs a server-side partial aggregate over the spec's frontier and
+  // removes the client's PRG masks, returning the *true* Z_{2^32} aggregate
+  // per group — the aggregate analog of combining share evaluations. One
+  // server exchange however large the frontier; O(groups) response bytes.
+  StatusOr<std::vector<agg::Word>> Aggregate(const agg::Spec& spec);
 
   // --- Matching rules (batch-first) ---
   // out[i] != 0 iff the subtree rooted at nodes[i] contains the mapped

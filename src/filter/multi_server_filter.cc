@@ -201,6 +201,25 @@ StatusOr<uint64_t> MultiServerFilter::NodeCount() {
   return out;
 }
 
+StatusOr<std::vector<agg::Word>> MultiServerFilter::PartialAggregate(
+    const agg::Spec& spec) {
+  std::vector<std::vector<agg::Word>> partial(backends_.size());
+  SSDB_RETURN_IF_ERROR(FanOut([&](size_t i) -> Status {
+    SSDB_ASSIGN_OR_RETURN(partial[i], backends_[i]->PartialAggregate(spec));
+    if (partial[i].size() != spec.value_indexes.size()) {
+      return Status::Internal("PartialAggregate slice size mismatch");
+    }
+    return Status::OK();
+  }));
+  std::vector<agg::Word> sum = std::move(partial[0]);
+  for (size_t i = 1; i < partial.size(); ++i) {
+    for (size_t j = 0; j < sum.size(); ++j) {
+      sum[j] += partial[i][j];
+    }
+  }
+  return sum;
+}
+
 StatusOr<gf::Elem> MultiServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
   std::vector<gf::Elem> partial(backends_.size(), 0);
   SSDB_RETURN_IF_ERROR(FanOut([&](size_t i) -> Status {

@@ -60,6 +60,10 @@ class MultiServerFilter : public ServerFilter {
   StatusOr<uint64_t> NodeCount() override;
 
   // --- Shares (concurrent fan-out, replies summed) ---
+  // Aggregate partials sum in Z_{2^32} across slices exactly like share
+  // evaluations sum in F_q (DESIGN.md §8).
+  StatusOr<std::vector<agg::Word>> PartialAggregate(
+      const agg::Spec& spec) override;
   StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override;
   StatusOr<std::vector<gf::Elem>> EvalAtBatch(
       const std::vector<uint32_t>& pres, gf::Elem t) override;

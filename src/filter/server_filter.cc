@@ -1,5 +1,7 @@
 #include "filter/server_filter.h"
 
+#include <algorithm>
+
 namespace ssdb::filter {
 
 StatusOr<NodeMeta> LocalServerFilter::Root() {
@@ -10,17 +12,17 @@ StatusOr<NodeMeta> LocalServerFilter::Root() {
 
 StatusOr<NodeMeta> LocalServerFilter::GetNode(uint32_t pre) {
   CountTrip();
-  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-  return MetaOf(row);
+  NodeMeta meta;
+  SSDB_RETURN_IF_ERROR(store_->VisitByPre(
+      pre, [&](const storage::NodeRow& row) { meta = MetaOf(row); }));
+  return meta;
 }
 
 StatusOr<std::vector<NodeMeta>> LocalServerFilter::Children(uint32_t pre) {
   CountTrip();
-  SSDB_ASSIGN_OR_RETURN(std::vector<storage::NodeRow> rows,
-                        store_->GetChildren(pre));
   std::vector<NodeMeta> out;
-  out.reserve(rows.size());
-  for (const auto& row : rows) out.push_back(MetaOf(row));
+  SSDB_RETURN_IF_ERROR(store_->VisitChildren(
+      pre, [&](const storage::NodeRow& row) { out.push_back(MetaOf(row)); }));
   return out;
 }
 
@@ -30,11 +32,10 @@ StatusOr<std::vector<std::vector<NodeMeta>>> LocalServerFilter::ChildrenBatch(
   std::vector<std::vector<NodeMeta>> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
-    SSDB_ASSIGN_OR_RETURN(std::vector<storage::NodeRow> rows,
-                          store_->GetChildren(pre));
     std::vector<NodeMeta> metas;
-    metas.reserve(rows.size());
-    for (const auto& row : rows) metas.push_back(MetaOf(row));
+    SSDB_RETURN_IF_ERROR(store_->VisitChildren(
+        pre,
+        [&](const storage::NodeRow& row) { metas.push_back(MetaOf(row)); }));
     out.push_back(std::move(metas));
   }
   return out;
@@ -118,11 +119,32 @@ uint64_t LocalServerFilter::OpenCursorCount() const {
   return cursors_.size();
 }
 
+StatusOr<gf::RingElem> LocalServerFilter::ReadShare(uint32_t pre) {
+  StatusOr<gf::RingElem> share = Status::Internal("unset");
+  SSDB_RETURN_IF_ERROR(store_->VisitByPre(
+      pre, [&](const storage::NodeRow& row) {
+        share = ring_.Deserialize(row.share);
+      }));
+  return share;
+}
+
+StatusOr<gf::Elem> LocalServerFilter::EvalRowAt(uint32_t pre, gf::Elem t) {
+  StatusOr<gf::Elem> value = Status::Internal("unset");
+  SSDB_RETURN_IF_ERROR(store_->VisitByPre(
+      pre, [&](const storage::NodeRow& row) {
+        StatusOr<gf::RingElem> share = ring_.Deserialize(row.share);
+        if (!share.ok()) {
+          value = share.status();
+          return;
+        }
+        value = ring_.Eval(*share, t);
+      }));
+  return value;
+}
+
 StatusOr<gf::Elem> LocalServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
   CountTrip();
-  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-  SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
-  return ring_.Eval(share, t);
+  return EvalRowAt(pre, t);
 }
 
 StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
@@ -131,9 +153,8 @@ StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
   std::vector<gf::Elem> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
-    SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
-    out.push_back(ring_.Eval(share, t));
+    SSDB_ASSIGN_OR_RETURN(gf::Elem value, EvalRowAt(pre, t));
+    out.push_back(value);
   }
   return out;
 }
@@ -141,8 +162,7 @@ StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalAtBatch(
 StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
     uint32_t pre, const std::vector<gf::Elem>& points) {
   CountTrip();
-  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-  SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
+  SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ReadShare(pre));
   std::vector<gf::Elem> out;
   out.reserve(points.size());
   for (gf::Elem t : points) {
@@ -153,8 +173,7 @@ StatusOr<std::vector<gf::Elem>> LocalServerFilter::EvalPointsBatch(
 
 StatusOr<gf::RingElem> LocalServerFilter::FetchShare(uint32_t pre) {
   CountTrip();
-  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-  return ring_.Deserialize(row.share);
+  return ReadShare(pre);
 }
 
 StatusOr<std::vector<gf::RingElem>> LocalServerFilter::FetchShareBatch(
@@ -163,17 +182,62 @@ StatusOr<std::vector<gf::RingElem>> LocalServerFilter::FetchShareBatch(
   std::vector<gf::RingElem> out;
   out.reserve(pres.size());
   for (uint32_t pre : pres) {
-    SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ring_.Deserialize(row.share));
+    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, ReadShare(pre));
     out.push_back(std::move(share));
   }
   return out;
 }
 
+StatusOr<std::vector<agg::Word>> LocalServerFilter::PartialAggregate(
+    const agg::Spec& spec) {
+  CountTrip();
+  SSDB_RETURN_IF_ERROR(agg::ValidateSpec(spec));
+  std::vector<agg::Word> partials(spec.value_indexes.size(), 0);
+  // Duplicate frontier entries would double-count; dedup defensively (the
+  // client canonicalizes, but the server must not trust it for its own
+  // arithmetic to stay meaningful).
+  std::vector<uint32_t> pres = spec.pres;
+  std::sort(pres.begin(), pres.end());
+  pres.erase(std::unique(pres.begin(), pres.end()), pres.end());
+  Status fold_status = Status::OK();
+  for (uint32_t pre : pres) {
+    SSDB_RETURN_IF_ERROR(store_->VisitByPre(
+        pre, [&](const storage::NodeRow& row) {
+          size_t value_count = agg::BlobValueCount(row.agg);
+          if (value_count == 0) {
+            fold_status = Status::FailedPrecondition(
+                "node has no aggregate columns (database encoded without "
+                "them, DESIGN.md §8)");
+            return;
+          }
+          for (size_t g = 0; g < spec.value_indexes.size(); ++g) {
+            uint32_t index = spec.value_indexes[g];
+            if (index >= value_count) {
+              fold_status = Status::InvalidArgument(
+                  "aggregate value index " + std::to_string(index) +
+                  " out of range (store has " + std::to_string(value_count) +
+                  " mapped values)");
+              return;
+            }
+            for (size_t c = 0; c < agg::kColCount; ++c) {
+              if ((spec.columns & (1u << c)) == 0) continue;
+              partials[g] += agg::BlobWord(
+                  row.agg, agg::WordIndex(static_cast<agg::Col>(c),
+                                          value_count, index));
+            }
+          }
+        }));
+    SSDB_RETURN_IF_ERROR(fold_status);
+  }
+  return partials;
+}
+
 StatusOr<std::string> LocalServerFilter::FetchSealed(uint32_t pre) {
   CountTrip();
-  SSDB_ASSIGN_OR_RETURN(storage::NodeRow row, store_->GetByPre(pre));
-  return row.sealed;
+  std::string sealed;
+  SSDB_RETURN_IF_ERROR(store_->VisitByPre(
+      pre, [&](const storage::NodeRow& row) { sealed = row.sealed; }));
+  return sealed;
 }
 
 StatusOr<uint64_t> LocalServerFilter::NodeCount() {

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "agg/columns.h"
 #include "gf/ring.h"
 #include "storage/node_store.h"
 #include "util/statusor.h"
@@ -120,6 +121,25 @@ class ServerFilter {
   virtual StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
       const std::vector<uint32_t>& pres) = 0;
 
+  // Partial aggregate (DESIGN.md §8): folds the selected aggregate columns
+  // of the frontier nodes into one masked Z_{2^32} word per group — the
+  // server *computes* on its additive slice instead of shipping shares, so
+  // the response is O(groups) however large the candidate set. Stateless
+  // and thread-safe; the default rejects so transports over pre-§8 stores
+  // and test fakes fail loudly instead of answering garbage.
+  virtual StatusOr<std::vector<agg::Word>> PartialAggregate(
+      const agg::Spec& spec) {
+    (void)spec;
+    return Status::Unimplemented("server does not support aggregation");
+  }
+  // Session-scoped variant used by the concurrent transport; aggregation
+  // holds no per-session state, so the default drops the session.
+  virtual StatusOr<std::vector<agg::Word>> PartialAggregate(
+      SessionId session, const agg::Spec& spec) {
+    (void)session;
+    return PartialAggregate(spec);
+  }
+
   // Sealed payload bytes (ciphertext; §4 extension). Empty when the
   // database was encoded without sealing.
   virtual StatusOr<std::string> FetchSealed(uint32_t pre) = 0;
@@ -181,6 +201,8 @@ class LocalServerFilter : public ServerFilter {
   StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
   StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
       const std::vector<uint32_t>& pres) override;
+  StatusOr<std::vector<agg::Word>> PartialAggregate(
+      const agg::Spec& spec) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
   uint64_t RoundTrips() const override {
@@ -197,6 +219,12 @@ class LocalServerFilter : public ServerFilter {
   };
 
   void CountTrip() { round_trips_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Share reads through the store's zero-copy visit path: only the share
+  // bytes are decoded, the row's other payloads (sealed, aggregate
+  // columns) are never copied.
+  StatusOr<gf::RingElem> ReadShare(uint32_t pre);
+  StatusOr<gf::Elem> EvalRowAt(uint32_t pre, gf::Elem t);
 
   gf::Ring ring_;
   storage::NodeStore* store_;

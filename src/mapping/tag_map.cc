@@ -1,5 +1,6 @@
 #include "mapping/tag_map.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/file_util.h"
@@ -36,6 +37,18 @@ StatusOr<TagMap> TagMap::Validate(std::map<std::string, gf::Elem> entries,
   }
   TagMap map;
   map.entries_ = std::move(entries);
+  std::vector<std::pair<gf::Elem, std::string>> by_value;
+  by_value.reserve(map.entries_.size());
+  for (const auto& [name, value] : map.entries_) {
+    by_value.emplace_back(value, name);
+  }
+  std::sort(by_value.begin(), by_value.end());
+  map.values_in_order_.reserve(by_value.size());
+  map.names_in_order_.reserve(by_value.size());
+  for (auto& [value, name] : by_value) {
+    map.values_in_order_.push_back(value);
+    map.names_in_order_.push_back(std::move(name));
+  }
   for (gf::Elem v = 1; v < field.q(); ++v) {
     if (!used[v]) {
       map.spare_value_ = v;
@@ -121,6 +134,23 @@ StatusOr<gf::Elem> TagMap::Lookup(std::string_view name) const {
 
 bool TagMap::Contains(std::string_view name) const {
   return entries_.count(std::string(name)) > 0;
+}
+
+StatusOr<uint32_t> TagMap::ValueIndex(gf::Elem value) const {
+  auto it = std::lower_bound(values_in_order_.begin(), values_in_order_.end(),
+                             value);
+  if (it == values_in_order_.end() || *it != value) {
+    return Status::NotFound("value not in map: " + std::to_string(value));
+  }
+  return static_cast<uint32_t>(it - values_in_order_.begin());
+}
+
+StatusOr<std::string> TagMap::NameAt(uint32_t index) const {
+  if (index >= names_in_order_.size()) {
+    return Status::NotFound("value index out of range: " +
+                            std::to_string(index));
+  }
+  return names_in_order_[index];
 }
 
 }  // namespace ssdb::mapping

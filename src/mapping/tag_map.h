@@ -49,6 +49,18 @@ class TagMap {
   size_t size() const { return entries_.size(); }
   const std::map<std::string, gf::Elem>& entries() const { return entries_; }
 
+  // Canonical dense indexing of the mapped values (DESIGN.md §8): the
+  // aggregate columns are vectors indexed by a value's rank among all
+  // mapped values in ascending order. Encoder and client derive the same
+  // index from the same map, so it never travels with the key material.
+  const std::vector<gf::Elem>& values_in_order() const {
+    return values_in_order_;
+  }
+  // NotFound when `value` is not a mapped value.
+  StatusOr<uint32_t> ValueIndex(gf::Elem value) const;
+  // The tag name mapped to values_in_order()[index].
+  StatusOr<std::string> NameAt(uint32_t index) const;
+
   // Smallest non-zero field value not used by any tag — the guaranteed-free
   // evaluation point for the equality test.
   gf::Elem SpareValue() const { return spare_value_; }
@@ -58,6 +70,8 @@ class TagMap {
                                    const gf::Field& field);
 
   std::map<std::string, gf::Elem> entries_;
+  std::vector<gf::Elem> values_in_order_;    // ascending; index = rank
+  std::vector<std::string> names_in_order_;  // parallel to values_in_order_
   gf::Elem spare_value_ = 0;
 };
 

@@ -26,6 +26,25 @@ uint8_t Prg::Stream::NextByte() {
   return block_[offset_++];
 }
 
+void Prg::Stream::Skip(size_t bytes) {
+  // Bytes still buffered in the current block are consumed first; whole
+  // remaining blocks are skipped by advancing the counter without running
+  // ChaCha at all.
+  size_t buffered = kChaChaBlockBytes - offset_;
+  if (bytes < buffered) {
+    offset_ += bytes;
+    return;
+  }
+  bytes -= buffered;
+  offset_ = kChaChaBlockBytes;
+  counter_ += bytes / kChaChaBlockBytes;
+  size_t remainder = bytes % kChaChaBlockBytes;
+  if (remainder != 0) {
+    Refill();
+    offset_ = remainder;
+  }
+}
+
 uint32_t Prg::Stream::NextUint32() {
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
@@ -78,6 +97,12 @@ gf::RingElem Prg::ServerSliceShare(const gf::Ring& ring, uint64_t pre,
 
 gf::RingElem Prg::ClientShare(const gf::Ring& ring, uint64_t pre) const {
   return StreamForNode(pre).NextRingElem(ring);
+}
+
+Prg::Stream Prg::StreamForAggColumns(uint64_t pre, uint32_t slice) const {
+  SSDB_DCHECK(slice < (1u << 16));
+  return Stream(key_,
+                pre | (static_cast<uint64_t>(slice) << 40) | (1ULL << 62));
 }
 
 std::string Prg::PayloadKeystream(uint64_t pre, size_t length) const {

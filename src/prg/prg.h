@@ -5,9 +5,11 @@
 /// Each node position `pre` selects an independent ChaCha20 keystream
 /// (nonce = pre), so any node's client share can be regenerated in
 /// isolation, in any order — exactly the property the thin-client pipeline
-/// needs. Three domain-separated nonce spaces share the key (DESIGN.md §5):
+/// needs. Four domain-separated nonce spaces share the key (DESIGN.md §5,
+/// §8):
 ///   bits 0..31   node position `pre`
 ///   bits 40..55  server slice index (multi-server encode; 0 = client share)
+///   bit  62      aggregate-column mask stream flag (DESIGN.md §8)
 ///   bit  63      sealed-payload keystream flag (§4 extension)
 
 #ifndef SSDB_PRG_PRG_H_
@@ -34,6 +36,11 @@ class Prg {
 
     uint8_t NextByte();
     uint32_t NextUint32();
+
+    // Advances the stream by `bytes` positions without materializing them.
+    // ChaCha20 is a counter-mode cipher, so skipping whole blocks is a
+    // counter jump — random access into a node's mask stream is O(1).
+    void Skip(size_t bytes);
 
     // Uniform field element via rejection sampling (no modulo bias).
     gf::Elem NextElem(const gf::Field& field);
@@ -64,6 +71,12 @@ class Prg {
   Stream StreamForServerSlice(uint64_t pre, uint32_t index) const;
   gf::RingElem ServerSliceShare(const gf::Ring& ring, uint64_t pre,
                                 uint32_t index) const;
+
+  // Stream of mask words for the node's aggregate columns (DESIGN.md §8):
+  // slice 0 is the client's mask stream, slice i >= 1 the pseudorandom part
+  // of server slice i. Domain-separated from share randomness by nonce
+  // bit 62, so aggregate masks never overlap share or payload bytes.
+  Stream StreamForAggColumns(uint64_t pre, uint32_t slice) const;
 
   // Keystream for the node's sealed payload (§4 extension). Domain-separated
   // from the share stream by the nonce's high bit, so payload bytes never

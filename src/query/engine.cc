@@ -67,6 +67,7 @@ void FillStatsDelta(const filter::EvalStats& before,
   stats->eval.round_trips = after.round_trips - before.round_trips;
   stats->eval.batched_evaluations =
       after.batched_evaluations - before.batched_evaluations;
+  stats->eval.aggregate_ops = after.aggregate_ops - before.aggregate_ops;
   stats->eval.straggler_seconds =
       after.straggler_seconds - before.straggler_seconds;
   stats->eval.per_server_round_trips.assign(

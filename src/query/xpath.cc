@@ -145,11 +145,42 @@ void AppendStep(const Step& step, std::string* out) {
 
 }  // namespace
 
+std::string_view AggregateName(Aggregate aggregate) {
+  switch (aggregate) {
+    case Aggregate::kNone:
+      return "none";
+    case Aggregate::kCount:
+      return "count";
+    case Aggregate::kSum:
+      return "sum";
+    case Aggregate::kExists:
+      return "exists";
+  }
+  return "?";
+}
+
 StatusOr<Query> ParseQuery(std::string_view input) {
-  Parser parser(input);
   Query query;
   query.text = std::string(input);
-  if (input.empty() || input[0] != '/') {
+
+  // Aggregate wrapper: count(...), sum(...), exists(...) around an
+  // absolute query (DESIGN.md §8).
+  std::string_view inner = input;
+  for (auto [name, aggregate] :
+       {std::pair<std::string_view, Aggregate>{"count(", Aggregate::kCount},
+        {"sum(", Aggregate::kSum},
+        {"exists(", Aggregate::kExists}}) {
+    if (input.size() > name.size() + 1 &&
+        input.substr(0, name.size()) == name && input.back() == ')') {
+      query.aggregate = aggregate;
+      inner = input.substr(name.size(),
+                           input.size() - name.size() - 1);
+      break;
+    }
+  }
+
+  Parser parser(inner);
+  if (inner.empty() || inner[0] != '/') {
     return Status::InvalidArgument(
         "only absolute queries (starting with '/' or '//') are supported");
   }
@@ -168,7 +199,9 @@ std::string StepsToString(const std::vector<Step>& steps) {
 }
 
 std::string QueryToString(const Query& query) {
-  return StepsToString(query.steps);
+  std::string path = StepsToString(query.steps);
+  if (query.aggregate == Aggregate::kNone) return path;
+  return std::string(AggregateName(query.aggregate)) + "(" + path + ")";
 }
 
 }  // namespace ssdb::query

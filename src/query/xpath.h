@@ -5,11 +5,19 @@
 //   [relative/path]                  existence of a sub-path
 //   [contains(text(), "word")]      §4 trie search, rewritten to the
 //                                    character chain //w/o/r/d at parse time.
+//
+// Aggregate forms (DESIGN.md §8) wrap a whole query:
+//   count(/a/b)   sum(//a/b)   exists(/a//b)
+// They are answered server-side over secret shares — one word per server —
+// instead of materializing the result set. A wildcard final step groups by
+// tag: count(/a/*) yields one count per mapped tag.
 
 #ifndef SSDB_QUERY_XPATH_H_
 #define SSDB_QUERY_XPATH_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/statusor.h"
@@ -31,8 +39,19 @@ struct Step {
   }
 };
 
+// Aggregate function wrapping a query, if any (DESIGN.md §8).
+enum class Aggregate : uint8_t {
+  kNone = 0,
+  kCount = 1,
+  kSum = 2,     // total occurrences of the final tag in result subtrees
+  kExists = 3,
+};
+
+std::string_view AggregateName(Aggregate aggregate);
+
 struct Query {
   std::vector<Step> steps;
+  Aggregate aggregate = Aggregate::kNone;
   std::string text;  // original source, for reporting
 };
 

@@ -170,6 +170,32 @@ StatusOr<std::vector<gf::RingElem>> RemoteServerFilter::FetchShareBatch(
   return all;
 }
 
+StatusOr<std::vector<agg::Word>> RemoteServerFilter::PartialAggregate(
+    const agg::Spec& spec) {
+  SSDB_RETURN_IF_ERROR(agg::ValidateSpec(spec));
+  std::vector<agg::Word> totals(spec.value_indexes.size(), 0);
+  // Z_{2^32} partials from successive chunks simply add up, so chunking
+  // changes round trips (O(frontier / chunk)), never the answer.
+  for (size_t begin = 0; begin < spec.pres.size(); begin += kAggChunk) {
+    size_t end = std::min(begin + kAggChunk, spec.pres.size());
+    Request request;
+    request.op = spec.value_indexes.size() == 1 ? Op::kAggregate
+                                                : Op::kAggregateBatch;
+    request.agg_columns = spec.columns;
+    request.value_indexes = spec.value_indexes;
+    request.pres.assign(spec.pres.begin() + begin, spec.pres.begin() + end);
+    SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+    std::string_view view = payload;
+    SSDB_ASSIGN_OR_RETURN(std::vector<uint32_t> partials,
+                          ConsumeU32s(&view));
+    if (partials.size() != totals.size()) {
+      return Status::Internal("PartialAggregate group count mismatch");
+    }
+    for (size_t g = 0; g < totals.size(); ++g) totals[g] += partials[g];
+  }
+  return totals;
+}
+
 StatusOr<std::string> RemoteServerFilter::FetchSealed(uint32_t pre) {
   Request request;
   request.op = Op::kFetchSealed;

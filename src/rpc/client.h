@@ -40,6 +40,10 @@ class RemoteServerFilter : public filter::ServerFilter {
   StatusOr<gf::RingElem> FetchShare(uint32_t pre) override;
   StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
       const std::vector<uint32_t>& pres) override;
+  // Partial sums are additive, so a frontier larger than one frame streams
+  // in chunks whose per-chunk partials just sum client-side (DESIGN.md §8).
+  StatusOr<std::vector<agg::Word>> PartialAggregate(
+      const agg::Spec& spec) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
   uint64_t RoundTrips() const override { return round_trips_; }
@@ -56,6 +60,7 @@ class RemoteServerFilter : public filter::ServerFilter {
   static constexpr size_t kEvalChunk = 16384;
   static constexpr size_t kShareChunk = 2048;   // full polynomials are wide
   static constexpr size_t kChildrenChunk = 8192;
+  static constexpr size_t kAggChunk = 32768;    // frontier pres per frame
 
  private:
   // Sends one request and returns the response payload.

@@ -73,6 +73,18 @@ std::string EncodeRequest(const Request& request) {
       PutVarint64(&out, request.pre);
       AppendVarintList(&out, request.points);
       break;
+    case Op::kAggregate:
+      out.push_back(static_cast<char>(request.agg_columns));
+      PutVarint64(&out, request.value_indexes.empty()
+                            ? 0
+                            : request.value_indexes[0]);
+      AppendVarintList(&out, request.pres);
+      break;
+    case Op::kAggregateBatch:
+      out.push_back(static_cast<char>(request.agg_columns));
+      AppendVarintList(&out, request.value_indexes);
+      AppendVarintList(&out, request.pres);
+      break;
   }
   return out;
 }
@@ -126,6 +138,20 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
       break;
     case Op::kFetchShareBatch:
     case Op::kChildrenBatch:
+      SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.pres));
+      break;
+    case Op::kAggregate:
+    case Op::kAggregateBatch:
+      if (data.empty()) return Status::Corruption("missing column mask");
+      request.agg_columns = static_cast<uint8_t>(data[0]);
+      data.remove_prefix(1);
+      if (request.op == Op::kAggregate) {
+        SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+        request.value_indexes.assign(1, static_cast<uint32_t>(v));
+      } else {
+        SSDB_RETURN_IF_ERROR(
+            ConsumeVarintList(&data, &request.value_indexes));
+      }
       SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.pres));
       break;
     default:

@@ -37,6 +37,11 @@ enum class Op : uint8_t {
   kFetchSealed = 13,
   kFetchShareBatch = 14,
   kChildrenBatch = 15,
+  // Aggregation (DESIGN.md §8): fold aggregate columns server-side and
+  // return one masked word per group. kAggregate carries a single group,
+  // kAggregateBatch a group list (group-by).
+  kAggregate = 16,
+  kAggregateBatch = 17,
 };
 
 struct Request {
@@ -48,6 +53,10 @@ struct Request {
   gf::Elem point = 0;
   std::vector<uint32_t> pres;
   std::vector<gf::Elem> points;
+  // Aggregation fields (kAggregate / kAggregateBatch, DESIGN.md §8); the
+  // frontier rides in `pres`.
+  uint8_t agg_columns = 0;             // agg::Col bitmask
+  std::vector<uint32_t> value_indexes;  // one group per entry
 };
 
 std::string EncodeRequest(const Request& request);

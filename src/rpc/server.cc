@@ -92,6 +92,17 @@ StatusOr<std::string> Dispatch(const gf::Ring& ring,
       }
       return payload;
     }
+    case Op::kAggregate:
+    case Op::kAggregateBatch: {
+      agg::Spec spec;
+      spec.columns = request.agg_columns;
+      spec.pres = request.pres;
+      spec.value_indexes = request.value_indexes;
+      SSDB_ASSIGN_OR_RETURN(std::vector<agg::Word> partials,
+                            filter->PartialAggregate(session, spec));
+      AppendU32s(&payload, partials);
+      return payload;
+    }
     case Op::kFetchSealed: {
       SSDB_ASSIGN_OR_RETURN(std::string sealed,
                             filter->FetchSealed(request.pre));

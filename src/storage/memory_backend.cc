@@ -36,6 +36,17 @@ StatusOr<NodeRow> MemoryNodeStore::GetByPre(uint32_t pre) {
   return it->second;
 }
 
+Status MemoryNodeStore::VisitByPre(
+    uint32_t pre, const std::function<void(const NodeRow&)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = rows_.find(pre);
+  if (it == rows_.end()) {
+    return Status::NotFound("no row with pre " + std::to_string(pre));
+  }
+  fn(it->second);
+  return Status::OK();
+}
+
 StatusOr<NodeRow> MemoryNodeStore::GetRoot() {
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (root_pre_ == 0) return Status::NotFound("no root row");
@@ -53,6 +64,17 @@ StatusOr<std::vector<NodeRow>> MemoryNodeStore::GetChildren(
     out.push_back(rows_.at(pre));
   }
   return out;
+}
+
+Status MemoryNodeStore::VisitChildren(
+    uint32_t parent_pre, const std::function<void(const NodeRow&)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = children_.find(parent_pre);
+  if (it == children_.end()) return Status::OK();
+  for (uint32_t pre : it->second) {
+    fn(rows_.at(pre));
+  }
+  return Status::OK();
 }
 
 Status MemoryNodeStore::ScanDescendants(

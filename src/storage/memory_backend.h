@@ -23,8 +23,13 @@ class MemoryNodeStore : public NodeStore {
 
   Status Insert(const NodeRow& row) override;
   StatusOr<NodeRow> GetByPre(uint32_t pre) override;
+  Status VisitByPre(uint32_t pre,
+                    const std::function<void(const NodeRow&)>& fn) override;
   StatusOr<NodeRow> GetRoot() override;
   StatusOr<std::vector<NodeRow>> GetChildren(uint32_t parent_pre) override;
+  Status VisitChildren(
+      uint32_t parent_pre,
+      const std::function<void(const NodeRow&)>& fn) override;
   Status ScanDescendants(
       uint32_t pre, uint32_t post,
       const std::function<bool(const NodeRow&)>& fn) override;

@@ -11,6 +11,11 @@ std::string EncodeNodeRow(const NodeRow& row) {
   PutVarint64(&out, row.parent);
   PutLengthPrefixed(&out, row.share);
   PutLengthPrefixed(&out, row.sealed);
+  // Trailing optional field: omitted entirely when empty so rows without
+  // aggregate columns keep their pre-§8 byte layout.
+  if (!row.agg.empty()) {
+    PutLengthPrefixed(&out, row.agg);
+  }
   return out;
 }
 
@@ -29,6 +34,11 @@ StatusOr<NodeRow> DecodeNodeRow(std::string_view data) {
   std::string_view sealed;
   SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &sealed));
   row.sealed = std::string(sealed);
+  if (!data.empty()) {
+    std::string_view agg;
+    SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &agg));
+    row.agg = std::string(agg);
+  }
   if (!data.empty()) {
     return Status::Corruption("trailing bytes after node row");
   }

@@ -30,16 +30,23 @@ struct NodeRow {
   // added to the node"): tag name + direct text, stream-encrypted under the
   // client seed. Empty when sealing is off. Opaque to the server.
   std::string sealed;
+  // Optional aggregate-column slice (DESIGN.md §8): 7·T masked uint32 words
+  // per node (agg/columns.h) that let the server fold COUNT/SUM/EXISTS
+  // partials without learning what they count. Empty when the database was
+  // encoded without aggregate columns. Opaque to the server.
+  std::string agg;
 
   bool operator==(const NodeRow& other) const {
     return pre == other.pre && post == other.post &&
            parent == other.parent && share == other.share &&
-           sealed == other.sealed;
+           sealed == other.sealed && agg == other.agg;
   }
 };
 
 // Row wire/disk format: varint pre, post, parent + length-prefixed share
-// + length-prefixed sealed payload.
+// + length-prefixed sealed payload + length-prefixed aggregate columns.
+// The aggregate field is optional on decode (absent in rows written before
+// DESIGN.md §8), so older databases stay readable.
 std::string EncodeNodeRow(const NodeRow& row);
 StatusOr<NodeRow> DecodeNodeRow(std::string_view data);
 
@@ -61,11 +68,37 @@ class NodeStore {
 
   virtual StatusOr<NodeRow> GetByPre(uint32_t pre) = 0;
 
+  // Zero-copy read path for the server's hot loops: `fn` sees the stored
+  // row without the payload strings (share, sealed, aggregate columns)
+  // being copied first — a share evaluation or a column fold touches a few
+  // bytes of rows that are kilobytes wide. The row reference is valid only
+  // during the call, and fn must not call back into the store (the memory
+  // backend holds its read lock across fn). The default copies via
+  // GetByPre, so implementations without an in-place representation still
+  // work.
+  virtual Status VisitByPre(uint32_t pre,
+                            const std::function<void(const NodeRow&)>& fn) {
+    SSDB_ASSIGN_OR_RETURN(NodeRow row, GetByPre(pre));
+    fn(row);
+    return Status::OK();
+  }
+
   // The row with parent == 0.
   virtual StatusOr<NodeRow> GetRoot() = 0;
 
   // Children of the given node in pre (document) order.
   virtual StatusOr<std::vector<NodeRow>> GetChildren(uint32_t parent_pre) = 0;
+
+  // Zero-copy variant of GetChildren, same contract as VisitByPre; the
+  // expansion step of every query reads whole child lists but keeps only
+  // pre/post/parent.
+  virtual Status VisitChildren(uint32_t parent_pre,
+                               const std::function<void(const NodeRow&)>& fn) {
+    SSDB_ASSIGN_OR_RETURN(std::vector<NodeRow> rows,
+                          GetChildren(parent_pre));
+    for (const NodeRow& row : rows) fn(row);
+    return Status::OK();
+  }
 
   // All proper descendants of the node (pre, post), in document order.
   // Callback-based so engines can stream; return false to stop.

@@ -223,6 +223,8 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   request.point = 5;
   request.pres = {1, 2, 3};
   request.points = {4, 5};
+  request.agg_columns = 0x15;  // kAggregate/kAggregateBatch fields
+  request.value_indexes = {0, 2};
   for (uint8_t op = 0; op <= 20; ++op) {
     request.op = static_cast<rpc::Op>(op);
     std::string valid = rpc::EncodeRequest(request);
@@ -234,12 +236,15 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   // Oversized batch counts: varints claiming 2^40..2^62 elements must be
   // rejected at decode, not allocated (would OOM or hang the worker).
   for (int shift = 40; shift <= 62; ++shift) {
-    for (uint8_t op : {8, 12, 14, 15}) {  // the batch opcodes
+    for (uint8_t op : {8, 12, 14, 15, 16, 17}) {  // the batch opcodes
       std::string frame;
       frame.push_back(static_cast<char>(op));
       // kEvalAtBatch/kEvalPointsBatch carry a point/pre varint before the
-      // count; for the other two the count comes first.
+      // count; the aggregate ops (16/17) a column-mask byte (+ a value
+      // index for the scalar form); for the others the count comes first.
       if (op == 8 || op == 12) frame.push_back(1);
+      if (op == 16 || op == 17) frame.push_back(0x01);
+      if (op == 16) frame.push_back(0);
       uint64_t huge = uint64_t{1} << shift;
       while (huge >= 0x80) {
         frame.push_back(static_cast<char>(0x80 | (huge & 0x7f)));
@@ -250,6 +255,27 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
       ASSERT_FALSE(response.empty());
       EXPECT_FALSE(rpc::DecodeResponse(response).ok());
     }
+  }
+
+  // Aggregate frames with wild parameters (DESIGN.md §8): random column
+  // masks (including invalid bits), out-of-range value indexes, and absent
+  // pres must produce an ok or error envelope — never a crash — and valid
+  // folds must stay exact after the barrage.
+  for (int trial = 0; trial < 500; ++trial) {
+    rpc::Request agg_request;
+    agg_request.op = rng.Bernoulli(0.5) ? rpc::Op::kAggregate
+                                        : rpc::Op::kAggregateBatch;
+    agg_request.agg_columns = static_cast<uint8_t>(rng.Uniform(256));
+    size_t groups = 1 + rng.Uniform(4);
+    for (size_t g = 0; g < groups; ++g) {
+      agg_request.value_indexes.push_back(
+          static_cast<uint32_t>(rng.Uniform(64)));
+    }
+    size_t frontier = rng.Uniform(6);
+    for (size_t i = 0; i < frontier; ++i) {
+      agg_request.pres.push_back(static_cast<uint32_t>(rng.Uniform(4096)));
+    }
+    check(rpc::EncodeRequest(agg_request));
   }
 
   // The garbage barrage must not have corrupted the server: a normal

@@ -13,6 +13,21 @@ class TagMapTest : public ::testing::Test {
   gf::Field field_;
 };
 
+TEST_F(TagMapTest, ValueIndexRanksMappedValues) {
+  // Unordered values: index is the rank among values, not insertion order.
+  auto map = TagMap::FromString("x = 40\ny = 7\nz = 19\n", field_);
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->values_in_order().size(), 3u);
+  EXPECT_EQ(map->values_in_order()[0], 7u);
+  EXPECT_EQ(*map->ValueIndex(7), 0u);
+  EXPECT_EQ(*map->ValueIndex(19), 1u);
+  EXPECT_EQ(*map->ValueIndex(40), 2u);
+  EXPECT_FALSE(map->ValueIndex(8).ok());
+  EXPECT_EQ(*map->NameAt(0), "y");
+  EXPECT_EQ(*map->NameAt(2), "x");
+  EXPECT_FALSE(map->NameAt(3).ok());
+}
+
 TEST_F(TagMapTest, FromNamesAssignsSequentialNonzeroValues) {
   auto map = TagMap::FromNames({"a", "b", "c"}, field_);
   ASSERT_TRUE(map.ok());

@@ -100,6 +100,36 @@ TEST(XPathTest, RejectsMalformedQueries) {
   EXPECT_FALSE(ParseQuery("/a[contains(text(), \"x\"").ok());
 }
 
+TEST(XPathTest, ParsesAggregateForms) {
+  auto count = ParseQuery("count(/site//item)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->aggregate, Aggregate::kCount);
+  ASSERT_EQ(count->steps.size(), 2u);
+  EXPECT_EQ(count->steps[1].name, "item");
+  EXPECT_EQ(QueryToString(*count), "count(/site//item)");
+
+  auto sum = ParseQuery("sum(//person)");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->aggregate, Aggregate::kSum);
+
+  auto exists = ParseQuery("exists(/site/people)");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_EQ(exists->aggregate, Aggregate::kExists);
+
+  auto grouped = ParseQuery("count(/site/*)");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->steps.back().kind, Step::Kind::kWildcard);
+
+  auto plain = ParseQuery("/site//item");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->aggregate, Aggregate::kNone);
+
+  EXPECT_FALSE(ParseQuery("count()").ok());
+  EXPECT_FALSE(ParseQuery("count(site)").ok());   // relative inner path
+  EXPECT_FALSE(ParseQuery("count(/a").ok());      // unclosed: not a wrapper
+  EXPECT_FALSE(ParseQuery("avg(/a)").ok());       // unknown aggregate
+}
+
 TEST(XPathTest, StepEqualityOperator) {
   auto q1 = ParseQuery("/a//b");
   auto q2 = ParseQuery("/a//b");

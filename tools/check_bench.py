@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Bench regression guard (CI).
 
-Collects the machine-readable ``BENCH_JSON {...}`` lines that bench_rpc
-and bench_query_length print into one merged artifact, then compares
-throughput against a committed baseline:
+Collects the machine-readable ``BENCH_JSON {...}`` lines that bench_rpc,
+bench_query_length, and bench_agg print into one merged artifact, then
+compares throughput against a committed baseline:
 
     check_bench.py --out bench-results.json [--baseline bench/baseline.json]
                    [--threshold 0.30] [--strict] capture1.txt [capture2.txt ...]
@@ -36,7 +36,7 @@ METRIC_KEYS = {
     "qps", "p50_ms", "p99_ms", "ms", "wall_s", "queries", "wakes",
     "scanned_per_wake", "straggler_ms", "bytes", "results", "round_trips",
     "evals_simple", "evals_advanced", "batched_evals", "candidates",
-    "worker_threads",
+    "worker_threads", "byte_ratio",
 }
 
 MARKER = "BENCH_JSON "

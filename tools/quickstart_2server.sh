@@ -51,6 +51,13 @@ done
 "$build_dir/ssdb_query" --db db1.ssdb --map map.properties --seed seed.key \
     "$query" | tee one_server.out
 
+# Aggregate the same query server-side (DESIGN.md §8): each of the two
+# servers folds its aggregate-column slice and returns one masked word —
+# the count must equal the number of pre values the fetch path returned.
+"$build_dir/ssdb_query" --connect "$work/s0.sock,$work/s1.sock" \
+    --map map.properties --seed seed.key --stats \
+    "count($query)" | tee two_server_count.out
+
 remote_pre="$(grep '  pre:' two_server.out)"
 local_pre="$(grep '  pre:' one_server.out)"
 if [ "$remote_pre" != "$local_pre" ]; then
@@ -64,4 +71,17 @@ if ! grep -q 'per-server trips:' two_server.out; then
   exit 1
 fi
 
-echo "quickstart OK: 2-server fan-out matches single-server results"
+agg_count="$(sed -n 's/.*count = \([0-9]*\) in.*/\1/p' two_server_count.out)"
+result_count="$(sed -n 's/^  \([0-9]*\) result(s).*/\1/p' two_server.out)"
+if [ -z "$agg_count" ] || [ "$agg_count" != "$result_count" ]; then
+  echo "MISMATCH: count($query) = '$agg_count' but fetch returned" \
+       "'$result_count' results"
+  exit 1
+fi
+if ! grep -q 'result_size=1 (groups)' two_server_count.out; then
+  echo "MISSING: aggregate --stats did not report result_size in groups"
+  exit 1
+fi
+
+echo "quickstart OK: 2-server fan-out matches single-server results," \
+     "count() agrees ($agg_count)"

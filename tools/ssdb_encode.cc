@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ssdb_encode --map MAP --seed SEED --xml DOC.xml "
                  "--out DB.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain] "
-                 "[--servers m]\n");
+                 "[--servers m] [--no-agg]\n");
     return 1;
   }
 
@@ -54,6 +54,9 @@ int main(int argc, char** argv) {
   options.disk_path = out_path;
   options.encode.trie = args.Has("--trie");
   options.encode.use_eval_domain = !args.Has("--coeff-domain");
+  // DESIGN.md §8: aggregate columns cost 28·|map| bytes per node per slice;
+  // --no-agg drops them (and with them server-side count()/sum()/exists()).
+  options.encode.aggregate_columns = !args.Has("--no-agg");
   options.servers = servers;
 
   Stopwatch watch;

@@ -6,7 +6,8 @@
 //
 //   ssdb_query --db db.ssdb --map map.properties --seed seed.key
 //              [--servers m] [--engine simple|advanced]
-//              [--mode strict|nonstrict] [--full-verify]
+//              [--mode strict|nonstrict] [--full-verify] [--stats]
+//              [--agg count|sum|exists]
 //              [--p 83] [--e 1] "QUERY" ["QUERY" ...]
 //   ssdb_query --connect /tmp/s0.sock[,/tmp/s1.sock,...] --map ... --seed ...
 //              "QUERY"
@@ -14,6 +15,15 @@
 // --connect may be repeated or comma-separated, one socket per share slice
 // in slice order (slice 0 first). --servers m with --db opens the m local
 // slice files of an `ssdb_encode --servers m` run.
+//
+// Aggregates (DESIGN.md §8): write the aggregate form directly —
+// "count(/site//item)", "sum(//person)", "exists(/site/people)" — or pass
+// --agg count|sum|exists to wrap every plain query. Aggregates are answered
+// server-side over secret shares: each server returns one masked word per
+// group instead of the candidate set. --stats prints QueryStats including
+// result_size, which for aggregates counts GROUPS (one for a named final
+// step, one per mapped tag for '*'), not matched nodes — the matched set
+// never reaches the client.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "agg/aggregation.h"
 #include "core/database.h"
 #include "filter/multi_server_filter.h"
 #include "rpc/client.h"
@@ -41,18 +52,35 @@ int main(int argc, char** argv) {
   uint32_t servers = args.GetInt("--servers", 1);
   bool advanced = args.Get("--engine", "advanced") != "simple";
   bool strict = args.Get("--mode", "strict") != "nonstrict";
+  bool show_stats = args.Has("--stats");
+  std::string agg_wrap = args.Get("--agg", "");
 
+  // A positional is a query iff the parser accepts it — the one source of
+  // truth for plain and aggregate forms alike. --agg wraps only queries
+  // that are not already aggregates.
   std::vector<std::string> queries;
-  for (const std::string& arg : args.Positionals({"--full-verify"})) {
-    if (arg[0] == '/') queries.push_back(arg);
+  for (const std::string& arg : args.Positionals({"--full-verify",
+                                                  "--stats"})) {
+    auto parsed = query::ParseQuery(arg);
+    bool aggregate_form =
+        parsed.ok() && parsed->aggregate != query::Aggregate::kNone;
+    // '/'-prefixed args always pass through (a malformed one reports its
+    // parse error below instead of vanishing).
+    if (arg[0] != '/' && !aggregate_form) continue;
+    queries.push_back(agg_wrap.empty() || aggregate_form
+                          ? arg
+                          : agg_wrap + "(" + arg + ")");
   }
   if (queries.empty() || (db_path.empty() && connects.empty()) ||
-      servers == 0) {
+      servers == 0 ||
+      (!agg_wrap.empty() && agg_wrap != "count" && agg_wrap != "sum" &&
+       agg_wrap != "exists")) {
     std::fprintf(stderr,
                  "usage: ssdb_query (--db DB.ssdb [--servers m] | "
                  "--connect SOCK[,SOCK...]) --map MAP --seed SEED "
                  "[--engine simple|advanced] [--mode strict|nonstrict] "
-                 "[--full-verify] \"/site//query\" ...\n");
+                 "[--full-verify] [--stats] [--agg count|sum|exists] "
+                 "\"/site//query\" | \"count(/site//query)\" ...\n");
     return 1;
   }
 
@@ -131,15 +159,72 @@ int main(int argc, char** argv) {
   }
   query::SimpleEngine simple(&client, &*map);
   query::AdvancedEngine adv(&client, &*map);
+  agg::AggregationEngine aggregation(&client, &*map);
   query::QueryEngine* engine =
       advanced ? static_cast<query::QueryEngine*>(&adv)
                : static_cast<query::QueryEngine*>(&simple);
   query::MatchMode mode =
       strict ? query::MatchMode::kEquality : query::MatchMode::kContainment;
 
+  // QueryStats block shared by both query kinds. For aggregates
+  // result_size counts groups (the matched node set never reaches the
+  // client); for plain queries it counts matched nodes.
+  auto print_stats = [&](const query::QueryStats& stats, bool aggregate) {
+    if (show_stats) {
+      std::printf("  stats: result_size=%llu (%s), round_trips=%llu, "
+                  "server_calls=%llu, evaluations=%llu, aggregate_ops=%llu, "
+                  "candidates_examined=%llu\n",
+                  (unsigned long long)stats.result_size,
+                  aggregate ? "groups" : "nodes",
+                  (unsigned long long)stats.eval.round_trips,
+                  (unsigned long long)stats.eval.server_calls,
+                  (unsigned long long)stats.eval.evaluations,
+                  (unsigned long long)stats.eval.aggregate_ops,
+                  (unsigned long long)stats.candidates_examined);
+    }
+    if (stats.eval.per_server_round_trips.size() > 1) {
+      std::printf("  per-server trips:");
+      for (uint64_t trips : stats.eval.per_server_round_trips) {
+        std::printf(" %llu", (unsigned long long)trips);
+      }
+      std::printf("  (straggler wait %.1f ms)\n",
+                  stats.eval.straggler_seconds * 1e3);
+    }
+  };
+
   for (const std::string& text : queries) {
     auto parsed = query::ParseQuery(text);
     if (!parsed.ok()) return tools::Fail(parsed.status());
+
+    if (parsed->aggregate != query::Aggregate::kNone) {
+      query::QueryStats stats;
+      auto result = aggregation.Execute(engine, *parsed, mode, &stats);
+      if (!result.ok()) return tools::Fail(result.status());
+      std::printf("%s  [%s/%s]\n", text.c_str(), engine->name().data(),
+                  query::MatchModeName(mode).data());
+      if (parsed->aggregate == query::Aggregate::kExists) {
+        std::printf("  exists: %s in %.1f ms, %llu round trips\n",
+                    result->Exists() ? "true" : "false", stats.seconds * 1e3,
+                    (unsigned long long)stats.eval.round_trips);
+      } else if (result->group_by) {
+        std::printf("  %zu group(s) in %.1f ms, %llu round trips\n",
+                    result->values.size(), stats.seconds * 1e3,
+                    (unsigned long long)stats.eval.round_trips);
+        for (size_t g = 0; g < result->values.size(); ++g) {
+          if (result->values[g] == 0) continue;  // only occupied groups
+          std::printf("    %-20s %llu\n", result->group_names[g].c_str(),
+                      (unsigned long long)result->values[g]);
+        }
+      } else {
+        std::printf("  %s = %llu in %.1f ms, %llu round trips\n",
+                    query::AggregateName(parsed->aggregate).data(),
+                    (unsigned long long)result->Total(), stats.seconds * 1e3,
+                    (unsigned long long)stats.eval.round_trips);
+      }
+      print_stats(stats, /*aggregate=*/true);
+      continue;
+    }
+
     query::QueryStats stats;
     auto result = engine->Execute(*parsed, mode, &stats);
     if (!result.ok()) return tools::Fail(result.status());
@@ -151,14 +236,7 @@ int main(int argc, char** argv) {
                 (unsigned long long)stats.eval.evaluations,
                 (unsigned long long)stats.eval.server_calls,
                 (unsigned long long)stats.eval.round_trips);
-    if (stats.eval.per_server_round_trips.size() > 1) {
-      std::printf("  per-server trips:");
-      for (uint64_t trips : stats.eval.per_server_round_trips) {
-        std::printf(" %llu", (unsigned long long)trips);
-      }
-      std::printf("  (straggler wait %.1f ms)\n",
-                  stats.eval.straggler_seconds * 1e3);
-    }
+    print_stats(stats, /*aggregate=*/false);
     std::printf("  pre:");
     size_t shown = 0;
     for (const auto& node : *result) {
