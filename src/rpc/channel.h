@@ -25,7 +25,33 @@ class Channel {
   virtual Status Send(std::string_view message) = 0;
   // Blocks until a message arrives; OutOfRange("connection closed") on EOF.
   virtual StatusOr<std::string> Receive() = 0;
+  // Receive into a caller-owned buffer so its capacity is reused across
+  // messages (the concurrent server feeds pooled frame buffers here,
+  // DESIGN.md §7). Transports without a zero-copy path fall back to
+  // Receive().
+  virtual Status ReceiveInto(std::string* message) {
+    SSDB_ASSIGN_OR_RETURN(*message, Receive());
+    return Status::OK();
+  }
   virtual void Close() = 0;
+
+  // One non-blocking step of sending `message`, resuming from transport
+  // offset `offset` (0 starts a fresh message; pass the returned value to
+  // resume). The message is fully out once the result equals
+  // SendCompleteOffset(message) — anything less means the transport is
+  // full and the caller should wait for writability (the buffered write
+  // path, DESIGN.md §7). Transports without a non-blocking path complete
+  // the send in one call.
+  virtual StatusOr<size_t> SendNonBlocking(std::string_view message,
+                                           size_t offset) {
+    if (offset == 0) SSDB_RETURN_IF_ERROR(Send(message));
+    return SendCompleteOffset(message);
+  }
+  // The offset at which SendNonBlocking considers `message` fully sent
+  // (message size plus any transport framing).
+  virtual size_t SendCompleteOffset(std::string_view message) const {
+    return message.size();
+  }
 
   virtual uint64_t bytes_sent() const = 0;
   virtual uint64_t bytes_received() const = 0;
@@ -42,6 +68,14 @@ class Channel {
   // transports without timeouts (in-process pairs).
   virtual Status SetIoTimeout(int seconds) {
     (void)seconds;
+    return Status::OK();
+  }
+
+  // Caps the kernel send buffer (SO_SNDBUF on sockets); benches and
+  // tests shrink it to force the buffered write path with small
+  // responses. No-op on transports without one.
+  virtual Status SetSendBufferBytes(int bytes) {
+    (void)bytes;
     return Status::OK();
   }
 };

@@ -11,15 +11,34 @@
 /// request (EPOLLONESHOT under the epoll backend), re-armed by the worker
 /// when the response is out, and deregistered on close — per-wake
 /// dispatch cost is O(ready events) under epoll, with poll(2) kept as
-/// the portable fallback. Overload is survived, not died from:
-/// max_connections pauses the accept loop at an fd budget (pending
-/// clients wait in the listen backlog), and idle_timeout_seconds sweeps
-/// connections that have been silent past the per-socket IO timeout,
-/// reclaiming their sessions.
+/// the portable fallback.
+///
+/// The data plane never blocks on a peer (DESIGN.md §7):
+///
+///  - Writes are non-blocking. A worker sends a response inline while the
+///    socket has room; on a short write it parks the unsent tail on the
+///    session, arms EPOLLOUT interest, and moves on — the dispatcher
+///    finishes the flush when the socket drains. A reader that stalls
+///    with more than max_write_buffer bytes outstanding is closed, never
+///    waited on.
+///  - Dispatch is sharded. Each worker owns a private ready-queue fed by
+///    the dispatcher round-robin and woken with notify_one, and the
+///    session table is split across fd-hashed shards — no global mutex
+///    or herd-waking condition variable on the hot path.
+///  - Frame buffers are pooled (rpc/frame_pool.h): request and response
+///    bytes land in reusable buffers, and header+payload leave in one
+///    scatter-gather syscall (rpc/wire.h).
+///
+/// Overload is survived, not died from: max_connections pauses the accept
+/// loop at an fd budget (pending clients wait in the listen backlog),
+/// idle_timeout_seconds sweeps connections that have been silent past the
+/// per-socket IO timeout — including stalled flushes making no drain
+/// progress — and max_write_buffer bounds what a non-reading client can
+/// pin in memory.
 ///
 /// Each connection gets a session id that scopes its cursor state in the
 /// shared ServerFilter; when a connection dies — cleanly, mid batch, or
-/// by idle sweep — EndSession reclaims everything it left behind.
+/// by sweep/budget — EndSession reclaims everything it left behind.
 /// Shutdown() stops accepting, drains in-flight requests, then closes
 /// what remains.
 
@@ -40,6 +59,7 @@
 #include "filter/server_filter.h"
 #include "gf/ring.h"
 #include "rpc/event_poller.h"
+#include "rpc/frame_pool.h"
 #include "rpc/server.h"
 #include "rpc/socket_channel.h"
 #include "util/statusor.h"
@@ -51,12 +71,12 @@ struct ConcurrentServerOptions {
   size_t threads = 0;
   // Print a line per accepted/closed connection (ssdb_server does).
   bool log_connections = false;
-  // Per-socket read/write timeout (SO_RCVTIMEO/SO_SNDTIMEO) on accepted
-  // connections; 0 disables. Bounds how long a stalled client — one that
-  // sent a partial frame, or stopped reading its response — can park a
-  // worker: the blocked call errors out and the session is dropped. Idle
-  // connections are unaffected (they wait in the poller, not in a
-  // worker) unless idle_timeout_seconds also kicks in.
+  // Per-socket read timeout (SO_RCVTIMEO) on accepted connections; 0
+  // disables. Bounds how long a client that sent a partial frame can park
+  // a worker: the blocked Receive errors out and the session is dropped.
+  // Idle connections are unaffected (they wait in the poller, not in a
+  // worker) unless idle_timeout_seconds also kicks in; a client that
+  // stops *reading* never parks a worker at all (buffered write path).
   int io_timeout_seconds = 30;
   // Readiness backend (DESIGN.md §7): epoll when available, with poll(2)
   // as the portable fallback.
@@ -65,10 +85,19 @@ struct ConcurrentServerOptions {
   // (backpressure — pending clients queue in the listen backlog) and
   // resumes as connections close. 0 = unlimited.
   size_t max_connections = 0;
-  // Sweep connections that have been idle (armed, no request) longer
-  // than this, reclaiming their sessions — the idle-side complement of
-  // io_timeout_seconds, typically set to the same value. 0 = never.
+  // Sweep connections that have been idle (armed, no request — or
+  // flushing with no drain progress) longer than this, reclaiming their
+  // sessions. 0 = never.
   int idle_timeout_seconds = 0;
+  // Per-connection cap on response bytes buffered for a peer that is not
+  // reading. A send that would leave more than this outstanding closes
+  // the connection instead of buffering without bound (--max-write-buffer
+  // in ssdb_server). 0 = unlimited.
+  size_t max_write_buffer = 16u << 20;
+  // Kernel send-buffer size (SO_SNDBUF) for accepted connections; 0
+  // keeps the system default. Tests and benches shrink it to force short
+  // writes — and thus the buffered write path — with small responses.
+  int so_sndbuf = 0;
 };
 
 class ConcurrentServer {
@@ -99,11 +128,40 @@ class ConcurrentServer {
   uint64_t connections_closed() const {
     return closed_.load(std::memory_order_relaxed);
   }
-  size_t open_connections() const;
+  size_t open_connections() const {
+    return open_count_.load(std::memory_order_relaxed);
+  }
   // Connections closed by the idle sweep (subset of connections_closed).
   uint64_t connections_idle_closed() const {
     return idle_closed_.load(std::memory_order_relaxed);
   }
+
+  // --- data-plane telemetry (DESIGN.md §7) ---
+  // Responses that did not fit the socket in one write and took the
+  // buffered EPOLLOUT path.
+  uint64_t write_stalls() const {
+    return write_stalls_.load(std::memory_order_relaxed);
+  }
+  // Response bytes currently parked on stalled connections / the highest
+  // that figure has been.
+  uint64_t bytes_buffered() const {
+    return bytes_buffered_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_buffered_peak() const {
+    return bytes_buffered_peak_.load(std::memory_order_relaxed);
+  }
+  // Deepest any single worker's ready-queue has been.
+  uint64_t queue_depth_peak() const {
+    return queue_depth_peak_.load(std::memory_order_relaxed);
+  }
+  // Connections closed for exceeding max_write_buffer (subset of
+  // connections_closed).
+  uint64_t write_budget_closed() const {
+    return budget_closed_.load(std::memory_order_relaxed);
+  }
+  // Frame buffers handed out fresh vs. recycled (rpc/frame_pool.h).
+  uint64_t frames_allocated() const { return pool_.allocated(); }
+  uint64_t frames_reused() const { return pool_.reused(); }
 
   // Resolved readiness backend ("epoll"/"poll") and its wake-cost
   // telemetry (rpc/event_poller.h); valid after Start().
@@ -112,28 +170,69 @@ class ConcurrentServer {
   uint64_t poller_items_scanned() const;
 
  private:
-  // A connection's lifecycle: kArmed (fd armed in the poller) → kReady
-  // (queued for a worker, poller registration disabled by oneshot) →
-  // kBusy (one worker owns it) → back to kArmed via Rearm, or destroyed
-  // on disconnect/shutdown-op/idle sweep. Exactly one owner at every
-  // stage, so channel reads never race.
-  enum class SessionState { kArmed, kReady, kBusy };
+  // A connection's lifecycle: kArmed (fd armed for read in the poller) →
+  // kReady (queued for its worker, poller registration disabled by
+  // oneshot) → kBusy (one worker owns it) → back to kArmed when the
+  // response fit the socket, or kFlushing (unsent tail parked on the
+  // session, fd armed for write, the *dispatcher* owns it) → kArmed when
+  // drained. Exactly one owner at every stage — workers own kBusy, the
+  // dispatcher owns everything else — so channel reads and writes never
+  // race.
+  enum class SessionState { kArmed, kReady, kBusy, kFlushing };
 
   struct Session {
     uint64_t id = 0;
     std::unique_ptr<Channel> channel;
     int fd = -1;
+    // Home worker queue (round-robin at accept).
+    size_t worker = 0;
     SessionState state = SessionState::kArmed;
-    // Last transition into kArmed; the idle sweep's clock.
+    // Buffered write path: the response whose tail did not fit the
+    // socket, the transport offset reached so far, and the offset at
+    // which the frame is fully out (SendCompleteOffset).
+    std::string out;
+    size_t out_offset = 0;
+    size_t out_total = 0;
+    // The response being flushed answered kShutdown: close once drained.
+    bool close_after_flush = false;
+    // Last transition into kArmed — or last flush progress — the idle
+    // sweep's clock.
     std::chrono::steady_clock::time_point last_armed;
   };
 
+  // Session table shard: fd-hashed map under its own mutex, so accept,
+  // dispatch, re-arm, and close on different connections do not contend
+  // on one global lock.
+  struct SessionShard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions;
+  };
+  static constexpr size_t kSessionShards = 16;
+
+  // Per-worker MPSC ready-queue: the dispatcher pushes, one worker pops;
+  // notify_one wakes exactly that worker (no herd).
+  struct WorkerQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<uint64_t> ready;
+  };
+
+  SessionShard& ShardFor(uint64_t id) {
+    return shards_[id & (kSessionShards - 1)];
+  }
+  static void UpdatePeak(std::atomic<uint64_t>& peak, uint64_t value);
+
   void PollLoop();
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
   // Drains the accept backlog, registering each connection; pauses the
   // listener at the max_connections budget.
   void HandleAccept();
-  // Closes every armed connection idle past idle_timeout_seconds.
+  // Re-plugs the listener after CloseSession frees budget room.
+  void MaybeResumeAccept();
+  // One non-blocking step of a parked response (dispatcher thread only;
+  // the session is in kFlushing, which the dispatcher solely owns).
+  void FlushSession(uint64_t id);
+  // Closes every connection idle past idle_timeout_seconds.
   void SweepIdle();
   // Removes the session and reclaims its cursors; `why` feeds the log line.
   void CloseSession(uint64_t id, const char* why);
@@ -145,24 +244,33 @@ class ConcurrentServer {
   size_t threads_ = 0;
 
   std::unique_ptr<EventPoller> poller_;
+  FramePool pool_;
 
-  // Guards sessions_, ready_, stopping_, accept_paused_, and every
-  // poller Add/Rearm (so arm state can't race the idle sweep's close).
-  // Lock order (DESIGN.md §7): mu_ → poller internal mutex → filter
-  // cursor mutex → store lock → buffer-pool latch; never held across a
-  // channel Receive/Send.
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
-  std::deque<uint64_t> ready_;
-  bool stopping_ = false;
+  // Lock order (DESIGN.md §7): listener_mu_ → shard mutex → worker-queue
+  // mutex → poller internal mutex → filter cursor mutex → store lock →
+  // buffer-pool latch; never held across a channel Receive/Send/flush.
+  SessionShard shards_[kSessionShards];
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+
+  // Guards started_, accept_paused_, and listener poller membership.
+  mutable std::mutex listener_mu_;
   bool started_ = false;
   bool accept_paused_ = false;
-  uint64_t next_session_id_ = 1;
+  std::atomic<bool> stopping_{false};
 
+  // Dispatcher-thread-only accept state (no lock needed).
+  uint64_t next_session_id_ = 1;
+  size_t next_worker_ = 0;
+
+  std::atomic<size_t> open_count_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
   std::atomic<uint64_t> idle_closed_{0};
+  std::atomic<uint64_t> write_stalls_{0};
+  std::atomic<uint64_t> bytes_buffered_{0};
+  std::atomic<uint64_t> bytes_buffered_peak_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
+  std::atomic<uint64_t> budget_closed_{0};
 
   std::thread poll_thread_;
   std::vector<std::thread> workers_;

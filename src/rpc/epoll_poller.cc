@@ -69,13 +69,14 @@ class EpollPoller : public EventPoller {
     // MOD on a consumed EPOLLONESHOT registration re-enables it; if the
     // fd already has data the dispatcher is woken by the kernel, so no
     // user-space wake is needed (the epoll advantage over PollPoller).
-    epoll_event event{};
-    event.events = EPOLLIN | EPOLLONESHOT;
-    event.data.u64 = token;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
-      return EpollError("epoll_ctl rearm");
-    }
-    return Status::OK();
+    return Mod(fd, token, EPOLLIN, "epoll_ctl rearm");
+  }
+
+  Status ArmWrite(int fd, uint64_t token) override {
+    // Same MOD, opposite direction: the kernel fires as soon as the
+    // socket drains (or immediately if it already has space), again
+    // without a user-space wake.
+    return Mod(fd, token, EPOLLOUT, "epoll_ctl arm-write");
   }
 
   Status Remove(int fd) override {
@@ -106,7 +107,16 @@ class EpollPoller : public EventPoller {
         }
         continue;
       }
-      events->push_back(PollerEvent{ready[i].data.u64});
+      PollerEvent event;
+      event.token = ready[i].data.u64;
+      // EPOLLERR/EPOLLHUP are delivered regardless of the registered
+      // interest; surface them on both directions so the owner's next
+      // read or write discovers the condition.
+      const uint32_t flags = ready[i].events;
+      const bool broken = (flags & (EPOLLERR | EPOLLHUP)) != 0;
+      event.readable = (flags & EPOLLIN) != 0 || broken;
+      event.writable = (flags & EPOLLOUT) != 0 || broken;
+      events->push_back(event);
     }
     return events->size();
   }
@@ -127,6 +137,16 @@ class EpollPoller : public EventPoller {
   static constexpr int kMaxEvents = 128;
 
   EpollPoller() = default;
+
+  Status Mod(int fd, uint64_t token, uint32_t direction, const char* what) {
+    epoll_event event{};
+    event.events = direction | EPOLLONESHOT;
+    event.data.u64 = token;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+      return EpollError(what);
+    }
+    return Status::OK();
+  }
 
   int epoll_fd_ = -1;
   int wake_fds_[2] = {-1, -1};

@@ -22,7 +22,9 @@ void SetNonBlockingFd(int fd) {
 // wake costs O(open connections) — the exact ceiling the epoll backend
 // removes. Mutators write the self-pipe so a blocked poll(2) observes
 // interest changes (poll has no equivalent of epoll_ctl against a live
-// wait).
+// wait); ArmWrite in particular must kick the pipe or a drained socket
+// would sit unwatched until the next unrelated wake, stalling the
+// buffered write path the epoll backend services immediately.
 class PollPoller : public EventPoller {
  public:
   static StatusOr<std::unique_ptr<EventPoller>> Make() {
@@ -43,24 +45,18 @@ class PollPoller : public EventPoller {
   Status Add(int fd, uint64_t token, bool oneshot) override {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      entries_[fd] = Entry{token, oneshot, /*armed=*/true};
+      entries_[fd] = Entry{token, oneshot, /*armed=*/true, POLLIN};
     }
     Wake();
     return Status::OK();
   }
 
   Status Rearm(int fd, uint64_t token) override {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = entries_.find(fd);
-      if (it == entries_.end()) {
-        return Status::NotFound("poll rearm: unknown fd");
-      }
-      it->second.token = token;
-      it->second.armed = true;
-    }
-    Wake();
-    return Status::OK();
+    return Retarget(fd, token, POLLIN, "poll rearm: unknown fd");
+  }
+
+  Status ArmWrite(int fd, uint64_t token) override {
+    return Retarget(fd, token, POLLOUT, "poll arm-write: unknown fd");
   }
 
   Status Remove(int fd) override {
@@ -83,7 +79,7 @@ class PollPoller : public EventPoller {
       fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
       for (const auto& [fd, entry] : entries_) {
         if (!entry.armed) continue;
-        fds.push_back(pollfd{fd, POLLIN, 0});
+        fds.push_back(pollfd{fd, entry.interest, 0});
         tokens.push_back(entry.token);
       }
     }
@@ -111,7 +107,18 @@ class PollPoller : public EventPoller {
         continue;
       }
       if (it->second.oneshot) it->second.armed = false;
-      events->push_back(PollerEvent{it->second.token});
+      PollerEvent event;
+      event.token = it->second.token;
+      // POLLERR/POLLHUP surface regardless of the requested interest;
+      // report them on the watched direction so the owner's next
+      // read/write discovers the condition.
+      const short revents = fds[i].revents;
+      const bool broken = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      event.readable = (revents & POLLIN) != 0 ||
+                       (broken && it->second.interest == POLLIN);
+      event.writable = (revents & POLLOUT) != 0 ||
+                       (broken && it->second.interest == POLLOUT);
+      events->push_back(event);
     }
     return events->size();
   }
@@ -134,9 +141,26 @@ class PollPoller : public EventPoller {
     uint64_t token = 0;
     bool oneshot = false;
     bool armed = true;
+    short interest = POLLIN;  // POLLIN or POLLOUT, one direction at a time
   };
 
   PollPoller() = default;
+
+  // Shared Rearm/ArmWrite body: re-enable the registration watching the
+  // given direction, then kick the self-pipe so a blocked poll(2)
+  // replays the updated interest set.
+  Status Retarget(int fd, uint64_t token, short interest, const char* miss) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(fd);
+      if (it == entries_.end()) return Status::NotFound(miss);
+      it->second.token = token;
+      it->second.armed = true;
+      it->second.interest = interest;
+    }
+    Wake();
+    return Status::OK();
+  }
 
   mutable std::mutex mu_;
   std::unordered_map<int, Entry> entries_;

@@ -6,20 +6,33 @@
 /// per-wake cost of the good backend is O(ready events), not O(open
 /// connections).
 ///
+/// A registration watches one direction at a time, matching the server's
+/// connection state machine: Add/Rearm watch readability (a parked
+/// connection waiting for its next request), ArmWrite flips the same
+/// registration to writability (a connection whose response overflowed
+/// the socket buffer and is draining through the buffered write path).
+/// Both are one-shot for connections, so exactly one owner acts on each
+/// delivered event.
+///
 /// Two implementations:
 ///  * EpollPoller (Linux, compiled when <sys/epoll.h> is present): the
 ///    kernel holds the interest set; one-shot registration maps to
-///    EPOLLONESHOT and re-arm to EPOLL_CTL_MOD, both callable from worker
-///    threads without waking the dispatcher.
+///    EPOLLONESHOT, re-arm/arm-write to EPOLL_CTL_MOD with EPOLLIN or
+///    EPOLLOUT, all callable from worker threads without waking the
+///    dispatcher.
 ///  * PollPoller (portable fallback): a mutexed fd table replayed into a
 ///    poll(2) array every wake — O(open connections) per wake by nature
 ///    of the syscall, kept only for platforms without epoll and as the
-///    comparison baseline in bench_rpc's poller-scaling section.
+///    comparison baseline in bench_rpc's poller-scaling section. Its
+///    mutators (Rearm and ArmWrite included) kick the blocked poll(2)
+///    through a self-pipe so interest changes — e.g. a drained write
+///    buffer re-arming for reads — take effect immediately, preserving
+///    behavioural parity with epoll for the buffered-write contract.
 ///
-/// Thread contract: Add/Rearm/Remove/Wake are safe from any thread;
-/// Wait has a single caller (the dispatcher thread). wakeups() and
-/// items_scanned() are monotone telemetry — scanned/wake is the wake-cost
-/// metric bench_rpc reports.
+/// Thread contract: Add/Rearm/ArmWrite/Remove/Wake are safe from any
+/// thread; Wait has a single caller (the dispatcher thread). wakeups()
+/// and items_scanned() are monotone telemetry — scanned/wake is the
+/// wake-cost metric bench_rpc reports.
 
 #ifndef SSDB_RPC_EVENT_POLLER_H_
 #define SSDB_RPC_EVENT_POLLER_H_
@@ -34,11 +47,13 @@
 namespace ssdb::rpc {
 
 // One ready file descriptor, identified by the token it was registered
-// with (ConcurrentServer uses session ids; 0 is its listener). Readable
-// data and hangup/error both surface as an event — the owner observes
-// the difference by reading.
+// with (ConcurrentServer uses session ids; 0 is its listener). Hangup and
+// error conditions set both flags so the owner discovers them by
+// reading or writing, whichever direction it was waiting on.
 struct PollerEvent {
   uint64_t token = 0;
+  bool readable = false;
+  bool writable = false;
 };
 
 enum class PollerBackend {
@@ -63,9 +78,17 @@ class EventPoller {
   // protocol); a persistent fd (listener) stays armed.
   virtual Status Add(int fd, uint64_t token, bool oneshot) = 0;
 
-  // Re-enables a oneshot fd after its event was consumed. If the fd
-  // became readable while disabled, the next Wait reports it.
+  // Re-enables a oneshot fd for readability after its event was
+  // consumed. If the fd became readable while disabled, the next Wait
+  // reports it.
   virtual Status Rearm(int fd, uint64_t token) = 0;
+
+  // Flips a oneshot fd's registration to writability: the next Wait
+  // reports it once the socket can accept bytes again (immediately, if
+  // it already can). The buffered write path (DESIGN.md §7) uses this
+  // while a response is draining; when the buffer empties, Rearm
+  // switches the registration back to reads.
+  virtual Status ArmWrite(int fd, uint64_t token) = 0;
 
   // Deregisters `fd`. Must be called before the fd is closed (a closed
   // fd's slot can be reused by the kernel). Best-effort: unknown fds are

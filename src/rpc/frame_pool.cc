@@ -1,0 +1,27 @@
+#include "rpc/frame_pool.h"
+
+namespace ssdb::rpc {
+
+std::string FramePool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::string buffer = std::move(free_.back());
+      free_.pop_back();
+      reused_.fetch_add(1, std::memory_order_relaxed);
+      return buffer;
+    }
+  }
+  allocated_.fetch_add(1, std::memory_order_relaxed);
+  return std::string();
+}
+
+void FramePool::Release(std::string&& buffer) {
+  if (buffer.capacity() > max_retained_bytes_) return;
+  buffer.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= max_pooled_) return;
+  free_.push_back(std::move(buffer));
+}
+
+}  // namespace ssdb::rpc

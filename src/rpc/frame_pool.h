@@ -1,0 +1,58 @@
+/// FramePool: a bounded freelist of reusable byte buffers for the data
+/// plane's request/response frames. Every request used to allocate fresh
+/// std::strings in HandleRequest; the concurrent server (DESIGN.md §7)
+/// instead acquires a buffer per session, lets ReceiveInto /
+/// HandleRequestInto grow it once, and releases it — keeping the
+/// capacity — when the response has drained. Counters distinguish fresh
+/// allocations from pool hits for the telemetry line bench_rpc and
+/// ssdb_server print.
+
+#ifndef SSDB_RPC_FRAME_POOL_H_
+#define SSDB_RPC_FRAME_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ssdb::rpc {
+
+class FramePool {
+ public:
+  // `max_pooled` bounds how many idle buffers the pool retains;
+  // `max_retained_bytes` drops oversized buffers on release so one huge
+  // batch response cannot pin its capacity forever.
+  explicit FramePool(size_t max_pooled = 64,
+                     size_t max_retained_bytes = 1 << 20)
+      : max_pooled_(max_pooled), max_retained_bytes_(max_retained_bytes) {}
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  // An empty buffer, with whatever capacity its previous life grew.
+  std::string Acquire();
+
+  // Returns a buffer to the freelist (cleared, capacity kept). Buffers
+  // beyond the retention bounds are simply destroyed.
+  void Release(std::string&& buffer);
+
+  // Buffers handed out that came fresh from the allocator vs. from the
+  // freelist. allocated() + reused() == total Acquire() calls.
+  uint64_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  uint64_t reused() const { return reused_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t max_pooled_;
+  const size_t max_retained_bytes_;
+  std::mutex mu_;
+  std::vector<std::string> free_;
+  std::atomic<uint64_t> allocated_{0};
+  std::atomic<uint64_t> reused_{0};
+};
+
+}  // namespace ssdb::rpc
+
+#endif  // SSDB_RPC_FRAME_POOL_H_

@@ -8,89 +8,89 @@
 namespace ssdb::rpc {
 namespace {
 
-// Builds the op-specific success payload; any error becomes an error frame.
-StatusOr<std::string> Dispatch(const gf::Ring& ring,
-                               filter::ServerFilter* filter,
-                               filter::SessionId session,
-                               const Request& request) {
-  std::string payload;
+// Appends the op-specific success payload to *payload; any error becomes
+// an error frame. Appending into the caller's buffer (rather than
+// returning a fresh string) lets the concurrent transport encode the
+// response directly into a pooled frame buffer (rpc/frame_pool.h).
+Status Dispatch(const gf::Ring& ring, filter::ServerFilter* filter,
+                filter::SessionId session, const Request& request,
+                std::string* payload) {
   switch (request.op) {
     case Op::kRoot: {
       SSDB_ASSIGN_OR_RETURN(filter::NodeMeta meta, filter->Root());
-      AppendNodeMeta(&payload, meta);
-      return payload;
+      AppendNodeMeta(payload, meta);
+      return Status::OK();
     }
     case Op::kGetNode: {
       SSDB_ASSIGN_OR_RETURN(filter::NodeMeta meta,
                             filter->GetNode(request.pre));
-      AppendNodeMeta(&payload, meta);
-      return payload;
+      AppendNodeMeta(payload, meta);
+      return Status::OK();
     }
     case Op::kChildren: {
       SSDB_ASSIGN_OR_RETURN(std::vector<filter::NodeMeta> metas,
                             filter->Children(request.pre));
-      AppendNodeMetas(&payload, metas);
-      return payload;
+      AppendNodeMetas(payload, metas);
+      return Status::OK();
     }
     case Op::kOpenCursor: {
       SSDB_ASSIGN_OR_RETURN(
           uint64_t cursor,
           filter->OpenDescendantCursor(session, request.pre, request.post));
-      PutVarint64(&payload, cursor);
-      return payload;
+      PutVarint64(payload, cursor);
+      return Status::OK();
     }
     case Op::kNextNodes: {
       SSDB_ASSIGN_OR_RETURN(
           std::vector<filter::NodeMeta> metas,
           filter->NextNodes(session, request.cursor,
                             static_cast<size_t>(request.batch)));
-      AppendNodeMetas(&payload, metas);
-      return payload;
+      AppendNodeMetas(payload, metas);
+      return Status::OK();
     }
     case Op::kCloseCursor: {
-      SSDB_RETURN_IF_ERROR(filter->CloseCursor(session, request.cursor));
-      return payload;
+      return filter->CloseCursor(session, request.cursor);
     }
     case Op::kEvalAt: {
       SSDB_ASSIGN_OR_RETURN(gf::Elem value,
                             filter->EvalAt(request.pre, request.point));
-      PutVarint64(&payload, value);
-      return payload;
+      PutVarint64(payload, value);
+      return Status::OK();
     }
     case Op::kEvalAtBatch: {
       SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> values,
                             filter->EvalAtBatch(request.pres, request.point));
-      AppendElems(&payload, values);
-      return payload;
+      AppendElems(payload, values);
+      return Status::OK();
     }
     case Op::kEvalPointsBatch: {
       SSDB_ASSIGN_OR_RETURN(
           std::vector<gf::Elem> values,
           filter->EvalPointsBatch(request.pre, request.points));
-      AppendElems(&payload, values);
-      return payload;
+      AppendElems(payload, values);
+      return Status::OK();
     }
     case Op::kFetchShare: {
       SSDB_ASSIGN_OR_RETURN(gf::RingElem share,
                             filter->FetchShare(request.pre));
-      PutLengthPrefixed(&payload, ring.Serialize(share));
-      return payload;
+      PutLengthPrefixed(payload, ring.Serialize(share));
+      return Status::OK();
     }
     case Op::kFetchShareBatch: {
       SSDB_ASSIGN_OR_RETURN(std::vector<gf::RingElem> shares,
                             filter->FetchShareBatch(request.pres));
       for (const gf::RingElem& share : shares) {
-        PutLengthPrefixed(&payload, ring.Serialize(share));
+        PutLengthPrefixed(payload, ring.Serialize(share));
       }
-      return payload;
+      return Status::OK();
     }
     case Op::kChildrenBatch: {
       SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<filter::NodeMeta>> lists,
                             filter->ChildrenBatch(request.pres));
       for (const std::vector<filter::NodeMeta>& metas : lists) {
-        AppendNodeMetas(&payload, metas);
+        AppendNodeMetas(payload, metas);
       }
-      return payload;
+      return Status::OK();
     }
     case Op::kAggregate:
     case Op::kAggregateBatch: {
@@ -100,39 +100,51 @@ StatusOr<std::string> Dispatch(const gf::Ring& ring,
       spec.value_indexes = request.value_indexes;
       SSDB_ASSIGN_OR_RETURN(std::vector<agg::Word> partials,
                             filter->PartialAggregate(session, spec));
-      AppendU32s(&payload, partials);
-      return payload;
+      AppendU32s(payload, partials);
+      return Status::OK();
     }
     case Op::kFetchSealed: {
       SSDB_ASSIGN_OR_RETURN(std::string sealed,
                             filter->FetchSealed(request.pre));
-      PutLengthPrefixed(&payload, sealed);
-      return payload;
+      PutLengthPrefixed(payload, sealed);
+      return Status::OK();
     }
     case Op::kNodeCount: {
       SSDB_ASSIGN_OR_RETURN(uint64_t count, filter->NodeCount());
-      PutVarint64(&payload, count);
-      return payload;
+      PutVarint64(payload, count);
+      return Status::OK();
     }
     case Op::kShutdown:
-      return payload;
+      return Status::OK();
   }
   return Status::Corruption("unhandled op");
 }
 
 }  // namespace
 
-std::string RpcServer::HandleRequest(std::string_view request_bytes,
-                                     filter::SessionId session) {
+void RpcServer::HandleRequestInto(std::string_view request_bytes,
+                                  filter::SessionId session,
+                                  std::string* response) {
+  response->clear();
   StatusOr<Request> request = DecodeRequest(request_bytes);
   if (!request.ok()) {
-    return EncodeErrorResponse(request.status());
+    response->assign(EncodeErrorResponse(request.status()));
+    return;
   }
-  StatusOr<std::string> payload = Dispatch(ring_, filter_, session, *request);
-  if (!payload.ok()) {
-    return EncodeErrorResponse(payload.status());
+  // Optimistically write the ok envelope byte and let Dispatch append the
+  // payload in place; a failed dispatch rewinds and encodes the error.
+  response->push_back(1);
+  Status s = Dispatch(ring_, filter_, session, *request, response);
+  if (!s.ok()) {
+    response->assign(EncodeErrorResponse(s));
   }
-  return EncodeOkResponse(*payload);
+}
+
+std::string RpcServer::HandleRequest(std::string_view request_bytes,
+                                     filter::SessionId session) {
+  std::string response;
+  HandleRequestInto(request_bytes, session, &response);
+  return response;
 }
 
 Status RpcServer::Serve(Channel* channel) {

@@ -38,6 +38,14 @@ class RpcServer {
   std::string HandleRequest(std::string_view request_bytes,
                             filter::SessionId session = filter::SessionId{0});
 
+  // HandleRequest into a caller-owned buffer: the response envelope and
+  // payload are encoded in place, so a pooled frame buffer's capacity
+  // (rpc/frame_pool.h) is reused across requests instead of allocating
+  // per response. `response` is cleared first; `request_bytes` must not
+  // alias it.
+  void HandleRequestInto(std::string_view request_bytes,
+                         filter::SessionId session, std::string* response);
+
  private:
   gf::Ring ring_;
   filter::ServerFilter* filter_;

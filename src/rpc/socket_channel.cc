@@ -35,15 +35,45 @@ class SocketChannel : public Channel {
 
   Status Send(std::string_view message) override {
     SSDB_RETURN_IF_ERROR(WriteFrame(fd_, message));
-    bytes_sent_ += message.size() + 4;
+    bytes_sent_ += message.size() + kFrameHeaderBytes;
     ++messages_sent_;
     return Status::OK();
   }
 
   StatusOr<std::string> Receive() override {
     SSDB_ASSIGN_OR_RETURN(std::string message, ReadFrame(fd_));
-    bytes_received_ += message.size() + 4;
+    bytes_received_ += message.size() + kFrameHeaderBytes;
     return message;
+  }
+
+  Status ReceiveInto(std::string* message) override {
+    SSDB_RETURN_IF_ERROR(ReadFrameInto(fd_, message));
+    bytes_received_ += message->size() + kFrameHeaderBytes;
+    return Status::OK();
+  }
+
+  // Non-blocking framed send step (the buffered write path, DESIGN.md
+  // §7): header + payload leave through one scatter-gather syscall, and a
+  // full socket returns the resume offset instead of blocking the caller.
+  StatusOr<size_t> SendNonBlocking(std::string_view message,
+                                   size_t offset) override {
+    SSDB_ASSIGN_OR_RETURN(size_t advanced,
+                          WriteFrameNonBlocking(fd_, message, offset));
+    bytes_sent_ += advanced - offset;
+    if (advanced == SendCompleteOffset(message)) ++messages_sent_;
+    return advanced;
+  }
+
+  size_t SendCompleteOffset(std::string_view message) const override {
+    return message.size() + kFrameHeaderBytes;
+  }
+
+  Status SetSendBufferBytes(int bytes) override {
+    if (::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) !=
+        0) {
+      return ErrnoError("setsockopt SO_SNDBUF");
+    }
+    return Status::OK();
   }
 
   void Close() override {

@@ -2,6 +2,11 @@
 /// client/server architecture of fig. 3 (the paper used Java RMI). The
 /// m-server quickstart in README.md runs one listening socket per share
 /// slice (DESIGN.md §5); ablation A3 (DESIGN.md §4) measures the hop.
+///
+/// Frames leave through scatter-gather writes (header + payload in one
+/// syscall, rpc/wire.h) and the channel supports the non-blocking
+/// framed-send steps the concurrent server's buffered write path rides
+/// on (DESIGN.md §7).
 
 #ifndef SSDB_RPC_SOCKET_CHANNEL_H_
 #define SSDB_RPC_SOCKET_CHANNEL_H_

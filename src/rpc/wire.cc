@@ -1,6 +1,7 @@
 #include "rpc/wire.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -47,28 +48,118 @@ Status ReadFull(int fd, void* data, size_t len) {
   return Status::OK();
 }
 
+namespace {
+
+void EncodeFrameHeader(size_t payload_size, uint8_t header[kFrameHeaderBytes]) {
+  uint32_t len = static_cast<uint32_t>(payload_size);
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    header[i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+}
+
+// Builds the scatter list for the unwritten tail of a frame at `offset`:
+// whatever remains of the header, then whatever remains of the payload.
+int FrameTailIov(const uint8_t header[kFrameHeaderBytes],
+                 std::string_view payload, size_t offset, iovec iov[2]) {
+  int count = 0;
+  if (offset < kFrameHeaderBytes) {
+    iov[count].iov_base = const_cast<uint8_t*>(header) + offset;
+    iov[count].iov_len = kFrameHeaderBytes - offset;
+    ++count;
+  }
+  size_t payload_offset =
+      offset > kFrameHeaderBytes ? offset - kFrameHeaderBytes : 0;
+  if (payload_offset < payload.size()) {
+    iov[count].iov_base = const_cast<char*>(payload.data()) + payload_offset;
+    iov[count].iov_len = payload.size() - payload_offset;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
 Status WriteFrame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame exceeds maximum size");
   }
-  uint8_t header[4];
-  uint32_t len = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
-  SSDB_RETURN_IF_ERROR(WriteFull(fd, header, 4));
-  return WriteFull(fd, payload.data(), payload.size());
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(payload.size(), header);
+  const size_t total = payload.size() + kFrameHeaderBytes;
+  size_t offset = 0;
+  while (offset < total) {
+    iovec iov[2];
+    int count = FrameTailIov(header, payload, offset, iov);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    // MSG_NOSIGNAL: a peer that vanished mid-frame must surface as EPIPE,
+    // not a process-killing SIGPIPE (DESIGN.md §7).
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      // Non-socket fd: fall back to sequential full writes.
+      if (offset < kFrameHeaderBytes) {
+        SSDB_RETURN_IF_ERROR(
+            WriteFull(fd, header + offset, kFrameHeaderBytes - offset));
+        offset = kFrameHeaderBytes;
+      }
+      SSDB_RETURN_IF_ERROR(
+          WriteFull(fd, payload.data() + (offset - kFrameHeaderBytes),
+                    total - offset));
+      return Status::OK();
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> WriteFrameNonBlocking(int fd, std::string_view payload,
+                                       size_t offset) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds maximum size");
+  }
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(payload.size(), header);
+  const size_t total = payload.size() + kFrameHeaderBytes;
+  while (offset < total) {
+    iovec iov[2];
+    int count = FrameTailIov(header, payload, offset, iov);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return offset;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return offset;
 }
 
 StatusOr<std::string> ReadFrame(int fd) {
-  uint8_t header[4];
-  SSDB_RETURN_IF_ERROR(ReadFull(fd, header, 4));
+  std::string payload;
+  SSDB_RETURN_IF_ERROR(ReadFrameInto(fd, &payload));
+  return payload;
+}
+
+Status ReadFrameInto(int fd, std::string* payload) {
+  uint8_t header[kFrameHeaderBytes];
+  SSDB_RETURN_IF_ERROR(ReadFull(fd, header, kFrameHeaderBytes));
   uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
   if (len > kMaxFrameBytes) {
     return Status::Corruption("oversized frame");
   }
-  std::string payload(len, '\0');
-  SSDB_RETURN_IF_ERROR(ReadFull(fd, payload.data(), len));
-  return payload;
+  payload->resize(len);
+  return ReadFull(fd, payload->data(), len);
 }
 
 void AppendNodeMeta(std::string* out, const filter::NodeMeta& meta) {

@@ -19,13 +19,30 @@ namespace ssdb::rpc {
 
 // Frame format: u32 little-endian length, then payload. Max 64 MiB.
 inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+inline constexpr size_t kFrameHeaderBytes = 4;
 
 // Blocking full-buffer read/write on a fd; EOF surfaces as OutOfRange.
 Status WriteFull(int fd, const void* data, size_t len);
 Status ReadFull(int fd, void* data, size_t len);
 
+// Header and payload leave in one writev/sendmsg — a single syscall and
+// no concatenation copy (DESIGN.md §7).
 Status WriteFrame(int fd, std::string_view payload);
 StatusOr<std::string> ReadFrame(int fd);
+
+// ReadFrame into a caller-owned buffer, so a pooled buffer's capacity is
+// reused across requests instead of allocating a fresh string per frame.
+Status ReadFrameInto(int fd, std::string* payload);
+
+// One non-blocking step of a framed send, scatter-gathering whatever is
+// left of the 4-byte header and the payload from frame offset `offset`
+// (0 = first header byte). Returns the new offset: payload.size() +
+// kFrameHeaderBytes means the frame is out; anything less means the
+// socket is full and the caller should wait for writability
+// (EventPoller::ArmWrite) before the next step. Never blocks and never
+// raises SIGPIPE.
+StatusOr<size_t> WriteFrameNonBlocking(int fd, std::string_view payload,
+                                       size_t offset);
 
 // --- payload codecs shared by protocol.cc and client.cc ---
 void AppendNodeMeta(std::string* out, const filter::NodeMeta& meta);

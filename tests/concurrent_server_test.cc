@@ -12,6 +12,10 @@
 //    leak cursor-table entries;
 //  * the accept loop pauses at the max_connections budget (backpressure)
 //    and resumes as connections close;
+//  * a client that stops *reading* parks its response tail on the session
+//    (buffered write path), never a worker; a reader stalled past the
+//    max_write_buffer budget is closed and its cursors reclaimed; drained
+//    tails arrive byte-identical;
 //  * graceful shutdown drains and closes every connection.
 
 #include <gtest/gtest.h>
@@ -32,8 +36,10 @@
 #include "rpc/client.h"
 #include "rpc/concurrent_server.h"
 #include "rpc/event_poller.h"
+#include "rpc/protocol.h"
 #include "rpc/socket_channel.h"
 #include "test_helpers.h"
+#include "util/varint.h"
 #include "xmark/generator.h"
 
 namespace ssdb::rpc {
@@ -102,6 +108,15 @@ bool WaitForOpenConnections(ConcurrentServer* server, size_t want,
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   return server->open_connections() == want;
+}
+
+template <typename Fn>
+bool WaitForAtLeast(Fn value, uint64_t want, int rounds = 1000) {
+  for (int i = 0; i < rounds; ++i) {
+    if (value() >= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return value() >= want;
 }
 
 class ConcurrentServerTest
@@ -394,6 +409,179 @@ TEST_P(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
             5);
   EXPECT_EQ(fixture.server->connections_accepted(), 1u);
   EXPECT_EQ(fixture.server->connections_closed(), 1u);
+}
+
+// A client that stops reading its response must not park a worker: the
+// unsent tail parks on the session (the EPOLLOUT buffered write path)
+// while every worker keeps serving hot clients; a reader stalled past
+// max_write_buffer is closed — cursors reclaimed — instead of buffering
+// without bound; and a tail the client eventually drains arrives
+// byte-identical, with the session re-armed for reads afterwards.
+TEST_P(ConcurrentServerTest, SlowReaderBuffersThenBudgetCloses) {
+  ConcurrentServerOptions options;
+  options.threads = 2;
+  options.so_sndbuf = 4096;            // tiny socket: force short writes
+  options.max_write_buffer = 1 << 20;  // 1 MiB budget
+  ServerFixture fixture("slowreader", GetParam(), options);
+  filter::ServerFilter* local = fixture.db->server.get();
+  auto root = *local->Root();
+  gf::RingElem base_share = *local->FetchShare(2);
+  std::vector<gf::Elem> base_evals = *local->EvalAtBatch({1, 2, 3, 4}, 5);
+
+  // One encoded share entry, to size batches and verify flushed bytes.
+  std::string entry;
+  PutLengthPrefixed(&entry, fixture.db->ring.Serialize(base_share));
+  // Overflows the socket buffer (stalls the write) but fits the budget...
+  const size_t stall_count = (128 << 10) / entry.size() + 1;
+  // ...and blows well past the budget at stall time.
+  const size_t budget_count = (4 << 20) / entry.size() + 1;
+
+  // Stalled reader: requests a large share batch, then reads nothing.
+  Request fetch;
+  fetch.op = Op::kFetchShareBatch;
+  fetch.pres.assign(stall_count, 2);
+  auto stalled = ConnectUnix(fixture.path);
+  ASSERT_TRUE(stalled.ok());
+  ASSERT_TRUE((*stalled)->Send(EncodeRequest(fetch)).ok());
+  ASSERT_TRUE(
+      WaitForAtLeast([&] { return fixture.server->write_stalls(); }, 1));
+  EXPECT_GT(fixture.server->bytes_buffered_peak(), 0u);
+
+  // With the stall outstanding, as many concurrent hot clients as there
+  // are workers all get ground-truth answers — so no worker is parked on
+  // the non-reading peer.
+  std::vector<std::thread> hot;
+  for (int c = 0; c < 2; ++c) {
+    hot.emplace_back([&] {
+      auto remote = fixture.Connect();
+      for (int i = 0; i < 50; ++i) {
+        auto evals = remote->EvalAtBatch({1, 2, 3, 4}, 5);
+        ASSERT_TRUE(evals.ok());
+        EXPECT_EQ(*evals, base_evals);
+      }
+      ASSERT_TRUE(remote->Shutdown().ok());
+    });
+  }
+  for (std::thread& t : hot) t.join();
+
+  // Budget hog: parks a cursor, then requests a batch whose unsent tail
+  // exceeds max_write_buffer — the server closes it rather than buffer
+  // without bound, and the close reclaims the cursor.
+  auto hog = ConnectUnix(fixture.path);
+  ASSERT_TRUE(hog.ok());
+  Request open;
+  open.op = Op::kOpenCursor;
+  open.pre = root.pre;
+  open.post = root.post;
+  ASSERT_TRUE((*hog)->Send(EncodeRequest(open)).ok());
+  ASSERT_TRUE((*hog)->Receive().ok());  // small response; read it
+  EXPECT_GE(fixture.db->server->OpenCursorCount(), 1u);
+  fetch.pres.assign(budget_count, 2);
+  ASSERT_TRUE((*hog)->Send(EncodeRequest(fetch)).ok());
+  ASSERT_TRUE(WaitForAtLeast(
+      [&] { return fixture.server->write_budget_closed(); }, 1));
+  EXPECT_TRUE(WaitForCursorCount(fixture.db.get(), 0));
+
+  // The stalled reader finally drains: every buffered byte arrives,
+  // intact and in order.
+  auto response = (*stalled)->Receive();
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->size(), 1 + stall_count * entry.size());
+  EXPECT_EQ(static_cast<uint8_t>((*response)[0]), 1u);  // ok envelope
+  for (size_t i = 0; i < stall_count; ++i) {
+    ASSERT_EQ(response->compare(1 + i * entry.size(), entry.size(), entry), 0)
+        << "entry " << i;
+  }
+  // The drained session is re-armed for reads: the same connection can
+  // stall again — and this second park recycles the frame buffer the
+  // first drain returned to the pool (the drain's Release strictly
+  // precedes the read re-arm, which precedes the next request).
+  fetch.pres.assign(stall_count, 2);
+  ASSERT_TRUE((*stalled)->Send(EncodeRequest(fetch)).ok());
+  ASSERT_TRUE(
+      WaitForAtLeast([&] { return fixture.server->write_stalls(); }, 3));
+  response = (*stalled)->Receive();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->size(), 1 + stall_count * entry.size());
+  Request count;
+  count.op = Op::kNodeCount;
+  ASSERT_TRUE((*stalled)->Send(EncodeRequest(count)).ok());
+  EXPECT_TRUE((*stalled)->Receive().ok());
+
+  (*stalled)->Close();
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_accepted(),
+            fixture.server->connections_closed());
+  EXPECT_GE(fixture.server->write_stalls(), 3u);
+  EXPECT_EQ(fixture.server->bytes_buffered(), 0u);
+  EXPECT_GT(fixture.server->frames_reused(), 0u);
+}
+
+// Soak (labelled slow): K stalled readers hold buffered response tails
+// for the whole run while hot clients hammer; every hot op returns
+// ground truth, nothing hangs, and all K tails drain intact at the end.
+TEST_P(ConcurrentServerTest, SlowReaderSoakKeepsHotClientsServed) {
+  ConcurrentServerOptions options;
+  options.threads = 2;
+  options.so_sndbuf = 4096;
+  options.max_write_buffer = 8 << 20;
+  ServerFixture fixture("slowsoak", GetParam(), options);
+  filter::ServerFilter* local = fixture.db->server.get();
+  gf::RingElem base_share = *local->FetchShare(2);
+  std::vector<gf::Elem> base_evals = *local->EvalAtBatch({1, 2, 3, 4}, 5);
+
+  std::string entry;
+  PutLengthPrefixed(&entry, fixture.db->ring.Serialize(base_share));
+  const size_t stall_count = (256 << 10) / entry.size() + 1;
+
+  constexpr size_t kStalled = 4;
+  Request fetch;
+  fetch.op = Op::kFetchShareBatch;
+  fetch.pres.assign(stall_count, 2);
+  const std::string fetch_bytes = EncodeRequest(fetch);
+  std::vector<std::unique_ptr<Channel>> stalled;
+  for (size_t i = 0; i < kStalled; ++i) {
+    auto channel = ConnectUnix(fixture.path);
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE((*channel)->Send(fetch_bytes).ok());
+    stalled.push_back(std::move(*channel));
+  }
+  ASSERT_TRUE(WaitForAtLeast([&] { return fixture.server->write_stalls(); },
+                             kStalled));
+
+  constexpr int kHotThreads = 2;
+  std::vector<std::thread> hot;
+  for (int c = 0; c < kHotThreads; ++c) {
+    hot.emplace_back([&] {
+      auto remote = fixture.Connect();
+      for (int i = 0; i < 200; ++i) {
+        auto evals = remote->EvalAtBatch({1, 2, 3, 4}, 5);
+        ASSERT_TRUE(evals.ok());
+        EXPECT_EQ(*evals, base_evals);
+        auto share = remote->FetchShare(2);
+        ASSERT_TRUE(share.ok());
+        EXPECT_EQ(*share, base_share);
+      }
+      ASSERT_TRUE(remote->Shutdown().ok());
+    });
+  }
+  for (std::thread& t : hot) t.join();
+
+  // Every tail is still parked (nobody read a byte of them)...
+  EXPECT_GE(fixture.server->write_stalls(), kStalled);
+  EXPECT_GT(fixture.server->bytes_buffered(), 0u);
+  // ...then drains intact.
+  const size_t want = 1 + stall_count * entry.size();
+  for (size_t i = 0; i < kStalled; ++i) {
+    auto response = stalled[i]->Receive();
+    ASSERT_TRUE(response.ok()) << "reader " << i;
+    EXPECT_EQ(response->size(), want) << "reader " << i;
+  }
+  for (auto& channel : stalled) channel->Close();
+  fixture.server->Shutdown();
+  EXPECT_EQ(fixture.server->connections_accepted(),
+            fixture.server->connections_closed());
+  EXPECT_EQ(fixture.server->bytes_buffered(), 0u);
 }
 
 TEST_P(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {

@@ -10,10 +10,11 @@ compares throughput against a committed baseline:
 
 Rows are matched on their identity keys (bench name plus every
 non-metric field: servers, clients, transport, poller, idle_conns, ...).
-A matched row whose ``qps`` dropped more than ``--threshold`` (default
-30%) emits a GitHub warning annotation; the check FAILS SOFT (exit 0)
-unless --strict, because absolute throughput is noisy across runners —
-the annotation is the signal, the artifact is the record. Rows with no
+Guarded metrics carry a direction: a matched row whose ``qps`` dropped —
+or whose ``p99_ms`` rose — more than ``--threshold`` (default 30%) emits
+a GitHub warning annotation; the check FAILS SOFT (exit 0) unless
+--strict, because absolute numbers are noisy across runners — the
+annotation is the signal, the artifact is the record. Rows with no
 baseline counterpart are reported informationally.
 
 To refresh the baseline after an intentional change, copy the merged
@@ -36,8 +37,14 @@ METRIC_KEYS = {
     "qps", "p50_ms", "p99_ms", "ms", "wall_s", "queries", "wakes",
     "scanned_per_wake", "straggler_ms", "bytes", "results", "round_trips",
     "evals_simple", "evals_advanced", "batched_evals", "candidates",
-    "worker_threads", "byte_ratio",
+    "worker_threads", "byte_ratio", "write_stalls", "buffered_peak",
+    "frames_reused", "queue_depth_peak", "ops",
 }
+
+# Guarded metrics and the direction that is good: moving the wrong way by
+# more than --threshold warns. qps is throughput (a drop regresses);
+# p99_ms is tail latency (a rise regresses).
+GUARDED_METRICS = {"qps": "higher", "p99_ms": "lower"}
 
 MARKER = "BENCH_JSON "
 
@@ -118,25 +125,38 @@ def main():
     compared = 0
     unmatched = 0
     for identity, row in index_rows(benches).items():
-        if "qps" not in row:
+        if not any(metric in row for metric in GUARDED_METRICS):
             continue
         base = baseline.get(identity)
-        if base is None or "qps" not in base or base["qps"] <= 0:
+        if base is None:
             unmatched += 1
             continue
-        compared += 1
-        drop = 1.0 - row["qps"] / base["qps"]
-        if drop > args.threshold:
-            regressions.append(
-                f"qps {base['qps']:.1f} -> {row['qps']:.1f} "
-                f"({drop:.0%} drop) for {describe(identity)}")
+        matched = False
+        for metric, direction in GUARDED_METRICS.items():
+            if metric not in row or metric not in base or base[metric] <= 0:
+                continue
+            matched = True
+            if direction == "higher":
+                delta = 1.0 - row[metric] / base[metric]
+                moved = "drop"
+            else:
+                delta = row[metric] / base[metric] - 1.0
+                moved = "rise"
+            if delta > args.threshold:
+                regressions.append(
+                    f"{metric} {base[metric]:.1f} -> {row[metric]:.1f} "
+                    f"({delta:.0%} {moved}) for {describe(identity)}")
+        if matched:
+            compared += 1
+        else:
+            unmatched += 1
 
-    print(f"compared {compared} qps rows against {args.baseline} "
+    print(f"compared {compared} rows against {args.baseline} "
           f"({unmatched} without a baseline counterpart)")
     for regression in regressions:
         print(f"::warning ::bench regression: {regression}")
     if not regressions:
-        print("bench OK: no qps drop beyond "
+        print("bench OK: no guarded metric moved beyond "
               f"{args.threshold:.0%} of baseline")
     return 1 if (regressions and args.strict) else 0
 

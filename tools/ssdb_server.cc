@@ -6,6 +6,7 @@
 //               [--servers m --share-index i] [--threads n]
 //               [--poller epoll|poll] [--max-connections n]
 //               [--idle-timeout s] [--io-timeout s]
+//               [--max-write-buffer bytes]
 //
 // In an m-server deployment (DESIGN.md §5) each host runs one ssdb_server
 // over its own share slice; --servers/--share-index resolve the slice file
@@ -16,7 +17,10 @@
 // SIGINT/SIGTERM. The accept loop dispatches through an incremental
 // interest set (--poller, default epoll where available); --max-connections
 // pauses accepting at an fd budget instead of dying, and --idle-timeout
-// sweeps connections idle past that many seconds.
+// sweeps connections idle past that many seconds. A client that stops
+// reading never blocks a worker: its response tail is buffered and
+// flushed as the socket drains, and --max-write-buffer bounds how much
+// one such reader may pin before being closed (0 = unlimited).
 
 #include <csignal>
 #include <cstdio>
@@ -43,6 +47,7 @@ int main(int argc, char** argv) {
   uint32_t max_connections = args.GetInt("--max-connections", 0);
   uint32_t idle_timeout = args.GetInt("--idle-timeout", 0);
   uint32_t io_timeout = args.GetInt("--io-timeout", 30);
+  uint32_t max_write_buffer = args.GetInt("--max-write-buffer", 16u << 20);
 
   if (servers == 0 || share_index >= servers) {
     std::fprintf(stderr, "error: --share-index must be < --servers\n");
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
   options.max_connections = max_connections;
   options.idle_timeout_seconds = static_cast<int>(idle_timeout);
   options.io_timeout_seconds = static_cast<int>(io_timeout);
+  options.max_write_buffer = max_write_buffer;
   rpc::ConcurrentServer server(ring, &filter, std::move(*listener), options);
   Status started = server.Start();
   if (!started.ok()) return tools::Fail(started);
@@ -111,5 +117,15 @@ int main(int argc, char** argv) {
   std::printf("served %llu connections (%llu closed)\n",
               (unsigned long long)server.connections_accepted(),
               (unsigned long long)server.connections_closed());
+  std::printf("data plane: %llu write stalls, %llu peak buffered bytes, "
+              "%llu budget closes, %llu peak queue depth, "
+              "%llu frames pooled (%llu reused)\n",
+              (unsigned long long)server.write_stalls(),
+              (unsigned long long)server.bytes_buffered_peak(),
+              (unsigned long long)server.write_budget_closed(),
+              (unsigned long long)server.queue_depth_peak(),
+              (unsigned long long)(server.frames_allocated() +
+                                   server.frames_reused()),
+              (unsigned long long)server.frames_reused());
   return 0;
 }
