@@ -28,10 +28,12 @@ struct BenchDb {
 
 // Builds a memory-backend encrypted database over a fresh XMark document of
 // roughly `target_bytes` of XML; `servers` > 1 splits the share across that
-// many slice stores (DESIGN.md §5).
+// many slice stores (DESIGN.md §5); `verify_aggregate` adds the §9
+// verification track so verified aggregation can be benchmarked.
 inline std::unique_ptr<BenchDb> BuildXmarkDb(uint64_t target_bytes,
                                              uint64_t seed = 42,
-                                             uint32_t servers = 1) {
+                                             uint32_t servers = 1,
+                                             bool verify_aggregate = false) {
   auto field = *gf::Field::Make(83);
   auto map = core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
                                                       field, false);
@@ -50,6 +52,7 @@ inline std::unique_ptr<BenchDb> BuildXmarkDb(uint64_t target_bytes,
 
   core::DatabaseOptions options;
   options.servers = servers;
+  options.encode.verify_aggregate = verify_aggregate;
   auto db = core::EncryptedXmlDatabase::Encode(
       bench_db->xml, bench_db->map, prg::Seed::FromUint64(seed), options);
   SSDB_CHECK(db.ok()) << db.status().ToString();

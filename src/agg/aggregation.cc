@@ -82,7 +82,9 @@ StatusOr<Result> AggregationEngine::RunPlan(const Plan& plan) {
   result.values.assign(
       std::max(plan.group_names.size(), plan.value_indexes.size()), 0);
   if (plan.frontier.empty() || plan.value_indexes.empty()) {
-    // Empty frontier or an unmapped tag: every group aggregates to zero.
+    // Empty frontier or an unmapped tag: every group aggregates to zero,
+    // which needs no proof to trust.
+    result.verified = plan.verify;
     return result;
   }
   Spec spec;
@@ -91,6 +93,16 @@ StatusOr<Result> AggregationEngine::RunPlan(const Plan& plan) {
   spec.value_count = static_cast<uint32_t>(map_->size());
   spec.pres.reserve(plan.frontier.size());
   for (const NodeMeta& node : plan.frontier) spec.pres.push_back(node.pre);
+  if (plan.verify) {
+    SSDB_ASSIGN_OR_RETURN(filter::ClientFilter::VerifiedAggregate verified,
+                          filter_->AggregateVerified(spec));
+    for (size_t g = 0; g < verified.totals.size(); ++g) {
+      result.values[g] = verified.totals[g];
+    }
+    result.verified = true;
+    result.proof_words = verified.proof_words;
+    return result;
+  }
   SSDB_ASSIGN_OR_RETURN(std::vector<Word> words, filter_->Aggregate(spec));
   for (size_t g = 0; g < words.size(); ++g) {
     result.values[g] = words[g];
@@ -127,6 +139,7 @@ StatusOr<Result> AggregationEngine::Execute(query::QueryEngine* engine,
   // with no value index and RunPlan reports zero.
   Plan plan;
   plan.fn = query.aggregate;
+  plan.verify = verify_;
   if (final.kind == Step::Kind::kName) {
     plan.group_names = {final.name};
     StatusOr<gf::Elem> value = map_->Lookup(final.name);

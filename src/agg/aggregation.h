@@ -48,6 +48,7 @@ struct Plan {
   query::Aggregate fn = query::Aggregate::kCount;
   uint8_t columns = 0;                     // ColBit() mask
   bool group_by = false;                   // wildcard final step
+  bool verify = false;                     // check proofs (DESIGN.md §9)
   std::vector<filter::NodeMeta> frontier;  // deduped; covering for kDesc
   std::vector<uint32_t> value_indexes;     // one group per entry
   std::vector<std::string> group_names;    // parallel to value_indexes
@@ -56,6 +57,8 @@ struct Plan {
 struct Result {
   query::Aggregate fn = query::Aggregate::kCount;
   bool group_by = false;
+  bool verified = false;       // every value passed proof checks (§9)
+  uint64_t proof_words = 0;    // verification words checked
   std::vector<std::string> group_names;  // tag names, parallel to values
   std::vector<uint64_t> values;          // exact counts / sums per group
 
@@ -91,9 +94,17 @@ class AggregationEngine {
   // Runs a prepared plan: one masked exchange, unmasked exact answers.
   StatusOr<Result> RunPlan(const Plan& plan);
 
+  // Verified mode (DESIGN.md §9): every Execute() plan also fetches and
+  // checks the proof track, so a tampering server turns the query into a
+  // Corruption error naming the server instead of a wrong answer. Needs a
+  // database encoded with the track (ssdb_encode --verify-agg).
+  void set_verify(bool on) { verify_ = on; }
+  bool verify() const { return verify_; }
+
  private:
   filter::ClientFilter* filter_;
   const mapping::TagMap* map_;
+  bool verify_ = false;
 };
 
 }  // namespace ssdb::agg

@@ -31,6 +31,58 @@ Word BlobWord(std::string_view blob, size_t word_index) {
          (static_cast<Word>(p[2]) << 16) | (static_cast<Word>(p[3]) << 24);
 }
 
+namespace {
+
+void PushU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadU64(std::string_view blob, size_t byte_offset) {
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(blob.data()) + byte_offset;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Bytes per aggregate word position in the verify blob: wide u64 + proof
+// u64, interleaved (DESIGN.md §9).
+constexpr size_t kVerifyRecordBytes = 2 * sizeof(uint64_t);
+
+}  // namespace
+
+std::string SerializeVerify(const std::vector<uint64_t>& wide,
+                            const std::vector<uint64_t>& proof) {
+  std::string out;
+  out.reserve(wide.size() * kVerifyRecordBytes);
+  for (size_t w = 0; w < wide.size(); ++w) {
+    PushU64(&out, wide[w]);
+    PushU64(&out, proof[w]);
+  }
+  return out;
+}
+
+size_t VerifyBlobValueCount(std::string_view blob) {
+  size_t records = blob.size() / kVerifyRecordBytes;
+  if (records == 0 || blob.size() % kVerifyRecordBytes != 0 ||
+      records % kColCount != 0) {
+    return 0;
+  }
+  return records / kColCount;
+}
+
+uint64_t BlobWide(std::string_view blob, size_t word_index) {
+  return ReadU64(blob, word_index * kVerifyRecordBytes);
+}
+
+uint64_t BlobProof(std::string_view blob, size_t word_index) {
+  return ReadU64(blob, word_index * kVerifyRecordBytes + sizeof(uint64_t));
+}
+
 Status ValidateSpec(const Spec& spec) {
   if (spec.columns == 0 || (spec.columns & ~kAllColsMask) != 0) {
     return Status::InvalidArgument("aggregate column mask invalid: " +

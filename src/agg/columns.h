@@ -90,6 +90,35 @@ size_t BlobValueCount(std::string_view blob);
 // The word at `word_index`; caller guarantees the index is in range.
 Word BlobWord(std::string_view blob, size_t word_index);
 
+// --- verification-track blob codec (DESIGN.md §9) --------------------------
+// Slice 0 of a verified database additionally stores, per aggregate word
+// position w, a 16-byte record: the masked *wide* share (uint64; the plain
+// word zero-extended) then the masked *proof* share (uint64; α_τ · word mod
+// 2^64). Both are masked only by the client's bit-61 PRG stream, in exactly
+// this interleaved order, so masking is one sequential stream walk.
+
+std::string SerializeVerify(const std::vector<uint64_t>& wide,
+                            const std::vector<uint64_t>& proof);
+
+// Number of mapped values a verify blob covers; 0 when absent or misshapen.
+size_t VerifyBlobValueCount(std::string_view blob);
+
+// The wide / proof share at aggregate word position `word_index`; caller
+// guarantees the index is in range.
+uint64_t BlobWide(std::string_view blob, size_t word_index);
+uint64_t BlobProof(std::string_view blob, size_t word_index);
+
+// One server's reply to a verified partial-aggregate request (DESIGN.md §9):
+// the masked 32-bit partial per group, plus — from the slice that stores the
+// verification track (slice 0) — the wide and proof partials. Slices without
+// the track reply with empty wide/proof; the client then checks them against
+// their PRG expectation instead.
+struct VerifiedPartial {
+  std::vector<Word> words;
+  std::vector<uint64_t> wide;   // empty, or one entry per group
+  std::vector<uint64_t> proof;  // same size as wide
+};
+
 // --- request spec (client -> server) ---------------------------------------
 
 // A partial-aggregate request (DESIGN.md §8): fold the selected columns of

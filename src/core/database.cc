@@ -4,6 +4,7 @@
 #include "prg/prg.h"
 #include "rpc/client.h"
 #include "storage/memory_backend.h"
+#include "storage/page.h"
 #include "storage/table.h"
 #include "trie/trie_xml.h"
 #include "xml/dtd.h"
@@ -37,6 +38,23 @@ StatusOr<std::unique_ptr<EncryptedXmlDatabase>> EncryptedXmlDatabase::Encode(
   if (servers > kMaxServers) {
     return Status::InvalidArgument("servers exceeds kMaxServers (" +
                                    std::to_string(kMaxServers) + ")");
+  }
+  if (options.backend == Backend::kDisk && options.encode.verify_aggregate) {
+    // The disk row must fit one 4 KiB heap page (no overflow pages). The §8
+    // aggregate blob (28·|map|) plus the §9 verification track (112·|map|)
+    // alone can exceed that for large tag maps — fail up front with the
+    // budget instead of deep inside HeapFile::Append mid-encode.
+    const size_t fixed_blobs = size_t{140} * map.size();
+    const size_t budget = storage::kPageSize - 20;  // page header + slot
+    if (fixed_blobs > budget) {
+      return Status::InvalidArgument(
+          "verification track does not fit a disk page: the §8+§9 blobs need "
+          "140·|map| = " + std::to_string(fixed_blobs) + " bytes per node "
+          "but a " + std::to_string(storage::kPageSize) + "-byte page holds "
+          "at most " + std::to_string(budget) + " (tag map must stay under " +
+          std::to_string(budget / 140) + " tags); use a smaller DTD, the "
+          "memory backend, or drop --verify-agg (DESIGN.md §9)");
+    }
   }
   for (uint32_t i = 0; i < servers; ++i) {
     if (options.backend == Backend::kDisk) {

@@ -26,7 +26,16 @@ class EncodingHandler : public xml::SaxHandler {
         prg_(prg),
         stores_(stores),
         options_(options),
-        value_count_(options.aggregate_columns ? map.size() : 0) {}
+        value_count_(options.aggregate_columns ? map.size() : 0) {
+    // Verification track (DESIGN.md §9): one client-held α key per mapped
+    // value, drawn once up front from the bit 60+61 nonce subspace.
+    if (options.verify_aggregate && value_count_ > 0) {
+      alpha_.reserve(value_count_);
+      for (uint32_t t = 0; t < value_count_; ++t) {
+        alpha_.push_back(prg_.AggVerifyKey(t));
+      }
+    }
+  }
 
   Status StartElement(std::string_view name,
                       const xml::AttributeList&) override {
@@ -51,6 +60,7 @@ class EncodingHandler : public xml::SaxHandler {
     result_.max_depth = max_depth_;
     result_.share_bytes = share_bytes_;
     result_.agg_bytes = agg_bytes_;
+    result_.verify_bytes = verify_bytes_;
     return result_;
   }
 
@@ -147,6 +157,7 @@ class EncodingHandler : public xml::SaxHandler {
     // histogram, derive the seven stored columns, and fold the node into
     // its parent's child/descendant accumulators.
     std::vector<agg::Word> agg_plain;
+    std::string verify_blob;
     if (value_count_ > 0) {
       const size_t T = value_count_;
       frame.mult[frame.value_index] += 1;
@@ -174,6 +185,23 @@ class EncodingHandler : public xml::SaxHandler {
           parent.desc_mult[t] += frame.desc_mult[t] + frame.mult[t];
           parent.mult[t] += frame.mult[t];
         }
+      }
+      // Verification track (DESIGN.md §9), built from the still-plain
+      // words: per word w the wide share ŵ (zero-extended) and the keyed
+      // checksum α_τ·ŵ mod 2^64 (τ = w mod T in the column-major layout),
+      // each masked only by the client's bit-61 stream — the track is
+      // independent of the server count and lives on slice 0 alone.
+      if (!alpha_.empty()) {
+        std::vector<uint64_t> wide(agg_plain.size());
+        std::vector<uint64_t> proof(agg_plain.size());
+        prg::Prg::Stream vmask = prg_.StreamForVerifyColumns(frame.pre);
+        for (size_t w = 0; w < agg_plain.size(); ++w) {
+          uint64_t plain = agg_plain[w];
+          wide[w] = plain - vmask.NextUint64();
+          proof[w] = alpha_[w % T] * plain - vmask.NextUint64();
+        }
+        verify_blob = agg::SerializeVerify(wide, proof);
+        verify_bytes_ += verify_blob.size();
       }
       // Mask with the client's PRG stream: every stored word carries an
       // independent uniform pad, so any subset of server slices is jointly
@@ -218,6 +246,9 @@ class EncodingHandler : public xml::SaxHandler {
     if (value_count_ > 0) {
       row.agg = agg::SerializeWords(agg_plain);
       agg_bytes_ += row.agg.size();
+      // The verification track rides only on the primary slice's row; the
+      // slices above answered with row.verify still empty.
+      row.verify = std::move(verify_blob);
     }
     if (options_.seal_content) {
       row.sealed = prg_.SealPayload(
@@ -247,6 +278,9 @@ class EncodingHandler : public xml::SaxHandler {
   EncodeOptions options_;
   // Mapped-value count T when aggregate columns are on, 0 when off.
   size_t value_count_ = 0;
+  // Verification keys α_τ, one per mapped value; empty when the
+  // verification track is off (DESIGN.md §9).
+  std::vector<uint64_t> alpha_;
 
   std::vector<Frame> stack_;
   uint32_t pre_counter_ = 0;
@@ -254,6 +288,7 @@ class EncodingHandler : public xml::SaxHandler {
   uint64_t node_count_ = 0;
   uint64_t share_bytes_ = 0;
   uint64_t agg_bytes_ = 0;
+  uint64_t verify_bytes_ = 0;
   uint64_t max_depth_ = 0;
   EncodeResult result_;
 };

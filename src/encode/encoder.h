@@ -52,14 +52,23 @@ struct EncodeOptions {
   // fetching the candidate set. Costs 28·|map| bytes per node per slice;
   // disable for minimal storage or very large maps on the disk backend.
   bool aggregate_columns = true;
+  // DESIGN.md §9: additionally store the aggregate *verification track* on
+  // slice 0 — per aggregate word a masked wide share (uint64) and a masked
+  // keyed-checksum share (uint64), so verified aggregate replies carry proof
+  // words a tampering server cannot forge (failure probability ≤ 2⁻³²).
+  // Costs 112·|map| bytes per node on slice 0 only, which exceeds the 4 KiB
+  // disk page for large maps — hence opt-in (`ssdb_encode --verify-agg`).
+  // Requires aggregate_columns.
+  bool verify_aggregate = false;
 };
 
 struct EncodeResult {
   uint64_t node_count = 0;
   uint64_t max_depth = 0;
   uint64_t input_bytes = 0;
-  uint64_t share_bytes = 0;  // serialized polynomial payload, all slices
-  uint64_t agg_bytes = 0;    // aggregate-column payload, all slices (§8)
+  uint64_t share_bytes = 0;   // serialized polynomial payload, all slices
+  uint64_t agg_bytes = 0;     // aggregate-column payload, all slices (§8)
+  uint64_t verify_bytes = 0;  // verification-track payload, slice 0 (§9)
 };
 
 class Encoder {

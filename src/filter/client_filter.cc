@@ -156,6 +156,167 @@ StatusOr<std::vector<agg::Word>> ClientFilter::Aggregate(
   return totals;
 }
 
+StatusOr<ClientFilter::VerifiedAggregate> ClientFilter::AggregateVerified(
+    const agg::Spec& spec) {
+  SSDB_RETURN_IF_ERROR(agg::ValidateSpec(spec));
+  if (spec.value_count == 0) {
+    return Status::InvalidArgument("aggregate spec needs the map size");
+  }
+  for (uint32_t index : spec.value_indexes) {
+    if (index >= spec.value_count) {
+      return Status::InvalidArgument("aggregate value index out of range");
+    }
+  }
+  agg::Spec canonical = spec;
+  std::sort(canonical.pres.begin(), canonical.pres.end());
+  canonical.pres.erase(
+      std::unique(canonical.pres.begin(), canonical.pres.end()),
+      canonical.pres.end());
+  const size_t groups = canonical.value_indexes.size();
+
+  // An empty frontier aggregates nothing: the zero answer is trivially
+  // correct and no proof material exists to check.
+  VerifiedAggregate out;
+  out.totals.assign(groups, 0);
+  if (canonical.pres.empty()) return out;
+
+  TripScope trips(this);
+  ++stats_.server_calls;
+  stats_.aggregate_ops += groups;
+  // entries[i] is server i's own partial (slice i); unlike Aggregate, the
+  // servers' words are NOT pre-summed — attribution needs them apart.
+  SSDB_ASSIGN_OR_RETURN(std::vector<agg::VerifiedPartial> entries,
+                        server_->PartialAggregateVerified(canonical));
+  if (entries.empty()) {
+    return Status::Internal("PartialAggregateVerified returned no entries");
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].words.size() != groups ||
+        entries[i].wide.size() != entries[i].proof.size() ||
+        (!entries[i].wide.empty() && entries[i].wide.size() != groups)) {
+      return Status::Corruption("server " + std::to_string(i) +
+                                ": verified partial shape mismatch");
+    }
+    // Only slice 0 stores the verification track (DESIGN.md §9); a proof
+    // from anyone else is an impersonation attempt, not data.
+    if (i > 0 && !entries[i].wide.empty()) {
+      return Status::Corruption(
+          "server " + std::to_string(i) +
+          ": unexpected verification track (only slice 0 stores proofs)");
+    }
+  }
+  if (entries[0].wide.empty()) {
+    return Status::FailedPrecondition(
+        "database carries no aggregate verification track (re-encode with "
+        "ssdb_encode --verify-agg; DESIGN.md §9)");
+  }
+
+  // Same word-position walk as Aggregate: (word index, group) pairs in
+  // ascending order so every stream is consumed in one skip-walk.
+  std::vector<std::pair<size_t, size_t>> wanted;  // (word index, group)
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t c = 0; c < agg::kColCount; ++c) {
+      if ((canonical.columns & (1u << c)) == 0) continue;
+      wanted.emplace_back(
+          agg::WordIndex(static_cast<agg::Col>(c), spec.value_count,
+                         canonical.value_indexes[g]),
+          g);
+    }
+  }
+  std::sort(wanted.begin(), wanted.end());
+
+  // Check 1 — slices i >= 1 are deterministic: their stored words are
+  // exactly the client's own PRG stream words (DESIGN.md §9), so any
+  // deviation identifies that server with certainty.
+  for (size_t i = 1; i < entries.size(); ++i) {
+    std::vector<agg::Word> expected(groups, 0);
+    for (uint32_t pre : canonical.pres) {
+      prg::Prg::Stream stream = prg_.StreamForAggColumns(pre, i);
+      size_t position = 0;
+      size_t last_byte = SIZE_MAX;
+      agg::Word word = 0;
+      for (const auto& [index, group] : wanted) {
+        size_t byte = index * sizeof(agg::Word);
+        if (byte != last_byte) {
+          stream.Skip(byte - position);
+          word = stream.NextUint32();
+          position = byte + sizeof(agg::Word);
+          last_byte = byte;
+        }
+        expected[group] += word;
+      }
+    }
+    if (expected != entries[i].words) {
+      return Status::Corruption("aggregate verification failed: server " +
+                                std::to_string(i) +
+                                " returned a tampered partial");
+    }
+  }
+
+  // Client mask sums over the frontier: the 32-bit answer masks (the same
+  // stream Aggregate removes) and the verification-track masks — one
+  // 16-byte record (wide then proof) per aggregate word (DESIGN.md §9).
+  std::vector<agg::Word> c32(groups, 0);
+  std::vector<uint64_t> cw(groups, 0);
+  std::vector<uint64_t> cp(groups, 0);
+  for (uint32_t pre : canonical.pres) {
+    prg::Prg::Stream stream = prg_.StreamForAggColumns(pre, 0);
+    prg::Prg::Stream vstream = prg_.StreamForVerifyColumns(pre);
+    size_t position = 0;
+    size_t vposition = 0;
+    size_t last_byte = SIZE_MAX;
+    agg::Word word = 0;
+    uint64_t wide_mask = 0;
+    uint64_t proof_mask = 0;
+    for (const auto& [index, group] : wanted) {
+      size_t byte = index * sizeof(agg::Word);
+      if (byte != last_byte) {
+        stream.Skip(byte - position);
+        word = stream.NextUint32();
+        position = byte + sizeof(agg::Word);
+        size_t vbyte = index * 2 * sizeof(uint64_t);
+        vstream.Skip(vbyte - vposition);
+        wide_mask = vstream.NextUint64();
+        proof_mask = vstream.NextUint64();
+        vposition = vbyte + 2 * sizeof(uint64_t);
+        last_byte = byte;
+      }
+      c32[group] += word;
+      cw[group] += wide_mask;
+      cp[group] += proof_mask;
+    }
+  }
+
+  // Checks 2 and 3 — the keyed checksum over the wide answer, then the
+  // wide answer against the 32-bit answer. Both pin slice 0: slices i >= 1
+  // already passed the exact check above, so a failure here can only be
+  // server 0's doing. An answer-changing forgery must solve
+  // delta_proof = alpha * delta_wide for an unknown uniform 64-bit alpha
+  // with delta_wide != 0 mod 2^32 — probability <= 2^-32 (DESIGN.md §9).
+  for (size_t g = 0; g < groups; ++g) {
+    agg::Word d32 = c32[g];
+    for (const agg::VerifiedPartial& entry : entries) d32 += entry.words[g];
+    uint64_t wide = entries[0].wide[g] + cw[g];
+    uint64_t proof = entries[0].proof[g] + cp[g];
+    uint64_t alpha = prg_.AggVerifyKey(canonical.value_indexes[g]);
+    if (proof != alpha * wide) {
+      return Status::Corruption(
+          "aggregate verification failed: server 0 forged its partial "
+          "(proof checksum mismatch)");
+    }
+    if (static_cast<agg::Word>(wide) != d32) {
+      return Status::Corruption(
+          "aggregate verification failed: server 0 forged its partial "
+          "(wide partial disagrees with word partial)");
+    }
+    out.totals[g] = d32;
+  }
+  out.proof_words = 2 * groups;
+  stats_.proof_words += out.proof_words;
+  stats_.verified_aggregate_ops += groups;
+  return out;
+}
+
 StatusOr<std::vector<uint8_t>> ClientFilter::ContainsValueBatch(
     const std::vector<NodeMeta>& nodes, gf::Elem t) {
   if (nodes.empty()) return std::vector<uint8_t>{};

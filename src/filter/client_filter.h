@@ -49,6 +49,10 @@ struct EvalStats {
   uint64_t batched_evaluations = 0;  // evaluations that rode a batch call
   uint64_t aggregate_ops = 0;        // server-side partial-aggregate folds
                                      // (DESIGN.md §8), one per exchange
+  uint64_t verified_aggregate_ops = 0;  // groups that came home with proofs
+                                        // and passed verification (§9)
+  uint64_t proof_words = 0;             // verification words received and
+                                        // checked (wide + proof, §9)
   // Multi-server fan-out (DESIGN.md §5): raw wire exchanges per backend
   // (empty or size-1 for single-server deployments) and the wall time spent
   // waiting on the slowest server across concurrent fan-outs.
@@ -82,6 +86,22 @@ class ClientFilter {
   // per group — the aggregate analog of combining share evaluations. One
   // server exchange however large the frontier; O(groups) response bytes.
   StatusOr<std::vector<agg::Word>> Aggregate(const agg::Spec& spec);
+
+  // Verified aggregation (DESIGN.md §9): like Aggregate, but every server's
+  // words come home separately alongside wide and keyed-proof partials from
+  // the slice storing the verification track. The client checks
+  //   * slices i >= 1 against their PRG expectation (exact, deterministic),
+  //   * the keyed checksum Q = α_τ·D̂ over the track (forgery survives with
+  //     probability <= 2⁻³²),
+  //   * the 32-bit answer against the wide answer D̂ mod 2^32,
+  // so a tampering server is *identified*: the returned Corruption status
+  // names "server i". FailedPrecondition when the database was encoded
+  // without the track (ssdb_encode --verify-agg).
+  struct VerifiedAggregate {
+    std::vector<agg::Word> totals;  // the true aggregate per group
+    uint64_t proof_words = 0;       // verification words checked
+  };
+  StatusOr<VerifiedAggregate> AggregateVerified(const agg::Spec& spec);
 
   // --- Matching rules (batch-first) ---
   // out[i] != 0 iff the subtree rooted at nodes[i] contains the mapped

@@ -220,6 +220,41 @@ StatusOr<std::vector<agg::Word>> MultiServerFilter::PartialAggregate(
   return sum;
 }
 
+StatusOr<std::vector<agg::VerifiedPartial>>
+MultiServerFilter::PartialAggregateVerified(const agg::Spec& spec) {
+  std::vector<std::vector<agg::VerifiedPartial>> partial(backends_.size());
+  SSDB_RETURN_IF_ERROR(FanOut([&](size_t i) -> Status {
+    StatusOr<std::vector<agg::VerifiedPartial>> reply =
+        backends_[i]->PartialAggregateVerified(spec);
+    if (!reply.ok()) {
+      // Attribution for transport/shape faults: the client sees which
+      // server failed without a proof check (DESIGN.md §9).
+      return Status(reply.status().code(),
+                    "server " + std::to_string(i) + ": " +
+                        reply.status().message());
+    }
+    for (const agg::VerifiedPartial& entry : *reply) {
+      if (entry.words.size() != spec.value_indexes.size() ||
+          entry.wide.size() != entry.proof.size() ||
+          (!entry.wide.empty() &&
+           entry.wide.size() != spec.value_indexes.size())) {
+        return Status::Corruption("server " + std::to_string(i) +
+                                  ": verified partial group count mismatch");
+      }
+    }
+    partial[i] = std::move(*reply);
+    return Status::OK();
+  }));
+  std::vector<agg::VerifiedPartial> out;
+  out.reserve(backends_.size());
+  for (std::vector<agg::VerifiedPartial>& entries : partial) {
+    for (agg::VerifiedPartial& entry : entries) {
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
 StatusOr<gf::Elem> MultiServerFilter::EvalAt(uint32_t pre, gf::Elem t) {
   std::vector<gf::Elem> partial(backends_.size(), 0);
   SSDB_RETURN_IF_ERROR(FanOut([&](size_t i) -> Status {

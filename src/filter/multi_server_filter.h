@@ -64,6 +64,12 @@ class MultiServerFilter : public ServerFilter {
   // evaluations sum in F_q (DESIGN.md §8).
   StatusOr<std::vector<agg::Word>> PartialAggregate(
       const agg::Spec& spec) override;
+  // Verified partials are NOT summed here: the client needs each server's
+  // words separately to attribute a bad slice (DESIGN.md §9). Backend i's
+  // entries land at position i of the result, and a failing backend's error
+  // is tagged "server i:" so transport faults carry blame too.
+  StatusOr<std::vector<agg::VerifiedPartial>> PartialAggregateVerified(
+      const agg::Spec& spec) override;
   StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override;
   StatusOr<std::vector<gf::Elem>> EvalAtBatch(
       const std::vector<uint32_t>& pres, gf::Elem t) override;

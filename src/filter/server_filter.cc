@@ -232,6 +232,74 @@ StatusOr<std::vector<agg::Word>> LocalServerFilter::PartialAggregate(
   return partials;
 }
 
+StatusOr<std::vector<agg::VerifiedPartial>>
+LocalServerFilter::PartialAggregateVerified(const agg::Spec& spec) {
+  CountTrip();
+  SSDB_RETURN_IF_ERROR(agg::ValidateSpec(spec));
+  agg::VerifiedPartial partial;
+  partial.words.assign(spec.value_indexes.size(), 0);
+  // Whether this store carries the verification track is decided by the
+  // first frontier row: a slice either stores it for every node (slice 0 of
+  // a --verify-agg database) or for none. Mixed stores are corruption.
+  bool decided = false;
+  bool has_track = false;
+  std::vector<uint32_t> pres = spec.pres;
+  std::sort(pres.begin(), pres.end());
+  pres.erase(std::unique(pres.begin(), pres.end()), pres.end());
+  Status fold_status = Status::OK();
+  for (uint32_t pre : pres) {
+    SSDB_RETURN_IF_ERROR(store_->VisitByPre(
+        pre, [&](const storage::NodeRow& row) {
+          size_t value_count = agg::BlobValueCount(row.agg);
+          if (value_count == 0) {
+            fold_status = Status::FailedPrecondition(
+                "node has no aggregate columns (database encoded without "
+                "them, DESIGN.md §8)");
+            return;
+          }
+          size_t verify_count = agg::VerifyBlobValueCount(row.verify);
+          if (!decided) {
+            decided = true;
+            has_track = verify_count > 0;
+            if (has_track) {
+              partial.wide.assign(spec.value_indexes.size(), 0);
+              partial.proof.assign(spec.value_indexes.size(), 0);
+            }
+          }
+          if (has_track && verify_count != value_count) {
+            fold_status = Status::Corruption(
+                "node verification track disagrees with its aggregate "
+                "columns (DESIGN.md §9)");
+            return;
+          }
+          for (size_t g = 0; g < spec.value_indexes.size(); ++g) {
+            uint32_t index = spec.value_indexes[g];
+            if (index >= value_count) {
+              fold_status = Status::InvalidArgument(
+                  "aggregate value index " + std::to_string(index) +
+                  " out of range (store has " + std::to_string(value_count) +
+                  " mapped values)");
+              return;
+            }
+            for (size_t c = 0; c < agg::kColCount; ++c) {
+              if ((spec.columns & (1u << c)) == 0) continue;
+              size_t w = agg::WordIndex(static_cast<agg::Col>(c),
+                                        value_count, index);
+              partial.words[g] += agg::BlobWord(row.agg, w);
+              if (has_track) {
+                partial.wide[g] += agg::BlobWide(row.verify, w);
+                partial.proof[g] += agg::BlobProof(row.verify, w);
+              }
+            }
+          }
+        }));
+    SSDB_RETURN_IF_ERROR(fold_status);
+  }
+  std::vector<agg::VerifiedPartial> out;
+  out.push_back(std::move(partial));
+  return out;
+}
+
 StatusOr<std::string> LocalServerFilter::FetchSealed(uint32_t pre) {
   CountTrip();
   std::string sealed;

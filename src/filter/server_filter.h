@@ -140,6 +140,24 @@ class ServerFilter {
     return PartialAggregate(spec);
   }
 
+  // Verified partial aggregate (DESIGN.md §9): like PartialAggregate, but
+  // every represented slice answers *separately* (one VerifiedPartial per
+  // slice, slice order preserved) so the client can attribute a bad word to
+  // a server, and the slice holding the verification track additionally
+  // returns the wide and keyed-proof partials. The default rejects like the
+  // unverified op.
+  virtual StatusOr<std::vector<agg::VerifiedPartial>> PartialAggregateVerified(
+      const agg::Spec& spec) {
+    (void)spec;
+    return Status::Unimplemented(
+        "server does not support verified aggregation");
+  }
+  virtual StatusOr<std::vector<agg::VerifiedPartial>> PartialAggregateVerified(
+      SessionId session, const agg::Spec& spec) {
+    (void)session;
+    return PartialAggregateVerified(spec);
+  }
+
   // Sealed payload bytes (ciphertext; §4 extension). Empty when the
   // database was encoded without sealing.
   virtual StatusOr<std::string> FetchSealed(uint32_t pre) = 0;
@@ -202,6 +220,8 @@ class LocalServerFilter : public ServerFilter {
   StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
       const std::vector<uint32_t>& pres) override;
   StatusOr<std::vector<agg::Word>> PartialAggregate(
+      const agg::Spec& spec) override;
+  StatusOr<std::vector<agg::VerifiedPartial>> PartialAggregateVerified(
       const agg::Spec& spec) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;

@@ -53,6 +53,14 @@ uint32_t Prg::Stream::NextUint32() {
   return v;
 }
 
+uint64_t Prg::Stream::NextUint64() {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(NextByte()) << (8 * i);
+  }
+  return v;
+}
+
 gf::Elem Prg::Stream::NextElem(const gf::Field& field) {
   const uint32_t q = field.q();
   // Rejection sampling on bit_width-sized draws: acceptance >= 1/2.
@@ -103,6 +111,16 @@ Prg::Stream Prg::StreamForAggColumns(uint64_t pre, uint32_t slice) const {
   SSDB_DCHECK(slice < (1u << 16));
   return Stream(key_,
                 pre | (static_cast<uint64_t>(slice) << 40) | (1ULL << 62));
+}
+
+Prg::Stream Prg::StreamForVerifyColumns(uint64_t pre) const {
+  return Stream(key_, pre | (1ULL << 61));
+}
+
+uint64_t Prg::AggVerifyKey(uint32_t value_index) const {
+  Stream stream(key_, (1ULL << 61) | (1ULL << 60));
+  stream.Skip(static_cast<size_t>(value_index) * sizeof(uint64_t));
+  return stream.NextUint64();
 }
 
 std::string Prg::PayloadKeystream(uint64_t pre, size_t length) const {

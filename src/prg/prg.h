@@ -5,10 +5,12 @@
 /// Each node position `pre` selects an independent ChaCha20 keystream
 /// (nonce = pre), so any node's client share can be regenerated in
 /// isolation, in any order — exactly the property the thin-client pipeline
-/// needs. Four domain-separated nonce spaces share the key (DESIGN.md §5,
-/// §8):
+/// needs. Five domain-separated nonce spaces share the key (DESIGN.md §5,
+/// §8, §9):
 ///   bits 0..31   node position `pre`
 ///   bits 40..55  server slice index (multi-server encode; 0 = client share)
+///   bit  60      verification α-key stream flag (with bit 61, DESIGN.md §9)
+///   bit  61      aggregate verification-track mask stream flag (DESIGN.md §9)
 ///   bit  62      aggregate-column mask stream flag (DESIGN.md §8)
 ///   bit  63      sealed-payload keystream flag (§4 extension)
 
@@ -36,6 +38,7 @@ class Prg {
 
     uint8_t NextByte();
     uint32_t NextUint32();
+    uint64_t NextUint64();
 
     // Advances the stream by `bytes` positions without materializing them.
     // ChaCha20 is a counter-mode cipher, so skipping whole blocks is a
@@ -77,6 +80,19 @@ class Prg {
   // of server slice i. Domain-separated from share randomness by nonce
   // bit 62, so aggregate masks never overlap share or payload bytes.
   Stream StreamForAggColumns(uint64_t pre, uint32_t slice) const;
+
+  // Mask stream for the node's aggregate *verification track* (DESIGN.md
+  // §9): 16 bytes per aggregate word position w — the wide-share mask C_w
+  // (uint64 at byte 16·w) then the proof-share mask C_p (uint64 at byte
+  // 16·w + 8). Only the client ever regenerates it (the track is masked by
+  // client randomness alone, independent of the server count m), so nonce
+  // bit 61 domain-separates it from every other stream.
+  Stream StreamForVerifyColumns(uint64_t pre) const;
+
+  // The client-held verification key α_τ for mapped value index τ
+  // (DESIGN.md §9): a uniform uint64 drawn from the bits 60+61 nonce
+  // subspace, position-addressed so any single key is an O(1) counter jump.
+  uint64_t AggVerifyKey(uint32_t value_index) const;
 
   // Keystream for the node's sealed payload (§4 extension). Domain-separated
   // from the share stream by the nonce's high bit, so payload bytes never

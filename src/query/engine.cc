@@ -68,6 +68,9 @@ void FillStatsDelta(const filter::EvalStats& before,
   stats->eval.batched_evaluations =
       after.batched_evaluations - before.batched_evaluations;
   stats->eval.aggregate_ops = after.aggregate_ops - before.aggregate_ops;
+  stats->eval.verified_aggregate_ops =
+      after.verified_aggregate_ops - before.verified_aggregate_ops;
+  stats->eval.proof_words = after.proof_words - before.proof_words;
   stats->eval.straggler_seconds =
       after.straggler_seconds - before.straggler_seconds;
   stats->eval.per_server_round_trips.assign(

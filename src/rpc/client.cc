@@ -196,6 +196,62 @@ StatusOr<std::vector<agg::Word>> RemoteServerFilter::PartialAggregate(
   return totals;
 }
 
+StatusOr<std::vector<agg::VerifiedPartial>>
+RemoteServerFilter::PartialAggregateVerified(const agg::Spec& spec) {
+  SSDB_RETURN_IF_ERROR(agg::ValidateSpec(spec));
+  agg::VerifiedPartial totals;
+  totals.words.assign(spec.value_indexes.size(), 0);
+  bool decided = false;
+  for (size_t begin = 0; begin < spec.pres.size(); begin += kAggChunk) {
+    size_t end = std::min(begin + kAggChunk, spec.pres.size());
+    Request request;
+    request.op = spec.value_indexes.size() == 1 ? Op::kAggregateVerified
+                                                : Op::kAggregateBatchVerified;
+    request.agg_columns = spec.columns;
+    request.value_indexes = spec.value_indexes;
+    request.pres.assign(spec.pres.begin() + begin, spec.pres.begin() + end);
+    SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+    std::string_view view = payload;
+    SSDB_ASSIGN_OR_RETURN(std::vector<agg::VerifiedPartial> partials,
+                          ConsumeVerifiedPartials(&view));
+    // A slice server answers for exactly one slice; a different shape is a
+    // corrupt or hostile reply, not a size to adapt to.
+    if (partials.size() != 1) {
+      return Status::Corruption(
+          "verified aggregate reply entry count mismatch");
+    }
+    const agg::VerifiedPartial& chunk = partials[0];
+    if (chunk.words.size() != totals.words.size() ||
+        (!chunk.wide.empty() &&
+         chunk.wide.size() != totals.words.size())) {
+      return Status::Corruption(
+          "verified aggregate reply group count mismatch");
+    }
+    // Whether this server carries the verification track must not flip
+    // between chunks of one fold.
+    if (!decided) {
+      decided = true;
+      if (!chunk.wide.empty()) {
+        totals.wide.assign(totals.words.size(), 0);
+        totals.proof.assign(totals.words.size(), 0);
+      }
+    } else if (chunk.wide.empty() != totals.wide.empty()) {
+      return Status::Corruption(
+          "verified aggregate reply proof presence flipped mid-batch");
+    }
+    for (size_t g = 0; g < totals.words.size(); ++g) {
+      totals.words[g] += chunk.words[g];
+      if (!totals.wide.empty()) {
+        totals.wide[g] += chunk.wide[g];
+        totals.proof[g] += chunk.proof[g];
+      }
+    }
+  }
+  std::vector<agg::VerifiedPartial> out;
+  out.push_back(std::move(totals));
+  return out;
+}
+
 StatusOr<std::string> RemoteServerFilter::FetchSealed(uint32_t pre) {
   Request request;
   request.op = Op::kFetchSealed;

@@ -44,6 +44,10 @@ class RemoteServerFilter : public filter::ServerFilter {
   // in chunks whose per-chunk partials just sum client-side (DESIGN.md §8).
   StatusOr<std::vector<agg::Word>> PartialAggregate(
       const agg::Spec& spec) override;
+  // Verified variant (DESIGN.md §9): one VerifiedPartial for this slice
+  // server; words/wide/proof from successive chunks sum like the plain op.
+  StatusOr<std::vector<agg::VerifiedPartial>> PartialAggregateVerified(
+      const agg::Spec& spec) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
   uint64_t RoundTrips() const override { return round_trips_; }

@@ -74,6 +74,7 @@ std::string EncodeRequest(const Request& request) {
       AppendVarintList(&out, request.points);
       break;
     case Op::kAggregate:
+    case Op::kAggregateVerified:
       out.push_back(static_cast<char>(request.agg_columns));
       PutVarint64(&out, request.value_indexes.empty()
                             ? 0
@@ -81,6 +82,7 @@ std::string EncodeRequest(const Request& request) {
       AppendVarintList(&out, request.pres);
       break;
     case Op::kAggregateBatch:
+    case Op::kAggregateBatchVerified:
       out.push_back(static_cast<char>(request.agg_columns));
       AppendVarintList(&out, request.value_indexes);
       AppendVarintList(&out, request.pres);
@@ -142,10 +144,13 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
       break;
     case Op::kAggregate:
     case Op::kAggregateBatch:
+    case Op::kAggregateVerified:
+    case Op::kAggregateBatchVerified:
       if (data.empty()) return Status::Corruption("missing column mask");
       request.agg_columns = static_cast<uint8_t>(data[0]);
       data.remove_prefix(1);
-      if (request.op == Op::kAggregate) {
+      if (request.op == Op::kAggregate ||
+          request.op == Op::kAggregateVerified) {
         SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
         request.value_indexes.assign(1, static_cast<uint32_t>(v));
       } else {

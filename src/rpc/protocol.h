@@ -42,6 +42,12 @@ enum class Op : uint8_t {
   // kAggregateBatch a group list (group-by).
   kAggregate = 16,
   kAggregateBatch = 17,
+  // Verified aggregation (DESIGN.md §9): identical request encodings to
+  // kAggregate/kAggregateBatch, but the reply keeps each slice's words
+  // separate and carries wide/proof partials from the slice holding the
+  // verification track, so the client can check and attribute tampering.
+  kAggregateVerified = 18,
+  kAggregateBatchVerified = 19,
 };
 
 struct Request {

@@ -103,6 +103,17 @@ Status Dispatch(const gf::Ring& ring, filter::ServerFilter* filter,
       AppendU32s(payload, partials);
       return Status::OK();
     }
+    case Op::kAggregateVerified:
+    case Op::kAggregateBatchVerified: {
+      agg::Spec spec;
+      spec.columns = request.agg_columns;
+      spec.pres = request.pres;
+      spec.value_indexes = request.value_indexes;
+      SSDB_ASSIGN_OR_RETURN(std::vector<agg::VerifiedPartial> partials,
+                            filter->PartialAggregateVerified(session, spec));
+      AppendVerifiedPartials(payload, partials);
+      return Status::OK();
+    }
     case Op::kFetchSealed: {
       SSDB_ASSIGN_OR_RETURN(std::string sealed,
                             filter->FetchSealed(request.pre));

@@ -221,6 +221,11 @@ void AppendU32s(std::string* out, const std::vector<uint32_t>& values) {
 StatusOr<std::vector<uint32_t>> ConsumeU32s(std::string_view* in) {
   uint64_t count = 0;
   SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  // Every value costs at least one byte; a count beyond the remaining bytes
+  // is a forged/truncated frame and must fail before the allocation.
+  if (count > in->size()) {
+    return Status::Corruption("u32 list count exceeds payload");
+  }
   std::vector<uint32_t> values(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t v = 0;
@@ -228,6 +233,55 @@ StatusOr<std::vector<uint32_t>> ConsumeU32s(std::string_view* in) {
     values[i] = static_cast<uint32_t>(v);
   }
   return values;
+}
+
+void AppendU64s(std::string* out, const std::vector<uint64_t>& values) {
+  PutVarint64(out, values.size());
+  for (uint64_t v : values) PutVarint64(out, v);
+}
+
+StatusOr<std::vector<uint64_t>> ConsumeU64s(std::string_view* in) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  if (count > in->size()) {
+    return Status::Corruption("u64 list count exceeds payload");
+  }
+  std::vector<uint64_t> values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SSDB_RETURN_IF_ERROR(GetVarint64(in, &values[i]));
+  }
+  return values;
+}
+
+void AppendVerifiedPartials(
+    std::string* out, const std::vector<agg::VerifiedPartial>& partials) {
+  PutVarint64(out, partials.size());
+  for (const agg::VerifiedPartial& partial : partials) {
+    AppendU32s(out, partial.words);
+    AppendU64s(out, partial.wide);
+    AppendU64s(out, partial.proof);
+  }
+}
+
+StatusOr<std::vector<agg::VerifiedPartial>> ConsumeVerifiedPartials(
+    std::string_view* in) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  // Each entry costs at least three count bytes.
+  if (count > in->size()) {
+    return Status::Corruption("verified partial count exceeds payload");
+  }
+  std::vector<agg::VerifiedPartial> partials(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SSDB_ASSIGN_OR_RETURN(partials[i].words, ConsumeU32s(in));
+    SSDB_ASSIGN_OR_RETURN(partials[i].wide, ConsumeU64s(in));
+    SSDB_ASSIGN_OR_RETURN(partials[i].proof, ConsumeU64s(in));
+    if (partials[i].wide.size() != partials[i].proof.size()) {
+      return Status::Corruption(
+          "verified partial wide/proof length mismatch");
+    }
+  }
+  return partials;
 }
 
 }  // namespace ssdb::rpc

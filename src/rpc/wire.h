@@ -59,6 +59,18 @@ StatusOr<std::vector<gf::Elem>> ConsumeElems(std::string_view* in);
 void AppendU32s(std::string* out, const std::vector<uint32_t>& values);
 StatusOr<std::vector<uint32_t>> ConsumeU32s(std::string_view* in);
 
+void AppendU64s(std::string* out, const std::vector<uint64_t>& values);
+StatusOr<std::vector<uint64_t>> ConsumeU64s(std::string_view* in);
+
+// Verified aggregate reply codec (DESIGN.md §9): varint slice-entry count,
+// then per entry the words, wide, and proof lists (wide/proof empty on
+// slices without the verification track). Consume rejects entries whose
+// wide and proof lengths disagree; group-count checks are the caller's.
+void AppendVerifiedPartials(std::string* out,
+                            const std::vector<agg::VerifiedPartial>& partials);
+StatusOr<std::vector<agg::VerifiedPartial>> ConsumeVerifiedPartials(
+    std::string_view* in);
+
 }  // namespace ssdb::rpc
 
 #endif  // SSDB_RPC_WIRE_H_

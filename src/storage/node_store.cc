@@ -11,10 +11,16 @@ std::string EncodeNodeRow(const NodeRow& row) {
   PutVarint64(&out, row.parent);
   PutLengthPrefixed(&out, row.share);
   PutLengthPrefixed(&out, row.sealed);
-  // Trailing optional field: omitted entirely when empty so rows without
-  // aggregate columns keep their pre-§8 byte layout.
-  if (!row.agg.empty()) {
+  // Trailing optional fields: omitted entirely when empty so rows without
+  // aggregate columns keep their pre-§8 byte layout. The verification track
+  // is positional after agg, so writing it forces the agg field out too
+  // (a verify blob without aggregate columns cannot be encoded — the
+  // encoder never produces one).
+  if (!row.agg.empty() || !row.verify.empty()) {
     PutLengthPrefixed(&out, row.agg);
+  }
+  if (!row.verify.empty()) {
+    PutLengthPrefixed(&out, row.verify);
   }
   return out;
 }
@@ -38,6 +44,11 @@ StatusOr<NodeRow> DecodeNodeRow(std::string_view data) {
     std::string_view agg;
     SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &agg));
     row.agg = std::string(agg);
+  }
+  if (!data.empty()) {
+    std::string_view verify;
+    SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &verify));
+    row.verify = std::string(verify);
   }
   if (!data.empty()) {
     return Status::Corruption("trailing bytes after node row");

@@ -35,18 +35,25 @@ struct NodeRow {
   // partials without learning what they count. Empty when the database was
   // encoded without aggregate columns. Opaque to the server.
   std::string agg;
+  // Optional aggregate verification track (DESIGN.md §9): per aggregate
+  // word a masked wide share and a masked keyed-checksum share (16 bytes),
+  // stored on slice 0 of a `--verify-agg` database only. Opaque to the
+  // server.
+  std::string verify;
 
   bool operator==(const NodeRow& other) const {
     return pre == other.pre && post == other.post &&
            parent == other.parent && share == other.share &&
-           sealed == other.sealed && agg == other.agg;
+           sealed == other.sealed && agg == other.agg &&
+           verify == other.verify;
   }
 };
 
 // Row wire/disk format: varint pre, post, parent + length-prefixed share
-// + length-prefixed sealed payload + length-prefixed aggregate columns.
-// The aggregate field is optional on decode (absent in rows written before
-// DESIGN.md §8), so older databases stay readable.
+// + length-prefixed sealed payload + length-prefixed aggregate columns
+// + length-prefixed verification track. The aggregate and verification
+// fields are trailing-optional on decode (absent in rows written before
+// DESIGN.md §8/§9), so older databases stay readable.
 std::string EncodeNodeRow(const NodeRow& row);
 StatusOr<NodeRow> DecodeNodeRow(std::string_view data);
 

@@ -17,6 +17,7 @@
 #include "agg/aggregation.h"
 #include "agg/columns.h"
 #include "core/database.h"
+#include "fault_injection.h"
 #include "query/ground_truth.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
@@ -369,69 +370,6 @@ TEST_F(AggTest, RemoteAggregateIsOneExchangeAndOGroupsBytes) {
   }
 }
 
-// A forwarding wrapper that perturbs aggregate partials — the "compromised
-// slice server" of multi_server_test.cc, aimed at the aggregation path.
-class TamperingAggFilter : public filter::ServerFilter {
- public:
-  explicit TamperingAggFilter(filter::ServerFilter* inner) : inner_(inner) {}
-
-  StatusOr<filter::NodeMeta> Root() override { return inner_->Root(); }
-  StatusOr<filter::NodeMeta> GetNode(uint32_t pre) override {
-    return inner_->GetNode(pre);
-  }
-  StatusOr<std::vector<filter::NodeMeta>> Children(uint32_t pre) override {
-    return inner_->Children(pre);
-  }
-  StatusOr<std::vector<std::vector<filter::NodeMeta>>> ChildrenBatch(
-      const std::vector<uint32_t>& pres) override {
-    return inner_->ChildrenBatch(pres);
-  }
-  StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
-                                          uint32_t post) override {
-    return inner_->OpenDescendantCursor(pre, post);
-  }
-  StatusOr<std::vector<filter::NodeMeta>> NextNodes(
-      uint64_t cursor, size_t max_batch) override {
-    return inner_->NextNodes(cursor, max_batch);
-  }
-  Status CloseCursor(uint64_t cursor) override {
-    return inner_->CloseCursor(cursor);
-  }
-  StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override {
-    return inner_->EvalAt(pre, t);
-  }
-  StatusOr<std::vector<gf::Elem>> EvalAtBatch(
-      const std::vector<uint32_t>& pres, gf::Elem t) override {
-    return inner_->EvalAtBatch(pres, t);
-  }
-  StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
-      uint32_t pre, const std::vector<gf::Elem>& points) override {
-    return inner_->EvalPointsBatch(pre, points);
-  }
-  StatusOr<gf::RingElem> FetchShare(uint32_t pre) override {
-    return inner_->FetchShare(pre);
-  }
-  StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
-      const std::vector<uint32_t>& pres) override {
-    return inner_->FetchShareBatch(pres);
-  }
-  StatusOr<std::vector<agg::Word>> PartialAggregate(
-      const agg::Spec& spec) override {
-    SSDB_ASSIGN_OR_RETURN(std::vector<agg::Word> partials,
-                          inner_->PartialAggregate(spec));
-    for (agg::Word& word : partials) word += 1;  // the tamper
-    return partials;
-  }
-  StatusOr<std::string> FetchSealed(uint32_t pre) override {
-    return inner_->FetchSealed(pre);
-  }
-  StatusOr<uint64_t> NodeCount() override { return inner_->NodeCount(); }
-  uint64_t RoundTrips() const override { return inner_->RoundTrips(); }
-
- private:
-  filter::ServerFilter* inner_;
-};
-
 TEST_F(AggTest, SingleServerPartialsAreMaskedAndTamperEvident) {
   auto db = Encode(2);
   agg::Spec spec;
@@ -484,10 +422,16 @@ TEST_F(AggTest, SingleServerPartialsAreMaskedAndTamperEvident) {
         << "slice " << i << " partial did not change with the seed";
   }
 
-  // Tamper evidence: perturb one slice's partials and the combined
-  // aggregate no longer matches the materialized count — the client's
-  // cross-check (fetch path) catches a lying server.
-  TamperingAggFilter tampered(db->slice_filter(1));
+  // Tamper evidence: perturb one slice's partials (via the shared harness,
+  // tests/fault_injection.h) and the combined aggregate no longer matches
+  // the materialized count — the client's cross-check catches a lying
+  // server. Identification needs the §9 track (verified_agg_test.cc).
+  testing_helpers::FaultConfig config;
+  config.fault = testing_helpers::Fault::kAddOne;
+  config.on_aggregate = true;
+  testing_helpers::TamperingServerFilter tampered(db->ring(),
+                                                  db->slice_filter(1),
+                                                  config);
   filter::MultiServerFilter fanout(db->ring(),
                                    {db->slice_filter(0), &tampered});
   filter::ClientFilter client(db->ring(), prg::Prg(seed_), &fanout);

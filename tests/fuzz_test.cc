@@ -6,15 +6,22 @@
 //  * the RPC request decoder: random, truncated, and oversized frames fed
 //    to RpcServer::HandleRequest must yield error frames, never crashes or
 //    hangs (what an untrusted client can throw at a concurrent server,
-//    DESIGN.md §7).
+//    DESIGN.md §7);
+//  * the verified-aggregation reply path (DESIGN.md §9): truncated,
+//    bit-flipped, random and oversized proof-bearing frames must end in an
+//    error or a verification failure, never a crash or a silently wrong
+//    answer.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "query/advanced_engine.h"
 #include "query/ground_truth.h"
 #include "query/simple_engine.h"
+#include "rpc/channel.h"
+#include "rpc/client.h"
 #include "rpc/protocol.h"
 #include "rpc/server.h"
 #include "test_helpers.h"
@@ -236,15 +243,15 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   // Oversized batch counts: varints claiming 2^40..2^62 elements must be
   // rejected at decode, not allocated (would OOM or hang the worker).
   for (int shift = 40; shift <= 62; ++shift) {
-    for (uint8_t op : {8, 12, 14, 15, 16, 17}) {  // the batch opcodes
+    for (uint8_t op : {8, 12, 14, 15, 16, 17, 18, 19}) {  // batch opcodes
       std::string frame;
       frame.push_back(static_cast<char>(op));
       // kEvalAtBatch/kEvalPointsBatch carry a point/pre varint before the
-      // count; the aggregate ops (16/17) a column-mask byte (+ a value
-      // index for the scalar form); for the others the count comes first.
+      // count; the aggregate ops (16..19) a column-mask byte (+ a value
+      // index for the scalar forms); for the others the count comes first.
       if (op == 8 || op == 12) frame.push_back(1);
-      if (op == 16 || op == 17) frame.push_back(0x01);
-      if (op == 16) frame.push_back(0);
+      if (op >= 16 && op <= 19) frame.push_back(0x01);
+      if (op == 16 || op == 18) frame.push_back(0);
       uint64_t huge = uint64_t{1} << shift;
       while (huge >= 0x80) {
         frame.push_back(static_cast<char>(0x80 | (huge & 0x7f)));
@@ -261,10 +268,12 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   // masks (including invalid bits), out-of-range value indexes, and absent
   // pres must produce an ok or error envelope — never a crash — and valid
   // folds must stay exact after the barrage.
+  constexpr rpc::Op kAggOps[] = {
+      rpc::Op::kAggregate, rpc::Op::kAggregateBatch,
+      rpc::Op::kAggregateVerified, rpc::Op::kAggregateBatchVerified};
   for (int trial = 0; trial < 500; ++trial) {
     rpc::Request agg_request;
-    agg_request.op = rng.Bernoulli(0.5) ? rpc::Op::kAggregate
-                                        : rpc::Op::kAggregateBatch;
+    agg_request.op = kAggOps[rng.Uniform(4)];
     agg_request.agg_columns = static_cast<uint8_t>(rng.Uniform(256));
     size_t groups = 1 + rng.Uniform(4);
     for (size_t g = 0; g < groups; ++g) {
@@ -288,6 +297,109 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   ASSERT_TRUE(after.ok());
   db->server->EndSession(filter::SessionId{0});
   EXPECT_EQ(db->server->OpenCursorCount(), 0u);
+}
+
+// Proof-bearing aggregate replies (DESIGN.md §9) under an adversarial
+// transport: the verified-aggregation client is fed truncated, bit-flipped,
+// random and oversized reply frames through a scripted channel. Every
+// attempt must end in an error or a verification failure — an ok result
+// must carry the true totals. Never a crash, never a silent accept.
+TEST(FuzzTest, VerifiedAggregateReplyDecoderNeverAcceptsGarbage) {
+  // One-shot channel: ignores requests, answers the first Receive with the
+  // scripted frame and fails afterwards.
+  class ScriptedChannel : public rpc::Channel {
+   public:
+    explicit ScriptedChannel(std::string reply) : reply_(std::move(reply)) {}
+    Status Send(std::string_view) override { return Status::OK(); }
+    StatusOr<std::string> Receive() override {
+      if (delivered_) return Status::Internal("scripted reply exhausted");
+      delivered_ = true;
+      return reply_;
+    }
+    void Close() override {}
+    uint64_t bytes_sent() const override { return 0; }
+    uint64_t bytes_received() const override { return 0; }
+    uint64_t messages_sent() const override { return 0; }
+
+   private:
+    std::string reply_;
+    bool delivered_ = false;
+  };
+
+  auto db = testing_helpers::BuildTestDb(testing_helpers::SmallAuctionXml());
+  agg::Spec spec;
+  spec.columns = agg::ColBit(agg::Col::kEqualSelf) |
+                 agg::ColBit(agg::Col::kEqualDesc);
+  spec.value_count = static_cast<uint32_t>(db->map.size());
+  spec.value_indexes = {0, 1};
+  spec.pres = {1};
+  auto truth = db->client->AggregateVerified(spec);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+
+  auto attempt = [&](const std::string& frame) {
+    auto channel = std::make_unique<ScriptedChannel>(frame);
+    rpc::RemoteServerFilter remote(db->ring, std::move(channel));
+    filter::ClientFilter client(db->ring, prg::Prg(db->seed), &remote);
+    auto result = client.AggregateVerified(spec);
+    if (result.ok()) {
+      EXPECT_EQ(result->totals, truth->totals) << "silently wrong answer";
+    }
+    return result.ok();
+  };
+
+  // The genuine reply, produced by a real server for this exact spec.
+  rpc::RpcServer server(db->ring, db->server.get());
+  rpc::Request request;
+  request.op = rpc::Op::kAggregateBatchVerified;
+  request.agg_columns = spec.columns;
+  request.value_indexes = spec.value_indexes;
+  request.pres = spec.pres;
+  std::string genuine = server.HandleRequest(rpc::EncodeRequest(request));
+  ASSERT_TRUE(attempt(genuine)) << "honest reply must verify";
+
+  // Every proper truncation of the genuine frame.
+  for (size_t cut = 0; cut < genuine.size(); ++cut) {
+    attempt(genuine.substr(0, cut));
+  }
+
+  // Every single-bit corruption of the genuine frame.
+  for (size_t byte = 0; byte < genuine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string frame = genuine;
+      frame[byte] ^= static_cast<char>(1u << bit);
+      attempt(frame);
+    }
+  }
+
+  // Random frames, half of them wearing a valid ok-envelope byte.
+  Random rng(1889);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string frame;
+    size_t len = rng.Uniform(96);
+    frame.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      frame.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    if (!frame.empty() && rng.Bernoulli(0.5)) frame[0] = 0x01;
+    attempt(frame);
+  }
+
+  // Oversized counts: an ok envelope whose entry (or per-entry word) count
+  // varint claims 2^40..2^62 elements must be rejected, not allocated.
+  for (int shift = 40; shift <= 62; ++shift) {
+    for (bool nested : {false, true}) {
+      std::string frame;
+      frame.push_back(0x01);       // ok envelope
+      if (nested) frame.push_back(0x01);  // one entry, huge word count
+      uint64_t huge = uint64_t{1} << shift;
+      while (huge >= 0x80) {
+        frame.push_back(static_cast<char>(0x80 | (huge & 0x7f)));
+        huge >>= 7;
+      }
+      frame.push_back(static_cast<char>(huge));
+      EXPECT_FALSE(attempt(frame));
+    }
+  }
 }
 
 TEST(FuzzTest, SaxParserNeverCrashesOnGarbage) {

@@ -13,6 +13,7 @@
 #include "core/database.h"
 #include "filter/multi_server_filter.h"
 #include "query/ground_truth.h"
+#include "fault_injection.h"
 #include "rpc/multi_session.h"
 #include "rpc/server.h"
 #include "test_helpers.h"
@@ -211,86 +212,18 @@ TEST_F(MultiServerTest, SingleServerSessionIsByteIdenticalOnTheWire) {
   EXPECT_EQ(via_session, direct);
 }
 
-// Delegating wrapper that corrupts the share material one server returns —
-// the "one compromised host modifies its slice" scenario.
-class TamperingFilter : public filter::ServerFilter {
- public:
-  TamperingFilter(const gf::Ring& ring, filter::ServerFilter* inner)
-      : ring_(ring), inner_(inner) {}
-
-  StatusOr<filter::NodeMeta> Root() override { return inner_->Root(); }
-  StatusOr<filter::NodeMeta> GetNode(uint32_t pre) override {
-    return inner_->GetNode(pre);
-  }
-  StatusOr<std::vector<filter::NodeMeta>> Children(uint32_t pre) override {
-    return inner_->Children(pre);
-  }
-  StatusOr<std::vector<std::vector<filter::NodeMeta>>> ChildrenBatch(
-      const std::vector<uint32_t>& pres) override {
-    return inner_->ChildrenBatch(pres);
-  }
-  StatusOr<uint64_t> OpenDescendantCursor(uint32_t pre,
-                                          uint32_t post) override {
-    return inner_->OpenDescendantCursor(pre, post);
-  }
-  StatusOr<std::vector<filter::NodeMeta>> NextNodes(
-      uint64_t cursor, size_t max_batch) override {
-    return inner_->NextNodes(cursor, max_batch);
-  }
-  Status CloseCursor(uint64_t cursor) override {
-    return inner_->CloseCursor(cursor);
-  }
-  StatusOr<gf::Elem> EvalAt(uint32_t pre, gf::Elem t) override {
-    SSDB_ASSIGN_OR_RETURN(gf::Elem value, inner_->EvalAt(pre, t));
-    return Perturb(value);
-  }
-  StatusOr<std::vector<gf::Elem>> EvalAtBatch(
-      const std::vector<uint32_t>& pres, gf::Elem t) override {
-    SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> values,
-                          inner_->EvalAtBatch(pres, t));
-    for (gf::Elem& value : values) value = Perturb(value);
-    return values;
-  }
-  StatusOr<std::vector<gf::Elem>> EvalPointsBatch(
-      uint32_t pre, const std::vector<gf::Elem>& points) override {
-    SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> values,
-                          inner_->EvalPointsBatch(pre, points));
-    for (gf::Elem& value : values) value = Perturb(value);
-    return values;
-  }
-  StatusOr<gf::RingElem> FetchShare(uint32_t pre) override {
-    SSDB_ASSIGN_OR_RETURN(gf::RingElem share, inner_->FetchShare(pre));
-    share[0] = Perturb(share[0]);
-    return share;
-  }
-  StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
-      const std::vector<uint32_t>& pres) override {
-    SSDB_ASSIGN_OR_RETURN(std::vector<gf::RingElem> shares,
-                          inner_->FetchShareBatch(pres));
-    for (gf::RingElem& share : shares) share[0] = Perturb(share[0]);
-    return shares;
-  }
-  StatusOr<std::string> FetchSealed(uint32_t pre) override {
-    return inner_->FetchSealed(pre);
-  }
-  StatusOr<uint64_t> NodeCount() override { return inner_->NodeCount(); }
-  uint64_t RoundTrips() const override { return inner_->RoundTrips(); }
-
- private:
-  gf::Elem Perturb(gf::Elem value) const {
-    return ring_.field().Add(value, 1);
-  }
-
-  const gf::Ring& ring_;
-  filter::ServerFilter* inner_;
-};
-
 TEST_F(MultiServerTest, TamperedSliceIsDetectedByFullVerification) {
+  // The "one compromised host modifies its slice" scenario, built from the
+  // shared fault-injection harness (tests/fault_injection.h).
   auto db = EncodeWithServers(xml_, map_, seed_, 2);
   ASSERT_TRUE(db.ok());
   filter::LocalServerFilter slice0(ring_, (*db)->slice_store(0));
   filter::LocalServerFilter slice1(ring_, (*db)->slice_store(1));
-  TamperingFilter tampered(ring_, &slice1);
+  testing_helpers::FaultConfig config;
+  config.fault = testing_helpers::Fault::kAddOne;
+  config.on_eval = true;
+  config.on_share = true;
+  testing_helpers::TamperingServerFilter tampered(ring_, &slice1, config);
 
   filter::MultiServerFilter fanout(ring_, {&slice0, &tampered});
   filter::ClientFilter client(ring_, prg::Prg(seed_), &fanout);
@@ -302,6 +235,7 @@ TEST_F(MultiServerTest, TamperedSliceIsDetectedByFullVerification) {
   ASSERT_FALSE(recovered.ok());
   EXPECT_EQ(recovered.status().code(), StatusCode::kCorruption)
       << recovered.status().ToString();
+  EXPECT_GT(tampered.faults_injected(), 0u);
 
   // Control: the untampered fan-out recovers the root's tag under the same
   // full-verification mode.

@@ -76,6 +76,9 @@ inline std::unique_ptr<TestDb> BuildTestDb(const std::string& xml,
 
   encode::EncodeOptions options;
   options.trie = trie;
+  // Memory-backed fixtures carry the §9 verification track so any test can
+  // exercise verified aggregation; disk encodes keep the default (off).
+  options.verify_aggregate = true;
   encode::Encoder encoder(db->ring, db->map, prg::Prg(db->seed),
                           db->store.get(), options);
   auto result = encoder.EncodeString(xml);

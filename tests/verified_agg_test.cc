@@ -1,0 +1,405 @@
+// Verifiable aggregation (DESIGN.md §9): the byzantine-server battery.
+//
+// Honest deployments must verify with zero false positives across
+// m = 1, 2, 4, both engines and all four aggregate forms; every injected
+// single-server fault (bit flips, word swaps, stale replays, group drops,
+// proof-only corruption) must turn the query into a Corruption error that
+// *names the tampering server*, never a silently wrong answer. A seed-sweep
+// property test replays the same claim over randomized documents, PRG
+// seeds and fault positions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "fault_injection.h"
+#include "filter/multi_server_filter.h"
+#include "rpc/client.h"
+#include "rpc/multi_session.h"
+#include "rpc/server.h"
+#include "xmark/generator.h"
+
+namespace ssdb {
+namespace {
+
+using testing_helpers::ByzantineChannel;
+using testing_helpers::Fault;
+using testing_helpers::FaultConfig;
+using testing_helpers::TamperingServerFilter;
+
+// One of each aggregate form (DESIGN.md §8): scalar count, sum, exists,
+// and a group-by over the wildcard final step.
+constexpr const char* kAggQueries[] = {
+    "count(/site/people/person)",
+    "sum(//item)",
+    "exists(/site/regions)",
+    "count(/site/*)",
+};
+
+std::string CorpusXml() {
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = 20 << 10;
+  gen.seed = 77;
+  return xmark::GenerateAuctionDocument(gen).xml;
+}
+
+class VerifiedAggTest : public ::testing::Test {
+ protected:
+  VerifiedAggTest()
+      : field_(*gf::Field::Make(83)),
+        ring_(field_),
+        map_(*core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
+                                                       field_, false)),
+        seed_(prg::Seed::FromUint64(2718)),
+        xml_(CorpusXml()) {}
+
+  std::unique_ptr<core::EncryptedXmlDatabase> Encode(uint32_t servers,
+                                                     bool with_track = true) {
+    return EncodeXml(xml_, seed_, servers, with_track);
+  }
+
+  std::unique_ptr<core::EncryptedXmlDatabase> EncodeXml(
+      const std::string& xml, const prg::Seed& seed, uint32_t servers,
+      bool with_track) {
+    core::DatabaseOptions options;
+    options.backend = core::Backend::kMemory;
+    options.servers = servers;
+    options.encode.verify_aggregate = with_track;
+    auto db = core::EncryptedXmlDatabase::Encode(xml, map_, seed, options);
+    SSDB_CHECK(db.ok()) << db.status().ToString();
+    return std::move(*db);
+  }
+
+  // A client-side stack over the database's share slices with (optionally)
+  // one slice wrapped in the fault-injection harness.
+  struct Deployment {
+    std::unique_ptr<TamperingServerFilter> tampered;
+    std::unique_ptr<filter::MultiServerFilter> fanout;
+    std::unique_ptr<filter::ClientFilter> client;
+    std::unique_ptr<query::SimpleEngine> simple;
+    std::unique_ptr<query::AdvancedEngine> advanced;
+    std::unique_ptr<agg::AggregationEngine> agg;
+
+    query::QueryEngine* engine(bool use_advanced) {
+      return use_advanced ? static_cast<query::QueryEngine*>(advanced.get())
+                          : static_cast<query::QueryEngine*>(simple.get());
+    }
+  };
+
+  Deployment Deploy(core::EncryptedXmlDatabase* db, uint32_t servers,
+                    std::optional<uint32_t> victim, FaultConfig config,
+                    const prg::Seed& seed) {
+    Deployment d;
+    std::vector<filter::ServerFilter*> backends;
+    for (uint32_t i = 0; i < servers; ++i) {
+      backends.push_back(db->slice_filter(i));
+    }
+    if (victim.has_value()) {
+      d.tampered = std::make_unique<TamperingServerFilter>(
+          ring_, backends[*victim], config);
+      backends[*victim] = d.tampered.get();
+    }
+    d.fanout =
+        std::make_unique<filter::MultiServerFilter>(ring_, std::move(backends));
+    d.client = std::make_unique<filter::ClientFilter>(ring_, prg::Prg(seed),
+                                                      d.fanout.get());
+    d.simple = std::make_unique<query::SimpleEngine>(d.client.get(), &map_);
+    d.advanced = std::make_unique<query::AdvancedEngine>(d.client.get(), &map_);
+    d.agg = std::make_unique<agg::AggregationEngine>(d.client.get(), &map_);
+    d.agg->set_verify(true);
+    return d;
+  }
+
+  // A small two-group direct-API spec whose pres/groups/fault position vary
+  // with `salt` — the unit of the seed-sweep property test.
+  agg::Spec SweepSpec(uint64_t salt, uint64_t node_count) const {
+    agg::Spec spec;
+    spec.columns = agg::ColBit(agg::Col::kEqualSelf) |
+                   agg::ColBit(agg::Col::kEqualDesc);
+    spec.value_count = static_cast<uint32_t>(map_.size());
+    uint32_t g0 = static_cast<uint32_t>(salt % map_.size());
+    spec.value_indexes = {g0,
+                          static_cast<uint32_t>((g0 + 1) % map_.size())};
+    std::set<uint32_t> pres = {
+        1, static_cast<uint32_t>(1 + (salt * 7) % node_count),
+        static_cast<uint32_t>(1 + (salt * 13) % node_count)};
+    spec.pres.assign(pres.begin(), pres.end());
+    return spec;
+  }
+
+  gf::Field field_;
+  gf::Ring ring_;
+  mapping::TagMap map_;
+  prg::Seed seed_;
+  std::string xml_;
+};
+
+TEST_F(VerifiedAggTest, HonestDeploymentVerifiesWithZeroFalsePositives) {
+  for (uint32_t servers : {1u, 2u, 4u}) {
+    auto db = Encode(servers);
+    for (core::EngineKind engine :
+         {core::EngineKind::kSimple, core::EngineKind::kAdvanced}) {
+      for (const char* text : kAggQueries) {
+        SCOPED_TRACE(std::string(text) + " m=" + std::to_string(servers));
+        // Unverified baseline first, then the same query under set_verify.
+        db->aggregation_engine()->set_verify(false);
+        auto plain = db->Query(text, engine, query::MatchMode::kEquality);
+        ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+        ASSERT_TRUE(plain->is_aggregate);
+        EXPECT_FALSE(plain->aggregate.verified);
+
+        db->aggregation_engine()->set_verify(true);
+        auto verified = db->Query(text, engine, query::MatchMode::kEquality);
+        ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+        ASSERT_TRUE(verified->is_aggregate);
+        EXPECT_TRUE(verified->aggregate.verified);
+        EXPECT_GT(verified->aggregate.proof_words, 0u);
+        EXPECT_EQ(verified->aggregate.values, plain->aggregate.values);
+        EXPECT_EQ(verified->aggregate.group_names,
+                  plain->aggregate.group_names);
+        // The proof volume reaches QueryStats (ssdb_query --stats).
+        EXPECT_GT(verified->stats.eval.proof_words, 0u);
+        EXPECT_GT(verified->stats.eval.verified_aggregate_ops, 0u);
+      }
+    }
+  }
+}
+
+TEST_F(VerifiedAggTest, TamperBatteryDetectsAndAttributesEveryFault) {
+  struct FaultCase {
+    Fault fault;
+    const char* label;
+  };
+  constexpr FaultCase kFaults[] = {
+      {Fault::kBitFlip, "bit-flip"},
+      {Fault::kWordSwap, "word-swap"},
+      {Fault::kStaleReplay, "stale-replay"},
+      {Fault::kGroupDrop, "group-drop"},
+      {Fault::kProofOnly, "proof-only"},
+  };
+  for (uint32_t servers : {2u, 4u}) {
+    auto db = Encode(servers);
+    for (uint32_t victim : {0u, servers - 1}) {
+      for (const FaultCase& fc : kFaults) {
+        // Only slice 0 carries the §9 track; proof-only corruption anywhere
+        // else has nothing to corrupt.
+        if (fc.fault == Fault::kProofOnly && victim != 0) continue;
+        for (bool use_advanced : {false, true}) {
+          for (const char* text : kAggQueries) {
+            SCOPED_TRACE(std::string(fc.label) + " victim=" +
+                         std::to_string(victim) + " m=" +
+                         std::to_string(servers) + " " + text +
+                         (use_advanced ? " [advanced]" : " [simple]"));
+            FaultConfig config;
+            config.fault = fc.fault;
+            config.on_aggregate = true;
+            config.offset = 0;
+            config.bit = 7;
+            Deployment d = Deploy(db.get(), servers, victim, config, seed_);
+
+            if (fc.fault == Fault::kStaleReplay) {
+              // The replay adversary answers the second request with the
+              // first reply; the priming query itself is honest.
+              auto prime = *query::ParseQuery("count(//bidder)");
+              auto primed = d.agg->Execute(d.engine(use_advanced), prime,
+                                           query::MatchMode::kEquality,
+                                           nullptr);
+              ASSERT_TRUE(primed.ok()) << primed.status().ToString();
+              EXPECT_TRUE(primed->verified);
+            }
+
+            auto parsed = *query::ParseQuery(text);
+            auto result = d.agg->Execute(d.engine(use_advanced), parsed,
+                                         query::MatchMode::kEquality, nullptr);
+            ASSERT_FALSE(result.ok()) << "fault escaped verification";
+            EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+                << result.status().ToString();
+            std::string blame = "server " + std::to_string(victim);
+            EXPECT_NE(result.status().message().find(blame),
+                      std::string::npos)
+                << result.status().ToString();
+            EXPECT_GE(d.tampered->faults_injected(), 1u);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(VerifiedAggTest, RemoteTamperIsAttributedOverTheWire) {
+  // End-to-end over ops 18/19: two server threads on in-process channels,
+  // the second one compromised server-side.
+  auto db = Encode(2);
+  auto run = [&](bool tamper) -> StatusOr<core::QueryResult> {
+    FaultConfig config;
+    config.fault = Fault::kBitFlip;
+    config.on_aggregate = true;
+    config.bit = 3;
+    TamperingServerFilter tampered(ring_, db->slice_filter(1), config);
+    std::vector<std::unique_ptr<rpc::ServerThread>> threads;
+    std::vector<std::unique_ptr<rpc::Channel>> channels;
+    for (uint32_t i = 0; i < 2; ++i) {
+      rpc::ChannelPair pair = rpc::CreateInProcessChannelPair();
+      filter::ServerFilter* filter =
+          (tamper && i == 1) ? static_cast<filter::ServerFilter*>(&tampered)
+                             : db->slice_filter(i);
+      threads.push_back(std::make_unique<rpc::ServerThread>(
+          ring_, filter, std::move(pair.server)));
+      channels.push_back(std::move(pair.client));
+    }
+    auto session =
+        *rpc::MultiServerSession::FromChannels(ring_, std::move(channels));
+    filter::ClientFilter client(ring_, prg::Prg(seed_), session->filter());
+    query::AdvancedEngine engine(&client, &map_);
+    agg::AggregationEngine aggregation(&client, &map_);
+    aggregation.set_verify(true);
+    auto parsed = *query::ParseQuery("count(//item)");
+    auto result = aggregation.Execute(&engine, parsed,
+                                      query::MatchMode::kEquality, nullptr);
+    SSDB_CHECK_OK(session->Shutdown());
+    if (!result.ok()) return result.status();
+    core::QueryResult out;
+    out.is_aggregate = true;
+    out.aggregate = std::move(*result);
+    return out;
+  };
+
+  auto honest = run(/*tamper=*/false);
+  ASSERT_TRUE(honest.ok()) << honest.status().ToString();
+  EXPECT_TRUE(honest->aggregate.verified);
+  auto local = db->Query("count(//item)", core::EngineKind::kAdvanced,
+                         query::MatchMode::kEquality);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(honest->aggregate.values, local->aggregate.values);
+
+  auto tampered = run(/*tamper=*/true);
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(tampered.status().message().find("server 1"), std::string::npos)
+      << tampered.status().ToString();
+}
+
+TEST_F(VerifiedAggTest, WireBitFlipsNeverYieldAWrongVerifiedAnswer) {
+  // Transport-level byzantine behaviour: every reply frame gets one random
+  // bit flipped. Whatever survives decoding must either fail verification
+  // or still carry the true answer (a flip confined to the frame's
+  // ok-marker byte can leave the payload intact) — never a silently wrong
+  // one.
+  auto db = Encode(1);
+  agg::Spec spec = SweepSpec(/*salt=*/3, db->encode_result().node_count);
+  auto truth = db->client_filter()->Aggregate(spec);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+
+  uint64_t rejected = 0;
+  for (uint64_t trial = 0; trial < 12; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    rpc::ChannelPair pair = rpc::CreateInProcessChannelPair();
+    rpc::ServerThread server(ring_, db->slice_filter(0),
+                             std::move(pair.server));
+    auto byzantine = std::make_unique<ByzantineChannel>(
+        std::move(pair.client), /*probability=*/1.0, /*rng_seed=*/trial + 1);
+    ByzantineChannel* byzantine_view = byzantine.get();
+    rpc::RemoteServerFilter remote(ring_, std::move(byzantine));
+    filter::ClientFilter client(ring_, prg::Prg(seed_), &remote);
+    auto result = client.AggregateVerified(spec);
+    if (result.ok()) {
+      EXPECT_EQ(result->totals, *truth);
+    } else {
+      ++rejected;
+    }
+    EXPECT_GT(byzantine_view->corruptions(), 0u);
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(VerifiedAggTest, MissingTrackFailsClosedWithGuidance) {
+  for (uint32_t servers : {1u, 2u}) {
+    SCOPED_TRACE("m=" + std::to_string(servers));
+    auto db = Encode(servers, /*with_track=*/false);
+    db->aggregation_engine()->set_verify(true);
+    auto result = db->Query("count(//item)", core::EngineKind::kAdvanced,
+                            query::MatchMode::kEquality);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+        << result.status().ToString();
+    EXPECT_NE(result.status().message().find("--verify-agg"),
+              std::string::npos)
+        << result.status().ToString();
+
+    // Unverified aggregation over the same database still works: the track
+    // is strictly optional.
+    db->aggregation_engine()->set_verify(false);
+    auto plain = db->Query("count(//item)", core::EngineKind::kAdvanced,
+                           query::MatchMode::kEquality);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    EXPECT_FALSE(plain->aggregate.verified);
+  }
+}
+
+class VerifiedAggSweepTest : public VerifiedAggTest {
+ protected:
+  // The property under test: over random documents, PRG seeds, server
+  // counts and fault positions, an honest deployment always verifies and a
+  // single corrupted partial never does — and the blame lands on the
+  // corrupted server.
+  void RunSeedSweep(uint64_t sweeps) {
+    for (uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+      xmark::GeneratorOptions gen;
+      gen.target_bytes = 6 << 10;
+      gen.seed = static_cast<uint32_t>(1000 + sweep);
+      std::string xml = xmark::GenerateAuctionDocument(gen).xml;
+      prg::Seed seed = prg::Seed::FromUint64(0x5eed0000 + sweep);
+      for (uint32_t servers : {1u, 2u, 4u}) {
+        SCOPED_TRACE("sweep=" + std::to_string(sweep) + " m=" +
+                     std::to_string(servers));
+        auto db = EncodeXml(xml, seed, servers, /*with_track=*/true);
+        agg::Spec spec = SweepSpec(sweep, db->encode_result().node_count);
+
+        // Honest arm: verifies, and agrees with the unverified path.
+        auto honest = db->client_filter()->AggregateVerified(spec);
+        ASSERT_TRUE(honest.ok()) << honest.status().ToString();
+        EXPECT_GT(honest->proof_words, 0u);
+        auto plain = db->client_filter()->Aggregate(spec);
+        ASSERT_TRUE(plain.ok());
+        EXPECT_EQ(honest->totals, *plain);
+
+        // Corrupted arm: one server, one flipped bit (or, when slice 0 is
+        // the victim on odd sweeps, a proof-track-only flip).
+        uint32_t victim = static_cast<uint32_t>(sweep % servers);
+        FaultConfig config;
+        config.fault = (victim == 0 && (sweep & 1)) ? Fault::kProofOnly
+                                                    : Fault::kBitFlip;
+        config.on_aggregate = true;
+        config.offset = sweep % spec.value_indexes.size();
+        config.bit = static_cast<uint32_t>((sweep * 11) % 32);
+        config.rng_seed = sweep + 1;
+        Deployment d = Deploy(db.get(), servers, victim, config, seed);
+        auto bad = d.client->AggregateVerified(spec);
+        ASSERT_FALSE(bad.ok()) << "corrupted partial verified";
+        EXPECT_EQ(bad.status().code(), StatusCode::kCorruption)
+            << bad.status().ToString();
+        std::string blame = "server " + std::to_string(victim);
+        EXPECT_NE(bad.status().message().find(blame), std::string::npos)
+            << bad.status().ToString();
+        EXPECT_GE(d.tampered->faults_injected(), 1u);
+      }
+    }
+  }
+};
+
+TEST_F(VerifiedAggSweepTest, SeedSweepHonestAlwaysCorruptedNever) {
+  RunSeedSweep(3);
+}
+
+// The wide sweep lives behind the `slow` ctest label (see CMakeLists.txt).
+TEST_F(VerifiedAggSweepTest, LargeSeedSweepHonestAlwaysCorruptedNever) {
+  RunSeedSweep(24);
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -38,13 +38,18 @@ METRIC_KEYS = {
     "scanned_per_wake", "straggler_ms", "bytes", "results", "round_trips",
     "evals_simple", "evals_advanced", "batched_evals", "candidates",
     "worker_threads", "byte_ratio", "write_stalls", "buffered_peak",
-    "frames_reused", "queue_depth_peak", "ops",
+    "frames_reused", "queue_depth_peak", "ops", "verify_overhead_ratio",
 }
 
 # Guarded metrics and the direction that is good: moving the wrong way by
 # more than --threshold warns. qps is throughput (a drop regresses);
-# p99_ms is tail latency (a rise regresses).
-GUARDED_METRICS = {"qps": "higher", "p99_ms": "lower"}
+# p99_ms is tail latency (a rise regresses); verify_overhead_ratio is the
+# verified-aggregation byte overhead (a rise regresses, DESIGN.md §9).
+GUARDED_METRICS = {
+    "qps": "higher",
+    "p99_ms": "lower",
+    "verify_overhead_ratio": "lower",
+}
 
 MARKER = "BENCH_JSON "
 

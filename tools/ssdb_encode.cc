@@ -4,7 +4,11 @@
 //
 //   ssdb_encode --map map.properties --seed seed.key --xml doc.xml
 //               --out db.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain]
-//               [--servers m]
+//               [--servers m] [--no-agg] [--verify-agg]
+//
+// --verify-agg additionally stores the aggregate verification track
+// (DESIGN.md §9) on slice 0, letting ssdb_query --verify-agg detect and
+// attribute a tampering server. Costs 112·|map| bytes per node.
 //
 // With --servers m > 1 the additive share is split across m slice files
 // (DESIGN.md §5): db.ssdb.s0ofm ... db.ssdb.s(m-1)ofm, one per untrusted
@@ -34,7 +38,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ssdb_encode --map MAP --seed SEED --xml DOC.xml "
                  "--out DB.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain] "
-                 "[--servers m] [--no-agg]\n");
+                 "[--servers m] [--no-agg] [--verify-agg]\n");
     return 1;
   }
 
@@ -57,7 +61,16 @@ int main(int argc, char** argv) {
   // DESIGN.md §8: aggregate columns cost 28·|map| bytes per node per slice;
   // --no-agg drops them (and with them server-side count()/sum()/exists()).
   options.encode.aggregate_columns = !args.Has("--no-agg");
+  // DESIGN.md §9: the verification track adds 112·|map| bytes per node to
+  // slice 0, buying tamper detection with per-server attribution.
+  options.encode.verify_aggregate = args.Has("--verify-agg");
   options.servers = servers;
+  if (options.encode.verify_aggregate && !options.encode.aggregate_columns) {
+    std::fprintf(stderr,
+                 "error: --verify-agg needs the aggregate columns "
+                 "(drop --no-agg)\n");
+    return 1;
+  }
 
   Stopwatch watch;
   auto db = core::EncryptedXmlDatabase::Encode(*xml, *map, *seed, options);
@@ -69,6 +82,10 @@ int main(int argc, char** argv) {
   std::printf("encoded %llu nodes from %s (%s) in %.2fs\n",
               (unsigned long long)stats->node_count, xml_path.c_str(),
               HumanBytes(xml->size()).c_str(), seconds);
+  if (options.encode.verify_aggregate) {
+    std::printf("verification track (DESIGN.md §9): %s on slice 0\n",
+                HumanBytes((*db)->encode_result().verify_bytes).c_str());
+  }
   for (uint32_t i = 0; i < servers; ++i) {
     std::string path = core::ShareSlicePath(out_path, i, servers);
     auto slice_stats = (*db)->slice_store(i)->Stats();

@@ -7,7 +7,7 @@
 //   ssdb_query --db db.ssdb --map map.properties --seed seed.key
 //              [--servers m] [--engine simple|advanced]
 //              [--mode strict|nonstrict] [--full-verify] [--stats]
-//              [--agg count|sum|exists]
+//              [--agg count|sum|exists] [--verify-agg]
 //              [--p 83] [--e 1] "QUERY" ["QUERY" ...]
 //   ssdb_query --connect /tmp/s0.sock[,/tmp/s1.sock,...] --map ... --seed ...
 //              "QUERY"
@@ -24,6 +24,12 @@
 // result_size, which for aggregates counts GROUPS (one for a named final
 // step, one per mapped tag for '*'), not matched nodes — the matched set
 // never reaches the client.
+//
+// --verify-agg (DESIGN.md §9): aggregates additionally fetch and check the
+// verification track (the database must be encoded with ssdb_encode
+// --verify-agg), so a tampering server turns the query into an error naming
+// the server instead of a silently wrong answer. --stats then also reports
+// proof_words and verified.
 
 #include <cstdio>
 #include <cstring>
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   bool advanced = args.Get("--engine", "advanced") != "simple";
   bool strict = args.Get("--mode", "strict") != "nonstrict";
   bool show_stats = args.Has("--stats");
+  bool verify_agg = args.Has("--verify-agg");
   std::string agg_wrap = args.Get("--agg", "");
 
   // A positional is a query iff the parser accepts it — the one source of
@@ -60,7 +67,8 @@ int main(int argc, char** argv) {
   // that are not already aggregates.
   std::vector<std::string> queries;
   for (const std::string& arg : args.Positionals({"--full-verify",
-                                                  "--stats"})) {
+                                                  "--stats",
+                                                  "--verify-agg"})) {
     auto parsed = query::ParseQuery(arg);
     bool aggregate_form =
         parsed.ok() && parsed->aggregate != query::Aggregate::kNone;
@@ -80,6 +88,7 @@ int main(int argc, char** argv) {
                  "--connect SOCK[,SOCK...]) --map MAP --seed SEED "
                  "[--engine simple|advanced] [--mode strict|nonstrict] "
                  "[--full-verify] [--stats] [--agg count|sum|exists] "
+                 "[--verify-agg] "
                  "\"/site//query\" | \"count(/site//query)\" ...\n");
     return 1;
   }
@@ -160,6 +169,7 @@ int main(int argc, char** argv) {
   query::SimpleEngine simple(&client, &*map);
   query::AdvancedEngine adv(&client, &*map);
   agg::AggregationEngine aggregation(&client, &*map);
+  aggregation.set_verify(verify_agg);
   query::QueryEngine* engine =
       advanced ? static_cast<query::QueryEngine*>(&adv)
                : static_cast<query::QueryEngine*>(&simple);
@@ -168,8 +178,10 @@ int main(int argc, char** argv) {
 
   // QueryStats block shared by both query kinds. For aggregates
   // result_size counts groups (the matched node set never reaches the
-  // client); for plain queries it counts matched nodes.
-  auto print_stats = [&](const query::QueryStats& stats, bool aggregate) {
+  // client); for plain queries it counts matched nodes. Under --verify-agg
+  // the aggregate line also reports the proof volume and verdict (§9).
+  auto print_stats = [&](const query::QueryStats& stats, bool aggregate,
+                         const agg::Result* agg_result) {
     if (show_stats) {
       std::printf("  stats: result_size=%llu (%s), round_trips=%llu, "
                   "server_calls=%llu, evaluations=%llu, aggregate_ops=%llu, "
@@ -181,6 +193,11 @@ int main(int argc, char** argv) {
                   (unsigned long long)stats.eval.evaluations,
                   (unsigned long long)stats.eval.aggregate_ops,
                   (unsigned long long)stats.candidates_examined);
+      if (aggregate && verify_agg && agg_result != nullptr) {
+        std::printf("  proof: proof_words=%llu, verified=%s\n",
+                    (unsigned long long)agg_result->proof_words,
+                    agg_result->verified ? "true" : "false");
+      }
     }
     if (stats.eval.per_server_round_trips.size() > 1) {
       std::printf("  per-server trips:");
@@ -221,7 +238,7 @@ int main(int argc, char** argv) {
                     (unsigned long long)result->Total(), stats.seconds * 1e3,
                     (unsigned long long)stats.eval.round_trips);
       }
-      print_stats(stats, /*aggregate=*/true);
+      print_stats(stats, /*aggregate=*/true, &*result);
       continue;
     }
 
@@ -236,7 +253,7 @@ int main(int argc, char** argv) {
                 (unsigned long long)stats.eval.evaluations,
                 (unsigned long long)stats.eval.server_calls,
                 (unsigned long long)stats.eval.round_trips);
-    print_stats(stats, /*aggregate=*/false);
+    print_stats(stats, /*aggregate=*/false, nullptr);
     std::printf("  pre:");
     size_t shown = 0;
     for (const auto& node : *result) {
