@@ -1,0 +1,169 @@
+// Shard-router scaling (DESIGN.md §10): corpus-wide aggregates over a
+// multi-document corpus as the shard count grows. Each shard group owns one
+// XMark document (its own seed, its own 2-way share split); the router fans
+// the query out to every group concurrently and merges the additive
+// partials, so corpus latency should track the straggler group — not the
+// sum — and qps should degrade gently, not linearly, with shard count.
+//
+// For G in {1, 2, 4} the harness reports corpus count() throughput, the
+// straggler round-trip count (which must stay flat across G: fan-out is
+// concurrent), and a cross-shard GROUP-BY row whose merged totals are
+// checked against every document's own answer.
+//
+//   bench_shard            # full size
+//   SSDB_BENCH_SCALE=0.05 bench_shard   # CI smoke size
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "shard/catalog.h"
+#include "shard/router.h"
+
+namespace ssdb::bench {
+namespace {
+
+struct ShardMeasurement {
+  std::string query;
+  uint32_t shards = 0;
+  double qps = 0;
+  uint64_t round_trips = 0;
+  uint64_t results = 0;  // merged total (count) or group count (group-by)
+};
+
+void PrintRow(const ShardMeasurement& m) {
+  std::printf("%-24s G=%-3u %9.1f qps %6llu trips %8llu out\n",
+              m.query.c_str(), m.shards, m.qps,
+              static_cast<unsigned long long>(m.round_trips),
+              static_cast<unsigned long long>(m.results));
+}
+
+}  // namespace
+
+int Main() {
+  double scale = BenchScale();
+  // Per-document size: the corpus grows with the shard count, each shard
+  // carrying a same-order document, as a real horizontal split would.
+  uint64_t doc_bytes = static_cast<uint64_t>(scale * (512 << 10));
+  const int kReps = 5;
+
+  std::vector<ShardMeasurement> rows;
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    // One document per group, each with its own seed and a 2-way split.
+    std::vector<std::unique_ptr<BenchDb>> docs;
+    shard::ShardCatalog catalog;
+    std::map<std::string, std::vector<filter::ServerFilter*>> backends;
+    std::map<std::string, prg::Seed> seeds;
+    for (uint32_t g = 0; g < shards; ++g) {
+      docs.push_back(BuildXmarkDb(doc_bytes, /*seed=*/100 + g,
+                                  /*servers=*/2));
+      std::string id = "doc" + std::to_string(g);
+      shard::ShardEntry entry;
+      entry.doc_id = id;
+      entry.group = g;
+      entry.slices = {"mem://" + id + "/0", "mem://" + id + "/1"};
+      SSDB_CHECK(catalog.Add(std::move(entry)).ok());
+      backends[id] = {docs[g]->db->slice_filter(0),
+                      docs[g]->db->slice_filter(1)};
+      seeds.emplace(id, prg::Seed::FromUint64(100 + g));
+    }
+    core::CorpusOptions options;
+    auto router = shard::Router::FromBackends(
+        catalog, &docs[0]->map, prg::Seed::FromUint64(100), seeds, options,
+        backends);
+    SSDB_CHECK(router.ok()) << router.status().ToString();
+    if (shards == 1) {
+      std::printf("bench_shard: %llu nodes/doc, scale %.3f\n",
+                  static_cast<unsigned long long>(
+                      docs[0]->db->encode_result().node_count),
+                  scale);
+    }
+
+    // Ground truth: each document answers for itself, the corpus total is
+    // the sum.
+    auto truth = [&](const std::string& text) {
+      uint64_t total = 0;
+      for (auto& doc : docs) {
+        auto result = doc->db->Query(text, core::EngineKind::kAdvanced,
+                                     query::MatchMode::kEquality);
+        SSDB_CHECK(result.ok());
+        total += result->aggregate.Total();
+      }
+      return total;
+    };
+
+    // Corpus count(): the qps-vs-shard-count headline.
+    {
+      query::Query counted = *query::ParseQuery("count(/site//person)");
+      ShardMeasurement m;
+      m.query = "count(/site//person)";
+      m.shards = shards;
+      uint64_t expected = truth(m.query);
+      Stopwatch watch;
+      shard::CorpusResult last;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto corpus =
+            (*router)->QueryCorpus(counted, query::MatchMode::kEquality);
+        SSDB_CHECK(corpus.ok()) << corpus.status().ToString();
+        SSDB_CHECK(corpus->aggregate.Total() == expected)
+            << "corpus count diverged from per-document ground truth";
+        last = std::move(*corpus);
+      }
+      m.qps = kReps / watch.ElapsedSeconds();
+      m.round_trips = last.stats.eval.round_trips;
+      m.results = last.aggregate.Total();
+      rows.push_back(m);
+      PrintRow(m);
+    }
+
+    // Cross-shard GROUP-BY: every group's per-tag counts merge by name.
+    {
+      query::Query grouped = *query::ParseQuery("count(//*)");
+      ShardMeasurement m;
+      m.query = "count(//*)";
+      m.shards = shards;
+      uint64_t expected = truth(m.query);
+      Stopwatch watch;
+      shard::CorpusResult last;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto corpus =
+            (*router)->QueryCorpus(grouped, query::MatchMode::kEquality);
+        SSDB_CHECK(corpus.ok()) << corpus.status().ToString();
+        SSDB_CHECK(corpus->aggregate.Total() == expected)
+            << "corpus group-by diverged from per-document ground truth";
+        last = std::move(*corpus);
+      }
+      m.qps = kReps / watch.ElapsedSeconds();
+      m.round_trips = last.stats.eval.round_trips;
+      m.results = last.aggregate.values.size();
+      rows.push_back(m);
+      PrintRow(m);
+    }
+  }
+
+  // Concurrent fan-out means corpus round trips track the straggler group:
+  // the count() trip count must be identical across shard counts (every
+  // group answers the same-shape query on a same-order document).
+  SSDB_CHECK(rows[0].round_trips == rows[rows.size() - 2].round_trips)
+      << "corpus round trips grew with shard count — fan-out serialized?";
+
+  std::printf("BENCH_JSON {\"bench\":\"shard\",\"scale\":%.3f,\"rows\":[",
+              scale);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardMeasurement& m = rows[i];
+    std::printf("%s{\"query\":\"%s\",\"shards\":%u,\"docs\":%u,"
+                "\"qps\":%.2f,\"round_trips\":%llu,\"results\":%llu}",
+                i == 0 ? "" : ",", m.query.c_str(), m.shards, m.shards,
+                m.qps, static_cast<unsigned long long>(m.round_trips),
+                static_cast<unsigned long long>(m.results));
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace ssdb::bench
+
+int main() { return ssdb::bench::Main(); }

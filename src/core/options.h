@@ -46,6 +46,31 @@ struct DatabaseOptions {
   encode::EncodeOptions encode;
 };
 
+// How a shard router opens and queries a multi-document corpus
+// (src/shard/router.h, DESIGN.md §10). One options block covers every
+// document: the corpus shares a tag map and field parameters, while each
+// document keeps its own server group and (optionally) its own seed.
+struct CorpusOptions {
+  uint32_t p = 83;
+  uint32_t e = 1;
+
+  // Interpret catalog slice endpoints as local slice *files* (opened with
+  // the disk backend) instead of unix sockets — single-machine corpora,
+  // tests, and benches.
+  bool local = false;
+
+  EngineKind engine = EngineKind::kAdvanced;
+
+  // Verified aggregation (DESIGN.md §9) on every aggregate the router
+  // merges; failures name the document, group, and server.
+  bool verify_aggregate = false;
+
+  // Share-sum sanity probe per document at open: recover the root tag
+  // through the verified equality test so a mis-listed slice set fails at
+  // open time, not with silently wrong answers.
+  bool probe_shares = true;
+};
+
 // File naming for share slices: the base path itself for a single server,
 // "<base>.s<i>of<m>" for slice i of an m-server split.
 inline std::string ShareSlicePath(const std::string& base, uint32_t index,

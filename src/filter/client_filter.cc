@@ -16,6 +16,24 @@ constexpr size_t kCursorBatch = 64;
 
 }  // namespace
 
+void EvalStats::MergeConcurrent(const EvalStats& other) {
+  evaluations += other.evaluations;
+  containment_tests += other.containment_tests;
+  equality_tests += other.equality_tests;
+  shares_fetched += other.shares_fetched;
+  nodes_visited += other.nodes_visited;
+  server_calls += other.server_calls;
+  batched_evaluations += other.batched_evaluations;
+  aggregate_ops += other.aggregate_ops;
+  verified_aggregate_ops += other.verified_aggregate_ops;
+  proof_words += other.proof_words;
+  round_trips = std::max(round_trips, other.round_trips);
+  straggler_seconds = std::max(straggler_seconds, other.straggler_seconds);
+  per_server_round_trips.insert(per_server_round_trips.end(),
+                                other.per_server_round_trips.begin(),
+                                other.per_server_round_trips.end());
+}
+
 ClientFilter::ClientFilter(gf::Ring ring, prg::Prg prg, ServerFilter* server)
     : ring_(ring),
       evaluator_(ring),

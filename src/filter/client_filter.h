@@ -60,6 +60,16 @@ struct EvalStats {
   double straggler_seconds = 0;
 
   void Reset() { *this = EvalStats{}; }
+
+  // Corpus-level merge (DESIGN.md §10): folds the stats of a query that ran
+  // *concurrently* with this one (a shard router fans per-document queries
+  // out to their server groups in parallel). Work counters (evaluations,
+  // server calls, bytes-shaped fields) sum; latency-shaped fields
+  // (round_trips, straggler_seconds) take the straggler's maximum, because
+  // concurrent fan-outs cost one step of wall clock — the same semantics
+  // MultiServerFilter uses across slices, lifted across groups. The
+  // per-server vectors concatenate: every group's servers are distinct.
+  void MergeConcurrent(const EvalStats& other);
 };
 
 class ClientFilter {

@@ -71,6 +71,9 @@ MultiServerFilter::~MultiServerFilter() {
 Status MultiServerFilter::FanOut(const std::function<Status(size_t)>& fn) {
   if (backends_.size() == 1) return Primary([&] { return fn(0); });
 
+  // One call at a time: the worker job slots are single-entry and the
+  // before/after deltas below are call-scoped (header: thread safety).
+  std::lock_guard<std::mutex> call_lock(call_mu_);
   std::vector<uint64_t> before(backends_.size());
   for (size_t i = 0; i < backends_.size(); ++i) {
     before[i] = backends_[i]->RoundTrips();
@@ -92,13 +95,18 @@ Status MultiServerFilter::FanOut(const std::function<Status(size_t)>& fn) {
   }
   statuses[0] = fn(0);
   latch.Wait();
-  straggler_seconds_ += watch.ElapsedSeconds();
+  // Plain load+store is race-free here: every writer holds call_mu_, the
+  // atomic only keeps concurrent StragglerSeconds() readers torn-free.
+  straggler_seconds_.store(
+      straggler_seconds_.load(std::memory_order_relaxed) +
+          watch.ElapsedSeconds(),
+      std::memory_order_relaxed);
 
   uint64_t straggler = 0;
   for (size_t i = 0; i < backends_.size(); ++i) {
     straggler = std::max(straggler, backends_[i]->RoundTrips() - before[i]);
   }
-  round_trips_ += straggler;
+  round_trips_.fetch_add(straggler, std::memory_order_relaxed);
 
   for (const Status& status : statuses) {
     SSDB_RETURN_IF_ERROR(status);
@@ -107,9 +115,11 @@ Status MultiServerFilter::FanOut(const std::function<Status(size_t)>& fn) {
 }
 
 Status MultiServerFilter::Primary(const std::function<Status()>& fn) {
+  std::lock_guard<std::mutex> call_lock(call_mu_);
   uint64_t before = backends_[0]->RoundTrips();
   Status status = fn();
-  round_trips_ += backends_[0]->RoundTrips() - before;
+  round_trips_.fetch_add(backends_[0]->RoundTrips() - before,
+                         std::memory_order_relaxed);
   return status;
 }
 

@@ -18,10 +18,19 @@
 ///
 /// With a single backend every call delegates directly (no threads), so the
 /// m = 1 path is byte-identical to using the backend alone.
+///
+/// Thread safety: calls serialize on an internal mutex (the per-backend
+/// worker slots and the accounting below are per-filter state), so the
+/// filter may be shared by concurrent callers — a shard router fanning
+/// corpus queries out across documents, stats readers — without corrupting
+/// counters or job slots; within a call the backends still run in parallel.
+/// The counters themselves are atomic, so RoundTrips()/StragglerSeconds()
+/// can be read while a call is in flight.
 
 #ifndef SSDB_FILTER_MULTI_SERVER_FILTER_H_
 #define SSDB_FILTER_MULTI_SERVER_FILTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -79,10 +88,14 @@ class MultiServerFilter : public ServerFilter {
   StatusOr<std::vector<gf::RingElem>> FetchShareBatch(
       const std::vector<uint32_t>& pres) override;
 
-  uint64_t RoundTrips() const override { return round_trips_; }
+  uint64_t RoundTrips() const override {
+    return round_trips_.load(std::memory_order_relaxed);
+  }
   size_t ServerCount() const override { return backends_.size(); }
   std::vector<uint64_t> PerServerRoundTrips() const override;
-  double StragglerSeconds() const override { return straggler_seconds_; }
+  double StragglerSeconds() const override {
+    return straggler_seconds_.load(std::memory_order_relaxed);
+  }
 
   size_t server_count() const { return backends_.size(); }
   ServerFilter* backend(size_t i) { return backends_[i]; }
@@ -109,8 +122,14 @@ class MultiServerFilter : public ServerFilter {
   gf::Ring ring_;
   std::vector<ServerFilter*> backends_;
   std::vector<std::unique_ptr<Worker>> workers_;  // backends_[i + 1] each
-  uint64_t round_trips_ = 0;
-  double straggler_seconds_ = 0;
+
+  // Serializes FanOut/Primary: the worker job slots hold one job each, and
+  // the before/after round-trip deltas only make sense call-at-a-time.
+  std::mutex call_mu_;
+  // Atomic so concurrent stats readers see torn-free values while a call
+  // is in flight; read-modify-writes happen under call_mu_.
+  std::atomic<uint64_t> round_trips_{0};
+  std::atomic<double> straggler_seconds_{0};
 };
 
 }  // namespace ssdb::filter

@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 
@@ -19,6 +21,15 @@ namespace {
 constexpr uint64_t kListenerToken = 0;
 
 }  // namespace
+
+int IdleSweepWaitMs(int idle_timeout_seconds) {
+  if (idle_timeout_seconds <= 0) return -1;
+  const int64_t quarter_ms =
+      static_cast<int64_t>(idle_timeout_seconds) * 1000 / 4;
+  constexpr int64_t kMinMs = 50;
+  constexpr int64_t kMaxMs = 60 * 60 * 1000;  // sweep at least hourly
+  return static_cast<int>(std::min(kMaxMs, std::max(kMinMs, quarter_ms)));
+}
 
 ConcurrentServer::ConcurrentServer(gf::Ring ring,
                                    filter::ServerFilter* filter,
@@ -100,10 +111,7 @@ void ConcurrentServer::PollLoop() {
   // With the idle sweep on, Wait returns at a fraction of the timeout so
   // sessions are reclaimed within ~1.25x idle_timeout_seconds; otherwise
   // the dispatcher sleeps until an event or a Wake.
-  const int wait_ms =
-      options_.idle_timeout_seconds > 0
-          ? std::max(50, options_.idle_timeout_seconds * 1000 / 4)
-          : -1;
+  const int wait_ms = IdleSweepWaitMs(options_.idle_timeout_seconds);
   // The sweep is rate-limited to the wait granularity: busy traffic
   // wakes the dispatcher far more often, and an O(sessions) scan per
   // event-driven wake would reintroduce the cost epoll removed.
@@ -466,8 +474,9 @@ void ConcurrentServer::CloseSession(uint64_t id, const char* why) {
   // Deregister before closing the fd: the kernel may recycle the fd
   // number for the very next accept.
   poller_->Remove(session->fd);
-  // Reclaim whatever the connection left behind, however it died.
-  filter_->EndSession(filter::SessionId{id});
+  // Reclaim whatever the connection left behind, however it died. A
+  // catalog-only server (ssdb_router) has no filter and no cursor state.
+  if (filter_ != nullptr) filter_->EndSession(filter::SessionId{id});
   session->channel->Close();
   if (session->out_total > session->out_offset) {
     bytes_buffered_.fetch_sub(session->out_total - session->out_offset,

@@ -50,10 +50,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "filter/server_filter.h"
@@ -65,6 +68,15 @@
 #include "util/statusor.h"
 
 namespace ssdb::rpc {
+
+// Dispatcher wait granularity for the idle sweep: a quarter of the idle
+// timeout (sessions are reclaimed within ~1.25x idle_timeout_seconds),
+// floored at 50ms and capped at one hour. Computed in 64-bit:
+// `seconds * 1000 / 4` in int overflows for timeouts past ~24.8 days and
+// the negative result would be handed to the poller as "wait forever",
+// silently disabling the sweep. Returns -1 (no timeout) when the sweep is
+// off. Exposed for tests.
+int IdleSweepWaitMs(int idle_timeout_seconds);
 
 struct ConcurrentServerOptions {
   // Worker pool size; 0 means std::thread::hardware_concurrency().
@@ -114,6 +126,14 @@ class ConcurrentServer {
 
   // Spawns the dispatcher and the worker pool; returns once accepting.
   Status Start();
+
+  // Installs the shard-catalog tier on the embedded RpcServer (see
+  // RpcServer::SetCatalog). Call before Start(). With a null filter this
+  // makes a catalog-only server (ssdb_router, DESIGN.md §10).
+  void SetCatalog(std::string encoded_catalog,
+                  std::map<std::string, std::string> encoded_entries) {
+    server_.SetCatalog(std::move(encoded_catalog), std::move(encoded_entries));
+  }
 
   // Graceful drain: stop accepting, finish requests already dispatched to
   // workers, close every remaining connection, join all threads. Safe to

@@ -5,6 +5,10 @@
 namespace ssdb::rpc {
 namespace {
 
+// Matches shard::kMaxStringBytes: a document id on the wire can never be
+// longer than one the catalog codec would accept.
+constexpr size_t kMaxDocIdBytes = 4096;
+
 // Shared count-prefixed varint-list codec for the batch ops. The decode
 // side rejects counts that cannot fit in the remaining bytes (each element
 // is at least one byte), so a tiny malformed frame cannot force a huge
@@ -87,6 +91,11 @@ std::string EncodeRequest(const Request& request) {
       AppendVarintList(&out, request.value_indexes);
       AppendVarintList(&out, request.pres);
       break;
+    case Op::kCatalog:
+      break;
+    case Op::kCatalogResolve:
+      PutLengthPrefixed(&out, request.doc_id);
+      break;
   }
   return out;
 }
@@ -159,6 +168,17 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
       }
       SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.pres));
       break;
+    case Op::kCatalog:
+      break;
+    case Op::kCatalogResolve: {
+      std::string_view doc_id;
+      SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &doc_id));
+      if (doc_id.size() > kMaxDocIdBytes) {
+        return Status::Corruption("document id too long");
+      }
+      request.doc_id.assign(doc_id);
+      break;
+    }
     default:
       return Status::Corruption("unknown op " +
                                 std::to_string(static_cast<int>(request.op)));

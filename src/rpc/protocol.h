@@ -48,6 +48,11 @@ enum class Op : uint8_t {
   // verification track, so the client can check and attribute tampering.
   kAggregateVerified = 18,
   kAggregateBatchVerified = 19,
+  // Shard catalog tier (DESIGN.md §10): served by ssdb_router, which holds
+  // routing metadata only (no shares, no seeds). kCatalog returns the whole
+  // encoded catalog; kCatalogResolve one entry by document id.
+  kCatalog = 20,
+  kCatalogResolve = 21,
 };
 
 struct Request {
@@ -63,6 +68,8 @@ struct Request {
   // frontier rides in `pres`.
   uint8_t agg_columns = 0;             // agg::Col bitmask
   std::vector<uint32_t> value_indexes;  // one group per entry
+  // Catalog tier (kCatalogResolve, DESIGN.md §10).
+  std::string doc_id;
 };
 
 std::string EncodeRequest(const Request& request);

@@ -127,11 +127,43 @@ Status Dispatch(const gf::Ring& ring, filter::ServerFilter* filter,
     }
     case Op::kShutdown:
       return Status::OK();
+    case Op::kCatalog:
+    case Op::kCatalogResolve:
+      // Handled by RpcServer before Dispatch; unreachable here.
+      break;
   }
   return Status::Corruption("unhandled op");
 }
 
 }  // namespace
+
+void RpcServer::SetCatalog(std::string encoded_catalog,
+                           std::map<std::string, std::string> encoded_entries) {
+  catalog_bytes_ = std::move(encoded_catalog);
+  catalog_entries_.clear();
+  for (auto& [doc_id, bytes] : encoded_entries) {
+    catalog_entries_.emplace(doc_id, std::move(bytes));
+  }
+}
+
+Status RpcServer::ServeCatalog(const Request& request,
+                               std::string* payload) const {
+  if (catalog_bytes_.empty()) {
+    return Status::FailedPrecondition(
+        "no shard catalog installed on this server");
+  }
+  if (request.op == Op::kCatalog) {
+    payload->append(catalog_bytes_);
+    return Status::OK();
+  }
+  auto it = catalog_entries_.find(request.doc_id);
+  if (it == catalog_entries_.end()) {
+    return Status::NotFound("no document '" + request.doc_id +
+                            "' in the shard catalog");
+  }
+  payload->append(it->second);
+  return Status::OK();
+}
 
 void RpcServer::HandleRequestInto(std::string_view request_bytes,
                                   filter::SessionId session,
@@ -145,6 +177,18 @@ void RpcServer::HandleRequestInto(std::string_view request_bytes,
   // Optimistically write the ok envelope byte and let Dispatch append the
   // payload in place; a failed dispatch rewinds and encodes the error.
   response->push_back(1);
+  if (request->op == Op::kCatalog || request->op == Op::kCatalogResolve) {
+    // Catalog ops never touch the filter: a catalog-only server (ssdb_router)
+    // answers them with no share slice behind it.
+    Status s = ServeCatalog(*request, response);
+    if (!s.ok()) response->assign(EncodeErrorResponse(s));
+    return;
+  }
+  if (filter_ == nullptr && request->op != Op::kShutdown) {
+    response->assign(EncodeErrorResponse(Status::FailedPrecondition(
+        "this server serves shard-catalog metadata only (no share slice)")));
+    return;
+  }
   Status s = Dispatch(ring_, filter_, session, *request, response);
   if (!s.ok()) {
     response->assign(EncodeErrorResponse(s));

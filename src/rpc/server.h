@@ -10,7 +10,9 @@
 #ifndef SSDB_RPC_SERVER_H_
 #define SSDB_RPC_SERVER_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "filter/server_filter.h"
@@ -20,12 +22,24 @@
 
 namespace ssdb::rpc {
 
+struct Request;
+
 class RpcServer {
  public:
   // `filter` must outlive the server. The ring is needed to serialize
-  // polynomial shares onto the wire.
+  // polynomial shares onto the wire. A null filter is legal and makes a
+  // catalog-only server (ssdb_router, DESIGN.md §10): filter ops answer
+  // FailedPrecondition, kShutdown still works.
   RpcServer(gf::Ring ring, filter::ServerFilter* filter)
       : ring_(std::move(ring)), filter_(filter) {}
+
+  // Installs the shard-catalog tier (DESIGN.md §10): `encoded_catalog` is a
+  // pre-encoded shard::EncodeCatalog blob answered to kCatalog, and
+  // `encoded_entries` maps document id -> shard::EncodeEntry blob answered
+  // to kCatalogResolve. Pre-encoded bytes keep rpc/ independent of shard/.
+  // Call before serving; not synchronized against in-flight requests.
+  void SetCatalog(std::string encoded_catalog,
+                  std::map<std::string, std::string> encoded_entries);
 
   // Serves until the peer disconnects or sends kShutdown. Returns OK on a
   // clean shutdown. Cursor state lands in the implicit session 0.
@@ -47,8 +61,13 @@ class RpcServer {
                          filter::SessionId session, std::string* response);
 
  private:
+  // Appends the catalog payload for kCatalog/kCatalogResolve requests.
+  Status ServeCatalog(const Request& request, std::string* payload) const;
+
   gf::Ring ring_;
   filter::ServerFilter* filter_;
+  std::string catalog_bytes_;
+  std::map<std::string, std::string, std::less<>> catalog_entries_;
 };
 
 // Runs an RpcServer over the given channel on a background thread; joins on

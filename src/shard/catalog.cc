@@ -1,0 +1,418 @@
+#include "shard/catalog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "util/file_util.h"
+#include "util/varint.h"
+
+namespace ssdb::shard {
+namespace {
+
+// Catalog strings ride length-prefixed on the wire; a bound keeps a
+// corrupted length varint from forcing a huge allocation and keeps socket
+// paths inside sockaddr_un limits with headroom for file paths.
+constexpr size_t kMaxStringBytes = 4096;
+// Far above any sane deployment (kMaxServers is 256), far below anything
+// that could exhaust memory during decode.
+constexpr size_t kMaxSlices = 1024;
+
+Status ConsumeBoundedString(std::string_view* data, std::string* out) {
+  std::string_view value;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(data, &value));
+  if (value.size() > kMaxStringBytes) {
+    return Status::Corruption("catalog string exceeds bound");
+  }
+  out->assign(value);
+  return Status::OK();
+}
+
+// --- minimal JSON subset parser --------------------------------------------
+// Just enough JSON for the catalog schema: objects, arrays, strings with
+// \"/\\ escapes, and non-negative integers. Hand-rolled to keep the build
+// dependency-free; unknown keys are skipped so future fields stay
+// forward-compatible within a version.
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::Corruption(std::string("catalog JSON: expected '") + c +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    SSDB_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        if (out->size() > kMaxStringBytes) {
+          return Status::Corruption("catalog JSON: string exceeds bound");
+        }
+        return Status::OK();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default:
+            return Status::Corruption("catalog JSON: unsupported escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Status::Corruption("catalog JSON: unterminated string");
+  }
+
+  Status ParseUint(uint64_t* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::Corruption("catalog JSON: expected number at offset " +
+                                std::to_string(pos_));
+    }
+    uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      uint64_t digit = static_cast<uint64_t>(text_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return Status::Corruption("catalog JSON: number overflows");
+      }
+      value = value * 10 + digit;
+      ++pos_;
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  // Skips any value (for unknown keys).
+  Status SkipValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::Corruption("catalog JSON: truncated value");
+    }
+    char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      char close = c == '{' ? '}' : ']';
+      ++pos_;
+      if (Consume(close)) return Status::OK();
+      do {
+        if (c == '{') {
+          std::string key;
+          SSDB_RETURN_IF_ERROR(ParseString(&key));
+          SSDB_RETURN_IF_ERROR(Expect(':'));
+        }
+        SSDB_RETURN_IF_ERROR(SkipValue());
+      } while (Consume(','));
+      return Expect(close);
+    }
+    // number / true / false / null
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status AtEnd() {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::Corruption("catalog JSON: trailing bytes at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+Status ParseEntryJson(JsonParser* parser, ShardEntry* entry) {
+  SSDB_RETURN_IF_ERROR(parser->Expect('{'));
+  bool saw_id = false;
+  bool saw_slices = false;
+  if (!parser->Consume('}')) {
+    do {
+      std::string key;
+      SSDB_RETURN_IF_ERROR(parser->ParseString(&key));
+      SSDB_RETURN_IF_ERROR(parser->Expect(':'));
+      if (key == "id") {
+        SSDB_RETURN_IF_ERROR(parser->ParseString(&entry->doc_id));
+        saw_id = true;
+      } else if (key == "group") {
+        uint64_t group = 0;
+        SSDB_RETURN_IF_ERROR(parser->ParseUint(&group));
+        if (group > UINT32_MAX) {
+          return Status::Corruption("catalog JSON: group id overflows");
+        }
+        entry->group = static_cast<uint32_t>(group);
+      } else if (key == "slices") {
+        SSDB_RETURN_IF_ERROR(parser->Expect('['));
+        saw_slices = true;
+        if (!parser->Consume(']')) {
+          do {
+            std::string slice;
+            SSDB_RETURN_IF_ERROR(parser->ParseString(&slice));
+            if (entry->slices.size() >= kMaxSlices) {
+              return Status::Corruption("catalog JSON: too many slices");
+            }
+            entry->slices.push_back(std::move(slice));
+          } while (parser->Consume(','));
+          SSDB_RETURN_IF_ERROR(parser->Expect(']'));
+        }
+      } else {
+        SSDB_RETURN_IF_ERROR(parser->SkipValue());
+      }
+    } while (parser->Consume(','));
+    SSDB_RETURN_IF_ERROR(parser->Expect('}'));
+  }
+  if (!saw_id || !saw_slices) {
+    return Status::Corruption("catalog JSON: document needs id and slices");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShardCatalog::Add(ShardEntry entry) {
+  if (entry.doc_id.empty()) {
+    return Status::InvalidArgument("document id must be non-empty");
+  }
+  if (entry.doc_id.size() > kMaxStringBytes) {
+    return Status::InvalidArgument("document id exceeds bound");
+  }
+  if (entry.slices.empty()) {
+    return Status::InvalidArgument("document " + entry.doc_id +
+                                   " has no slices");
+  }
+  if (entry.slices.size() > kMaxSlices) {
+    return Status::InvalidArgument("document " + entry.doc_id +
+                                   " has too many slices");
+  }
+  for (const std::string& slice : entry.slices) {
+    if (slice.empty() || slice.size() > kMaxStringBytes) {
+      return Status::InvalidArgument("document " + entry.doc_id +
+                                     " has an empty or oversized slice path");
+    }
+  }
+  if (Find(entry.doc_id) != nullptr) {
+    return Status::AlreadyExists("duplicate document id " + entry.doc_id);
+  }
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+const ShardEntry* ShardCatalog::Find(std::string_view doc_id) const {
+  for (const ShardEntry& entry : entries_) {
+    if (entry.doc_id == doc_id) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<uint32_t> ShardCatalog::Groups() const {
+  std::set<uint32_t> groups;
+  for (const ShardEntry& entry : entries_) groups.insert(entry.group);
+  return std::vector<uint32_t>(groups.begin(), groups.end());
+}
+
+std::string ShardCatalog::ToJson() const {
+  std::string out = "{\n  \"version\": " + std::to_string(kVersion) +
+                    ",\n  \"documents\": [";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ShardEntry& entry = entries_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"id\": ";
+    AppendJsonString(&out, entry.doc_id);
+    out += ", \"group\": " + std::to_string(entry.group) + ", \"slices\": [";
+    for (size_t j = 0; j < entry.slices.size(); ++j) {
+      if (j > 0) out += ", ";
+      AppendJsonString(&out, entry.slices[j]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+StatusOr<ShardCatalog> ShardCatalog::FromJson(std::string_view text) {
+  JsonParser parser(text);
+  SSDB_RETURN_IF_ERROR(parser.Expect('{'));
+  ShardCatalog catalog;
+  bool saw_version = false;
+  if (!parser.Consume('}')) {
+    do {
+      std::string key;
+      SSDB_RETURN_IF_ERROR(parser.ParseString(&key));
+      SSDB_RETURN_IF_ERROR(parser.Expect(':'));
+      if (key == "version") {
+        uint64_t version = 0;
+        SSDB_RETURN_IF_ERROR(parser.ParseUint(&version));
+        if (version != kVersion) {
+          return Status::Unimplemented(
+              "catalog version " + std::to_string(version) +
+              " not supported (this build reads version " +
+              std::to_string(kVersion) + ")");
+        }
+        saw_version = true;
+      } else if (key == "documents") {
+        SSDB_RETURN_IF_ERROR(parser.Expect('['));
+        if (!parser.Consume(']')) {
+          do {
+            ShardEntry entry;
+            SSDB_RETURN_IF_ERROR(ParseEntryJson(&parser, &entry));
+            SSDB_RETURN_IF_ERROR(catalog.Add(std::move(entry)));
+          } while (parser.Consume(','));
+          SSDB_RETURN_IF_ERROR(parser.Expect(']'));
+        }
+      } else {
+        SSDB_RETURN_IF_ERROR(parser.SkipValue());
+      }
+    } while (parser.Consume(','));
+    SSDB_RETURN_IF_ERROR(parser.Expect('}'));
+  }
+  SSDB_RETURN_IF_ERROR(parser.AtEnd());
+  if (!saw_version) {
+    return Status::Corruption("catalog JSON: missing version");
+  }
+  return catalog;
+}
+
+StatusOr<ShardCatalog> ShardCatalog::Load(const std::string& path) {
+  SSDB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return FromJson(text);
+}
+
+Status ShardCatalog::Save(const std::string& path) const {
+  return WriteStringToFile(path, ToJson());
+}
+
+void AppendEntry(std::string* out, const ShardEntry& entry) {
+  PutLengthPrefixed(out, entry.doc_id);
+  PutVarint64(out, entry.group);
+  PutVarint64(out, entry.slices.size());
+  for (const std::string& slice : entry.slices) {
+    PutLengthPrefixed(out, slice);
+  }
+}
+
+Status ConsumeEntry(std::string_view* data, ShardEntry* out) {
+  SSDB_RETURN_IF_ERROR(ConsumeBoundedString(data, &out->doc_id));
+  uint64_t v = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(data, &v));
+  if (v > UINT32_MAX) return Status::Corruption("group id overflows");
+  out->group = static_cast<uint32_t>(v);
+  uint64_t slices = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(data, &slices));
+  // Every slice costs at least one length byte, so a count beyond the
+  // remaining frame is corrupt — reject before allocating.
+  if (slices > data->size() || slices > kMaxSlices) {
+    return Status::Corruption("slice count exceeds frame size");
+  }
+  out->slices.clear();
+  out->slices.reserve(slices);
+  for (uint64_t i = 0; i < slices; ++i) {
+    std::string slice;
+    SSDB_RETURN_IF_ERROR(ConsumeBoundedString(data, &slice));
+    out->slices.push_back(std::move(slice));
+  }
+  return Status::OK();
+}
+
+std::string EncodeEntry(const ShardEntry& entry) {
+  std::string out;
+  AppendEntry(&out, entry);
+  return out;
+}
+
+StatusOr<ShardEntry> DecodeEntry(std::string_view data) {
+  ShardEntry entry;
+  SSDB_RETURN_IF_ERROR(ConsumeEntry(&data, &entry));
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes in catalog entry");
+  }
+  return entry;
+}
+
+std::string EncodeCatalog(const ShardCatalog& catalog) {
+  std::string out;
+  PutVarint64(&out, ShardCatalog::kVersion);
+  PutVarint64(&out, catalog.size());
+  for (const ShardEntry& entry : catalog.entries()) {
+    AppendEntry(&out, entry);
+  }
+  return out;
+}
+
+StatusOr<ShardCatalog> DecodeCatalog(std::string_view data) {
+  uint64_t version = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &version));
+  if (version != ShardCatalog::kVersion) {
+    return Status::Unimplemented("catalog wire version " +
+                                 std::to_string(version) + " not supported");
+  }
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &count));
+  if (count > data.size()) {
+    return Status::Corruption("entry count exceeds frame size");
+  }
+  ShardCatalog catalog;
+  for (uint64_t i = 0; i < count; ++i) {
+    ShardEntry entry;
+    SSDB_RETURN_IF_ERROR(ConsumeEntry(&data, &entry));
+    SSDB_RETURN_IF_ERROR(catalog.Add(std::move(entry)));
+  }
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes in catalog");
+  }
+  return catalog;
+}
+
+}  // namespace ssdb::shard

@@ -1,0 +1,91 @@
+/// Shard catalog (DESIGN.md §10): the routing metadata of a multi-document
+/// corpus. Every encoded document is owned by exactly one *server group* —
+/// the m share-slice servers holding its split — and the catalog maps each
+/// document id to its (group, slice-set) entry, in the spirit of MaxScale's
+/// schemarouter shard map. The catalog is PUBLIC routing metadata: it names
+/// documents and endpoints but carries no key material, no tag map, and no
+/// shares, so an untrusted router tier (tools/ssdb_router.cc) may serve it
+/// verbatim.
+///
+/// Two codecs:
+///  * a versioned JSON file format — what operators edit and ssdb_router
+///    loads ({"version":1,"documents":[{"id":...,"group":...,
+///    "slices":[...]}]});
+///  * a compact binary wire format (varints, length-prefixed strings) —
+///    what the kCatalog/kCatalogResolve RPC ops carry. The decode side is
+///    fuzz-hardened (tests/fuzz_test.cc): counts are bounded by the
+///    remaining frame bytes so a tiny malformed frame cannot force a huge
+///    allocation.
+
+#ifndef SSDB_SHARD_CATALOG_H_
+#define SSDB_SHARD_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace ssdb::shard {
+
+// One document's routing entry: the owning server group and the endpoints
+// of its m share slices, in slice order (slice 0 is the primary that also
+// serves structure). Endpoints are unix socket paths in a deployed corpus;
+// core::CorpusOptions.local reinterprets them as slice file paths for
+// single-machine use.
+struct ShardEntry {
+  std::string doc_id;
+  uint32_t group = 0;
+  std::vector<std::string> slices;
+
+  bool operator==(const ShardEntry& other) const {
+    return doc_id == other.doc_id && group == other.group &&
+           slices == other.slices;
+  }
+};
+
+class ShardCatalog {
+ public:
+  // The on-disk/wire format version this build reads and writes. Decoders
+  // reject other versions loudly instead of misreading fields.
+  static constexpr uint32_t kVersion = 1;
+
+  // Rejects duplicate document ids, empty ids, and entries with no slices
+  // (every document needs at least its primary).
+  Status Add(ShardEntry entry);
+
+  // nullptr when the document is not in the catalog.
+  const ShardEntry* Find(std::string_view doc_id) const;
+
+  const std::vector<ShardEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  // Distinct group ids, ascending.
+  std::vector<uint32_t> Groups() const;
+
+  // --- JSON on-disk codec --------------------------------------------------
+  std::string ToJson() const;
+  static StatusOr<ShardCatalog> FromJson(std::string_view text);
+  static StatusOr<ShardCatalog> Load(const std::string& path);
+  Status Save(const std::string& path) const;
+
+ private:
+  std::vector<ShardEntry> entries_;
+};
+
+// --- binary wire codec (kCatalog / kCatalogResolve payloads) ---------------
+
+void AppendEntry(std::string* out, const ShardEntry& entry);
+// Consumes one entry from the front of *data.
+Status ConsumeEntry(std::string_view* data, ShardEntry* out);
+// A single entry as a whole frame (the kCatalogResolve reply).
+std::string EncodeEntry(const ShardEntry& entry);
+StatusOr<ShardEntry> DecodeEntry(std::string_view data);
+
+std::string EncodeCatalog(const ShardCatalog& catalog);
+StatusOr<ShardCatalog> DecodeCatalog(std::string_view data);
+
+}  // namespace ssdb::shard
+
+#endif  // SSDB_SHARD_CATALOG_H_

@@ -1,0 +1,43 @@
+#include "shard/catalog_client.h"
+
+#include <memory>
+#include <utility>
+
+#include "rpc/channel.h"
+#include "rpc/protocol.h"
+#include "rpc/socket_channel.h"
+
+namespace ssdb::shard {
+namespace {
+
+// One request/response exchange on a fresh connection. Catalog calls are
+// bootstrap-time one-shots, so per-call dial cost is irrelevant and keeping
+// no connection state keeps the router tier trivially restartable.
+StatusOr<std::string> CallOnce(const std::string& socket_path,
+                               const rpc::Request& request) {
+  SSDB_ASSIGN_OR_RETURN(std::unique_ptr<rpc::Channel> channel,
+                        rpc::ConnectUnix(socket_path));
+  SSDB_RETURN_IF_ERROR(channel->Send(rpc::EncodeRequest(request)));
+  SSDB_ASSIGN_OR_RETURN(std::string response, channel->Receive());
+  return rpc::DecodeResponse(response);
+}
+
+}  // namespace
+
+StatusOr<ShardCatalog> FetchCatalogUnix(const std::string& socket_path) {
+  rpc::Request request;
+  request.op = rpc::Op::kCatalog;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, CallOnce(socket_path, request));
+  return DecodeCatalog(payload);
+}
+
+StatusOr<ShardEntry> ResolveDocUnix(const std::string& socket_path,
+                                    std::string_view doc_id) {
+  rpc::Request request;
+  request.op = rpc::Op::kCatalogResolve;
+  request.doc_id.assign(doc_id);
+  SSDB_ASSIGN_OR_RETURN(std::string payload, CallOnce(socket_path, request));
+  return DecodeEntry(payload);
+}
+
+}  // namespace ssdb::shard

@@ -1,0 +1,28 @@
+/// Client side of the catalog tier (DESIGN.md §10): fetches routing
+/// metadata from a running ssdb_router over its unix socket. The catalog
+/// is public — these calls carry no seed and return none — so they may be
+/// made before any trusted state exists (a client bootstraps by fetching
+/// the catalog, then opens a shard::Router with its own seed and map).
+
+#ifndef SSDB_SHARD_CATALOG_CLIENT_H_
+#define SSDB_SHARD_CATALOG_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "shard/catalog.h"
+#include "util/statusor.h"
+
+namespace ssdb::shard {
+
+// Fetches the whole catalog (op kCatalog) from the router at `socket_path`.
+StatusOr<ShardCatalog> FetchCatalogUnix(const std::string& socket_path);
+
+// Resolves one document id (op kCatalogResolve); NotFound when the router
+// has no such document.
+StatusOr<ShardEntry> ResolveDocUnix(const std::string& socket_path,
+                                    std::string_view doc_id);
+
+}  // namespace ssdb::shard
+
+#endif  // SSDB_SHARD_CATALOG_CLIENT_H_

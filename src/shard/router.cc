@@ -1,0 +1,267 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "gf/field.h"
+#include "rpc/client.h"
+#include "storage/table.h"
+#include "util/stopwatch.h"
+
+namespace ssdb::shard {
+
+void MergeAggregate(agg::Result* into, const agg::Result& from, bool first) {
+  if (first) {
+    *into = from;
+    return;
+  }
+  // Additive combination across shards, the corpus-level analog of summing
+  // aggregate partials across slices within a group (DESIGN.md §8): every
+  // document's result is already exact, so corpus count = Σ_docs count, and
+  // exists() ORs for free through the nonzero sum. Verification (§9) is
+  // per-document; the corpus is verified iff every document was.
+  into->verified = into->verified && from.verified;
+  into->proof_words += from.proof_words;
+  for (size_t g = 0; g < from.group_names.size(); ++g) {
+    auto it = std::find(into->group_names.begin(), into->group_names.end(),
+                        from.group_names[g]);
+    if (it == into->group_names.end()) {
+      into->group_names.push_back(from.group_names[g]);
+      into->values.push_back(from.values[g]);
+    } else {
+      into->values[it - into->group_names.begin()] += from.values[g];
+    }
+  }
+}
+
+Status Router::Attribute(const Status& status, const ShardEntry& entry) {
+  if (status.ok()) return status;
+  return Status(status.code(), "doc " + entry.doc_id + " (group " +
+                                   std::to_string(entry.group) +
+                                   "): " + status.message());
+}
+
+Status Router::FinishStack(DocStack* stack, const gf::Ring& ring,
+                           const prg::Seed& seed) {
+  stack->client = std::make_unique<filter::ClientFilter>(ring, prg::Prg(seed),
+                                                         stack->view);
+  stack->simple = std::make_unique<query::SimpleEngine>(stack->client.get(),
+                                                        map_);
+  stack->advanced = std::make_unique<query::AdvancedEngine>(
+      stack->client.get(), map_);
+  stack->agg = std::make_unique<agg::AggregationEngine>(stack->client.get(),
+                                                        map_);
+  stack->agg->set_verify(options_.verify_aggregate);
+  stack->engine =
+      options_.engine == core::EngineKind::kSimple
+          ? static_cast<query::QueryEngine*>(stack->simple.get())
+          : static_cast<query::QueryEngine*>(stack->advanced.get());
+  if (options_.probe_shares) {
+    // Same probe ssdb_query runs: recover the root's own tag through the
+    // verified equality-test division, so a catalog entry listing the wrong
+    // slices (or paired with the wrong seed) fails at open, not with
+    // silently wrong answers.
+    auto root = stack->client->Root();
+    if (!root.ok()) return root.status();
+    auto probe = stack->client->RecoverOwnValue(*root);
+    if (!probe.ok()) {
+      return Status(probe.status().code(),
+                    "share-sum sanity probe failed (are all slices listed in "
+                    "slice order, with this document's seed?): " +
+                        probe.status().message());
+    }
+    stack->client->stats().Reset();
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Router>> Router::Open(
+    ShardCatalog catalog, const mapping::TagMap* map,
+    const prg::Seed& default_seed,
+    const std::map<std::string, prg::Seed>& seeds,
+    const core::CorpusOptions& options) {
+  auto field = gf::Field::Make(options.p, options.e);
+  if (!field.ok()) return field.status();
+  gf::Ring ring(*field);
+  std::unique_ptr<Router> router(
+      new Router(std::move(catalog), map, options));
+  for (const ShardEntry& entry : router->catalog_.entries()) {
+    auto stack = std::make_unique<DocStack>();
+    stack->entry = &entry;
+    if (options.local) {
+      std::vector<filter::ServerFilter*> raw;
+      for (const std::string& path : entry.slices) {
+        auto disk = storage::DiskNodeStore::Open(path);
+        if (!disk.ok()) return Attribute(disk.status(), entry);
+        stack->stores.push_back(std::move(*disk));
+        stack->backends.push_back(std::make_unique<filter::LocalServerFilter>(
+            ring, stack->stores.back().get()));
+        raw.push_back(stack->backends.back().get());
+      }
+      if (raw.size() == 1) {
+        stack->view = raw[0];
+      } else {
+        stack->owned_filter = std::make_unique<filter::MultiServerFilter>(
+            ring, std::move(raw));
+        stack->view = stack->owned_filter.get();
+      }
+    } else {
+      auto session = rpc::MultiServerSession::ConnectUnix(ring, entry.slices);
+      if (!session.ok()) return Attribute(session.status(), entry);
+      stack->session = std::move(*session);
+      stack->view = stack->session->filter();
+    }
+    auto it = seeds.find(entry.doc_id);
+    const prg::Seed& seed = it == seeds.end() ? default_seed : it->second;
+    Status built = router->FinishStack(stack.get(), ring, seed);
+    if (!built.ok()) return Attribute(built, entry);
+    router->by_doc_.emplace(entry.doc_id, stack.get());
+    router->stacks_.push_back(std::move(stack));
+  }
+  return router;
+}
+
+StatusOr<std::unique_ptr<Router>> Router::FromBackends(
+    ShardCatalog catalog, const mapping::TagMap* map,
+    const prg::Seed& default_seed,
+    const std::map<std::string, prg::Seed>& seeds,
+    const core::CorpusOptions& options,
+    const std::map<std::string, std::vector<filter::ServerFilter*>>&
+        backends) {
+  auto field = gf::Field::Make(options.p, options.e);
+  if (!field.ok()) return field.status();
+  gf::Ring ring(*field);
+  std::unique_ptr<Router> router(
+      new Router(std::move(catalog), map, options));
+  for (const ShardEntry& entry : router->catalog_.entries()) {
+    auto it = backends.find(entry.doc_id);
+    if (it == backends.end() || it->second.empty()) {
+      return Status::InvalidArgument("no backends injected for doc " +
+                                     entry.doc_id);
+    }
+    auto stack = std::make_unique<DocStack>();
+    stack->entry = &entry;
+    if (it->second.size() == 1) {
+      stack->view = it->second[0];
+    } else {
+      stack->owned_filter = std::make_unique<filter::MultiServerFilter>(
+          ring, it->second);
+      stack->view = stack->owned_filter.get();
+    }
+    auto seed_it = seeds.find(entry.doc_id);
+    const prg::Seed& seed =
+        seed_it == seeds.end() ? default_seed : seed_it->second;
+    Status built = router->FinishStack(stack.get(), ring, seed);
+    if (!built.ok()) return Attribute(built, entry);
+    router->by_doc_.emplace(entry.doc_id, stack.get());
+    router->stacks_.push_back(std::move(stack));
+  }
+  return router;
+}
+
+Router::~Router() = default;
+
+uint64_t Router::bytes_on_wire() const {
+  uint64_t total = 0;
+  for (const auto& stack : stacks_) {
+    if (stack->session != nullptr) total += stack->session->bytes_on_wire();
+  }
+  return total;
+}
+
+StatusOr<DocResult> Router::RunOnStack(DocStack* stack,
+                                       const query::Query& query,
+                                       query::MatchMode mode) {
+  DocResult out;
+  out.doc_id = stack->entry->doc_id;
+  out.group = stack->entry->group;
+  if (query.aggregate != query::Aggregate::kNone) {
+    out.is_aggregate = true;
+    auto result = stack->agg->Execute(stack->engine, query, mode, &out.stats);
+    if (!result.ok()) return result.status();
+    out.aggregate = std::move(*result);
+  } else {
+    auto result = stack->engine->Execute(query, mode, &out.stats);
+    if (!result.ok()) return result.status();
+    out.nodes = std::move(*result);
+  }
+  return out;
+}
+
+StatusOr<DocResult> Router::QueryDoc(std::string_view doc_id,
+                                     const query::Query& query,
+                                     query::MatchMode mode) {
+  auto it = by_doc_.find(doc_id);
+  if (it == by_doc_.end()) {
+    return Status::NotFound("no document '" + std::string(doc_id) +
+                            "' in the shard catalog");
+  }
+  auto result = RunOnStack(it->second, query, mode);
+  if (!result.ok()) return Attribute(result.status(), *it->second->entry);
+  return result;
+}
+
+StatusOr<CorpusResult> Router::QueryCorpus(const query::Query& query,
+                                           query::MatchMode mode) {
+  if (stacks_.empty()) {
+    return Status::FailedPrecondition("the shard catalog is empty");
+  }
+  Stopwatch watch;
+
+  // One thread per document: each stack is confined to its thread for the
+  // duration (a stack is NOT safe for concurrent queries), so every server
+  // group progresses in parallel and the corpus costs one straggler of wall
+  // clock, mirroring MultiServerFilter's fan-out across slices.
+  std::vector<std::optional<StatusOr<DocResult>>> results(stacks_.size());
+  if (stacks_.size() == 1) {
+    results[0] = RunOnStack(stacks_[0].get(), query, mode);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(stacks_.size());
+    for (size_t i = 0; i < stacks_.size(); ++i) {
+      threads.emplace_back([this, i, &query, mode, &results] {
+        results[i] = RunOnStack(stacks_[i].get(), query, mode);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  CorpusResult out;
+  out.is_aggregate = query.aggregate != query::Aggregate::kNone;
+  out.documents = stacks_.size();
+  std::set<uint32_t> groups;
+  bool first = true;
+  for (size_t i = 0; i < stacks_.size(); ++i) {
+    const ShardEntry& entry = *stacks_[i]->entry;
+    groups.insert(entry.group);
+    StatusOr<DocResult>& result = *results[i];
+    if (!result.ok()) return Attribute(result.status(), entry);
+    DocResult& doc = *result;
+    if (first) {
+      out.stats = doc.stats;
+    } else {
+      out.stats.eval.MergeConcurrent(doc.stats.eval);
+      out.stats.result_size += doc.stats.result_size;
+      out.stats.candidates_examined += doc.stats.candidates_examined;
+    }
+    if (out.is_aggregate) {
+      MergeAggregate(&out.aggregate, doc.aggregate, first);
+    } else {
+      out.nodes.push_back(
+          CorpusResult::DocNodes{doc.doc_id, std::move(doc.nodes)});
+    }
+    first = false;
+  }
+  out.groups = groups.size();
+  if (out.is_aggregate) {
+    // Group count after the cross-document union, not the per-doc sum.
+    out.stats.result_size = out.aggregate.values.size();
+  }
+  out.stats.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace ssdb::shard

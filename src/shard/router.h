@@ -1,0 +1,169 @@
+/// Shard router (DESIGN.md §10): the stateless coordinator that turns the
+/// one-document query stack into a corpus database. Given a ShardCatalog —
+/// document id -> (server group, slice set) — it owns one client stack
+/// (channels or local stores, ClientFilter, engines, AggregationEngine) per
+/// document and offers two entry points:
+///
+///  * QueryDoc: a query tagged with a document id runs against the owning
+///    group alone — exactly the single-document pipeline, plus routing.
+///  * QueryCorpus: a corpus-wide query fans out to every owning group
+///    concurrently (one thread per document, groups progress in parallel)
+///    and merges: fetch results concatenate per document; COUNT/SUM/EXISTS/
+///    GROUP-BY results combine additively across shards — corpus count =
+///    Σ_docs count(doc) — exactly as aggregate partials combine across
+///    slices within a group (§8), so round trips stay O(query steps) per
+///    group and the corpus costs one straggler of wall clock.
+///
+/// The router is TRUSTED (it holds seeds); the catalog-serving tier
+/// (tools/ssdb_router.cc) is not. Verified aggregation (§9) survives the
+/// extra tier: a tampering server inside one group fails that document's
+/// proof check, and the router rethrows the Corruption status prefixed
+/// "doc <id> (group <g>):" — blame crosses the router without dilution.
+///
+/// Every document may carry its own seed (recommended: with a shared seed,
+/// two slices of different documents hosted by one physical server are
+/// masked by the same PRG stream — see §10's threat-model note).
+
+#ifndef SSDB_SHARD_ROUTER_H_
+#define SSDB_SHARD_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agg/aggregation.h"
+#include "core/options.h"
+#include "filter/client_filter.h"
+#include "filter/multi_server_filter.h"
+#include "mapping/tag_map.h"
+#include "prg/seed.h"
+#include "query/advanced_engine.h"
+#include "query/engine.h"
+#include "query/simple_engine.h"
+#include "query/xpath.h"
+#include "rpc/multi_session.h"
+#include "shard/catalog.h"
+#include "storage/node_store.h"
+#include "util/statusor.h"
+
+namespace ssdb::shard {
+
+// One document's answer, routed to its owning group.
+struct DocResult {
+  std::string doc_id;
+  uint32_t group = 0;
+  bool is_aggregate = false;
+  agg::Result aggregate;
+  std::vector<filter::NodeMeta> nodes;  // empty for aggregates
+  query::QueryStats stats;
+};
+
+// A corpus-wide answer, merged across every owning group.
+struct CorpusResult {
+  bool is_aggregate = false;
+  // Merged additively across documents; group-by groups union by tag name.
+  agg::Result aggregate;
+  // Fetch results stay per-document (pre numbers only make sense within a
+  // document), in catalog order.
+  struct DocNodes {
+    std::string doc_id;
+    std::vector<filter::NodeMeta> nodes;
+  };
+  std::vector<DocNodes> nodes;
+  // Straggler-merged (filter::EvalStats::MergeConcurrent): work counters
+  // sum, round_trips/straggler_seconds take the slowest document's value.
+  query::QueryStats stats;
+  size_t documents = 0;
+  size_t groups = 0;
+};
+
+class Router {
+ public:
+  // Opens every document's stack from the catalog: slice endpoints are
+  // dialed as unix sockets, or opened as local slice files when
+  // options.local is set. `map` must outlive the router; `seeds` may give
+  // individual documents their own seed (strongly recommended for documents
+  // sharing physical servers), all others use `default_seed`.
+  static StatusOr<std::unique_ptr<Router>> Open(
+      ShardCatalog catalog, const mapping::TagMap* map,
+      const prg::Seed& default_seed,
+      const std::map<std::string, prg::Seed>& seeds,
+      const core::CorpusOptions& options);
+
+  // Test/bench injection: pre-built slice filters per document id (slice
+  // order), bypassing sockets and disk. Backends must outlive the router.
+  static StatusOr<std::unique_ptr<Router>> FromBackends(
+      ShardCatalog catalog, const mapping::TagMap* map,
+      const prg::Seed& default_seed,
+      const std::map<std::string, prg::Seed>& seeds,
+      const core::CorpusOptions& options,
+      const std::map<std::string, std::vector<filter::ServerFilter*>>&
+          backends);
+
+  ~Router();
+
+  // Routes one parsed query to the named document's group. NotFound when
+  // the catalog has no such document.
+  StatusOr<DocResult> QueryDoc(std::string_view doc_id,
+                               const query::Query& query,
+                               query::MatchMode mode);
+
+  // Fans one parsed query out to every document's group concurrently and
+  // merges. Plain (fetch) queries concatenate per document; aggregate forms
+  // merge additively. Any document's failure fails the corpus query with
+  // the document and group named.
+  StatusOr<CorpusResult> QueryCorpus(const query::Query& query,
+                                     query::MatchMode mode);
+
+  const ShardCatalog& catalog() const { return catalog_; }
+  size_t document_count() const { return stacks_.size(); }
+  // Total bytes over every remote channel (0 for local/injected stacks).
+  uint64_t bytes_on_wire() const;
+
+ private:
+  // The single-document client pipeline, owned per catalog entry.
+  struct DocStack {
+    const ShardEntry* entry = nullptr;  // points into catalog_
+    std::unique_ptr<rpc::MultiServerSession> session;  // remote mode
+    std::vector<std::unique_ptr<storage::NodeStore>> stores;  // local mode
+    std::vector<std::unique_ptr<filter::ServerFilter>> backends;
+    std::unique_ptr<filter::ServerFilter> owned_filter;
+    filter::ServerFilter* view = nullptr;
+    std::unique_ptr<filter::ClientFilter> client;
+    std::unique_ptr<query::SimpleEngine> simple;
+    std::unique_ptr<query::AdvancedEngine> advanced;
+    std::unique_ptr<agg::AggregationEngine> agg;
+    query::QueryEngine* engine = nullptr;  // selected by options.engine
+  };
+
+  Router(ShardCatalog catalog, const mapping::TagMap* map,
+         core::CorpusOptions options)
+      : catalog_(std::move(catalog)), map_(map), options_(options) {}
+
+  // Builds the client half of a stack (filter, engines) over stack->view.
+  Status FinishStack(DocStack* stack, const gf::Ring& ring,
+                     const prg::Seed& seed);
+
+  // Runs one query against one stack; errors come back unprefixed.
+  StatusOr<DocResult> RunOnStack(DocStack* stack, const query::Query& query,
+                                 query::MatchMode mode);
+
+  static Status Attribute(const Status& status, const ShardEntry& entry);
+
+  ShardCatalog catalog_;
+  const mapping::TagMap* map_;
+  core::CorpusOptions options_;
+  std::vector<std::unique_ptr<DocStack>> stacks_;  // catalog order
+  std::map<std::string, DocStack*, std::less<>> by_doc_;
+};
+
+// Merges another document's aggregate into `into` (additive across shards;
+// group-by unions groups by name). The first merge into a default
+// constructed Result adopts `from`'s shape. Exposed for tests.
+void MergeAggregate(agg::Result* into, const agg::Result& from, bool first);
+
+}  // namespace ssdb::shard
+
+#endif  // SSDB_SHARD_ROUTER_H_

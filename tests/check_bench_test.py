@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/check_bench.py.
+
+Run as a ctest:  python3 tests/check_bench_test.py <path-to-check_bench.py>
+
+Covers the guard semantics the CI bench job relies on:
+  * matched rows compare quietly; a guarded drop past the threshold warns
+    (and fails under --strict);
+  * fresh rows without a baseline counterpart are informational;
+  * baseline rows without a fresh counterpart at a scale that ran WARN —
+    silently losing guard coverage is the bug this protects against;
+  * baseline rows at a scale that did not run stay quiet.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECK_BENCH = None
+
+
+def run(captures, baseline, extra_args=()):
+    """Runs check_bench.py in a temp dir; returns (exit code, stdout)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        capture_paths = []
+        for i, lines in enumerate(captures):
+            path = os.path.join(tmp, f"capture{i}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                for block in lines:
+                    handle.write("BENCH_JSON " + json.dumps(block) + "\n")
+            capture_paths.append(path)
+        baseline_path = os.path.join(tmp, "baseline.json")
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump({"results": baseline}, handle)
+        out_path = os.path.join(tmp, "out.json")
+        proc = subprocess.run(
+            [sys.executable, CHECK_BENCH, "--baseline", baseline_path,
+             "--out", out_path, *extra_args, *capture_paths],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def block(name, scale, rows):
+    return {"bench": name, "scale": scale, "rows": rows}
+
+
+def expect(condition, message):
+    if not condition:
+        print(f"FAIL: {message}")
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def main():
+    global CHECK_BENCH
+    if len(sys.argv) != 2:
+        print("usage: check_bench_test.py <path-to-check_bench.py>")
+        return 1
+    CHECK_BENCH = sys.argv[1]
+
+    fresh = [block("rpc", 0.05, [{"servers": 1, "qps": 100.0}])]
+    same = [block("rpc", 0.05, [{"servers": 1, "qps": 101.0}])]
+
+    # Matched row, no movement: quiet success.
+    code, out = run([fresh], same)
+    expect(code == 0 and "::warning" not in out,
+           "matched rows within threshold stay quiet")
+
+    # Guarded drop past the threshold: warning, soft exit.
+    slow = [block("rpc", 0.05, [{"servers": 1, "qps": 10.0}])]
+    code, out = run([slow], same)
+    expect(code == 0 and "bench regression" in out,
+           "qps drop warns and fails soft")
+    code, out = run([slow], same, extra_args=("--strict",))
+    expect(code == 1, "qps drop fails hard under --strict")
+
+    # Fresh row with no baseline counterpart: informational only.
+    extra_fresh = [block("rpc", 0.05, [{"servers": 1, "qps": 100.0},
+                                       {"servers": 2, "qps": 90.0}])]
+    code, out = run([extra_fresh], same)
+    expect(code == 0 and "without a baseline counterpart" in out
+           and "guard coverage lost" not in out,
+           "fresh-only rows are informational")
+
+    # Baseline row with no fresh counterpart at a scale that ran: the
+    # orphan warning this test battery exists for.
+    wide_baseline = [block("rpc", 0.05, [{"servers": 1, "qps": 101.0},
+                                         {"servers": 4, "qps": 80.0}])]
+    code, out = run([fresh], wide_baseline)
+    expect(code == 0 and "guard coverage lost" in out
+           and "servers=4" in out,
+           "orphaned baseline row warns with its identity")
+
+    # Same orphan at a scale that did NOT run: quiet (a partial local run
+    # should not cry wolf about every other scale).
+    other_scale = [block("rpc", 1.0, [{"servers": 4, "qps": 80.0}])]
+    code, out = run([fresh], same + other_scale)
+    expect(code == 0 and "guard coverage lost" not in out,
+           "baseline rows at un-run scales stay quiet")
+
+    # Orphaned baseline rows with no guarded metric carry no guard to lose.
+    unguarded = [block("rpc", 0.05, [{"servers": 9, "bytes": 123}])]
+    code, out = run([fresh], same + unguarded)
+    expect(code == 0 and "guard coverage lost" not in out,
+           "unguarded baseline rows are not flagged")
+
+    print("all check_bench tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

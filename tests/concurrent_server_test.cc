@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <set>
 #include <string>
 #include <thread>
@@ -599,6 +600,24 @@ TEST_P(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
   EXPECT_FALSE(ConnectUnix(fixture.path).ok());
   // In-flight stubs observe the close as an error, not a hang.
   EXPECT_FALSE(a->Root().ok());
+}
+
+TEST(IdleSweepWaitTest, QuarterOfTimeoutWithClampsAndNoOverflow) {
+  // Sweeps disabled: wait forever.
+  EXPECT_EQ(IdleSweepWaitMs(0), -1);
+  EXPECT_EQ(IdleSweepWaitMs(-5), -1);
+  // Normal range: a quarter of the timeout, in milliseconds.
+  EXPECT_EQ(IdleSweepWaitMs(60), 15'000);
+  EXPECT_EQ(IdleSweepWaitMs(600), 150'000);
+  // The smallest enabled timeout still yields a sane wait (and the 50ms
+  // floor keeps the poll loop from spinning however the math changes).
+  EXPECT_EQ(IdleSweepWaitMs(1), 250);
+  // Regression: timeouts past ~24.8 days used to overflow the 32-bit
+  // millisecond product and hand poll() a negative wait — i.e. an idle
+  // timeout so large it effectively disabled sweeping entirely. The wait
+  // must stay positive and capped (sweep at least hourly).
+  EXPECT_EQ(IdleSweepWaitMs(30'000'000), 3'600'000);
+  EXPECT_EQ(IdleSweepWaitMs(std::numeric_limits<int>::max()), 3'600'000);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -14,18 +14,26 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "core/database.h"
 #include "query/advanced_engine.h"
 #include "query/ground_truth.h"
+#include "query/xpath.h"
 #include "query/simple_engine.h"
 #include "rpc/channel.h"
 #include "rpc/client.h"
 #include "rpc/protocol.h"
 #include "rpc/server.h"
+#include "shard/catalog.h"
+#include "shard/router.h"
 #include "test_helpers.h"
 #include "util/random.h"
+#include "xmark/generator.h"
 #include "xml/writer.h"
 
 namespace ssdb {
@@ -232,7 +240,8 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   request.points = {4, 5};
   request.agg_columns = 0x15;  // kAggregate/kAggregateBatch fields
   request.value_indexes = {0, 2};
-  for (uint8_t op = 0; op <= 20; ++op) {
+  request.doc_id = "doc-x";  // kCatalogResolve field
+  for (uint8_t op = 0; op <= 22; ++op) {
     request.op = static_cast<rpc::Op>(op);
     std::string valid = rpc::EncodeRequest(request);
     for (size_t cut = 0; cut <= valid.size(); ++cut) {
@@ -297,6 +306,120 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   ASSERT_TRUE(after.ok());
   db->server->EndSession(filter::SessionId{0});
   EXPECT_EQ(db->server->OpenCursorCount(), 0u);
+}
+
+// Shard-catalog wire codec (DESIGN.md §10) under the same adversarial
+// treatment ops 16–19 get above: truncations at every prefix, single-bit
+// flips, purely random frames, and varints claiming absurd entry/slice
+// counts. Decoding must reject cleanly before allocating; and whenever a
+// mutated catalog still decodes AND still routes, the merged corpus totals
+// must match ground truth — a flipped bit may break routing, it must never
+// silently change an answer.
+TEST(FuzzTest, ShardCatalogCodecNeverCrashesOrMisroutes) {
+  // A tiny real corpus the semantic check can route against.
+  gf::Field field = *gf::Field::Make(83);
+  mapping::TagMap map = *core::EncryptedXmlDatabase::TagMapForDtd(
+      xmark::AuctionDtd(), field, false);
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = 4 << 10;
+  gen.seed = 5;
+  prg::Seed seed = prg::Seed::FromUint64(313);
+  core::DatabaseOptions options;
+  options.backend = core::Backend::kMemory;
+  options.servers = 2;
+  auto db = core::EncryptedXmlDatabase::Encode(
+      xmark::GenerateAuctionDocument(gen).xml, map, seed, options);
+  ASSERT_TRUE(db.ok());
+  uint64_t truth = (*db)
+                       ->Query("count(/site//person)",
+                               core::EngineKind::kAdvanced,
+                               query::MatchMode::kEquality)
+                       ->aggregate.Total();
+
+  shard::ShardCatalog catalog;
+  shard::ShardEntry entry;
+  entry.doc_id = "doc";
+  entry.group = 0;
+  entry.slices = {"mem://doc/0", "mem://doc/1"};
+  ASSERT_TRUE(catalog.Add(entry).ok());
+  std::map<std::string, std::vector<filter::ServerFilter*>> backends;
+  backends["doc"] = {(*db)->slice_filter(0), (*db)->slice_filter(1)};
+  std::map<std::string, prg::Seed> seeds;
+  seeds.emplace("doc", seed);
+
+  auto query = query::ParseQuery("count(/site//person)");
+  ASSERT_TRUE(query.ok());
+  auto route_matches_truth = [&](const shard::ShardCatalog& mutated) {
+    core::CorpusOptions copts;
+    auto router = shard::Router::FromBackends(mutated, &map, seed, seeds,
+                                              copts, backends);
+    if (!router.ok()) return;  // flipped ids/slices: fine, it refused
+    auto corpus =
+        (*router)->QueryCorpus(*query, query::MatchMode::kEquality);
+    if (!corpus.ok()) return;
+    EXPECT_EQ(corpus->aggregate.Total(), truth);
+  };
+
+  std::string wire = shard::EncodeCatalog(catalog);
+
+  // Truncations at every prefix length must reject, never crash.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(shard::DecodeCatalog(wire.substr(0, cut)).ok());
+  }
+
+  // Every single-bit flip: reject, or decode to a catalog that either
+  // fails to route or routes to the true totals.
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::string flipped = wire;
+    flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    auto decoded = shard::DecodeCatalog(flipped);
+    if (decoded.ok()) route_matches_truth(*decoded);
+  }
+
+  // Purely random frames.
+  Random rng(1717);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t len = rng.Uniform(trial % 5 == 0 ? 256 : 24);
+    std::string frame;
+    frame.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      frame.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto decoded = shard::DecodeCatalog(frame);
+    if (decoded.ok()) route_matches_truth(*decoded);
+    shard::DecodeEntry(frame);  // must not crash; outcome is irrelevant
+  }
+
+  // Oversized counts: a varint claiming 2^40..2^62 entries (or slices)
+  // must be rejected up front — the decoder may never size a vector from
+  // an unvalidated count (would OOM before the truncation is noticed).
+  for (int shift = 40; shift <= 62; ++shift) {
+    uint64_t huge = uint64_t{1} << shift;
+    std::string counted;
+    uint64_t value = huge;
+    while (value >= 0x80) {
+      counted.push_back(static_cast<char>(0x80 | (value & 0x7f)));
+      value >>= 7;
+    }
+    counted.push_back(static_cast<char>(value));
+    std::string catalog_frame;
+    catalog_frame.push_back(1);  // version
+    catalog_frame += counted;    // entry-count bomb
+    EXPECT_FALSE(shard::DecodeCatalog(catalog_frame).ok());
+    // An entry whose slice count is huge: valid doc id, then the bomb.
+    std::string entry_frame;
+    entry_frame.push_back(3);
+    entry_frame += "doc";
+    entry_frame.push_back(0);  // group
+    entry_frame += counted;
+    EXPECT_FALSE(shard::DecodeEntry(entry_frame).ok());
+  }
+
+  // The unmutated wire still round-trips after the barrage.
+  auto survivor = shard::DecodeCatalog(wire);
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_EQ(survivor->entries(), catalog.entries());
+  route_matches_truth(*survivor);
 }
 
 // Proof-bearing aggregate replies (DESIGN.md §9) under an adversarial

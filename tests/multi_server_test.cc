@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/database.h"
@@ -247,6 +249,55 @@ TEST_F(MultiServerTest, TamperedSliceIsDetectedByFullVerification) {
   auto honest_value = honest_client.RecoverOwnValue(*honest_root);
   ASSERT_TRUE(honest_value.ok()) << honest_value.status().ToString();
   EXPECT_EQ(*honest_value, *map_.Lookup("site"));
+}
+
+TEST_F(MultiServerTest, StragglerCountersAreConsistentUnderConcurrency) {
+  // Regression (TSan): round_trips_ / straggler_seconds_ used to be plain
+  // fields updated by concurrent fan-out calls — a data race, and drops of
+  // whole increments under contention. Hammer one shared fan-out from
+  // several threads while others read the counters mid-flight.
+  auto db = EncodeWithServers(xml_, map_, seed_, 2);
+  ASSERT_TRUE(db.ok());
+  filter::LocalServerFilter slice0(ring_, (*db)->slice_store(0));
+  filter::LocalServerFilter slice1(ring_, (*db)->slice_store(1));
+  filter::MultiServerFilter fanout(ring_, {&slice0, &slice1});
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 50;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        uint64_t trips = fanout.RoundTrips();
+        double seconds = fanout.StragglerSeconds();
+        // Monotone and never garbage/torn.
+        if (trips < last || seconds < 0.0) failures.fetch_add(1);
+        last = trips;
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (!fanout.Root().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  done.store(true, std::memory_order_release);
+  for (auto& thread : readers) thread.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  // Every call is one straggler round trip; none may be lost to a race.
+  EXPECT_EQ(fanout.RoundTrips(),
+            static_cast<uint64_t>(kThreads) * kCallsPerThread);
+  EXPECT_GE(fanout.StragglerSeconds(), 0.0);
 }
 
 }  // namespace

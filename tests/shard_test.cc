@@ -1,0 +1,482 @@
+// Shard-router battery (DESIGN.md §10): catalog codecs (JSON + binary),
+// routing over a multi-document corpus spread across server groups with
+// different slice counts, corpus-wide aggregate merging against
+// per-document ground truth, straggler round-trip accounting, the catalog
+// RPC tier, local-disk corpus opening, per-document seeds, and verified
+// aggregation attributing a tampering server through the router.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "fault_injection.h"
+#include "query/xpath.h"
+#include "rpc/concurrent_server.h"
+#include "rpc/protocol.h"
+#include "rpc/socket_channel.h"
+#include "shard/catalog.h"
+#include "shard/catalog_client.h"
+#include "shard/router.h"
+#include "util/file_util.h"
+#include "xmark/generator.h"
+
+#include <unistd.h>
+
+namespace ssdb {
+namespace {
+
+using shard::Router;
+using shard::ShardCatalog;
+using shard::ShardEntry;
+
+ShardEntry MakeEntry(const std::string& id, uint32_t group, size_t slices) {
+  ShardEntry entry;
+  entry.doc_id = id;
+  entry.group = group;
+  for (size_t i = 0; i < slices; ++i) {
+    entry.slices.push_back("mem://" + id + "/" + std::to_string(i));
+  }
+  return entry;
+}
+
+// --- catalog codecs ---------------------------------------------------------
+
+TEST(ShardCatalogTest, JsonRoundTrip) {
+  ShardCatalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeEntry("alpha", 0, 1)).ok());
+  ASSERT_TRUE(catalog.Add(MakeEntry("beta", 1, 2)).ok());
+  ASSERT_TRUE(catalog.Add(MakeEntry("gamma", 1, 2)).ok());
+
+  auto parsed = ShardCatalog::FromJson(catalog.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->entries(), catalog.entries());
+  EXPECT_EQ(parsed->Groups(), (std::vector<uint32_t>{0, 1}));
+
+  TempDir dir("shard_catalog");
+  std::string path = dir.FilePath("catalog.json");
+  ASSERT_TRUE(catalog.Save(path).ok());
+  auto loaded = ShardCatalog::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->entries(), catalog.entries());
+}
+
+TEST(ShardCatalogTest, JsonRejectsOtherVersionsAndGarbage) {
+  auto wrong = ShardCatalog::FromJson(
+      R"({"version":2,"documents":[]})");
+  EXPECT_EQ(wrong.status().code(), StatusCode::kUnimplemented);
+
+  for (const char* bad :
+       {"", "{", "[]", R"({"documents":[]})",
+        R"({"version":1,"documents":[{"group":0,"slices":["s"]}]})",
+        R"({"version":1,"documents":[]} trailing)"}) {
+    EXPECT_FALSE(ShardCatalog::FromJson(bad).ok()) << bad;
+  }
+}
+
+TEST(ShardCatalogTest, AddValidates) {
+  ShardCatalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeEntry("alpha", 0, 1)).ok());
+  EXPECT_EQ(catalog.Add(MakeEntry("alpha", 1, 1)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(catalog.Add(MakeEntry("", 0, 1)).ok());
+  EXPECT_FALSE(catalog.Add(MakeEntry("noslices", 0, 0)).ok());
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.Find("alpha")->group, 0u);
+  EXPECT_EQ(catalog.Find("beta"), nullptr);
+}
+
+TEST(ShardCatalogTest, BinaryRoundTripAndTruncation) {
+  ShardCatalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeEntry("alpha", 0, 1)).ok());
+  ASSERT_TRUE(catalog.Add(MakeEntry("beta", 7, 2)).ok());
+
+  std::string wire = shard::EncodeCatalog(catalog);
+  auto decoded = shard::DecodeCatalog(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->entries(), catalog.entries());
+
+  // Every proper prefix must fail cleanly, never crash or misread.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(shard::DecodeCatalog(wire.substr(0, len)).ok()) << len;
+  }
+
+  std::string entry_wire = shard::EncodeEntry(catalog.entries()[1]);
+  auto entry = shard::DecodeEntry(entry_wire);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(*entry, catalog.entries()[1]);
+  for (size_t len = 0; len < entry_wire.size(); ++len) {
+    EXPECT_FALSE(shard::DecodeEntry(entry_wire.substr(0, len)).ok()) << len;
+  }
+}
+
+// --- aggregate merge --------------------------------------------------------
+
+TEST(ShardMergeTest, GroupByUnionsByName) {
+  agg::Result a;
+  a.group_by = true;
+  a.verified = true;
+  a.proof_words = 3;
+  a.group_names = {"person", "item"};
+  a.values = {2, 5};
+  agg::Result b;
+  b.group_by = true;
+  b.verified = true;
+  b.proof_words = 4;
+  b.group_names = {"item", "bidder"};
+  b.values = {1, 9};
+
+  agg::Result merged;
+  shard::MergeAggregate(&merged, a, /*first=*/true);
+  shard::MergeAggregate(&merged, b, /*first=*/false);
+  EXPECT_EQ(merged.group_names,
+            (std::vector<std::string>{"person", "item", "bidder"}));
+  EXPECT_EQ(merged.values, (std::vector<uint64_t>{2, 6, 9}));
+  EXPECT_EQ(merged.proof_words, 7u);
+  EXPECT_TRUE(merged.verified);
+
+  agg::Result tainted;
+  tainted.verified = false;
+  shard::MergeAggregate(&merged, tainted, /*first=*/false);
+  EXPECT_FALSE(merged.verified);
+}
+
+// --- corpus fixture ---------------------------------------------------------
+
+// Three XMark documents of different sizes across three server groups:
+// alpha is a classic single-server doc, beta and gamma are 2-slice splits.
+// Every document has its own seed (the recommended deployment).
+struct CorpusFixture {
+  gf::Field field;
+  gf::Ring ring;
+  mapping::TagMap map;
+  std::vector<std::string> ids{"alpha", "beta", "gamma"};
+  std::vector<uint32_t> groups{0, 1, 2};
+  std::vector<uint32_t> slices{1, 2, 2};
+  std::vector<prg::Seed> seeds;
+  std::vector<std::unique_ptr<core::EncryptedXmlDatabase>> dbs;
+  ShardCatalog catalog;
+  std::map<std::string, std::vector<filter::ServerFilter*>> backends;
+  std::map<std::string, prg::Seed> seed_map;
+
+  CorpusFixture()
+      : field(*gf::Field::Make(83)),
+        ring(field),
+        map(*core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
+                                                      field, false)) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      xmark::GeneratorOptions gen;
+      gen.target_bytes = (8u + 8u * i) << 10;  // different candidate counts
+      gen.seed = 11 * (i + 1);
+      seeds.push_back(prg::Seed::FromUint64(1000 + i));
+
+      core::DatabaseOptions options;
+      options.backend = core::Backend::kMemory;
+      options.servers = slices[i];
+      options.encode.verify_aggregate = true;  // §9 track for blame tests
+      auto db = core::EncryptedXmlDatabase::Encode(
+          xmark::GenerateAuctionDocument(gen).xml, map, seeds[i], options);
+      SSDB_CHECK(db.ok()) << db.status().ToString();
+      dbs.push_back(std::move(*db));
+
+      SSDB_CHECK(catalog.Add(MakeEntry(ids[i], groups[i], slices[i])).ok());
+      std::vector<filter::ServerFilter*> doc_backends;
+      for (uint32_t s = 0; s < slices[i]; ++s) {
+        doc_backends.push_back(dbs[i]->slice_filter(s));
+      }
+      backends.emplace(ids[i], doc_backends);
+      seed_map.emplace(ids[i], seeds[i]);
+    }
+  }
+
+  StatusOr<std::unique_ptr<Router>> OpenRouter(bool verify = false) {
+    core::CorpusOptions options;
+    options.verify_aggregate = verify;
+    return Router::FromBackends(catalog, &map, seeds[0], seed_map, options,
+                                backends);
+  }
+
+  // Per-document ground truth through the document's own client stack.
+  core::QueryResult Truth(size_t i, const std::string& text) {
+    auto result = dbs[i]->Query(text, core::EngineKind::kAdvanced,
+                                query::MatchMode::kEquality);
+    SSDB_CHECK(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+};
+
+query::Query Parse(const std::string& text) {
+  auto parsed = query::ParseQuery(text);
+  SSDB_CHECK(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+TEST(ShardRouterTest, CorpusAggregatesMatchPerDocumentGroundTruth) {
+  CorpusFixture fx;
+  auto router = fx.OpenRouter();
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  for (const char* text :
+       {"count(/site//person)", "count(/site//item)", "sum(/site//bidder)",
+        "exists(/site/people)", "count(/site/*)"}) {
+    SCOPED_TRACE(text);
+    auto corpus = (*router)->QueryCorpus(Parse(text),
+                                         query::MatchMode::kEquality);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    EXPECT_TRUE(corpus->is_aggregate);
+    EXPECT_EQ(corpus->documents, 3u);
+    EXPECT_EQ(corpus->groups, 3u);
+
+    uint64_t expected_total = 0;
+    std::map<std::string, uint64_t> expected_groups;
+    for (size_t i = 0; i < fx.ids.size(); ++i) {
+      core::QueryResult truth = fx.Truth(i, text);
+      expected_total += truth.aggregate.Total();
+      for (size_t g = 0; g < truth.aggregate.group_names.size(); ++g) {
+        expected_groups[truth.aggregate.group_names[g]] +=
+            truth.aggregate.values[g];
+      }
+    }
+    EXPECT_EQ(corpus->aggregate.Total(), expected_total);
+    std::map<std::string, uint64_t> merged_groups;
+    for (size_t g = 0; g < corpus->aggregate.group_names.size(); ++g) {
+      merged_groups[corpus->aggregate.group_names[g]] +=
+          corpus->aggregate.values[g];
+    }
+    EXPECT_EQ(merged_groups, expected_groups);
+  }
+}
+
+TEST(ShardRouterTest, CorpusRoundTripsAreStragglerNotSum) {
+  CorpusFixture fx;
+  auto router = fx.OpenRouter();
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  // Per-document trip counts for the same query...
+  uint64_t max_doc_trips = 0;
+  for (const std::string& id : fx.ids) {
+    auto doc = (*router)->QueryDoc(id, Parse("count(/site//person)"),
+                                   query::MatchMode::kEquality);
+    ASSERT_TRUE(doc.ok());
+    max_doc_trips = std::max(max_doc_trips, doc->stats.eval.round_trips);
+  }
+  // ...must equal the corpus cost: concurrent fan-out is one straggler of
+  // latency, not a sum across documents.
+  auto corpus = (*router)->QueryCorpus(Parse("count(/site//person)"),
+                                       query::MatchMode::kEquality);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->stats.eval.round_trips, max_doc_trips);
+
+  // Round trips depend on the query's shape, not on how many nodes match:
+  // person and item populations differ, the step structure does not.
+  auto other = (*router)->QueryCorpus(Parse("count(/site//item)"),
+                                      query::MatchMode::kEquality);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(corpus->aggregate.Total(), other->aggregate.Total());
+  EXPECT_EQ(corpus->stats.eval.round_trips, other->stats.eval.round_trips);
+}
+
+TEST(ShardRouterTest, FetchQueriesConcatenatePerDocument) {
+  CorpusFixture fx;
+  auto router = fx.OpenRouter();
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto corpus = (*router)->QueryCorpus(Parse("/site/people/person"),
+                                       query::MatchMode::kEquality);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_FALSE(corpus->is_aggregate);
+  ASSERT_EQ(corpus->nodes.size(), 3u);
+  for (size_t i = 0; i < fx.ids.size(); ++i) {
+    EXPECT_EQ(corpus->nodes[i].doc_id, fx.ids[i]);
+    core::QueryResult truth = fx.Truth(i, "/site/people/person");
+    ASSERT_EQ(corpus->nodes[i].nodes.size(), truth.nodes.size());
+    for (size_t n = 0; n < truth.nodes.size(); ++n) {
+      EXPECT_EQ(corpus->nodes[i].nodes[n].pre, truth.nodes[n].pre);
+    }
+  }
+}
+
+TEST(ShardRouterTest, QueryDocRoutesAndRejectsUnknownIds) {
+  CorpusFixture fx;
+  auto router = fx.OpenRouter();
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto doc = (*router)->QueryDoc("beta", Parse("count(/site//person)"),
+                                 query::MatchMode::kEquality);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->doc_id, "beta");
+  EXPECT_EQ(doc->group, 1u);
+  EXPECT_EQ(doc->aggregate.Total(),
+            fx.Truth(1, "count(/site//person)").aggregate.Total());
+
+  auto missing = (*router)->QueryDoc("delta", Parse("count(/site//person)"),
+                                     query::MatchMode::kEquality);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("delta"), std::string::npos);
+}
+
+TEST(ShardRouterTest, WrongSeedFailsTheOpenProbe) {
+  CorpusFixture fx;
+  // Drop gamma's seed from the map so it falls back to the (wrong)
+  // default: the per-document share-sum probe must catch this at open.
+  fx.seed_map.erase("gamma");
+  core::CorpusOptions options;
+  auto router = Router::FromBackends(fx.catalog, &fx.map, fx.seeds[0],
+                                     fx.seed_map, options, fx.backends);
+  ASSERT_FALSE(router.ok());
+  EXPECT_NE(router.status().message().find("doc gamma (group 2)"),
+            std::string::npos)
+      << router.status().ToString();
+  EXPECT_NE(router.status().message().find("probe"), std::string::npos);
+}
+
+TEST(ShardRouterTest, MissingBackendsAndEmptyCatalogFailLoudly) {
+  CorpusFixture fx;
+  fx.backends.erase("beta");
+  core::CorpusOptions options;
+  auto router = Router::FromBackends(fx.catalog, &fx.map, fx.seeds[0],
+                                     fx.seed_map, options, fx.backends);
+  EXPECT_EQ(router.status().code(), StatusCode::kInvalidArgument);
+
+  ShardCatalog empty;
+  auto none = Router::FromBackends(
+      empty, &fx.map, fx.seeds[0], {}, options, {});
+  ASSERT_TRUE(none.ok());
+  auto corpus = (*none)->QueryCorpus(Parse("count(/site//person)"),
+                                     query::MatchMode::kEquality);
+  EXPECT_EQ(corpus.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardRouterTest, TamperingServerIsAttributedThroughTheRouter) {
+  CorpusFixture fx;
+  // Slice 1 of beta's 2-server group lies by +1 on aggregate words.
+  testing_helpers::FaultConfig config;
+  config.fault = testing_helpers::Fault::kAddOne;
+  config.on_aggregate = true;
+  testing_helpers::TamperingServerFilter tamper(
+      fx.ring, fx.dbs[1]->slice_filter(1), config);
+  fx.backends["beta"][1] = &tamper;
+
+  auto router = fx.OpenRouter(/*verify=*/true);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto corpus = (*router)->QueryCorpus(Parse("count(/site//person)"),
+                                       query::MatchMode::kEquality);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kCorruption);
+  // Blame crosses the router intact: document, group, and server named.
+  EXPECT_NE(corpus.status().message().find("doc beta (group 1)"),
+            std::string::npos)
+      << corpus.status().ToString();
+  EXPECT_NE(corpus.status().message().find("server 1"), std::string::npos)
+      << corpus.status().ToString();
+  EXPECT_GT(tamper.faults_injected(), 0u);
+
+  // The honest groups still answer: remove the tamper and the same router
+  // config verifies end to end.
+  fx.backends["beta"][1] = fx.dbs[1]->slice_filter(1);
+  auto honest = fx.OpenRouter(/*verify=*/true);
+  ASSERT_TRUE(honest.ok());
+  auto verified = (*honest)->QueryCorpus(Parse("count(/site//person)"),
+                                         query::MatchMode::kEquality);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_TRUE(verified->aggregate.verified);
+  EXPECT_GT(verified->aggregate.proof_words, 0u);
+}
+
+TEST(ShardRouterTest, OpensLocalSliceFilesFromCatalog) {
+  CorpusFixture fx;
+  TempDir dir("shard_local");
+
+  // Encode one extra document to disk as a 2-slice split and route to it
+  // through a catalog whose endpoints are the slice files.
+  xmark::GeneratorOptions gen;
+  gen.target_bytes = 8 << 10;
+  gen.seed = 99;
+  std::string xml = xmark::GenerateAuctionDocument(gen).xml;
+  prg::Seed seed = prg::Seed::FromUint64(4242);
+  std::string base = dir.FilePath("delta.ssdb");
+  core::DatabaseOptions options;
+  options.backend = core::Backend::kDisk;
+  options.disk_path = base;
+  options.servers = 2;
+  auto db = core::EncryptedXmlDatabase::Encode(xml, fx.map, seed, options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  ShardCatalog catalog;
+  ShardEntry entry;
+  entry.doc_id = "delta";
+  entry.group = 0;
+  entry.slices = {core::ShareSlicePath(base, 0, 2),
+                  core::ShareSlicePath(base, 1, 2)};
+  ASSERT_TRUE(catalog.Add(entry).ok());
+
+  core::CorpusOptions copts;
+  copts.local = true;
+  auto router = Router::Open(catalog, &fx.map, seed, {}, copts);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto corpus = (*router)->QueryCorpus(Parse("count(/site//person)"),
+                                       query::MatchMode::kEquality);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->aggregate.Total(),
+            (*db)->Query("count(/site//person)", core::EngineKind::kAdvanced,
+                         query::MatchMode::kEquality)
+                ->aggregate.Total());
+}
+
+// --- the catalog RPC tier ---------------------------------------------------
+
+TEST(ShardCatalogServerTest, ServesCatalogAndRefusesFilterOps) {
+  ShardCatalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeEntry("alpha", 0, 1)).ok());
+  ASSERT_TRUE(catalog.Add(MakeEntry("beta", 1, 2)).ok());
+  std::map<std::string, std::string> entries;
+  for (const ShardEntry& entry : catalog.entries()) {
+    entries.emplace(entry.doc_id, shard::EncodeEntry(entry));
+  }
+
+  std::string path = "/tmp/ssdb_shard_router_" +
+                     std::to_string(::getpid()) + ".sock";
+  auto listener = rpc::UnixServerSocket::Listen(path);
+  ASSERT_TRUE(listener.ok());
+  gf::Field field = *gf::Field::Make(83);
+  rpc::ConcurrentServerOptions options;
+  options.threads = 2;
+  rpc::ConcurrentServer server(gf::Ring(field), /*filter=*/nullptr,
+                               std::move(*listener), options);
+  server.SetCatalog(shard::EncodeCatalog(catalog), std::move(entries));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fetched = shard::FetchCatalogUnix(path);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(fetched->entries(), catalog.entries());
+
+  auto entry = shard::ResolveDocUnix(path, "beta");
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  EXPECT_EQ(*entry, catalog.entries()[1]);
+
+  auto missing = shard::ResolveDocUnix(path, "delta");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // A share/structure op against the catalog tier must refuse, not crash:
+  // the router holds no slice.
+  auto channel = rpc::ConnectUnix(path);
+  ASSERT_TRUE(channel.ok());
+  rpc::Request root;
+  root.op = rpc::Op::kRoot;
+  ASSERT_TRUE((*channel)->Send(rpc::EncodeRequest(root)).ok());
+  auto raw = (*channel)->Receive();
+  ASSERT_TRUE(raw.ok());
+  auto payload = rpc::DecodeResponse(*raw);
+  EXPECT_EQ(payload.status().code(), StatusCode::kFailedPrecondition);
+
+  server.Shutdown();
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace ssdb

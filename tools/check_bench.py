@@ -15,7 +15,9 @@ or whose ``p99_ms`` rose — more than ``--threshold`` (default 30%) emits
 a GitHub warning annotation; the check FAILS SOFT (exit 0) unless
 --strict, because absolute numbers are noisy across runners — the
 annotation is the signal, the artifact is the record. Rows with no
-baseline counterpart are reported informationally.
+baseline counterpart are reported informationally; baseline rows with no
+fresh counterpart (at a scale that ran) warn — that guard's coverage was
+silently lost, usually by a renamed identity field or a dropped bench.
 
 To refresh the baseline after an intentional change, copy the merged
 artifact over bench/baseline.json (it is the same format). Each block
@@ -129,7 +131,8 @@ def main():
     regressions = []
     compared = 0
     unmatched = 0
-    for identity, row in index_rows(benches).items():
+    fresh = index_rows(benches)
+    for identity, row in fresh.items():
         if not any(metric in row for metric in GUARDED_METRICS):
             continue
         base = baseline.get(identity)
@@ -158,6 +161,25 @@ def main():
 
     print(f"compared {compared} rows against {args.baseline} "
           f"({unmatched} without a baseline counterpart)")
+
+    # Guard coverage the other way: a baseline row no fresh capture matched
+    # means a bench stopped emitting it (renamed identity field, deleted
+    # case, bench dropped from CI) and its regression guard silently
+    # evaporated. Warn loudly instead of losing coverage without a trace.
+    # Only baseline rows whose scale actually ran are flagged, so running a
+    # subset of scales locally does not cry wolf about the rest.
+    fresh_scales = {dict(identity).get("scale") for identity in fresh}
+    orphaned = [
+        identity for identity, base in baseline.items()
+        if identity not in fresh
+        and any(metric in base for metric in GUARDED_METRICS)
+        and dict(identity).get("scale") in fresh_scales
+    ]
+    for identity in orphaned:
+        print(f"::warning ::baseline row has no fresh counterpart "
+              f"(guard coverage lost): {describe(identity)}")
+    if orphaned:
+        print(f"{len(orphaned)} baseline row(s) lost guard coverage")
     for regression in regressions:
         print(f"::warning ::bench regression: {regression}")
     if not regressions:

@@ -83,5 +83,60 @@ if ! grep -q 'result_size=1 (groups)' two_server_count.out; then
   exit 1
 fi
 
+# --- 2-shard corpus (DESIGN.md §10) -----------------------------------------
+# Grow the deployment into a corpus: a second document in its own server
+# group, a shard catalog served by ssdb_router, and one corpus-wide count()
+# through the router that must equal the sum of the per-document answers.
+"$build_dir/ssdb_xmlgen" --kb 48 --seed 7 --out doc2.xml
+"$build_dir/ssdb_encode" --map map.properties --seed seed.key \
+    --xml doc2.xml --out db2.ssdb --servers=2
+
+"$build_dir/ssdb_server" --db db2.ssdb --servers=2 --share-index=0 \
+    --socket "$work/s2.sock" &
+pids="$pids $!"
+"$build_dir/ssdb_server" --db db2.ssdb --servers=2 --share-index=1 \
+    --socket "$work/s3.sock" &
+pids="$pids $!"
+
+cat > catalog.json <<EOF
+{
+  "version": 1,
+  "documents": [
+    {"id": "doc1", "group": 0, "slices": ["$work/s0.sock", "$work/s1.sock"]},
+    {"id": "doc2", "group": 1, "slices": ["$work/s2.sock", "$work/s3.sock"]}
+  ]
+}
+EOF
+"$build_dir/ssdb_router" --catalog catalog.json --socket "$work/router.sock" &
+pids="$pids $!"
+
+for _ in $(seq 50); do
+  [ -S "$work/s2.sock" ] && [ -S "$work/s3.sock" ] && \
+      [ -S "$work/router.sock" ] && break
+  sleep 0.1
+done
+
+# Per-document ground truth, straight at each group.
+"$build_dir/ssdb_query" --connect "$work/s2.sock,$work/s3.sock" \
+    --map map.properties --seed seed.key "count($query)" | tee doc2_count.out
+doc2_count="$(sed -n 's/.*count = \([0-9]*\) in.*/\1/p' doc2_count.out)"
+
+# Corpus-wide count() through the router-served catalog.
+"$build_dir/ssdb_query" --router "$work/router.sock" --corpus \
+    --map map.properties --seed seed.key "count($query)" | tee corpus_count.out
+corpus_count="$(sed -n 's/.*count = \([0-9]*\) in.*/\1/p' corpus_count.out)"
+
+if ! grep -q 'corpus: 2 doc(s), 2 group(s)' corpus_count.out; then
+  echo "MISSING: corpus query did not report 2 documents in 2 groups"
+  exit 1
+fi
+expected_corpus=$((agg_count + doc2_count))
+if [ -z "$corpus_count" ] || [ "$corpus_count" != "$expected_corpus" ]; then
+  echo "MISMATCH: corpus count($query) = '$corpus_count' but the shards" \
+       "answered $agg_count + $doc2_count = $expected_corpus"
+  exit 1
+fi
+
 echo "quickstart OK: 2-server fan-out matches single-server results," \
-     "count() agrees ($agg_count)"
+     "count() agrees ($agg_count), 2-shard corpus count agrees" \
+     "($corpus_count = $agg_count + $doc2_count)"

@@ -11,6 +11,19 @@
 //              [--p 83] [--e 1] "QUERY" ["QUERY" ...]
 //   ssdb_query --connect /tmp/s0.sock[,/tmp/s1.sock,...] --map ... --seed ...
 //              "QUERY"
+//   ssdb_query (--catalog catalog.json | --router /tmp/router.sock)
+//              [--local] [--doc ID | --corpus] --map ... --seed ...
+//              "count(/site//item)" ...
+//
+// Corpus mode (DESIGN.md §10): --catalog loads a shard catalog from disk,
+// --router fetches it from a running ssdb_router; either opens every
+// document's server group through a shard::Router. --doc ID routes the
+// queries to one document; otherwise (--corpus, the default) each query
+// fans out to every group concurrently and the answers are merged — fetch
+// results per document, aggregates additively across shards. --local
+// reinterprets catalog slice endpoints as local slice files instead of
+// sockets. One --seed covers every document (the shard::Router API also
+// takes per-document seeds).
 //
 // --connect may be repeated or comma-separated, one socket per share slice
 // in slice order (slice 0 first). --servers m with --db opens the m local
@@ -43,6 +56,9 @@
 #include "rpc/client.h"
 #include "rpc/multi_session.h"
 #include "rpc/socket_channel.h"
+#include "shard/catalog.h"
+#include "shard/catalog_client.h"
+#include "shard/router.h"
 #include "storage/table.h"
 #include "tools/tool_util.h"
 
@@ -61,6 +77,10 @@ int main(int argc, char** argv) {
   bool show_stats = args.Has("--stats");
   bool verify_agg = args.Has("--verify-agg");
   std::string agg_wrap = args.Get("--agg", "");
+  std::string catalog_path = args.Get("--catalog", "");
+  std::string router_sock = args.Get("--router", "");
+  std::string doc_id = args.Get("--doc", "");
+  bool corpus_local = args.Has("--local");
 
   // A positional is a query iff the parser accepts it — the one source of
   // truth for plain and aggregate forms alike. --agg wraps only queries
@@ -68,7 +88,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> queries;
   for (const std::string& arg : args.Positionals({"--full-verify",
                                                   "--stats",
-                                                  "--verify-agg"})) {
+                                                  "--verify-agg",
+                                                  "--corpus",
+                                                  "--local"})) {
     auto parsed = query::ParseQuery(arg);
     bool aggregate_form =
         parsed.ok() && parsed->aggregate != query::Aggregate::kNone;
@@ -79,13 +101,16 @@ int main(int argc, char** argv) {
                           ? arg
                           : agg_wrap + "(" + arg + ")");
   }
-  if (queries.empty() || (db_path.empty() && connects.empty()) ||
-      servers == 0 ||
+  const bool corpus_mode = !catalog_path.empty() || !router_sock.empty();
+  if (queries.empty() ||
+      (db_path.empty() && connects.empty() && !corpus_mode) || servers == 0 ||
       (!agg_wrap.empty() && agg_wrap != "count" && agg_wrap != "sum" &&
        agg_wrap != "exists")) {
     std::fprintf(stderr,
                  "usage: ssdb_query (--db DB.ssdb [--servers m] | "
-                 "--connect SOCK[,SOCK...]) --map MAP --seed SEED "
+                 "--connect SOCK[,SOCK...] | --catalog CATALOG.json | "
+                 "--router SOCK) --map MAP --seed SEED "
+                 "[--doc ID | --corpus] [--local] "
                  "[--engine simple|advanced] [--mode strict|nonstrict] "
                  "[--full-verify] [--stats] [--agg count|sum|exists] "
                  "[--verify-agg] "
@@ -99,6 +124,120 @@ int main(int argc, char** argv) {
   if (!map.ok()) return tools::Fail(map.status());
   auto seed = prg::Seed::LoadFromFile(seed_path);
   if (!seed.ok()) return tools::Fail(seed.status());
+
+  if (corpus_mode) {
+    shard::ShardCatalog catalog;
+    if (!router_sock.empty()) {
+      auto fetched = shard::FetchCatalogUnix(router_sock);
+      if (!fetched.ok()) return tools::Fail(fetched.status());
+      catalog = std::move(*fetched);
+    } else {
+      auto loaded = shard::ShardCatalog::Load(catalog_path);
+      if (!loaded.ok()) return tools::Fail(loaded.status());
+      catalog = std::move(*loaded);
+    }
+    core::CorpusOptions copts;
+    copts.p = p;
+    copts.e = e;
+    copts.local = corpus_local;
+    copts.engine = args.Get("--engine", "advanced") != "simple"
+                       ? core::EngineKind::kAdvanced
+                       : core::EngineKind::kSimple;
+    copts.verify_aggregate = verify_agg;
+    auto router = shard::Router::Open(std::move(catalog), &*map, *seed, {},
+                                      copts);
+    if (!router.ok()) return tools::Fail(router.status());
+    query::MatchMode corpus_match = args.Get("--mode", "strict") != "nonstrict"
+                                        ? query::MatchMode::kEquality
+                                        : query::MatchMode::kContainment;
+
+    auto print_aggregate = [&](const std::string& text,
+                               const query::Query& parsed,
+                               const agg::Result& result,
+                               const query::QueryStats& stats) {
+      if (parsed.aggregate == query::Aggregate::kExists) {
+        std::printf("  exists: %s in %.1f ms, %llu round trips\n",
+                    result.Exists() ? "true" : "false", stats.seconds * 1e3,
+                    (unsigned long long)stats.eval.round_trips);
+      } else if (result.group_by) {
+        std::printf("  %zu group(s) in %.1f ms, %llu round trips\n",
+                    result.values.size(), stats.seconds * 1e3,
+                    (unsigned long long)stats.eval.round_trips);
+        for (size_t g = 0; g < result.values.size(); ++g) {
+          if (result.values[g] == 0) continue;
+          std::printf("    %-20s %llu\n", result.group_names[g].c_str(),
+                      (unsigned long long)result.values[g]);
+        }
+      } else {
+        std::printf("  %s = %llu in %.1f ms, %llu round trips\n",
+                    query::AggregateName(parsed.aggregate).data(),
+                    (unsigned long long)result.Total(), stats.seconds * 1e3,
+                    (unsigned long long)stats.eval.round_trips);
+      }
+      if (show_stats) {
+        std::printf("  stats: result_size=%llu (groups), round_trips=%llu, "
+                    "server_calls=%llu, evaluations=%llu\n",
+                    (unsigned long long)stats.result_size,
+                    (unsigned long long)stats.eval.round_trips,
+                    (unsigned long long)stats.eval.server_calls,
+                    (unsigned long long)stats.eval.evaluations);
+        if (verify_agg) {
+          std::printf("  proof: proof_words=%llu, verified=%s\n",
+                      (unsigned long long)result.proof_words,
+                      result.verified ? "true" : "false");
+        }
+      }
+      (void)text;
+    };
+
+    for (const std::string& text : queries) {
+      auto parsed = query::ParseQuery(text);
+      if (!parsed.ok()) return tools::Fail(parsed.status());
+
+      if (!doc_id.empty()) {
+        auto result = (*router)->QueryDoc(doc_id, *parsed, corpus_match);
+        if (!result.ok()) return tools::Fail(result.status());
+        std::printf("%s  [doc %s, group %u]\n", text.c_str(),
+                    result->doc_id.c_str(), result->group);
+        if (result->is_aggregate) {
+          print_aggregate(text, *parsed, result->aggregate, result->stats);
+        } else {
+          std::printf("  %zu result(s) in %.1f ms\n  pre:",
+                      result->nodes.size(), result->stats.seconds * 1e3);
+          size_t shown = 0;
+          for (const auto& node : result->nodes) {
+            if (shown++ == 20) { std::printf(" ..."); break; }
+            std::printf(" %u", node.pre);
+          }
+          std::printf("\n");
+        }
+        continue;
+      }
+
+      auto result = (*router)->QueryCorpus(*parsed, corpus_match);
+      if (!result.ok()) return tools::Fail(result.status());
+      std::printf("%s  [corpus: %zu doc(s), %zu group(s)]\n", text.c_str(),
+                  result->documents, result->groups);
+      if (result->is_aggregate) {
+        print_aggregate(text, *parsed, result->aggregate, result->stats);
+      } else {
+        std::printf("  merged in %.1f ms, %llu round trips (straggler)\n",
+                    result->stats.seconds * 1e3,
+                    (unsigned long long)result->stats.eval.round_trips);
+        for (const auto& doc : result->nodes) {
+          std::printf("  %s: %zu result(s); pre:", doc.doc_id.c_str(),
+                      doc.nodes.size());
+          size_t shown = 0;
+          for (const auto& node : doc.nodes) {
+            if (shown++ == 20) { std::printf(" ..."); break; }
+            std::printf(" %u", node.pre);
+          }
+          std::printf("\n");
+        }
+      }
+    }
+    return 0;
+  }
 
   // Build the client filter stack over local slice stores or sockets — one
   // backend per share slice, fanned out through a MultiServerFilter when

@@ -1,0 +1,103 @@
+// ssdb_router: serves a shard catalog over a unix socket — the untrusted
+// routing tier of a multi-document corpus (DESIGN.md §10). It holds ONLY
+// routing metadata (document ids, server groups, slice endpoints): no seed,
+// no tag map, no shares ever pass through it. Clients fetch the catalog
+// (or resolve a single document id), then open their own trusted
+// shard::Router and talk to the share-slice servers directly.
+//
+//   ssdb_router --catalog catalog.json --socket /tmp/router.sock
+//               [--threads n] [--poller epoll|poll] [--max-connections n]
+//               [--idle-timeout s] [--io-timeout s]
+//
+// catalog.json: {"version":1,"documents":[{"id":"doc","group":0,
+//               "slices":["/tmp/doc.s0.sock","/tmp/doc.s1.sock"]}]}
+//
+// The transport is the same concurrent server ssdb_server runs (worker
+// pool, incremental poller, idle sweep) with no filter behind it: any
+// share/structure op answers FailedPrecondition.
+
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "gf/field.h"
+#include "rpc/concurrent_server.h"
+#include "rpc/socket_channel.h"
+#include "shard/catalog.h"
+#include "tools/tool_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ssdb;
+  tools::Args args(argc, argv);
+  std::string catalog_path = args.Get("--catalog", "catalog.json");
+  std::string socket_path = args.Get("--socket", "/tmp/ssdb-router.sock");
+  uint32_t threads = args.GetInt("--threads", 0);
+  std::string poller = args.Get("--poller", "auto");
+  uint32_t max_connections = args.GetInt("--max-connections", 0);
+  uint32_t idle_timeout = args.GetInt("--idle-timeout", 0);
+  uint32_t io_timeout = args.GetInt("--io-timeout", 30);
+
+  rpc::PollerBackend backend = rpc::PollerBackend::kDefault;
+  if (poller == "epoll") {
+    backend = rpc::PollerBackend::kEpoll;
+  } else if (poller == "poll") {
+    backend = rpc::PollerBackend::kPoll;
+  } else if (poller != "auto") {
+    std::fprintf(stderr, "error: --poller must be epoll, poll, or auto\n");
+    return 1;
+  }
+
+  auto catalog = shard::ShardCatalog::Load(catalog_path);
+  if (!catalog.ok()) return tools::Fail(catalog.status());
+
+  // Pre-encode every reply once: the server then answers catalog ops with
+  // a memcpy, and rpc/ stays independent of shard/.
+  std::map<std::string, std::string> entries;
+  for (const shard::ShardEntry& entry : catalog->entries()) {
+    entries.emplace(entry.doc_id, shard::EncodeEntry(entry));
+  }
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  auto listener = rpc::UnixServerSocket::Listen(socket_path);
+  if (!listener.ok()) return tools::Fail(listener.status());
+
+  // The ring parameter only serializes share payloads, which a catalog
+  // server never produces; any valid field works.
+  auto field = gf::Field::Make(83, 1);
+  if (!field.ok()) return tools::Fail(field.status());
+
+  rpc::ConcurrentServerOptions options;
+  options.threads = threads;
+  options.log_connections = true;
+  options.poller = backend;
+  options.max_connections = max_connections;
+  options.idle_timeout_seconds = static_cast<int>(idle_timeout);
+  options.io_timeout_seconds = static_cast<int>(io_timeout);
+  rpc::ConcurrentServer server(gf::Ring(*field), /*filter=*/nullptr,
+                               std::move(*listener), options);
+  server.SetCatalog(shard::EncodeCatalog(*catalog), std::move(entries));
+  Status started = server.Start();
+  if (!started.ok()) return tools::Fail(started);
+
+  std::printf("routing %zu document(s) across %zu group(s) on %s, "
+              "%zu threads, %s poller\n",
+              catalog->size(), catalog->Groups().size(), socket_path.c_str(),
+              server.threads(), server.poller_name());
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::printf("signal %d: draining\n", signal_number);
+  server.Shutdown();
+  std::printf("served %llu connections (%llu closed)\n",
+              (unsigned long long)server.connections_accepted(),
+              (unsigned long long)server.connections_closed());
+  return 0;
+}
