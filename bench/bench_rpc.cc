@@ -32,6 +32,12 @@
 // connection count to 64/1024, per poller backend; reports ops/sec,
 // p50/p99 per op, and the deepest per-worker ready-queue.
 //
+// Sixth section: health-probe overhead (DESIGN.md §11) — the same hot
+// query workload with the control-plane monitor off vs. probing the
+// server's socket at an aggressive interval; qps with the monitor on
+// should sit within noise of the monitor-off row (kPing never touches
+// the filter, so probes never compete with query work).
+//
 //   bench_rpc [--servers m]   # restrict the fan-out/multi-client rows
 
 #include <sys/resource.h>
@@ -45,6 +51,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "control/monitor.h"
 #include "rpc/client.h"
 #include "rpc/concurrent_server.h"
 #include "rpc/event_poller.h"
@@ -327,17 +334,17 @@ void RunPollerScaling(BenchDb* db, const std::string& query,
         }
         idle_conns.push_back(std::move(*channel));
       }
-      while (server.open_connections() < idle) {
+      while (server.Snapshot().open_connections < idle) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
 
-      const uint64_t wakes_before = server.poller_wakeups();
-      const uint64_t scanned_before = server.poller_items_scanned();
+      const uint64_t wakes_before = server.Snapshot().poller_wakeups;
+      const uint64_t scanned_before = server.Snapshot().poller_items_scanned;
       ClientScalingRow hot = RunMultiClientCell(db, {path}, hot_clients,
                                                 per_client, query);
-      const uint64_t wakes = server.poller_wakeups() - wakes_before;
+      const uint64_t wakes = server.Snapshot().poller_wakeups - wakes_before;
       const uint64_t scanned =
-          server.poller_items_scanned() - scanned_before;
+          server.Snapshot().poller_items_scanned - scanned_before;
 
       PollerScalingRow row;
       row.poller = server.poller_name();
@@ -429,7 +436,7 @@ void RunSlowReader(BenchDb* db, const std::string& query,
       stalled.push_back(std::move(channel));
     }
     // Buffering must be engaged before the hot clients are measured.
-    for (int spin = 0; server.write_stalls() < stalled_count; ++spin) {
+    for (int spin = 0; server.Snapshot().write_stalls < stalled_count; ++spin) {
       SSDB_CHECK(spin < 10000);
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -444,9 +451,9 @@ void RunSlowReader(BenchDb* db, const std::string& query,
     row.qps = hot.qps;
     row.p50_ms = hot.p50_ms;
     row.p99_ms = hot.p99_ms;
-    row.write_stalls = server.write_stalls();
-    row.buffered_peak = server.bytes_buffered_peak();
-    row.frames_reused = server.frames_reused();
+    row.write_stalls = server.Snapshot().write_stalls;
+    row.buffered_peak = server.Snapshot().bytes_buffered_peak;
+    row.frames_reused = server.Snapshot().frames_reused;
     std::printf("%-10u %-10u %-12.1f %-12.3f %-12.3f %-14llu %-14llu\n",
                 row.stalled, row.hot_clients, row.qps, row.p50_ms,
                 row.p99_ms, static_cast<unsigned long long>(row.write_stalls),
@@ -536,7 +543,7 @@ void RunDispatchContention(BenchDb* db, std::vector<DispatchRow>* rows) {
         }
         idle_conns.push_back(std::move(*channel));
       }
-      while (server.open_connections() < idle) {
+      while (server.Snapshot().open_connections < idle) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
 
@@ -573,7 +580,7 @@ void RunDispatchContention(BenchDb* db, std::vector<DispatchRow>* rows) {
       row.qps = wall_s > 0 ? static_cast<double>(all.size()) / wall_s : 0;
       row.p50_ms = all[all.size() / 2] * 1e3;
       row.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)] * 1e3;
-      row.queue_depth_peak = server.queue_depth_peak();
+      row.queue_depth_peak = server.Snapshot().queue_depth_peak;
       std::printf("%-8s %-10u %-10u %-12.1f %-12.3f %-12.3f %-12llu\n",
                   row.poller.c_str(), row.conns, row.hot_clients, row.qps,
                   row.p50_ms, row.p99_ms,
@@ -604,6 +611,79 @@ void PrintDispatchJson(const std::vector<DispatchRow>& rows) {
   std::printf("]}\n");
 }
 
+// --- health-probe overhead (DESIGN.md §11) ----------------------------------
+
+struct ProbeOverheadRow {
+  std::string monitor;  // "off" or "on"
+  uint32_t hot_clients = 0;
+  uint64_t queries = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t probes = 0;  // kPing round trips sent during the measurement
+};
+
+void RunProbeOverhead(BenchDb* db, const std::string& query,
+                      std::vector<ProbeOverheadRow>* rows) {
+  const uint32_t hot_clients = 4;
+  const uint32_t per_client = 8;
+  // Probe far more often than any deployment would (the tools default to
+  // 1000ms) so a per-probe cost would actually show up in the hot qps.
+  const int probe_interval_ms = 5;
+
+  for (bool monitored : {false, true}) {
+    std::string path =
+        "/tmp/ssdb_bench_po_" + std::to_string(::getpid()) + ".sock";
+    auto listener = *rpc::UnixServerSocket::Listen(path);
+    rpc::ConcurrentServer server(db->db->ring(), db->db->server_filter(),
+                                 std::move(listener),
+                                 rpc::ConcurrentServerOptions{});
+    SSDB_CHECK_OK(server.Start());
+
+    control::MonitorOptions options;
+    options.probe_interval_ms = probe_interval_ms;
+    control::Monitor monitor({{"bench", path}}, std::move(options));
+    if (monitored) monitor.Start();
+
+    ClientScalingRow hot =
+        RunMultiClientCell(db, {path}, hot_clients, per_client, query);
+    if (monitored) monitor.Stop();
+
+    ProbeOverheadRow row;
+    row.monitor = monitored ? "on" : "off";
+    row.hot_clients = hot_clients;
+    row.queries = hot.queries;
+    row.qps = hot.qps;
+    row.p50_ms = hot.p50_ms;
+    row.p99_ms = hot.p99_ms;
+    row.probes = monitored ? monitor.Snapshot()[0].probes : 0;
+    std::printf("%-8s %-10u %-12.1f %-12.3f %-12.3f %-10llu\n",
+                row.monitor.c_str(), row.hot_clients, row.qps, row.p50_ms,
+                row.p99_ms, static_cast<unsigned long long>(row.probes));
+    rows->push_back(row);
+
+    server.Shutdown();
+  }
+}
+
+void PrintProbeOverheadJson(const std::string& query,
+                            const std::vector<ProbeOverheadRow>& rows) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"rpc_probe_overhead\",\"query\":\"%s\","
+      "\"scale\":%.3f,\"rows\":[",
+      query.c_str(), BenchScale());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ProbeOverheadRow& r = rows[i];
+    std::printf(
+        "%s{\"monitor\":\"%s\",\"hot_clients\":%u,\"queries\":%llu,"
+        "\"qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"probes\":%llu}",
+        i == 0 ? "" : ",", r.monitor.c_str(), r.hot_clients,
+        static_cast<unsigned long long>(r.queries), r.qps, r.p50_ms,
+        r.p99_ms, static_cast<unsigned long long>(r.probes));
+  }
+  std::printf("]}\n");
+}
+
 Measurement RunMultiServer(uint64_t target_bytes, uint32_t servers,
                            const std::string& query) {
   auto db = BuildXmarkDb(target_bytes, 42, servers);
@@ -622,8 +702,11 @@ Measurement RunMultiServer(uint64_t target_bytes, uint32_t servers,
 }
 
 void Run(int argc, char** argv) {
-  tools::Args args(argc, argv);
-  uint32_t only_servers = args.GetInt("--servers", 0);
+  tools::FlagSet flags("bench_rpc", "[--servers m]");
+  const uint32_t* servers_flag =
+      flags.Uint("servers", 0, "run only the m-server RPC row (0 = all)");
+  SSDB_CHECK_OK(flags.Parse(argc, argv));
+  uint32_t only_servers = *servers_flag;
   double scale = BenchScale();
   uint64_t target_bytes = static_cast<uint64_t>(scale * (512 << 10));
   auto db = BuildXmarkDb(target_bytes);
@@ -778,6 +861,20 @@ void Run(int argc, char** argv) {
       "table keep dispatch contention flat as hot clients grow; queue-peak\n"
       "is the deepest any single worker's queue got.\n\n");
   PrintDispatchJson(dispatch_rows);
+
+  // --- health-probe overhead (DESIGN.md §11). The monitor's kPing sweeps
+  // ride the same transport as queries but skip the filter entirely; an
+  // aggressive probe cadence must not tax the hot path.
+  PrintHeader("Health-probe overhead for " + query);
+  std::printf("%-8s %-10s %-12s %-12s %-12s %-10s\n", "monitor", "hot",
+              "queries/s", "p50(ms)", "p99(ms)", "probes");
+  std::vector<ProbeOverheadRow> probe_rows;
+  RunProbeOverhead(db.get(), query, &probe_rows);
+  std::printf(
+      "\nkPing is answered before the dispatcher consults the filter, so\n"
+      "the monitor-on row should sit within noise of monitor-off even at\n"
+      "a probe cadence 200x the tools' default.\n\n");
+  PrintProbeOverheadJson(query, probe_rows);
 }
 
 }  // namespace

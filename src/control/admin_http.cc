@@ -1,0 +1,186 @@
+#include "control/admin_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ssdb::control {
+namespace {
+
+// Writes the whole buffer or gives up (the socket has a send timeout; an
+// admin client that cannot drain a few KiB of JSON is abandoned).
+void WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+}
+
+void WriteResponse(int fd, int code, const char* reason,
+                   std::string_view body) {
+  std::string head = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                     "\r\n"
+                     "Content-Type: application/json\r\n"
+                     "Content-Length: " +
+                     std::to_string(body.size()) +
+                     "\r\n"
+                     "Connection: close\r\n\r\n";
+  WriteAll(fd, head);
+  WriteAll(fd, body);
+}
+
+void WriteError(int fd, int code, const char* reason,
+                std::string_view detail) {
+  std::string body = "{\"error\":\"";
+  body.append(detail);
+  body += "\"}";
+  WriteResponse(fd, code, reason, body);
+}
+
+}  // namespace
+
+AdminHttpServer::AdminHttpServer(AdminOptions options)
+    : options_(std::move(options)) {}
+
+AdminHttpServer::~AdminHttpServer() { Shutdown(); }
+
+void AdminHttpServer::Route(std::string path, Provider provider) {
+  routes_.emplace_back(std::move(path), std::move(provider));
+}
+
+Status AdminHttpServer::Start() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("admin socket: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("admin bind address '" +
+                                   options_.bind_address + "' is not IPv4");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("admin bind " + options_.bind_address + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s =
+        Status::IOError(std::string("admin listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = Status::IOError(std::string("admin getsockname: ") +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void AdminHttpServer::Shutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminHttpServer::ServeLoop() {
+  // Poll with a short timeout instead of blocking in accept, so Shutdown
+  // is seen within ~100ms without self-pipe machinery.
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval tv{};
+    tv.tv_sec = options_.io_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminHttpServer::HandleConnection(int fd) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  // Read until the end of headers or the size cap; the request body (there
+  // is none for GET) is ignored.
+  std::string request;
+  for (;;) {
+    if (request.size() > options_.max_request_bytes) {
+      WriteError(fd, 400, "Bad Request", "request exceeds size cap");
+      return;
+    }
+    char buf[1024];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (request.empty()) return;  // peer vanished before sending anything
+      WriteError(fd, 400, "Bad Request", "truncated request");
+      return;
+    }
+    request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) line_end = request.find('\n');
+  std::string_view line = std::string_view(request).substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    WriteError(fd, 400, "Bad Request", "malformed request line");
+    return;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    WriteError(fd, 405, "Method Not Allowed", "GET only");
+    return;
+  }
+  // Strip any query string; routes are exact paths.
+  size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  for (const auto& [path, provider] : routes_) {
+    if (target == path) {
+      WriteResponse(fd, 200, "OK", provider());
+      return;
+    }
+  }
+  WriteError(fd, 404, "Not Found", "no such endpoint");
+}
+
+}  // namespace ssdb::control

@@ -1,0 +1,85 @@
+/// AdminHttpServer (DESIGN.md §11): a deliberately tiny HTTP/1.0 JSON
+/// admin surface, hand-rolled like the §10 JSON codec — no framework, no
+/// TLS, no write path. GET only; anything else is 405. Routes are
+/// registered as callbacks returning a JSON body, so the server stays
+/// decoupled from what it serves (`/v1/stats` closes over a
+/// ConcurrentServer, `/v1/servers` over a Monitor, `/v1/catalog` over a
+/// ShardCatalog).
+///
+/// Trust model: the admin surface discloses METADATA ONLY — server
+/// states, counters, catalog topology. It never serves shares, key
+/// material, or document content, and it binds 127.0.0.1 by default so
+/// it is not reachable from the share-server trust boundary. Requests
+/// are capped at max_request_bytes (an oversized or malformed request is
+/// rejected and the connection closed) and handled one at a time — an
+/// admin endpoint has no business being a throughput surface.
+
+#ifndef SSDB_CONTROL_ADMIN_HTTP_H_
+#define SSDB_CONTROL_ADMIN_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssdb::control {
+
+struct AdminOptions {
+  std::string bind_address = "127.0.0.1";
+  // TCP port; 0 picks an ephemeral port (read it back via port() — the
+  // daemons print it so scripts can scrape it).
+  uint16_t port = 0;
+  // Reject requests larger than this before parsing (431-ish, answered
+  // as 400): nothing a GET-only metadata API accepts is ever this big.
+  size_t max_request_bytes = 4096;
+  // Per-connection socket send/receive timeout; a stalled admin client
+  // can hold the (single) serving thread at most ~2x this.
+  int io_timeout_seconds = 5;
+};
+
+class AdminHttpServer {
+ public:
+  // A route's body producer; invoked per request, must be thread-safe
+  // against whatever it snapshots.
+  using Provider = std::function<std::string()>;
+
+  explicit AdminHttpServer(AdminOptions options = {});
+  ~AdminHttpServer();
+
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  // Registers `path` (exact match, e.g. "/v1/stats") before Start().
+  void Route(std::string path, Provider provider);
+
+  // Binds, listens, and spawns the serving thread.
+  Status Start();
+  void Shutdown();
+
+  // The bound port (resolves an ephemeral request); valid after Start().
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  AdminOptions options_;
+  std::vector<std::pair<std::string, Provider>> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace ssdb::control
+
+#endif  // SSDB_CONTROL_ADMIN_HTTP_H_

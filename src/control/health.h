@@ -1,0 +1,52 @@
+/// Control plane (DESIGN.md §11): the health vocabulary shared by the
+/// monitor, the fan-out filter, and the shard router. This header is a
+/// dependency-free leaf so filter/ and shard/ can consult server health
+/// without pulling in the monitor (or creating a layering cycle).
+///
+/// The per-server state machine follows MaxScale's `mariadbmon` shape:
+///
+///   kUp ──fail──▶ kSuspect ──fall consecutive fails──▶ kDown
+///    ▲              │ success                            │ success
+///    └──────────────┘                                    ▼
+///    ▲                                              kRecovering
+///    └───────────── rise consecutive successes ──────────┘
+///
+/// Only kDown triggers fail-fast behaviour downstream; kSuspect and
+/// kRecovering keep serving (a single dropped probe must not take a
+/// healthy server out of rotation).
+
+#ifndef SSDB_CONTROL_HEALTH_H_
+#define SSDB_CONTROL_HEALTH_H_
+
+#include <string_view>
+
+namespace ssdb::control {
+
+enum class ServerState {
+  kUp,          // probes succeeding
+  kSuspect,     // failing, but fewer than `fall` consecutive failures
+  kDown,        // `fall` consecutive failures — fail fast, stop dialing
+  kRecovering,  // probes succeeding again, fewer than `rise` in a row
+};
+
+// Lowercase wire/JSON name: "up", "suspect", "down", "recovering".
+std::string_view ServerStateName(ServerState state);
+
+// Read-side interface consulted before dialing or fanning out to a
+// backend. Implemented by control::Monitor; queries key by endpoint (the
+// catalog's slice string). Unknown endpoints report kUp — absence of
+// monitoring is not evidence of failure.
+class HealthView {
+ public:
+  virtual ~HealthView() = default;
+
+  virtual ServerState StateOf(std::string_view endpoint) const = 0;
+
+  bool IsDown(std::string_view endpoint) const {
+    return StateOf(endpoint) == ServerState::kDown;
+  }
+};
+
+}  // namespace ssdb::control
+
+#endif  // SSDB_CONTROL_HEALTH_H_

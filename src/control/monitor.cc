@@ -1,0 +1,204 @@
+#include "control/monitor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "rpc/client.h"
+#include "rpc/socket_channel.h"
+#include "util/json.h"
+
+namespace ssdb::control {
+
+std::string_view ServerStateName(ServerState state) {
+  switch (state) {
+    case ServerState::kUp: return "up";
+    case ServerState::kSuspect: return "suspect";
+    case ServerState::kDown: return "down";
+    case ServerState::kRecovering: return "recovering";
+  }
+  return "unknown";
+}
+
+StatusOr<rpc::PingInfo> ProbeUnixPing(const std::string& endpoint,
+                                      int timeout_seconds) {
+  SSDB_ASSIGN_OR_RETURN(std::unique_ptr<rpc::Channel> channel,
+                        rpc::ConnectUnix(endpoint));
+  if (timeout_seconds > 0) {
+    SSDB_RETURN_IF_ERROR(channel->SetIoTimeout(timeout_seconds));
+  }
+  StatusOr<rpc::PingInfo> info = rpc::Ping(channel.get());
+  channel->Close();
+  return info;
+}
+
+Monitor::Monitor(std::vector<MonitorTarget> targets, MonitorOptions options)
+    : options_(std::move(options)) {
+  targets_.reserve(targets.size());
+  for (MonitorTarget& target : targets) {
+    ServerHealth health;
+    health.name = std::move(target.name);
+    health.endpoint = std::move(target.endpoint);
+    targets_.push_back(std::move(health));
+  }
+}
+
+Monitor::~Monitor() { Stop(); }
+
+void Monitor::Start() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] {
+    for (;;) {
+      ProbeOnce();
+      std::unique_lock<std::mutex> lock(run_mu_);
+      run_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.probe_interval_ms),
+                       [this] { return stopping_; });
+      if (stopping_) return;
+    }
+  });
+}
+
+void Monitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    stopping_ = true;
+  }
+  run_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Monitor::ProbeOnce() {
+  const ProbeFn& probe = options_.probe ? options_.probe : ProbeUnixPing;
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    std::string endpoint;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      endpoint = targets_[i].endpoint;
+    }
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<rpc::PingInfo> result =
+        probe(endpoint, options_.probe_timeout_seconds);
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    Apply(i, result, elapsed_ms);
+  }
+}
+
+void Monitor::Apply(size_t index, const StatusOr<rpc::PingInfo>& result,
+                    double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerHealth& h = targets_[index];
+  ++h.probes;
+  h.last_probe_ms = elapsed_ms;
+  auto transition = [&h](ServerState next) {
+    h.state = next;
+    ++h.transitions;
+  };
+  if (result.ok()) {
+    h.consecutive_failures = 0;
+    ++h.consecutive_successes;
+    h.build = result->build;
+    h.uptime_seconds = result->uptime_seconds;
+    h.stats_epoch = result->stats_epoch;
+    switch (h.state) {
+      case ServerState::kUp:
+        break;
+      case ServerState::kSuspect:
+        // A blip, not an outage: the server never reached kDown, so one
+        // good probe restores full trust.
+        transition(ServerState::kUp);
+        break;
+      case ServerState::kDown:
+        transition(ServerState::kRecovering);
+        [[fallthrough]];
+      case ServerState::kRecovering:
+        if (h.consecutive_successes >=
+            static_cast<uint64_t>(options_.rise > 0 ? options_.rise : 1)) {
+          transition(ServerState::kUp);
+        }
+        break;
+    }
+  } else {
+    h.consecutive_successes = 0;
+    ++h.consecutive_failures;
+    h.last_error = result.status().ToString();
+    switch (h.state) {
+      case ServerState::kUp:
+        transition(ServerState::kSuspect);
+        [[fallthrough]];
+      case ServerState::kSuspect:
+        if (h.consecutive_failures >=
+            static_cast<uint64_t>(options_.fall > 0 ? options_.fall : 1)) {
+          transition(ServerState::kDown);
+        }
+        break;
+      case ServerState::kRecovering:
+        // Relapse during recovery goes straight back down: the server
+        // already proved unreliable, no fresh `fall` budget.
+        transition(ServerState::kDown);
+        break;
+      case ServerState::kDown:
+        break;
+    }
+  }
+}
+
+std::vector<ServerHealth> Monitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return targets_;
+}
+
+ServerState Monitor::StateOf(std::string_view endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ServerHealth& h : targets_) {
+    if (h.endpoint == endpoint) return h.state;
+  }
+  return ServerState::kUp;
+}
+
+std::string Monitor::ServersJson() const {
+  std::vector<ServerHealth> servers = Snapshot();
+  std::string out = "{\"servers\":[";
+  for (size_t i = 0; i < servers.size(); ++i) {
+    const ServerHealth& h = servers[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    AppendJsonString(&out, h.name);
+    out += ",\"endpoint\":";
+    AppendJsonString(&out, h.endpoint);
+    out += ",\"state\":";
+    AppendJsonString(&out, ServerStateName(h.state));
+    out += ",\"consecutive_failures\":" +
+           std::to_string(h.consecutive_failures);
+    out += ",\"consecutive_successes\":" +
+           std::to_string(h.consecutive_successes);
+    out += ",\"probes\":" + std::to_string(h.probes);
+    out += ",\"transitions\":" + std::to_string(h.transitions);
+    // Fixed-point milliseconds: the JSON subset has no exponent form.
+    out += ",\"last_probe_ms\":" +
+           std::to_string(static_cast<uint64_t>(h.last_probe_ms * 1000) /
+                          1000) +
+           "." +
+           [&] {
+             uint64_t micros =
+                 static_cast<uint64_t>(h.last_probe_ms * 1000) % 1000;
+             std::string frac = std::to_string(micros);
+             return std::string(3 - frac.size(), '0') + frac;
+           }();
+    out += ",\"last_error\":";
+    AppendJsonString(&out, h.last_error);
+    out += ",\"build\":";
+    AppendJsonString(&out, h.build);
+    out += ",\"uptime_seconds\":" + std::to_string(h.uptime_seconds);
+    out += ",\"stats_epoch\":" + std::to_string(h.stats_epoch) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ssdb::control

@@ -1,0 +1,122 @@
+/// Monitor (DESIGN.md §11): a background thread that probes every
+/// configured server with the lightweight kPing RPC and drives the
+/// per-server state machine of control/health.h, in the style of
+/// MaxScale's `mariadbmon`. One probe sweep walks all targets; between
+/// sweeps the thread sleeps `probe_interval_ms` (interruptible, so Stop()
+/// is prompt). Probes are injectable (`MonitorOptions::probe`) so tests
+/// can script success/failure sequences deterministically and wrap real
+/// channels in fault injection; the default probe dials the target's unix
+/// socket with `probe_timeout_seconds` and runs rpc::Ping.
+///
+/// The Monitor is itself a HealthView: MultiServerFilter and shard::Router
+/// consult StateOf() to fail fast on kDown backends instead of eating a
+/// connect/io timeout per query.
+
+#ifndef SSDB_CONTROL_MONITOR_H_
+#define SSDB_CONTROL_MONITOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "control/health.h"
+#include "rpc/protocol.h"
+#include "util/statusor.h"
+
+namespace ssdb::control {
+
+// One monitored server: a display name ("doc1[0]", "catalog") and the
+// endpoint to probe (unix socket path).
+struct MonitorTarget {
+  std::string name;
+  std::string endpoint;
+};
+
+// A probe attempt's verdict: the ping reply, or why it failed.
+using ProbeFn =
+    std::function<StatusOr<rpc::PingInfo>(const std::string& endpoint,
+                                          int timeout_seconds)>;
+
+// The default probe: dial the unix socket, bound every read/write by the
+// timeout, one kPing round trip. Exposed for tools and tests.
+StatusOr<rpc::PingInfo> ProbeUnixPing(const std::string& endpoint,
+                                      int timeout_seconds);
+
+struct MonitorOptions {
+  // Sweep cadence; a probe sweep starts every probe_interval_ms.
+  int probe_interval_ms = 1000;
+  // Per-probe dial/IO bound — a dead-but-routable server costs at most
+  // this long per sweep.
+  int probe_timeout_seconds = 1;
+  // Consecutive failures before kSuspect hardens into kDown.
+  int fall = 3;
+  // Consecutive successes before kRecovering is trusted as kUp.
+  int rise = 2;
+  // Probe implementation; defaults to ProbeUnixPing.
+  ProbeFn probe;
+};
+
+// Everything /v1/servers discloses about one target. Metadata only.
+struct ServerHealth {
+  std::string name;
+  std::string endpoint;
+  ServerState state = ServerState::kUp;
+  uint64_t consecutive_failures = 0;
+  uint64_t consecutive_successes = 0;
+  uint64_t probes = 0;       // total probes sent
+  uint64_t transitions = 0;  // state changes observed
+  double last_probe_ms = 0;  // latency of the last probe (success or fail)
+  std::string last_error;    // last failing probe's status text
+  // Echoed by the last successful ping.
+  std::string build;
+  uint64_t uptime_seconds = 0;
+  uint64_t stats_epoch = 0;
+};
+
+class Monitor : public HealthView {
+ public:
+  Monitor(std::vector<MonitorTarget> targets, MonitorOptions options);
+  ~Monitor() override;
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // Spawns the probe thread. Stop() (or destruction) joins it.
+  void Start();
+  void Stop();
+
+  // One synchronous probe sweep over every target — the unit the thread
+  // repeats, exposed so tests drive the state machine deterministically.
+  void ProbeOnce();
+
+  // Coherent copy of every target's health.
+  std::vector<ServerHealth> Snapshot() const;
+
+  // HealthView: state by endpoint; kUp for unmonitored endpoints.
+  ServerState StateOf(std::string_view endpoint) const override;
+
+  // The /v1/servers response body: {"servers":[{...}, ...]}.
+  std::string ServersJson() const;
+
+ private:
+  void Apply(size_t index, const StatusOr<rpc::PingInfo>& result,
+             double elapsed_ms);
+
+  const MonitorOptions options_;
+  mutable std::mutex mu_;
+  std::vector<ServerHealth> targets_;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ssdb::control
+
+#endif  // SSDB_CONTROL_MONITOR_H_

@@ -69,6 +69,13 @@ struct CorpusOptions {
   // through the verified equality test so a mis-listed slice set fails at
   // open time, not with silently wrong answers.
   bool probe_shares = true;
+
+  // Degraded-mode corpus queries (DESIGN.md §11): when set, a document
+  // whose server group is unreachable — at open or mid-query — is recorded
+  // in CorpusResult::missing instead of failing the whole corpus; the
+  // query errors only when EVERY document fails. QueryDoc against a
+  // missing document still fails, fast, with the recorded error.
+  bool partial_ok = false;
 };
 
 // File naming for share slices: the base path itself for a single server,

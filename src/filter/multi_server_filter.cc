@@ -68,8 +68,31 @@ MultiServerFilter::~MultiServerFilter() {
   for (const auto& worker : workers_) worker->thread.join();
 }
 
+void MultiServerFilter::SetEndpointHealth(const control::HealthView* health,
+                                          std::vector<std::string> endpoints) {
+  health_ = health;
+  endpoints_ = std::move(endpoints);
+}
+
+Status MultiServerFilter::CheckHealth(size_t first, size_t limit) const {
+  if (health_ == nullptr) return Status::OK();
+  limit = std::min(limit, endpoints_.size());
+  for (size_t i = first; i < limit; ++i) {
+    if (health_->IsDown(endpoints_[i])) {
+      return Status::Unavailable("server " + std::to_string(i) + " (" +
+                                 endpoints_[i] +
+                                 ") is down (health monitor, DESIGN.md §11)");
+    }
+  }
+  return Status::OK();
+}
+
 Status MultiServerFilter::FanOut(const std::function<Status(size_t)>& fn) {
   if (backends_.size() == 1) return Primary([&] { return fn(0); });
+
+  // Fail fast before queueing behind call_mu_: a query doomed by a kDown
+  // backend must not also wait out whatever call is in flight.
+  SSDB_RETURN_IF_ERROR(CheckHealth(0, backends_.size()));
 
   // One call at a time: the worker job slots are single-entry and the
   // before/after deltas below are call-scoped (header: thread safety).
@@ -115,6 +138,7 @@ Status MultiServerFilter::FanOut(const std::function<Status(size_t)>& fn) {
 }
 
 Status MultiServerFilter::Primary(const std::function<Status()>& fn) {
+  SSDB_RETURN_IF_ERROR(CheckHealth(0, 1));
   std::lock_guard<std::mutex> call_lock(call_mu_);
   uint64_t before = backends_[0]->RoundTrips();
   Status status = fn();

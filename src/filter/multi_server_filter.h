@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "control/health.h"
 #include "filter/server_filter.h"
 #include "gf/ring.h"
 #include "util/statusor.h"
@@ -100,6 +101,15 @@ class MultiServerFilter : public ServerFilter {
   size_t server_count() const { return backends_.size(); }
   ServerFilter* backend(size_t i) { return backends_[i]; }
 
+  // Degraded-mode failover (DESIGN.md §11): consult `health` before every
+  // call and fail fast with Unavailable — naming the backend — when an
+  // endpoint is kDown, instead of eating a connect/io timeout per query.
+  // `endpoints[i]` is backend i's endpoint (the catalog slice string);
+  // missing entries are never failed fast. `health` must outlive the
+  // filter; call before sharing the filter across threads.
+  void SetEndpointHealth(const control::HealthView* health,
+                         std::vector<std::string> endpoints);
+
  private:
   // A persistent worker pinned to one extra backend: fan-out dispatches a
   // job per call instead of paying thread creation per round trip.
@@ -118,9 +128,13 @@ class MultiServerFilter : public ServerFilter {
   Status FanOut(const std::function<Status(size_t)>& fn);
   // Primary-only call with the same round-trip accounting.
   Status Primary(const std::function<Status()>& fn);
+  // Unavailable naming the first kDown backend among [first, limit), or OK.
+  Status CheckHealth(size_t first, size_t limit) const;
 
   gf::Ring ring_;
   std::vector<ServerFilter*> backends_;
+  const control::HealthView* health_ = nullptr;
+  std::vector<std::string> endpoints_;
   std::vector<std::unique_ptr<Worker>> workers_;  // backends_[i + 1] each
 
   // Serializes FanOut/Primary: the worker job slots hold one job each, and

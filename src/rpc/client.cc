@@ -7,6 +7,15 @@
 
 namespace ssdb::rpc {
 
+StatusOr<PingInfo> Ping(Channel* channel) {
+  Request request;
+  request.op = Op::kPing;
+  SSDB_RETURN_IF_ERROR(channel->Send(EncodeRequest(request)));
+  SSDB_ASSIGN_OR_RETURN(std::string response, channel->Receive());
+  SSDB_ASSIGN_OR_RETURN(std::string payload, DecodeResponse(response));
+  return DecodePingInfo(payload);
+}
+
 StatusOr<std::string> RemoteServerFilter::Call(const Request& request) {
   SSDB_RETURN_IF_ERROR(channel_->Send(EncodeRequest(request)));
   ++round_trips_;

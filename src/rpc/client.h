@@ -17,6 +17,11 @@
 
 namespace ssdb::rpc {
 
+// One kPing round trip over an already-connected channel (DESIGN.md §11):
+// returns the server's build/uptime/stats-epoch, or the dial/decode error.
+// The health monitor's default probe comes through here.
+StatusOr<PingInfo> Ping(Channel* channel);
+
 class RemoteServerFilter : public filter::ServerFilter {
  public:
   RemoteServerFilter(gf::Ring ring, std::unique_ptr<Channel> channel)

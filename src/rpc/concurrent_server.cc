@@ -99,12 +99,31 @@ const char* ConcurrentServer::poller_name() const {
   return poller_ ? poller_->name() : PollerBackendName(options_.poller);
 }
 
-uint64_t ConcurrentServer::poller_wakeups() const {
-  return poller_ ? poller_->wakeups() : 0;
-}
-
-uint64_t ConcurrentServer::poller_items_scanned() const {
-  return poller_ ? poller_->items_scanned() : 0;
+ServerStats ConcurrentServer::Snapshot() const {
+  ServerStats stats;
+  stats.build = kServerBuild;
+  stats.poller = poller_name();
+  stats.threads = threads_;
+  stats.uptime_seconds = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  stats.requests_handled = server_.requests_handled();
+  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed = closed_.load(std::memory_order_relaxed);
+  stats.open_connections = open_count_.load(std::memory_order_relaxed);
+  stats.connections_idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  stats.write_budget_closed = budget_closed_.load(std::memory_order_relaxed);
+  stats.write_stalls = write_stalls_.load(std::memory_order_relaxed);
+  stats.bytes_buffered = bytes_buffered_.load(std::memory_order_relaxed);
+  stats.bytes_buffered_peak =
+      bytes_buffered_peak_.load(std::memory_order_relaxed);
+  stats.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  stats.frames_allocated = pool_.allocated();
+  stats.frames_reused = pool_.reused();
+  stats.poller_wakeups = poller_ ? poller_->wakeups() : 0;
+  stats.poller_items_scanned = poller_ ? poller_->items_scanned() : 0;
+  return stats;
 }
 
 void ConcurrentServer::PollLoop() {
@@ -221,7 +240,6 @@ void ConcurrentServer::HandleAccept() {
     session->channel = std::move(*channel);
     session->worker = next_worker_++ % threads_;
     session->last_armed = std::chrono::steady_clock::now();
-    Session* raw = session.get();
     {
       SessionShard& shard = ShardFor(id);
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -243,9 +261,11 @@ void ConcurrentServer::HandleAccept() {
       std::printf("connection %llu accepted (%llu accepted, %llu closed, "
                   "%zu open)\n",
                   static_cast<unsigned long long>(id),
-                  static_cast<unsigned long long>(connections_accepted()),
-                  static_cast<unsigned long long>(connections_closed()),
-                  open_connections());
+                  static_cast<unsigned long long>(
+                      accepted_.load(std::memory_order_relaxed)),
+                  static_cast<unsigned long long>(
+                      closed_.load(std::memory_order_relaxed)),
+                  open_count_.load(std::memory_order_relaxed));
       std::fflush(stdout);
     }
   }
@@ -492,9 +512,11 @@ void ConcurrentServer::CloseSession(uint64_t id, const char* why) {
     std::printf("connection %llu closed: %s (%llu accepted, %llu closed, "
                 "%zu open)\n",
                 static_cast<unsigned long long>(id), why,
-                static_cast<unsigned long long>(connections_accepted()),
-                static_cast<unsigned long long>(connections_closed()),
-                open_connections());
+                static_cast<unsigned long long>(
+                    accepted_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    closed_.load(std::memory_order_relaxed)),
+                open_count_.load(std::memory_order_relaxed));
     std::fflush(stdout);
   }
 }

@@ -64,6 +64,7 @@
 #include "rpc/event_poller.h"
 #include "rpc/frame_pool.h"
 #include "rpc/server.h"
+#include "rpc/server_stats.h"
 #include "rpc/socket_channel.h"
 #include "util/statusor.h"
 
@@ -142,52 +143,19 @@ class ConcurrentServer {
 
   size_t threads() const { return threads_; }
   const std::string& socket_path() const { return listener_->path(); }
-  uint64_t connections_accepted() const {
-    return accepted_.load(std::memory_order_relaxed);
-  }
-  uint64_t connections_closed() const {
-    return closed_.load(std::memory_order_relaxed);
-  }
-  size_t open_connections() const {
-    return open_count_.load(std::memory_order_relaxed);
-  }
-  // Connections closed by the idle sweep (subset of connections_closed).
-  uint64_t connections_idle_closed() const {
-    return idle_closed_.load(std::memory_order_relaxed);
-  }
 
-  // --- data-plane telemetry (DESIGN.md §7) ---
-  // Responses that did not fit the socket in one write and took the
-  // buffered EPOLLOUT path.
-  uint64_t write_stalls() const {
-    return write_stalls_.load(std::memory_order_relaxed);
-  }
-  // Response bytes currently parked on stalled connections / the highest
-  // that figure has been.
-  uint64_t bytes_buffered() const {
-    return bytes_buffered_.load(std::memory_order_relaxed);
-  }
-  uint64_t bytes_buffered_peak() const {
-    return bytes_buffered_peak_.load(std::memory_order_relaxed);
-  }
-  // Deepest any single worker's ready-queue has been.
-  uint64_t queue_depth_peak() const {
-    return queue_depth_peak_.load(std::memory_order_relaxed);
-  }
-  // Connections closed for exceeding max_write_buffer (subset of
-  // connections_closed).
-  uint64_t write_budget_closed() const {
-    return budget_closed_.load(std::memory_order_relaxed);
-  }
-  // Frame buffers handed out fresh vs. recycled (rpc/frame_pool.h).
-  uint64_t frames_allocated() const { return pool_.allocated(); }
-  uint64_t frames_reused() const { return pool_.reused(); }
+  // One coherent read of every counter the server tracks — connection
+  // lifecycle, data-plane telemetry (DESIGN.md §7), frame pool, poller
+  // wake costs, request count, uptime. The shutdown log
+  // (ServerStats::ToText), the admin /v1/stats endpoint
+  // (ServerStats::ToJson), tests, and benches all consume this one
+  // struct; there are no per-counter getters.
+  ServerStats Snapshot() const;
 
-  // Resolved readiness backend ("epoll"/"poll") and its wake-cost
-  // telemetry (rpc/event_poller.h); valid after Start().
+  // Resolved readiness backend ("epoll"/"poll"); valid after Start().
+  // (Also in Snapshot(); kept as a getter for startup banners printed
+  // before any stats exist.)
   const char* poller_name() const;
-  uint64_t poller_wakeups() const;
-  uint64_t poller_items_scanned() const;
 
  private:
   // A connection's lifecycle: kArmed (fd armed for read in the poller) →
@@ -291,6 +259,8 @@ class ConcurrentServer {
   std::atomic<uint64_t> bytes_buffered_peak_{0};
   std::atomic<uint64_t> queue_depth_peak_{0};
   std::atomic<uint64_t> budget_closed_{0};
+  std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   std::thread poll_thread_;
   std::vector<std::thread> workers_;

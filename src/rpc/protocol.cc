@@ -43,6 +43,7 @@ std::string EncodeRequest(const Request& request) {
     case Op::kRoot:
     case Op::kNodeCount:
     case Op::kShutdown:
+    case Op::kPing:
       break;
     case Op::kGetNode:
     case Op::kChildren:
@@ -110,6 +111,7 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
     case Op::kRoot:
     case Op::kNodeCount:
     case Op::kShutdown:
+    case Op::kPing:
       break;
     case Op::kGetNode:
     case Op::kChildren:
@@ -187,6 +189,30 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
     return Status::Corruption("trailing bytes in request");
   }
   return request;
+}
+
+std::string EncodePingInfo(const PingInfo& info) {
+  std::string out;
+  PutLengthPrefixed(&out, info.build);
+  PutVarint64(&out, info.uptime_seconds);
+  PutVarint64(&out, info.stats_epoch);
+  return out;
+}
+
+StatusOr<PingInfo> DecodePingInfo(std::string_view data) {
+  PingInfo info;
+  std::string_view build;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &build));
+  if (build.size() > kMaxDocIdBytes) {
+    return Status::Corruption("ping build string too long");
+  }
+  info.build.assign(build);
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &info.uptime_seconds));
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &info.stats_epoch));
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes in ping reply");
+  }
+  return info;
 }
 
 std::string EncodeOkResponse(std::string_view payload) {

@@ -53,7 +53,24 @@ enum class Op : uint8_t {
   // encoded catalog; kCatalogResolve one entry by document id.
   kCatalog = 20,
   kCatalogResolve = 21,
+  // Control plane (DESIGN.md §11): the health-monitor probe. No request
+  // fields; the reply is EncodePingInfo (build string, uptime, stats
+  // epoch). Answered by every daemon — share servers and the metadata-only
+  // router alike — without touching the filter, so a probe never competes
+  // with query work for a cursor or session.
+  kPing = 22,
 };
+
+// What a server discloses to a kPing probe. Metadata only: nothing here
+// depends on document content or shares.
+struct PingInfo {
+  std::string build;        // e.g. "ssdb/0.9"
+  uint64_t uptime_seconds = 0;
+  uint64_t stats_epoch = 0;  // requests handled; monotone per process
+};
+
+std::string EncodePingInfo(const PingInfo& info);
+StatusOr<PingInfo> DecodePingInfo(std::string_view data);
 
 struct Request {
   Op op = Op::kRoot;

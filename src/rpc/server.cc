@@ -129,6 +129,7 @@ Status Dispatch(const gf::Ring& ring, filter::ServerFilter* filter,
       return Status::OK();
     case Op::kCatalog:
     case Op::kCatalogResolve:
+    case Op::kPing:
       // Handled by RpcServer before Dispatch; unreachable here.
       break;
   }
@@ -174,9 +175,23 @@ void RpcServer::HandleRequestInto(std::string_view request_bytes,
     response->assign(EncodeErrorResponse(request.status()));
     return;
   }
+  requests_handled_.fetch_add(1, std::memory_order_relaxed);
   // Optimistically write the ok envelope byte and let Dispatch append the
   // payload in place; a failed dispatch rewinds and encodes the error.
   response->push_back(1);
+  if (request->op == Op::kPing) {
+    // The health probe (DESIGN.md §11) never touches the filter or catalog:
+    // a metadata-only router and a share server answer it identically.
+    PingInfo info;
+    info.build = kServerBuild;
+    info.uptime_seconds = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+    info.stats_epoch = requests_handled_.load(std::memory_order_relaxed);
+    response->append(EncodePingInfo(info));
+    return;
+  }
   if (request->op == Op::kCatalog || request->op == Op::kCatalogResolve) {
     // Catalog ops never touch the filter: a catalog-only server (ssdb_router)
     // answers them with no share slice behind it.

@@ -10,6 +10,9 @@
 #ifndef SSDB_RPC_SERVER_H_
 #define SSDB_RPC_SERVER_H_
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +26,9 @@
 namespace ssdb::rpc {
 
 struct Request;
+
+// Build identifier every daemon echoes to a kPing probe (DESIGN.md §11).
+inline constexpr char kServerBuild[] = "ssdb/0.9";
 
 class RpcServer {
  public:
@@ -60,6 +66,12 @@ class RpcServer {
   void HandleRequestInto(std::string_view request_bytes,
                          filter::SessionId session, std::string* response);
 
+  // Total well-formed requests handled since construction (kPing's
+  // stats_epoch): a cheap liveness signal the monitor can watch move.
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Appends the catalog payload for kCatalog/kCatalogResolve requests.
   Status ServeCatalog(const Request& request, std::string* payload) const;
@@ -68,6 +80,9 @@ class RpcServer {
   filter::ServerFilter* filter_;
   std::string catalog_bytes_;
   std::map<std::string, std::string, std::less<>> catalog_entries_;
+  std::atomic<uint64_t> requests_handled_{0};
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 };
 
 // Runs an RpcServer over the given channel on a background thread; joins on

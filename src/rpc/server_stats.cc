@@ -1,0 +1,75 @@
+#include "rpc/server_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace ssdb::rpc {
+namespace {
+
+void AppendField(std::string* out, const char* key, uint64_t value,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(key);
+  out->append("\":");
+  out->append(std::to_string(value));
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson() const {
+  std::string out = "{\"build\":";
+  AppendJsonString(&out, build);
+  out += ",\"poller\":";
+  AppendJsonString(&out, poller);
+  bool first = false;
+  AppendField(&out, "threads", threads, &first);
+  AppendField(&out, "uptime_seconds", uptime_seconds, &first);
+  AppendField(&out, "requests_handled", requests_handled, &first);
+  AppendField(&out, "connections_accepted", connections_accepted, &first);
+  AppendField(&out, "connections_closed", connections_closed, &first);
+  AppendField(&out, "open_connections", open_connections, &first);
+  AppendField(&out, "connections_idle_closed", connections_idle_closed,
+              &first);
+  AppendField(&out, "write_budget_closed", write_budget_closed, &first);
+  AppendField(&out, "write_stalls", write_stalls, &first);
+  AppendField(&out, "bytes_buffered", bytes_buffered, &first);
+  AppendField(&out, "bytes_buffered_peak", bytes_buffered_peak, &first);
+  AppendField(&out, "queue_depth_peak", queue_depth_peak, &first);
+  AppendField(&out, "frames_allocated", frames_allocated, &first);
+  AppendField(&out, "frames_reused", frames_reused, &first);
+  AppendField(&out, "poller_wakeups", poller_wakeups, &first);
+  AppendField(&out, "poller_items_scanned", poller_items_scanned, &first);
+  out.push_back('}');
+  return out;
+}
+
+std::string ServerStats::ToText() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "served %" PRIu64 " connections (%" PRIu64 " closed, %" PRIu64
+                " idle-swept), %" PRIu64 " requests\n",
+                connections_accepted, connections_closed,
+                connections_idle_closed, requests_handled);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "data plane: %" PRIu64 " write stalls, %" PRIu64
+                " peak buffered bytes, %" PRIu64 " budget closes, %" PRIu64
+                " peak queue depth, %" PRIu64 " frames pooled (%" PRIu64
+                " reused)\n",
+                write_stalls, bytes_buffered_peak, write_budget_closed,
+                queue_depth_peak, frames_allocated + frames_reused,
+                frames_reused);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "%s poller: %" PRIu64 " wakeups, %" PRIu64 " items scanned\n",
+                poller.c_str(), poller_wakeups, poller_items_scanned);
+  out += buf;
+  return out;
+}
+
+}  // namespace ssdb::rpc

@@ -1,10 +1,10 @@
 #include "shard/catalog.h"
 
 #include <algorithm>
-#include <cctype>
 #include <set>
 
 #include "util/file_util.h"
+#include "util/json.h"
 #include "util/varint.h"
 
 namespace ssdb::shard {
@@ -28,152 +28,9 @@ Status ConsumeBoundedString(std::string_view* data, std::string* out) {
   return Status::OK();
 }
 
-// --- minimal JSON subset parser --------------------------------------------
-// Just enough JSON for the catalog schema: objects, arrays, strings with
-// \"/\\ escapes, and non-negative integers. Hand-rolled to keep the build
-// dependency-free; unknown keys are skipped so future fields stay
-// forward-compatible within a version.
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status Expect(char c) {
-    if (!Consume(c)) {
-      return Status::Corruption(std::string("catalog JSON: expected '") + c +
-                                "' at offset " + std::to_string(pos_));
-    }
-    return Status::OK();
-  }
-
-  Status ParseString(std::string* out) {
-    SSDB_RETURN_IF_ERROR(Expect('"'));
-    out->clear();
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') {
-        if (out->size() > kMaxStringBytes) {
-          return Status::Corruption("catalog JSON: string exceeds bound");
-        }
-        return Status::OK();
-      }
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          default:
-            return Status::Corruption("catalog JSON: unsupported escape");
-        }
-        continue;
-      }
-      out->push_back(c);
-    }
-    return Status::Corruption("catalog JSON: unterminated string");
-  }
-
-  Status ParseUint(uint64_t* out) {
-    SkipSpace();
-    if (pos_ >= text_.size() ||
-        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      return Status::Corruption("catalog JSON: expected number at offset " +
-                                std::to_string(pos_));
-    }
-    uint64_t value = 0;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      uint64_t digit = static_cast<uint64_t>(text_[pos_] - '0');
-      if (value > (UINT64_MAX - digit) / 10) {
-        return Status::Corruption("catalog JSON: number overflows");
-      }
-      value = value * 10 + digit;
-      ++pos_;
-    }
-    *out = value;
-    return Status::OK();
-  }
-
-  // Skips any value (for unknown keys).
-  Status SkipValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      return Status::Corruption("catalog JSON: truncated value");
-    }
-    char c = text_[pos_];
-    if (c == '"') {
-      std::string ignored;
-      return ParseString(&ignored);
-    }
-    if (c == '{' || c == '[') {
-      char close = c == '{' ? '}' : ']';
-      ++pos_;
-      if (Consume(close)) return Status::OK();
-      do {
-        if (c == '{') {
-          std::string key;
-          SSDB_RETURN_IF_ERROR(ParseString(&key));
-          SSDB_RETURN_IF_ERROR(Expect(':'));
-        }
-        SSDB_RETURN_IF_ERROR(SkipValue());
-      } while (Consume(','));
-      return Expect(close);
-    }
-    // number / true / false / null
-    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
-           text_[pos_] != ']' &&
-           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    return Status::OK();
-  }
-
-  Status AtEnd() {
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Status::Corruption("catalog JSON: trailing bytes at offset " +
-                                std::to_string(pos_));
-    }
-    return Status::OK();
-  }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-void AppendJsonString(std::string* out, std::string_view value) {
-  out->push_back('"');
-  for (char c : value) {
-    switch (c) {
-      case '"': out->append("\\\""); break;
-      case '\\': out->append("\\\\"); break;
-      case '\n': out->append("\\n"); break;
-      case '\t': out->append("\\t"); break;
-      default: out->push_back(c);
-    }
-  }
-  out->push_back('"');
-}
+// The JSON subset codec lives in util/json (DESIGN.md §10); the catalog
+// schema is decoded through the streaming JsonParser so unknown keys are
+// skipped and future fields stay forward-compatible within a version.
 
 Status ParseEntryJson(JsonParser* parser, ShardEntry* entry) {
   SSDB_RETURN_IF_ERROR(parser->Expect('{'));
@@ -282,8 +139,25 @@ std::string ShardCatalog::ToJson() const {
   return out;
 }
 
+std::string ShardCatalog::SummaryJson() const {
+  std::string out = "{\"version\":" + std::to_string(kVersion) +
+                    ",\"documents\":" + std::to_string(entries_.size()) +
+                    ",\"groups\":" + std::to_string(Groups().size()) +
+                    ",\"entries\":[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const ShardEntry& entry = entries_[i];
+    if (i > 0) out += ",";
+    out += "{\"id\":";
+    AppendJsonString(&out, entry.doc_id);
+    out += ",\"group\":" + std::to_string(entry.group) +
+           ",\"slices\":" + std::to_string(entry.slices.size()) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 StatusOr<ShardCatalog> ShardCatalog::FromJson(std::string_view text) {
-  JsonParser parser(text);
+  JsonParser parser(text, "catalog JSON", kMaxStringBytes);
   SSDB_RETURN_IF_ERROR(parser.Expect('{'));
   ShardCatalog catalog;
   bool saw_version = false;

@@ -66,6 +66,10 @@ class ShardCatalog {
 
   // --- JSON on-disk codec --------------------------------------------------
   std::string ToJson() const;
+  // Compact one-object summary for the admin API's /v1/catalog (DESIGN.md
+  // §11): version, document/group counts, and per-document {id, group,
+  // slice count}. Metadata-only like the catalog itself — no share bytes.
+  std::string SummaryJson() const;
   static StatusOr<ShardCatalog> FromJson(std::string_view text);
   static StatusOr<ShardCatalog> Load(const std::string& path);
   Status Save(const std::string& path) const;

@@ -44,6 +44,27 @@ Status Router::Attribute(const Status& status, const ShardEntry& entry) {
                                    "): " + status.message());
 }
 
+Status Router::CheckHealth(const ShardEntry& entry) const {
+  if (health_ == nullptr) return Status::OK();
+  for (size_t i = 0; i < entry.slices.size(); ++i) {
+    if (health_->IsDown(entry.slices[i])) {
+      return Status::Unavailable("server " + std::to_string(i) + " (" +
+                                 entry.slices[i] +
+                                 ") is down (health monitor, DESIGN.md §11)");
+    }
+  }
+  return Status::OK();
+}
+
+void Router::SetHealth(const control::HealthView* health) {
+  health_ = health;
+  for (auto& stack : stacks_) {
+    if (stack->fanout != nullptr) {
+      stack->fanout->SetEndpointHealth(health, stack->entry->slices);
+    }
+  }
+}
+
 Status Router::FinishStack(DocStack* stack, const gf::Ring& ring,
                            const prg::Seed& seed) {
   stack->client = std::make_unique<filter::ClientFilter>(ring, prg::Prg(seed),
@@ -91,35 +112,58 @@ StatusOr<std::unique_ptr<Router>> Router::Open(
   for (const ShardEntry& entry : router->catalog_.entries()) {
     auto stack = std::make_unique<DocStack>();
     stack->entry = &entry;
-    if (options.local) {
-      std::vector<filter::ServerFilter*> raw;
-      for (const std::string& path : entry.slices) {
-        auto disk = storage::DiskNodeStore::Open(path);
-        if (!disk.ok()) return Attribute(disk.status(), entry);
-        stack->stores.push_back(std::move(*disk));
-        stack->backends.push_back(std::make_unique<filter::LocalServerFilter>(
-            ring, stack->stores.back().get()));
-        raw.push_back(stack->backends.back().get());
-      }
-      if (raw.size() == 1) {
-        stack->view = raw[0];
+    // The whole per-document build in one scope, so partial_ok can treat
+    // any failure — a dead socket, a missing slice file, a failed open
+    // probe — as "this document is unreachable" and move on.
+    Status built = [&]() -> Status {
+      if (options.local) {
+        std::vector<filter::ServerFilter*> raw;
+        for (const std::string& path : entry.slices) {
+          auto disk = storage::DiskNodeStore::Open(path);
+          if (!disk.ok()) return disk.status();
+          stack->stores.push_back(std::move(*disk));
+          stack->backends.push_back(
+              std::make_unique<filter::LocalServerFilter>(
+                  ring, stack->stores.back().get()));
+          raw.push_back(stack->backends.back().get());
+        }
+        if (raw.size() == 1) {
+          stack->view = raw[0];
+        } else {
+          auto fanout = std::make_unique<filter::MultiServerFilter>(
+              ring, std::move(raw));
+          stack->fanout = fanout.get();
+          stack->owned_filter = std::move(fanout);
+          stack->view = stack->owned_filter.get();
+        }
       } else {
-        stack->owned_filter = std::make_unique<filter::MultiServerFilter>(
-            ring, std::move(raw));
-        stack->view = stack->owned_filter.get();
+        auto session =
+            rpc::MultiServerSession::ConnectUnix(ring, entry.slices);
+        if (!session.ok()) return session.status();
+        stack->session = std::move(*session);
+        stack->fanout = stack->session->filter();
+        stack->view = stack->session->filter();
       }
-    } else {
-      auto session = rpc::MultiServerSession::ConnectUnix(ring, entry.slices);
-      if (!session.ok()) return Attribute(session.status(), entry);
-      stack->session = std::move(*session);
-      stack->view = stack->session->filter();
+      auto it = seeds.find(entry.doc_id);
+      const prg::Seed& seed = it == seeds.end() ? default_seed : it->second;
+      return router->FinishStack(stack.get(), ring, seed);
+    }();
+    if (!built.ok()) {
+      built = Attribute(built, entry);
+      if (!options.partial_ok) return built;
+      router->unreachable_.push_back(
+          MissingDoc{entry.doc_id, entry.group, std::move(built)});
+      continue;
     }
-    auto it = seeds.find(entry.doc_id);
-    const prg::Seed& seed = it == seeds.end() ? default_seed : it->second;
-    Status built = router->FinishStack(stack.get(), ring, seed);
-    if (!built.ok()) return Attribute(built, entry);
     router->by_doc_.emplace(entry.doc_id, stack.get());
     router->stacks_.push_back(std::move(stack));
+  }
+  if (router->stacks_.empty() && !router->unreachable_.empty()) {
+    // partial_ok tolerates degraded, not dead: every document failed.
+    const Status& first = router->unreachable_.front().error;
+    return Status(first.code(),
+                  "all " + std::to_string(router->unreachable_.size()) +
+                      " documents unreachable; first: " + first.message());
   }
   return router;
 }
@@ -147,17 +191,31 @@ StatusOr<std::unique_ptr<Router>> Router::FromBackends(
     if (it->second.size() == 1) {
       stack->view = it->second[0];
     } else {
-      stack->owned_filter = std::make_unique<filter::MultiServerFilter>(
-          ring, it->second);
+      auto fanout =
+          std::make_unique<filter::MultiServerFilter>(ring, it->second);
+      stack->fanout = fanout.get();
+      stack->owned_filter = std::move(fanout);
       stack->view = stack->owned_filter.get();
     }
     auto seed_it = seeds.find(entry.doc_id);
     const prg::Seed& seed =
         seed_it == seeds.end() ? default_seed : seed_it->second;
     Status built = router->FinishStack(stack.get(), ring, seed);
-    if (!built.ok()) return Attribute(built, entry);
+    if (!built.ok()) {
+      built = Attribute(built, entry);
+      if (!options.partial_ok) return built;
+      router->unreachable_.push_back(
+          MissingDoc{entry.doc_id, entry.group, std::move(built)});
+      continue;
+    }
     router->by_doc_.emplace(entry.doc_id, stack.get());
     router->stacks_.push_back(std::move(stack));
+  }
+  if (router->stacks_.empty() && !router->unreachable_.empty()) {
+    const Status& first = router->unreachable_.front().error;
+    return Status(first.code(),
+                  "all " + std::to_string(router->unreachable_.size()) +
+                      " documents unreachable; first: " + first.message());
   }
   return router;
 }
@@ -175,6 +233,11 @@ uint64_t Router::bytes_on_wire() const {
 StatusOr<DocResult> Router::RunOnStack(DocStack* stack,
                                        const query::Query& query,
                                        query::MatchMode mode) {
+  // Fail fast while the group is marked down (DESIGN.md §11) — this also
+  // covers single-backend stacks, which have no fan-out filter of their
+  // own to consult the health view.
+  Status health = CheckHealth(*stack->entry);
+  if (!health.ok()) return health;
   DocResult out;
   out.doc_id = stack->entry->doc_id;
   out.group = stack->entry->group;
@@ -196,6 +259,11 @@ StatusOr<DocResult> Router::QueryDoc(std::string_view doc_id,
                                      query::MatchMode mode) {
   auto it = by_doc_.find(doc_id);
   if (it == by_doc_.end()) {
+    // A document skipped at open (partial_ok) fails with its recorded
+    // error — fast, and naming the original cause — not NotFound.
+    for (const MissingDoc& missing : unreachable_) {
+      if (missing.doc_id == doc_id) return missing.error;
+    }
     return Status::NotFound("no document '" + std::string(doc_id) +
                             "' in the shard catalog");
   }
@@ -231,14 +299,24 @@ StatusOr<CorpusResult> Router::QueryCorpus(const query::Query& query,
 
   CorpusResult out;
   out.is_aggregate = query.aggregate != query::Aggregate::kNone;
-  out.documents = stacks_.size();
+  // Open-time skips (partial_ok) ride along on every corpus result so a
+  // caller always sees the full degraded picture, not just this query's
+  // failures.
+  out.missing = unreachable_;
   std::set<uint32_t> groups;
   bool first = true;
   for (size_t i = 0; i < stacks_.size(); ++i) {
     const ShardEntry& entry = *stacks_[i]->entry;
-    groups.insert(entry.group);
     StatusOr<DocResult>& result = *results[i];
-    if (!result.ok()) return Attribute(result.status(), entry);
+    if (!result.ok()) {
+      Status attributed = Attribute(result.status(), entry);
+      if (!options_.partial_ok) return attributed;
+      out.missing.push_back(
+          MissingDoc{entry.doc_id, entry.group, std::move(attributed)});
+      continue;
+    }
+    groups.insert(entry.group);
+    ++out.documents;
     DocResult& doc = *result;
     if (first) {
       out.stats = doc.stats;
@@ -254,6 +332,14 @@ StatusOr<CorpusResult> Router::QueryCorpus(const query::Query& query,
           CorpusResult::DocNodes{doc.doc_id, std::move(doc.nodes)});
     }
     first = false;
+  }
+  if (out.documents == 0) {
+    // partial_ok tolerates degraded, not dead: nothing answered.
+    const Status& first_error = out.missing.front().error;
+    return Status(first_error.code(),
+                  "corpus query failed on all " +
+                      std::to_string(out.missing.size()) +
+                      " documents; first: " + first_error.message());
   }
   out.groups = groups.size();
   if (out.is_aggregate) {

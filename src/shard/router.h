@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "agg/aggregation.h"
+#include "control/health.h"
 #include "core/options.h"
 #include "filter/client_filter.h"
 #include "filter/multi_server_filter.h"
@@ -60,6 +61,15 @@ struct DocResult {
   query::QueryStats stats;
 };
 
+// A document the router could not answer for — its group unreachable at
+// open (partial_ok mode) or its query failed mid-corpus. The error is
+// already attributed ("doc <id> (group <g>): ...").
+struct MissingDoc {
+  std::string doc_id;
+  uint32_t group = 0;
+  Status error;
+};
+
 // A corpus-wide answer, merged across every owning group.
 struct CorpusResult {
   bool is_aggregate = false;
@@ -75,8 +85,12 @@ struct CorpusResult {
   // Straggler-merged (filter::EvalStats::MergeConcurrent): work counters
   // sum, round_trips/straggler_seconds take the slowest document's value.
   query::QueryStats stats;
+  // Documents that contributed to the merge / distinct groups among them.
   size_t documents = 0;
   size_t groups = 0;
+  // Documents that did NOT contribute (CorpusOptions::partial_ok only);
+  // empty on an all-or-nothing router or a fully healthy corpus.
+  std::vector<MissingDoc> missing;
 };
 
 class Router {
@@ -122,6 +136,19 @@ class Router {
   // Total bytes over every remote channel (0 for local/injected stacks).
   uint64_t bytes_on_wire() const;
 
+  // Degraded-mode failover (DESIGN.md §11): consult `health` before every
+  // query and fail fast with Unavailable — naming the slice server — when
+  // a document's group has a kDown endpoint, instead of eating an io
+  // timeout per query. Propagates to each stack's fan-out filter (the
+  // catalog slice strings are the endpoints). `health` must outlive the
+  // router; call before sharing the router across threads.
+  void SetHealth(const control::HealthView* health);
+
+  // Documents skipped at Open because their group was unreachable
+  // (CorpusOptions::partial_ok only). Every corpus result repeats these
+  // in CorpusResult::missing.
+  const std::vector<MissingDoc>& unreachable() const { return unreachable_; }
+
  private:
   // The single-document client pipeline, owned per catalog entry.
   struct DocStack {
@@ -130,6 +157,10 @@ class Router {
     std::vector<std::unique_ptr<storage::NodeStore>> stores;  // local mode
     std::vector<std::unique_ptr<filter::ServerFilter>> backends;
     std::unique_ptr<filter::ServerFilter> owned_filter;
+    // The fan-out filter when the stack has one (owned_filter or the
+    // session's); health propagation target. Null for single-backend
+    // injected/local stacks — the router-level check covers those.
+    filter::MultiServerFilter* fanout = nullptr;
     filter::ServerFilter* view = nullptr;
     std::unique_ptr<filter::ClientFilter> client;
     std::unique_ptr<query::SimpleEngine> simple;
@@ -152,11 +183,16 @@ class Router {
 
   static Status Attribute(const Status& status, const ShardEntry& entry);
 
+  // Unavailable naming the first kDown slice server of `entry`, or OK.
+  Status CheckHealth(const ShardEntry& entry) const;
+
   ShardCatalog catalog_;
   const mapping::TagMap* map_;
   core::CorpusOptions options_;
+  const control::HealthView* health_ = nullptr;
   std::vector<std::unique_ptr<DocStack>> stacks_;  // catalog order
   std::map<std::string, DocStack*, std::less<>> by_doc_;
+  std::vector<MissingDoc> unreachable_;  // open-time skips (partial_ok)
 };
 
 // Merges another document's aggregate into `into` (additive across shards;

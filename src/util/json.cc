@@ -1,0 +1,275 @@
+#include "util/json.h"
+
+#include <cctype>
+
+namespace ssdb {
+
+Status JsonParser::Corrupt(const std::string& what) const {
+  return Status::Corruption(std::string(context_) + ": " + what);
+}
+
+void JsonParser::SkipSpace() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool JsonParser::Consume(char c) {
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Status JsonParser::Expect(char c) {
+  if (!Consume(c)) {
+    return Corrupt(std::string("expected '") + c + "' at offset " +
+                   std::to_string(pos_));
+  }
+  return Status::OK();
+}
+
+Status JsonParser::ParseString(std::string* out) {
+  SSDB_RETURN_IF_ERROR(Expect('"'));
+  out->clear();
+  while (pos_ < text_.size()) {
+    char c = text_[pos_++];
+    if (c == '"') {
+      if (out->size() > max_string_bytes_) {
+        return Corrupt("string exceeds bound");
+      }
+      return Status::OK();
+    }
+    if (c == '\\') {
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        default:
+          return Corrupt("unsupported escape");
+      }
+      continue;
+    }
+    out->push_back(c);
+  }
+  return Corrupt("unterminated string");
+}
+
+Status JsonParser::ParseUint(uint64_t* out) {
+  SkipSpace();
+  if (pos_ >= text_.size() ||
+      !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    return Corrupt("expected number at offset " + std::to_string(pos_));
+  }
+  uint64_t value = 0;
+  while (pos_ < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    uint64_t digit = static_cast<uint64_t>(text_[pos_] - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Corrupt("number overflows");
+    }
+    value = value * 10 + digit;
+    ++pos_;
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status JsonParser::SkipValue() {
+  SkipSpace();
+  if (pos_ >= text_.size()) {
+    return Corrupt("truncated value");
+  }
+  char c = text_[pos_];
+  if (c == '"') {
+    std::string ignored;
+    return ParseString(&ignored);
+  }
+  if (c == '{' || c == '[') {
+    char close = c == '{' ? '}' : ']';
+    ++pos_;
+    if (Consume(close)) return Status::OK();
+    do {
+      if (c == '{') {
+        std::string key;
+        SSDB_RETURN_IF_ERROR(ParseString(&key));
+        SSDB_RETURN_IF_ERROR(Expect(':'));
+      }
+      SSDB_RETURN_IF_ERROR(SkipValue());
+    } while (Consume(','));
+    return Expect(close);
+  }
+  // number / true / false / null
+  while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+         text_[pos_] != ']' &&
+         !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+  return Status::OK();
+}
+
+char JsonParser::PeekChar() {
+  SkipSpace();
+  return pos_ < text_.size() ? text_[pos_] : '\0';
+}
+
+Status JsonParser::AtEnd() {
+  SkipSpace();
+  if (pos_ != text_.size()) {
+    return Corrupt("trailing bytes at offset " + std::to_string(pos_));
+  }
+  return Status::OK();
+}
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+// Recursive-descent DOM builder over the streaming parser, with depth and
+// node budgets charged before each value is built.
+class DomParser {
+ public:
+  DomParser(std::string_view text, const JsonLimits& limits)
+      : parser_(text, "JSON", limits.max_string_bytes), limits_(limits) {}
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > limits_.max_depth) {
+      return Status::Corruption("JSON: nesting exceeds depth bound");
+    }
+    if (++nodes_ > limits_.max_nodes) {
+      return Status::Corruption("JSON: node count exceeds bound");
+    }
+    parser_.SkipSpace();
+    if (parser_.Consume('{')) return ParseObject(out, depth);
+    if (parser_.Consume('[')) return ParseArray(out, depth);
+    if (ConsumeWord("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    if (parser_.PeekChar() == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return parser_.ParseString(&out->string_value);
+    }
+    return ParseNumber(out);
+  }
+
+  Status Finish() { return parser_.AtEnd(); }
+
+ private:
+  bool ConsumeWord(std::string_view word) {
+    // Words are consumed char by char; all start with distinct letters so a
+    // failed first char means no rollback is needed.
+    if (!parser_.Consume(word[0])) return false;
+    for (size_t i = 1; i < word.size(); ++i) {
+      if (!parser_.Consume(word[i])) return false;  // malformed; caught below
+    }
+    return true;
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    uint64_t whole = 0;
+    SSDB_RETURN_IF_ERROR(parser_.ParseUint(&whole));
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = static_cast<double>(whole);
+    if (parser_.Consume('.')) {
+      uint64_t frac = 0;
+      size_t before = parser_.offset();
+      SSDB_RETURN_IF_ERROR(parser_.ParseUint(&frac));
+      size_t digits = parser_.offset() - before;
+      double scale = 1;
+      for (size_t i = 0; i < digits; ++i) scale *= 10;
+      out->number += static_cast<double>(frac) / scale;
+    }
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    out->kind = JsonValue::Kind::kObject;
+    if (parser_.Consume('}')) return Status::OK();
+    do {
+      std::string key;
+      SSDB_RETURN_IF_ERROR(parser_.ParseString(&key));
+      SSDB_RETURN_IF_ERROR(parser_.Expect(':'));
+      JsonValue value;
+      SSDB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+    } while (parser_.Consume(','));
+    return parser_.Expect('}');
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    out->kind = JsonValue::Kind::kArray;
+    if (parser_.Consume(']')) return Status::OK();
+    do {
+      JsonValue value;
+      SSDB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+    } while (parser_.Consume(','));
+    return parser_.Expect(']');
+  }
+
+  JsonParser parser_;
+  JsonLimits limits_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+uint64_t JsonValue::GetUint(std::string_view key, uint64_t def) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr || !v->is_number() || v->number < 0) return def;
+  return static_cast<uint64_t>(v->number);
+}
+
+std::string JsonValue::GetString(std::string_view key, std::string def) const {
+  const JsonValue* v = Get(key);
+  if (v == nullptr || !v->is_string()) return def;
+  return v->string_value;
+}
+
+StatusOr<JsonValue> ParseJson(std::string_view text, const JsonLimits& limits) {
+  DomParser dom(text, limits);
+  JsonValue root;
+  SSDB_RETURN_IF_ERROR(dom.ParseValue(&root, 0));
+  SSDB_RETURN_IF_ERROR(dom.Finish());
+  return root;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,110 @@
+// Minimal hand-rolled JSON subset shared by the shard catalog (DESIGN.md
+// §10) and the control-plane admin API (DESIGN.md §11): objects, arrays,
+// strings with \"/\\/n/t escapes, non-negative numbers (integers, plus an
+// optional fraction in the DOM parser), true/false/null. Hand-rolled to keep
+// the build dependency-free; every bound is explicit so corrupt or hostile
+// input cannot force large allocations or deep recursion.
+//
+// Two layers:
+//   - JsonParser: a streaming cursor (Expect/Consume/ParseString/ParseUint/
+//     SkipValue) for schema-directed decoding where unknown keys must be
+//     skipped for forward compatibility (the catalog codec).
+//   - JsonValue + ParseJson: a small DOM for consumers that inspect
+//     arbitrary documents (tests, admin-endpoint clients).
+
+#ifndef SSDB_UTIL_JSON_H_
+#define SSDB_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ssdb {
+
+// Streaming subset parser. `context` prefixes every error message (e.g.
+// "catalog JSON"); `max_string_bytes` bounds any single decoded string.
+class JsonParser {
+ public:
+  static constexpr size_t kDefaultMaxStringBytes = 4096;
+
+  explicit JsonParser(std::string_view text,
+                      std::string_view context = "JSON",
+                      size_t max_string_bytes = kDefaultMaxStringBytes)
+      : text_(text), context_(context), max_string_bytes_(max_string_bytes) {}
+
+  void SkipSpace();
+  // Consumes `c` (after whitespace) if present.
+  bool Consume(char c);
+  // Like Consume but an error when `c` is absent.
+  Status Expect(char c);
+  Status ParseString(std::string* out);
+  Status ParseUint(uint64_t* out);
+  // Skips any value (for unknown keys).
+  Status SkipValue();
+  // Error unless only trailing whitespace remains.
+  Status AtEnd();
+
+  // Next non-whitespace character without consuming it; '\0' at end.
+  char PeekChar();
+
+  size_t offset() const { return pos_; }
+
+ private:
+  Status Corrupt(const std::string& what) const;
+
+  std::string_view text_;
+  std::string_view context_;
+  size_t max_string_bytes_;
+  size_t pos_ = 0;
+};
+
+// Appends `value` as a quoted JSON string, escaping the same subset the
+// parser accepts.
+void AppendJsonString(std::string* out, std::string_view value);
+
+// Bounds for the DOM parser.
+struct JsonLimits {
+  size_t max_string_bytes = JsonParser::kDefaultMaxStringBytes;
+  size_t max_depth = 32;
+  size_t max_nodes = 1 << 16;
+};
+
+// A parsed JSON document. Numbers are stored as doubles (the subset only
+// admits non-negative values); object keys keep insertion order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+  // Convenience accessors through Get(); fall back to the default when the
+  // member is absent or of the wrong kind.
+  uint64_t GetUint(std::string_view key, uint64_t def = 0) const;
+  std::string GetString(std::string_view key, std::string def = "") const;
+};
+
+StatusOr<JsonValue> ParseJson(std::string_view text,
+                              const JsonLimits& limits = JsonLimits());
+
+}  // namespace ssdb
+
+#endif  // SSDB_UTIL_JSON_H_

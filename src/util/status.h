@@ -22,6 +22,9 @@ enum class StatusCode : int {
   kOutOfRange = 7,
   kUnimplemented = 8,
   kInternal = 9,
+  // A backend is known-unreachable (health monitor says down, or a dial
+  // failed); retrying later may succeed. DESIGN.md §11.
+  kUnavailable = 10,
 };
 
 // Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -67,6 +70,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -75,6 +81,7 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

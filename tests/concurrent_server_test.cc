@@ -105,10 +105,10 @@ bool WaitForCursorCount(TestDb* db, uint64_t want, int rounds = 500) {
 bool WaitForOpenConnections(ConcurrentServer* server, size_t want,
                             int rounds = 1000) {
   for (int i = 0; i < rounds; ++i) {
-    if (server->open_connections() == want) return true;
+    if (server->Snapshot().open_connections == want) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  return server->open_connections() == want;
+  return server->Snapshot().open_connections == want;
 }
 
 template <typename Fn>
@@ -179,15 +179,15 @@ TEST_P(ConcurrentServerTest, ManyClientsMatchGroundTruth) {
     });
   }
   for (std::thread& t : clients) t.join();
-  EXPECT_EQ(fixture.server->connections_accepted(), (uint64_t)kClients);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted, (uint64_t)kClients);
   // Every client shut its own connection down; the server must survive all
   // of them and still accept new work.
   auto late = fixture.Connect();
   EXPECT_EQ(*late->NodeCount(), *local->NodeCount());
   ASSERT_TRUE(late->Shutdown().ok());
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_accepted(),
-            fixture.server->connections_closed());
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted,
+            fixture.server->Snapshot().connections_closed);
 }
 
 // The high-connection soak: 256 mostly-idle connections, a rotating hot
@@ -259,7 +259,7 @@ TEST_P(ConcurrentServerTest, HighConnectionSoakAndIdleSweep) {
 
   EXPECT_TRUE(WaitForOpenConnections(fixture.server.get(), 0));
   EXPECT_TRUE(WaitForCursorCount(fixture.db.get(), 0));
-  EXPECT_GE(fixture.server->connections_idle_closed(), kConnections);
+  EXPECT_GE(fixture.server->Snapshot().connections_idle_closed, kConnections);
 
   // The server survived sweeping its whole connection set and still
   // accepts new clients.
@@ -267,8 +267,8 @@ TEST_P(ConcurrentServerTest, HighConnectionSoakAndIdleSweep) {
   EXPECT_EQ(*survivor->NodeCount(), *local->NodeCount());
   ASSERT_TRUE(survivor->Shutdown().ok());
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_accepted(),
-            fixture.server->connections_closed());
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted,
+            fixture.server->Snapshot().connections_closed);
 }
 
 TEST_P(ConcurrentServerTest, BackpressurePausesAcceptAtBudget) {
@@ -281,7 +281,7 @@ TEST_P(ConcurrentServerTest, BackpressurePausesAcceptAtBudget) {
   auto b = fixture.Connect();
   ASSERT_TRUE(a->Root().ok());
   ASSERT_TRUE(b->Root().ok());
-  EXPECT_EQ(fixture.server->open_connections(), 2u);
+  EXPECT_EQ(fixture.server->Snapshot().open_connections, 2u);
 
   // A third client connects at the socket level (listen backlog) but must
   // not be accepted while the budget is spent; its first request blocks.
@@ -294,7 +294,7 @@ TEST_P(ConcurrentServerTest, BackpressurePausesAcceptAtBudget) {
     EXPECT_TRUE(remote->Shutdown().ok());
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
-  EXPECT_EQ(fixture.server->open_connections(), 2u);
+  EXPECT_EQ(fixture.server->Snapshot().open_connections, 2u);
   EXPECT_FALSE(served.load());
 
   // Freeing one slot resumes the accept loop and the queued client gets
@@ -304,8 +304,8 @@ TEST_P(ConcurrentServerTest, BackpressurePausesAcceptAtBudget) {
   EXPECT_TRUE(served.load());
   ASSERT_TRUE(b->Shutdown().ok());
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_accepted(), 3u);
-  EXPECT_EQ(fixture.server->connections_closed(), 3u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted, 3u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_closed, 3u);
 }
 
 TEST_P(ConcurrentServerTest, CursorsAreInvisibleAcrossConnections) {
@@ -382,9 +382,9 @@ TEST_P(ConcurrentServerTest, MidBatchDisconnectCleansUpAndKeepsServing) {
   EXPECT_EQ(result->size(), truth->size());
   ASSERT_TRUE(survivor->Shutdown().ok());
 
-  EXPECT_EQ(fixture.server->connections_accepted(), 11u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted, 11u);
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_closed(), 11u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_closed, 11u);
 }
 
 TEST_P(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
@@ -408,8 +408,8 @@ TEST_P(ConcurrentServerTest, ShutdownUnblocksWorkerStalledOnPartialFrame) {
   auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
             5);
-  EXPECT_EQ(fixture.server->connections_accepted(), 1u);
-  EXPECT_EQ(fixture.server->connections_closed(), 1u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted, 1u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_closed, 1u);
 }
 
 // A client that stops reading its response must not park a worker: the
@@ -445,8 +445,8 @@ TEST_P(ConcurrentServerTest, SlowReaderBuffersThenBudgetCloses) {
   ASSERT_TRUE(stalled.ok());
   ASSERT_TRUE((*stalled)->Send(EncodeRequest(fetch)).ok());
   ASSERT_TRUE(
-      WaitForAtLeast([&] { return fixture.server->write_stalls(); }, 1));
-  EXPECT_GT(fixture.server->bytes_buffered_peak(), 0u);
+      WaitForAtLeast([&] { return fixture.server->Snapshot().write_stalls; }, 1));
+  EXPECT_GT(fixture.server->Snapshot().bytes_buffered_peak, 0u);
 
   // With the stall outstanding, as many concurrent hot clients as there
   // are workers all get ground-truth answers — so no worker is parked on
@@ -480,7 +480,7 @@ TEST_P(ConcurrentServerTest, SlowReaderBuffersThenBudgetCloses) {
   fetch.pres.assign(budget_count, 2);
   ASSERT_TRUE((*hog)->Send(EncodeRequest(fetch)).ok());
   ASSERT_TRUE(WaitForAtLeast(
-      [&] { return fixture.server->write_budget_closed(); }, 1));
+      [&] { return fixture.server->Snapshot().write_budget_closed; }, 1));
   EXPECT_TRUE(WaitForCursorCount(fixture.db.get(), 0));
 
   // The stalled reader finally drains: every buffered byte arrives,
@@ -500,7 +500,7 @@ TEST_P(ConcurrentServerTest, SlowReaderBuffersThenBudgetCloses) {
   fetch.pres.assign(stall_count, 2);
   ASSERT_TRUE((*stalled)->Send(EncodeRequest(fetch)).ok());
   ASSERT_TRUE(
-      WaitForAtLeast([&] { return fixture.server->write_stalls(); }, 3));
+      WaitForAtLeast([&] { return fixture.server->Snapshot().write_stalls; }, 3));
   response = (*stalled)->Receive();
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->size(), 1 + stall_count * entry.size());
@@ -511,11 +511,11 @@ TEST_P(ConcurrentServerTest, SlowReaderBuffersThenBudgetCloses) {
 
   (*stalled)->Close();
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_accepted(),
-            fixture.server->connections_closed());
-  EXPECT_GE(fixture.server->write_stalls(), 3u);
-  EXPECT_EQ(fixture.server->bytes_buffered(), 0u);
-  EXPECT_GT(fixture.server->frames_reused(), 0u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted,
+            fixture.server->Snapshot().connections_closed);
+  EXPECT_GE(fixture.server->Snapshot().write_stalls, 3u);
+  EXPECT_EQ(fixture.server->Snapshot().bytes_buffered, 0u);
+  EXPECT_GT(fixture.server->Snapshot().frames_reused, 0u);
 }
 
 // Soak (labelled slow): K stalled readers hold buffered response tails
@@ -547,7 +547,7 @@ TEST_P(ConcurrentServerTest, SlowReaderSoakKeepsHotClientsServed) {
     ASSERT_TRUE((*channel)->Send(fetch_bytes).ok());
     stalled.push_back(std::move(*channel));
   }
-  ASSERT_TRUE(WaitForAtLeast([&] { return fixture.server->write_stalls(); },
+  ASSERT_TRUE(WaitForAtLeast([&] { return fixture.server->Snapshot().write_stalls; },
                              kStalled));
 
   constexpr int kHotThreads = 2;
@@ -569,8 +569,8 @@ TEST_P(ConcurrentServerTest, SlowReaderSoakKeepsHotClientsServed) {
   for (std::thread& t : hot) t.join();
 
   // Every tail is still parked (nobody read a byte of them)...
-  EXPECT_GE(fixture.server->write_stalls(), kStalled);
-  EXPECT_GT(fixture.server->bytes_buffered(), 0u);
+  EXPECT_GE(fixture.server->Snapshot().write_stalls, kStalled);
+  EXPECT_GT(fixture.server->Snapshot().bytes_buffered, 0u);
   // ...then drains intact.
   const size_t want = 1 + stall_count * entry.size();
   for (size_t i = 0; i < kStalled; ++i) {
@@ -580,9 +580,9 @@ TEST_P(ConcurrentServerTest, SlowReaderSoakKeepsHotClientsServed) {
   }
   for (auto& channel : stalled) channel->Close();
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_accepted(),
-            fixture.server->connections_closed());
-  EXPECT_EQ(fixture.server->bytes_buffered(), 0u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted,
+            fixture.server->Snapshot().connections_closed);
+  EXPECT_EQ(fixture.server->Snapshot().bytes_buffered, 0u);
 }
 
 TEST_P(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
@@ -593,9 +593,9 @@ TEST_P(ConcurrentServerTest, GracefulShutdownClosesIdleConnections) {
   EXPECT_TRUE(b->Root().ok());
 
   fixture.server->Shutdown();
-  EXPECT_EQ(fixture.server->connections_accepted(), 2u);
-  EXPECT_EQ(fixture.server->connections_closed(), 2u);
-  EXPECT_EQ(fixture.server->open_connections(), 0u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_accepted, 2u);
+  EXPECT_EQ(fixture.server->Snapshot().connections_closed, 2u);
+  EXPECT_EQ(fixture.server->Snapshot().open_connections, 0u);
   // The socket file is gone: no new connections.
   EXPECT_FALSE(ConnectUnix(fixture.path).ok());
   // In-flight stubs observe the close as an error, not a hang.

@@ -1,0 +1,729 @@
+// Control-plane battery (DESIGN.md §11): the monitor's per-server state
+// machine driven by scripted probes (every edge: up→suspect→down,
+// blip recovery, rise-gated recovery, relapse), the kPing RPC against a
+// live ConcurrentServer (including a ByzantineChannel-corrupted probe),
+// fail-fast Unavailable from MultiServerFilter and the shard router with
+// the dead server NAMED, partial_ok corpus merges checked against
+// per-document ground truth with one group down, and the admin HTTP
+// surface — responses parsed with the §10 JSON parser, malformed and
+// oversized requests rejected.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/admin_http.h"
+#include "control/health.h"
+#include "control/monitor.h"
+#include "core/database.h"
+#include "fault_injection.h"
+#include "query/xpath.h"
+#include "rpc/client.h"
+#include "rpc/concurrent_server.h"
+#include "rpc/protocol.h"
+#include "rpc/server.h"
+#include "rpc/socket_channel.h"
+#include "shard/catalog.h"
+#include "shard/router.h"
+#include "test_helpers.h"
+#include "util/json.h"
+#include "xmark/generator.h"
+
+namespace ssdb {
+namespace {
+
+using control::AdminHttpServer;
+using control::AdminOptions;
+using control::Monitor;
+using control::MonitorOptions;
+using control::MonitorTarget;
+using control::ServerHealth;
+using control::ServerState;
+using shard::Router;
+using shard::ShardCatalog;
+using shard::ShardEntry;
+using testing_helpers::BuildTestDb;
+using testing_helpers::ByzantineChannel;
+using testing_helpers::TestDb;
+
+// --- scripted probes --------------------------------------------------------
+
+// A deterministic probe: pops the next verdict from a per-endpoint script
+// (true = healthy ping, false = refused). Lets the tests walk the state
+// machine edge by edge without sockets or clocks.
+struct ProbeScript {
+  std::map<std::string, std::deque<bool>> verdicts;
+  uint64_t epoch = 0;
+
+  control::ProbeFn AsProbe() {
+    return [this](const std::string& endpoint,
+                  int /*timeout*/) -> StatusOr<rpc::PingInfo> {
+      auto it = verdicts.find(endpoint);
+      SSDB_CHECK(it != verdicts.end() && !it->second.empty())
+          << "script exhausted for " << endpoint;
+      bool ok = it->second.front();
+      it->second.pop_front();
+      if (!ok) return Status::IOError("connect " + endpoint + ": refused");
+      rpc::PingInfo info;
+      info.build = "scripted/1.0";
+      info.uptime_seconds = 7;
+      info.stats_epoch = ++epoch;
+      return info;
+    };
+  }
+};
+
+Monitor MakeScriptedMonitor(ProbeScript* script, int fall, int rise,
+                            std::vector<MonitorTarget> targets) {
+  MonitorOptions options;
+  options.fall = fall;
+  options.rise = rise;
+  options.probe = script->AsProbe();
+  return Monitor(std::move(targets), std::move(options));
+}
+
+ServerHealth Only(const Monitor& monitor) {
+  std::vector<ServerHealth> all = monitor.Snapshot();
+  SSDB_CHECK(all.size() == 1u);
+  return all[0];
+}
+
+// --- monitor state machine --------------------------------------------------
+
+TEST(MonitorTest, SingleFailureIsSuspectNotDown) {
+  ProbeScript script;
+  script.verdicts["s.sock"] = {false, true};
+  Monitor monitor = MakeScriptedMonitor(&script, /*fall=*/3, /*rise=*/2,
+                                        {{"s", "s.sock"}});
+
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kUp);
+
+  monitor.ProbeOnce();  // fail
+  ServerHealth h = Only(monitor);
+  EXPECT_EQ(h.state, ServerState::kSuspect);
+  EXPECT_EQ(h.consecutive_failures, 1u);
+  EXPECT_EQ(h.transitions, 1u);
+  EXPECT_NE(h.last_error.find("refused"), std::string::npos);
+  // kSuspect keeps serving: only kDown triggers fail-fast downstream.
+  EXPECT_FALSE(monitor.IsDown("s.sock"));
+
+  monitor.ProbeOnce();  // success: a blip restores full trust immediately
+  h = Only(monitor);
+  EXPECT_EQ(h.state, ServerState::kUp);
+  EXPECT_EQ(h.consecutive_failures, 0u);
+  EXPECT_EQ(h.consecutive_successes, 1u);
+  EXPECT_EQ(h.transitions, 2u);
+  EXPECT_EQ(h.build, "scripted/1.0");
+  EXPECT_EQ(h.probes, 2u);
+}
+
+TEST(MonitorTest, FallConsecutiveFailuresHardenIntoDown) {
+  ProbeScript script;
+  script.verdicts["s.sock"] = {false, false, false, false};
+  Monitor monitor = MakeScriptedMonitor(&script, /*fall=*/3, /*rise=*/2,
+                                        {{"s", "s.sock"}});
+
+  monitor.ProbeOnce();
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kSuspect);
+  monitor.ProbeOnce();
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kSuspect);
+  monitor.ProbeOnce();  // third consecutive failure
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kDown);
+  EXPECT_TRUE(monitor.IsDown("s.sock"));
+
+  monitor.ProbeOnce();  // kDown is absorbing under failure
+  ServerHealth h = Only(monitor);
+  EXPECT_EQ(h.state, ServerState::kDown);
+  EXPECT_EQ(h.consecutive_failures, 4u);
+  EXPECT_EQ(h.transitions, 2u);  // up→suspect, suspect→down
+}
+
+TEST(MonitorTest, RecoveryIsGatedOnRiseAndRelapsesHard) {
+  ProbeScript script;
+  // down (fall=2) → recovering → relapse straight back down → rise=2 → up.
+  script.verdicts["s.sock"] = {false, false, true, false, true, true};
+  Monitor monitor = MakeScriptedMonitor(&script, /*fall=*/2, /*rise=*/2,
+                                        {{"s", "s.sock"}});
+
+  monitor.ProbeOnce();
+  monitor.ProbeOnce();
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kDown);
+
+  monitor.ProbeOnce();  // first success: recovering, NOT yet trusted
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kRecovering);
+  EXPECT_FALSE(monitor.IsDown("s.sock"));
+
+  monitor.ProbeOnce();  // relapse: no fresh fall budget, straight to down
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kDown);
+
+  monitor.ProbeOnce();
+  EXPECT_EQ(monitor.StateOf("s.sock"), ServerState::kRecovering);
+  monitor.ProbeOnce();  // second consecutive success: trusted again
+  ServerHealth h = Only(monitor);
+  EXPECT_EQ(h.state, ServerState::kUp);
+  EXPECT_EQ(h.consecutive_successes, 2u);
+}
+
+TEST(MonitorTest, TargetsAreIndependentAndUnknownEndpointsReportUp) {
+  ProbeScript script;
+  script.verdicts["a.sock"] = {true, true, true};
+  script.verdicts["b.sock"] = {false, false, false};
+  Monitor monitor = MakeScriptedMonitor(&script, /*fall=*/3, /*rise=*/2,
+                                        {{"a", "a.sock"}, {"b", "b.sock"}});
+
+  for (int i = 0; i < 3; ++i) monitor.ProbeOnce();
+  EXPECT_EQ(monitor.StateOf("a.sock"), ServerState::kUp);
+  EXPECT_EQ(monitor.StateOf("b.sock"), ServerState::kDown);
+  // Absence of monitoring is not evidence of failure.
+  EXPECT_EQ(monitor.StateOf("never-configured.sock"), ServerState::kUp);
+  EXPECT_FALSE(monitor.IsDown("never-configured.sock"));
+}
+
+TEST(MonitorTest, ProbeThreadDrivesTheMachineWithoutManualSweeps) {
+  MonitorOptions options;
+  options.probe_interval_ms = 5;
+  options.fall = 2;
+  options.probe = [](const std::string&, int) -> StatusOr<rpc::PingInfo> {
+    return Status::IOError("always dead");
+  };
+  Monitor monitor({{"s", "s.sock"}}, std::move(options));
+  monitor.Start();
+  bool down = false;
+  for (int i = 0; i < 1000 && !down; ++i) {
+    down = monitor.IsDown("s.sock");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  monitor.Stop();
+  EXPECT_TRUE(down);
+  EXPECT_GE(Only(monitor).probes, 2u);
+}
+
+TEST(MonitorTest, ServersJsonParsesWithOurOwnParser) {
+  ProbeScript script;
+  script.verdicts["a.sock"] = {true};
+  script.verdicts["b.sock"] = {false};
+  Monitor monitor = MakeScriptedMonitor(&script, /*fall=*/1, /*rise=*/1,
+                                        {{"a", "a.sock"}, {"b", "b.sock"}});
+  monitor.ProbeOnce();
+
+  auto doc = ParseJson(monitor.ServersJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* servers = doc->Get("servers");
+  ASSERT_NE(servers, nullptr);
+  ASSERT_TRUE(servers->is_array());
+  ASSERT_EQ(servers->array.size(), 2u);
+
+  const JsonValue& a = servers->array[0];
+  EXPECT_EQ(a.GetString("name"), "a");
+  EXPECT_EQ(a.GetString("endpoint"), "a.sock");
+  EXPECT_EQ(a.GetString("state"), "up");
+  EXPECT_EQ(a.GetString("build"), "scripted/1.0");
+  EXPECT_EQ(a.GetUint("probes"), 1u);
+  EXPECT_EQ(a.GetUint("uptime_seconds"), 7u);
+
+  const JsonValue& b = servers->array[1];
+  EXPECT_EQ(b.GetString("state"), "down");  // fall=1: one failure suffices
+  EXPECT_EQ(b.GetUint("consecutive_failures"), 1u);
+  EXPECT_NE(b.GetString("last_error").find("refused"), std::string::npos);
+  // last_probe_ms is fixed-point (the JSON subset has no exponent form).
+  ASSERT_NE(b.Get("last_probe_ms"), nullptr);
+  EXPECT_TRUE(b.Get("last_probe_ms")->is_number());
+}
+
+// --- kPing against a live server --------------------------------------------
+
+std::string SocketPath(const char* name) {
+  return "/tmp/ssdb_control_" + std::to_string(::getpid()) + "_" + name +
+         ".sock";
+}
+
+// A small XMark database behind a running ConcurrentServer.
+struct LiveServer {
+  std::unique_ptr<TestDb> db;
+  std::unique_ptr<rpc::ConcurrentServer> server;
+  std::string path;
+
+  explicit LiveServer(const char* name) {
+    xmark::GeneratorOptions gen;
+    gen.target_bytes = 8 << 10;
+    gen.seed = 7;
+    db = BuildTestDb(xmark::GenerateAuctionDocument(gen).xml);
+    path = SocketPath(name);
+    auto listener = rpc::UnixServerSocket::Listen(path);
+    SSDB_CHECK(listener.ok()) << listener.status().ToString();
+    rpc::ConcurrentServerOptions options;
+    options.threads = 2;
+    server = std::make_unique<rpc::ConcurrentServer>(
+        db->ring, db->server.get(), std::move(*listener), options);
+    SSDB_CHECK(server->Start().ok());
+  }
+  ~LiveServer() {
+    server->Shutdown();
+    ::unlink(path.c_str());
+  }
+};
+
+TEST(PingTest, EchoesBuildAndMonotoneStatsEpoch) {
+  LiveServer live("ping");
+  auto channel = rpc::ConnectUnix(live.path);
+  ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+
+  auto first = rpc::Ping(channel->get());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->build, rpc::kServerBuild);
+  EXPECT_GE(first->stats_epoch, 1u);  // the ping itself is a request
+
+  auto second = rpc::Ping(channel->get());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->stats_epoch, first->stats_epoch);
+  (*channel)->Close();
+}
+
+TEST(PingTest, DefaultProbeSucceedsAgainstLiveServerAndFailsOnDeadSocket) {
+  LiveServer live("probe");
+  auto up = control::ProbeUnixPing(live.path, /*timeout_seconds=*/2);
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_EQ(up->build, rpc::kServerBuild);
+
+  auto down = control::ProbeUnixPing(SocketPath("nonexistent"), 2);
+  EXPECT_FALSE(down.ok());
+}
+
+TEST(PingTest, CorruptedProbeCountsAsFailureInTheMonitor) {
+  LiveServer live("byzantine");
+  // Every probe dials the real server but flips one bit of the reply. A
+  // flip can land anywhere — frame header, status, build string, a varint
+  // — so a strict probe validates the echoed build and treats a mismatch
+  // like a dead server. The monitor must reach kDown on such a target.
+  uint64_t seed = 1;
+  MonitorOptions options;
+  options.fall = 2;
+  options.probe = [&](const std::string& endpoint,
+                      int /*timeout*/) -> StatusOr<rpc::PingInfo> {
+    auto channel = rpc::ConnectUnix(endpoint);
+    if (!channel.ok()) return channel.status();
+    ByzantineChannel byzantine(std::move(*channel), /*probability=*/1.0,
+                               /*rng_seed=*/seed++);
+    StatusOr<rpc::PingInfo> info = rpc::Ping(&byzantine);
+    byzantine.Close();
+    SSDB_RETURN_IF_ERROR(info.status());
+    if (info->build != rpc::kServerBuild) {
+      return Status::Corruption("ping reply corrupted: build '" +
+                                info->build + "'");
+    }
+    return info;
+  };
+  Monitor monitor({{"live", live.path}}, std::move(options));
+
+  // A flip in the uptime/epoch varints slips past build validation, so a
+  // single sweep pair is not guaranteed to fail — but two consecutive
+  // failing probes arrive within a handful of sweeps.
+  for (int i = 0; i < 50 && !monitor.IsDown(live.path); ++i) {
+    monitor.ProbeOnce();
+  }
+  ServerHealth h = Only(monitor);
+  EXPECT_EQ(h.state, ServerState::kDown);
+  EXPECT_GE(h.consecutive_failures, 2u);
+  EXPECT_FALSE(h.last_error.empty());
+}
+
+// --- fail-fast in the fan-out filter and the router -------------------------
+
+// A hand-settable HealthView: what the Monitor is to production code.
+class FakeHealth : public control::HealthView {
+ public:
+  ServerState StateOf(std::string_view endpoint) const override {
+    auto it = states_.find(std::string(endpoint));
+    return it == states_.end() ? ServerState::kUp : it->second;
+  }
+  void Set(const std::string& endpoint, ServerState state) {
+    states_[endpoint] = state;
+  }
+
+ private:
+  std::map<std::string, ServerState> states_;
+};
+
+ShardEntry MakeEntry(const std::string& id, uint32_t group, size_t slices) {
+  ShardEntry entry;
+  entry.doc_id = id;
+  entry.group = group;
+  for (size_t i = 0; i < slices; ++i) {
+    entry.slices.push_back("mem://" + id + "/" + std::to_string(i));
+  }
+  return entry;
+}
+
+query::Query Parse(const std::string& text) {
+  auto parsed = query::ParseQuery(text);
+  SSDB_CHECK(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+// Three documents in three server groups (slices 1/2/2), same shape as the
+// shard battery's corpus but sized down — the subject here is failover,
+// not merging breadth.
+struct Corpus {
+  gf::Field field;
+  gf::Ring ring;
+  mapping::TagMap map;
+  std::vector<std::string> ids{"alpha", "beta", "gamma"};
+  std::vector<uint32_t> groups{0, 1, 2};
+  std::vector<uint32_t> slices{1, 2, 2};
+  std::vector<prg::Seed> seeds;
+  std::vector<std::unique_ptr<core::EncryptedXmlDatabase>> dbs;
+  ShardCatalog catalog;
+  std::map<std::string, std::vector<filter::ServerFilter*>> backends;
+  std::map<std::string, prg::Seed> seed_map;
+
+  Corpus()
+      : field(*gf::Field::Make(83)),
+        ring(field),
+        map(*core::EncryptedXmlDatabase::TagMapForDtd(xmark::AuctionDtd(),
+                                                      field, false)) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      xmark::GeneratorOptions gen;
+      gen.target_bytes = (6u + 4u * i) << 10;
+      gen.seed = 17 * (i + 1);
+      seeds.push_back(prg::Seed::FromUint64(2000 + i));
+
+      core::DatabaseOptions options;
+      options.backend = core::Backend::kMemory;
+      options.servers = slices[i];
+      auto db = core::EncryptedXmlDatabase::Encode(
+          xmark::GenerateAuctionDocument(gen).xml, map, seeds[i], options);
+      SSDB_CHECK(db.ok()) << db.status().ToString();
+      dbs.push_back(std::move(*db));
+
+      SSDB_CHECK(catalog.Add(MakeEntry(ids[i], groups[i], slices[i])).ok());
+      std::vector<filter::ServerFilter*> doc_backends;
+      for (uint32_t s = 0; s < slices[i]; ++s) {
+        doc_backends.push_back(dbs[i]->slice_filter(s));
+      }
+      backends.emplace(ids[i], doc_backends);
+      seed_map.emplace(ids[i], seeds[i]);
+    }
+  }
+
+  StatusOr<std::unique_ptr<Router>> OpenRouter(bool partial_ok) {
+    core::CorpusOptions options;
+    options.partial_ok = partial_ok;
+    return Router::FromBackends(catalog, &map, seeds[0], seed_map, options,
+                                backends);
+  }
+
+  uint64_t TruthTotal(size_t i, const std::string& text) {
+    auto result = dbs[i]->Query(text, core::EngineKind::kAdvanced,
+                                query::MatchMode::kEquality);
+    SSDB_CHECK(result.ok()) << result.status().ToString();
+    return result->aggregate.Total();
+  }
+};
+
+TEST(FailoverTest, MultiServerFilterFailsFastNamingTheDownServer) {
+  Corpus fx;
+  // beta has two slices — a genuine fan-out filter.
+  filter::MultiServerFilter fanout(fx.ring, fx.backends["beta"]);
+  FakeHealth health;
+  fanout.SetEndpointHealth(&health, {"mem://beta/0", "mem://beta/1"});
+
+  // All up: share ops work.
+  ASSERT_TRUE(fanout.EvalAt(1, fx.field.FromInt(3)).ok());
+
+  health.Set("mem://beta/1", ServerState::kDown);
+  auto blocked = fanout.EvalAt(1, fx.field.FromInt(3));
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(blocked.status().ToString().find("server 1"), std::string::npos);
+  EXPECT_NE(blocked.status().ToString().find("mem://beta/1"),
+            std::string::npos);
+
+  // kSuspect and kRecovering keep serving — only kDown fails fast.
+  health.Set("mem://beta/1", ServerState::kSuspect);
+  EXPECT_TRUE(fanout.EvalAt(1, fx.field.FromInt(3)).ok());
+  health.Set("mem://beta/1", ServerState::kRecovering);
+  EXPECT_TRUE(fanout.EvalAt(1, fx.field.FromInt(3)).ok());
+
+  health.Set("mem://beta/1", ServerState::kDown);
+  auto agg = fanout.PartialAggregate(agg::Spec{});
+  ASSERT_FALSE(agg.ok());
+  EXPECT_EQ(agg.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailoverTest, RouterFailsFastOnDownGroupAndOthersKeepAnswering) {
+  Corpus fx;
+  auto router = fx.OpenRouter(/*partial_ok=*/false);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  FakeHealth health;
+  (*router)->SetHealth(&health);
+
+  const std::string query = "count(/site//person)";
+  // Healthy: all three documents answer.
+  auto doc = (*router)->QueryDoc("gamma", Parse(query),
+                                 query::MatchMode::kEquality);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  // Kill one slice of gamma's group.
+  health.Set("mem://gamma/1", ServerState::kDown);
+  auto blocked = (*router)->QueryDoc("gamma", Parse(query),
+                                     query::MatchMode::kEquality);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(blocked.status().ToString().find("server 1"), std::string::npos);
+  EXPECT_NE(blocked.status().ToString().find("mem://gamma/1"),
+            std::string::npos);
+
+  // Documents in other groups are untouched.
+  auto alpha = (*router)->QueryDoc("alpha", Parse(query),
+                                   query::MatchMode::kEquality);
+  EXPECT_TRUE(alpha.ok()) << alpha.status().ToString();
+
+  // All-or-nothing corpus query fails, naming the document.
+  auto corpus = (*router)->QueryCorpus(Parse(query),
+                                       query::MatchMode::kEquality);
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_NE(corpus.status().ToString().find("gamma"), std::string::npos);
+
+  // Single-slice alpha fails fast too (no fan-out filter on that stack:
+  // the router-level health check must cover it).
+  health.Set("mem://alpha/0", ServerState::kDown);
+  auto alpha_down = (*router)->QueryDoc("alpha", Parse(query),
+                                        query::MatchMode::kEquality);
+  ASSERT_FALSE(alpha_down.ok());
+  EXPECT_EQ(alpha_down.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(alpha_down.status().ToString().find("mem://alpha/0"),
+            std::string::npos);
+}
+
+TEST(FailoverTest, PartialCorpusMergesSurvivorsAndListsTheMissing) {
+  Corpus fx;
+  auto router = fx.OpenRouter(/*partial_ok=*/true);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  FakeHealth health;
+  (*router)->SetHealth(&health);
+  health.Set("mem://gamma/0", ServerState::kDown);
+
+  for (const char* text :
+       {"count(/site//person)", "sum(/site//bidder)", "count(/site/*)"}) {
+    SCOPED_TRACE(text);
+    auto corpus = (*router)->QueryCorpus(Parse(text),
+                                         query::MatchMode::kEquality);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    EXPECT_EQ(corpus->documents, 2u);
+    EXPECT_EQ(corpus->groups, 2u);
+    ASSERT_EQ(corpus->missing.size(), 1u);
+    EXPECT_EQ(corpus->missing[0].doc_id, "gamma");
+    EXPECT_EQ(corpus->missing[0].group, 2u);
+    EXPECT_EQ(corpus->missing[0].error.code(), StatusCode::kUnavailable);
+    // The merge is exactly the survivors' ground truth — degraded results
+    // must not silently drift.
+    EXPECT_EQ(corpus->aggregate.Total(),
+              fx.TruthTotal(0, text) + fx.TruthTotal(1, text));
+  }
+
+  // Everything down: partial_ok tolerates degraded, not dead.
+  health.Set("mem://alpha/0", ServerState::kDown);
+  health.Set("mem://beta/0", ServerState::kDown);
+  auto dead = (*router)->QueryCorpus(Parse("count(/site//person)"),
+                                     query::MatchMode::kEquality);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_NE(dead.status().ToString().find("all 3 documents"),
+            std::string::npos);
+}
+
+TEST(FailoverTest, PartialOpenSkipsUnreachableDocsAndRecordsWhy) {
+  Corpus fx;
+  // Corrupt beta's seed: its stack fails the open-time share probe, which
+  // stands in for "group unreachable at open".
+  fx.seed_map["beta"] = prg::Seed::FromUint64(999999);
+
+  core::CorpusOptions strict;
+  auto all_or_nothing = Router::FromBackends(
+      fx.catalog, &fx.map, fx.seeds[0], fx.seed_map, strict, fx.backends);
+  EXPECT_FALSE(all_or_nothing.ok());
+
+  core::CorpusOptions tolerant;
+  tolerant.partial_ok = true;
+  auto router = Router::FromBackends(fx.catalog, &fx.map, fx.seeds[0],
+                                     fx.seed_map, tolerant, fx.backends);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  EXPECT_EQ((*router)->document_count(), 2u);
+  ASSERT_EQ((*router)->unreachable().size(), 1u);
+  EXPECT_EQ((*router)->unreachable()[0].doc_id, "beta");
+
+  // QueryDoc against the skipped document fails fast with the RECORDED
+  // error, not a bogus NotFound.
+  auto doc = (*router)->QueryDoc("beta", Parse("count(/site//person)"),
+                                 query::MatchMode::kEquality);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(doc.status().ToString().find("beta"), std::string::npos);
+
+  // Corpus queries answer from the survivors and carry the open-time skip.
+  auto corpus = (*router)->QueryCorpus(Parse("count(/site//person)"),
+                                       query::MatchMode::kEquality);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->documents, 2u);
+  ASSERT_EQ(corpus->missing.size(), 1u);
+  EXPECT_EQ(corpus->missing[0].doc_id, "beta");
+  EXPECT_EQ(corpus->aggregate.Total(),
+            fx.TruthTotal(0, "count(/site//person)") +
+                fx.TruthTotal(2, "count(/site//person)"));
+}
+
+// --- admin HTTP surface -----------------------------------------------------
+
+// A deliberately dumb HTTP client: connect, send raw bytes, read to EOF.
+// The server speaks Connection: close, so EOF delimits the response.
+std::string HttpExchange(uint16_t port, const std::string& raw) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  SSDB_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  SSDB_CHECK(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) == 1);
+  SSDB_CHECK(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0);
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;  // server may close early on oversized requests
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[2048];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return HttpExchange(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+// Splits "HTTP/1.0 200 OK\r\nheaders\r\n\r\nbody" into status line + body.
+std::pair<std::string, std::string> SplitResponse(const std::string& raw) {
+  size_t line_end = raw.find("\r\n");
+  size_t body_start = raw.find("\r\n\r\n");
+  SSDB_CHECK(line_end != std::string::npos &&
+             body_start != std::string::npos)
+      << "unparseable response: " << raw;
+  return {raw.substr(0, line_end), raw.substr(body_start + 4)};
+}
+
+TEST(AdminHttpTest, ServesRegisteredRoutesAsParseableJson) {
+  AdminOptions options;  // port 0: ephemeral
+  AdminHttpServer admin(options);
+  int stats_calls = 0;
+  admin.Route("/v1/stats", [&stats_calls] {
+    ++stats_calls;
+    return std::string(R"({"requests_handled":42,"build":"test"})");
+  });
+  admin.Route("/v1/servers",
+              [] { return std::string(R"({"servers":[]})"); });
+  ASSERT_TRUE(admin.Start().ok());
+  ASSERT_NE(admin.port(), 0);  // the ephemeral port was resolved
+
+  auto [status_line, body] = SplitResponse(HttpGet(admin.port(), "/v1/stats"));
+  EXPECT_EQ(status_line, "HTTP/1.0 200 OK");
+  auto doc = ParseJson(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << " body: " << body;
+  EXPECT_EQ(doc->GetUint("requests_handled"), 42u);
+  EXPECT_EQ(doc->GetString("build"), "test");
+  EXPECT_EQ(stats_calls, 1);
+
+  // Query strings are stripped; routes are exact paths.
+  auto [line2, body2] =
+      SplitResponse(HttpGet(admin.port(), "/v1/servers?verbose=1"));
+  EXPECT_EQ(line2, "HTTP/1.0 200 OK");
+  EXPECT_TRUE(ParseJson(body2).ok());
+
+  EXPECT_EQ(admin.requests_served(), 2u);
+  admin.Shutdown();
+  admin.Shutdown();  // idempotent
+}
+
+TEST(AdminHttpTest, RejectsUnknownPathsMethodsAndMalformedRequests) {
+  AdminHttpServer admin;
+  admin.Route("/v1/stats", [] { return std::string("{}"); });
+  ASSERT_TRUE(admin.Start().ok());
+
+  auto [not_found, nf_body] = SplitResponse(HttpGet(admin.port(), "/nope"));
+  EXPECT_NE(not_found.find("404"), std::string::npos);
+  auto nf_doc = ParseJson(nf_body);  // even errors are parseable JSON
+  ASSERT_TRUE(nf_doc.ok());
+  EXPECT_FALSE(nf_doc->GetString("error").empty());
+
+  auto [post, post_body] = SplitResponse(
+      HttpExchange(admin.port(), "POST /v1/stats HTTP/1.0\r\n\r\n"));
+  EXPECT_NE(post.find("405"), std::string::npos);
+  EXPECT_NE(post_body.find("GET only"), std::string::npos);
+
+  auto [garbage, garbage_body] =
+      SplitResponse(HttpExchange(admin.port(), "no-spaces-here\r\n\r\n"));
+  EXPECT_NE(garbage.find("400"), std::string::npos);
+  EXPECT_NE(garbage_body.find("malformed"), std::string::npos);
+}
+
+TEST(AdminHttpTest, RejectsOversizedRequestsAtTheCap) {
+  AdminOptions options;
+  options.max_request_bytes = 256;
+  AdminHttpServer admin(options);
+  admin.Route("/v1/stats", [] { return std::string("{}"); });
+  ASSERT_TRUE(admin.Start().ok());
+
+  // No header terminator: the server must give up at the cap, not buffer.
+  std::string flood(4096, 'A');
+  std::string response = HttpExchange(admin.port(), flood);
+  EXPECT_NE(response.find("400"), std::string::npos);
+  EXPECT_NE(response.find("size cap"), std::string::npos);
+
+  // The server survives and keeps answering.
+  auto [ok_line, ok_body] = SplitResponse(HttpGet(admin.port(), "/v1/stats"));
+  EXPECT_EQ(ok_line, "HTTP/1.0 200 OK");
+  EXPECT_EQ(ok_body, "{}");
+}
+
+TEST(AdminHttpTest, LiveServerStatsSnapshotRoundTripsThroughJson) {
+  LiveServer live("admin_stats");
+  AdminHttpServer admin;
+  admin.Route("/v1/stats",
+              [&live] { return live.server->Snapshot().ToJson(); });
+  ASSERT_TRUE(admin.Start().ok());
+
+  // Drive one real request through the data plane first.
+  auto channel = rpc::ConnectUnix(live.path);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(rpc::Ping(channel->get()).ok());
+  (*channel)->Close();
+
+  auto [line, body] = SplitResponse(HttpGet(admin.port(), "/v1/stats"));
+  EXPECT_EQ(line, "HTTP/1.0 200 OK");
+  auto doc = ParseJson(body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << " body: " << body;
+  EXPECT_EQ(doc->GetString("build"), rpc::kServerBuild);
+  EXPECT_GE(doc->GetUint("requests_handled"), 1u);
+  EXPECT_GE(doc->GetUint("connections_accepted"), 1u);
+  EXPECT_GE(doc->GetUint("threads"), 1u);
+  EXPECT_FALSE(doc->GetString("poller").empty());
+  // The shutdown log and the admin body are the SAME snapshot type.
+  EXPECT_FALSE(live.server->Snapshot().ToText().empty());
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -241,7 +241,8 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   request.agg_columns = 0x15;  // kAggregate/kAggregateBatch fields
   request.value_indexes = {0, 2};
   request.doc_id = "doc-x";  // kCatalogResolve field
-  for (uint8_t op = 0; op <= 22; ++op) {
+  // One past kPing (22): the last valid opcode plus an invalid probe.
+  for (uint8_t op = 0; op <= 23; ++op) {
     request.op = static_cast<rpc::Op>(op);
     std::string valid = rpc::EncodeRequest(request);
     for (size_t cut = 0; cut <= valid.size(); ++cut) {

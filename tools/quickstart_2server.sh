@@ -93,7 +93,8 @@ fi
 
 "$build_dir/ssdb_server" --db db2.ssdb --servers=2 --share-index=0 \
     --socket "$work/s2.sock" &
-pids="$pids $!"
+s2_pid=$!
+pids="$pids $s2_pid"
 "$build_dir/ssdb_server" --db db2.ssdb --servers=2 --share-index=1 \
     --socket "$work/s3.sock" &
 pids="$pids $!"
@@ -107,7 +108,10 @@ cat > catalog.json <<EOF
   ]
 }
 EOF
-"$build_dir/ssdb_router" --catalog catalog.json --socket "$work/router.sock" &
+# --admin-port 0 also starts the health monitor (DESIGN.md §11); the
+# ephemeral port is scraped from the startup line below.
+"$build_dir/ssdb_router" --catalog catalog.json --socket "$work/router.sock" \
+    --admin-port 0 --probe-interval-ms 200 --fall 2 > router.log &
 pids="$pids $!"
 
 for _ in $(seq 50); do
@@ -137,6 +141,111 @@ if [ -z "$corpus_count" ] || [ "$corpus_count" != "$expected_corpus" ]; then
   exit 1
 fi
 
+# --- degraded mode + admin API (DESIGN.md §11) ------------------------------
+# Kill one of doc2's share servers mid-run: the router's monitor must
+# report it down on GET /v1/servers, corpus queries without --partial must
+# fail (exit 1), and --partial must answer from doc1 alone while naming
+# doc2 as missing.
+
+admin_port=""
+for _ in $(seq 50); do
+  admin_port="$(sed -n 's/^admin API on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      router.log)"
+  [ -n "$admin_port" ] && break
+  sleep 0.1
+done
+if [ -z "$admin_port" ]; then
+  echo "MISSING: router did not announce its admin API port"
+  exit 1
+fi
+
+# curl-free admin client; prints the body of a 200 response.
+admin_get() {
+  python3 - "$admin_port" "$1" <<'EOF'
+import http.client, sys
+conn = http.client.HTTPConnection("127.0.0.1", int(sys.argv[1]), timeout=5)
+conn.request("GET", sys.argv[2])
+resp = conn.getresponse()
+body = resp.read().decode()
+if resp.status != 200:
+    sys.exit(f"GET {sys.argv[2]} -> {resp.status}: {body}")
+print(body)
+EOF
+}
+
+# The three endpoints answer parseable JSON before anything is killed.
+admin_get /v1/stats    | python3 -c 'import json,sys; json.load(sys.stdin)'
+admin_get /v1/catalog  | python3 -c 'import json,sys; json.load(sys.stdin)'
+admin_get /v1/servers  | python3 -c 'import json,sys; json.load(sys.stdin)'
+
+# State of the monitor target for a given endpoint path.
+server_state() {
+  admin_get /v1/servers | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+states = {s["endpoint"]: s["state"] for s in doc["servers"]}
+print(states.get(sys.argv[1], "?"))' "$1"
+}
+
+kill "$s2_pid"
+state=""
+for _ in $(seq 100); do
+  state="$(server_state "$work/s2.sock")"
+  [ "$state" = "down" ] && break
+  sleep 0.1
+done
+if [ "$state" != "down" ]; then
+  echo "MISSING: /v1/servers never reported $work/s2.sock down (last: $state)"
+  exit 1
+fi
+if [ "$(server_state "$work/s0.sock")" != "up" ]; then
+  echo "MISMATCH: untouched server $work/s0.sock is not up"
+  exit 1
+fi
+
+# All-or-nothing corpus query fails with the uniform data-error status.
+set +e
+"$build_dir/ssdb_query" --router "$work/router.sock" --corpus \
+    --map map.properties --seed seed.key "count($query)" \
+    > strict_degraded.out 2>&1
+strict_rc=$?
+set -e
+if [ "$strict_rc" != 1 ]; then
+  echo "MISMATCH: corpus query with a dead group exited $strict_rc, want 1"
+  cat strict_degraded.out
+  exit 1
+fi
+
+# --partial answers from the surviving group and names the missing doc.
+"$build_dir/ssdb_query" --router "$work/router.sock" --corpus --partial \
+    --map map.properties --seed seed.key "count($query)" 2>partial.err \
+    | tee partial_count.out
+partial_count="$(sed -n 's/.*count = \([0-9]*\) in.*/\1/p' partial_count.out)"
+if ! grep -q 'corpus: 1 doc(s), 1 group(s), PARTIAL' partial_count.out; then
+  echo "MISSING: --partial did not report a 1-doc PARTIAL corpus"
+  exit 1
+fi
+if ! grep -q 'missing doc2 (group 1)' partial_count.out; then
+  echo "MISSING: --partial did not name doc2 as the missing document"
+  exit 1
+fi
+if [ -z "$partial_count" ] || [ "$partial_count" != "$agg_count" ]; then
+  echo "MISMATCH: partial corpus count = '$partial_count' but doc1 alone" \
+       "answered $agg_count"
+  exit 1
+fi
+
+# Uniform exit statuses (DESIGN.md §11): usage errors exit 2.
+set +e
+"$build_dir/ssdb_query" --no-such-flag >/dev/null 2>&1
+usage_rc=$?
+set -e
+if [ "$usage_rc" != 2 ]; then
+  echo "MISMATCH: unknown flag exited $usage_rc, want 2"
+  exit 1
+fi
+
 echo "quickstart OK: 2-server fan-out matches single-server results," \
      "count() agrees ($agg_count), 2-shard corpus count agrees" \
-     "($corpus_count = $agg_count + $doc2_count)"
+     "($corpus_count = $agg_count + $doc2_count), degraded corpus" \
+     "answers $partial_count with doc2 reported down"

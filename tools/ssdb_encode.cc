@@ -25,52 +25,64 @@
 
 int main(int argc, char** argv) {
   using namespace ssdb;
-  tools::Args args(argc, argv);
-  std::string map_path = args.Get("--map", "map.properties");
-  std::string seed_path = args.Get("--seed", "seed.key");
-  std::string xml_path = args.Get("--xml", "");
-  std::string out_path = args.Get("--out", "db.ssdb");
-  uint32_t p = args.GetInt("--p", 83);
-  uint32_t e = args.GetInt("--e", 1);
-  uint32_t servers = args.GetInt("--servers", 1);
+  tools::FlagSet flags("ssdb_encode",
+                       "--map MAP --seed SEED --xml DOC.xml --out DB.ssdb");
+  const std::string* map_path =
+      flags.String("map", "map.properties", "tag map file (key material)");
+  const std::string* seed_path =
+      flags.String("seed", "seed.key", "PRG seed file (key material)");
+  const std::string* xml_path =
+      flags.String("xml", "", "XML document to encode (required)");
+  const std::string* out_path =
+      flags.String("out", "db.ssdb", "output database (or slice base) path");
+  const uint32_t* p = flags.Uint("p", 83, "field characteristic");
+  const uint32_t* e = flags.Uint("e", 1, "field extension degree");
+  const uint32_t* servers =
+      flags.Uint("servers", 1, "split the share across m slice files");
+  const bool* trie = flags.Bool("trie", "trie-encode tag values");
+  const bool* coeff_domain =
+      flags.Bool("coeff-domain", "store coefficient- instead of point-domain");
+  const bool* no_agg = flags.Bool(
+      "no-agg", "drop the aggregate columns (DESIGN.md §8; saves 28·|map| "
+                "bytes per node per slice)");
+  const bool* verify_agg = flags.Bool(
+      "verify-agg", "store the aggregate verification track (DESIGN.md §9; "
+                    "costs 112·|map| bytes per node on slice 0)");
 
-  if (xml_path.empty() || servers == 0) {
-    std::fprintf(stderr,
-                 "usage: ssdb_encode --map MAP --seed SEED --xml DOC.xml "
-                 "--out DB.ssdb [--p 83] [--e 1] [--trie] [--coeff-domain] "
-                 "[--servers m] [--no-agg] [--verify-agg]\n");
-    return 1;
+  Status parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.Help().c_str(), stdout);
+    return tools::kExitOk;
+  }
+  if (!parsed.ok()) return tools::UsageError(flags, parsed);
+  if (xml_path->empty()) return tools::UsageError(flags, "--xml is required");
+  if (*servers == 0) {
+    return tools::UsageError(flags, "--servers must be >= 1");
+  }
+  if (*verify_agg && *no_agg) {
+    return tools::UsageError(
+        flags, "--verify-agg needs the aggregate columns (drop --no-agg)");
   }
 
-  auto field = gf::Field::Make(p, e);
+  auto field = gf::Field::Make(*p, *e);
   if (!field.ok()) return tools::Fail(field.status());
-  auto map = mapping::TagMap::FromFile(map_path, *field);
+  auto map = mapping::TagMap::FromFile(*map_path, *field);
   if (!map.ok()) return tools::Fail(map.status());
-  auto seed = prg::Seed::LoadFromFile(seed_path);
+  auto seed = prg::Seed::LoadFromFile(*seed_path);
   if (!seed.ok()) return tools::Fail(seed.status());
-  auto xml = ReadFileToString(xml_path);
+  auto xml = ReadFileToString(*xml_path);
   if (!xml.ok()) return tools::Fail(xml.status());
 
   core::DatabaseOptions options;
-  options.p = p;
-  options.e = e;
+  options.p = *p;
+  options.e = *e;
   options.backend = core::Backend::kDisk;
-  options.disk_path = out_path;
-  options.encode.trie = args.Has("--trie");
-  options.encode.use_eval_domain = !args.Has("--coeff-domain");
-  // DESIGN.md §8: aggregate columns cost 28·|map| bytes per node per slice;
-  // --no-agg drops them (and with them server-side count()/sum()/exists()).
-  options.encode.aggregate_columns = !args.Has("--no-agg");
-  // DESIGN.md §9: the verification track adds 112·|map| bytes per node to
-  // slice 0, buying tamper detection with per-server attribution.
-  options.encode.verify_aggregate = args.Has("--verify-agg");
-  options.servers = servers;
-  if (options.encode.verify_aggregate && !options.encode.aggregate_columns) {
-    std::fprintf(stderr,
-                 "error: --verify-agg needs the aggregate columns "
-                 "(drop --no-agg)\n");
-    return 1;
-  }
+  options.disk_path = *out_path;
+  options.encode.trie = *trie;
+  options.encode.use_eval_domain = !*coeff_domain;
+  options.encode.aggregate_columns = !*no_agg;
+  options.encode.verify_aggregate = *verify_agg;
+  options.servers = *servers;
 
   Stopwatch watch;
   auto db = core::EncryptedXmlDatabase::Encode(*xml, *map, *seed, options);
@@ -80,21 +92,21 @@ int main(int argc, char** argv) {
   auto stats = (*db)->store()->Stats();
   if (!stats.ok()) return tools::Fail(stats.status());
   std::printf("encoded %llu nodes from %s (%s) in %.2fs\n",
-              (unsigned long long)stats->node_count, xml_path.c_str(),
+              (unsigned long long)stats->node_count, xml_path->c_str(),
               HumanBytes(xml->size()).c_str(), seconds);
   if (options.encode.verify_aggregate) {
     std::printf("verification track (DESIGN.md §9): %s on slice 0\n",
                 HumanBytes((*db)->encode_result().verify_bytes).c_str());
   }
-  for (uint32_t i = 0; i < servers; ++i) {
-    std::string path = core::ShareSlicePath(out_path, i, servers);
+  for (uint32_t i = 0; i < *servers; ++i) {
+    std::string path = core::ShareSlicePath(*out_path, i, *servers);
     auto slice_stats = (*db)->slice_store(i)->Stats();
     if (!slice_stats.ok()) return tools::Fail(slice_stats.status());
     std::printf("%s %s: data %s, indexes %s, file %s\n",
-                servers > 1 ? "slice" : "database", path.c_str(),
+                *servers > 1 ? "slice" : "database", path.c_str(),
                 HumanBytes(slice_stats->data_bytes).c_str(),
                 HumanBytes(slice_stats->index_bytes).c_str(),
                 HumanBytes(slice_stats->file_bytes).c_str());
   }
-  return 0;
+  return tools::kExitOk;
 }

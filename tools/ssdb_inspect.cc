@@ -16,11 +16,23 @@
 
 int main(int argc, char** argv) {
   using namespace ssdb;
-  tools::Args args(argc, argv);
-  std::string db_path = args.Get("--db", "db.ssdb");
-  uint32_t rows_to_show = args.GetInt("--rows", 5);
-  uint32_t p = args.GetInt("--p", 83);
-  uint32_t e = args.GetInt("--e", 1);
+  tools::FlagSet flags("ssdb_inspect", "--db DB.ssdb");
+  const std::string* db_flag =
+      flags.String("db", "db.ssdb", "database (or slice) file to inspect");
+  const uint32_t* rows_flag = flags.Uint("rows", 5, "sample rows to print");
+  const uint32_t* p_flag = flags.Uint("p", 83, "field characteristic");
+  const uint32_t* e_flag = flags.Uint("e", 1, "field extension degree");
+
+  Status parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.Help().c_str(), stdout);
+    return tools::kExitOk;
+  }
+  if (!parsed.ok()) return tools::UsageError(flags, parsed);
+  const std::string& db_path = *db_flag;
+  uint32_t rows_to_show = *rows_flag;
+  uint32_t p = *p_flag;
+  uint32_t e = *e_flag;
 
   auto store = storage::DiskNodeStore::Open(db_path);
   if (!store.ok()) return tools::Fail(store.status());
@@ -64,5 +76,5 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "\nNo tag names, no text, no keys: only positions and share bytes.\n");
-  return 0;
+  return tools::kExitOk;
 }

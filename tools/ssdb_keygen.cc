@@ -15,24 +15,37 @@
 
 int main(int argc, char** argv) {
   using namespace ssdb;
-  tools::Args args(argc, argv);
-  std::string dtd_path = args.Get("--dtd", "");
-  std::string map_path = args.Get("--map", "map.properties");
-  std::string seed_path = args.Get("--seed", "seed.key");
-  uint32_t p = args.GetInt("--p", 83);
-  uint32_t e = args.GetInt("--e", 1);
-  bool trie = args.Has("--trie");
+  tools::FlagSet flags("ssdb_keygen", "--dtd DTD --map MAP --seed SEED");
+  const std::string* dtd_path = flags.String(
+      "dtd", "", "DTD to derive the tag map from (default: XMark auction)");
+  const std::string* map_path =
+      flags.String("map", "map.properties", "tag map file to write");
+  const std::string* seed_path =
+      flags.String("seed", "seed.key", "PRG seed file to write");
+  const uint32_t* p_flag = flags.Uint("p", 83, "field characteristic");
+  const uint32_t* e_flag = flags.Uint("e", 1, "field extension degree");
+  const bool* trie_flag = flags.Bool("trie", "trie-encode tag values");
+
+  Status parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.Help().c_str(), stdout);
+    return tools::kExitOk;
+  }
+  if (!parsed.ok()) return tools::UsageError(flags, parsed);
+  uint32_t p = *p_flag;
+  uint32_t e = *e_flag;
+  bool trie = *trie_flag;
 
   auto field = gf::Field::Make(p, e);
   if (!field.ok()) return tools::Fail(field.status());
 
   std::string dtd_text;
-  if (dtd_path.empty()) {
+  if (dtd_path->empty()) {
     std::fprintf(stderr,
                  "no --dtd given; using the built-in XMark auction DTD\n");
     dtd_text = xmark::AuctionDtd();
   } else {
-    auto contents = ReadFileToString(dtd_path);
+    auto contents = ReadFileToString(*dtd_path);
     if (!contents.ok()) return tools::Fail(contents.status());
     dtd_text = *contents;
   }
@@ -40,14 +53,14 @@ int main(int argc, char** argv) {
   auto map = core::EncryptedXmlDatabase::TagMapForDtd(dtd_text, *field,
                                                       trie);
   if (!map.ok()) return tools::Fail(map.status());
-  if (auto s = map->SaveToFile(map_path); !s.ok()) return tools::Fail(s);
+  if (auto s = map->SaveToFile(*map_path); !s.ok()) return tools::Fail(s);
 
   prg::Seed seed = prg::Seed::Generate();
-  if (auto s = seed.SaveToFile(seed_path); !s.ok()) return tools::Fail(s);
+  if (auto s = seed.SaveToFile(*seed_path); !s.ok()) return tools::Fail(s);
 
   std::printf("wrote %s (%zu tags, F_%u^%u, spare value %u) and %s\n",
-              map_path.c_str(), map->size(), p, e, map->SpareValue(),
-              seed_path.c_str());
+              map_path->c_str(), map->size(), p, e, map->SpareValue(),
+              seed_path->c_str());
   std::printf("keep both files secret: together they are the database key.\n");
-  return 0;
+  return tools::kExitOk;
 }

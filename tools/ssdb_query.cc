@@ -12,7 +12,7 @@
 //   ssdb_query --connect /tmp/s0.sock[,/tmp/s1.sock,...] --map ... --seed ...
 //              "QUERY"
 //   ssdb_query (--catalog catalog.json | --router /tmp/router.sock)
-//              [--local] [--doc ID | --corpus] --map ... --seed ...
+//              [--local] [--doc ID | --corpus] [--partial] --map ... --seed ...
 //              "count(/site//item)" ...
 //
 // Corpus mode (DESIGN.md §10): --catalog loads a shard catalog from disk,
@@ -64,33 +64,74 @@
 
 int main(int argc, char** argv) {
   using namespace ssdb;
-  tools::Args args(argc, argv);
-  std::string db_path = args.Get("--db", "");
-  std::vector<std::string> connects = args.GetList("--connect");
-  std::string map_path = args.Get("--map", "map.properties");
-  std::string seed_path = args.Get("--seed", "seed.key");
-  uint32_t p = args.GetInt("--p", 83);
-  uint32_t e = args.GetInt("--e", 1);
-  uint32_t servers = args.GetInt("--servers", 1);
-  bool advanced = args.Get("--engine", "advanced") != "simple";
-  bool strict = args.Get("--mode", "strict") != "nonstrict";
-  bool show_stats = args.Has("--stats");
-  bool verify_agg = args.Has("--verify-agg");
-  std::string agg_wrap = args.Get("--agg", "");
-  std::string catalog_path = args.Get("--catalog", "");
-  std::string router_sock = args.Get("--router", "");
-  std::string doc_id = args.Get("--doc", "");
-  bool corpus_local = args.Has("--local");
+  tools::FlagSet flags("ssdb_query",
+                       "(--db DB.ssdb [--servers m] | --connect SOCK[,...] | "
+                       "--catalog CATALOG.json | --router SOCK) "
+                       "--map MAP --seed SEED \"QUERY\" ...");
+  const std::string* db_flag =
+      flags.String("db", "", "encrypted database (or slice base) file");
+  const std::vector<std::string>* connect_flag = flags.List(
+      "connect", "share-server socket per slice, in slice order");
+  const std::string* map_flag =
+      flags.String("map", "map.properties", "tag map file (key material)");
+  const std::string* seed_flag =
+      flags.String("seed", "seed.key", "PRG seed file (key material)");
+  const uint32_t* p_flag = flags.Uint("p", 83, "field characteristic");
+  const uint32_t* e_flag = flags.Uint("e", 1, "field extension degree");
+  const uint32_t* servers_flag =
+      flags.Uint("servers", 1, "local slice files to open with --db");
+  const std::string* engine_flag =
+      flags.String("engine", "advanced", "query engine: simple or advanced");
+  const std::string* mode_flag =
+      flags.String("mode", "strict", "match mode: strict or nonstrict");
+  const bool* full_verify_flag =
+      flags.Bool("full-verify", "verify every recovered share");
+  const bool* stats_flag = flags.Bool("stats", "print QueryStats per query");
+  const bool* verify_agg_flag = flags.Bool(
+      "verify-agg", "check the aggregate verification track (DESIGN.md §9)");
+  const std::string* agg_flag = flags.String(
+      "agg", "", "wrap plain queries: count, sum, or exists");
+  const std::string* catalog_flag =
+      flags.String("catalog", "", "shard catalog file (corpus mode)");
+  const std::string* router_flag =
+      flags.String("router", "", "ssdb_router socket (corpus mode)");
+  const std::string* doc_flag =
+      flags.String("doc", "", "route to one document id (corpus mode)");
+  flags.Bool("corpus", "query every document (corpus-mode default)");
+  const bool* local_flag = flags.Bool(
+      "local", "treat catalog slice endpoints as local files");
+  const bool* partial_flag = flags.Bool(
+      "partial", "corpus queries tolerate unreachable documents and report "
+                 "them as missing (DESIGN.md §11)");
+
+  Status flags_parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.Help().c_str(), stdout);
+    return tools::kExitOk;
+  }
+  if (!flags_parsed.ok()) return tools::UsageError(flags, flags_parsed);
+
+  std::string db_path = *db_flag;
+  const std::string& map_path = *map_flag;
+  const std::string& seed_path = *seed_flag;
+  const std::vector<std::string>& connects = *connect_flag;
+  uint32_t p = *p_flag;
+  uint32_t e = *e_flag;
+  uint32_t servers = *servers_flag;
+  bool advanced = *engine_flag != "simple";
+  bool strict = *mode_flag != "nonstrict";
+  bool show_stats = *stats_flag;
+  bool verify_agg = *verify_agg_flag;
+  const std::string& agg_wrap = *agg_flag;
+  const std::string& catalog_path = *catalog_flag;
+  const std::string& router_sock = *router_flag;
+  const std::string& doc_id = *doc_flag;
 
   // A positional is a query iff the parser accepts it — the one source of
   // truth for plain and aggregate forms alike. --agg wraps only queries
   // that are not already aggregates.
   std::vector<std::string> queries;
-  for (const std::string& arg : args.Positionals({"--full-verify",
-                                                  "--stats",
-                                                  "--verify-agg",
-                                                  "--corpus",
-                                                  "--local"})) {
+  for (const std::string& arg : flags.positionals()) {
     auto parsed = query::ParseQuery(arg);
     bool aggregate_form =
         parsed.ok() && parsed->aggregate != query::Aggregate::kNone;
@@ -102,20 +143,19 @@ int main(int argc, char** argv) {
                           : agg_wrap + "(" + arg + ")");
   }
   const bool corpus_mode = !catalog_path.empty() || !router_sock.empty();
-  if (queries.empty() ||
-      (db_path.empty() && connects.empty() && !corpus_mode) || servers == 0 ||
-      (!agg_wrap.empty() && agg_wrap != "count" && agg_wrap != "sum" &&
-       agg_wrap != "exists")) {
-    std::fprintf(stderr,
-                 "usage: ssdb_query (--db DB.ssdb [--servers m] | "
-                 "--connect SOCK[,SOCK...] | --catalog CATALOG.json | "
-                 "--router SOCK) --map MAP --seed SEED "
-                 "[--doc ID | --corpus] [--local] "
-                 "[--engine simple|advanced] [--mode strict|nonstrict] "
-                 "[--full-verify] [--stats] [--agg count|sum|exists] "
-                 "[--verify-agg] "
-                 "\"/site//query\" | \"count(/site//query)\" ...\n");
-    return 1;
+  if (queries.empty()) {
+    return tools::UsageError(flags, "no query given");
+  }
+  if (db_path.empty() && connects.empty() && !corpus_mode) {
+    return tools::UsageError(
+        flags, "one of --db, --connect, --catalog, or --router is required");
+  }
+  if (servers == 0) {
+    return tools::UsageError(flags, "--servers must be >= 1");
+  }
+  if (!agg_wrap.empty() && agg_wrap != "count" && agg_wrap != "sum" &&
+      agg_wrap != "exists") {
+    return tools::UsageError(flags, "--agg must be count, sum, or exists");
   }
 
   auto field = gf::Field::Make(p, e);
@@ -139,17 +179,20 @@ int main(int argc, char** argv) {
     core::CorpusOptions copts;
     copts.p = p;
     copts.e = e;
-    copts.local = corpus_local;
-    copts.engine = args.Get("--engine", "advanced") != "simple"
-                       ? core::EngineKind::kAdvanced
-                       : core::EngineKind::kSimple;
+    copts.local = *local_flag;
+    copts.engine = advanced ? core::EngineKind::kAdvanced
+                            : core::EngineKind::kSimple;
     copts.verify_aggregate = verify_agg;
+    copts.partial_ok = *partial_flag;
     auto router = shard::Router::Open(std::move(catalog), &*map, *seed, {},
                                       copts);
     if (!router.ok()) return tools::Fail(router.status());
-    query::MatchMode corpus_match = args.Get("--mode", "strict") != "nonstrict"
-                                        ? query::MatchMode::kEquality
-                                        : query::MatchMode::kContainment;
+    for (const shard::MissingDoc& missing : (*router)->unreachable()) {
+      std::fprintf(stderr, "warning: %s\n",
+                   missing.error.ToString().c_str());
+    }
+    query::MatchMode corpus_match = strict ? query::MatchMode::kEquality
+                                           : query::MatchMode::kContainment;
 
     auto print_aggregate = [&](const std::string& text,
                                const query::Query& parsed,
@@ -216,8 +259,13 @@ int main(int argc, char** argv) {
 
       auto result = (*router)->QueryCorpus(*parsed, corpus_match);
       if (!result.ok()) return tools::Fail(result.status());
-      std::printf("%s  [corpus: %zu doc(s), %zu group(s)]\n", text.c_str(),
-                  result->documents, result->groups);
+      std::printf("%s  [corpus: %zu doc(s), %zu group(s)%s]\n", text.c_str(),
+                  result->documents, result->groups,
+                  result->missing.empty() ? "" : ", PARTIAL");
+      for (const shard::MissingDoc& missing : result->missing) {
+        std::printf("  missing %s (group %u): %s\n", missing.doc_id.c_str(),
+                    missing.group, missing.error.ToString().c_str());
+      }
       if (result->is_aggregate) {
         print_aggregate(text, *parsed, result->aggregate, result->stats);
       } else {
@@ -236,7 +284,7 @@ int main(int argc, char** argv) {
         }
       }
     }
-    return 0;
+    return tools::kExitOk;
   }
 
   // Build the client filter stack over local slice stores or sockets — one
@@ -283,7 +331,7 @@ int main(int argc, char** argv) {
     server_view = server.get();
   }
   filter::ClientFilter client(ring, prg::Prg(*seed), server_view);
-  client.set_full_verification(args.Has("--full-verify"));
+  client.set_full_verification(*full_verify_flag);
 
   // Share-sum sanity probe: recover the root's own tag through the
   // verified equality-test division. An incomplete or tampered share sum
@@ -404,5 +452,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return tools::kExitOk;
 }

@@ -12,18 +12,31 @@
 
 int main(int argc, char** argv) {
   using namespace ssdb;
-  tools::Args args(argc, argv);
-  if (args.Has("--dtd")) {
+  tools::FlagSet flags("ssdb_xmlgen", "[--kb N] [--out doc.xml]");
+  const uint32_t* kb_flag =
+      flags.Uint("kb", 1024, "approximate document size, KiB");
+  const uint32_t* seed_flag = flags.Uint("seed", 42, "generator seed");
+  const std::string* out_flag =
+      flags.String("out", "", "output file (default: stdout)");
+  const bool* dtd_flag =
+      flags.Bool("dtd", "print the auction DTD instead of a document");
+
+  Status parsed = flags.Parse(argc, argv);
+  if (flags.help_requested()) {
+    std::fputs(flags.Help().c_str(), stdout);
+    return tools::kExitOk;
+  }
+  if (!parsed.ok()) return tools::UsageError(flags, parsed);
+  if (*dtd_flag) {
     std::fputs(xmark::AuctionDtd().c_str(), stdout);
-    return 0;
+    return tools::kExitOk;
   }
   xmark::GeneratorOptions options;
-  options.target_bytes = static_cast<uint64_t>(args.GetInt("--kb", 1024))
-                         << 10;
-  options.seed = args.GetInt("--seed", 42);
+  options.target_bytes = static_cast<uint64_t>(*kb_flag) << 10;
+  options.seed = *seed_flag;
   auto generated = xmark::GenerateAuctionDocument(options);
 
-  std::string out_path = args.Get("--out", "");
+  const std::string& out_path = *out_flag;
   if (out_path.empty()) {
     std::fwrite(generated.xml.data(), 1, generated.xml.size(), stdout);
   } else {
@@ -39,5 +52,5 @@ int main(int argc, char** argv) {
                  (unsigned long long)generated.open_auction_count,
                  (unsigned long long)generated.closed_auction_count);
   }
-  return 0;
+  return tools::kExitOk;
 }

@@ -1,111 +1,251 @@
-// Minimal flag parsing + error reporting shared by the CLI tools. Flags are
-// accepted as "--flag value" or "--flag=value"; list-valued flags may be
-// repeated and/or comma-separated ("--connect a.sock,b.sock").
+// The one flag/exit-status API shared by every ssdb_* tool (DESIGN.md
+// §11): flags are DECLARED once — name, type, default, help — and the
+// FlagSet derives parsing, --help text, and unknown-flag errors from the
+// declarations, so the six tools stop hand-rolling divergent copies.
+//
+// Syntax: "--flag value" or "--flag=value"; boolean flags take no value;
+// list flags may be repeated and/or comma-separated
+// ("--connect a.sock,b.sock"). Anything not starting with "--" is a
+// positional. An unknown "--flag" is a usage error.
+//
+// Exit statuses are uniform across the tools:
+//   0  success
+//   1  data/query/runtime failure        (Fail: "error: <Status>")
+//   2  usage error — bad flag or input   (UsageError: ditto + help)
 
 #ifndef SSDB_TOOLS_TOOL_UTIL_H_
 #define SSDB_TOOLS_TOOL_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
 
 namespace ssdb::tools {
 
-class Args {
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitUsage = 2;
+
+class FlagSet {
  public:
-  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+  // `tool` names the binary in help output; `synopsis` is the one-line
+  // argument sketch printed after it (positionals and such).
+  FlagSet(std::string tool, std::string synopsis)
+      : tool_(std::move(tool)), synopsis_(std::move(synopsis)) {}
 
-  bool Has(const char* flag) const {
-    const size_t flag_len = std::strlen(flag);
-    for (int i = 1; i < argc_; ++i) {
-      if (std::strcmp(argv_[i], flag) == 0) return true;
-      if (std::strncmp(argv_[i], flag, flag_len) == 0 &&
-          argv_[i][flag_len] == '=') {
-        return true;
+  // --- Declarations (call before Parse; returned pointers are stable) ---
+
+  const std::string* String(const char* name, std::string default_value,
+                            const char* help) {
+    auto& flag = Add(name, Kind::kString, help,
+                     default_value.empty() ? "" : "\"" + default_value + "\"");
+    flag.string_value = std::move(default_value);
+    return &flag.string_value;
+  }
+
+  const uint32_t* Uint(const char* name, uint32_t default_value,
+                       const char* help) {
+    auto& flag = Add(name, Kind::kUint, help, std::to_string(default_value));
+    flag.uint_value = default_value;
+    return &flag.uint_value;
+  }
+
+  // Boolean flags default to false and take no value on the command line.
+  const bool* Bool(const char* name, const char* help) {
+    auto& flag = Add(name, Kind::kBool, help, "false");
+    return &flag.bool_value;
+  }
+
+  // Repeatable and/or comma-separated; default empty.
+  const std::vector<std::string>* List(const char* name, const char* help) {
+    auto& flag = Add(name, Kind::kList, help, "");
+    return &flag.list_value;
+  }
+
+  // --- Parsing ----------------------------------------------------------
+
+  // Fills the declared values from argv. InvalidArgument on an unknown
+  // flag, a malformed value, or a value-less non-boolean flag. "--help"
+  // anywhere short-circuits to OK with help_requested() set.
+  Status Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--help") == 0) {
+        help_requested_ = true;
+        return Status::OK();
       }
     }
-    return false;
-  }
-
-  std::string Get(const char* flag, const std::string& fallback) const {
-    const size_t flag_len = std::strlen(flag);
-    for (int i = 1; i < argc_; ++i) {
-      if (std::strcmp(argv_[i], flag) == 0 && i + 1 < argc_) {
-        return argv_[i + 1];
-      }
-      if (std::strncmp(argv_[i], flag, flag_len) == 0 &&
-          argv_[i][flag_len] == '=') {
-        return argv_[i] + flag_len + 1;
-      }
-    }
-    return fallback;
-  }
-
-  uint32_t GetInt(const char* flag, uint32_t fallback) const {
-    std::string value = Get(flag, "");
-    if (value.empty()) return fallback;
-    return static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
-  }
-
-  // Arguments that are neither flags nor flag values. `boolean_flags` names
-  // the flags that take no value; every other "--flag" consumes the next
-  // argument (unless written as "--flag=value").
-  std::vector<std::string> Positionals(
-      const std::vector<std::string>& boolean_flags) const {
-    std::vector<std::string> out;
-    for (int i = 1; i < argc_; ++i) {
-      if (std::strncmp(argv_[i], "--", 2) != 0) {
-        out.push_back(argv_[i]);
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positionals_.push_back(std::string(arg));
         continue;
       }
-      bool is_boolean = false;
-      for (const std::string& flag : boolean_flags) {
-        if (flag == argv_[i]) {
-          is_boolean = true;
+      std::string_view name = arg.substr(2);
+      std::string_view inline_value;
+      bool has_inline = false;
+      size_t eq = name.find('=');
+      if (eq != std::string_view::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline = true;
+      }
+      Flag* flag = Find(name);
+      if (flag == nullptr) {
+        return Status::InvalidArgument("unknown flag '--" + std::string(name) +
+                                       "' (try --help)");
+      }
+      flag->provided = true;
+      if (flag->kind == Kind::kBool) {
+        if (has_inline) {
+          return Status::InvalidArgument("--" + flag->name +
+                                         " takes no value");
+        }
+        flag->bool_value = true;
+        continue;
+      }
+      std::string value;
+      if (has_inline) {
+        value = std::string(inline_value);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("--" + flag->name + " needs a value");
+      }
+      switch (flag->kind) {
+        case Kind::kString:
+          flag->string_value = std::move(value);
+          break;
+        case Kind::kUint: {
+          char* end = nullptr;
+          unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+          if (value.empty() || end == nullptr || *end != '\0') {
+            return Status::InvalidArgument("--" + flag->name +
+                                           " needs an unsigned integer, got '" +
+                                           value + "'");
+          }
+          flag->uint_value = static_cast<uint32_t>(parsed);
           break;
         }
+        case Kind::kList: {
+          size_t start = 0;
+          while (start <= value.size()) {
+            size_t comma = value.find(',', start);
+            if (comma == std::string::npos) comma = value.size();
+            if (comma > start) {
+              flag->list_value.push_back(value.substr(start, comma - start));
+            }
+            start = comma + 1;
+          }
+          break;
+        }
+        case Kind::kBool:
+          break;  // handled above
       }
-      if (!is_boolean && std::strchr(argv_[i], '=') == nullptr) ++i;
     }
+    return Status::OK();
+  }
+
+  // --- Results ----------------------------------------------------------
+
+  bool help_requested() const { return help_requested_; }
+  // Whether the flag appeared on the command line (vs. keeping its
+  // default) — how --admin-port 0 ("ephemeral port") differs from "no
+  // admin server".
+  bool Provided(std::string_view name) const {
+    const Flag* flag = const_cast<FlagSet*>(this)->Find(name);
+    return flag != nullptr && flag->provided;
+  }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  // Generated from the declarations: usage line plus one aligned
+  // "--name  help (default: x)" row per flag.
+  std::string Help() const {
+    std::string out = "usage: " + tool_;
+    if (!synopsis_.empty()) out += " " + synopsis_;
+    out += "\n\nflags:\n";
+    size_t width = std::strlen("--help");
+    for (const auto& flag : flags_) {
+      width = std::max(width, flag->name.size() + 2 + ValueHint(flag->kind));
+    }
+    for (const auto& flag : flags_) {
+      std::string left = "--" + flag->name;
+      if (flag->kind != Kind::kBool) left += " V";
+      out += "  " + left + std::string(width + 2 - left.size(), ' ');
+      out += flag->help;
+      if (!flag->default_text.empty()) {
+        out += " (default: " + flag->default_text + ")";
+      }
+      out += "\n";
+    }
+    out += "  --help" + std::string(width + 2 - 6, ' ') +
+           "print this help and exit\n";
     return out;
   }
 
-  // Every occurrence of the flag, with comma-separated values split out.
-  std::vector<std::string> GetList(const char* flag) const {
-    const size_t flag_len = std::strlen(flag);
-    std::vector<std::string> values;
-    auto split_into = [&values](const std::string& value) {
-      size_t start = 0;
-      while (start <= value.size()) {
-        size_t comma = value.find(',', start);
-        if (comma == std::string::npos) comma = value.size();
-        if (comma > start) values.push_back(value.substr(start, comma - start));
-        start = comma + 1;
-      }
-    };
-    for (int i = 1; i < argc_; ++i) {
-      if (std::strcmp(argv_[i], flag) == 0 && i + 1 < argc_) {
-        split_into(argv_[i + 1]);
-      } else if (std::strncmp(argv_[i], flag, flag_len) == 0 &&
-                 argv_[i][flag_len] == '=') {
-        split_into(argv_[i] + flag_len + 1);
-      }
-    }
-    return values;
+ private:
+  enum class Kind { kString, kUint, kBool, kList };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    bool provided = false;
+    std::string string_value;
+    uint32_t uint_value = 0;
+    bool bool_value = false;
+    std::vector<std::string> list_value;
+  };
+
+  static size_t ValueHint(Kind kind) { return kind == Kind::kBool ? 0 : 2; }
+
+  Flag& Add(const char* name, Kind kind, const char* help,
+            std::string default_text) {
+    flags_.push_back(std::make_unique<Flag>());
+    Flag& flag = *flags_.back();
+    flag.name = name;
+    flag.kind = kind;
+    flag.help = help;
+    flag.default_text = std::move(default_text);
+    return flag;
   }
 
- private:
-  int argc_;
-  char** argv_;
+  Flag* Find(std::string_view name) {
+    for (auto& flag : flags_) {
+      if (flag->name == name) return flag.get();
+    }
+    return nullptr;
+  }
+
+  std::string tool_;
+  std::string synopsis_;
+  std::vector<std::unique_ptr<Flag>> flags_;  // stable value addresses
+  std::vector<std::string> positionals_;
+  bool help_requested_ = false;
 };
 
+// Data/query/runtime failure: "error: <Status>" on stderr, exit 1.
 inline int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return kExitError;
+}
+
+// Usage failure: same error line, plus the generated help, exit 2.
+inline int UsageError(const FlagSet& flags, const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::fputs(flags.Help().c_str(), stderr);
+  return kExitUsage;
+}
+
+inline int UsageError(const FlagSet& flags, const std::string& message) {
+  return UsageError(flags, Status::InvalidArgument(message));
 }
 
 }  // namespace ssdb::tools
