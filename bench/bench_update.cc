@@ -1,0 +1,176 @@
+// Mutation cost (DESIGN.md §12): INSERT/UPDATE/DELETE latency as a function
+// of the touched subtree, against the only alternative the paper's scheme
+// had — re-encoding the whole document.
+//
+// For m in {1, 2} share-slice servers the harness inserts fragments of
+// 1..64 nodes under /site/open_auctions (then deletes them, restoring the
+// document), and re-tags one region node back and forth. Each row reports
+// ops/s, latency, the bytes re-shared across all slices, and
+// reencode_ratio — how many times cheaper the planned mutation is than a
+// full re-encode of the same document. The headline: mutation cost follows
+// the fragment (plus the root path), not the document, so the ratio grows
+// with document size while reshared bytes stay flat.
+//
+//   bench_update            # full size
+//   SSDB_BENCH_SCALE=0.05 bench_update   # CI smoke size
+//
+// BENCH_JSON rows ride the same identity/guard machinery as the other
+// benches (tools/check_bench.py): identity is {op, subtree, servers};
+// qps is the guarded metric.
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ssdb::bench {
+namespace {
+
+struct UpdateMeasurement {
+  std::string op;        // "insert", "delete", "update"
+  uint64_t subtree = 0;  // nodes inserted/deleted/re-tagged
+  uint32_t servers = 1;
+  double qps = 0;
+  double ms = 0;              // mean latency per committed mutation
+  uint64_t bytes = 0;         // re-shared upsert bytes, all slices
+  uint64_t children = 0;      // sibling polynomials fetched by the planner
+  double reencode_ratio = 0;  // full re-encode ms / this mutation's ms
+};
+
+void PrintRow(const UpdateMeasurement& m) {
+  std::printf("%-8s subtree=%-4llu m=%-2u %9.1f ops/s %8.2f ms %10llu B "
+              "%5llu fetched %8.0fx cheaper than re-encode\n",
+              m.op.c_str(), static_cast<unsigned long long>(m.subtree),
+              m.servers, m.qps, m.ms,
+              static_cast<unsigned long long>(m.bytes),
+              static_cast<unsigned long long>(m.children), m.reencode_ratio);
+}
+
+// The pre of the single node a child-axis query resolves to.
+uint32_t ResolvePre(BenchDb* db, const std::string& path) {
+  RunResult run = RunQuery(db, path, core::EngineKind::kAdvanced,
+                           query::MatchMode::kEquality);
+  SSDB_CHECK(!run.result.nodes.empty()) << path;
+  return run.result.nodes[0].pre;
+}
+
+}  // namespace
+
+int Main() {
+  double scale = BenchScale();
+  uint64_t target_bytes = static_cast<uint64_t>(scale * (1920 << 10));
+  constexpr int kReps = 3;
+
+  std::vector<UpdateMeasurement> rows;
+  for (uint32_t servers : {1u, 2u}) {
+    auto db = BuildXmarkDb(target_bytes, 42, servers,
+                           /*verify_aggregate=*/true);
+    uint64_t nodes = db->db->encode_result().node_count;
+
+    // The yardstick: what discarding the database and encoding the
+    // document again costs (the pre-§12 way to change one node).
+    Stopwatch reencode_watch;
+    {
+      core::DatabaseOptions options;
+      options.servers = servers;
+      options.encode.verify_aggregate = true;
+      auto fresh = core::EncryptedXmlDatabase::Encode(
+          db->xml, db->map, prg::Seed::FromUint64(43), options);
+      SSDB_CHECK(fresh.ok()) << fresh.status().ToString();
+    }
+    double reencode_ms = reencode_watch.ElapsedSeconds() * 1e3;
+    std::printf("\nm=%u: %llu nodes, full re-encode %.1f ms\n", servers,
+                static_cast<unsigned long long>(nodes), reencode_ms);
+
+    uint32_t host = ResolvePre(db.get(), "/site/open_auctions");
+
+    // INSERT fragments of growing size (and DELETE them again, so every
+    // rep mutates the same document shape).
+    for (uint64_t subtree : {1u, 4u, 16u, 64u}) {
+      std::string fragment = "<open_auction>";
+      for (uint64_t i = 1; i < subtree; ++i) fragment += "<bidder/>";
+      fragment += "</open_auction>";
+
+      UpdateMeasurement ins{"insert", subtree, servers};
+      UpdateMeasurement del{"delete", subtree, servers};
+      double insert_seconds = 0;
+      double delete_seconds = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Stopwatch insert_watch;
+        auto inserted = db->db->Insert(host, fragment);
+        insert_seconds += insert_watch.ElapsedSeconds();
+        SSDB_CHECK(inserted.ok()) << inserted.status().ToString();
+        SSDB_CHECK(inserted->stats.subtree_nodes == subtree);
+        ins.bytes = inserted->stats.reshared_bytes;
+        ins.children = inserted->stats.children_fetched;
+
+        // The fragment landed as the last child of the host.
+        auto meta = db->db->client_filter()->GetNode(host);
+        SSDB_CHECK(meta.ok());
+        auto children = db->db->client_filter()->Children(*meta);
+        SSDB_CHECK(children.ok() && !children->empty());
+        Stopwatch delete_watch;
+        auto deleted = db->db->Delete(children->back().pre);
+        delete_seconds += delete_watch.ElapsedSeconds();
+        SSDB_CHECK(deleted.ok()) << deleted.status().ToString();
+        SSDB_CHECK(deleted->stats.subtree_nodes == subtree);
+        del.bytes = deleted->stats.reshared_bytes;
+        del.children = deleted->stats.children_fetched;
+      }
+      ins.ms = insert_seconds * 1e3 / kReps;
+      ins.qps = kReps / insert_seconds;
+      ins.reencode_ratio = ins.ms > 0 ? reencode_ms / ins.ms : 0;
+      del.ms = delete_seconds * 1e3 / kReps;
+      del.qps = kReps / delete_seconds;
+      del.reencode_ratio = del.ms > 0 ? reencode_ms / del.ms : 0;
+      rows.push_back(ins);
+      PrintRow(ins);
+      rows.push_back(del);
+      PrintRow(del);
+    }
+
+    // UPDATE: re-tag one region node back and forth (both tags are in the
+    // XMark map), so the document is unchanged after each pair.
+    uint32_t region = ResolvePre(db.get(), "/site/regions/asia");
+    UpdateMeasurement upd{"update", 1, servers};
+    double update_seconds = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      auto forward = db->db->Update(region, "africa", std::nullopt);
+      update_seconds += watch.ElapsedSeconds();
+      SSDB_CHECK(forward.ok()) << forward.status().ToString();
+      upd.bytes = forward->stats.reshared_bytes;
+      upd.children = forward->stats.children_fetched;
+      auto back = db->db->Update(region, "asia", std::nullopt);
+      SSDB_CHECK(back.ok()) << back.status().ToString();
+    }
+    upd.ms = update_seconds * 1e3 / kReps;
+    upd.qps = kReps / update_seconds;
+    upd.reencode_ratio = upd.ms > 0 ? reencode_ms / upd.ms : 0;
+    rows.push_back(upd);
+    PrintRow(upd);
+  }
+
+  std::printf("BENCH_JSON {\"bench\":\"update\",\"scale\":%.3f,\"rows\":[",
+              scale);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const UpdateMeasurement& m = rows[i];
+    std::printf(
+        "%s{\"op\":\"%s\",\"subtree\":%llu,\"servers\":%u,\"qps\":%.2f,"
+        "\"ms\":%.3f,\"bytes\":%llu,\"children\":%llu,"
+        "\"reencode_ratio\":%.1f}",
+        i == 0 ? "" : ",", m.op.c_str(),
+        static_cast<unsigned long long>(m.subtree), m.servers, m.qps, m.ms,
+        static_cast<unsigned long long>(m.bytes),
+        static_cast<unsigned long long>(m.children), m.reencode_ratio);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace ssdb::bench
+
+int main() { return ssdb::bench::Main(); }

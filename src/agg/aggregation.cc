@@ -92,7 +92,11 @@ StatusOr<Result> AggregationEngine::RunPlan(const Plan& plan) {
   spec.value_indexes = plan.value_indexes;
   spec.value_count = static_cast<uint32_t>(map_->size());
   spec.pres.reserve(plan.frontier.size());
-  for (const NodeMeta& node : plan.frontier) spec.pres.push_back(node.pre);
+  spec.nonces.reserve(plan.frontier.size());
+  for (const NodeMeta& node : plan.frontier) {
+    spec.pres.push_back(node.pre);
+    spec.nonces.push_back(node.nonce);  // 0 = unmutated (DESIGN.md §12)
+  }
   if (plan.verify) {
     SSDB_ASSIGN_OR_RETURN(filter::ClientFilter::VerifiedAggregate verified,
                           filter_->AggregateVerified(spec));

@@ -132,6 +132,11 @@ struct Spec {
   // Client-side only (never on the wire): the map's value count T, needed
   // to locate mask words; servers derive T from their stored blobs.
   uint32_t value_count = 0;
+  // Client-side only: the share nonce per frontier node, parallel to
+  // `pres`. 0 (or an absent entry — legacy callers) means "the pre number";
+  // re-shared nodes carry an explicit nonce (DESIGN.md §12). The server
+  // never needs these: its blobs are already keyed by nonce.
+  std::vector<uint64_t> nonces;
 };
 
 Status ValidateSpec(const Spec& spec);

@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <algorithm>
+
 #include "encode/encoder.h"
 #include "prg/prg.h"
 #include "rpc/client.h"
@@ -39,23 +41,9 @@ StatusOr<std::unique_ptr<EncryptedXmlDatabase>> EncryptedXmlDatabase::Encode(
     return Status::InvalidArgument("servers exceeds kMaxServers (" +
                                    std::to_string(kMaxServers) + ")");
   }
-  if (options.backend == Backend::kDisk && options.encode.verify_aggregate) {
-    // The disk row must fit one 4 KiB heap page (no overflow pages). The §8
-    // aggregate blob (28·|map|) plus the §9 verification track (112·|map|)
-    // alone can exceed that for large tag maps — fail up front with the
-    // budget instead of deep inside HeapFile::Append mid-encode.
-    const size_t fixed_blobs = size_t{140} * map.size();
-    const size_t budget = storage::kPageSize - 20;  // page header + slot
-    if (fixed_blobs > budget) {
-      return Status::InvalidArgument(
-          "verification track does not fit a disk page: the §8+§9 blobs need "
-          "140·|map| = " + std::to_string(fixed_blobs) + " bytes per node "
-          "but a " + std::to_string(storage::kPageSize) + "-byte page holds "
-          "at most " + std::to_string(budget) + " (tag map must stay under " +
-          std::to_string(budget / 140) + " tags); use a smaller DTD, the "
-          "memory backend, or drop --verify-agg (DESIGN.md §9)");
-    }
-  }
+  // No tag-map size cap for the disk backend: the §8/§9 column blobs live
+  // in the side column store (src/colstore), not the 4 KiB heap row, so
+  // arbitrarily large maps spill into overflow chains there (DESIGN.md §12).
   for (uint32_t i = 0; i < servers; ++i) {
     if (options.backend == Backend::kDisk) {
       if (options.disk_path.empty()) {
@@ -93,6 +81,7 @@ StatusOr<std::unique_ptr<EncryptedXmlDatabase>> EncryptedXmlDatabase::Encode(
         ring, std::move(backends));
   }
   db->server_view_ = db->server_.get();
+  db->trie_ = options.encode.trie;
   db->BuildEngines(seed);
   return db;
 }
@@ -136,6 +125,88 @@ void EncryptedXmlDatabase::BuildEngines(const prg::Seed& seed) {
   simple_ = std::make_unique<query::SimpleEngine>(client_.get(), &map_);
   advanced_ = std::make_unique<query::AdvancedEngine>(client_.get(), &map_);
   agg_ = std::make_unique<agg::AggregationEngine>(client_.get(), &map_);
+  mutator_ = std::make_unique<encode::Mutator>(ring_, map_, prg::Prg(seed),
+                                               server_view_);
+}
+
+StatusOr<MutationResult> EncryptedXmlDatabase::Update(
+    uint32_t pre, std::string_view new_tag,
+    const std::optional<std::string>& new_text) {
+  SSDB_RETURN_IF_ERROR(CheckMutable());
+  SSDB_ASSIGN_OR_RETURN(encode::PlannedMutation planned,
+                        mutator_->PlanUpdate(pre, new_tag, new_text));
+  return DriveMutation(std::move(planned));
+}
+
+StatusOr<MutationResult> EncryptedXmlDatabase::Insert(
+    uint32_t parent_pre, std::string_view fragment_xml) {
+  SSDB_RETURN_IF_ERROR(CheckMutable());
+  SSDB_ASSIGN_OR_RETURN(encode::PlannedMutation planned,
+                        mutator_->PlanInsert(parent_pre, fragment_xml));
+  return DriveMutation(std::move(planned));
+}
+
+StatusOr<MutationResult> EncryptedXmlDatabase::Delete(uint32_t pre) {
+  SSDB_RETURN_IF_ERROR(CheckMutable());
+  SSDB_ASSIGN_OR_RETURN(encode::PlannedMutation planned,
+                        mutator_->PlanDelete(pre));
+  return DriveMutation(std::move(planned));
+}
+
+Status EncryptedXmlDatabase::CheckMutable() {
+  if (trie_) {
+    return Status::Unimplemented(
+        "mutations on a trie-encoded database are not supported "
+        "(DESIGN.md §12)");
+  }
+  if (server_view_ == nullptr) {
+    return Status::FailedPrecondition("no server filter attached");
+  }
+  return Status::OK();
+}
+
+StatusOr<MutationResult> EncryptedXmlDatabase::DriveMutation(
+    encode::PlannedMutation planned) {
+  // Two-phase drive (DESIGN.md §12): prepare on every slice, then commit.
+  // A prepare failure aborts best-effort — nothing was applied, so the
+  // document is untouched. A failure *during* commit leaves the txn
+  // decided (some slice committed); RecoverMutations() finishes the job.
+  Status prepared = server_view_->PrepareMutation(planned.txn, planned.plans);
+  if (!prepared.ok()) {
+    (void)server_view_->AbortMutation(planned.txn);  // best-effort cleanup
+    return prepared;
+  }
+  SSDB_RETURN_IF_ERROR(server_view_->CommitMutation(planned.txn));
+  MutationResult result;
+  result.version = planned.txn;
+  result.stats = planned.stats;
+  return result;
+}
+
+Status EncryptedXmlDatabase::RecoverMutations() {
+  if (server_view_ == nullptr) {
+    return Status::FailedPrecondition("no server filter attached");
+  }
+  // Any slice that committed a txn proves the coordinator decided to
+  // commit, so undecided slices follow it; a txn no slice committed is
+  // rolled back. Loop because aborting one txn can expose an older one.
+  for (int round = 0; round < 64; ++round) {
+    SSDB_ASSIGN_OR_RETURN(std::vector<storage::MutationState> states,
+                          server_view_->MutationStates());
+    uint64_t pending = 0;
+    uint64_t committed = 0;
+    for (const storage::MutationState& st : states) {
+      pending = std::max(pending, st.pending_txn);
+      committed = std::max(committed, st.version);
+    }
+    if (pending == 0) return Status::OK();
+    if (committed >= pending) {
+      SSDB_RETURN_IF_ERROR(server_view_->CommitMutation(pending));
+    } else {
+      SSDB_RETURN_IF_ERROR(server_view_->AbortMutation(pending));
+    }
+  }
+  return Status::Internal("mutation recovery did not converge");
 }
 
 StatusOr<QueryResult> EncryptedXmlDatabase::Query(std::string_view xpath,

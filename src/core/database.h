@@ -16,12 +16,14 @@
 #define SSDB_CORE_DATABASE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "agg/aggregation.h"
 #include "core/options.h"
+#include "encode/reshare.h"
 #include "filter/client_filter.h"
 #include "filter/server_filter.h"
 #include "gf/field.h"
@@ -51,6 +53,14 @@ struct QueryResult {
   agg::Result aggregate;
 };
 
+// Outcome of a committed mutation (DESIGN.md §12): the document version the
+// stores advanced to and what the planner touched — the proportionality
+// contract (cost ∝ subtree + root path) is asserted on these stats in tests.
+struct MutationResult {
+  uint64_t version = 0;
+  encode::MutateStats stats;
+};
+
 class EncryptedXmlDatabase {
  public:
   // Builds a tag map covering a DTD's elements (plus the trie alphabet when
@@ -78,6 +88,28 @@ class EncryptedXmlDatabase {
       std::vector<std::unique_ptr<rpc::Channel>> channels,
       const mapping::TagMap& map, const prg::Seed& seed, uint32_t p,
       uint32_t e);
+
+  // --- Mutations (DESIGN.md §12) ------------------------------------------
+  // Secret-shared two-phase INSERT/UPDATE/DELETE: the client plans one
+  // MutationPlan per share slice (re-sharing only the touched subtree plus
+  // its root path), prepares them on every slice, then commits. On a
+  // prepare failure the txn is aborted best-effort and the error returned;
+  // a crash between the phases is healed by RecoverMutations().
+
+  // Re-tags node `pre` and/or replaces its text (pass empty / nullopt to
+  // keep either). Text edits need a sealed-content database.
+  StatusOr<MutationResult> Update(uint32_t pre, std::string_view new_tag,
+                                  const std::optional<std::string>& new_text);
+  // Inserts `fragment_xml` (one rooted element) as the last child of node
+  // `parent_pre`.
+  StatusOr<MutationResult> Insert(uint32_t parent_pre,
+                                  std::string_view fragment_xml);
+  // Deletes the subtree rooted at node `pre` (not the document root).
+  StatusOr<MutationResult> Delete(uint32_t pre);
+  // Drives any undecided prepared txn to a verdict: if some slice already
+  // committed it, commit everywhere; otherwise abort everywhere. Safe to
+  // call when nothing is pending.
+  Status RecoverMutations();
 
   // Parses and runs a query.
   StatusOr<QueryResult> Query(std::string_view xpath, EngineKind engine,
@@ -137,6 +169,8 @@ class EncryptedXmlDatabase {
       : ring_(std::move(ring)), map_(std::move(map)) {}
 
   void BuildEngines(const prg::Seed& seed);
+  Status CheckMutable();
+  StatusOr<MutationResult> DriveMutation(encode::PlannedMutation planned);
 
   gf::Ring ring_;
   mapping::TagMap map_;
@@ -155,6 +189,10 @@ class EncryptedXmlDatabase {
   std::unique_ptr<query::SimpleEngine> simple_;
   std::unique_ptr<query::AdvancedEngine> advanced_;
   std::unique_ptr<agg::AggregationEngine> agg_;
+  std::unique_ptr<encode::Mutator> mutator_;
+  // Trie-encoded databases interleave character nodes the mutation planner
+  // does not rebuild; mutations on them are rejected (DESIGN.md §12).
+  bool trie_ = false;
 };
 
 }  // namespace ssdb::core

@@ -1,0 +1,770 @@
+#include "encode/reshare.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "agg/columns.h"
+#include "xml/sax.h"
+
+namespace ssdb::encode {
+namespace {
+
+// The five bottom-up accumulators of encode/encoder.cc's Close(), recovered
+// from a node's stored plain columns. Every stored column is a projection of
+// this state plus the node's own tag, so a mutation can edit the state and
+// re-derive the columns with the encoder's exact formulas.
+struct ColState {
+  uint32_t own_index = 0;  // rank of the node's tag among mapped values
+  std::vector<agg::Word> mult;           // subtree tag histogram (incl. self)
+  std::vector<agg::Word> child_equal;    // per-tag direct-child count
+  std::vector<agg::Word> child_contain;  // children whose subtree contains τ
+  std::vector<agg::Word> desc_contain;   // descendants whose subtree contains τ
+  std::vector<agg::Word> desc_mult;      // Σ over descendants of their mult
+};
+
+ColState ZeroState(size_t value_count) {
+  ColState state;
+  state.mult.assign(value_count, 0);
+  state.child_equal.assign(value_count, 0);
+  state.child_contain.assign(value_count, 0);
+  state.desc_contain.assign(value_count, 0);
+  state.desc_mult.assign(value_count, 0);
+  return state;
+}
+
+// Folds a completed child into a parent's accumulators — the same arithmetic
+// as the encoder's parent fold-in, so a state built by AddChild matches what
+// a fresh encode of the mutated document would produce.
+void AddChild(ColState* parent, const ColState& child) {
+  parent->child_equal[child.own_index] += 1;
+  const size_t T = parent->mult.size();
+  for (size_t t = 0; t < T; ++t) {
+    agg::Word contains = child.mult[t] > 0 ? 1 : 0;
+    parent->child_contain[t] += contains;
+    parent->desc_contain[t] += child.desc_contain[t] + contains;
+    parent->desc_mult[t] += child.desc_mult[t] + child.mult[t];
+    parent->mult[t] += child.mult[t];
+  }
+}
+
+// Exact inverse of AddChild (counts are unsigned; the true values never go
+// negative because the child really is accounted in the parent).
+void RemoveChild(ColState* parent, const ColState& child) {
+  parent->child_equal[child.own_index] -= 1;
+  const size_t T = parent->mult.size();
+  for (size_t t = 0; t < T; ++t) {
+    agg::Word contains = child.mult[t] > 0 ? 1 : 0;
+    parent->child_contain[t] -= contains;
+    parent->desc_contain[t] -= child.desc_contain[t] + contains;
+    parent->desc_mult[t] -= child.desc_mult[t] + child.mult[t];
+    parent->mult[t] -= child.mult[t];
+  }
+}
+
+// Inverse of RecoverState: the seven stored columns the encoder derives in
+// Close(), from the accumulator state.
+std::vector<agg::Word> StoredColumns(const ColState& state) {
+  const size_t T = state.mult.size();
+  std::vector<agg::Word> out(agg::WordsPerNode(T), 0);
+  auto col = [&](agg::Col c) { return out.data() + agg::WordIndex(c, T, 0); };
+  col(agg::Col::kEqualSelf)[state.own_index] = 1;
+  for (size_t t = 0; t < T; ++t) {
+    col(agg::Col::kEqualChild)[t] = state.child_equal[t];
+    col(agg::Col::kEqualDesc)[t] =
+        state.mult[t] - (t == state.own_index ? 1 : 0);
+    col(agg::Col::kContainSelf)[t] = state.mult[t] > 0 ? 1 : 0;
+    col(agg::Col::kContainChild)[t] = state.child_contain[t];
+    col(agg::Col::kContainDesc)[t] = state.desc_contain[t];
+    col(agg::Col::kMultDesc)[t] = state.desc_mult[t];
+  }
+  return out;
+}
+
+StatusOr<ColState> RecoverState(const std::vector<agg::Word>& plain) {
+  const size_t T = plain.size() / agg::kColCount;
+  ColState state = ZeroState(T);
+  size_t ones = 0;
+  for (size_t t = 0; t < T; ++t) {
+    agg::Word self = plain[agg::WordIndex(agg::Col::kEqualSelf, T, t)];
+    if (self == 1) {
+      state.own_index = static_cast<uint32_t>(t);
+      ++ones;
+    } else if (self != 0) {
+      ones = 2;  // force the corruption path
+      break;
+    }
+  }
+  if (ones != 1) {
+    return Status::Corruption(
+        "node aggregate columns are corrupt: EqualSelf is not one-hot");
+  }
+  for (size_t t = 0; t < T; ++t) {
+    state.mult[t] = plain[agg::WordIndex(agg::Col::kEqualDesc, T, t)] +
+                    plain[agg::WordIndex(agg::Col::kEqualSelf, T, t)];
+    state.child_equal[t] = plain[agg::WordIndex(agg::Col::kEqualChild, T, t)];
+    state.child_contain[t] =
+        plain[agg::WordIndex(agg::Col::kContainChild, T, t)];
+    state.desc_contain[t] = plain[agg::WordIndex(agg::Col::kContainDesc, T, t)];
+    state.desc_mult[t] = plain[agg::WordIndex(agg::Col::kMultDesc, T, t)];
+  }
+  return state;
+}
+
+// One node of a parsed INSERT fragment, fully encoded client-side: local
+// pre/post/parent numbering (1-based, 0 = fragment root's parent), the
+// accumulator state and stored columns, and the node polynomial.
+struct FragNode {
+  uint32_t local_pre = 0;
+  uint32_t local_post = 0;
+  uint32_t local_parent = 0;
+  gf::Elem tag_value = 0;
+  std::string tag_name;
+  std::string text;
+  ColState state;
+  std::vector<agg::Word> stored;
+  gf::RingElem poly;
+};
+
+// SAX handler running the encoder's Close() recurrences over an INSERT
+// fragment — coefficient-domain only (fragments are small).
+class FragmentBuilder : public xml::SaxHandler {
+ public:
+  FragmentBuilder(const gf::Ring& ring, const mapping::TagMap& map)
+      : ring_(ring), map_(map) {}
+
+  Status StartElement(std::string_view name,
+                      const xml::AttributeList&) override {
+    StatusOr<gf::Elem> value = map_.Lookup(name);
+    if (!value.ok()) {
+      return Status::InvalidArgument("tag not covered by the map file: " +
+                                     std::string(name));
+    }
+    StatusOr<uint32_t> index = map_.ValueIndex(*value);
+    SSDB_RETURN_IF_ERROR(index.status());
+    Frame frame;
+    frame.node_index = nodes_.size();
+    nodes_.emplace_back();
+    FragNode& node = nodes_.back();
+    node.local_pre = static_cast<uint32_t>(nodes_.size());
+    node.local_parent =
+        stack_.empty() ? 0 : nodes_[stack_.back().node_index].local_pre;
+    node.tag_value = *value;
+    node.tag_name = std::string(name);
+    node.state = ZeroState(map_.size());
+    node.state.own_index = *index;
+    frame.child_coeffs = ring_.One();
+    stack_.push_back(std::move(frame));
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    Frame frame = std::move(stack_.back());
+    stack_.pop_back();
+    FragNode& node = nodes_[frame.node_index];
+    node.local_post = ++post_counter_;
+    node.text = std::move(frame.text);
+    node.state.mult[node.state.own_index] += 1;
+    node.stored = StoredColumns(node.state);
+    node.poly = ring_.MulXMinus(frame.child_coeffs, node.tag_value);
+    if (!stack_.empty()) {
+      Frame& parent = stack_.back();
+      AddChild(&nodes_[parent.node_index].state, node.state);
+      parent.child_coeffs = ring_.Mul(parent.child_coeffs, node.poly);
+    }
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text) override {
+    if (!stack_.empty()) stack_.back().text += std::string(text);
+    return Status::OK();
+  }
+
+  std::vector<FragNode> TakeNodes() { return std::move(nodes_); }
+
+ private:
+  struct Frame {
+    size_t node_index = 0;
+    gf::RingElem child_coeffs;  // running product of completed children
+    std::string text;
+  };
+
+  const gf::Ring& ring_;
+  const mapping::TagMap& map_;
+  std::vector<FragNode> nodes_;  // pre-order; local_pre = index + 1
+  std::vector<Frame> stack_;
+  uint32_t post_counter_ = 0;
+};
+
+// One root-path node with everything the planner recovered about it.
+struct PathNode {
+  filter::NodeMeta meta;
+  ColState state;
+  std::string sealed_plain;  // unsealed "tag\ntext"; empty when sealing off
+};
+
+struct LoadedPath {
+  std::vector<PathNode> nodes;  // [target, parent, ..., root]
+  bool sealed_db = false;
+  bool verify_db = false;
+};
+
+// Children metas per path level plus reconstructed polynomials of every
+// off-path child (the on-path child's poly is recomputed, not fetched).
+struct Siblings {
+  std::vector<std::vector<filter::NodeMeta>> children;  // indexed by level
+  std::map<uint32_t, gf::RingElem> polys;               // keyed by child pre
+  uint64_t fetched = 0;
+};
+
+// Everything one Plan* call needs; built fresh per call so the Mutator
+// itself stays stateless and trivially thread-compatible.
+class Planner {
+ public:
+  Planner(const gf::Ring& ring, const mapping::TagMap& map,
+          const prg::Prg& prg, filter::ServerFilter* filter)
+      : ring_(ring), map_(map), prg_(prg), filter_(filter) {}
+
+  StatusOr<PlannedMutation> Update(uint32_t pre, std::string_view new_tag,
+                                   const std::optional<std::string>& new_text);
+  StatusOr<PlannedMutation> Insert(uint32_t parent_pre,
+                                   std::string_view fragment_xml);
+  StatusOr<PlannedMutation> Delete(uint32_t pre);
+
+ private:
+  struct TxnContext {
+    size_t m = 0;               // share-slice count
+    uint64_t base_version = 0;  // agreed committed version
+    uint64_t next_nonce = 0;    // fresh-nonce watermark
+  };
+
+  StatusOr<TxnContext> BeginPlan();
+  StatusOr<uint64_t> AllocNonce(TxnContext* ctx);
+  StatusOr<LoadedPath> LoadPath(uint32_t pre);
+  StatusOr<std::vector<agg::Word>> PlainColumns(const std::string& blob,
+                                                uint64_t nonce, size_t m);
+  StatusOr<std::vector<gf::RingElem>> FetchPolys(
+      const std::vector<filter::NodeMeta>& metas);
+  StatusOr<Siblings> LoadSiblings(const LoadedPath& path, size_t start_level);
+  gf::Elem TagValueOf(const PathNode& node) const {
+    return map_.values_in_order()[node.state.own_index];
+  }
+  void SplitNode(uint32_t pre, uint32_t post, uint32_t parent, uint64_t nonce,
+                 const gf::RingElem& poly,
+                 const std::vector<agg::Word>& plain_cols,
+                 const std::string& sealed_plain, bool sealed_db,
+                 bool verify_db, std::vector<storage::MutationPlan>* plans,
+                 MutateStats* stats);
+  std::vector<storage::MutationPlan> MakePlans(const TxnContext& ctx,
+                                               storage::MutationKind kind);
+
+  const gf::Ring& ring_;
+  const mapping::TagMap& map_;
+  const prg::Prg& prg_;
+  filter::ServerFilter* filter_;
+  std::vector<uint64_t> alpha_;  // §9 keys, filled lazily for verify DBs
+};
+
+StatusOr<Planner::TxnContext> Planner::BeginPlan() {
+  SSDB_ASSIGN_OR_RETURN(std::vector<storage::MutationState> states,
+                        filter_->MutationStates());
+  if (states.empty()) {
+    return Status::Internal("no mutation states reported");
+  }
+  TxnContext ctx;
+  ctx.m = states.size();
+  ctx.base_version = states[0].version;
+  ctx.next_nonce = prg::kFirstMutationNonce;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i].pending_txn != 0) {
+      return Status::FailedPrecondition(
+          "server " + std::to_string(i) + " has an undecided mutation (txn " +
+          std::to_string(states[i].pending_txn) +
+          "); recover before planning a new one");
+    }
+    if (states[i].version != ctx.base_version) {
+      return Status::FailedPrecondition(
+          "server slices disagree on the committed version (server 0 at " +
+          std::to_string(ctx.base_version) + ", server " + std::to_string(i) +
+          " at " + std::to_string(states[i].version) +
+          "); recover before planning a new one");
+    }
+    ctx.next_nonce = std::max(ctx.next_nonce, states[i].next_nonce);
+  }
+  return ctx;
+}
+
+StatusOr<uint64_t> Planner::AllocNonce(TxnContext* ctx) {
+  if (ctx->next_nonce >= prg::kMutationNonceLimit) {
+    return Status::FailedPrecondition(
+        "mutation nonce space exhausted (2^40 re-shares); re-encode the "
+        "document to reset the watermark");
+  }
+  return ctx->next_nonce++;
+}
+
+std::vector<storage::MutationPlan> Planner::MakePlans(
+    const TxnContext& ctx, storage::MutationKind kind) {
+  std::vector<storage::MutationPlan> plans(ctx.m);
+  for (storage::MutationPlan& plan : plans) {
+    plan.kind = kind;
+    plan.base_version = ctx.base_version;
+  }
+  return plans;
+}
+
+StatusOr<std::vector<agg::Word>> Planner::PlainColumns(const std::string& blob,
+                                                       uint64_t nonce,
+                                                       size_t m) {
+  const size_t T = map_.size();
+  std::vector<agg::Word> words(agg::WordsPerNode(T));
+  for (size_t w = 0; w < words.size(); ++w) {
+    words[w] = agg::BlobWord(blob, w);
+  }
+  // plain = slice 0 (the stored remainder) + the PRG-defined slices 1..m-1
+  // + the client's mask — the inverse of the encoder's split.
+  for (uint32_t i = 0; i < m; ++i) {
+    prg::Prg::Stream mask = prg_.StreamForAggColumns(nonce, i);
+    for (agg::Word& word : words) word += mask.NextUint32();
+  }
+  return words;
+}
+
+StatusOr<LoadedPath> Planner::LoadPath(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(std::vector<storage::MutationState> states,
+                        filter_->MutationStates());
+  const size_t m = states.size();
+  std::vector<filter::NodeMeta> metas;
+  SSDB_ASSIGN_OR_RETURN(filter::NodeMeta meta, filter_->GetNode(pre));
+  metas.push_back(meta);
+  while (metas.back().parent != 0) {
+    SSDB_ASSIGN_OR_RETURN(meta, filter_->GetNode(metas.back().parent));
+    if (meta.pre >= metas.back().pre) {
+      return Status::Corruption(
+          "parent pointers do not form a rooted path (pre numbering broken)");
+    }
+    metas.push_back(meta);
+  }
+  std::vector<uint32_t> pres;
+  pres.reserve(metas.size());
+  for (const filter::NodeMeta& node : metas) pres.push_back(node.pre);
+  SSDB_ASSIGN_OR_RETURN(std::vector<storage::ColumnBlobs> cols,
+                        filter_->FetchColumnsBatch(pres));
+  if (cols.size() != metas.size()) {
+    return Status::Internal("column fetch returned the wrong count");
+  }
+  const size_t T = map_.size();
+  LoadedPath out;
+  for (size_t i = 0; i < metas.size(); ++i) {
+    if (cols[i].agg.empty()) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(metas[i].pre) +
+          " has no aggregate columns — mutations need a database encoded "
+          "with aggregates (DESIGN.md §12)");
+    }
+    if (agg::BlobValueCount(cols[i].agg) != T) {
+      return Status::FailedPrecondition(
+          "tag map size does not match the database's aggregate columns");
+    }
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<agg::Word> plain,
+        PlainColumns(cols[i].agg, metas[i].ShareNonce(), m));
+    SSDB_ASSIGN_OR_RETURN(ColState state, RecoverState(plain));
+    out.nodes.push_back(PathNode{metas[i], std::move(state), std::string()});
+  }
+  out.verify_db = !cols[0].verify.empty();
+  for (size_t i = 0; i < metas.size(); ++i) {
+    SSDB_ASSIGN_OR_RETURN(std::string sealed,
+                          filter_->FetchSealed(metas[i].pre));
+    if (i == 0) {
+      out.sealed_db = !sealed.empty();
+      if (!out.sealed_db) break;
+    }
+    std::string plain = prg_.UnsealPayload(metas[i].ShareNonce(), sealed);
+    if (plain.find('\n') == std::string::npos) {
+      return Status::Corruption("sealed payload has no tag line (node " +
+                                std::to_string(metas[i].pre) + ")");
+    }
+    out.nodes[i].sealed_plain = std::move(plain);
+  }
+  return out;
+}
+
+StatusOr<std::vector<gf::RingElem>> Planner::FetchPolys(
+    const std::vector<filter::NodeMeta>& metas) {
+  std::vector<uint32_t> pres;
+  pres.reserve(metas.size());
+  for (const filter::NodeMeta& node : metas) pres.push_back(node.pre);
+  std::vector<gf::RingElem> sums;
+  if (!pres.empty()) {
+    SSDB_ASSIGN_OR_RETURN(sums, filter_->FetchShareBatch(pres));
+    if (sums.size() != metas.size()) {
+      return Status::Internal("share fetch returned the wrong count");
+    }
+  }
+  // f = c + Σ slices: the fan-out already summed the server slices.
+  for (size_t i = 0; i < sums.size(); ++i) {
+    ring_.AddInto(&sums[i], prg_.ClientShare(ring_, metas[i].ShareNonce()));
+  }
+  return sums;
+}
+
+StatusOr<Siblings> Planner::LoadSiblings(const LoadedPath& path,
+                                         size_t start_level) {
+  std::vector<uint32_t> pres;
+  for (size_t j = start_level; j < path.nodes.size(); ++j) {
+    pres.push_back(path.nodes[j].meta.pre);
+  }
+  SSDB_ASSIGN_OR_RETURN(std::vector<std::vector<filter::NodeMeta>> lists,
+                        filter_->ChildrenBatch(pres));
+  if (lists.size() != pres.size()) {
+    return Status::Internal("children fetch returned the wrong count");
+  }
+  Siblings out;
+  out.children.resize(path.nodes.size());
+  for (size_t j = 0; j < lists.size(); ++j) {
+    out.children[start_level + j] = std::move(lists[j]);
+  }
+  std::vector<filter::NodeMeta> fetch;
+  for (size_t j = start_level; j < path.nodes.size(); ++j) {
+    for (const filter::NodeMeta& child : out.children[j]) {
+      // The on-path child's polynomial is recomputed, never fetched.
+      if (j >= 1 && child.pre == path.nodes[j - 1].meta.pre) continue;
+      fetch.push_back(child);
+    }
+  }
+  SSDB_ASSIGN_OR_RETURN(std::vector<gf::RingElem> polys, FetchPolys(fetch));
+  for (size_t i = 0; i < fetch.size(); ++i) {
+    out.polys.emplace(fetch[i].pre, std::move(polys[i]));
+  }
+  out.fetched = fetch.size();
+  return out;
+}
+
+void Planner::SplitNode(uint32_t pre, uint32_t post, uint32_t parent,
+                        uint64_t nonce, const gf::RingElem& poly,
+                        const std::vector<agg::Word>& plain_cols,
+                        const std::string& sealed_plain, bool sealed_db,
+                        bool verify_db,
+                        std::vector<storage::MutationPlan>* plans,
+                        MutateStats* stats) {
+  const size_t m = plans->size();
+  const size_t T = map_.size();
+  std::vector<agg::Word> agg_words = plain_cols;
+  std::string verify_blob;
+  if (verify_db) {
+    if (alpha_.empty()) {
+      alpha_.reserve(T);
+      for (uint32_t t = 0; t < T; ++t) alpha_.push_back(prg_.AggVerifyKey(t));
+    }
+    // Rebuild the §9 track from the still-plain words, interleaving mask
+    // draws exactly as the encoder does.
+    std::vector<uint64_t> wide(agg_words.size());
+    std::vector<uint64_t> proof(agg_words.size());
+    prg::Prg::Stream vmask = prg_.StreamForVerifyColumns(nonce);
+    for (size_t w = 0; w < agg_words.size(); ++w) {
+      uint64_t plain = agg_words[w];
+      wide[w] = plain - vmask.NextUint64();
+      proof[w] = alpha_[w % T] * plain - vmask.NextUint64();
+    }
+    verify_blob = agg::SerializeVerify(wide, proof);
+  }
+  prg::Prg::Stream mask = prg_.StreamForAggColumns(nonce, 0);
+  for (agg::Word& word : agg_words) word -= mask.NextUint32();
+  gf::RingElem remainder = ring_.Sub(poly, prg_.ClientShare(ring_, nonce));
+  storage::NodeRow row;
+  row.pre = pre;
+  row.post = post;
+  row.parent = parent;
+  row.nonce = nonce;
+  for (size_t i = m; i-- > 1;) {
+    gf::RingElem slice =
+        prg_.ServerSliceShare(ring_, nonce, static_cast<uint32_t>(i));
+    row.share = ring_.Serialize(slice);
+    prg::Prg::Stream slice_mask =
+        prg_.StreamForAggColumns(nonce, static_cast<uint32_t>(i));
+    std::vector<agg::Word> slice_words(agg_words.size());
+    for (size_t w = 0; w < slice_words.size(); ++w) {
+      slice_words[w] = slice_mask.NextUint32();
+      agg_words[w] -= slice_words[w];
+    }
+    row.agg = agg::SerializeWords(slice_words);
+    stats->reshared_bytes += row.share.size() + row.agg.size();
+    (*plans)[i].upserts.push_back(row);
+    remainder = ring_.Sub(remainder, slice);
+  }
+  row.share = ring_.Serialize(remainder);
+  row.agg = agg::SerializeWords(agg_words);
+  row.verify = std::move(verify_blob);
+  if (sealed_db) row.sealed = prg_.SealPayload(nonce, sealed_plain);
+  stats->reshared_bytes += row.share.size() + row.agg.size() +
+                           row.verify.size() + row.sealed.size();
+  (*plans)[0].upserts.push_back(std::move(row));
+}
+
+StatusOr<PlannedMutation> Planner::Update(
+    uint32_t pre, std::string_view new_tag,
+    const std::optional<std::string>& new_text) {
+  if (new_tag.empty() && !new_text.has_value()) {
+    return Status::InvalidArgument("update changes neither tag nor text");
+  }
+  SSDB_ASSIGN_OR_RETURN(TxnContext ctx, BeginPlan());
+  SSDB_ASSIGN_OR_RETURN(LoadedPath path, LoadPath(pre));
+  if (new_text.has_value() && !path.sealed_db) {
+    return Status::FailedPrecondition(
+        "database was encoded without sealed content; there is no text to "
+        "update");
+  }
+  const PathNode& target = path.nodes[0];
+  uint32_t new_index = target.state.own_index;
+  gf::Elem new_value = TagValueOf(target);
+  if (!new_tag.empty()) {
+    StatusOr<gf::Elem> value = map_.Lookup(new_tag);
+    if (!value.ok()) {
+      return Status::InvalidArgument("tag not covered by the map file: " +
+                                     std::string(new_tag));
+    }
+    new_value = *value;
+    SSDB_ASSIGN_OR_RETURN(new_index, map_.ValueIndex(new_value));
+  }
+  const bool retag = new_index != target.state.own_index;
+
+  // Accumulators after the re-tag, propagated root-ward child-by-child.
+  std::vector<ColState> new_states;
+  new_states.reserve(path.nodes.size());
+  new_states.push_back(target.state);
+  if (retag) {
+    new_states[0].mult[target.state.own_index] -= 1;
+    new_states[0].mult[new_index] += 1;
+    new_states[0].own_index = new_index;
+  }
+  for (size_t j = 1; j < path.nodes.size(); ++j) {
+    new_states.push_back(path.nodes[j].state);
+    RemoveChild(&new_states[j], path.nodes[j - 1].state);
+    AddChild(&new_states[j], new_states[j - 1]);
+  }
+
+  // New polynomials. A pure text edit leaves every polynomial's value
+  // unchanged, so each path node's poly is reconstructed directly; a re-tag
+  // changes the target's factor in every ancestor product, so those are
+  // rebuilt from the children.
+  std::vector<gf::RingElem> new_polys(path.nodes.size());
+  MutateStats stats;
+  if (!retag) {
+    std::vector<filter::NodeMeta> metas;
+    for (const PathNode& node : path.nodes) metas.push_back(node.meta);
+    SSDB_ASSIGN_OR_RETURN(new_polys, FetchPolys(metas));
+  } else {
+    SSDB_ASSIGN_OR_RETURN(Siblings siblings, LoadSiblings(path, 0));
+    stats.children_fetched = siblings.fetched;
+    for (size_t j = 0; j < path.nodes.size(); ++j) {
+      gf::RingElem product = ring_.One();
+      for (const filter::NodeMeta& child : siblings.children[j]) {
+        if (j >= 1 && child.pre == path.nodes[j - 1].meta.pre) continue;
+        product = ring_.Mul(product, siblings.polys.at(child.pre));
+      }
+      if (j >= 1) product = ring_.Mul(product, new_polys[j - 1]);
+      gf::Elem tag = j == 0 ? new_value : TagValueOf(path.nodes[j]);
+      new_polys[j] = ring_.MulXMinus(product, tag);
+    }
+  }
+
+  // Sealed payloads: ancestors re-seal unchanged, the target's tag line and
+  // text are rewritten as requested.
+  std::vector<std::string> new_plain(path.nodes.size());
+  if (path.sealed_db) {
+    for (size_t j = 1; j < path.nodes.size(); ++j) {
+      new_plain[j] = path.nodes[j].sealed_plain;
+    }
+    size_t cut = target.sealed_plain.find('\n');
+    std::string tag_line = new_tag.empty()
+                               ? target.sealed_plain.substr(0, cut)
+                               : std::string(new_tag);
+    std::string text = new_text.has_value()
+                           ? *new_text
+                           : target.sealed_plain.substr(cut + 1);
+    new_plain[0] = tag_line + "\n" + text;
+  }
+
+  PlannedMutation out;
+  out.txn = ctx.base_version + 1;
+  out.plans = MakePlans(ctx, storage::MutationKind::kUpdate);
+  out.stats = stats;
+  for (size_t j = 0; j < path.nodes.size(); ++j) {
+    SSDB_ASSIGN_OR_RETURN(uint64_t nonce, AllocNonce(&ctx));
+    const filter::NodeMeta& meta = path.nodes[j].meta;
+    SplitNode(meta.pre, meta.post, meta.parent, nonce, new_polys[j],
+              StoredColumns(new_states[j]), new_plain[j], path.sealed_db,
+              path.verify_db, &out.plans, &out.stats);
+  }
+  for (storage::MutationPlan& plan : out.plans) {
+    plan.next_nonce = ctx.next_nonce;
+  }
+  out.stats.path_nodes = path.nodes.size();
+  out.stats.subtree_nodes = 1;
+  return out;
+}
+
+StatusOr<PlannedMutation> Planner::Delete(uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(TxnContext ctx, BeginPlan());
+  SSDB_ASSIGN_OR_RETURN(LoadedPath path, LoadPath(pre));
+  if (path.nodes[0].meta.parent == 0) {
+    return Status::InvalidArgument("cannot delete the document root");
+  }
+  const PathNode& victim = path.nodes[0];
+  uint64_t subtree = 0;
+  for (agg::Word count : victim.state.mult) subtree += count;
+  const uint32_t S = static_cast<uint32_t>(subtree);
+
+  std::vector<ColState> new_states(path.nodes.size());
+  new_states[1] = path.nodes[1].state;
+  RemoveChild(&new_states[1], victim.state);
+  for (size_t j = 2; j < path.nodes.size(); ++j) {
+    new_states[j] = path.nodes[j].state;
+    RemoveChild(&new_states[j], path.nodes[j - 1].state);
+    AddChild(&new_states[j], new_states[j - 1]);
+  }
+
+  SSDB_ASSIGN_OR_RETURN(Siblings siblings, LoadSiblings(path, 1));
+  std::vector<gf::RingElem> new_polys(path.nodes.size());
+  for (size_t j = 1; j < path.nodes.size(); ++j) {
+    gf::RingElem product = ring_.One();
+    for (const filter::NodeMeta& child : siblings.children[j]) {
+      if (child.pre == path.nodes[j - 1].meta.pre) continue;
+      product = ring_.Mul(product, siblings.polys.at(child.pre));
+    }
+    // At the parent the deleted child simply disappears from the product;
+    // higher up the on-path child's new polynomial takes its place.
+    if (j >= 2) product = ring_.Mul(product, new_polys[j - 1]);
+    new_polys[j] = ring_.MulXMinus(product, TagValueOf(path.nodes[j]));
+  }
+
+  PlannedMutation out;
+  out.txn = ctx.base_version + 1;
+  out.plans = MakePlans(ctx, storage::MutationKind::kDelete);
+  for (size_t j = 1; j < path.nodes.size(); ++j) {
+    SSDB_ASSIGN_OR_RETURN(uint64_t nonce, AllocNonce(&ctx));
+    const filter::NodeMeta& meta = path.nodes[j].meta;
+    SplitNode(meta.pre, meta.post - S, meta.parent, nonce, new_polys[j],
+              StoredColumns(new_states[j]), path.nodes[j].sealed_plain,
+              path.sealed_db, path.verify_db, &out.plans, &out.stats);
+  }
+  for (storage::MutationPlan& plan : out.plans) {
+    plan.next_nonce = ctx.next_nonce;
+    plan.erase_lo = victim.meta.pre;
+    plan.erase_hi = victim.meta.pre + S - 1;
+    plan.shift_pre_gt = victim.meta.pre + S - 1;
+    plan.shift_delta = -static_cast<int64_t>(S);
+  }
+  out.stats.path_nodes = path.nodes.size() - 1;
+  out.stats.subtree_nodes = S;
+  out.stats.children_fetched = siblings.fetched;
+  return out;
+}
+
+StatusOr<PlannedMutation> Planner::Insert(uint32_t parent_pre,
+                                          std::string_view fragment_xml) {
+  SSDB_ASSIGN_OR_RETURN(TxnContext ctx, BeginPlan());
+  SSDB_ASSIGN_OR_RETURN(LoadedPath path, LoadPath(parent_pre));
+  FragmentBuilder builder(ring_, map_);
+  xml::SaxParser parser;
+  SSDB_RETURN_IF_ERROR(parser.Parse(fragment_xml, &builder));
+  std::vector<FragNode> fragment = builder.TakeNodes();
+  if (fragment.empty()) {
+    return Status::InvalidArgument("insert fragment has no elements");
+  }
+  const uint32_t S = static_cast<uint32_t>(fragment.size());
+  const PathNode& parent = path.nodes[0];
+  uint64_t parent_size = 0;
+  for (agg::Word count : parent.state.mult) parent_size += count;
+  // Last pre of the parent's subtree: the fragment lands right after it.
+  const uint32_t pre_anchor =
+      parent.meta.pre + static_cast<uint32_t>(parent_size) - 1;
+  if (static_cast<uint64_t>(pre_anchor) + S > 0xffffffffull) {
+    return Status::InvalidArgument("document is out of pre-number space");
+  }
+
+  std::vector<ColState> new_states;
+  new_states.reserve(path.nodes.size());
+  new_states.push_back(parent.state);
+  AddChild(&new_states[0], fragment[0].state);
+  for (size_t j = 1; j < path.nodes.size(); ++j) {
+    new_states.push_back(path.nodes[j].state);
+    RemoveChild(&new_states[j], path.nodes[j - 1].state);
+    AddChild(&new_states[j], new_states[j - 1]);
+  }
+
+  SSDB_ASSIGN_OR_RETURN(Siblings siblings, LoadSiblings(path, 0));
+  std::vector<gf::RingElem> new_polys(path.nodes.size());
+  for (size_t j = 0; j < path.nodes.size(); ++j) {
+    gf::RingElem product = ring_.One();
+    for (const filter::NodeMeta& child : siblings.children[j]) {
+      if (j >= 1 && child.pre == path.nodes[j - 1].meta.pre) continue;
+      product = ring_.Mul(product, siblings.polys.at(child.pre));
+    }
+    // The parent keeps all of its old children and gains the fragment root;
+    // higher levels swap in the on-path child's new polynomial.
+    product = ring_.Mul(product,
+                        j == 0 ? fragment[0].poly : new_polys[j - 1]);
+    new_polys[j] = ring_.MulXMinus(product, TagValueOf(path.nodes[j]));
+  }
+
+  PlannedMutation out;
+  out.txn = ctx.base_version + 1;
+  out.plans = MakePlans(ctx, storage::MutationKind::kInsert);
+  for (const FragNode& node : fragment) {
+    SSDB_ASSIGN_OR_RETURN(uint64_t nonce, AllocNonce(&ctx));
+    uint32_t node_pre = pre_anchor + node.local_pre;
+    uint32_t node_post = parent.meta.post + node.local_post - 1;
+    uint32_t node_parent = node.local_parent == 0
+                               ? parent.meta.pre
+                               : pre_anchor + node.local_parent;
+    std::string sealed_plain;
+    if (path.sealed_db) sealed_plain = node.tag_name + "\n" + node.text;
+    SplitNode(node_pre, node_post, node_parent, nonce, node.poly, node.stored,
+              sealed_plain, path.sealed_db, path.verify_db, &out.plans,
+              &out.stats);
+  }
+  for (size_t j = 0; j < path.nodes.size(); ++j) {
+    SSDB_ASSIGN_OR_RETURN(uint64_t nonce, AllocNonce(&ctx));
+    const filter::NodeMeta& meta = path.nodes[j].meta;
+    SplitNode(meta.pre, meta.post + S, meta.parent, nonce, new_polys[j],
+              StoredColumns(new_states[j]), path.nodes[j].sealed_plain,
+              path.sealed_db, path.verify_db, &out.plans, &out.stats);
+  }
+  for (storage::MutationPlan& plan : out.plans) {
+    plan.next_nonce = ctx.next_nonce;
+    plan.shift_pre_gt = pre_anchor;
+    plan.shift_delta = static_cast<int64_t>(S);
+  }
+  out.stats.path_nodes = path.nodes.size();
+  out.stats.subtree_nodes = S;
+  out.stats.children_fetched = siblings.fetched;
+  return out;
+}
+
+}  // namespace
+
+Mutator::Mutator(gf::Ring ring, const mapping::TagMap& map, prg::Prg prg,
+                 filter::ServerFilter* filter)
+    : ring_(std::move(ring)),
+      map_(map),
+      prg_(std::move(prg)),
+      filter_(filter) {}
+
+StatusOr<PlannedMutation> Mutator::PlanUpdate(
+    uint32_t pre, std::string_view new_tag,
+    const std::optional<std::string>& new_text) {
+  return Planner(ring_, map_, prg_, filter_).Update(pre, new_tag, new_text);
+}
+
+StatusOr<PlannedMutation> Mutator::PlanInsert(uint32_t parent_pre,
+                                              std::string_view fragment_xml) {
+  return Planner(ring_, map_, prg_, filter_).Insert(parent_pre, fragment_xml);
+}
+
+StatusOr<PlannedMutation> Mutator::PlanDelete(uint32_t pre) {
+  return Planner(ring_, map_, prg_, filter_).Delete(pre);
+}
+
+}  // namespace ssdb::encode

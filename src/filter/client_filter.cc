@@ -14,6 +14,28 @@ namespace {
 // server buffers the rest (§5.2).
 constexpr size_t kCursorBatch = 64;
 
+// The (pre, effective share nonce) pairs of a spec's frontier, sorted by
+// pre and deduped — the canonical order both the server fold and the client
+// mask walk iterate in. A missing or zero nonce entry means "the pre
+// number" (the unmutated default, DESIGN.md §12).
+std::vector<std::pair<uint32_t, uint64_t>> CanonicalFrontier(
+    const agg::Spec& spec) {
+  std::vector<std::pair<uint32_t, uint64_t>> frontier;
+  frontier.reserve(spec.pres.size());
+  for (size_t i = 0; i < spec.pres.size(); ++i) {
+    uint64_t nonce = i < spec.nonces.size() ? spec.nonces[i] : 0;
+    frontier.emplace_back(spec.pres[i], nonce != 0 ? nonce : spec.pres[i]);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end(),
+                             [](const std::pair<uint32_t, uint64_t>& a,
+                                const std::pair<uint32_t, uint64_t>& b) {
+                               return a.first == b.first;
+                             }),
+                 frontier.end());
+  return frontier;
+}
+
 }  // namespace
 
 void EvalStats::MergeConcurrent(const EvalStats& other) {
@@ -107,8 +129,8 @@ StatusOr<std::vector<NodeMeta>> ClientFilter::Descendants(
   return all;
 }
 
-gf::Elem ClientFilter::EvalClientShare(uint32_t pre, gf::Elem t) {
-  gf::RingElem share = prg_.ClientShare(ring_, pre);
+gf::Elem ClientFilter::EvalClientShare(const NodeMeta& node, gf::Elem t) {
+  gf::RingElem share = prg_.ClientShare(ring_, node.ShareNonce());
   return ring_.Eval(share, t);
 }
 
@@ -124,12 +146,17 @@ StatusOr<std::vector<agg::Word>> ClientFilter::Aggregate(
     }
   }
   // Canonicalize the frontier once so the server fold and the client mask
-  // sum cover exactly the same node set.
+  // sum cover exactly the same node set. Nonces travel with their pres: the
+  // mask walk below is keyed by nonce, the server fold by pre (§12).
+  std::vector<std::pair<uint32_t, uint64_t>> frontier =
+      CanonicalFrontier(spec);
   agg::Spec canonical = spec;
-  std::sort(canonical.pres.begin(), canonical.pres.end());
-  canonical.pres.erase(
-      std::unique(canonical.pres.begin(), canonical.pres.end()),
-      canonical.pres.end());
+  canonical.pres.clear();
+  canonical.nonces.clear();
+  for (const auto& [pre, nonce] : frontier) {
+    canonical.pres.push_back(pre);
+    canonical.nonces.push_back(nonce);
+  }
 
   TripScope trips(this);
   ++stats_.server_calls;
@@ -155,8 +182,8 @@ StatusOr<std::vector<agg::Word>> ClientFilter::Aggregate(
     }
   }
   std::sort(wanted.begin(), wanted.end());
-  for (uint32_t pre : canonical.pres) {
-    prg::Prg::Stream stream = prg_.StreamForAggColumns(pre, 0);
+  for (const auto& [pre, nonce] : frontier) {
+    prg::Prg::Stream stream = prg_.StreamForAggColumns(nonce, 0);
     size_t position = 0;           // bytes consumed from the stream
     size_t last_byte = SIZE_MAX;   // last word offset read (duplicates)
     agg::Word word = 0;
@@ -185,11 +212,15 @@ StatusOr<ClientFilter::VerifiedAggregate> ClientFilter::AggregateVerified(
       return Status::InvalidArgument("aggregate value index out of range");
     }
   }
+  std::vector<std::pair<uint32_t, uint64_t>> frontier =
+      CanonicalFrontier(spec);
   agg::Spec canonical = spec;
-  std::sort(canonical.pres.begin(), canonical.pres.end());
-  canonical.pres.erase(
-      std::unique(canonical.pres.begin(), canonical.pres.end()),
-      canonical.pres.end());
+  canonical.pres.clear();
+  canonical.nonces.clear();
+  for (const auto& [pre, nonce] : frontier) {
+    canonical.pres.push_back(pre);
+    canonical.nonces.push_back(nonce);
+  }
   const size_t groups = canonical.value_indexes.size();
 
   // An empty frontier aggregates nothing: the zero answer is trivially
@@ -248,8 +279,8 @@ StatusOr<ClientFilter::VerifiedAggregate> ClientFilter::AggregateVerified(
   // deviation identifies that server with certainty.
   for (size_t i = 1; i < entries.size(); ++i) {
     std::vector<agg::Word> expected(groups, 0);
-    for (uint32_t pre : canonical.pres) {
-      prg::Prg::Stream stream = prg_.StreamForAggColumns(pre, i);
+    for (const auto& [pre, nonce] : frontier) {
+      prg::Prg::Stream stream = prg_.StreamForAggColumns(nonce, i);
       size_t position = 0;
       size_t last_byte = SIZE_MAX;
       agg::Word word = 0;
@@ -277,9 +308,9 @@ StatusOr<ClientFilter::VerifiedAggregate> ClientFilter::AggregateVerified(
   std::vector<agg::Word> c32(groups, 0);
   std::vector<uint64_t> cw(groups, 0);
   std::vector<uint64_t> cp(groups, 0);
-  for (uint32_t pre : canonical.pres) {
-    prg::Prg::Stream stream = prg_.StreamForAggColumns(pre, 0);
-    prg::Prg::Stream vstream = prg_.StreamForVerifyColumns(pre);
+  for (const auto& [pre, nonce] : frontier) {
+    prg::Prg::Stream stream = prg_.StreamForAggColumns(nonce, 0);
+    prg::Prg::Stream vstream = prg_.StreamForVerifyColumns(nonce);
     size_t position = 0;
     size_t vposition = 0;
     size_t last_byte = SIZE_MAX;
@@ -354,7 +385,7 @@ StatusOr<std::vector<uint8_t>> ClientFilter::ContainsValueBatch(
   std::vector<uint8_t> out(nodes.size(), 0);
   for (size_t i = 0; i < nodes.size(); ++i) {
     gf::Elem sum = ring_.field().Add(server_values[i],
-                                     EvalClientShare(nodes[i].pre, t));
+                                     EvalClientShare(nodes[i], t));
     out[i] = (sum == 0) ? 1 : 0;
   }
   return out;
@@ -370,7 +401,7 @@ StatusOr<std::vector<uint8_t>> ClientFilter::ContainsAllValuesBatch(
   std::vector<gf::RingElem> client_shares;
   client_shares.reserve(nodes.size());
   for (const NodeMeta& node : nodes) {
-    client_shares.push_back(prg_.ClientShare(ring_, node.pre));
+    client_shares.push_back(prg_.ClientShare(ring_, node.ShareNonce()));
   }
   for (gf::Elem value : values) {
     std::vector<size_t> indices;
@@ -416,7 +447,7 @@ StatusOr<bool> ClientFilter::ContainsAllValues(
   stats_.evaluations += values.size();
   stats_.batched_evaluations += values.size();
   ++stats_.server_calls;
-  gf::RingElem client_share = prg_.ClientShare(ring_, node.pre);
+  gf::RingElem client_share = prg_.ClientShare(ring_, node.ShareNonce());
   SSDB_ASSIGN_OR_RETURN(std::vector<gf::Elem> server_values,
                         server_->EvalPointsBatch(node.pre, values));
   if (server_values.size() != values.size()) {
@@ -430,12 +461,13 @@ StatusOr<bool> ClientFilter::ContainsAllValues(
   return true;
 }
 
-StatusOr<gf::RingElem> ClientFilter::ReconstructPoly(uint32_t pre) {
+StatusOr<gf::RingElem> ClientFilter::ReconstructPoly(const NodeMeta& node) {
   TripScope trips(this);
   ++stats_.server_calls;
   ++stats_.shares_fetched;
-  SSDB_ASSIGN_OR_RETURN(gf::RingElem server_share, server_->FetchShare(pre));
-  gf::RingElem client_share = prg_.ClientShare(ring_, pre);
+  SSDB_ASSIGN_OR_RETURN(gf::RingElem server_share,
+                        server_->FetchShare(node.pre));
+  gf::RingElem client_share = prg_.ClientShare(ring_, node.ShareNonce());
   return gf::Combine(ring_, client_share, server_share);
 }
 
@@ -517,15 +549,19 @@ StatusOr<std::vector<gf::Elem>> ClientFilter::RecoverOwnValueBatch(
   // Exchange 2: every needed share (node + children), fetched once even
   // when candidates overlap.
   std::vector<uint32_t> unique;
+  std::vector<uint64_t> unique_nonces;  // parallel; PRG keys (§12)
   std::unordered_map<uint32_t, size_t> index;
-  auto intern = [&](uint32_t pre) {
-    auto [it, inserted] = index.emplace(pre, unique.size());
-    if (inserted) unique.push_back(pre);
+  auto intern = [&](const NodeMeta& node) {
+    auto [it, inserted] = index.emplace(node.pre, unique.size());
+    if (inserted) {
+      unique.push_back(node.pre);
+      unique_nonces.push_back(node.ShareNonce());
+    }
     return it->second;
   };
   for (size_t i = 0; i < nodes.size(); ++i) {
-    intern(nodes[i].pre);
-    for (const NodeMeta& child : child_lists[i]) intern(child.pre);
+    intern(nodes[i]);
+    for (const NodeMeta& child : child_lists[i]) intern(child);
   }
   ++stats_.server_calls;
   stats_.shares_fetched += unique.size();
@@ -540,7 +576,7 @@ StatusOr<std::vector<gf::Elem>> ClientFilter::RecoverOwnValueBatch(
   std::vector<gf::RingElem> polys;
   polys.reserve(unique.size());
   for (size_t i = 0; i < unique.size(); ++i) {
-    gf::RingElem client_share = prg_.ClientShare(ring_, unique[i]);
+    gf::RingElem client_share = prg_.ClientShare(ring_, unique_nonces[i]);
     polys.push_back(gf::Combine(ring_, client_share, server_shares[i]));
   }
 
@@ -594,7 +630,7 @@ StatusOr<ClientFilter::RevealedNode> ClientFilter::Reveal(
         "node has no sealed payload (database encoded without "
         "seal_content)");
   }
-  std::string plaintext = prg_.UnsealPayload(node.pre, sealed);
+  std::string plaintext = prg_.UnsealPayload(node.ShareNonce(), sealed);
   size_t split = plaintext.find('\n');
   if (split == std::string::npos) {
     return Status::Corruption("sealed payload malformed after decryption");

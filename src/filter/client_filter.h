@@ -205,10 +205,11 @@ class ClientFilter {
     double straggler_before_ = 0;
   };
 
-  // eval(client_share(pre), t) — regenerated from the PRG, never stored.
-  gf::Elem EvalClientShare(uint32_t pre, gf::Elem t);
+  // eval(client_share(node), t) — regenerated from the PRG (keyed by the
+  // node's share nonce, DESIGN.md §12), never stored.
+  gf::Elem EvalClientShare(const NodeMeta& node, gf::Elem t);
   // Reconstructs the full polynomial of a node (client + server share).
-  StatusOr<gf::RingElem> ReconstructPoly(uint32_t pre);
+  StatusOr<gf::RingElem> ReconstructPoly(const NodeMeta& node);
   // Extracts the node's own factor from its reconstructed polynomial and
   // the reconstructed child polynomials (evaluation-domain division).
   StatusOr<gf::Elem> RecoverFromPolys(

@@ -235,6 +235,83 @@ StatusOr<uint64_t> MultiServerFilter::NodeCount() {
   return out;
 }
 
+StatusOr<std::vector<storage::ColumnBlobs>>
+MultiServerFilter::FetchColumnsBatch(const std::vector<uint32_t>& pres) {
+  StatusOr<std::vector<storage::ColumnBlobs>> out = Status::Internal("unset");
+  SSDB_RETURN_IF_ERROR(Primary([&] {
+    out = backends_[0]->FetchColumnsBatch(pres);
+    return out.status();
+  }));
+  return out;
+}
+
+StatusOr<std::vector<storage::MutationState>>
+MultiServerFilter::MutationStates() {
+  std::vector<std::vector<storage::MutationState>> partial(backends_.size());
+  SSDB_RETURN_IF_ERROR(FanOut([&](size_t i) -> Status {
+    StatusOr<std::vector<storage::MutationState>> reply =
+        backends_[i]->MutationStates();
+    if (!reply.ok()) {
+      return Status(reply.status().code(),
+                    "server " + std::to_string(i) + ": " +
+                        reply.status().message());
+    }
+    if (reply->size() != 1) {
+      return Status::Internal("server " + std::to_string(i) +
+                              ": expected one mutation state, got " +
+                              std::to_string(reply->size()));
+    }
+    partial[i] = std::move(*reply);
+    return Status::OK();
+  }));
+  std::vector<storage::MutationState> out;
+  out.reserve(backends_.size());
+  for (std::vector<storage::MutationState>& states : partial) {
+    out.push_back(states[0]);
+  }
+  return out;
+}
+
+Status MultiServerFilter::PrepareMutation(
+    uint64_t txn, const std::vector<storage::MutationPlan>& plans) {
+  if (plans.size() != backends_.size()) {
+    return Status::InvalidArgument(
+        "mutation has " + std::to_string(plans.size()) + " plans for " +
+        std::to_string(backends_.size()) + " servers");
+  }
+  return FanOut([&](size_t i) -> Status {
+    Status status = backends_[i]->PrepareMutation(txn, {plans[i]});
+    if (!status.ok()) {
+      // Blame for the coordinator's abort/retry decision (DESIGN.md §12).
+      return Status(status.code(), "server " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+    return status;
+  });
+}
+
+Status MultiServerFilter::CommitMutation(uint64_t txn) {
+  return FanOut([&](size_t i) -> Status {
+    Status status = backends_[i]->CommitMutation(txn);
+    if (!status.ok()) {
+      return Status(status.code(), "server " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+    return status;
+  });
+}
+
+Status MultiServerFilter::AbortMutation(uint64_t txn) {
+  return FanOut([&](size_t i) -> Status {
+    Status status = backends_[i]->AbortMutation(txn);
+    if (!status.ok()) {
+      return Status(status.code(), "server " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+    return status;
+  });
+}
+
 StatusOr<std::vector<agg::Word>> MultiServerFilter::PartialAggregate(
     const agg::Spec& spec) {
   std::vector<std::vector<agg::Word>> partial(backends_.size());

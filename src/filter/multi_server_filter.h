@@ -68,6 +68,21 @@ class MultiServerFilter : public ServerFilter {
   Status CloseCursor(uint64_t cursor) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
+  // Column blobs live on slice 0 alongside the sealed payloads; the mutation
+  // planner unmasks them with the other slices' PRG streams (DESIGN.md §12).
+  StatusOr<std::vector<storage::ColumnBlobs>> FetchColumnsBatch(
+      const std::vector<uint32_t>& pres) override;
+
+  // --- Mutations (concurrent fan-out, DESIGN.md §12) ---
+  // One MutationState per backend, in slice order; failures carry
+  // "server i:" blame like verified aggregation.
+  StatusOr<std::vector<storage::MutationState>> MutationStates() override;
+  // plans[i] goes to backend i; plans.size() must equal ServerCount().
+  Status PrepareMutation(
+      uint64_t txn,
+      const std::vector<storage::MutationPlan>& plans) override;
+  Status CommitMutation(uint64_t txn) override;
+  Status AbortMutation(uint64_t txn) override;
 
   // --- Shares (concurrent fan-out, replies summed) ---
   // Aggregate partials sum in Z_{2^32} across slices exactly like share

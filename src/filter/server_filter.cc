@@ -199,35 +199,31 @@ StatusOr<std::vector<agg::Word>> LocalServerFilter::PartialAggregate(
   std::vector<uint32_t> pres = spec.pres;
   std::sort(pres.begin(), pres.end());
   pres.erase(std::unique(pres.begin(), pres.end()), pres.end());
-  Status fold_status = Status::OK();
   for (uint32_t pre : pres) {
-    SSDB_RETURN_IF_ERROR(store_->VisitByPre(
-        pre, [&](const storage::NodeRow& row) {
-          size_t value_count = agg::BlobValueCount(row.agg);
-          if (value_count == 0) {
-            fold_status = Status::FailedPrecondition(
-                "node has no aggregate columns (database encoded without "
-                "them, DESIGN.md §8)");
-            return;
-          }
-          for (size_t g = 0; g < spec.value_indexes.size(); ++g) {
-            uint32_t index = spec.value_indexes[g];
-            if (index >= value_count) {
-              fold_status = Status::InvalidArgument(
-                  "aggregate value index " + std::to_string(index) +
-                  " out of range (store has " + std::to_string(value_count) +
-                  " mapped values)");
-              return;
-            }
-            for (size_t c = 0; c < agg::kColCount; ++c) {
-              if ((spec.columns & (1u << c)) == 0) continue;
-              partials[g] += agg::BlobWord(
-                  row.agg, agg::WordIndex(static_cast<agg::Col>(c),
-                                          value_count, index));
-            }
-          }
-        }));
-    SSDB_RETURN_IF_ERROR(fold_status);
+    // Column blobs come through the store's dedicated path (DESIGN.md §12):
+    // on the column-store layout the heap row no longer carries them.
+    SSDB_ASSIGN_OR_RETURN(storage::ColumnBlobs cols, store_->GetColumns(pre));
+    size_t value_count = agg::BlobValueCount(cols.agg);
+    if (value_count == 0) {
+      return Status::FailedPrecondition(
+          "node has no aggregate columns (database encoded without "
+          "them, DESIGN.md §8)");
+    }
+    for (size_t g = 0; g < spec.value_indexes.size(); ++g) {
+      uint32_t index = spec.value_indexes[g];
+      if (index >= value_count) {
+        return Status::InvalidArgument(
+            "aggregate value index " + std::to_string(index) +
+            " out of range (store has " + std::to_string(value_count) +
+            " mapped values)");
+      }
+      for (size_t c = 0; c < agg::kColCount; ++c) {
+        if ((spec.columns & (1u << c)) == 0) continue;
+        partials[g] += agg::BlobWord(
+            cols.agg,
+            agg::WordIndex(static_cast<agg::Col>(c), value_count, index));
+      }
+    }
   }
   return partials;
 }
@@ -246,57 +242,91 @@ LocalServerFilter::PartialAggregateVerified(const agg::Spec& spec) {
   std::vector<uint32_t> pres = spec.pres;
   std::sort(pres.begin(), pres.end());
   pres.erase(std::unique(pres.begin(), pres.end()), pres.end());
-  Status fold_status = Status::OK();
   for (uint32_t pre : pres) {
-    SSDB_RETURN_IF_ERROR(store_->VisitByPre(
-        pre, [&](const storage::NodeRow& row) {
-          size_t value_count = agg::BlobValueCount(row.agg);
-          if (value_count == 0) {
-            fold_status = Status::FailedPrecondition(
-                "node has no aggregate columns (database encoded without "
-                "them, DESIGN.md §8)");
-            return;
-          }
-          size_t verify_count = agg::VerifyBlobValueCount(row.verify);
-          if (!decided) {
-            decided = true;
-            has_track = verify_count > 0;
-            if (has_track) {
-              partial.wide.assign(spec.value_indexes.size(), 0);
-              partial.proof.assign(spec.value_indexes.size(), 0);
-            }
-          }
-          if (has_track && verify_count != value_count) {
-            fold_status = Status::Corruption(
-                "node verification track disagrees with its aggregate "
-                "columns (DESIGN.md §9)");
-            return;
-          }
-          for (size_t g = 0; g < spec.value_indexes.size(); ++g) {
-            uint32_t index = spec.value_indexes[g];
-            if (index >= value_count) {
-              fold_status = Status::InvalidArgument(
-                  "aggregate value index " + std::to_string(index) +
-                  " out of range (store has " + std::to_string(value_count) +
-                  " mapped values)");
-              return;
-            }
-            for (size_t c = 0; c < agg::kColCount; ++c) {
-              if ((spec.columns & (1u << c)) == 0) continue;
-              size_t w = agg::WordIndex(static_cast<agg::Col>(c),
-                                        value_count, index);
-              partial.words[g] += agg::BlobWord(row.agg, w);
-              if (has_track) {
-                partial.wide[g] += agg::BlobWide(row.verify, w);
-                partial.proof[g] += agg::BlobProof(row.verify, w);
-              }
-            }
-          }
-        }));
-    SSDB_RETURN_IF_ERROR(fold_status);
+    SSDB_ASSIGN_OR_RETURN(storage::ColumnBlobs cols, store_->GetColumns(pre));
+    size_t value_count = agg::BlobValueCount(cols.agg);
+    if (value_count == 0) {
+      return Status::FailedPrecondition(
+          "node has no aggregate columns (database encoded without "
+          "them, DESIGN.md §8)");
+    }
+    size_t verify_count = agg::VerifyBlobValueCount(cols.verify);
+    if (!decided) {
+      decided = true;
+      has_track = verify_count > 0;
+      if (has_track) {
+        partial.wide.assign(spec.value_indexes.size(), 0);
+        partial.proof.assign(spec.value_indexes.size(), 0);
+      }
+    }
+    if (has_track && verify_count != value_count) {
+      return Status::Corruption(
+          "node verification track disagrees with its aggregate "
+          "columns (DESIGN.md §9)");
+    }
+    for (size_t g = 0; g < spec.value_indexes.size(); ++g) {
+      uint32_t index = spec.value_indexes[g];
+      if (index >= value_count) {
+        return Status::InvalidArgument(
+            "aggregate value index " + std::to_string(index) +
+            " out of range (store has " + std::to_string(value_count) +
+            " mapped values)");
+      }
+      for (size_t c = 0; c < agg::kColCount; ++c) {
+        if ((spec.columns & (1u << c)) == 0) continue;
+        size_t w =
+            agg::WordIndex(static_cast<agg::Col>(c), value_count, index);
+        partial.words[g] += agg::BlobWord(cols.agg, w);
+        if (has_track) {
+          partial.wide[g] += agg::BlobWide(cols.verify, w);
+          partial.proof[g] += agg::BlobProof(cols.verify, w);
+        }
+      }
+    }
   }
   std::vector<agg::VerifiedPartial> out;
   out.push_back(std::move(partial));
+  return out;
+}
+
+StatusOr<std::vector<storage::MutationState>>
+LocalServerFilter::MutationStates() {
+  CountTrip();
+  SSDB_ASSIGN_OR_RETURN(storage::MutationState state,
+                        store_->GetMutationState());
+  return std::vector<storage::MutationState>{state};
+}
+
+Status LocalServerFilter::PrepareMutation(
+    uint64_t txn, const std::vector<storage::MutationPlan>& plans) {
+  CountTrip();
+  if (plans.size() != 1) {
+    return Status::InvalidArgument(
+        "single-server filter expects exactly one mutation plan, got " +
+        std::to_string(plans.size()));
+  }
+  return store_->PrepareMutation(txn, plans[0]);
+}
+
+Status LocalServerFilter::CommitMutation(uint64_t txn) {
+  CountTrip();
+  return store_->CommitMutation(txn);
+}
+
+Status LocalServerFilter::AbortMutation(uint64_t txn) {
+  CountTrip();
+  return store_->AbortMutation(txn);
+}
+
+StatusOr<std::vector<storage::ColumnBlobs>>
+LocalServerFilter::FetchColumnsBatch(const std::vector<uint32_t>& pres) {
+  CountTrip();
+  std::vector<storage::ColumnBlobs> out;
+  out.reserve(pres.size());
+  for (uint32_t pre : pres) {
+    SSDB_ASSIGN_OR_RETURN(storage::ColumnBlobs cols, store_->GetColumns(pre));
+    out.push_back(std::move(cols));
+  }
   return out;
 }
 

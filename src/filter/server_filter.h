@@ -28,16 +28,24 @@
 
 #include "agg/columns.h"
 #include "gf/ring.h"
+#include "storage/mutation.h"
 #include "storage/node_store.h"
 #include "util/statusor.h"
 
 namespace ssdb::filter {
 
-// Structure-only view of a node (no polynomial data).
+// Structure-only view of a node (no polynomial data). `nonce` is the PRG
+// nonce the node's shares are derived from: 0 means "the pre number", the
+// unmutated default; re-shared or shifted rows carry an explicit nonce
+// (DESIGN.md §12). Equality deliberately ignores it — two metas describe
+// the same structural node regardless of how often it was re-shared.
 struct NodeMeta {
   uint32_t pre = 0;
   uint32_t post = 0;
   uint32_t parent = 0;
+  uint64_t nonce = 0;
+
+  uint64_t ShareNonce() const { return nonce != 0 ? nonce : pre; }
 
   bool operator==(const NodeMeta& other) const {
     return pre == other.pre && post == other.post && parent == other.parent;
@@ -46,7 +54,7 @@ struct NodeMeta {
 };
 
 inline NodeMeta MetaOf(const storage::NodeRow& row) {
-  return NodeMeta{row.pre, row.post, row.parent};
+  return NodeMeta{row.pre, row.post, row.parent, row.nonce};
 }
 
 // Identity of the connection issuing a cursor operation (DESIGN.md §7).
@@ -162,6 +170,42 @@ class ServerFilter {
   // database was encoded without sealing.
   virtual StatusOr<std::string> FetchSealed(uint32_t pre) = 0;
 
+  // --- Mutations (DESIGN.md §12) --------------------------------------------
+  // Two-phase secret-shared INSERT/UPDATE/DELETE. The coordinator (the
+  // client's Mutator) builds one MutationPlan per share slice, prepares them
+  // all, then commits; a fan-out filter routes plans[i] to backend i, a
+  // single-server filter requires exactly one plan. The defaults reject so
+  // read-only transports and test fakes fail loudly.
+
+  // One MutationState per backend slice, in slice order.
+  virtual StatusOr<std::vector<storage::MutationState>> MutationStates() {
+    return Status::Unimplemented("server does not support mutations");
+  }
+  virtual Status PrepareMutation(uint64_t txn,
+                                 const std::vector<storage::MutationPlan>&
+                                     plans) {
+    (void)txn;
+    (void)plans;
+    return Status::Unimplemented("server does not support mutations");
+  }
+  virtual Status CommitMutation(uint64_t txn) {
+    (void)txn;
+    return Status::Unimplemented("server does not support mutations");
+  }
+  virtual Status AbortMutation(uint64_t txn) {
+    (void)txn;
+    return Status::Unimplemented("server does not support mutations");
+  }
+
+  // Aggregate + verification blobs of many nodes in one round trip; out[i]
+  // belongs to pres[i]. Used by the mutation planner to rebuild the root
+  // path's column state client-side (DESIGN.md §12).
+  virtual StatusOr<std::vector<storage::ColumnBlobs>> FetchColumnsBatch(
+      const std::vector<uint32_t>& pres) {
+    (void)pres;
+    return Status::Unimplemented("server does not support column fetches");
+  }
+
   virtual StatusOr<uint64_t> NodeCount() = 0;
 
   // Number of server exchanges so far. Locally this counts filter calls;
@@ -224,6 +268,14 @@ class LocalServerFilter : public ServerFilter {
   StatusOr<std::vector<agg::VerifiedPartial>> PartialAggregateVerified(
       const agg::Spec& spec) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
+  StatusOr<std::vector<storage::MutationState>> MutationStates() override;
+  Status PrepareMutation(
+      uint64_t txn,
+      const std::vector<storage::MutationPlan>& plans) override;
+  Status CommitMutation(uint64_t txn) override;
+  Status AbortMutation(uint64_t txn) override;
+  StatusOr<std::vector<storage::ColumnBlobs>> FetchColumnsBatch(
+      const std::vector<uint32_t>& pres) override;
   StatusOr<uint64_t> NodeCount() override;
   uint64_t RoundTrips() const override {
     return round_trips_.load(std::memory_order_relaxed);

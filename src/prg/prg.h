@@ -6,8 +6,13 @@
 /// (nonce = pre), so any node's client share can be regenerated in
 /// isolation, in any order — exactly the property the thin-client pipeline
 /// needs. Five domain-separated nonce spaces share the key (DESIGN.md §5,
-/// §8, §9):
-///   bits 0..31   node position `pre`
+/// §8, §9, §12):
+///   bits 0..31   node position `pre` (the nonce of a node as first encoded)
+///   bits 32..39  mutation-nonce extension (DESIGN.md §12): a node re-shared
+///                by INSERT/UPDATE/DELETE draws a fresh 40-bit nonce from a
+///                persistent per-document watermark in
+///                [kFirstMutationNonce, kMutationNonceLimit), so mutated
+///                masks never collide with any pre-addressed stream
 ///   bits 40..55  server slice index (multi-server encode; 0 = client share)
 ///   bit  60      verification α-key stream flag (with bit 61, DESIGN.md §9)
 ///   bit  61      aggregate verification-track mask stream flag (DESIGN.md §9)
@@ -26,6 +31,12 @@
 #include "prg/seed.h"
 
 namespace ssdb::prg {
+
+// Mutation nonces (DESIGN.md §12) live strictly above the 32-bit pre space
+// and strictly below the slice-index bits: a per-document watermark hands
+// them out in [kFirstMutationNonce, kMutationNonceLimit).
+inline constexpr uint64_t kFirstMutationNonce = uint64_t{1} << 32;
+inline constexpr uint64_t kMutationNonceLimit = uint64_t{1} << 40;
 
 class Prg {
  public:

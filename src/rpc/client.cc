@@ -282,6 +282,85 @@ StatusOr<uint64_t> RemoteServerFilter::NodeCount() {
   return count;
 }
 
+StatusOr<std::vector<storage::MutationState>>
+RemoteServerFilter::MutationStates() {
+  Request request;
+  request.op = Op::kMutationState;
+  SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+  std::string_view view = payload;
+  storage::MutationState state;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&view, &state.version));
+  SSDB_RETURN_IF_ERROR(GetVarint64(&view, &state.next_nonce));
+  SSDB_RETURN_IF_ERROR(GetVarint64(&view, &state.pending_txn));
+  return std::vector<storage::MutationState>{state};
+}
+
+Status RemoteServerFilter::PrepareMutation(
+    uint64_t txn, const std::vector<storage::MutationPlan>& plans) {
+  if (plans.size() != 1) {
+    return Status::InvalidArgument(
+        "single-server stub expects exactly one mutation plan, got " +
+        std::to_string(plans.size()));
+  }
+  Request request;
+  switch (plans[0].kind) {
+    case storage::MutationKind::kInsert:
+      request.op = Op::kInsert;
+      break;
+    case storage::MutationKind::kUpdate:
+      request.op = Op::kUpdate;
+      break;
+    case storage::MutationKind::kDelete:
+      request.op = Op::kDelete;
+      break;
+  }
+  mutation_op_ = request.op;
+  request.txn = txn;
+  request.phase = MutationPhase::kPrepare;
+  request.plan = storage::EncodeMutationPlan(plans[0]);
+  return Call(request).status();
+}
+
+Status RemoteServerFilter::CommitMutation(uint64_t txn) {
+  Request request;
+  request.op = mutation_op_;
+  request.txn = txn;
+  request.phase = MutationPhase::kCommit;
+  return Call(request).status();
+}
+
+Status RemoteServerFilter::AbortMutation(uint64_t txn) {
+  Request request;
+  request.op = mutation_op_;
+  request.txn = txn;
+  request.phase = MutationPhase::kAbort;
+  return Call(request).status();
+}
+
+StatusOr<std::vector<storage::ColumnBlobs>>
+RemoteServerFilter::FetchColumnsBatch(const std::vector<uint32_t>& pres) {
+  std::vector<storage::ColumnBlobs> all;
+  all.reserve(pres.size());
+  for (size_t begin = 0; begin < pres.size(); begin += kColumnsChunk) {
+    size_t end = std::min(begin + kColumnsChunk, pres.size());
+    Request request;
+    request.op = Op::kFetchColumnsBatch;
+    request.pres.assign(pres.begin() + begin, pres.begin() + end);
+    SSDB_ASSIGN_OR_RETURN(std::string payload, Call(request));
+    std::string_view view = payload;
+    for (size_t i = begin; i < end; ++i) {
+      storage::ColumnBlobs cols;
+      std::string_view blob;
+      SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&view, &blob));
+      cols.agg.assign(blob);
+      SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&view, &blob));
+      cols.verify.assign(blob);
+      all.push_back(std::move(cols));
+    }
+  }
+  return all;
+}
+
 Status RemoteServerFilter::Shutdown() {
   Request request;
   request.op = Op::kShutdown;

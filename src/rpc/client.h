@@ -55,6 +55,17 @@ class RemoteServerFilter : public filter::ServerFilter {
       const agg::Spec& spec) override;
   StatusOr<std::string> FetchSealed(uint32_t pre) override;
   StatusOr<uint64_t> NodeCount() override;
+  // Mutations (DESIGN.md §12): this stub serves one slice, so
+  // MutationStates() returns one entry and PrepareMutation accepts exactly
+  // one plan, serialized onto the kind-specific op with phase kPrepare.
+  StatusOr<std::vector<storage::MutationState>> MutationStates() override;
+  Status PrepareMutation(
+      uint64_t txn,
+      const std::vector<storage::MutationPlan>& plans) override;
+  Status CommitMutation(uint64_t txn) override;
+  Status AbortMutation(uint64_t txn) override;
+  StatusOr<std::vector<storage::ColumnBlobs>> FetchColumnsBatch(
+      const std::vector<uint32_t>& pres) override;
   uint64_t RoundTrips() const override { return round_trips_; }
 
   // Asks the server to stop serving, then closes the channel.
@@ -70,6 +81,7 @@ class RemoteServerFilter : public filter::ServerFilter {
   static constexpr size_t kShareChunk = 2048;   // full polynomials are wide
   static constexpr size_t kChildrenChunk = 8192;
   static constexpr size_t kAggChunk = 32768;    // frontier pres per frame
+  static constexpr size_t kColumnsChunk = 256;  // column blobs are wide (§12)
 
  private:
   // Sends one request and returns the response payload.
@@ -78,6 +90,10 @@ class RemoteServerFilter : public filter::ServerFilter {
   gf::Ring ring_;
   std::unique_ptr<Channel> channel_;
   uint64_t round_trips_ = 0;
+  // Which mutation op the in-flight two-phase txn rides on; set by prepare,
+  // reused for commit/abort (the server ignores the kind past prepare, so a
+  // recovery-driven commit with no prior prepare on this stub is fine too).
+  Op mutation_op_ = Op::kUpdate;
 };
 
 }  // namespace ssdb::rpc

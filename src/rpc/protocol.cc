@@ -97,6 +97,20 @@ std::string EncodeRequest(const Request& request) {
     case Op::kCatalogResolve:
       PutLengthPrefixed(&out, request.doc_id);
       break;
+    case Op::kMutationState:
+      break;
+    case Op::kInsert:
+    case Op::kUpdate:
+    case Op::kDelete:
+      PutVarint64(&out, request.txn);
+      out.push_back(static_cast<char>(request.phase));
+      if (request.phase == MutationPhase::kPrepare) {
+        PutLengthPrefixed(&out, request.plan);
+      }
+      break;
+    case Op::kFetchColumnsBatch:
+      AppendVarintList(&out, request.pres);
+      break;
   }
   return out;
 }
@@ -181,6 +195,30 @@ StatusOr<Request> DecodeRequest(std::string_view data) {
       request.doc_id.assign(doc_id);
       break;
     }
+    case Op::kMutationState:
+      break;
+    case Op::kInsert:
+    case Op::kUpdate:
+    case Op::kDelete: {
+      SSDB_RETURN_IF_ERROR(GetVarint64(&data, &request.txn));
+      if (data.empty()) return Status::Corruption("missing mutation phase");
+      uint8_t phase = static_cast<uint8_t>(data[0]);
+      data.remove_prefix(1);
+      if (phase > static_cast<uint8_t>(MutationPhase::kAbort)) {
+        return Status::Corruption("unknown mutation phase " +
+                                  std::to_string(phase));
+      }
+      request.phase = static_cast<MutationPhase>(phase);
+      if (request.phase == MutationPhase::kPrepare) {
+        std::string_view plan;
+        SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &plan));
+        request.plan.assign(plan);
+      }
+      break;
+    }
+    case Op::kFetchColumnsBatch:
+      SSDB_RETURN_IF_ERROR(ConsumeVarintList(&data, &request.pres));
+      break;
     default:
       return Status::Corruption("unknown op " +
                                 std::to_string(static_cast<int>(request.op)));

@@ -59,6 +59,26 @@ enum class Op : uint8_t {
   // router alike — without touching the filter, so a probe never competes
   // with query work for a cursor or session.
   kPing = 22,
+  // Mutations (DESIGN.md §12). kMutationState returns the slice's committed
+  // version, nonce watermark, and pending txn. kInsert/kUpdate/kDelete
+  // carry a two-phase step: txn + phase byte (0 = prepare, with the
+  // serialized MutationPlan; 1 = commit; 2 = abort). On prepare the server
+  // rejects a plan whose kind disagrees with the op, so a frame can never
+  // smuggle a delete inside an "update".
+  kMutationState = 23,
+  kInsert = 24,
+  kUpdate = 25,
+  kDelete = 26,
+  // Aggregate + verification blobs of many nodes (the mutation planner's
+  // column fetch, DESIGN.md §12).
+  kFetchColumnsBatch = 27,
+};
+
+// Two-phase step selector for the mutation ops (DESIGN.md §12).
+enum class MutationPhase : uint8_t {
+  kPrepare = 0,
+  kCommit = 1,
+  kAbort = 2,
 };
 
 // What a server discloses to a kPing probe. Metadata only: nothing here
@@ -87,6 +107,10 @@ struct Request {
   std::vector<uint32_t> value_indexes;  // one group per entry
   // Catalog tier (kCatalogResolve, DESIGN.md §10).
   std::string doc_id;
+  // Mutations (kInsert/kUpdate/kDelete, DESIGN.md §12).
+  uint64_t txn = 0;
+  MutationPhase phase = MutationPhase::kPrepare;
+  std::string plan;  // serialized MutationPlan; present iff phase==kPrepare
 };
 
 std::string EncodeRequest(const Request& request);

@@ -125,6 +125,56 @@ Status Dispatch(const gf::Ring& ring, filter::ServerFilter* filter,
       PutVarint64(payload, count);
       return Status::OK();
     }
+    case Op::kMutationState: {
+      SSDB_ASSIGN_OR_RETURN(std::vector<storage::MutationState> states,
+                            filter->MutationStates());
+      if (states.size() != 1) {
+        return Status::Internal("expected one mutation state, got " +
+                                std::to_string(states.size()));
+      }
+      PutVarint64(payload, states[0].version);
+      PutVarint64(payload, states[0].next_nonce);
+      PutVarint64(payload, states[0].pending_txn);
+      return Status::OK();
+    }
+    case Op::kInsert:
+    case Op::kUpdate:
+    case Op::kDelete: {
+      // Two-phase step (DESIGN.md §12). Prepare decodes + validates here so
+      // a malformed plan is rejected before anything reaches the store, and
+      // the op must agree with the plan's kind.
+      switch (request.phase) {
+        case MutationPhase::kPrepare: {
+          SSDB_ASSIGN_OR_RETURN(storage::MutationPlan plan,
+                                storage::DecodeMutationPlan(request.plan));
+          storage::MutationKind expected =
+              request.op == Op::kInsert   ? storage::MutationKind::kInsert
+              : request.op == Op::kUpdate ? storage::MutationKind::kUpdate
+                                          : storage::MutationKind::kDelete;
+          if (plan.kind != expected) {
+            return Status::InvalidArgument(
+                std::string("mutation plan kind (") +
+                storage::MutationKindName(plan.kind) +
+                ") disagrees with the request op");
+          }
+          return filter->PrepareMutation(request.txn, {std::move(plan)});
+        }
+        case MutationPhase::kCommit:
+          return filter->CommitMutation(request.txn);
+        case MutationPhase::kAbort:
+          return filter->AbortMutation(request.txn);
+      }
+      return Status::Corruption("unhandled mutation phase");
+    }
+    case Op::kFetchColumnsBatch: {
+      SSDB_ASSIGN_OR_RETURN(std::vector<storage::ColumnBlobs> blobs,
+                            filter->FetchColumnsBatch(request.pres));
+      for (const storage::ColumnBlobs& cols : blobs) {
+        PutLengthPrefixed(payload, cols.agg);
+        PutLengthPrefixed(payload, cols.verify);
+      }
+      return Status::OK();
+    }
     case Op::kShutdown:
       return Status::OK();
     case Op::kCatalog:

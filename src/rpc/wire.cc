@@ -166,6 +166,9 @@ void AppendNodeMeta(std::string* out, const filter::NodeMeta& meta) {
   PutVarint64(out, meta.pre);
   PutVarint64(out, meta.post);
   PutVarint64(out, meta.parent);
+  // Share nonce (DESIGN.md §12): 0 for unmutated nodes, so the common case
+  // costs one byte.
+  PutVarint64(out, meta.nonce);
 }
 
 Status ConsumeNodeMeta(std::string_view* in, filter::NodeMeta* meta) {
@@ -176,6 +179,7 @@ Status ConsumeNodeMeta(std::string_view* in, filter::NodeMeta* meta) {
   meta->post = static_cast<uint32_t>(v);
   SSDB_RETURN_IF_ERROR(GetVarint64(in, &v));
   meta->parent = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(in, &meta->nonce));
   return Status::OK();
 }
 
@@ -189,6 +193,11 @@ StatusOr<std::vector<filter::NodeMeta>> ConsumeNodeMetas(
     std::string_view* in) {
   uint64_t count = 0;
   SSDB_RETURN_IF_ERROR(GetVarint64(in, &count));
+  // Every meta costs at least four bytes; a count beyond the remaining
+  // bytes is a forged/truncated frame and must fail before the allocation.
+  if (count > in->size()) {
+    return Status::Corruption("node meta count exceeds payload");
+  }
   std::vector<filter::NodeMeta> metas(count);
   for (uint64_t i = 0; i < count; ++i) {
     SSDB_RETURN_IF_ERROR(ConsumeNodeMeta(in, &metas[i]));

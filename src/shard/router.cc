@@ -76,6 +76,9 @@ Status Router::FinishStack(DocStack* stack, const gf::Ring& ring,
   stack->agg = std::make_unique<agg::AggregationEngine>(stack->client.get(),
                                                         map_);
   stack->agg->set_verify(options_.verify_aggregate);
+  stack->mutator = std::make_unique<encode::Mutator>(ring, *map_,
+                                                     prg::Prg(seed),
+                                                     stack->view);
   stack->engine =
       options_.engine == core::EngineKind::kSimple
           ? static_cast<query::QueryEngine*>(stack->simple.get())
@@ -254,9 +257,7 @@ StatusOr<DocResult> Router::RunOnStack(DocStack* stack,
   return out;
 }
 
-StatusOr<DocResult> Router::QueryDoc(std::string_view doc_id,
-                                     const query::Query& query,
-                                     query::MatchMode mode) {
+StatusOr<Router::DocStack*> Router::FindStack(std::string_view doc_id) {
   auto it = by_doc_.find(doc_id);
   if (it == by_doc_.end()) {
     // A document skipped at open (partial_ok) fails with its recorded
@@ -267,9 +268,88 @@ StatusOr<DocResult> Router::QueryDoc(std::string_view doc_id,
     return Status::NotFound("no document '" + std::string(doc_id) +
                             "' in the shard catalog");
   }
-  auto result = RunOnStack(it->second, query, mode);
-  if (!result.ok()) return Attribute(result.status(), *it->second->entry);
+  return it->second;
+}
+
+StatusOr<DocResult> Router::QueryDoc(std::string_view doc_id,
+                                     const query::Query& query,
+                                     query::MatchMode mode) {
+  SSDB_ASSIGN_OR_RETURN(DocStack * stack, FindStack(doc_id));
+  auto result = RunOnStack(stack, query, mode);
+  if (!result.ok()) return Attribute(result.status(), *stack->entry);
   return result;
+}
+
+StatusOr<DocMutation> Router::DriveOnStack(DocStack* stack,
+                                           encode::PlannedMutation planned) {
+  // Same fail-fast health gate as queries: don't prepare a txn the group
+  // cannot finish while a slice server is known down.
+  SSDB_RETURN_IF_ERROR(CheckHealth(*stack->entry));
+  Status prepared = stack->view->PrepareMutation(planned.txn, planned.plans);
+  if (!prepared.ok()) {
+    (void)stack->view->AbortMutation(planned.txn);  // best-effort cleanup
+    return prepared;
+  }
+  SSDB_RETURN_IF_ERROR(stack->view->CommitMutation(planned.txn));
+  DocMutation out;
+  out.doc_id = stack->entry->doc_id;
+  out.group = stack->entry->group;
+  out.version = planned.txn;
+  out.stats = planned.stats;
+  return out;
+}
+
+StatusOr<DocMutation> Router::UpdateDoc(
+    std::string_view doc_id, uint32_t pre, std::string_view new_tag,
+    const std::optional<std::string>& new_text) {
+  SSDB_ASSIGN_OR_RETURN(DocStack * stack, FindStack(doc_id));
+  auto planned = stack->mutator->PlanUpdate(pre, new_tag, new_text);
+  if (!planned.ok()) return Attribute(planned.status(), *stack->entry);
+  auto result = DriveOnStack(stack, std::move(*planned));
+  if (!result.ok()) return Attribute(result.status(), *stack->entry);
+  return result;
+}
+
+StatusOr<DocMutation> Router::InsertDoc(std::string_view doc_id,
+                                        uint32_t parent_pre,
+                                        std::string_view fragment_xml) {
+  SSDB_ASSIGN_OR_RETURN(DocStack * stack, FindStack(doc_id));
+  auto planned = stack->mutator->PlanInsert(parent_pre, fragment_xml);
+  if (!planned.ok()) return Attribute(planned.status(), *stack->entry);
+  auto result = DriveOnStack(stack, std::move(*planned));
+  if (!result.ok()) return Attribute(result.status(), *stack->entry);
+  return result;
+}
+
+StatusOr<DocMutation> Router::DeleteDoc(std::string_view doc_id,
+                                        uint32_t pre) {
+  SSDB_ASSIGN_OR_RETURN(DocStack * stack, FindStack(doc_id));
+  auto planned = stack->mutator->PlanDelete(pre);
+  if (!planned.ok()) return Attribute(planned.status(), *stack->entry);
+  auto result = DriveOnStack(stack, std::move(*planned));
+  if (!result.ok()) return Attribute(result.status(), *stack->entry);
+  return result;
+}
+
+Status Router::RecoverDoc(std::string_view doc_id) {
+  SSDB_ASSIGN_OR_RETURN(DocStack * stack, FindStack(doc_id));
+  for (int round = 0; round < 64; ++round) {
+    auto states = stack->view->MutationStates();
+    if (!states.ok()) return Attribute(states.status(), *stack->entry);
+    uint64_t pending = 0;
+    uint64_t committed = 0;
+    for (const storage::MutationState& st : *states) {
+      pending = std::max(pending, st.pending_txn);
+      committed = std::max(committed, st.version);
+    }
+    if (pending == 0) return Status::OK();
+    Status verdict = committed >= pending
+                         ? stack->view->CommitMutation(pending)
+                         : stack->view->AbortMutation(pending);
+    if (!verdict.ok()) return Attribute(verdict, *stack->entry);
+  }
+  return Attribute(Status::Internal("mutation recovery did not converge"),
+                   *stack->entry);
 }
 
 StatusOr<CorpusResult> Router::QueryCorpus(const query::Query& query,

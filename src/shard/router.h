@@ -29,6 +29,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "agg/aggregation.h"
 #include "control/health.h"
 #include "core/options.h"
+#include "encode/reshare.h"
 #include "filter/client_filter.h"
 #include "filter/multi_server_filter.h"
 #include "mapping/tag_map.h"
@@ -68,6 +70,14 @@ struct MissingDoc {
   std::string doc_id;
   uint32_t group = 0;
   Status error;
+};
+
+// Outcome of a mutation routed to one document's group (DESIGN.md §12).
+struct DocMutation {
+  std::string doc_id;
+  uint32_t group = 0;
+  uint64_t version = 0;  // the document version the group advanced to
+  encode::MutateStats stats;
 };
 
 // A corpus-wide answer, merged across every owning group.
@@ -131,6 +141,23 @@ class Router {
   StatusOr<CorpusResult> QueryCorpus(const query::Query& query,
                                      query::MatchMode mode);
 
+  // --- Mutations (DESIGN.md §12) ------------------------------------------
+  // Routes a two-phase INSERT/UPDATE/DELETE to the named document's group:
+  // the document's own stack plans against its slices and seed, prepares on
+  // every slice, then commits. Errors carry the §9-style blame prefix
+  // "doc <id> (group <g>): ...", so a slice that rejects a plan (or a crash
+  // mid-commit) is attributed across the router tier without dilution.
+  StatusOr<DocMutation> UpdateDoc(std::string_view doc_id, uint32_t pre,
+                                  std::string_view new_tag,
+                                  const std::optional<std::string>& new_text);
+  StatusOr<DocMutation> InsertDoc(std::string_view doc_id,
+                                  uint32_t parent_pre,
+                                  std::string_view fragment_xml);
+  StatusOr<DocMutation> DeleteDoc(std::string_view doc_id, uint32_t pre);
+  // Drives any undecided prepared txn on the document's group to a verdict
+  // (commit if any slice committed, abort otherwise).
+  Status RecoverDoc(std::string_view doc_id);
+
   const ShardCatalog& catalog() const { return catalog_; }
   size_t document_count() const { return stacks_.size(); }
   // Total bytes over every remote channel (0 for local/injected stacks).
@@ -166,6 +193,7 @@ class Router {
     std::unique_ptr<query::SimpleEngine> simple;
     std::unique_ptr<query::AdvancedEngine> advanced;
     std::unique_ptr<agg::AggregationEngine> agg;
+    std::unique_ptr<encode::Mutator> mutator;  // mutation planner (§12)
     query::QueryEngine* engine = nullptr;  // selected by options.engine
   };
 
@@ -182,6 +210,14 @@ class Router {
                                  query::MatchMode mode);
 
   static Status Attribute(const Status& status, const ShardEntry& entry);
+
+  // The stack owning `doc_id`, or the attributed open-time/NotFound error.
+  StatusOr<DocStack*> FindStack(std::string_view doc_id);
+
+  // Prepares + commits an already planned mutation on the stack's group;
+  // errors come back unprefixed (callers attribute).
+  StatusOr<DocMutation> DriveOnStack(DocStack* stack,
+                                     encode::PlannedMutation planned);
 
   // Unavailable naming the first kDown slice server of `entry`, or OK.
   Status CheckHealth(const ShardEntry& entry) const;

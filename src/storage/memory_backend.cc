@@ -1,6 +1,9 @@
 #include "storage/memory_backend.h"
 
+#include <algorithm>
 #include <mutex>
+
+#include "prg/prg.h"
 
 namespace ssdb::storage {
 
@@ -103,6 +106,139 @@ StatusOr<StorageStats> MemoryNodeStore::Stats() {
   stats.index_bytes = 0;
   stats.file_bytes = 0;
   return stats;
+}
+
+// --- Two-phase mutation protocol (DESIGN.md §12) -----------------------------
+
+StatusOr<MutationState> MemoryNodeStore::GetMutationState() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MutationState state;
+  state.version = version_;
+  state.next_nonce = std::max(next_nonce_, prg::kFirstMutationNonce);
+  state.pending_txn = pending_txn_;
+  return state;
+}
+
+Status MemoryNodeStore::PrepareMutation(uint64_t txn,
+                                        const MutationPlan& plan) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (version_ >= txn) return Status::OK();  // already committed; idempotent
+  SSDB_RETURN_IF_ERROR(ValidateMutationPlan(plan));
+  if (plan.base_version != version_) {
+    return Status::FailedPrecondition(
+        "mutation planned against version " +
+        std::to_string(plan.base_version) + " but the store is at version " +
+        std::to_string(version_) + " (re-plan and retry)");
+  }
+  if (txn != plan.base_version + 1) {
+    return Status::InvalidArgument("mutation txn must be base_version + 1");
+  }
+  if (pending_txn_ != 0 && pending_txn_ != txn) {
+    return Status::FailedPrecondition(
+        "another mutation (txn " + std::to_string(pending_txn_) +
+        ") is prepared and undecided");
+  }
+  if (plan.next_nonce < next_nonce_) {
+    return Status::InvalidArgument(
+        "mutation nonce watermark moves backwards");
+  }
+  pending_txn_ = txn;
+  pending_plan_ = plan;
+  return Status::OK();
+}
+
+Status MemoryNodeStore::CommitMutation(uint64_t txn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (version_ >= txn) return Status::OK();  // idempotent re-drive
+  if (pending_txn_ != txn) {
+    return Status::FailedPrecondition(
+        "no prepared mutation for txn " + std::to_string(txn));
+  }
+  SSDB_RETURN_IF_ERROR(ApplyPlanLocked(pending_plan_));
+  version_ = txn;
+  next_nonce_ = std::max(next_nonce_, pending_plan_.next_nonce);
+  pending_txn_ = 0;
+  pending_plan_ = MutationPlan();
+  return Status::OK();
+}
+
+Status MemoryNodeStore::AbortMutation(uint64_t txn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (pending_txn_ == txn) {
+    pending_txn_ = 0;
+    pending_plan_ = MutationPlan();
+    return Status::OK();
+  }
+  if (version_ >= txn) {
+    return Status::FailedPrecondition(
+        "txn " + std::to_string(txn) + " already committed; cannot abort");
+  }
+  return Status::OK();
+}
+
+Status MemoryNodeStore::ApplyPlanLocked(const MutationPlan& plan) {
+  auto drop_bytes = [&](const NodeRow& row) {
+    std::string encoded = EncodeNodeRow(row);
+    payload_bytes_ -= encoded.size();
+    structure_bytes_ -= encoded.size() - row.share.size();
+  };
+  auto add_bytes = [&](const NodeRow& row) {
+    std::string encoded = EncodeNodeRow(row);
+    payload_bytes_ += encoded.size();
+    structure_bytes_ += encoded.size() - row.share.size();
+  };
+
+  // 1. Erase the deleted subtree's pre range.
+  if (plan.erase_lo <= plan.erase_hi) {
+    auto it = rows_.lower_bound(plan.erase_lo);
+    while (it != rows_.end() && it->first <= plan.erase_hi) {
+      drop_bytes(it->second);
+      it = rows_.erase(it);
+    }
+  }
+
+  // 2. Shift the tail (see storage/mutation.h): pull the moving rows out of
+  // the map first so the re-keyed range never collides with itself.
+  if (plan.shift_delta != 0) {
+    std::vector<NodeRow> moved;
+    auto it = rows_.upper_bound(plan.shift_pre_gt);
+    while (it != rows_.end()) {
+      moved.push_back(std::move(it->second));
+      it = rows_.erase(it);
+    }
+    for (NodeRow& row : moved) {
+      drop_bytes(row);
+      if (row.nonce == 0) row.nonce = row.pre;
+      row.pre = static_cast<uint32_t>(row.pre + plan.shift_delta);
+      row.post = static_cast<uint32_t>(row.post + plan.shift_delta);
+      if (row.parent > plan.shift_pre_gt) {
+        row.parent = static_cast<uint32_t>(row.parent + plan.shift_delta);
+      }
+      add_bytes(row);
+      rows_.emplace(row.pre, std::move(row));
+    }
+  }
+
+  // 3. Upsert the re-shared rows.
+  for (const NodeRow& row : plan.upserts) {
+    auto it = rows_.find(row.pre);
+    if (it != rows_.end()) {
+      drop_bytes(it->second);
+      rows_.erase(it);
+    }
+    add_bytes(row);
+    rows_.emplace(row.pre, row);
+  }
+
+  // Rebuild the derived structures wholesale — mutations move whole pre
+  // ranges, and the memory backend's job is to be obviously correct.
+  children_.clear();
+  root_pre_ = 0;
+  for (const auto& [pre, row] : rows_) {
+    children_[row.parent].push_back(pre);
+    if (row.parent == 0) root_pre_ = pre;
+  }
+  return Status::OK();
 }
 
 }  // namespace ssdb::storage

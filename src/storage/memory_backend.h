@@ -13,6 +13,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "storage/mutation.h"
 #include "storage/node_store.h"
 
 namespace ssdb::storage {
@@ -37,7 +38,19 @@ class MemoryNodeStore : public NodeStore {
   StatusOr<StorageStats> Stats() override;
   Status Flush() override { return Status::OK(); }
 
+  // Two-phase mutations (DESIGN.md §12). The memory backend has no journal
+  // — a process death loses the whole store anyway — but it runs the same
+  // prepare/commit/abort state machine so every protocol test can use it as
+  // the model the disk engine must match.
+  StatusOr<MutationState> GetMutationState() override;
+  Status PrepareMutation(uint64_t txn, const MutationPlan& plan) override;
+  Status CommitMutation(uint64_t txn) override;
+  Status AbortMutation(uint64_t txn) override;
+
  private:
+  // Caller holds mu_ exclusively.
+  Status ApplyPlanLocked(const MutationPlan& plan);
+
   // Reads shared, Insert exclusive (DESIGN.md §7).
   mutable std::shared_mutex mu_;
   // Keyed by pre: ordered map gives document-order scans for free.
@@ -46,6 +59,12 @@ class MemoryNodeStore : public NodeStore {
   uint32_t root_pre_ = 0;
   uint64_t payload_bytes_ = 0;
   uint64_t structure_bytes_ = 0;
+
+  // Mutation state (DESIGN.md §12).
+  uint64_t version_ = 0;
+  uint64_t next_nonce_ = 0;  // lazily floored at prg::kFirstMutationNonce
+  uint64_t pending_txn_ = 0;
+  MutationPlan pending_plan_;
 };
 
 }  // namespace ssdb::storage

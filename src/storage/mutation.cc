@@ -1,0 +1,116 @@
+#include "storage/mutation.h"
+
+#include "prg/prg.h"
+#include "util/varint.h"
+
+namespace ssdb::storage {
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kInsert:
+      return "insert";
+    case MutationKind::kUpdate:
+      return "update";
+    case MutationKind::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+bool MutationPlan::operator==(const MutationPlan& other) const {
+  return kind == other.kind && base_version == other.base_version &&
+         next_nonce == other.next_nonce && erase_lo == other.erase_lo &&
+         erase_hi == other.erase_hi && shift_pre_gt == other.shift_pre_gt &&
+         shift_delta == other.shift_delta && upserts == other.upserts;
+}
+
+std::string EncodeMutationPlan(const MutationPlan& plan) {
+  std::string out;
+  PutVarint64(&out, static_cast<uint64_t>(plan.kind));
+  PutVarint64(&out, plan.base_version);
+  PutVarint64(&out, plan.next_nonce);
+  PutVarint64(&out, plan.erase_lo);
+  PutVarint64(&out, plan.erase_hi);
+  PutVarint64(&out, plan.shift_pre_gt);
+  PutVarintSigned64(&out, plan.shift_delta);
+  PutVarint64(&out, plan.upserts.size());
+  for (const NodeRow& row : plan.upserts) {
+    PutLengthPrefixed(&out, EncodeNodeRow(row));
+  }
+  return out;
+}
+
+StatusOr<MutationPlan> DecodeMutationPlan(std::string_view data) {
+  MutationPlan plan;
+  uint64_t v = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  if (v < 1 || v > 3) {
+    return Status::Corruption("unknown mutation kind " + std::to_string(v));
+  }
+  plan.kind = static_cast<MutationKind>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &plan.base_version));
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &plan.next_nonce));
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  plan.erase_lo = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  plan.erase_hi = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &v));
+  plan.shift_pre_gt = static_cast<uint32_t>(v);
+  SSDB_RETURN_IF_ERROR(GetVarintSigned64(&data, &plan.shift_delta));
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(GetVarint64(&data, &count));
+  // Every upsert costs at least one length byte, so a count beyond the
+  // remaining payload is a bomb, not a plan.
+  if (count > data.size()) {
+    return Status::Corruption("upsert count exceeds plan size");
+  }
+  plan.upserts.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view encoded;
+    SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &encoded));
+    SSDB_ASSIGN_OR_RETURN(NodeRow row, DecodeNodeRow(encoded));
+    plan.upserts.push_back(std::move(row));
+  }
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes in mutation plan");
+  }
+  return plan;
+}
+
+Status ValidateMutationPlan(const MutationPlan& plan) {
+  if (plan.kind != MutationKind::kInsert &&
+      plan.kind != MutationKind::kUpdate &&
+      plan.kind != MutationKind::kDelete) {
+    return Status::InvalidArgument("unknown mutation kind");
+  }
+  if (plan.base_version == UINT64_MAX) {
+    return Status::InvalidArgument("mutation base version overflows");
+  }
+  if (plan.next_nonce < prg::kFirstMutationNonce ||
+      plan.next_nonce > prg::kMutationNonceLimit) {
+    return Status::InvalidArgument(
+        "mutation nonce watermark outside the PRG mutation-nonce space "
+        "(src/prg/prg.h)");
+  }
+  const bool has_erase = plan.erase_lo <= plan.erase_hi;
+  if (has_erase && plan.erase_lo == 0) {
+    return Status::InvalidArgument("mutation erase range includes pre 0");
+  }
+  if (plan.kind == MutationKind::kUpdate &&
+      (has_erase || plan.shift_delta != 0)) {
+    return Status::InvalidArgument(
+        "update plans re-share in place (no erase, no shift)");
+  }
+  for (const NodeRow& row : plan.upserts) {
+    if (row.pre == 0) {
+      return Status::InvalidArgument("mutation upsert row with pre 0");
+    }
+    if (row.nonce != 0 && row.nonce >= plan.next_nonce) {
+      return Status::InvalidArgument(
+          "mutation upsert nonce above the plan watermark");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ssdb::storage

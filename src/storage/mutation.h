@@ -1,0 +1,77 @@
+// A fully planned per-slice mutation (DESIGN.md §12): the client's Mutator
+// (src/encode/reshare.h) turns one INSERT/UPDATE/DELETE into m of these —
+// one per share slice — and each slice store applies its own through the
+// two-phase PrepareMutation/CommitMutation protocol. A plan is pure data:
+// the store applying it needs no PRG, no field arithmetic, and learns
+// nothing beyond which pre positions moved.
+//
+// Apply order (the only order that keeps the B-tree keys collision-free):
+//   1. erase every row with pre in [erase_lo, erase_hi]   (DELETE subtree)
+//   2. shift every remaining row with pre > shift_pre_gt by shift_delta
+//      (pre and post together; parent too when parent > shift_pre_gt)
+//   3. upsert the re-shared rows (root-path nodes + inserted subtree)
+// A row shifted for the first time records its original pre in `nonce`, so
+// its unchanged shares stay addressable under the PRG position they were
+// drawn at.
+
+#ifndef SSDB_STORAGE_MUTATION_H_
+#define SSDB_STORAGE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/node_store.h"
+#include "util/statusor.h"
+
+namespace ssdb::storage {
+
+enum class MutationKind : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+};
+
+const char* MutationKindName(MutationKind kind);
+
+struct MutationPlan {
+  MutationKind kind = MutationKind::kUpdate;
+  // Committed version this plan was computed against; the txn it commits as
+  // is base_version + 1, and prepare rejects any other base (a concurrent
+  // writer lost the race and must re-plan).
+  uint64_t base_version = 0;
+  // Fresh-nonce watermark after this plan commits (every nonce consumed by
+  // the plan's upserts is below it). Must not move backwards.
+  uint64_t next_nonce = 0;
+  // Inclusive pre range to erase (a deleted subtree); lo > hi means none.
+  uint32_t erase_lo = 1;
+  uint32_t erase_hi = 0;
+  // After erasing: rows with pre > shift_pre_gt move by shift_delta
+  // (0 delta = no shift).
+  uint32_t shift_pre_gt = 0;
+  int64_t shift_delta = 0;
+  // Re-shared rows, replacing any existing row at the same pre (after the
+  // shift). Root-path nodes carry fresh nonces; an inserted subtree's rows
+  // land in the pre gap the shift opened.
+  std::vector<NodeRow> upserts;
+
+  bool operator==(const MutationPlan& other) const;
+};
+
+// Wire/journal format: varint kind, base_version, next_nonce, erase_lo,
+// erase_hi, shift_pre_gt, zigzag shift_delta, upsert count, then one
+// length-prefixed EncodeNodeRow per upsert. Decode is count-bomb safe (the
+// declared count is checked against the remaining bytes) and rejects
+// trailing bytes.
+std::string EncodeMutationPlan(const MutationPlan& plan);
+StatusOr<MutationPlan> DecodeMutationPlan(std::string_view data);
+
+// Structural sanity independent of any store state: known kind, a txn
+// window that fits, nonce watermark inside the PRG's mutation-nonce space,
+// a sane erase range, upsert rows with nonzero pre. Stores run this before
+// journaling so a corrupt or adversarial plan is refused at prepare.
+Status ValidateMutationPlan(const MutationPlan& plan);
+
+}  // namespace ssdb::storage
+
+#endif  // SSDB_STORAGE_MUTATION_H_

@@ -16,11 +16,16 @@ std::string EncodeNodeRow(const NodeRow& row) {
   // is positional after agg, so writing it forces the agg field out too
   // (a verify blob without aggregate columns cannot be encoded — the
   // encoder never produces one).
-  if (!row.agg.empty() || !row.verify.empty()) {
+  // The nonce (DESIGN.md §12) is positional after verify, so writing it
+  // forces both optional blob fields out (possibly empty).
+  if (!row.agg.empty() || !row.verify.empty() || row.nonce != 0) {
     PutLengthPrefixed(&out, row.agg);
   }
-  if (!row.verify.empty()) {
+  if (!row.verify.empty() || row.nonce != 0) {
     PutLengthPrefixed(&out, row.verify);
+  }
+  if (row.nonce != 0) {
+    PutVarint64(&out, row.nonce);
   }
   return out;
 }
@@ -49,6 +54,9 @@ StatusOr<NodeRow> DecodeNodeRow(std::string_view data) {
     std::string_view verify;
     SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&data, &verify));
     row.verify = std::string(verify);
+  }
+  if (!data.empty()) {
+    SSDB_RETURN_IF_ERROR(GetVarint64(&data, &row.nonce));
   }
   if (!data.empty()) {
     return Status::Corruption("trailing bytes after node row");

@@ -40,22 +40,54 @@ struct NodeRow {
   // stored on slice 0 of a `--verify-agg` database only. Opaque to the
   // server.
   std::string verify;
+  // PRG nonce the node's shares and masks were drawn under (DESIGN.md §12).
+  // 0 means "the pre position itself" — the layout every row had before
+  // mutations existed, so old databases decode unchanged. A mutated node
+  // carries a fresh nonce >= prg::kFirstMutationNonce; a node whose pre was
+  // shifted by an insert/delete records its original pre here so its
+  // unchanged shares stay addressable.
+  uint64_t nonce = 0;
+
+  // The PRG position this row's shares/masks/seal are addressed by.
+  uint64_t ShareNonce() const { return nonce != 0 ? nonce : pre; }
 
   bool operator==(const NodeRow& other) const {
     return pre == other.pre && post == other.post &&
            parent == other.parent && share == other.share &&
            sealed == other.sealed && agg == other.agg &&
-           verify == other.verify;
+           verify == other.verify && nonce == other.nonce;
   }
+};
+
+// The two blob families a node owns beyond its fixed columns: the §8
+// aggregate-column slice and the §9 verification track. On the disk backend
+// they live in the column store (src/colstore/), keyed by ShareNonce(), not
+// in the heap row (DESIGN.md §12).
+struct ColumnBlobs {
+  std::string agg;
+  std::string verify;
 };
 
 // Row wire/disk format: varint pre, post, parent + length-prefixed share
 // + length-prefixed sealed payload + length-prefixed aggregate columns
-// + length-prefixed verification track. The aggregate and verification
-// fields are trailing-optional on decode (absent in rows written before
-// DESIGN.md §8/§9), so older databases stay readable.
+// + length-prefixed verification track + varint nonce. The aggregate,
+// verification, and nonce fields are trailing-optional on decode (absent in
+// rows written before DESIGN.md §8/§9/§12), so older databases stay
+// readable; a zero nonce is never written, so unmutated rows keep their
+// pre-§12 byte layout.
 std::string EncodeNodeRow(const NodeRow& row);
 StatusOr<NodeRow> DecodeNodeRow(std::string_view data);
+
+// Committed mutation state of one share-slice store (DESIGN.md §12).
+struct MutationState {
+  uint64_t version = 0;      // committed document version (0 = as encoded)
+  uint64_t next_nonce = 0;   // fresh-nonce watermark (prg::kFirstMutationNonce
+                             // when no mutation ever ran)
+  uint64_t pending_txn = 0;  // journaled-but-undecided txn, 0 when none
+};
+
+// A fully planned, per-slice mutation; see storage/mutation.h.
+struct MutationPlan;
 
 struct StorageStats {
   uint64_t node_count = 0;
@@ -118,6 +150,42 @@ class NodeStore {
 
   // Durability point (no-op for the memory backend).
   virtual Status Flush() = 0;
+
+  // The node's aggregate-column and verification blobs (DESIGN.md §8/§9).
+  // The default reads them off the row itself; the disk backend overrides
+  // this to read the column store (§12), where rows no longer carry them.
+  virtual StatusOr<ColumnBlobs> GetColumns(uint32_t pre) {
+    SSDB_ASSIGN_OR_RETURN(NodeRow row, GetByPre(pre));
+    ColumnBlobs blobs;
+    blobs.agg = std::move(row.agg);
+    blobs.verify = std::move(row.verify);
+    return blobs;
+  }
+
+  // --- Two-phase mutation protocol (DESIGN.md §12) ---
+  //
+  // PrepareMutation validates the plan against the committed version and
+  // journals it durably WITHOUT applying; CommitMutation applies the
+  // journaled plan and bumps the version; AbortMutation discards it. Both
+  // commit and abort are idempotent per txn, so a coordinator (or crash
+  // recovery) may re-drive either phase. Stores that never mutate keep the
+  // Unimplemented defaults.
+  virtual StatusOr<MutationState> GetMutationState() {
+    return Status::Unimplemented("store does not support mutations");
+  }
+  virtual Status PrepareMutation(uint64_t txn, const MutationPlan& plan) {
+    (void)txn;
+    (void)plan;
+    return Status::Unimplemented("store does not support mutations");
+  }
+  virtual Status CommitMutation(uint64_t txn) {
+    (void)txn;
+    return Status::Unimplemented("store does not support mutations");
+  }
+  virtual Status AbortMutation(uint64_t txn) {
+    (void)txn;
+    return Status::Unimplemented("store does not support mutations");
+  }
 };
 
 }  // namespace ssdb::storage

@@ -29,6 +29,7 @@ enum class PageType : uint16_t {
   kBTreeLeaf = 3,
   kBTreeInternal = 4,
   kCatalog = 5,
+  kColumnBlob = 6,  // column-store blob page, possibly chained (DESIGN.md §12)
 };
 
 inline void StoreU16(uint8_t* p, uint16_t v) {

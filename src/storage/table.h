@@ -7,9 +7,26 @@
 //   parent index : key = (parent << 32) | pre,        value = record id
 //   post index   : key = (post << 32) | pre,          value = record id
 //
+// Blob columns (the §8 aggregate slice and §9 verification track) live in a
+// sibling column store ("<path>.cols", src/colstore/) keyed by the row's
+// share nonce, not in the heap row (DESIGN.md §12) — that is what lifts the
+// ~140-tag map cap the old in-row layout imposed. Databases created before
+// §12 have no .cols file and keep their blobs in-row; both layouts read
+// through GetColumns(). Rows returned by GetChildren/ScanDescendants carry
+// empty agg/verify on the column-store layout (the structure walks never
+// needed them); GetByPre/VisitByPre reattach them.
+//
+// Mutations (DESIGN.md §12): PrepareMutation journals a validated plan
+// durably ("<path>.journal", written tmp+rename+fsync); CommitMutation
+// applies it (erase range, pre/post shift, upserts), bumps the committed
+// version, syncs, and drops the journal; AbortMutation drops it unapplied.
+// A store reopened with a journal present surfaces the undecided txn in
+// GetMutationState().pending_txn for the coordinator's recovery sweep.
+//
 // Thread-safe for serving (DESIGN.md §7): lookups and scans take a shared
 // lock (tree structure is immutable while serving; the buffer pool latches
-// its own frame table underneath), Insert/Flush take an exclusive one.
+// its own frame table underneath), Insert/Flush/mutations take an exclusive
+// one.
 
 #ifndef SSDB_STORAGE_TABLE_H_
 #define SSDB_STORAGE_TABLE_H_
@@ -19,10 +36,12 @@
 #include <shared_mutex>
 #include <string>
 
+#include "colstore/column_store.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 #include "storage/heap_file.h"
+#include "storage/mutation.h"
 #include "storage/node_store.h"
 #include "storage/pager.h"
 
@@ -54,13 +73,33 @@ class DiskNodeStore : public NodeStore {
   StatusOr<StorageStats> Stats() override;
   Status Flush() override;
 
+  StatusOr<ColumnBlobs> GetColumns(uint32_t pre) override;
+  StatusOr<MutationState> GetMutationState() override;
+  Status PrepareMutation(uint64_t txn, const MutationPlan& plan) override;
+  Status CommitMutation(uint64_t txn) override;
+  Status AbortMutation(uint64_t txn) override;
+
   const BufferPoolStats& buffer_stats() const { return pool_->stats(); }
+  // Column-store footprint; zero stats on a pre-§12 (in-row blob) database.
+  colstore::ColumnStoreStats column_stats() const;
 
  private:
   DiskNodeStore() = default;
 
   Status SaveRoots();
   StatusOr<NodeRow> FetchRow(RecordId rid);
+  // Reattaches column-store blobs onto a fetched row (no-op on the in-row
+  // layout). Caller holds mu_.
+  Status AttachColumns(NodeRow* row);
+  // Removes the row at `pre` (heap record, all three index entries, its
+  // column-store blobs) — caller holds mu_ exclusively.
+  Status EraseRowLocked(uint32_t pre);
+  // Inserts without taking mu_ (shared body of Insert and ApplyPlan).
+  Status InsertLocked(const NodeRow& row);
+  // Applies a validated plan: erase range -> shift -> upserts.
+  Status ApplyPlanLocked(const MutationPlan& plan);
+  std::string JournalPath() const;
+  Status WriteJournalLocked(uint64_t txn, const MutationPlan& plan);
 
   // Reads shared, Insert/Flush exclusive; taken before the buffer-pool
   // latch, never after (DESIGN.md §7 lock order).
@@ -72,9 +111,21 @@ class DiskNodeStore : public NodeStore {
   std::optional<BTree> pre_index_;
   std::optional<BTree> parent_index_;
   std::optional<BTree> post_index_;
+  // Null on a pre-§12 database (blobs in-row); always present on stores
+  // created since.
+  std::unique_ptr<colstore::ColumnStore> columns_;
+  std::string path_;
   uint64_t node_count_ = 0;
   uint64_t payload_bytes_ = 0;
   uint64_t structure_bytes_ = 0;
+
+  // Mutation state (DESIGN.md §12), persisted in the catalog.
+  uint64_t version_ = 0;
+  uint64_t next_nonce_ = 0;
+  // Journaled-but-undecided txn; 0 when none. Loaded back from the journal
+  // file on open, so a crash between phases is visible to recovery.
+  uint64_t pending_txn_ = 0;
+  MutationPlan pending_plan_;
 };
 
 }  // namespace ssdb::storage

@@ -31,6 +31,7 @@
 #include "rpc/server.h"
 #include "shard/catalog.h"
 #include "shard/router.h"
+#include "storage/mutation.h"
 #include "test_helpers.h"
 #include "util/random.h"
 #include "xmark/generator.h"
@@ -241,8 +242,12 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   request.agg_columns = 0x15;  // kAggregate/kAggregateBatch fields
   request.value_indexes = {0, 2};
   request.doc_id = "doc-x";  // kCatalogResolve field
-  // One past kPing (22): the last valid opcode plus an invalid probe.
-  for (uint8_t op = 0; op <= 23; ++op) {
+  request.txn = 1;           // mutation fields (ops 24..26, DESIGN.md §12)
+  request.phase = rpc::MutationPhase::kPrepare;
+  request.plan = "not a plan";
+  // One past kFetchColumnsBatch (27): the last valid opcode plus an
+  // invalid probe.
+  for (uint8_t op = 0; op <= 28; ++op) {
     request.op = static_cast<rpc::Op>(op);
     std::string valid = rpc::EncodeRequest(request);
     for (size_t cut = 0; cut <= valid.size(); ++cut) {
@@ -253,7 +258,8 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   // Oversized batch counts: varints claiming 2^40..2^62 elements must be
   // rejected at decode, not allocated (would OOM or hang the worker).
   for (int shift = 40; shift <= 62; ++shift) {
-    for (uint8_t op : {8, 12, 14, 15, 16, 17, 18, 19}) {  // batch opcodes
+    // Batch opcodes, including the mutation planner's column fetch (27).
+    for (uint8_t op : {8, 12, 14, 15, 16, 17, 18, 19, 27}) {
       std::string frame;
       frame.push_back(static_cast<char>(op));
       // kEvalAtBatch/kEvalPointsBatch carry a point/pre varint before the
@@ -307,6 +313,161 @@ TEST(FuzzTest, RpcRequestDecoderNeverCrashesOnGarbage) {
   ASSERT_TRUE(after.ok());
   db->server->EndSession(filter::SessionId{0});
   EXPECT_EQ(db->server->OpenCursorCount(), 0u);
+}
+
+// The mutation ops (24..26, DESIGN.md §12) under the decoder barrage. The
+// extra stake beyond "never crash": a mutation frame the server rejects —
+// truncated, count-bombed, or carrying a corrupt plan — must leave the
+// slice exactly as it was. No version bump, no pending txn, no node moved:
+// an error frame must never cost a silent partial write.
+TEST(FuzzTest, MutationOpsNeverCorruptStateOnGarbage) {
+  auto db = testing_helpers::BuildTestDb(testing_helpers::SmallAuctionXml());
+  rpc::RpcServer server(db->ring, db->server.get());
+  Random rng(9119);
+
+  auto put_varint = [](std::string* out, uint64_t v) {
+    while (v >= 0x80) {
+      out->push_back(static_cast<char>(0x80 | (v & 0x7f)));
+      v >>= 7;
+    }
+    out->push_back(static_cast<char>(v));
+  };
+  auto expect_untouched = [&](const char* when) {
+    auto states = db->server->MutationStates();
+    ASSERT_TRUE(states.ok()) << when;
+    for (const storage::MutationState& st : *states) {
+      EXPECT_EQ(st.version, 0u) << when;
+      EXPECT_EQ(st.pending_txn, 0u) << when;
+    }
+    auto count = db->store->NodeCount();
+    ASSERT_TRUE(count.ok()) << when;
+    EXPECT_EQ(*count, db->encode_result.node_count) << when;
+  };
+  expect_untouched("before the barrage");
+
+  constexpr rpc::Op kMutationOps[] = {rpc::Op::kInsert, rpc::Op::kUpdate,
+                                      rpc::Op::kDelete};
+  constexpr storage::MutationKind kKinds[] = {storage::MutationKind::kInsert,
+                                              storage::MutationKind::kUpdate,
+                                              storage::MutationKind::kDelete};
+
+  // A structurally valid (if vacuous) plan per op, so the frames exercise
+  // the full decode path; every proper truncation must yield an error frame.
+  for (int i = 0; i < 3; ++i) {
+    storage::MutationPlan plan;
+    plan.kind = kKinds[i];
+    plan.base_version = 0;
+    plan.next_nonce = prg::kFirstMutationNonce + 1;
+    rpc::Request request;
+    request.op = kMutationOps[i];
+    request.txn = 1;
+    request.phase = rpc::MutationPhase::kPrepare;
+    request.plan = storage::EncodeMutationPlan(plan);
+    std::string valid = rpc::EncodeRequest(request);
+    for (size_t cut = 0; cut < valid.size(); ++cut) {
+      std::string response = server.HandleRequest(valid.substr(0, cut));
+      ASSERT_FALSE(response.empty());
+      EXPECT_FALSE(rpc::DecodeResponse(response).ok())
+          << "op " << static_cast<int>(kMutationOps[i]) << " cut " << cut;
+    }
+    expect_untouched("after truncated prepares");
+
+    // The full frame prepares; a commit frame for a *different* txn must be
+    // refused without disturbing the prepared one (an abort of an unknown
+    // txn is a defined no-op); then abort the prepared txn.
+    ASSERT_TRUE(rpc::DecodeResponse(server.HandleRequest(valid)).ok());
+    rpc::Request wrong;
+    wrong.op = kMutationOps[i];
+    wrong.txn = 55;
+    wrong.phase = rpc::MutationPhase::kCommit;
+    EXPECT_FALSE(
+        rpc::DecodeResponse(server.HandleRequest(rpc::EncodeRequest(wrong)))
+            .ok());
+    {
+      auto states = db->server->MutationStates();
+      ASSERT_TRUE(states.ok());
+      EXPECT_EQ((*states)[0].pending_txn, 1u);  // prepared txn undisturbed
+    }
+    rpc::Request abort_request;
+    abort_request.op = kMutationOps[i];
+    abort_request.txn = 1;
+    abort_request.phase = rpc::MutationPhase::kAbort;
+    ASSERT_TRUE(
+        rpc::DecodeResponse(server.HandleRequest(rpc::EncodeRequest(
+            abort_request)))
+            .ok());
+    expect_untouched("after abort");
+
+    // A plan whose kind disagrees with the op must be rejected at prepare —
+    // a frame can never smuggle a delete inside an "update".
+    rpc::Request smuggled = request;
+    smuggled.op = kMutationOps[(i + 1) % 3];
+    EXPECT_FALSE(
+        rpc::DecodeResponse(server.HandleRequest(rpc::EncodeRequest(smuggled)))
+            .ok());
+    expect_untouched("after kind/op mismatch");
+  }
+
+  // Count bombs inside the plan: an upsert count claiming 2^40..2^62 rows
+  // must be rejected at decode, never sized into a vector.
+  for (int shift = 40; shift <= 62; ++shift) {
+    std::string bomb;
+    put_varint(&bomb, static_cast<uint64_t>(storage::MutationKind::kUpdate));
+    put_varint(&bomb, 0);                            // base_version
+    put_varint(&bomb, prg::kFirstMutationNonce + 1);  // next_nonce
+    put_varint(&bomb, 1);                            // erase_lo
+    put_varint(&bomb, 0);                            // erase_hi
+    put_varint(&bomb, 0);                            // shift_pre_gt
+    put_varint(&bomb, 0);                            // zigzag shift_delta
+    put_varint(&bomb, uint64_t{1} << shift);         // upsert-count bomb
+    rpc::Request request;
+    request.op = rpc::Op::kUpdate;
+    request.txn = 1;
+    request.phase = rpc::MutationPhase::kPrepare;
+    request.plan = bomb;
+    std::string response = server.HandleRequest(rpc::EncodeRequest(request));
+    ASSERT_FALSE(response.empty());
+    EXPECT_FALSE(rpc::DecodeResponse(response).ok());
+  }
+  expect_untouched("after count bombs");
+
+  // Random parameters through the real encoder: arbitrary txns, phases and
+  // plan bytes. Prepares that happen to decode are aborted right away; no
+  // frame may commit anything (version stays 0).
+  for (int trial = 0; trial < 500; ++trial) {
+    rpc::Request request;
+    request.op = kMutationOps[rng.Uniform(3)];
+    request.txn = rng.Uniform(4);
+    request.phase = static_cast<rpc::MutationPhase>(rng.Uniform(3));
+    if (request.phase == rpc::MutationPhase::kPrepare) {
+      size_t len = rng.Uniform(48);
+      for (size_t i = 0; i < len; ++i) {
+        request.plan.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+    }
+    std::string response = server.HandleRequest(rpc::EncodeRequest(request));
+    ASSERT_FALSE(response.empty());
+    auto states = db->server->MutationStates();
+    ASSERT_TRUE(states.ok());
+    for (const storage::MutationState& st : *states) {
+      EXPECT_EQ(st.version, 0u);
+      if (st.pending_txn != 0) {
+        rpc::Request abort_request;
+        abort_request.op = rpc::Op::kUpdate;
+        abort_request.txn = st.pending_txn;
+        abort_request.phase = rpc::MutationPhase::kAbort;
+        ASSERT_TRUE(rpc::DecodeResponse(
+                        server.HandleRequest(rpc::EncodeRequest(abort_request)))
+                        .ok());
+      }
+    }
+  }
+  expect_untouched("after random mutation frames");
+
+  // The barrage over, the document still answers exactly.
+  auto root = db->client->Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*db->client->RecoverOwnValue(*root), *db->map.Lookup("site"));
 }
 
 // Shard-catalog wire codec (DESIGN.md §10) under the same adversarial

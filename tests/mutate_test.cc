@@ -1,0 +1,700 @@
+// Mutable documents (DESIGN.md §12): secret-shared two-phase
+// INSERT/UPDATE/DELETE.
+//
+//  * Equivalence: a mutated database must be indistinguishable — structure,
+//    recovered tag values, sealed payloads, aggregate answers — from a fresh
+//    encode of the post-mutation document, at every server split m.
+//  * Proportionality: MutateStats must scale with the touched subtree and
+//    its root path, never with the document (the §12 cost contract).
+//  * Atomicity: a failed prepare leaves every slice byte-identical to the
+//    committed version; a crash between the phases is healed by recovery —
+//    commit iff any slice committed — on the real disk backend, journal and
+//    all.
+//  * Capacity: the side column store lifts the old ~140-tag cap of the
+//    4 KiB heap row, so a 1000-tag map encodes, queries, mutates and
+//    reopens on disk.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/options.h"
+#include "encode/reshare.h"
+#include "filter/client_filter.h"
+#include "filter/multi_server_filter.h"
+#include "filter/server_filter.h"
+#include "gf/field.h"
+#include "gf/ring.h"
+#include "mapping/tag_map.h"
+#include "prg/prg.h"
+#include "prg/seed.h"
+#include "shard/catalog.h"
+#include "shard/router.h"
+#include "storage/mutation.h"
+#include "storage/node_store.h"
+#include "storage/table.h"
+#include "test_helpers.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "xml/dom.h"
+
+namespace ssdb {
+namespace {
+
+using core::Backend;
+using core::DatabaseOptions;
+using core::EncryptedXmlDatabase;
+using core::EngineKind;
+using query::MatchMode;
+
+// A small library document with known pre numbers:
+//   lib=1 shelfA=2 book=3 title=4 book=5 title=6 shelfB=7 box=8 coin=9
+constexpr char kLibXml[] =
+    "<lib><shelfA><book><title>t1</title></book>"
+    "<book><title>t2</title></book></shelfA>"
+    "<shelfB><box><coin>c1</coin></box></shelfB></lib>";
+
+// kLibXml after UPDATE pre=8: box re-tagged to book.
+constexpr char kLibBoxRetagged[] =
+    "<lib><shelfA><book><title>t1</title></book>"
+    "<book><title>t2</title></book></shelfA>"
+    "<shelfB><book><coin>c1</coin></book></shelfB></lib>";
+
+// Tag map covering every element name of every given document.
+mapping::TagMap MapFor(const std::vector<std::string>& xmls,
+                       const gf::Field& field) {
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  for (const std::string& xml : xmls) {
+    auto doc = xml::ParseDocument(xml);
+    SSDB_CHECK(doc.ok()) << doc.status().ToString();
+    xml::ForEachElement(doc->root(), [&](const xml::Node& node) {
+      if (seen.insert(node.name).second) names.push_back(node.name);
+    });
+  }
+  auto map = mapping::TagMap::FromNames(names, field);
+  SSDB_CHECK(map.ok()) << map.status().ToString();
+  return std::move(*map);
+}
+
+// Everything a client can learn about one node; two databases holding the
+// same document must produce identical snapshots whatever their seeds,
+// nonces, or server split.
+struct NodeState {
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  uint32_t parent = 0;
+  gf::Elem value = 0;  // recovered own tag value (the equality test)
+  std::string name;    // sealed payload (sealed databases only)
+  std::string text;
+};
+
+std::vector<NodeState> Snapshot(filter::ClientFilter* client, bool sealed) {
+  std::vector<NodeState> out;
+  auto root = client->Root();
+  SSDB_CHECK(root.ok()) << root.status().ToString();
+  std::vector<filter::NodeMeta> stack{*root};
+  while (!stack.empty()) {
+    filter::NodeMeta meta = stack.back();
+    stack.pop_back();
+    NodeState state;
+    state.pre = meta.pre;
+    state.post = meta.post;
+    state.parent = meta.parent;
+    auto value = client->RecoverOwnValue(meta);
+    SSDB_CHECK(value.ok()) << "pre " << meta.pre << ": "
+                           << value.status().ToString();
+    state.value = *value;
+    if (sealed) {
+      auto revealed = client->Reveal(meta);
+      SSDB_CHECK(revealed.ok()) << "pre " << meta.pre << ": "
+                                << revealed.status().ToString();
+      state.name = revealed->name;
+      state.text = revealed->text;
+    }
+    out.push_back(state);
+    auto children = client->Children(meta);
+    SSDB_CHECK(children.ok()) << children.status().ToString();
+    for (const filter::NodeMeta& child : *children) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeState& a, const NodeState& b) { return a.pre < b.pre; });
+  return out;
+}
+
+void ExpectSameDocument(const std::vector<NodeState>& got,
+                        const std::vector<NodeState>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].pre, want[i].pre) << "node " << i;
+    EXPECT_EQ(got[i].post, want[i].post) << "pre " << got[i].pre;
+    EXPECT_EQ(got[i].parent, want[i].parent) << "pre " << got[i].pre;
+    EXPECT_EQ(got[i].value, want[i].value) << "pre " << got[i].pre;
+    EXPECT_EQ(got[i].name, want[i].name) << "pre " << got[i].pre;
+    EXPECT_EQ(got[i].text, want[i].text) << "pre " << got[i].pre;
+  }
+}
+
+class MutateTest : public ::testing::Test {
+ protected:
+  MutateTest() : field_(*gf::Field::Make(83)), seed_(prg::Seed::FromUint64(7)) {}
+
+  std::unique_ptr<EncryptedXmlDatabase> MakeDb(const std::string& xml,
+                                               const mapping::TagMap& map,
+                                               uint32_t servers, bool seal) {
+    DatabaseOptions options;
+    options.servers = servers;
+    options.encode.seal_content = seal;
+    options.encode.verify_aggregate = true;
+    auto db = EncryptedXmlDatabase::Encode(xml, map, seed_, options);
+    SSDB_CHECK(db.ok()) << db.status().ToString();
+    return std::move(*db);
+  }
+
+  uint64_t Count(EncryptedXmlDatabase* db, const std::string& q) {
+    auto result = db->Query(q, EngineKind::kAdvanced, MatchMode::kEquality);
+    SSDB_CHECK(result.ok()) << q << ": " << result.status().ToString();
+    return result->aggregate.Total();
+  }
+
+  gf::Field field_;
+  prg::Seed seed_;
+};
+
+// UPDATE re-tag at m = 1, 2, 4: the mutated database must match a fresh
+// encode of the post-mutation document node-for-node, and §8 aggregates —
+// with the §9 proofs checked — must answer for the new document.
+TEST_F(MutateTest, UpdateRetagMatchesFreshEncode) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  for (uint32_t m : {1u, 2u, 4u}) {
+    SCOPED_TRACE("servers=" + std::to_string(m));
+    auto db = MakeDb(kLibXml, map, m, /*seal=*/true);
+    db->aggregation_engine()->set_verify(true);
+    ASSERT_EQ(Count(db.get(), "count(/lib//book)"), 2u);
+    ASSERT_EQ(Count(db.get(), "count(/lib//box)"), 1u);
+
+    auto result = db->Update(8, "book", std::nullopt);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->version, 1u);
+    EXPECT_EQ(result->stats.path_nodes, 3u);     // box, shelfB, lib
+    EXPECT_EQ(result->stats.subtree_nodes, 1u);  // UPDATE touches one node
+
+    EXPECT_EQ(Count(db.get(), "count(/lib//book)"), 3u);
+    EXPECT_EQ(Count(db.get(), "count(/lib//box)"), 0u);
+
+    auto expected = MakeDb(kLibBoxRetagged, map, 1, /*seal=*/true);
+    ExpectSameDocument(Snapshot(db->client_filter(), true),
+                       Snapshot(expected->client_filter(), true));
+  }
+}
+
+// Text-only UPDATE takes the fast path: no sibling polynomial is fetched
+// (the tree is unchanged), only the root path re-shares and re-seals.
+TEST_F(MutateTest, UpdateTextOnlySkipsSiblingFetch) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+
+  auto result = db->Update(4, "", std::optional<std::string>("T-ONE"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.children_fetched, 0u);
+  EXPECT_EQ(result->stats.path_nodes, 4u);  // title, book, shelfA, lib
+
+  auto node = db->client_filter()->GetNode(4);
+  ASSERT_TRUE(node.ok());
+  auto revealed = db->client_filter()->Reveal(*node);
+  ASSERT_TRUE(revealed.ok()) << revealed.status().ToString();
+  EXPECT_EQ(revealed->name, "title");
+  EXPECT_EQ(revealed->text, "T-ONE");
+
+  db->aggregation_engine()->set_verify(true);
+  EXPECT_EQ(Count(db.get(), "count(/lib//book)"), 2u);
+
+  constexpr char kAfter[] =
+      "<lib><shelfA><book><title>T-ONE</title></book>"
+      "<book><title>t2</title></book></shelfA>"
+      "<shelfB><box><coin>c1</coin></box></shelfB></lib>";
+  auto expected = MakeDb(kAfter, map, 1, /*seal=*/true);
+  ExpectSameDocument(Snapshot(db->client_filter(), true),
+                     Snapshot(expected->client_filter(), true));
+}
+
+TEST_F(MutateTest, RejectsInvalidMutations) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/false);
+
+  // Neither tag nor text changes.
+  EXPECT_EQ(db->Update(4, "", std::nullopt).status().code(),
+            StatusCode::kInvalidArgument);
+  // Text edit on a database encoded without sealed content.
+  EXPECT_EQ(db->Update(4, "", std::optional<std::string>("x")).status().code(),
+            StatusCode::kFailedPrecondition);
+  // A tag outside the map (the key material does not cover it).
+  EXPECT_EQ(db->Update(8, "pamphlet", std::nullopt).status().code(),
+            StatusCode::kInvalidArgument);
+  // The document root cannot be deleted.
+  EXPECT_EQ(db->Delete(1).status().code(), StatusCode::kInvalidArgument);
+  // A fragment with no elements cannot be inserted.
+  EXPECT_FALSE(db->Insert(2, "   ").ok());
+  // A fragment using an unmapped tag is refused before any share moves.
+  EXPECT_FALSE(db->Insert(2, "<pamphlet/>").ok());
+  // No such node.
+  EXPECT_FALSE(db->Update(99, "book", std::nullopt).ok());
+
+  // Nothing above may have left a pending txn or advanced the version.
+  auto states = db->server_filter()->MutationStates();
+  ASSERT_TRUE(states.ok());
+  for (const storage::MutationState& st : *states) {
+    EXPECT_EQ(st.pending_txn, 0u);
+    EXPECT_EQ(st.version, 0u);
+  }
+}
+
+TEST_F(MutateTest, InsertMatchesFreshEncode) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+
+  auto result = db->Insert(2, "<box><coin>c9</coin><coin>c10</coin></box>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->version, 1u);
+  EXPECT_EQ(result->stats.subtree_nodes, 3u);  // box + 2 coins
+  EXPECT_EQ(result->stats.path_nodes, 2u);     // shelfA, lib
+
+  db->aggregation_engine()->set_verify(true);
+  EXPECT_EQ(Count(db.get(), "count(/lib//coin)"), 3u);
+  EXPECT_EQ(Count(db.get(), "count(/lib//box)"), 2u);
+
+  constexpr char kAfter[] =
+      "<lib><shelfA><book><title>t1</title></book>"
+      "<book><title>t2</title></book>"
+      "<box><coin>c9</coin><coin>c10</coin></box></shelfA>"
+      "<shelfB><box><coin>c1</coin></box></shelfB></lib>";
+  auto expected = MakeDb(kAfter, map, 1, /*seal=*/true);
+  ExpectSameDocument(Snapshot(db->client_filter(), true),
+                     Snapshot(expected->client_filter(), true));
+}
+
+TEST_F(MutateTest, DeleteMatchesFreshEncode) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+
+  auto result = db->Delete(3);  // first book and its title
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->version, 1u);
+  EXPECT_EQ(result->stats.subtree_nodes, 2u);
+  EXPECT_EQ(result->stats.path_nodes, 2u);  // shelfA, lib
+
+  db->aggregation_engine()->set_verify(true);
+  EXPECT_EQ(Count(db.get(), "count(/lib//book)"), 1u);
+  EXPECT_EQ(Count(db.get(), "count(/lib//title)"), 1u);
+
+  constexpr char kAfter[] =
+      "<lib><shelfA><book><title>t2</title></book></shelfA>"
+      "<shelfB><box><coin>c1</coin></box></shelfB></lib>";
+  auto expected = MakeDb(kAfter, map, 1, /*seal=*/true);
+  ExpectSameDocument(Snapshot(db->client_filter(), true),
+                     Snapshot(expected->client_filter(), true));
+}
+
+// A chain of mutations: every commit bumps the version by one, and the end
+// state matches one fresh encode of the final document.
+TEST_F(MutateTest, MutationSequenceAdvancesVersions) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+
+  auto insert = db->Insert(7, "<box><coin>cx</coin></box>");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_EQ(insert->version, 1u);
+  auto update = db->Update(8, "book", std::nullopt);
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ(update->version, 2u);
+  auto erase = db->Delete(3);
+  ASSERT_TRUE(erase.ok()) << erase.status().ToString();
+  EXPECT_EQ(erase->version, 3u);
+
+  db->aggregation_engine()->set_verify(true);
+  EXPECT_EQ(Count(db.get(), "count(/lib//book)"), 2u);
+  EXPECT_EQ(Count(db.get(), "count(/lib//coin)"), 2u);
+
+  constexpr char kAfter[] =
+      "<lib><shelfA><book><title>t2</title></book></shelfA>"
+      "<shelfB><book><coin>c1</coin></book>"
+      "<box><coin>cx</coin></box></shelfB></lib>";
+  auto expected = MakeDb(kAfter, map, 1, /*seal=*/true);
+  ExpectSameDocument(Snapshot(db->client_filter(), true),
+                     Snapshot(expected->client_filter(), true));
+}
+
+// The §12 cost contract: the same mutation costs the same whether the
+// document holds 9 nodes or ~50 — stats depend on the touched subtree and
+// root path, not on document size.
+TEST_F(MutateTest, MutationCostTracksSubtreeNotDocument) {
+  // The big document differs only inside shelfB's box — off the mutation
+  // paths used below.
+  std::string big =
+      "<lib><shelfA><book><title>t1</title></book>"
+      "<book><title>t2</title></book></shelfA>"
+      "<shelfB><box>";
+  for (int i = 0; i < 40; ++i) big += "<coin>c</coin>";
+  big += "</box></shelfB></lib>";
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+
+  auto small_db = MakeDb(kLibXml, map, 1, /*seal=*/true);
+  auto big_db = MakeDb(big, map, 1, /*seal=*/true);
+
+  // Re-tag book(3) -> box: path and fanout are identical in both documents.
+  auto small_up = small_db->Update(3, "box", std::nullopt);
+  auto big_up = big_db->Update(3, "box", std::nullopt);
+  ASSERT_TRUE(small_up.ok()) << small_up.status().ToString();
+  ASSERT_TRUE(big_up.ok()) << big_up.status().ToString();
+  EXPECT_EQ(small_up->stats.path_nodes, big_up->stats.path_nodes);
+  EXPECT_EQ(small_up->stats.subtree_nodes, big_up->stats.subtree_nodes);
+  EXPECT_EQ(small_up->stats.children_fetched, big_up->stats.children_fetched);
+  EXPECT_EQ(small_up->stats.reshared_bytes, big_up->stats.reshared_bytes);
+
+  // DELETE re-shares the root path only; its byte cost must not grow with
+  // the deleted subtree (the subtree is erased, not rewritten).
+  auto small_rm = MakeDb(kLibXml, map, 1, /*seal=*/true);
+  auto big_rm = MakeDb(big, map, 1, /*seal=*/true);
+  auto small_del = small_rm->Delete(8);
+  auto big_del = big_rm->Delete(8);
+  ASSERT_TRUE(small_del.ok()) << small_del.status().ToString();
+  ASSERT_TRUE(big_del.ok()) << big_del.status().ToString();
+  EXPECT_EQ(small_del->stats.subtree_nodes, 2u);
+  EXPECT_EQ(big_del->stats.subtree_nodes, 41u);
+  EXPECT_EQ(small_del->stats.path_nodes, big_del->stats.path_nodes);
+  EXPECT_EQ(small_del->stats.reshared_bytes, big_del->stats.reshared_bytes);
+
+  // INSERT cost grows with the fragment, not the document.
+  auto ins_db = MakeDb(kLibXml, map, 1, /*seal=*/true);
+  auto one = ins_db->Insert(7, "<box><coin>c</coin></box>");
+  auto five = ins_db->Insert(7,
+      "<box><coin>c</coin><coin>c</coin><coin>c</coin>"
+      "<coin>c</coin><coin>c</coin></box>");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_TRUE(five.ok()) << five.status().ToString();
+  EXPECT_EQ(one->stats.subtree_nodes, 2u);
+  EXPECT_EQ(five->stats.subtree_nodes, 6u);
+  EXPECT_GT(five->stats.reshared_bytes, one->stats.reshared_bytes);
+}
+
+// A prepare that fails on one slice aborts on all of them: no version
+// moves, no pending txn lingers, the document stays byte-for-byte intact —
+// and the same mutation succeeds afterwards.
+TEST_F(MutateTest, PrepareFailureAbortsCleanly) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+  auto before = Snapshot(db->client_filter(), true);
+
+  encode::Mutator mutator(db->ring(), map, prg::Prg(seed_),
+                          db->server_filter());
+  auto planned = mutator.PlanUpdate(8, "book", std::nullopt);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  ASSERT_EQ(planned->plans.size(), 2u);
+  planned->plans[1].base_version = 7;  // slice 1 will refuse this plan
+
+  Status prepared =
+      db->server_filter()->PrepareMutation(planned->txn, planned->plans);
+  EXPECT_FALSE(prepared.ok());
+  (void)db->server_filter()->AbortMutation(planned->txn);
+
+  auto states = db->server_filter()->MutationStates();
+  ASSERT_TRUE(states.ok());
+  for (const storage::MutationState& st : *states) {
+    EXPECT_EQ(st.pending_txn, 0u);
+    EXPECT_EQ(st.version, 0u);
+  }
+  ExpectSameDocument(Snapshot(db->client_filter(), true), before);
+
+  auto retry = db->Update(8, "book", std::nullopt);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->version, 1u);
+}
+
+// RecoverMutations on the facade: a txn prepared everywhere but committed
+// nowhere rolls back; a txn any slice committed rolls forward.
+TEST_F(MutateTest, RecoverMutationsDecidesStalledTxns) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+  auto before = Snapshot(db->client_filter(), true);
+
+  // Idle recovery is a no-op.
+  ASSERT_TRUE(db->RecoverMutations().ok());
+
+  encode::Mutator mutator(db->ring(), map, prg::Prg(seed_),
+                          db->server_filter());
+
+  // Stall A: prepared on both slices, coordinator dies before any commit.
+  auto planned = mutator.PlanDelete(3);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  ASSERT_TRUE(
+      db->server_filter()->PrepareMutation(planned->txn, planned->plans).ok());
+  ASSERT_TRUE(db->RecoverMutations().ok());
+  auto states = db->server_filter()->MutationStates();
+  ASSERT_TRUE(states.ok());
+  for (const storage::MutationState& st : *states) {
+    EXPECT_EQ(st.pending_txn, 0u);
+    EXPECT_EQ(st.version, 0u);
+  }
+  ExpectSameDocument(Snapshot(db->client_filter(), true), before);
+
+  // Stall B: prepared on both, committed on slice 0 only — the decision is
+  // made, recovery must finish it on slice 1.
+  auto planned2 = mutator.PlanDelete(3);
+  ASSERT_TRUE(planned2.ok()) << planned2.status().ToString();
+  ASSERT_TRUE(
+      db->server_filter()->PrepareMutation(planned2->txn, planned2->plans).ok());
+  ASSERT_TRUE(db->slice_filter(0)->CommitMutation(planned2->txn).ok());
+  ASSERT_TRUE(db->RecoverMutations().ok());
+  states = db->server_filter()->MutationStates();
+  ASSERT_TRUE(states.ok());
+  for (const storage::MutationState& st : *states) {
+    EXPECT_EQ(st.pending_txn, 0u);
+    EXPECT_EQ(st.version, 1u);
+  }
+  constexpr char kAfter[] =
+      "<lib><shelfA><book><title>t2</title></book></shelfA>"
+      "<shelfB><box><coin>c1</coin></box></shelfB></lib>";
+  auto expected = MakeDb(kAfter, map, 1, /*seal=*/true);
+  ExpectSameDocument(Snapshot(db->client_filter(), true),
+                     Snapshot(expected->client_filter(), true));
+}
+
+// The headline crash test, on the real disk backend: kill the coordinator
+// between the phases, restart the m servers from their files, and drive the
+// journaled txn to one verdict on every slice.
+TEST_F(MutateTest, CrashBetweenPhasesRecoversOnDisk) {
+  TempDir dir("mutate_2pc");
+  std::string base = dir.FilePath("doc.ssdb");
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+
+  DatabaseOptions options;
+  options.backend = Backend::kDisk;
+  options.disk_path = base;
+  options.servers = 2;
+  options.encode.seal_content = true;
+  options.encode.verify_aggregate = true;
+  auto db_or = EncryptedXmlDatabase::Encode(kLibXml, map, seed_, options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(*db_or);
+  gf::Ring ring = db->ring();
+  auto original = Snapshot(db->client_filter(), true);
+
+  encode::Mutator mutator(ring, map, prg::Prg(seed_), db->server_filter());
+  auto planned = mutator.PlanUpdate(8, "book", std::nullopt);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+
+  // Phase one lands (and is journaled) on slice 0 only; then the
+  // coordinator "crashes" before reaching slice 1.
+  ASSERT_TRUE(db->slice_filter(0)
+                  ->PrepareMutation(planned->txn, {planned->plans[0]})
+                  .ok());
+  db.reset();
+
+  struct Stack {
+    std::vector<std::unique_ptr<storage::NodeStore>> stores;
+    std::vector<std::unique_ptr<filter::ServerFilter>> backends;
+    std::unique_ptr<filter::MultiServerFilter> fanout;
+  };
+  auto open_stack = [&]() {
+    Stack s;
+    std::vector<filter::ServerFilter*> ptrs;
+    for (uint32_t i = 0; i < 2; ++i) {
+      auto store =
+          storage::DiskNodeStore::Open(core::ShareSlicePath(base, i, 2));
+      SSDB_CHECK(store.ok()) << store.status().ToString();
+      s.stores.push_back(std::move(*store));
+      s.backends.push_back(std::make_unique<filter::LocalServerFilter>(
+          ring, s.stores.back().get()));
+      ptrs.push_back(s.backends.back().get());
+    }
+    s.fanout =
+        std::make_unique<filter::MultiServerFilter>(ring, std::move(ptrs));
+    return s;
+  };
+  // What a restarted coordinator runs (EncryptedXmlDatabase::
+  // RecoverMutations over reconnected slices): commit iff any slice
+  // committed, abort otherwise.
+  auto recover = [](filter::ServerFilter* view) -> Status {
+    for (int round = 0; round < 64; ++round) {
+      auto states = view->MutationStates();
+      if (!states.ok()) return states.status();
+      uint64_t pending = 0;
+      uint64_t committed = 0;
+      for (const storage::MutationState& st : *states) {
+        pending = std::max(pending, st.pending_txn);
+        committed = std::max(committed, st.version);
+      }
+      if (pending == 0) return Status::OK();
+      Status step = committed >= pending ? view->CommitMutation(pending)
+                                        : view->AbortMutation(pending);
+      if (!step.ok()) return step;
+    }
+    return Status::Internal("mutation recovery did not converge");
+  };
+
+  {
+    Stack s = open_stack();
+    // The journaled prepare survived the restart on exactly one slice.
+    auto states = s.fanout->MutationStates();
+    ASSERT_TRUE(states.ok()) << states.status().ToString();
+    uint64_t pending = 0;
+    int undecided = 0;
+    for (const storage::MutationState& st : *states) {
+      pending = std::max(pending, st.pending_txn);
+      if (st.pending_txn != 0) ++undecided;
+    }
+    EXPECT_EQ(pending, 1u);
+    EXPECT_EQ(undecided, 1);
+
+    // No slice committed, so recovery rolls the txn back everywhere and
+    // every slice reconstructs the original document.
+    ASSERT_TRUE(recover(s.fanout.get()).ok());
+    states = s.fanout->MutationStates();
+    ASSERT_TRUE(states.ok());
+    for (const storage::MutationState& st : *states) {
+      EXPECT_EQ(st.pending_txn, 0u);
+      EXPECT_EQ(st.version, 0u);
+    }
+    filter::ClientFilter client(ring, prg::Prg(seed_), s.fanout.get());
+    ExpectSameDocument(Snapshot(&client, true), original);
+
+    // Round two: prepared everywhere, committed on slice 0, crash before
+    // slice 1 hears the commit.
+    encode::Mutator mutator2(ring, map, prg::Prg(seed_), s.fanout.get());
+    auto planned2 = mutator2.PlanUpdate(8, "book", std::nullopt);
+    ASSERT_TRUE(planned2.ok()) << planned2.status().ToString();
+    ASSERT_TRUE(
+        s.fanout->PrepareMutation(planned2->txn, planned2->plans).ok());
+    ASSERT_TRUE(s.backends[0]->CommitMutation(planned2->txn).ok());
+  }  // crash: stores close with slice 1 still undecided
+
+  {
+    Stack s = open_stack();
+    // Slice 0's commit is the verdict; recovery rolls slice 1 forward.
+    ASSERT_TRUE(recover(s.fanout.get()).ok());
+    auto states = s.fanout->MutationStates();
+    ASSERT_TRUE(states.ok());
+    for (const storage::MutationState& st : *states) {
+      EXPECT_EQ(st.pending_txn, 0u);
+      EXPECT_EQ(st.version, 1u);
+    }
+    filter::ClientFilter client(ring, prg::Prg(seed_), s.fanout.get());
+    auto expected = MakeDb(kLibBoxRetagged, map, 1, /*seal=*/true);
+    ExpectSameDocument(Snapshot(&client, true),
+                       Snapshot(expected->client_filter(), true));
+  }
+}
+
+// Mutations routed through the shard tier (DESIGN.md §10 + §12): the router
+// plans on the owning group's stack, drives the two phases, and prefixes
+// every error with the document and group — the §9 blame idiom.
+TEST_F(MutateTest, RouterForwardsMutationsWithBlame) {
+  mapping::TagMap map = MapFor({kLibXml}, field_);
+  auto db = MakeDb(kLibXml, map, 2, /*seal=*/true);
+
+  shard::ShardCatalog catalog;
+  shard::ShardEntry entry;
+  entry.doc_id = "doc-a";
+  entry.group = 3;
+  entry.slices = {"mem://doc-a/0", "mem://doc-a/1"};
+  ASSERT_TRUE(catalog.Add(entry).ok());
+  std::map<std::string, std::vector<filter::ServerFilter*>> backends;
+  backends["doc-a"] = {db->slice_filter(0), db->slice_filter(1)};
+  core::CorpusOptions copts;
+  auto router = shard::Router::FromBackends(catalog, &map, seed_, {}, copts,
+                                            backends);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  ASSERT_TRUE((*router)->RecoverDoc("doc-a").ok());
+  auto result = (*router)->UpdateDoc("doc-a", 8, "book", std::nullopt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->version, 1u);
+  EXPECT_EQ(result->doc_id, "doc-a");
+  EXPECT_EQ(result->group, 3u);
+
+  auto query = query::ParseQuery("count(/lib//book)");
+  ASSERT_TRUE(query.ok());
+  auto count = (*router)->QueryDoc("doc-a", *query, MatchMode::kEquality);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->aggregate.Total(), 3u);
+
+  // Unknown documents and bad mutations come back attributed.
+  EXPECT_EQ((*router)->DeleteDoc("ghost", 2).status().code(),
+            StatusCode::kNotFound);
+  Status blamed = (*router)->DeleteDoc("doc-a", 1).status();
+  EXPECT_FALSE(blamed.ok());
+  EXPECT_NE(blamed.message().find("doc doc-a (group 3)"), std::string::npos)
+      << blamed.ToString();
+}
+
+// Satellite: the side column store lifts the heap row's ~140-tag cap. A
+// 1000-tag map — 28 KB of §8 columns plus 112 KB of §9 track per node,
+// far beyond a 4 KiB page — encodes to disk, answers verified aggregates,
+// mutates, and survives a reopen.
+TEST_F(MutateTest, ThousandTagMapEncodesAndMutatesOnDisk) {
+  TempDir dir("mutate_bigmap");
+  std::string path = dir.FilePath("big.ssdb");
+  auto field = gf::Field::Make(1009);
+  ASSERT_TRUE(field.ok());
+
+  std::vector<std::string> names;
+  names.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "t%04d", i);
+    names.push_back(buf);
+  }
+  auto map = mapping::TagMap::FromNames(names, *field);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+
+  std::string xml = "<t0000>";
+  for (int i = 0; i < 40; ++i) {
+    xml += "<t000" + std::to_string(1 + i % 4) + "/>";
+  }
+  xml += "</t0000>";
+
+  DatabaseOptions options;
+  options.p = 1009;
+  options.backend = Backend::kDisk;
+  options.disk_path = path;
+  options.encode.verify_aggregate = true;
+  auto db_or = EncryptedXmlDatabase::Encode(xml, *map, seed_, options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(*db_or);
+  gf::Ring ring = db->ring();
+
+  db->aggregation_engine()->set_verify(true);
+  EXPECT_EQ(Count(db.get(), "count(/t0000/t0001)"), 10u);
+
+  auto result = db->Update(2, "t0500", std::nullopt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Count(db.get(), "count(/t0000/t0001)"), 9u);
+  EXPECT_EQ(Count(db.get(), "count(/t0000/t0500)"), 1u);
+  db.reset();
+
+  // The blobs live in the side column store; both it and the mutation
+  // survive a close/reopen cycle.
+  auto store = storage::DiskNodeStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  filter::LocalServerFilter server(ring, store->get());
+  filter::ClientFilter client(ring, prg::Prg(seed_), &server);
+  auto node = client.GetNode(2);
+  ASSERT_TRUE(node.ok());
+  auto value = client.RecoverOwnValue(*node);
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(*value, *map->Lookup("t0500"));
+  auto state = (*store)->GetMutationState();
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->version, 1u);
+  EXPECT_EQ(state->pending_txn, 0u);
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -41,7 +41,7 @@ METRIC_KEYS = {
     "evals_simple", "evals_advanced", "batched_evals", "candidates",
     "worker_threads", "byte_ratio", "write_stalls", "buffered_peak",
     "frames_reused", "queue_depth_peak", "ops", "verify_overhead_ratio",
-    "probes",
+    "probes", "children", "reencode_ratio",
 }
 
 # Guarded metrics and the direction that is good: moving the wrong way by

@@ -83,6 +83,40 @@ if ! grep -q 'result_size=1 (groups)' two_server_count.out; then
   exit 1
 fi
 
+# --- mid-run UPDATE (DESIGN.md §12) -----------------------------------------
+# Mutate the live deployment: re-tag one person through the 2-server
+# fan-out (a two-phase commit across both slices), re-assert count() on
+# the same servers, then re-tag it back and re-assert the original count.
+person_pre="$(sed -n 's/^  pre: *\([0-9]*\).*/\1/p' two_server.out)"
+if [ -z "$person_pre" ]; then
+  echo "MISSING: could not pick a person pre from the fetch output"
+  exit 1
+fi
+
+"$build_dir/ssdb_query" --connect "$work/s0.sock,$work/s1.sock" \
+    --map map.properties --seed seed.key \
+    --set "$person_pre privacy" "count($query)" | tee retag_count.out
+if ! grep -q "update pre=$person_pre committed: version=1" retag_count.out; then
+  echo "MISSING: UPDATE did not report a committed version-1 mutation"
+  exit 1
+fi
+retag_count="$(sed -n 's/.*count = \([0-9]*\) in.*/\1/p' retag_count.out)"
+if [ -z "$retag_count" ] || [ "$retag_count" != "$((agg_count - 1))" ]; then
+  echo "MISMATCH: count($query) after UPDATE = '$retag_count', want" \
+       "$((agg_count - 1))"
+  exit 1
+fi
+
+"$build_dir/ssdb_query" --connect "$work/s0.sock,$work/s1.sock" \
+    --map map.properties --seed seed.key \
+    --set "$person_pre person" "count($query)" | tee restore_count.out
+restore_count="$(sed -n 's/.*count = \([0-9]*\) in.*/\1/p' restore_count.out)"
+if [ -z "$restore_count" ] || [ "$restore_count" != "$agg_count" ]; then
+  echo "MISMATCH: count($query) after restoring the tag = '$restore_count'," \
+       "want $agg_count"
+  exit 1
+fi
+
 # --- 2-shard corpus (DESIGN.md §10) -----------------------------------------
 # Grow the deployment into a corpus: a second document in its own server
 # group, a shard catalog served by ssdb_router, and one corpus-wide count()

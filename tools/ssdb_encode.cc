@@ -44,10 +44,13 @@ int main(int argc, char** argv) {
       flags.Bool("coeff-domain", "store coefficient- instead of point-domain");
   const bool* no_agg = flags.Bool(
       "no-agg", "drop the aggregate columns (DESIGN.md §8; saves 28·|map| "
-                "bytes per node per slice)");
+                "bytes per node per slice in the side column store — but "
+                "disables aggregates and mutations, DESIGN.md §12)");
   const bool* verify_agg = flags.Bool(
       "verify-agg", "store the aggregate verification track (DESIGN.md §9; "
-                    "costs 112·|map| bytes per node on slice 0)");
+                    "costs 112·|map| bytes per node in slice 0's column "
+                    "store; any tag-map size fits — blobs live outside the "
+                    "4 KiB heap row, DESIGN.md §12)");
 
   Status parsed = flags.Parse(argc, argv);
   if (flags.help_requested()) {

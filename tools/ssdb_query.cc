@@ -43,15 +43,30 @@
 // --verify-agg), so a tampering server turns the query into an error naming
 // the server instead of a silently wrong answer. --stats then also reports
 // proof_words and verified.
+//
+// Mutations (DESIGN.md §12): secret-shared two-phase INSERT/UPDATE/DELETE,
+// applied before any queries on the command line — so a query after a --set
+// observes the mutated document:
+//   --set "PRE TAG"            re-tag node PRE ('-' keeps the tag)
+//   --set "PRE TAG new text"   re-tag and/or replace the node's sealed text
+//   --insert "PRE <x>...</x>"  insert the fragment as PRE's last child
+//   --delete PRE               delete the subtree rooted at PRE
+//   --recover                  finish any undecided prepared txn first
+// Each may repeat. In corpus mode mutations need --doc (they route to one
+// document's group). The database must be encoded with aggregate columns.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "agg/aggregation.h"
 #include "core/database.h"
+#include "encode/reshare.h"
 #include "filter/multi_server_filter.h"
 #include "rpc/client.h"
 #include "rpc/multi_session.h"
@@ -103,6 +118,17 @@ int main(int argc, char** argv) {
   const bool* partial_flag = flags.Bool(
       "partial", "corpus queries tolerate unreachable documents and report "
                  "them as missing (DESIGN.md §11)");
+  const std::vector<std::string>* set_flag = flags.List(
+      "set", "mutate: \"PRE TAG [TEXT...]\" re-tags node PRE ('-' keeps the "
+             "tag) and/or replaces its sealed text (DESIGN.md §12)");
+  const std::vector<std::string>* insert_flag = flags.List(
+      "insert", "mutate: \"PRE <frag>...</frag>\" inserts the XML fragment "
+                "as the last child of node PRE");
+  const std::vector<std::string>* delete_flag = flags.List(
+      "delete", "mutate: PRE deletes the subtree rooted at node PRE");
+  const bool* recover_flag = flags.Bool(
+      "recover", "finish any undecided prepared mutation before anything "
+                 "else (crash recovery, DESIGN.md §12)");
 
   Status flags_parsed = flags.Parse(argc, argv);
   if (flags.help_requested()) {
@@ -143,8 +169,76 @@ int main(int argc, char** argv) {
                           : agg_wrap + "(" + arg + ")");
   }
   const bool corpus_mode = !catalog_path.empty() || !router_sock.empty();
-  if (queries.empty()) {
+
+  // Mutation commands (DESIGN.md §12), decoded up front so a malformed spec
+  // fails before any server is dialed. Kept in kind order: sets, inserts,
+  // deletes — each list preserves its command-line order.
+  struct SetCmd {
+    uint32_t pre = 0;
+    std::string tag;                    // empty = keep the tag
+    std::optional<std::string> text;    // nullopt = keep the text
+  };
+  struct InsertCmd {
+    uint32_t pre = 0;
+    std::string fragment;
+  };
+  auto parse_pre = [](const std::string& text, uint32_t* pre,
+                      std::string* rest) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || value == 0 || value > 0xffffffffull) {
+      return false;
+    }
+    while (*end == ' ') ++end;
+    *pre = static_cast<uint32_t>(value);
+    *rest = std::string(end);
+    return true;
+  };
+  std::vector<SetCmd> sets;
+  for (const std::string& spec : *set_flag) {
+    SetCmd cmd;
+    std::string rest;
+    if (!parse_pre(spec, &cmd.pre, &rest) || rest.empty()) {
+      return tools::UsageError(flags,
+                               "--set needs \"PRE TAG [TEXT...]\": " + spec);
+    }
+    size_t space = rest.find(' ');
+    std::string tag = rest.substr(0, space);
+    if (tag != "-") cmd.tag = tag;
+    if (space != std::string::npos) cmd.text = rest.substr(space + 1);
+    if (cmd.tag.empty() && !cmd.text.has_value()) {
+      return tools::UsageError(
+          flags, "--set \"" + spec + "\" changes neither tag nor text");
+    }
+    sets.push_back(std::move(cmd));
+  }
+  std::vector<InsertCmd> inserts;
+  for (const std::string& spec : *insert_flag) {
+    InsertCmd cmd;
+    if (!parse_pre(spec, &cmd.pre, &cmd.fragment) || cmd.fragment.empty()) {
+      return tools::UsageError(
+          flags, "--insert needs \"PRE <fragment.../>\": " + spec);
+    }
+    inserts.push_back(std::move(cmd));
+  }
+  std::vector<uint32_t> deletes;
+  for (const std::string& spec : *delete_flag) {
+    uint32_t pre = 0;
+    std::string rest;
+    if (!parse_pre(spec, &pre, &rest) || !rest.empty()) {
+      return tools::UsageError(flags, "--delete needs a node PRE: " + spec);
+    }
+    deletes.push_back(pre);
+  }
+  const bool have_mutations = !sets.empty() || !inserts.empty() ||
+                              !deletes.empty() || *recover_flag;
+
+  if (queries.empty() && !have_mutations) {
     return tools::UsageError(flags, "no query given");
+  }
+  if (corpus_mode && have_mutations && doc_id.empty()) {
+    return tools::UsageError(
+        flags, "mutations route to one document: add --doc ID");
   }
   if (db_path.empty() && connects.empty() && !corpus_mode) {
     return tools::UsageError(
@@ -193,6 +287,41 @@ int main(int argc, char** argv) {
     }
     query::MatchMode corpus_match = strict ? query::MatchMode::kEquality
                                            : query::MatchMode::kContainment;
+
+    // Mutations route to one document's group (--doc, enforced above) and
+    // run before the queries so a query on the same command line observes
+    // the mutated document.
+    if (*recover_flag) {
+      Status recovered = (*router)->RecoverDoc(doc_id);
+      if (!recovered.ok()) return tools::Fail(recovered);
+      std::printf("recovered pending mutations  [doc %s]\n", doc_id.c_str());
+    }
+    auto print_doc_mutation = [](const char* what, uint32_t pre,
+                                 const shard::DocMutation& done) {
+      std::printf("%s pre=%u committed  [doc %s, group %u]: version=%llu "
+                  "(path=%llu subtree=%llu children=%llu bytes=%llu)\n",
+                  what, pre, done.doc_id.c_str(), done.group,
+                  (unsigned long long)done.version,
+                  (unsigned long long)done.stats.path_nodes,
+                  (unsigned long long)done.stats.subtree_nodes,
+                  (unsigned long long)done.stats.children_fetched,
+                  (unsigned long long)done.stats.reshared_bytes);
+    };
+    for (const SetCmd& cmd : sets) {
+      auto done = (*router)->UpdateDoc(doc_id, cmd.pre, cmd.tag, cmd.text);
+      if (!done.ok()) return tools::Fail(done.status());
+      print_doc_mutation("update", cmd.pre, *done);
+    }
+    for (const InsertCmd& cmd : inserts) {
+      auto done = (*router)->InsertDoc(doc_id, cmd.pre, cmd.fragment);
+      if (!done.ok()) return tools::Fail(done.status());
+      print_doc_mutation("insert", cmd.pre, *done);
+    }
+    for (uint32_t pre : deletes) {
+      auto done = (*router)->DeleteDoc(doc_id, pre);
+      if (!done.ok()) return tools::Fail(done.status());
+      print_doc_mutation("delete", pre, *done);
+    }
 
     auto print_aggregate = [&](const std::string& text,
                                const query::Query& parsed,
@@ -353,6 +482,67 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // Mutations (DESIGN.md §12) run before the queries, in kind order:
+  // recover, sets, inserts, deletes. Each is a full two-phase drive —
+  // prepare on every slice, then commit; a prepare failure aborts.
+  if (have_mutations) {
+    encode::Mutator mutator(ring, *map, prg::Prg(*seed), server_view);
+    if (*recover_flag) {
+      for (int round = 0; round < 64; ++round) {
+        auto states = server_view->MutationStates();
+        if (!states.ok()) return tools::Fail(states.status());
+        uint64_t pending = 0;
+        uint64_t committed = 0;
+        for (const storage::MutationState& st : *states) {
+          pending = std::max(pending, st.pending_txn);
+          committed = std::max(committed, st.version);
+        }
+        if (pending == 0) break;
+        Status verdict = committed >= pending
+                             ? server_view->CommitMutation(pending)
+                             : server_view->AbortMutation(pending);
+        if (!verdict.ok()) return tools::Fail(verdict);
+        std::printf("recovered txn %llu: %s\n",
+                    (unsigned long long)pending,
+                    committed >= pending ? "committed" : "aborted");
+      }
+    }
+    auto drive = [&](const char* what, uint32_t pre,
+                     StatusOr<encode::PlannedMutation> planned) -> Status {
+      if (!planned.ok()) return planned.status();
+      Status prepared =
+          server_view->PrepareMutation(planned->txn, planned->plans);
+      if (!prepared.ok()) {
+        (void)server_view->AbortMutation(planned->txn);
+        return prepared;
+      }
+      Status committed = server_view->CommitMutation(planned->txn);
+      if (!committed.ok()) return committed;
+      std::printf("%s pre=%u committed: version=%llu (path=%llu "
+                  "subtree=%llu children=%llu bytes=%llu)\n",
+                  what, pre, (unsigned long long)planned->txn,
+                  (unsigned long long)planned->stats.path_nodes,
+                  (unsigned long long)planned->stats.subtree_nodes,
+                  (unsigned long long)planned->stats.children_fetched,
+                  (unsigned long long)planned->stats.reshared_bytes);
+      return Status::OK();
+    };
+    for (const SetCmd& cmd : sets) {
+      Status done = drive("update", cmd.pre,
+                          mutator.PlanUpdate(cmd.pre, cmd.tag, cmd.text));
+      if (!done.ok()) return tools::Fail(done);
+    }
+    for (const InsertCmd& cmd : inserts) {
+      Status done = drive("insert", cmd.pre,
+                          mutator.PlanInsert(cmd.pre, cmd.fragment));
+      if (!done.ok()) return tools::Fail(done);
+    }
+    for (uint32_t pre : deletes) {
+      Status done = drive("delete", pre, mutator.PlanDelete(pre));
+      if (!done.ok()) return tools::Fail(done);
+    }
+  }
+
   query::SimpleEngine simple(&client, &*map);
   query::AdvancedEngine adv(&client, &*map);
   agg::AggregationEngine aggregation(&client, &*map);
